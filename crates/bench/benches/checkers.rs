@@ -1,0 +1,38 @@
+//! Per-rule checker cost: each of the five checker families over a
+//! unit that exercises all twelve rules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pallas_checkers::{
+    AssistStructChecker, CheckContext, Checker, FaultHandlingChecker, PathOutputChecker,
+    PathStateChecker, TriggerConditionChecker,
+};
+use pallas_corpus::compose_unit;
+use pallas_corpus::Component;
+use pallas_checkers::Rule;
+
+fn bench_checkers(c: &mut Criterion) {
+    let plan: Vec<(Rule, bool)> = Rule::ALL.iter().map(|&r| (r, false)).collect();
+    let cu = compose_unit(Component::Mm, "bench/all_rules", "all_rules_fast", &plan);
+    let (src, _) = cu.unit.merge();
+    let ast = pallas_lang::parse(&src).expect("parses");
+    let db = pallas_sym::extract("bench", &ast, &src, &pallas_sym::ExtractConfig::default());
+    let spec = pallas_spec::parse_spec(&cu.unit.spec_text).expect("spec parses");
+    let cx = CheckContext { db: &db, spec: &spec, ast: &ast };
+
+    let mut group = c.benchmark_group("checkers");
+    let families: [(&str, &dyn Checker); 5] = [
+        ("path-state", &PathStateChecker),
+        ("trigger-condition", &TriggerConditionChecker),
+        ("path-output", &PathOutputChecker),
+        ("fault-handling", &FaultHandlingChecker),
+        ("assistant-ds", &AssistStructChecker),
+    ];
+    for (name, checker) in families {
+        group.bench_function(name, |b| b.iter(|| checker.check(&cx)));
+    }
+    group.bench_function("all-twelve-rules", |b| b.iter(|| pallas_checkers::run_all(&cx)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Front-end throughput: lexing and parsing synthetic units of
+//! increasing size (the substrate cost the paper folds into its
+//! "50 minutes to 6 hours" merge-and-build step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pallas_corpus::synthetic_unit;
+
+fn bench_lex_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for &functions in &[1usize, 4, 16, 64] {
+        let unit = synthetic_unit(functions, 8, 42);
+        let (src, _) = unit.merge();
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("lex", functions), &src, |b, src| {
+            b.iter(|| pallas_lang::lex(src).expect("lexes"))
+        });
+        group.bench_with_input(BenchmarkId::new("parse", functions), &src, |b, src| {
+            b.iter(|| pallas_lang::parse(src).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lex_parse);
+criterion_main!(benches);

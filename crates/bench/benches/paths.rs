@@ -1,0 +1,38 @@
+//! Path-database construction: CFG build plus bounded symbolic path
+//! extraction as branch counts grow (the path-explosion guard), with
+//! and without callee summary-inlining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pallas_corpus::synthetic_unit;
+use pallas_sym::{extract, ExtractConfig};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path-db");
+    for &branches in &[2usize, 6, 10, 14] {
+        let unit = synthetic_unit(2, branches, 7);
+        let (src, _) = unit.merge();
+        let ast = pallas_lang::parse(&src).expect("parses");
+        group.bench_with_input(BenchmarkId::new("extract", branches), &branches, |b, _| {
+            b.iter(|| extract("bench", &ast, &src, &ExtractConfig::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("extract-no-inline", branches),
+            &branches,
+            |b, _| {
+                let config = ExtractConfig { inline_depth: 0, ..ExtractConfig::default() };
+                b.iter(|| extract("bench", &ast, &src, &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cfg_only(c: &mut Criterion) {
+    let unit = synthetic_unit(8, 10, 3);
+    let (src, _) = unit.merge();
+    let ast = pallas_lang::parse(&src).expect("parses");
+    c.bench_function("cfg-build-8fns", |b| b.iter(|| pallas_cfg::build_all(&ast)));
+}
+
+criterion_group!(benches, bench_extraction, bench_cfg_only);
+criterion_main!(benches);

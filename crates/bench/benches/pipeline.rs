@@ -1,0 +1,52 @@
+//! End-to-end pipeline cost: checking one fast path (the paper's
+//! "PALLAS took 1-2 minutes to check one fast path"), the full 90-path
+//! Table 1 corpus, and parallel speedup via `check_many`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pallas_core::{Pallas, SourceUnit};
+
+fn bench_single_path(c: &mut Criterion) {
+    let driver = Pallas::new();
+    let mut group = c.benchmark_group("per-fast-path");
+    for cu in pallas_corpus::examples() {
+        let name = cu.name().replace('/', "_");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cu.unit, |b, unit| {
+            b.iter(|| driver.check_unit(unit).expect("checks"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let driver = Pallas::new();
+    let corpus = pallas_corpus::new_paths();
+    let units: Vec<SourceUnit> = corpus.iter().map(|cu| cu.unit.clone()).collect();
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("table1-90-paths-serial", |b| {
+        b.iter(|| {
+            for unit in &units {
+                driver.check_unit(unit).expect("checks");
+            }
+        })
+    });
+    group.bench_function("table1-90-paths-parallel", |b| {
+        b.iter(|| driver.check_many(&units))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let driver = Pallas::new();
+    let mut group = c.benchmark_group("unit-size-scaling");
+    for &functions in &[1usize, 8, 32] {
+        let unit = pallas_corpus::synthetic_unit(functions, 8, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(functions), &unit, |b, unit| {
+            b.iter(|| driver.check_unit(unit).expect("checks"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_path, bench_corpus, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! `repro` — regenerate every table and figure of the Pallas paper.
+//!
+//! ```text
+//! repro --table <1..8>     one table
+//! repro --figure <1..9>    one figure
+//! repro --accuracy         §5 accuracy + false-positive breakdown
+//! repro --ablation         inlining-depth / checker-family ablations
+//! repro --findings         the §3 Findings 1-5 subtype report
+//! repro --timing           per-path checking time
+//! repro --all              everything, in paper order
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --all".into());
+    }
+    let value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u32>().ok())
+    };
+    if args.iter().any(|a| a == "--all") {
+        for n in 1..=8 {
+            println!("{}", bench::table_text(n).expect("tables 1..8 exist"));
+        }
+        for n in 1..=9 {
+            println!("{}", bench::figure_text(n).expect("figures 1..9 exist"));
+        }
+        println!("{}", bench::accuracy_text());
+        println!("{}", bench::ablation_text());
+        println!("{}", bench::findings_text());
+        println!("{}", bench::timing_text());
+        return Ok(());
+    }
+    if let Some(n) = value("--table") {
+        let text = bench::table_text(n).ok_or(format!("no table {n} (valid: 1..8)"))?;
+        println!("{text}");
+        return Ok(());
+    }
+    if let Some(n) = value("--figure") {
+        let text = bench::figure_text(n).ok_or(format!("no figure {n} (valid: 1..9)"))?;
+        println!("{text}");
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--accuracy") {
+        println!("{}", bench::accuracy_text());
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--ablation") {
+        println!("{}", bench::ablation_text());
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--findings") {
+        println!("{}", bench::findings_text());
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--timing") {
+        println!("{}", bench::timing_text());
+        return Ok(());
+    }
+    Err("unknown arguments (try --all)".into())
+}

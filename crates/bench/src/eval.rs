@@ -1,0 +1,126 @@
+//! Corpus evaluation: run the checker over a corpus and aggregate
+//! validated-bug / warning counts per rule and component.
+
+use pallas_checkers::Rule;
+use pallas_core::{score, Pallas, Score};
+use pallas_corpus::{Component, CorpusUnit};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Aggregated evaluation of one corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEval {
+    /// `(unit name, component, per-unit score)` in corpus order.
+    pub per_unit: Vec<(String, Component, Score)>,
+    /// Validated bugs per `(rule, component)` cell.
+    pub bugs: BTreeMap<(Rule, Component), usize>,
+    /// Warnings (validated + false) per `(rule, component)` cell.
+    pub warnings: BTreeMap<(Rule, Component), usize>,
+    /// Whole-corpus score.
+    pub total: Score,
+    /// Wall-clock time for the full run.
+    pub elapsed: Duration,
+    /// Number of fast paths (units) evaluated.
+    pub unit_count: usize,
+}
+
+impl CorpusEval {
+    /// Validated bugs in one Table 1 cell.
+    pub fn bugs_at(&self, rule: Rule, component: Component) -> usize {
+        self.bugs.get(&(rule, component)).copied().unwrap_or(0)
+    }
+
+    /// Total validated bugs for a rule row.
+    pub fn row_bugs(&self, rule: Rule) -> usize {
+        Component::ALL.iter().map(|&c| self.bugs_at(rule, c)).sum()
+    }
+
+    /// Total warnings for a rule row.
+    pub fn row_warnings(&self, rule: Rule) -> usize {
+        Component::ALL
+            .iter()
+            .map(|&c| self.warnings.get(&(rule, c)).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// Runs the full pipeline over every unit and aggregates scores.
+///
+/// # Panics
+///
+/// Panics if a corpus unit fails to parse — corpus units are
+/// compile-time constants and must always be checkable.
+pub fn evaluate(corpus: &[CorpusUnit]) -> CorpusEval {
+    evaluate_with(corpus, &pallas_sym::ExtractConfig::default())
+}
+
+/// Like [`evaluate`], with an explicit extraction configuration (used
+/// by the ablation studies).
+pub fn evaluate_with(corpus: &[CorpusUnit], config: &pallas_sym::ExtractConfig) -> CorpusEval {
+    let driver = Pallas::new().with_config(*config);
+    let started = Instant::now();
+    let mut eval = CorpusEval {
+        per_unit: Vec::with_capacity(corpus.len()),
+        bugs: BTreeMap::new(),
+        warnings: BTreeMap::new(),
+        total: Score::default(),
+        elapsed: Duration::ZERO,
+        unit_count: corpus.len(),
+    };
+    for cu in corpus {
+        let analyzed = driver
+            .check_unit(&cu.unit)
+            .unwrap_or_else(|e| panic!("corpus unit {} failed: {e}", cu.name()));
+        let s = score(&analyzed.warnings, &cu.bugs);
+        for w in &s.true_positives {
+            *eval.bugs.entry((w.rule, cu.component)).or_insert(0) += 1;
+            *eval.warnings.entry((w.rule, cu.component)).or_insert(0) += 1;
+        }
+        for w in &s.false_positives {
+            *eval.warnings.entry((w.rule, cu.component)).or_insert(0) += 1;
+        }
+        eval.per_unit.push((cu.name().to_string(), cu.component, s.clone()));
+        eval.total.merge(s);
+    }
+    eval.elapsed = started.elapsed();
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_corpus_reproduces_headline_numbers() {
+        let eval = evaluate(&pallas_corpus::new_paths());
+        assert_eq!(eval.unit_count, 90);
+        assert_eq!(eval.total.warning_count(), 224);
+        assert_eq!(eval.total.bug_count(), 155);
+        assert_eq!(eval.total.false_positives.len(), 69);
+        let acc = eval.total.accuracy().unwrap();
+        assert!((acc - 0.69).abs() < 0.01, "accuracy {acc}");
+        assert!(eval.total.missed.is_empty(), "{:?}", eval.total.missed);
+    }
+
+    #[test]
+    fn every_table1_cell_matches_the_paper_matrix() {
+        let eval = evaluate(&pallas_corpus::new_paths());
+        for (row, (rule, counts)) in pallas_corpus::table1_bug_matrix().iter().enumerate() {
+            for (ci, &component) in Component::ALL.iter().enumerate() {
+                assert_eq!(
+                    eval.bugs_at(*rule, component),
+                    counts[ci],
+                    "row {row} ({rule:?}) component {component}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_bugs_corpus_detects_61_of_62() {
+        let eval = evaluate(&pallas_corpus::known_bugs());
+        assert_eq!(eval.total.bug_count(), 61);
+        assert_eq!(eval.total.expected_misses.len(), 1);
+        assert!(eval.total.missed.is_empty(), "{:?}", eval.total.missed);
+    }
+}

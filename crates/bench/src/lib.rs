@@ -1,0 +1,23 @@
+//! # bench
+//!
+//! Evaluation and reproduction harness for the Pallas paper: run the
+//! corpus through the checker ([`eval`]), regenerate every table and
+//! figure ([`render`]), and benchmark the pipeline (`benches/`).
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run -p bench --bin repro -- --all
+//! ```
+
+pub mod ablation;
+pub mod eval;
+pub mod render;
+
+pub use ablation::{ablation_text, depth_ablation, DepthAblationRow};
+pub use eval::{evaluate, evaluate_with, CorpusEval};
+pub use render::{
+    accuracy_text, figure_text, findings_text, table1_text, table2_text, table3_text,
+    table4_text, table5_text, table6_text, table7_text, table8_text, table_text,
+    timing_text,
+};

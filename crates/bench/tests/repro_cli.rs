@@ -1,0 +1,54 @@
+//! Integration tests driving the `repro` binary.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage_error() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn single_table_renders() {
+    let out = repro(&["--table", "2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Fast path is buggy"));
+}
+
+#[test]
+fn out_of_range_table_fails() {
+    let out = repro(&["--table", "9"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no table 9"));
+}
+
+#[test]
+fn single_figure_renders() {
+    let out = repro(&["--figure", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Sin"));
+    assert!(text.contains("Sout"));
+}
+
+#[test]
+fn accuracy_mode() {
+    let out = repro(&["--accuracy"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("= 69%"));
+}
+
+#[test]
+fn findings_mode() {
+    let out = repro(&["--findings"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Finding 1"));
+}

@@ -1,0 +1,501 @@
+//! Lowering AST functions to control-flow graphs.
+
+use crate::graph::{BasicBlock, BlockId, Cfg, Terminator};
+use pallas_lang::ast::{Ast, Function, StmtId, StmtKind};
+use pallas_lang::ExprId;
+use std::collections::HashMap;
+
+/// Builds the CFG for one function definition.
+pub fn build_cfg(ast: &Ast, func: &Function) -> Cfg {
+    Builder::new(ast, &func.sig.name).run(func.body)
+}
+
+/// Builds CFGs for every function definition in the unit, in source order.
+pub fn build_all(ast: &Ast) -> Vec<Cfg> {
+    ast.functions().map(|f| build_cfg(ast, f)).collect()
+}
+
+struct Builder<'a> {
+    ast: &'a Ast,
+    blocks: Vec<BasicBlock>,
+    /// Block currently receiving statements; `None` after a return/goto.
+    current: Option<BlockId>,
+    /// `label name → its block`, created on first mention (goto or label).
+    labels: HashMap<String, BlockId>,
+    /// `(continue target, break target)` for enclosing loops; switches
+    /// push only a break target (continue passes through them).
+    loop_stack: Vec<(Option<BlockId>, BlockId)>,
+    /// Side table of `for`-step expressions, copied into the final CFG.
+    step_exprs: Vec<(BlockId, ExprId)>,
+    name: String,
+}
+
+impl<'a> Builder<'a> {
+    fn new(ast: &'a Ast, name: &str) -> Self {
+        Builder {
+            ast,
+            blocks: Vec::new(),
+            current: None,
+            labels: HashMap::new(),
+            loop_stack: Vec::new(),
+            step_exprs: Vec::new(),
+            name: name.to_string(),
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::new());
+        id
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        if let Some(cur) = self.current.take() {
+            self.blocks[cur.0 as usize].term = term;
+        }
+    }
+
+    /// Ensures there is an open block, creating an (unreachable) one for
+    /// statements that follow a return or goto.
+    fn ensure_current(&mut self) -> BlockId {
+        match self.current {
+            Some(b) => b,
+            None => {
+                let b = self.new_block();
+                self.current = Some(b);
+                b
+            }
+        }
+    }
+
+    fn push_stmt(&mut self, stmt: StmtId) {
+        let b = self.ensure_current();
+        let span = self.ast.stmt(stmt).span;
+        let block = &mut self.blocks[b.0 as usize];
+        if block.stmts.is_empty() && block.span.is_empty() {
+            block.span = span;
+        } else {
+            block.span = block.span.merge(span);
+        }
+        block.stmts.push(stmt);
+    }
+
+    fn label_block(&mut self, name: &str) -> BlockId {
+        if let Some(&b) = self.labels.get(name) {
+            return b;
+        }
+        let b = self.new_block();
+        self.blocks[b.0 as usize].label = Some(name.to_string());
+        self.labels.insert(name.to_string(), b);
+        b
+    }
+
+    fn run(mut self, body: StmtId) -> Cfg {
+        let entry = self.new_block();
+        self.current = Some(entry);
+        self.lower_stmt(body);
+        // Implicit `return;` at the end of the function body.
+        self.terminate(Terminator::Return(None));
+        Cfg { name: self.name, blocks: self.blocks, entry, step_exprs: self.step_exprs }
+    }
+
+    fn lower_stmt(&mut self, id: StmtId) {
+        match self.ast.stmt(id).kind.clone() {
+            StmtKind::Block(stmts) => {
+                for s in stmts {
+                    self.lower_stmt(s);
+                }
+            }
+            StmtKind::Decl { .. } | StmtKind::Expr(_) | StmtKind::Pragma(_) => {
+                self.push_stmt(id);
+            }
+            StmtKind::Empty => {}
+            StmtKind::If { cond, then_br, else_br } => self.lower_if(cond, then_br, else_br),
+            StmtKind::While { cond, body } => self.lower_while(cond, body),
+            StmtKind::DoWhile { body, cond } => self.lower_do_while(body, cond),
+            StmtKind::For { init, cond, step, body } => self.lower_for(init, cond, step, body),
+            StmtKind::Switch { scrutinee, body } => self.lower_switch(scrutinee, body),
+            StmtKind::Case(_) | StmtKind::Default => {
+                // Only meaningful directly inside a switch body, where
+                // `lower_switch` consumes them; elsewhere they are inert.
+            }
+            StmtKind::Return(value) => {
+                self.ensure_current();
+                self.terminate(Terminator::Return(value));
+            }
+            StmtKind::Break => {
+                self.ensure_current();
+                if let Some(&(_, brk)) = self.loop_stack.last() {
+                    self.terminate(Terminator::Jump(brk));
+                } else {
+                    // `break` outside any loop/switch: treat as return.
+                    self.terminate(Terminator::Return(None));
+                }
+            }
+            StmtKind::Continue => {
+                self.ensure_current();
+                let target = self
+                    .loop_stack
+                    .iter()
+                    .rev()
+                    .find_map(|&(cont, _)| cont);
+                match target {
+                    Some(t) => self.terminate(Terminator::Jump(t)),
+                    None => self.terminate(Terminator::Return(None)),
+                }
+            }
+            StmtKind::Goto(label) => {
+                self.ensure_current();
+                let target = self.label_block(&label);
+                self.terminate(Terminator::Jump(target));
+            }
+            StmtKind::Label(label) => {
+                let target = self.label_block(&label);
+                if self.current.is_some() {
+                    self.terminate(Terminator::Jump(target));
+                }
+                self.current = Some(target);
+            }
+        }
+    }
+
+    fn lower_if(&mut self, cond: ExprId, then_br: StmtId, else_br: Option<StmtId>) {
+        self.ensure_current();
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        let join = if else_br.is_some() { self.new_block() } else { else_bb };
+        self.terminate(Terminator::Branch { cond, then_bb, else_bb });
+
+        self.current = Some(then_bb);
+        self.lower_stmt(then_br);
+        self.terminate(Terminator::Jump(join));
+
+        if let Some(e) = else_br {
+            self.current = Some(else_bb);
+            self.lower_stmt(e);
+            self.terminate(Terminator::Jump(join));
+        }
+        self.current = Some(join);
+    }
+
+    fn lower_while(&mut self, cond: ExprId, body: StmtId) {
+        self.ensure_current();
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let after = self.new_block();
+        self.terminate(Terminator::Jump(head));
+
+        self.current = Some(head);
+        self.terminate(Terminator::Branch { cond, then_bb: body_bb, else_bb: after });
+
+        self.loop_stack.push((Some(head), after));
+        self.current = Some(body_bb);
+        self.lower_stmt(body);
+        self.terminate(Terminator::Jump(head));
+        self.loop_stack.pop();
+
+        self.current = Some(after);
+    }
+
+    fn lower_do_while(&mut self, body: StmtId, cond: ExprId) {
+        self.ensure_current();
+        let body_bb = self.new_block();
+        let latch = self.new_block();
+        let after = self.new_block();
+        self.terminate(Terminator::Jump(body_bb));
+
+        self.loop_stack.push((Some(latch), after));
+        self.current = Some(body_bb);
+        self.lower_stmt(body);
+        self.terminate(Terminator::Jump(latch));
+        self.loop_stack.pop();
+
+        self.current = Some(latch);
+        self.terminate(Terminator::Branch { cond, then_bb: body_bb, else_bb: after });
+        self.current = Some(after);
+    }
+
+    fn lower_for(
+        &mut self,
+        init: Option<StmtId>,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: StmtId,
+    ) {
+        if let Some(i) = init {
+            self.lower_stmt(i);
+        }
+        self.ensure_current();
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let step_bb = self.new_block();
+        let after = self.new_block();
+        self.terminate(Terminator::Jump(head));
+
+        self.current = Some(head);
+        match cond {
+            Some(c) => self.terminate(Terminator::Branch { cond: c, then_bb: body_bb, else_bb: after }),
+            None => self.terminate(Terminator::Jump(body_bb)),
+        }
+
+        self.loop_stack.push((Some(step_bb), after));
+        self.current = Some(body_bb);
+        self.lower_stmt(body);
+        self.terminate(Terminator::Jump(step_bb));
+        self.loop_stack.pop();
+
+        self.current = Some(step_bb);
+        if let Some(s) = step {
+            // Step expressions have no StmtId of their own; record them
+            // in the side table so the symbolic layer still sees the
+            // state update (e.g. `i++`).
+            self.blocks[step_bb.0 as usize].label =
+                Some(format!("for.step({})", pallas_lang::expr_to_string(self.ast, s)));
+            self.step_exprs.push((step_bb, s));
+        }
+        self.terminate(Terminator::Jump(head));
+        self.current = Some(after);
+    }
+
+    fn lower_switch(&mut self, scrutinee: ExprId, body: StmtId) {
+        self.ensure_current();
+        let after = self.new_block();
+        let dispatch = self.current.expect("current block exists");
+
+        let stmts = match &self.ast.stmt(body).kind {
+            StmtKind::Block(stmts) => stmts.clone(),
+            _ => vec![body],
+        };
+
+        let mut cases: Vec<(ExprId, BlockId)> = Vec::new();
+        let mut default: Option<BlockId> = None;
+
+        // Statements before the first case label are unreachable; park
+        // them in a fresh orphan block.
+        self.current = None;
+        self.loop_stack.push((None, after));
+        for s in stmts {
+            match self.ast.stmt(s).kind.clone() {
+                StmtKind::Case(value) => {
+                    let cb = self.new_block();
+                    // Fallthrough from the previous case body.
+                    if self.current.is_some() {
+                        self.terminate(Terminator::Jump(cb));
+                    }
+                    cases.push((value, cb));
+                    self.current = Some(cb);
+                }
+                StmtKind::Default => {
+                    let db = self.new_block();
+                    if self.current.is_some() {
+                        self.terminate(Terminator::Jump(db));
+                    }
+                    default = Some(db);
+                    self.current = Some(db);
+                }
+                _ => {
+                    if self.current.is_none() {
+                        // Unreachable pre-case code.
+                        let orphan = self.new_block();
+                        self.current = Some(orphan);
+                    }
+                    self.lower_stmt(s);
+                }
+            }
+        }
+        // Fallthrough off the end of the last case.
+        if self.current.is_some() {
+            self.terminate(Terminator::Jump(after));
+        }
+        self.loop_stack.pop();
+
+        self.blocks[dispatch.0 as usize].term = Terminator::Switch {
+            scrutinee,
+            cases,
+            default: default.unwrap_or(after),
+        };
+        self.current = Some(after);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_lang::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().expect("one function");
+        build_cfg(&ast, f)
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let cfg = cfg_of("int f(int x) { x = x + 1; return x; }");
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), 1);
+        assert!(matches!(cfg.block(rpo[0]).term, Terminator::Return(Some(_))));
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let cfg = cfg_of("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }");
+        assert_eq!(cfg.decision_count(), 1);
+        assert_eq!(cfg.exit_blocks().len(), 1);
+        // entry, then, else, join
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+    }
+
+    #[test]
+    fn if_without_else() {
+        let cfg = cfg_of("int f(int x) { if (x) x = 0; return x; }");
+        assert_eq!(cfg.decision_count(), 1);
+        // entry, then, join
+        assert_eq!(cfg.reverse_postorder().len(), 3);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let cfg = cfg_of("int f(int x) { while (x > 0) { x = x - 1; } return x; }");
+        // entry, head, body, after
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+        assert_eq!(cfg.decision_count(), 1);
+        // The loop head must have two predecessors: entry and body.
+        let preds = cfg.predecessors();
+        let head = cfg
+            .reverse_postorder()
+            .into_iter()
+            .find(|&b| matches!(cfg.block(b).term, Terminator::Branch { .. }))
+            .unwrap();
+        assert_eq!(preds[head.0 as usize].len(), 2);
+    }
+
+    #[test]
+    fn do_while_executes_body_first() {
+        let cfg = cfg_of("int f(int x) { do { x--; } while (x); return x; }");
+        let entry_succs = cfg.successors(cfg.entry);
+        assert_eq!(entry_succs.len(), 1, "entry jumps straight into body");
+    }
+
+    #[test]
+    fn for_loop_with_all_clauses() {
+        let cfg = cfg_of("int f(void) { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }");
+        assert_eq!(cfg.decision_count(), 1);
+        let n = cfg.reverse_postorder().len();
+        assert!(n >= 5, "entry/head/body/step/after, got {n}");
+    }
+
+    #[test]
+    fn early_return_two_exits() {
+        let cfg = cfg_of("int f(int x) { if (x < 0) return -1; return x; }");
+        assert_eq!(cfg.exit_blocks().len(), 2);
+    }
+
+    #[test]
+    fn goto_forward_and_label() {
+        let cfg = cfg_of(
+            "int f(int x) { if (x) goto out; x = 1; out: return x; }",
+        );
+        assert_eq!(cfg.exit_blocks().len(), 1);
+        let labeled = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.label.as_deref() == Some("out"))
+            .count();
+        assert_eq!(labeled, 1);
+    }
+
+    #[test]
+    fn goto_backward_makes_cycle() {
+        let cfg = cfg_of("int f(int x) { again: x--; if (x) goto again; return x; }");
+        // The labeled block is reachable from itself through the branch.
+        let rpo = cfg.reverse_postorder();
+        assert!(rpo.len() >= 3);
+        assert_eq!(cfg.decision_count(), 1);
+    }
+
+    #[test]
+    fn switch_dispatch_and_fallthrough() {
+        let cfg = cfg_of(
+            "int f(int x) {\n\
+               int r = 0;\n\
+               switch (x) {\n\
+                 case 1: r = 1; break;\n\
+                 case 2: r = 2;\n\
+                 case 3: r = 3; break;\n\
+                 default: r = -1;\n\
+               }\n\
+               return r;\n\
+             }",
+        );
+        let sw = cfg
+            .reverse_postorder()
+            .into_iter()
+            .find_map(|b| match &cfg.block(b).term {
+                Terminator::Switch { cases, .. } => Some(cases.len()),
+                _ => None,
+            })
+            .expect("switch terminator");
+        assert_eq!(sw, 3);
+        // case 2 falls through into case 3's block.
+        assert_eq!(cfg.exit_blocks().len(), 1);
+    }
+
+    #[test]
+    fn switch_without_default_goes_to_after() {
+        let cfg = cfg_of(
+            "int f(int x) { switch (x) { case 1: return 1; } return 0; }",
+        );
+        assert_eq!(cfg.exit_blocks().len(), 2);
+    }
+
+    #[test]
+    fn break_and_continue_in_loop() {
+        let cfg = cfg_of(
+            "int f(int x) {\n\
+               while (1) {\n\
+                 if (x == 0) break;\n\
+                 if (x == 1) continue;\n\
+                 x--;\n\
+               }\n\
+               return x;\n\
+             }",
+        );
+        assert_eq!(cfg.exit_blocks().len(), 1);
+        assert_eq!(cfg.decision_count(), 3);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let cfg = cfg_of("int f(void) { return 1; int x = 2; }");
+        // The orphan block exists but is not in the RPO.
+        assert!(cfg.block_count() > cfg.reverse_postorder().len());
+    }
+
+    #[test]
+    fn pragma_statement_kept_in_block() {
+        let src = "int f(void) { /* @pallas fault ENOSPC; */ return 0; }";
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let entry = cfg.block(cfg.entry);
+        assert_eq!(entry.stmts.len(), 1);
+    }
+
+    #[test]
+    fn implicit_void_return() {
+        let cfg = cfg_of("void f(int x) { x = 1; }");
+        let exits = cfg.exit_blocks();
+        assert_eq!(exits.len(), 1);
+        assert!(matches!(cfg.block(exits[0]).term, Terminator::Return(None)));
+    }
+
+    #[test]
+    fn build_all_covers_every_function() {
+        let ast = parse("int a(void) { return 1; } int b(void) { return 2; }").unwrap();
+        let cfgs = build_all(&ast);
+        assert_eq!(cfgs.len(), 2);
+        assert_eq!(cfgs[0].name, "a");
+        assert_eq!(cfgs[1].name, "b");
+    }
+}

@@ -1,0 +1,173 @@
+//! Dominator-tree computation (Cooper–Harvey–Kennedy iterative method).
+//!
+//! The order checker (Rule 2.3) and the diff tool use dominance to
+//! reason about which condition checks are unconditionally performed
+//! before others.
+
+use crate::graph::{BlockId, Cfg};
+
+/// Immediate-dominator table for a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b] = Some(d)` means `d` immediately dominates `b`.
+    /// The entry block's idom is itself; unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for all blocks reachable from the entry.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let rpo = cfg.reverse_postorder();
+        let mut order = vec![usize::MAX; cfg.block_count()];
+        for (i, &b) in rpo.iter().enumerate() {
+            order[b.0 as usize] = i;
+        }
+        let preds = cfg.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; cfg.block_count()];
+        idom[cfg.entry.0 as usize] = Some(cfg.entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // predecessor not yet processed/reachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &order, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, entry: cfg.entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.0 as usize] {
+            Some(d) if b != self.entry => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.0 as usize].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    order: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while order[a.0 as usize] > order[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block has idom");
+        }
+        while order[b.0 as usize] > order[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use pallas_lang::parse;
+
+    fn doms_of(src: &str) -> (Cfg, Dominators) {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let doms = Dominators::compute(&cfg);
+        (cfg, doms)
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let (cfg, doms) = doms_of(
+            "int f(int x) { if (x) x = 1; else x = 2; while (x) x--; return x; }",
+        );
+        for b in cfg.reverse_postorder() {
+            assert!(doms.dominates(cfg.entry, b), "entry should dominate {b}");
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let (cfg, doms) = doms_of("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }");
+        let rpo = cfg.reverse_postorder();
+        let join = *rpo.last().unwrap();
+        // Neither arm dominates the join, but the entry does.
+        let arms: Vec<_> = cfg.successors(cfg.entry);
+        for arm in arms {
+            if arm != join {
+                assert!(!doms.dominates(arm, join));
+            }
+        }
+        assert_eq!(doms.idom(join), Some(cfg.entry));
+    }
+
+    #[test]
+    fn loop_head_dominates_body() {
+        let (cfg, doms) = doms_of("int f(int x) { while (x) { x--; } return x; }");
+        let head = cfg
+            .reverse_postorder()
+            .into_iter()
+            .find(|&b| matches!(cfg.block(b).term, crate::graph::Terminator::Branch { .. }))
+            .unwrap();
+        let body = cfg.successors(head)[0];
+        assert!(doms.dominates(head, body));
+        assert!(!doms.dominates(body, head));
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let (cfg, doms) = doms_of("int f(void) { return 0; }");
+        assert!(doms.dominates(cfg.entry, cfg.entry));
+        assert_eq!(doms.idom(cfg.entry), None);
+    }
+
+    #[test]
+    fn unreachable_blocks_not_dominated() {
+        let (cfg, doms) = doms_of("int f(void) { return 1; int x = 2; }");
+        // Find the orphan (not in RPO).
+        let rpo = cfg.reverse_postorder();
+        for i in 0..cfg.block_count() {
+            let b = BlockId(i as u32);
+            if !rpo.contains(&b) {
+                assert!(!doms.dominates(cfg.entry, b));
+            }
+        }
+    }
+}

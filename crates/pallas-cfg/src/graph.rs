@@ -1,0 +1,237 @@
+//! Control-flow graph types.
+//!
+//! A [`Cfg`] is a vector of [`BasicBlock`]s addressed by [`BlockId`].
+//! Straight-line statements stay as AST [`StmtId`]s (the symbolic layer
+//! interprets them against the [`pallas_lang::Ast`]); control transfers
+//! live in each block's [`Terminator`].
+
+use pallas_lang::{ExprId, Span, StmtId};
+use std::fmt;
+
+/// Index of a basic block within its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch.
+    Branch {
+        /// Branch condition expression.
+        cond: ExprId,
+        /// Successor when the condition is non-zero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Multi-way switch.
+    Switch {
+        /// Switched-on expression.
+        scrutinee: ExprId,
+        /// `(case value expression, target)` pairs in source order.
+        cases: Vec<(ExprId, BlockId)>,
+        /// Target of `default:` (or the statement after the switch).
+        default: BlockId,
+    },
+    /// Function return, with the returned expression if any.
+    Return(Option<ExprId>),
+    /// Block never completed during construction (e.g. after an
+    /// unconditional `return` in the source); has no successors.
+    Unreachable,
+}
+
+impl Terminator {
+    /// All successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Switch { cases, default, .. } => {
+                let mut v: Vec<BlockId> = cases.iter().map(|&(_, t)| t).collect();
+                v.push(*default);
+                v
+            }
+            Terminator::Return(_) | Terminator::Unreachable => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: straight-line statements plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Non-control statements (declarations, expression statements,
+    /// pragmas) in execution order, as AST statement ids.
+    pub stmts: Vec<StmtId>,
+    /// How control leaves this block.
+    pub term: Terminator,
+    /// Source span approximating the block's extent.
+    pub span: Span,
+    /// Human-readable label (from source labels or the builder).
+    pub label: Option<String>,
+}
+
+impl BasicBlock {
+    /// A fresh block with no statements and an unreachable terminator.
+    pub fn new() -> Self {
+        BasicBlock { stmts: Vec::new(), term: Terminator::Unreachable, span: Span::point(0), label: None }
+    }
+}
+
+impl Default for BasicBlock {
+    fn default() -> Self {
+        BasicBlock::new()
+    }
+}
+
+/// A per-function control-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    /// Name of the function this graph was built from.
+    pub name: String,
+    /// Basic blocks; `blocks[0]` is not necessarily the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// `for`-loop step expressions executed in the given block; they are
+    /// statement-position expressions without their own [`StmtId`], so
+    /// they live in this side table instead of a block's `stmts`.
+    pub step_exprs: Vec<(BlockId, ExprId)>,
+}
+
+impl Cfg {
+    /// Returns the block for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Successors of `id` in branch order.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        self.block(id).term.successors()
+    }
+
+    /// Predecessor lists for every block, indexed by block id.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry, in reverse postorder.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.0 as usize] = true;
+        while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+            let succs = self.successors(bb);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(bb);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Blocks with a `Return` terminator that are reachable from entry.
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.reverse_postorder()
+            .into_iter()
+            .filter(|&b| matches!(self.block(b).term, Terminator::Return(_)))
+            .collect()
+    }
+
+    /// Count of conditional decision points (branches + switches)
+    /// reachable from entry — a rough complexity metric used by the
+    /// study and benches.
+    pub fn decision_count(&self) -> usize {
+        self.reverse_postorder()
+            .into_iter()
+            .filter(|&b| {
+                matches!(
+                    self.block(b).term,
+                    Terminator::Branch { .. } | Terminator::Switch { .. }
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a diamond: entry -> {a, b} -> exit.
+    fn diamond() -> Cfg {
+        let cond = ExprId(0);
+        let mut blocks = vec![BasicBlock::new(), BasicBlock::new(), BasicBlock::new(), BasicBlock::new()];
+        blocks[0].term =
+            Terminator::Branch { cond, then_bb: BlockId(1), else_bb: BlockId(2) };
+        blocks[1].term = Terminator::Jump(BlockId(3));
+        blocks[2].term = Terminator::Jump(BlockId(3));
+        blocks[3].term = Terminator::Return(None);
+        Cfg { name: "diamond".into(), blocks, entry: BlockId(0), step_exprs: Vec::new() }
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let cfg = diamond();
+        assert_eq!(cfg.successors(BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        let preds = cfg.predecessors();
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let cfg = diamond();
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn exit_blocks_and_decision_count() {
+        let cfg = diamond();
+        assert_eq!(cfg.exit_blocks(), vec![BlockId(3)]);
+        assert_eq!(cfg.decision_count(), 1);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut cfg = diamond();
+        cfg.blocks.push(BasicBlock::new()); // orphan
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+        assert_eq!(cfg.block_count(), 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pallas-cfg
+//!
+//! Control-flow graphs for the Pallas fast-path checker: lowering from
+//! the [`pallas_lang`] AST, dominator computation, bounded path
+//! enumeration (the input to the symbolic layer), and textual rendering
+//! for the paper's workflow figures.
+//!
+//! ```
+//! use pallas_cfg::{build_cfg, enumerate_paths, PathConfig};
+//! use pallas_lang::parse;
+//!
+//! # fn main() -> Result<(), pallas_lang::ParseError> {
+//! let ast = parse("int f(int x) { if (x) return 1; return 0; }")?;
+//! let f = ast.function("f").expect("defined above");
+//! let cfg = build_cfg(&ast, f);
+//! let paths = enumerate_paths(&cfg, &PathConfig::default());
+//! assert_eq!(paths.paths.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod build;
+pub mod dom;
+pub mod graph;
+pub mod loops;
+pub mod paths;
+pub mod render;
+
+pub use build::{build_all, build_cfg};
+pub use dom::Dominators;
+pub use graph::{BasicBlock, BlockId, Cfg, Terminator};
+pub use loops::{find_loops, loop_stats, NaturalLoop};
+pub use paths::{enumerate_paths, CfgPath, Decision, PathConfig, PathSet};
+pub use render::{render_ascii, render_dot};

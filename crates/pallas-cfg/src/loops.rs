@@ -1,0 +1,207 @@
+//! Natural-loop analysis.
+//!
+//! Fast paths are by definition the *short* way through a workflow;
+//! loops on a fast path are usually retry/refill slow-outs. The loop
+//! analysis finds back edges (via dominance) and their natural loop
+//! bodies, feeding the CLI's path summaries and the corpus complexity
+//! statistics, and documenting which parts of a function the bounded
+//! unroller (see [`crate::paths`]) under-approximates.
+
+use crate::dom::Dominators;
+use crate::graph::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// One natural loop: a back edge `latch → header` plus the set of
+/// blocks that can reach the latch without passing through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// Source of the back edge.
+    pub latch: BlockId,
+    /// All blocks in the loop, including header and latch.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Number of blocks in the loop body.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True only for the degenerate empty body (never produced by
+    /// [`find_loops`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Whether the loop contains the given block.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Finds all natural loops of the CFG (one per back edge), ordered by
+/// header block id.
+pub fn find_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let doms = Dominators::compute(cfg);
+    let preds = cfg.predecessors();
+    let mut loops = Vec::new();
+    for bb in cfg.reverse_postorder() {
+        for succ in cfg.successors(bb) {
+            // Back edge: successor dominates the source.
+            if doms.dominates(succ, bb) {
+                loops.push(natural_loop(cfg, &preds, succ, bb));
+            }
+        }
+    }
+    loops.sort_by_key(|l| (l.header, l.latch));
+    loops
+}
+
+fn natural_loop(
+    cfg: &Cfg,
+    preds: &[Vec<BlockId>],
+    header: BlockId,
+    latch: BlockId,
+) -> NaturalLoop {
+    let mut body = BTreeSet::new();
+    body.insert(header);
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if body.insert(b) {
+            for &p in &preds[b.0 as usize] {
+                stack.push(p);
+            }
+        }
+    }
+    let _ = cfg;
+    NaturalLoop { header, latch, body }
+}
+
+/// Summary statistics used by reports: `(loop count, max nesting depth)`.
+///
+/// Nesting depth is measured by body containment: loop A nests in B if
+/// A's body is a strict subset of B's.
+pub fn loop_stats(cfg: &Cfg) -> (usize, usize) {
+    let loops = find_loops(cfg);
+    let mut max_depth = 0usize;
+    for a in &loops {
+        let depth = 1 + loops
+            .iter()
+            .filter(|b| a.body.len() < b.body.len() && a.body.is_subset(&b.body))
+            .count();
+        max_depth = max_depth.max(depth);
+    }
+    (loops.len(), max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use pallas_lang::parse;
+
+    fn loops_of(src: &str) -> Vec<NaturalLoop> {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        find_loops(&build_cfg(&ast, f))
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        assert!(loops_of("int f(int x) { return x + 1; }").is_empty());
+        assert!(loops_of("int f(int x) { if (x) return 1; return 0; }").is_empty());
+    }
+
+    #[test]
+    fn while_loop_found() {
+        let loops = loops_of("int f(int x) { while (x) { x--; } return x; }");
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].len() >= 2, "header + body");
+        assert!(loops[0].contains(loops[0].header));
+        assert!(loops[0].contains(loops[0].latch));
+    }
+
+    #[test]
+    fn do_while_found() {
+        let loops = loops_of("int f(int x) { do { x--; } while (x); return x; }");
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_found() {
+        let loops = loops_of("int f(void) { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }");
+        assert_eq!(loops.len(), 1);
+        // Body includes the step block.
+        assert!(loops[0].len() >= 3);
+    }
+
+    #[test]
+    fn goto_backward_is_a_loop() {
+        let loops = loops_of("int f(int x) { again: x--; if (x) goto again; return x; }");
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_counted_with_depth() {
+        let src = "\
+int f(int n) {
+  int s = 0;
+  while (n) {
+    int m = n;
+    while (m) {
+      s += m;
+      m--;
+    }
+    n--;
+  }
+  return s;
+}";
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let loops = find_loops(&cfg);
+        assert_eq!(loops.len(), 2);
+        let (count, depth) = loop_stats(&cfg);
+        assert_eq!(count, 2);
+        assert_eq!(depth, 2, "inner loop nests in outer");
+        // The inner body is a subset of the outer body.
+        let (small, large) = if loops[0].len() < loops[1].len() {
+            (&loops[0], &loops[1])
+        } else {
+            (&loops[1], &loops[0])
+        };
+        assert!(small.body.is_subset(&large.body));
+    }
+
+    #[test]
+    fn sequential_loops_not_nested() {
+        let src = "\
+int f(int n) {
+  int s = 0;
+  while (n) { n--; }
+  while (s < 5) { s++; }
+  return s;
+}";
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let (count, depth) = loop_stats(&cfg);
+        assert_eq!(count, 2);
+        assert_eq!(depth, 1);
+    }
+
+    #[test]
+    fn continue_does_not_create_extra_loops() {
+        let loops = loops_of(
+            "int f(int x) { while (x) { if (x == 3) continue; x--; } return x; }",
+        );
+        // `continue` jumps to the existing header: still one back edge
+        // per latch; the continue path merges before the latch.
+        assert!(!loops.is_empty());
+        for l in &loops {
+            assert!(!l.is_empty());
+        }
+    }
+}

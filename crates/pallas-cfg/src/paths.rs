@@ -1,0 +1,297 @@
+//! Bounded enumeration of execution paths through a CFG.
+//!
+//! A *path* runs from the entry block to a `return`. Loops are unrolled
+//! a bounded number of times and the total number of paths is capped —
+//! the paper's guard against the path-explosion problem (§4: "PALLAS
+//! inlines a limited number of callee functions to prevent the path
+//! explosion problem"; the same bound applies to loop back-edges here).
+
+use crate::graph::{BlockId, Cfg, Terminator};
+use pallas_lang::ExprId;
+
+/// A branch decision recorded along a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// A two-way branch: `cond` evaluated in `block`, `taken` tells
+    /// which arm the path followed.
+    Branch {
+        /// The condition expression.
+        cond: ExprId,
+        /// `true` if the then-arm was taken.
+        taken: bool,
+        /// Block whose terminator made the decision.
+        block: BlockId,
+    },
+    /// A switch dispatch: `case` is the matched case value expression,
+    /// or `None` for the default arm.
+    Switch {
+        /// The switched-on expression.
+        scrutinee: ExprId,
+        /// Matched case value (`None` = default).
+        case: Option<ExprId>,
+        /// Block whose terminator made the decision.
+        block: BlockId,
+    },
+}
+
+impl Decision {
+    /// The expression evaluated at this decision point.
+    pub fn condition(&self) -> ExprId {
+        match self {
+            Decision::Branch { cond, .. } => *cond,
+            Decision::Switch { scrutinee, .. } => *scrutinee,
+        }
+    }
+
+    /// The block whose terminator made this decision.
+    pub fn block(&self) -> BlockId {
+        match self {
+            Decision::Branch { block, .. } | Decision::Switch { block, .. } => *block,
+        }
+    }
+}
+
+/// One enumerated execution path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfgPath {
+    /// Blocks visited, entry first.
+    pub blocks: Vec<BlockId>,
+    /// Branch decisions in evaluation order.
+    pub decisions: Vec<Decision>,
+    /// The returned expression at the path's exit (`None` for a bare or
+    /// implicit `return;`).
+    pub ret: Option<ExprId>,
+}
+
+/// Enumeration limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathConfig {
+    /// Maximum number of complete paths to produce.
+    pub max_paths: usize,
+    /// Maximum times any single block may appear on one path
+    /// (`unroll + 1` for loop heads; 2 means "unroll loops once").
+    pub max_visits: usize,
+    /// Maximum path length in blocks.
+    pub max_len: usize,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig { max_paths: 4096, max_visits: 2, max_len: 512 }
+    }
+}
+
+/// Result of an enumeration: the paths plus a truncation flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSet {
+    /// Complete entry-to-return paths.
+    pub paths: Vec<CfgPath>,
+    /// True if any limit in [`PathConfig`] was hit, meaning the set is
+    /// an under-approximation.
+    pub truncated: bool,
+}
+
+/// Enumerates entry-to-return paths under the given limits.
+pub fn enumerate_paths(cfg: &Cfg, config: &PathConfig) -> PathSet {
+    let mut out = PathSet { paths: Vec::new(), truncated: false };
+    let mut visits = vec![0usize; cfg.block_count()];
+    let mut blocks = Vec::new();
+    let mut decisions = Vec::new();
+    walk(cfg, config, cfg.entry, &mut visits, &mut blocks, &mut decisions, &mut out);
+    out
+}
+
+fn walk(
+    cfg: &Cfg,
+    config: &PathConfig,
+    bb: BlockId,
+    visits: &mut Vec<usize>,
+    blocks: &mut Vec<BlockId>,
+    decisions: &mut Vec<Decision>,
+    out: &mut PathSet,
+) {
+    if out.paths.len() >= config.max_paths {
+        out.truncated = true;
+        return;
+    }
+    if visits[bb.0 as usize] >= config.max_visits {
+        out.truncated = true;
+        return;
+    }
+    if blocks.len() >= config.max_len {
+        out.truncated = true;
+        return;
+    }
+    visits[bb.0 as usize] += 1;
+    blocks.push(bb);
+
+    match &cfg.block(bb).term {
+        Terminator::Return(ret) => {
+            out.paths.push(CfgPath {
+                blocks: blocks.clone(),
+                decisions: decisions.clone(),
+                ret: *ret,
+            });
+        }
+        Terminator::Jump(t) => {
+            walk(cfg, config, *t, visits, blocks, decisions, out);
+        }
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            decisions.push(Decision::Branch { cond: *cond, taken: true, block: bb });
+            walk(cfg, config, *then_bb, visits, blocks, decisions, out);
+            decisions.pop();
+            decisions.push(Decision::Branch { cond: *cond, taken: false, block: bb });
+            walk(cfg, config, *else_bb, visits, blocks, decisions, out);
+            decisions.pop();
+        }
+        Terminator::Switch { scrutinee, cases, default } => {
+            for &(value, target) in cases {
+                decisions.push(Decision::Switch {
+                    scrutinee: *scrutinee,
+                    case: Some(value),
+                    block: bb,
+                });
+                walk(cfg, config, target, visits, blocks, decisions, out);
+                decisions.pop();
+            }
+            decisions.push(Decision::Switch { scrutinee: *scrutinee, case: None, block: bb });
+            walk(cfg, config, *default, visits, blocks, decisions, out);
+            decisions.pop();
+        }
+        Terminator::Unreachable => {
+            // Dead end: not a completed path; drop silently.
+        }
+    }
+
+    blocks.pop();
+    visits[bb.0 as usize] -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use pallas_lang::parse;
+
+    fn paths_of(src: &str) -> PathSet {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        enumerate_paths(&cfg, &PathConfig::default())
+    }
+
+    #[test]
+    fn straight_line_has_one_path() {
+        let ps = paths_of("int f(int x) { x = 1; return x; }");
+        assert_eq!(ps.paths.len(), 1);
+        assert!(!ps.truncated);
+        assert!(ps.paths[0].ret.is_some());
+        assert!(ps.paths[0].decisions.is_empty());
+    }
+
+    #[test]
+    fn if_else_has_two_paths() {
+        let ps = paths_of("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }");
+        assert_eq!(ps.paths.len(), 2);
+        let takens: Vec<bool> = ps
+            .paths
+            .iter()
+            .map(|p| match p.decisions[0] {
+                Decision::Branch { taken, .. } => taken,
+                _ => panic!("expected branch"),
+            })
+            .collect();
+        assert_eq!(takens, vec![true, false]);
+    }
+
+    #[test]
+    fn nested_ifs_multiply_paths() {
+        let ps = paths_of(
+            "int f(int a, int b) { int r = 0; if (a) r += 1; if (b) r += 2; return r; }",
+        );
+        assert_eq!(ps.paths.len(), 4);
+    }
+
+    #[test]
+    fn early_return_prunes_paths() {
+        let ps = paths_of("int f(int x) { if (x < 0) return -1; return x; }");
+        assert_eq!(ps.paths.len(), 2);
+        // One path has one decision, the other also one.
+        assert!(ps.paths.iter().all(|p| p.decisions.len() == 1));
+    }
+
+    #[test]
+    fn loop_unrolled_once_by_default() {
+        let ps = paths_of("int f(int x) { while (x) { x--; } return x; }");
+        // Paths: skip loop; one iteration then exit. Deeper unrollings
+        // are cut by max_visits=2.
+        assert_eq!(ps.paths.len(), 2);
+        assert!(ps.truncated, "the infinite family of unrollings is truncated");
+    }
+
+    #[test]
+    fn switch_produces_path_per_case_plus_default() {
+        let ps = paths_of(
+            "int f(int x) {\n\
+               int r = 0;\n\
+               switch (x) { case 1: r = 1; break; case 2: r = 2; break; default: r = 9; }\n\
+               return r;\n\
+             }",
+        );
+        assert_eq!(ps.paths.len(), 3);
+        let cases: Vec<bool> = ps
+            .paths
+            .iter()
+            .map(|p| matches!(p.decisions[0], Decision::Switch { case: Some(_), .. }))
+            .collect();
+        assert_eq!(cases, vec![true, true, false]);
+    }
+
+    #[test]
+    fn max_paths_cap_respected() {
+        // 2^12 paths from 12 sequential ifs; cap at 100.
+        let mut body = String::new();
+        for i in 0..12 {
+            body.push_str(&format!("if (x == {i}) r += 1;\n"));
+        }
+        let src = format!("int f(int x) {{ int r = 0; {body} return r; }}");
+        let ast = parse(&src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let ps = enumerate_paths(
+            &cfg,
+            &PathConfig { max_paths: 100, ..PathConfig::default() },
+        );
+        assert_eq!(ps.paths.len(), 100);
+        assert!(ps.truncated);
+    }
+
+    #[test]
+    fn unlimited_enough_config_not_truncated() {
+        let ps = paths_of("int f(int a) { if (a) return 1; return 0; }");
+        assert!(!ps.truncated);
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let ps = paths_of("int f(int x) { if (x) return 1; return 0; }");
+        let d = &ps.paths[0].decisions[0];
+        assert_eq!(d.block(), BlockId(0));
+        let _ = d.condition();
+    }
+
+    #[test]
+    fn goto_loop_respects_visit_cap() {
+        let ps = paths_of("int f(int x) { again: x--; if (x) goto again; return x; }");
+        assert!(!ps.paths.is_empty());
+        assert!(ps.truncated);
+        for p in &ps.paths {
+            // No block appears more than twice.
+            let mut counts = std::collections::HashMap::new();
+            for b in &p.blocks {
+                *counts.entry(b).or_insert(0) += 1;
+            }
+            assert!(counts.values().all(|&c| c <= 2));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Textual renderings of CFGs.
+//!
+//! Two formats: a human-readable ASCII listing (used by `pallas paths`
+//! and the Figure 1 reproduction) and Graphviz DOT.
+
+use crate::graph::{Cfg, Terminator};
+use pallas_lang::{expr_to_string, stmt_to_string, Ast};
+
+/// Renders the CFG as an ASCII listing in reverse postorder.
+pub fn render_ascii(ast: &Ast, cfg: &Cfg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("fn {} (entry: {})\n", cfg.name, cfg.entry));
+    for bb in cfg.reverse_postorder() {
+        let block = cfg.block(bb);
+        match &block.label {
+            Some(l) => out.push_str(&format!("{bb} [{l}]:\n")),
+            None => out.push_str(&format!("{bb}:\n")),
+        }
+        for &s in &block.stmts {
+            out.push_str(&format!("    {}\n", stmt_to_string(ast, s)));
+        }
+        for &(b, e) in &cfg.step_exprs {
+            if b == bb {
+                out.push_str(&format!("    {};\n", expr_to_string(ast, e)));
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => out.push_str(&format!("    -> {t}\n")),
+            Terminator::Branch { cond, then_bb, else_bb } => out.push_str(&format!(
+                "    if ({}) -> {then_bb} else -> {else_bb}\n",
+                expr_to_string(ast, *cond)
+            )),
+            Terminator::Switch { scrutinee, cases, default } => {
+                out.push_str(&format!("    switch ({})\n", expr_to_string(ast, *scrutinee)));
+                for (v, t) in cases {
+                    out.push_str(&format!("      case {} -> {t}\n", expr_to_string(ast, *v)));
+                }
+                out.push_str(&format!("      default -> {default}\n"));
+            }
+            Terminator::Return(Some(e)) => {
+                out.push_str(&format!("    return {}\n", expr_to_string(ast, *e)))
+            }
+            Terminator::Return(None) => out.push_str("    return\n"),
+            Terminator::Unreachable => out.push_str("    <unreachable>\n"),
+        }
+    }
+    out
+}
+
+/// Renders the CFG in Graphviz DOT format.
+pub fn render_dot(ast: &Ast, cfg: &Cfg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", cfg.name));
+    out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    for bb in cfg.reverse_postorder() {
+        let block = cfg.block(bb);
+        let mut label = format!("{bb}");
+        if let Some(l) = &block.label {
+            label.push_str(&format!(" [{l}]"));
+        }
+        label.push_str("\\l");
+        for &s in &block.stmts {
+            label.push_str(&stmt_to_string(ast, s).replace('"', "\\\""));
+            label.push_str("\\l");
+        }
+        out.push_str(&format!("  {bb} [label=\"{label}\"];\n"));
+        match &block.term {
+            Terminator::Jump(t) => out.push_str(&format!("  {bb} -> {t};\n")),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                let c = expr_to_string(ast, *cond).replace('"', "\\\"");
+                out.push_str(&format!("  {bb} -> {then_bb} [label=\"{c}\"];\n"));
+                out.push_str(&format!("  {bb} -> {else_bb} [label=\"!({c})\"];\n"));
+            }
+            Terminator::Switch { cases, default, .. } => {
+                for (v, t) in cases {
+                    let c = expr_to_string(ast, *v).replace('"', "\\\"");
+                    out.push_str(&format!("  {bb} -> {t} [label=\"case {c}\"];\n"));
+                }
+                out.push_str(&format!("  {bb} -> {default} [label=\"default\"];\n"));
+            }
+            Terminator::Return(_) | Terminator::Unreachable => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use pallas_lang::parse;
+
+    fn render_both(src: &str) -> (String, String) {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        (render_ascii(&ast, &cfg), render_dot(&ast, &cfg))
+    }
+
+    #[test]
+    fn ascii_contains_blocks_and_branches() {
+        let (ascii, _) = render_both("int f(int x) { if (x) return 1; return 0; }");
+        assert!(ascii.contains("fn f"));
+        assert!(ascii.contains("if (x) ->"));
+        assert!(ascii.contains("return 1"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let (_, dot) = render_both("int f(int x) { while (x) x--; return x; }");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn switch_rendering() {
+        let (ascii, dot) =
+            render_both("int f(int x) { switch (x) { case 1: return 1; default: return 0; } }");
+        assert!(ascii.contains("case 1 ->"));
+        assert!(dot.contains("case 1"));
+    }
+
+    #[test]
+    fn for_step_rendered() {
+        let (ascii, _) = render_both("int f(void) { int s = 0; for (int i = 0; i < 3; i++) s += i; return s; }");
+        assert!(ascii.contains("i++"));
+    }
+}

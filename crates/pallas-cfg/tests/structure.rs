@@ -1,0 +1,198 @@
+//! CFG structural integration tests on gnarly control flow: switches
+//! nested in loops, breaks crossing constructs, goto interplay, and
+//! the fast-path shapes from the paper's figures.
+
+use pallas_cfg::{build_cfg, enumerate_paths, find_loops, Cfg, PathConfig, Terminator};
+use pallas_lang::parse;
+
+fn cfg_of(src: &str) -> Cfg {
+    let ast = parse(src).unwrap();
+    let f = ast.functions().next().unwrap();
+    build_cfg(&ast, f)
+}
+
+#[test]
+fn switch_inside_loop_breaks_to_loop_body() {
+    // `break` inside a switch exits the switch, not the loop.
+    let cfg = cfg_of(
+        "int f(int n) {\n\
+           int s = 0;\n\
+           while (n > 0) {\n\
+             switch (n) {\n\
+               case 1: s += 1; break;\n\
+               default: s += 2; break;\n\
+             }\n\
+             n--;\n\
+           }\n\
+           return s;\n\
+         }",
+    );
+    let loops = find_loops(&cfg);
+    assert_eq!(loops.len(), 1);
+    // The switch dispatch and its arms live inside the loop body.
+    let sw = cfg
+        .reverse_postorder()
+        .into_iter()
+        .find(|&b| matches!(cfg.block(b).term, Terminator::Switch { .. }))
+        .expect("switch exists");
+    assert!(loops[0].contains(sw), "switch dispatch inside the loop");
+    // Every path terminates.
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert!(!ps.paths.is_empty());
+}
+
+#[test]
+fn loop_inside_switch_case() {
+    let cfg = cfg_of(
+        "int f(int mode, int n) {\n\
+           switch (mode) {\n\
+             case 1:\n\
+               while (n) n--;\n\
+               return 1;\n\
+             default:\n\
+               return 0;\n\
+           }\n\
+         }",
+    );
+    assert_eq!(find_loops(&cfg).len(), 1);
+    assert_eq!(cfg.exit_blocks().len(), 2);
+}
+
+#[test]
+fn continue_inside_switch_targets_enclosing_loop() {
+    let cfg = cfg_of(
+        "int f(int n) {\n\
+           int s = 0;\n\
+           while (n > 0) {\n\
+             n--;\n\
+             switch (n) {\n\
+               case 2: continue;\n\
+               default: s++;\n\
+             }\n\
+             s += 10;\n\
+           }\n\
+           return s;\n\
+         }",
+    );
+    // Paths exist both through the continue (skipping s += 10) and the
+    // default arm.
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert!(ps.paths.len() >= 2);
+    // `continue` adds a second back edge to the same header: one
+    // natural loop per back edge, all sharing the header.
+    let loops = find_loops(&cfg);
+    assert!(!loops.is_empty());
+    assert!(loops.windows(2).all(|w| w[0].header == w[1].header));
+}
+
+#[test]
+fn early_goto_out_pattern() {
+    // The classic kernel cleanup-label shape.
+    let cfg = cfg_of(
+        "int f(int a, int b) {\n\
+           int r = 0;\n\
+           if (a < 0)\n\
+             goto out;\n\
+           r = 1;\n\
+           if (b < 0)\n\
+             goto out;\n\
+           r = 2;\n\
+         out:\n\
+           return r;\n\
+         }",
+    );
+    assert_eq!(cfg.exit_blocks().len(), 1, "single cleanup exit");
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert_eq!(ps.paths.len(), 3, "two early-outs plus the full path");
+}
+
+#[test]
+fn deeply_nested_ifs_path_count_is_exact() {
+    let cfg = cfg_of(
+        "int f(int a, int b, int c) {\n\
+           int r = 0;\n\
+           if (a) {\n\
+             if (b) {\n\
+               if (c)\n\
+                 r = 3;\n\
+               else\n\
+                 r = 2;\n\
+             } else\n\
+               r = 1;\n\
+           }\n\
+           return r;\n\
+         }",
+    );
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    // a=0 | a=1,b=0 | a=1,b=1,c=0 | a=1,b=1,c=1
+    assert_eq!(ps.paths.len(), 4);
+    assert!(!ps.truncated);
+}
+
+#[test]
+fn do_while_with_break_and_continue() {
+    let cfg = cfg_of(
+        "int f(int n) {\n\
+           do {\n\
+             if (n == 1)\n\
+               break;\n\
+             if (n == 2)\n\
+               continue;\n\
+             n--;\n\
+           } while (n > 0);\n\
+           return n;\n\
+         }",
+    );
+    assert_eq!(find_loops(&cfg).len(), 1);
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert!(!ps.paths.is_empty());
+    for p in &ps.paths {
+        let last = *p.blocks.last().unwrap();
+        assert!(matches!(cfg.block(last).term, Terminator::Return(_)));
+    }
+}
+
+#[test]
+fn figure1a_shape_order_zero_branch() {
+    // The page-allocation workflow shape: one trigger, two sub-paths.
+    let cfg = cfg_of(
+        "int rmqueue(int order, int mask) {\n\
+           if (order == 0)\n\
+             return 1;\n\
+           if (mask & 32)\n\
+             return 2;\n\
+           return 3;\n\
+         }",
+    );
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert_eq!(ps.paths.len(), 3);
+    // The fast path (order == 0 taken) is the shortest.
+    let shortest = ps.paths.iter().map(|p| p.blocks.len()).min().unwrap();
+    let fast = ps
+        .paths
+        .iter()
+        .find(|p| p.blocks.len() == shortest)
+        .unwrap();
+    assert!(matches!(
+        fast.decisions[0],
+        pallas_cfg::Decision::Branch { taken: true, .. }
+    ));
+}
+
+#[test]
+fn empty_function_body() {
+    let cfg = cfg_of("void f(void) { }");
+    assert_eq!(cfg.exit_blocks().len(), 1);
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert_eq!(ps.paths.len(), 1);
+    assert!(ps.paths[0].ret.is_none());
+}
+
+#[test]
+fn infinite_loop_yields_no_complete_path() {
+    let cfg = cfg_of("void f(void) { while (1) { } }");
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    // `while (1)` still has a false edge structurally; the enumerator
+    // may take it, but the body-only cycle is truncated.
+    assert!(ps.truncated || !ps.paths.is_empty());
+}

@@ -1,0 +1,313 @@
+//! Path-output checker (Rules 3.1–3.3).
+//!
+//! Finds unexpected outputs (returns outside the defined set),
+//! mismatched fast/slow returns (the TCP double-free of Figure 7), and
+//! fast-path returns that callers never check (the BtrFS
+//! `btrfs_wait_ordered_range` data-loss bug).
+
+use crate::context::{CheckContext, Checker};
+use crate::rule::{Rule, Warning};
+use pallas_spec::RetValue;
+use pallas_sym::{Event, FunctionPaths, Sym};
+use std::collections::BTreeSet;
+
+/// Checker for path-output rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathOutputChecker;
+
+impl Checker for PathOutputChecker {
+    fn name(&self) -> &'static str {
+        "path-output"
+    }
+
+    fn check(&self, cx: &CheckContext<'_>) -> Vec<Warning> {
+        let mut warnings = BTreeSet::new();
+        for func in cx.fastpath_fns() {
+            if !cx.spec.returns.is_empty() {
+                check_defined(cx, func, &mut warnings);
+            }
+            if cx.spec.match_slow_return {
+                check_match_slow(cx, func, &mut warnings);
+            }
+            if cx.spec.check_return {
+                check_callers(cx, func, &mut warnings);
+            }
+        }
+        warnings.into_iter().collect()
+    }
+}
+
+/// Rule 3.1: every decidable return value must belong to the declared
+/// return set. Symbolically undecidable returns are skipped (static
+/// analysis stays sound for reported warnings, incomplete overall).
+fn check_defined(cx: &CheckContext<'_>, func: &FunctionPaths, out: &mut BTreeSet<Warning>) {
+    for rec in &func.records {
+        let verdict = match &rec.output.value {
+            None => Some("fast path returns no value".to_string()),
+            Some(Sym::Int(v)) => {
+                if in_set(cx, &Sym::Int(*v)) {
+                    None
+                } else {
+                    Some(format!("fast path returns `{v}`, not in the defined return set"))
+                }
+            }
+            Some(s @ Sym::Input(name)) => {
+                if in_set(cx, s) {
+                    None
+                } else {
+                    Some(format!(
+                        "fast path returns `{name}`, not in the defined return set"
+                    ))
+                }
+            }
+            Some(_) => None, // not statically decidable
+        };
+        if let Some(message) = verdict {
+            out.insert(cx.warn(Rule::OutputDefined, &func.name, rec.output.line, message));
+        }
+    }
+}
+
+fn in_set(cx: &CheckContext<'_>, value: &Sym) -> bool {
+    cx.spec.returns.iter().any(|r| match (r, value) {
+        (RetValue::Int(a), Sym::Int(b)) => a == b,
+        (RetValue::Name(a), Sym::Input(b)) => a == b,
+        // Named enum constants in the spec may resolve to integers in
+        // the unit (e.g. `returns ENOMEM` with `enum { ENOMEM = -12 }`).
+        (RetValue::Name(a), Sym::Int(b)) => cx.ast.enum_value(a) == Some(*b),
+        _ => false,
+    })
+}
+
+/// Rule 3.2: the fast path's literal/named return sets must be subsets
+/// of the slow path's (for the cases the developer declared
+/// equivalent).
+fn check_match_slow(cx: &CheckContext<'_>, func: &FunctionPaths, out: &mut BTreeSet<Warning>) {
+    for slow in cx.slowpath_fns() {
+        let slow_lit = slow.literal_returns();
+        let slow_named = slow.named_returns();
+        if slow_lit.is_empty() && slow_named.is_empty() {
+            continue; // nothing comparable
+        }
+        for rec in &func.records {
+            match &rec.output.value {
+                Some(Sym::Int(v)) if !slow_lit.contains(v) => {
+                    out.insert(cx.warn(
+                        Rule::OutputMatchSlow,
+                        &func.name,
+                        rec.output.line,
+                        format!(
+                            "fast path returns `{v}` but slow path `{}` can only return {:?}",
+                            slow.name, slow_lit
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Rule 3.3: every caller of the fast path must check its return value
+/// — by branching on it (directly or via the variable it was assigned
+/// to) or by propagating it upward.
+fn check_callers(cx: &CheckContext<'_>, func: &FunctionPaths, out: &mut BTreeSet<Warning>) {
+    for caller in cx.db.callers_of(&func.name) {
+        for rec in &caller.records {
+            for (i, e) in rec.events.iter().enumerate() {
+                let Event::Call { line, callee, assigned_to, in_condition, depth: 0, .. } = e
+                else {
+                    continue;
+                };
+                if callee != &func.name {
+                    continue;
+                }
+                if *in_condition {
+                    continue;
+                }
+                let checked = match assigned_to {
+                    Some(var) => {
+                        // Checked if a later event or the return mentions it.
+                        rec.events[i + 1..].iter().any(|later| match later {
+                            Event::Cond { vars, .. } => vars.iter().any(|v| v == var),
+                            _ => false,
+                        }) || rec.output.vars.iter().any(|v| v == var)
+                    }
+                    // `return f();` propagates the value to the caller's caller.
+                    None => rec.output.text.contains(&format!("{}(", func.name)),
+                };
+                if !checked {
+                    out.insert(cx.warn(
+                        Rule::OutputChecked,
+                        &caller.name,
+                        *line,
+                        format!("return value of fast path `{}` is not checked", func.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_lang::parse;
+    use pallas_spec::FastPathSpec;
+    use pallas_sym::{extract, ExtractConfig};
+
+    fn run(src: &str, spec: &FastPathSpec) -> Vec<Warning> {
+        let ast = parse(src).unwrap();
+        let db = extract("test", &ast, src, &ExtractConfig::default());
+        let cx = CheckContext { db: &db, spec, ast: &ast };
+        PathOutputChecker.check(&cx)
+    }
+
+    #[test]
+    fn out_of_set_literal_detected() {
+        let src = "int fast(int x) { if (x) return 2; return 0; }";
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("fast")
+            .with_return(RetValue::Int(0))
+            .with_return(RetValue::Int(1));
+        let ws = run(src, &spec);
+        assert_eq!(ws.len(), 1, "{ws:?}");
+        assert_eq!(ws[0].rule, Rule::OutputDefined);
+        assert!(ws[0].message.contains('2'));
+    }
+
+    #[test]
+    fn in_set_literals_pass() {
+        let src = "int fast(int x) { if (x) return 1; return 0; }";
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("fast")
+            .with_return(RetValue::Int(0))
+            .with_return(RetValue::Int(1));
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn named_enum_return_resolves() {
+        let src = "\
+enum errs { ENOMEM = -12 };
+int fast(int x) { if (x) return -12; return 0; }";
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("fast")
+            .with_return(RetValue::Int(0))
+            .with_return(RetValue::Name("ENOMEM".into()));
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn missing_return_value_detected() {
+        // Chromium OpenNaClExecutable shape: function never returns a value.
+        let src = "void fast(int x) { x = x + 1; }";
+        let spec = FastPathSpec::new("t").with_fastpath("fast").with_return(RetValue::Int(0));
+        let ws = run(src, &spec);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].message.contains("no value"));
+    }
+
+    #[test]
+    fn mismatched_slow_fast_returns_detected() {
+        // Figure 7 shape: fast returns 1 where slow returns only 0/-1.
+        let src = "\
+int rcv_slow(int s) { if (s) return -1; return 0; }
+int rcv_fast(int s) { if (s) return 1; return 0; }";
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("rcv_fast")
+            .with_slowpath("rcv_slow")
+            .with_match_slow_return();
+        let ws = run(src, &spec);
+        assert_eq!(ws.len(), 1, "{ws:?}");
+        assert_eq!(ws[0].rule, Rule::OutputMatchSlow);
+    }
+
+    #[test]
+    fn matching_returns_pass() {
+        let src = "\
+int rcv_slow(int s) { if (s) return -1; return 0; }
+int rcv_fast(int s) { if (s) return -1; return 0; }";
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("rcv_fast")
+            .with_slowpath("rcv_slow")
+            .with_match_slow_return();
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn unchecked_return_detected() {
+        // BtrFS shape: caller ignores the fast path's return entirely.
+        let src = "\
+int wait_ordered_fast(int r) { if (r) return -5; return 0; }
+int prepare_page(int r) {
+  wait_ordered_fast(r);
+  return 0;
+}";
+        let spec = FastPathSpec::new("t").with_fastpath("wait_ordered_fast").with_check_return();
+        let ws = run(src, &spec);
+        assert_eq!(ws.len(), 1, "{ws:?}");
+        assert_eq!(ws[0].rule, Rule::OutputChecked);
+        assert_eq!(ws[0].function, "prepare_page");
+    }
+
+    #[test]
+    fn checked_via_assigned_variable_passes() {
+        let src = "\
+int wait_ordered_fast(int r) { if (r) return -5; return 0; }
+int prepare_page(int r) {
+  int ret = wait_ordered_fast(r);
+  if (ret < 0)
+    return ret;
+  return 0;
+}";
+        let spec = FastPathSpec::new("t").with_fastpath("wait_ordered_fast").with_check_return();
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn checked_inside_condition_passes() {
+        let src = "\
+int fast(int r) { return r; }
+int caller(int r) { if (fast(r)) return 1; return 0; }";
+        let spec = FastPathSpec::new("t").with_fastpath("fast").with_check_return();
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn propagated_return_passes() {
+        let src = "\
+int fast(int r) { return r; }
+int caller(int r) { return fast(r); }";
+        let spec = FastPathSpec::new("t").with_fastpath("fast").with_check_return();
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn no_callers_no_warning() {
+        let src = "int fast(int r) { return r; }";
+        let spec = FastPathSpec::new("t").with_fastpath("fast").with_check_return();
+        assert!(run(src, &spec).is_empty());
+    }
+
+    #[test]
+    fn internal_check_false_positive_shape() {
+        // §5.3 path-output FP source: output checked inside the fast
+        // path itself and deliberately skipped by the caller — Pallas
+        // still warns.
+        let src = "\
+int log_err(int e);
+int fast(int r) {
+  if (r < 0)
+    log_err(r);
+  return r;
+}
+int caller(int r) {
+  fast(r);
+  return 0;
+}";
+        let spec = FastPathSpec::new("t").with_fastpath("fast").with_check_return();
+        let ws = run(src, &spec);
+        assert_eq!(ws.len(), 1, "known FP source still reported: {ws:?}");
+    }
+}

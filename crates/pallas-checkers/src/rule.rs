@@ -1,0 +1,181 @@
+//! Rule identities and warning records.
+//!
+//! The twelve rules are numbered as in the paper (§3's `Rule N.M`
+//! boxes) and grouped into the five element classes of Table 1.
+
+use pallas_spec::ElementClass;
+use std::fmt;
+
+/// One of the twelve Pallas checking rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// 1.1 — specified immutable variables must be initialized.
+    ImmutableInit,
+    /// 1.2 — specified immutable variables must never be overwritten.
+    ImmutableOverwrite,
+    /// 1.3 — specified correlated variables must co-occur on a path.
+    Correlated,
+    /// 2.1 — trigger-condition checking for path switch must exist.
+    CondMissing,
+    /// 2.2 — every specified trigger variable must be checked.
+    CondIncomplete,
+    /// 2.3 — specified condition-check ordering must be respected.
+    CondOrder,
+    /// 3.1 — returns must belong to the defined return set.
+    OutputDefined,
+    /// 3.2 — fast-path and slow-path returns must match.
+    OutputMatchSlow,
+    /// 3.3 — the fast path's return must be checked by callers.
+    OutputChecked,
+    /// 4.1 — specified fault states must be handled in flow control.
+    FaultMissing,
+    /// 5.1 — assistant-structure fields must all be used by the fast path.
+    AssistLayout,
+    /// 5.2 — path-state updates must be followed by cache updates.
+    AssistStale,
+}
+
+impl Rule {
+    /// All rules in Table 1 row order.
+    pub const ALL: [Rule; 12] = [
+        Rule::ImmutableOverwrite,
+        Rule::ImmutableInit,
+        Rule::Correlated,
+        Rule::CondMissing,
+        Rule::CondIncomplete,
+        Rule::CondOrder,
+        Rule::OutputMatchSlow,
+        Rule::OutputDefined,
+        Rule::OutputChecked,
+        Rule::FaultMissing,
+        Rule::AssistLayout,
+        Rule::AssistStale,
+    ];
+
+    /// The paper's rule number (`"1.2"`, ...).
+    pub fn number(self) -> &'static str {
+        match self {
+            Rule::ImmutableInit => "1.1",
+            Rule::ImmutableOverwrite => "1.2",
+            Rule::Correlated => "1.3",
+            Rule::CondMissing => "2.1",
+            Rule::CondIncomplete => "2.2",
+            Rule::CondOrder => "2.3",
+            Rule::OutputDefined => "3.1",
+            Rule::OutputMatchSlow => "3.2",
+            Rule::OutputChecked => "3.3",
+            Rule::FaultMissing => "4.1",
+            Rule::AssistLayout => "5.1",
+            Rule::AssistStale => "5.2",
+        }
+    }
+
+    /// The element class (Table 1 grouping) the rule belongs to.
+    pub fn class(self) -> ElementClass {
+        match self {
+            Rule::ImmutableInit | Rule::ImmutableOverwrite | Rule::Correlated => {
+                ElementClass::PathState
+            }
+            Rule::CondMissing | Rule::CondIncomplete | Rule::CondOrder => {
+                ElementClass::TriggerCondition
+            }
+            Rule::OutputDefined | Rule::OutputMatchSlow | Rule::OutputChecked => {
+                ElementClass::PathOutput
+            }
+            Rule::FaultMissing => ElementClass::FaultHandling,
+            Rule::AssistLayout | Rule::AssistStale => ElementClass::AssistantDataStructure,
+        }
+    }
+
+    /// The Table 1 "Bug Finding" row description.
+    pub fn finding(self) -> &'static str {
+        match self {
+            Rule::ImmutableOverwrite => "immutable states are overwritten",
+            Rule::ImmutableInit => "immutable states are not initialized",
+            Rule::Correlated => "one state does not refer to its correlated state",
+            Rule::CondMissing => "the condition checking for path switch is missing",
+            Rule::CondIncomplete => "the implementation of trigger condition is incomplete",
+            Rule::CondOrder => "the order of condition checking is incorrect",
+            Rule::OutputMatchSlow => "the return values of slow and fast path should be the same",
+            Rule::OutputDefined => "the returned values should be one of the defined values",
+            Rule::OutputChecked => "the returned value should be checked",
+            Rule::FaultMissing => "the fault handler is missing",
+            Rule::AssistLayout => "not all elements in a data structure are used in fast path",
+            Rule::AssistStale => {
+                "an update on a data structure should be followed by an update on its cached version"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rule {}", self.number())
+    }
+}
+
+/// A warning produced by a checker.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Warning {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Unit the warning belongs to.
+    pub unit: String,
+    /// Function the warning was raised in.
+    pub function: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}:{}] {} in `{}` (line {}): {}",
+            self.unit,
+            self.rule.number(),
+            self.rule.class(),
+            self.function,
+            self.line,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rules_cover_five_classes() {
+        assert_eq!(Rule::ALL.len(), 12);
+        let mut classes: Vec<ElementClass> = Rule::ALL.iter().map(|r| r.class()).collect();
+        classes.dedup();
+        assert_eq!(classes.len(), 5);
+    }
+
+    #[test]
+    fn rule_numbers_unique() {
+        let mut nums: Vec<&str> = Rule::ALL.iter().map(|r| r.number()).collect();
+        nums.sort();
+        nums.dedup();
+        assert_eq!(nums.len(), 12);
+    }
+
+    #[test]
+    fn warning_display_mentions_rule_and_function() {
+        let w = Warning {
+            rule: Rule::ImmutableOverwrite,
+            unit: "mm/page_alloc".into(),
+            function: "get_page_fast".into(),
+            line: 42,
+            message: "immutable `gfp_mask` overwritten".into(),
+        };
+        let s = w.to_string();
+        assert!(s.contains("1.2"));
+        assert!(s.contains("get_page_fast"));
+        assert!(s.contains("42"));
+    }
+}

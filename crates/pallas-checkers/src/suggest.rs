@@ -1,0 +1,201 @@
+//! Fix suggestions: for every warning, the patch *shape* that fixes
+//! the underlying bug class — modeled on the real patches the paper
+//! reprints (Figure 5 adds the missing conjunct; Figure 8 adds the
+//! fault-handling block).
+
+use crate::rule::{Rule, Warning};
+use pallas_spec::FastPathSpec;
+
+/// Produces a short, actionable fix suggestion for a warning, using
+/// the spec to name the variables involved.
+pub fn suggest_fix(warning: &Warning, spec: &FastPathSpec) -> String {
+    match warning.rule {
+        Rule::ImmutableInit => {
+            "initialize the variable at its declaration (or before the first read), \
+             e.g. `int flags = 0;`"
+                .to_string()
+        }
+        Rule::ImmutableOverwrite => {
+            "compute into a local copy instead of mutating the shared input, \
+             e.g. `gfp_t local_mask = transform(gfp_mask);`"
+                .to_string()
+        }
+        Rule::Correlated => {
+            let pair = spec
+                .correlated
+                .iter()
+                .find(|(x, _)| warning.message.contains(x.as_str()));
+            match pair {
+                Some((x, y)) => format!(
+                    "consult `{y}` wherever `{x}` is used, e.g. guard the use with \
+                     `if ({y} & allowed({x}))`"
+                ),
+                None => "consult the correlated state on every path that uses the primary \
+                         variable"
+                    .to_string(),
+            }
+        }
+        Rule::CondMissing => {
+            let cond = spec
+                .conds
+                .iter()
+                .find(|c| warning.message.contains(&c.name));
+            match cond {
+                Some(c) => format!(
+                    "add the path-switch check before entering the fast path: \
+                     `if ({}) goto slow_path;`",
+                    c.vars.join(" || ")
+                ),
+                None => "add the trigger-condition check that selects between fast and slow \
+                         path"
+                    .to_string(),
+            }
+        }
+        Rule::CondIncomplete => {
+            // Figure 5's patch shape: extend the conjunction.
+            "extend the existing condition with the missing conjunct(s), as in the RPS fix: \
+             `if (map->len == 1 && !rcu_dereference_raw(rxqueue->rps_flow_table))`"
+                .to_string()
+        }
+        Rule::CondOrder => {
+            "swap the condition checks so the cheaper/specified-first path is tried before \
+             the expensive fallback (try remote zones before the OOM killer)"
+                .to_string()
+        }
+        Rule::OutputDefined => {
+            let set: Vec<String> = spec.returns.iter().map(|r| r.to_string()).collect();
+            if set.is_empty() {
+                "return one of the states the callers expect".to_string()
+            } else {
+                format!("return one of the defined values: {}", set.join(", "))
+            }
+        }
+        Rule::OutputMatchSlow => {
+            "make the fast path return the same value the slow path returns for the \
+             equivalent outcome (the TCP fix changed `return 1` to `return 0`)"
+                .to_string()
+        }
+        Rule::OutputChecked => format!(
+            "check the returned value at the call site: \
+             `ret = {}(...); if (ret) goto err;`",
+            spec.fastpath.first().map(String::as_str).unwrap_or("fast_path")
+        ),
+        Rule::FaultMissing => {
+            // Figure 8's patch shape: the guarded cleanup block.
+            let fault = spec
+                .faults
+                .iter()
+                .find(|f| warning.message.contains(f.as_str()));
+            match fault {
+                Some(f) => format!(
+                    "handle the fault before returning, as in the SCSI fix: \
+                     `if ({f}) {{ /* remove from state list, free resources */ }}`"
+                ),
+                None => "add the fault-handling block the slow path performs".to_string(),
+            }
+        }
+        Rule::AssistLayout => {
+            "move the unused field(s) out of the hot structure (a separate cold struct or \
+             allocation) so the fast path touches fewer cache lines"
+                .to_string()
+        }
+        Rule::AssistStale => {
+            let cache = spec
+                .caches
+                .iter()
+                .find(|c| warning.message.contains(&c.cache));
+            match cache {
+                Some(c) => format!(
+                    "update `{}` immediately after writing `{}` (insert/remove the cached \
+                     entry before the path returns)",
+                    c.cache, c.state
+                ),
+                None => "update the cached copy together with the path state".to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CheckContext;
+    use crate::run_all;
+    use pallas_lang::parse;
+    use pallas_spec::{FastPathSpec, RetValue};
+    use pallas_sym::{extract, ExtractConfig};
+
+    fn suggestions(src: &str, spec: &FastPathSpec) -> Vec<(Rule, String)> {
+        let ast = parse(src).unwrap();
+        let db = extract("t", &ast, src, &ExtractConfig::default());
+        run_all(&CheckContext { db: &db, spec, ast: &ast })
+            .into_iter()
+            .map(|w| {
+                let s = suggest_fix(&w, spec);
+                (w.rule, s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_rule_has_a_nonempty_suggestion() {
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("f")
+            .with_correlated("a", "b")
+            .with_cond("trig", &["x"])
+            .with_return(RetValue::Int(0))
+            .with_fault("ENOSPC")
+            .with_cache("icache", "inode");
+        for rule in Rule::ALL {
+            let w = Warning {
+                rule,
+                unit: "t".into(),
+                function: "f".into(),
+                line: 1,
+                message: "probe".into(),
+            };
+            assert!(!suggest_fix(&w, &spec).is_empty(), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn cond_missing_suggestion_names_the_variables() {
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("f")
+            .with_cond("resized", &["size_changed"]);
+        let src = "int f(int data, int size_changed) { return data; }";
+        let sugg = suggestions(src, &spec);
+        assert_eq!(sugg.len(), 1);
+        assert!(sugg[0].1.contains("size_changed"), "{}", sugg[0].1);
+    }
+
+    #[test]
+    fn fault_suggestion_names_the_state() {
+        let spec = FastPathSpec::new("t").with_fastpath("f").with_fault("state_active");
+        let src = "int f(int x) { return x; }";
+        let sugg = suggestions(src, &spec);
+        assert_eq!(sugg.len(), 1);
+        assert!(sugg[0].1.contains("state_active"), "{}", sugg[0].1);
+    }
+
+    #[test]
+    fn output_suggestion_lists_the_defined_set() {
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("f")
+            .with_return(RetValue::Int(0))
+            .with_return(RetValue::Name("EIO".into()));
+        let src = "int f(int x) { if (x) return 7; return 0; }";
+        let sugg = suggestions(src, &spec);
+        assert_eq!(sugg.len(), 1);
+        assert!(sugg[0].1.contains("0, EIO"), "{}", sugg[0].1);
+    }
+
+    #[test]
+    fn stale_cache_suggestion_names_both_sides() {
+        let spec = FastPathSpec::new("t").with_fastpath("f").with_cache("icache", "inode");
+        let src = "int f(int inode) { inode = 0; return 0; }";
+        let sugg = suggestions(src, &spec);
+        assert_eq!(sugg.len(), 1);
+        assert!(sugg[0].1.contains("icache") && sugg[0].1.contains("inode"), "{}", sugg[0].1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests over the checkers: determinism, monotonicity in the
+//! spec, and family/rule consistency.
+
+use pallas_checkers::{run_all, run_selected, CheckContext, Warning};
+use pallas_lang::parse;
+use pallas_spec::{ElementClass, FastPathSpec};
+use pallas_sym::{extract, ExtractConfig};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not keyword/type-like", |s| {
+        pallas_lang::token::Keyword::from_str(s).is_none() && !s.ends_with("_t")
+    })
+}
+
+/// A small fast-path function over a fixed parameter alphabet, with
+/// random assignments/conditions over those parameters.
+fn fast_fn_src() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        (0usize..4, 0i64..10).prop_map(|(v, k)| format!("p{v} = p{v} + {k};")),
+        (0usize..4, 0usize..4).prop_map(|(a, b)| format!("if (p{a} > p{b}) p{a} = 0;")),
+        (0usize..4).prop_map(|v| format!("helper(p{v});")),
+        (0usize..4, 1i64..5).prop_map(|(v, k)| format!("if (p{v} == {k}) return {k};")),
+    ];
+    proptest::collection::vec(stmt, 0..8).prop_map(|stmts| {
+        format!(
+            "int helper(int v);\nint fast(int p0, int p1, int p2, int p3) {{\n  {}\n  return 0;\n}}",
+            stmts.join("\n  ")
+        )
+    })
+}
+
+/// A random spec over the same alphabet.
+fn arb_spec() -> impl Strategy<Value = FastPathSpec> {
+    (
+        proptest::collection::vec(0usize..4, 0..3),
+        proptest::collection::vec(0usize..4, 0..3),
+        proptest::collection::vec(ident(), 0..2),
+        any::<bool>(),
+    )
+        .prop_map(|(imms, conds, faults, check_ret)| {
+            let mut spec = FastPathSpec::new("prop").with_fastpath("fast");
+            for v in imms {
+                spec = spec.with_immutable(format!("p{v}"));
+            }
+            for (i, v) in conds.into_iter().enumerate() {
+                let var = format!("p{v}");
+                spec = spec.with_cond(format!("c{i}"), &[var.as_str()]);
+            }
+            for f in faults {
+                spec = spec.with_fault(f);
+            }
+            if check_ret {
+                spec = spec.with_check_return();
+            }
+            spec
+        })
+}
+
+fn check(src: &str, spec: &FastPathSpec) -> Vec<Warning> {
+    let ast = parse(src).unwrap();
+    let db = extract("prop", &ast, src, &ExtractConfig::default());
+    run_all(&CheckContext { db: &db, spec, ast: &ast })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The checkers are deterministic.
+    #[test]
+    fn checking_is_deterministic(src in fast_fn_src(), spec in arb_spec()) {
+        prop_assert_eq!(check(&src, &spec), check(&src, &spec));
+    }
+
+    /// Adding a semantic fact never removes an existing warning: facts
+    /// are checked independently, so the warning set grows
+    /// monotonically with the spec.
+    #[test]
+    fn spec_facts_are_monotonic(src in fast_fn_src(), spec in arb_spec(), extra in ident()) {
+        let base = check(&src, &spec);
+        let grown_spec = spec.clone().with_fault(format!("zz_{extra}"));
+        let grown = check(&src, &grown_spec);
+        for w in &base {
+            prop_assert!(grown.contains(w), "lost {w} after adding a fact");
+        }
+        prop_assert!(grown.len() >= base.len());
+    }
+
+    /// run_all equals the union of per-family run_selected calls.
+    #[test]
+    fn run_all_is_union_of_families(src in fast_fn_src(), spec in arb_spec()) {
+        let ast = parse(&src).unwrap();
+        let db = extract("prop", &ast, &src, &ExtractConfig::default());
+        let cx = CheckContext { db: &db, spec: &spec, ast: &ast };
+        let all = run_all(&cx);
+        let mut union: Vec<Warning> = ElementClass::ALL
+            .iter()
+            .flat_map(|&c| run_selected(&cx, &[c]))
+            .collect();
+        union.sort();
+        union.dedup();
+        prop_assert_eq!(all, union);
+    }
+
+    /// Every warning names a rule belonging to its own class and a
+    /// function that exists in the unit.
+    #[test]
+    fn warnings_are_well_formed(src in fast_fn_src(), spec in arb_spec()) {
+        let ast = parse(&src).unwrap();
+        let db = extract("prop", &ast, &src, &ExtractConfig::default());
+        let cx = CheckContext { db: &db, spec: &spec, ast: &ast };
+        for w in run_all(&cx) {
+            prop_assert!(ElementClass::ALL.contains(&w.rule.class()));
+            prop_assert!(db.function(&w.function).is_some(), "{}", w.function);
+            prop_assert!(!w.message.is_empty());
+        }
+    }
+}

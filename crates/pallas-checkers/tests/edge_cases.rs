@@ -1,0 +1,189 @@
+//! Edge-case integration tests for the checker families: spec corner
+//! cases, multiple fast paths, missing functions, warning ordering and
+//! de-duplication.
+
+use pallas_checkers::{run_all, run_selected, CheckContext, Rule};
+use pallas_lang::parse;
+use pallas_spec::{ElementClass, FastPathSpec};
+use pallas_sym::{extract, ExtractConfig};
+
+fn check(src: &str, spec: &FastPathSpec) -> Vec<pallas_checkers::Warning> {
+    let ast = parse(src).unwrap();
+    let db = extract("edge", &ast, src, &ExtractConfig::default());
+    run_all(&CheckContext { db: &db, spec, ast: &ast })
+}
+
+#[test]
+fn missing_fastpath_function_is_skipped_quietly() {
+    // The spec names a function that does not exist; checkers must not
+    // panic and must produce nothing for it.
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("ghost")
+        .with_immutable("x")
+        .with_fault("ENOSPC");
+    let ws = check("int real(int x) { return x; }", &spec);
+    assert!(ws.is_empty(), "{ws:#?}");
+}
+
+#[test]
+fn multiple_fastpath_functions_checked_independently() {
+    let src = "\
+typedef unsigned int gfp_t;
+int t1(gfp_t mask_a) { mask_a = mask_a | 1; return 0; }
+int t2(gfp_t mask_b) { return mask_b; }";
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("t1")
+        .with_fastpath("t2")
+        .with_immutable("mask_a");
+    let ws = check(src, &spec);
+    assert_eq!(ws.len(), 1, "{ws:#?}");
+    assert_eq!(ws[0].function, "t1");
+}
+
+#[test]
+fn empty_spec_produces_no_warnings() {
+    let ws = check("int f(int x) { x = 1; return x; }", &FastPathSpec::new("t"));
+    assert!(ws.is_empty());
+}
+
+#[test]
+fn warnings_are_sorted_and_deduplicated() {
+    let src = "\
+int fast(int imm_a, int imm_b) {
+  imm_b = 2;
+  imm_a = 1;
+  return 0;
+}";
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("fast")
+        .with_immutable("imm_a")
+        .with_immutable("imm_b")
+        // Declaring the same fact twice must not double warnings.
+        .with_immutable("imm_a");
+    let ws = check(src, &spec);
+    assert_eq!(ws.len(), 2, "{ws:#?}");
+    let mut sorted = ws.clone();
+    sorted.sort();
+    assert_eq!(ws, sorted, "run_all output is sorted");
+}
+
+#[test]
+fn run_selected_limits_families() {
+    let src = "\
+int fast(int imm, int trig) {
+  imm = 1;
+  return 0;
+}";
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("fast")
+        .with_immutable("imm")
+        .with_cond("c", &["trig"]);
+    let ast = parse(src).unwrap();
+    let db = extract("edge", &ast, src, &ExtractConfig::default());
+    let cx = CheckContext { db: &db, spec: &spec, ast: &ast };
+
+    let all = run_all(&cx);
+    assert_eq!(all.len(), 2);
+
+    let only_state = run_selected(&cx, &[ElementClass::PathState]);
+    assert_eq!(only_state.len(), 1);
+    assert_eq!(only_state[0].rule, Rule::ImmutableOverwrite);
+
+    let only_cond = run_selected(&cx, &[ElementClass::TriggerCondition]);
+    assert_eq!(only_cond.len(), 1);
+    assert_eq!(only_cond[0].rule, Rule::CondMissing);
+
+    assert!(run_selected(&cx, &[]).is_empty());
+}
+
+#[test]
+fn member_path_immutable_spec() {
+    let src = "\
+struct page { int private; };
+int fast(struct page *page) {
+  page->private = 0;
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("t").with_fastpath("fast").with_immutable("page->private");
+    let ws = check(src, &spec);
+    assert_eq!(ws.len(), 1);
+    // Specifying the *base* pointer also catches member writes.
+    let spec2 = FastPathSpec::new("t").with_fastpath("fast").with_immutable("page");
+    let ws2 = check(src, &spec2);
+    assert_eq!(ws2.len(), 1, "{ws2:#?}");
+}
+
+#[test]
+fn cond_var_checked_only_in_loop_condition_counts() {
+    let src = "\
+int fast(int budget) {
+  while (budget > 0) {
+    budget--;
+  }
+  return 0;
+}";
+    let spec = FastPathSpec::new("t").with_fastpath("fast").with_cond("b", &["budget"]);
+    assert!(check(src, &spec).is_empty(), "loop conditions are flow control");
+}
+
+#[test]
+fn fault_checked_in_ternary_counts() {
+    let src = "int fast(int io_err) { return io_err ? -5 : 0; }";
+    let spec = FastPathSpec::new("t").with_fastpath("fast").with_fault("io_err");
+    assert!(check(src, &spec).is_empty(), "ternary conditions are flow control");
+}
+
+#[test]
+fn slowpath_missing_makes_match_slow_a_noop() {
+    let src = "int fast(int x) { if (x) return 1; return 0; }";
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("fast")
+        .with_slowpath("ghost_slow")
+        .with_match_slow_return();
+    // The checker cannot compare against a missing function; the spec
+    // linter flags the dead fact instead.
+    assert!(check(src, &spec).is_empty());
+}
+
+#[test]
+fn recursive_fastpath_does_not_hang_checkers() {
+    let src = "int fast(int n) { if (n) return fast(n - 1); return 0; }";
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("fast")
+        .with_immutable("n")
+        .with_fault("ENOSPC");
+    let ws = check(src, &spec);
+    // Only the fault warning: `n` is never written (the recursive call
+    // passes a derived value, it does not mutate `n`).
+    assert_eq!(ws.len(), 1, "{ws:#?}");
+    assert_eq!(ws[0].rule, Rule::FaultMissing);
+}
+
+#[test]
+fn void_fastpath_with_returns_spec_warns_once_per_path_shape() {
+    let src = "void fast(int x) { if (x) x = 2; }";
+    let spec = FastPathSpec::new("t")
+        .with_fastpath("fast")
+        .with_return(pallas_spec::RetValue::Int(0));
+    let ws = check(src, &spec);
+    assert!(!ws.is_empty());
+    assert!(ws.iter().all(|w| w.rule == Rule::OutputDefined));
+}
+
+#[test]
+fn goto_heavy_control_flow_checked_correctly() {
+    let src = "\
+int handle(int e);
+int fast(int err, int data) {
+  if (err)
+    goto fail;
+  data = data + 1;
+  return 0;
+fail:
+  handle(err);
+  return -1;
+}";
+    let spec = FastPathSpec::new("t").with_fastpath("fast").with_fault("err");
+    assert!(check(src, &spec).is_empty(), "goto-based handling counts");
+}

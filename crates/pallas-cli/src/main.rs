@@ -1,0 +1,220 @@
+//! `pallas` — command-line interface to the Pallas fast-path checker.
+//!
+//! ```text
+//! pallas check <file.c> [--spec <file.pallas>] [--tsv] [--suggest]  run the checkers
+//! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
+//! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
+//! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
+//! pallas infer <file.c> --fast <f> --slow <g>        propose a spec
+//! pallas corpus [--set new-paths|known-bugs|examples|studied] score the corpus
+//! pallas study [--table 2|3|4]                        study tables
+//! ```
+
+use pallas_core::{render_unit_report, score, Pallas, Score, SourceUnit};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pallas: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "paths" => cmd_paths(rest),
+        "table5" => cmd_table5(rest),
+        "diff" => cmd_diff(rest),
+        "infer" => cmd_infer(rest),
+        "corpus" => cmd_corpus(rest),
+        "study" => cmd_study(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `pallas help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pallas — semantic-aware checking for deep bugs in fast paths\n\
+         \n\
+         usage:\n\
+         \x20 pallas check <file.c> [--spec <file.pallas>] [--tsv] [--suggest]\n\
+         \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
+         \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
+         \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
+         \x20 pallas infer <file.c> --fast <f> --slow <g>\n\
+         \x20 pallas corpus [--set new-paths|known-bugs|examples|studied]\n\
+         \x20 pallas study [--table 2|3|4]"
+    );
+}
+
+/// Extracts `--flag value` from an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Loads a source file plus its spec: `--spec` wins, otherwise a
+/// sibling `<stem>.pallas` file is used if present, otherwise inline
+/// pragmas alone.
+fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".c"))
+        .or_else(|| args.iter().find(|a| !a.starts_with("--")))
+        .ok_or("missing source file argument")?;
+    let src = read_file(path)?;
+    let spec_text = match flag_value(args, "--spec") {
+        Some(spec_path) => read_file(spec_path)?,
+        None => {
+            let sibling = std::path::Path::new(path).with_extension("pallas");
+            std::fs::read_to_string(sibling).unwrap_or_default()
+        }
+    };
+    Ok(SourceUnit::new(path.as_str()).with_file(path.as_str(), src).with_spec(spec_text))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let unit = load_unit(args)?;
+    let analyzed = Pallas::new().check_unit(&unit).map_err(|e| e.to_string())?;
+    if has_flag(args, "--tsv") {
+        print!("{}", pallas_core::render_tsv(&analyzed));
+    } else {
+        print!("{}", render_unit_report(&analyzed));
+        if has_flag(args, "--suggest") {
+            for w in &analyzed.warnings {
+                println!(
+                    "suggestion [{} line {}]: {}",
+                    w.rule,
+                    w.line,
+                    pallas_checkers::suggest_fix(w, &analyzed.spec)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_paths(args: &[String]) -> Result<(), String> {
+    let unit = load_unit(args)?;
+    let (merged, _) = unit.merge();
+    let ast = pallas_lang::parse(&merged).map_err(|e| e.to_string())?;
+    let wanted = flag_value(args, "--function");
+    let dot = has_flag(args, "--dot");
+    for func in ast.functions() {
+        if let Some(w) = wanted {
+            if func.sig.name != w {
+                continue;
+            }
+        }
+        let cfg = pallas_cfg::build_cfg(&ast, func);
+        if dot {
+            print!("{}", pallas_cfg::render_dot(&ast, &cfg));
+        } else {
+            print!("{}", pallas_cfg::render_ascii(&ast, &cfg));
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn cmd_table5(args: &[String]) -> Result<(), String> {
+    let function = flag_value(args, "--function").ok_or("missing --function")?;
+    let unit = load_unit(args)?;
+    let analyzed = Pallas::new().check_unit(&unit).map_err(|e| e.to_string())?;
+    let func = analyzed
+        .db
+        .function(function)
+        .ok_or_else(|| format!("function `{function}` not found"))?;
+    for record in &func.records {
+        println!("--- path {} ---", record.index);
+        print!("{}", pallas_sym::render_table5(func, record, &analyzed.spec));
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let fast = flag_value(args, "--fast").ok_or("missing --fast")?;
+    let slow = flag_value(args, "--slow").ok_or("missing --slow")?;
+    let unit = load_unit(args)?;
+    let analyzed = Pallas::new().check_unit(&unit).map_err(|e| e.to_string())?;
+    let report = pallas_diff::diff_paths(&analyzed.db, fast, slow)
+        .ok_or("fast or slow function not found")?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let fast = flag_value(args, "--fast").ok_or("missing --fast")?;
+    let slow = flag_value(args, "--slow").ok_or("missing --slow")?;
+    let unit = load_unit(args)?;
+    let analyzed = Pallas::new().check_unit(&unit).map_err(|e| e.to_string())?;
+    let inferred = pallas_diff::infer_spec(&analyzed.db, &analyzed.ast, fast, slow)
+        .ok_or("fast or slow function not found")?;
+    print!("{inferred}");
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let set = flag_value(args, "--set").unwrap_or("new-paths");
+    let corpus = match set {
+        "new-paths" => pallas_corpus::new_paths(),
+        "known-bugs" => pallas_corpus::known_bugs(),
+        "examples" => pallas_corpus::examples(),
+        "studied" => pallas_corpus::studied(),
+        "new-bug-examples" => pallas_corpus::new_bug_examples(),
+        other => return Err(format!("unknown corpus set `{other}`")),
+    };
+    let driver = Pallas::new();
+    let mut total = Score::default();
+    for cu in &corpus {
+        let analyzed = driver.check_unit(&cu.unit).map_err(|e| e.to_string())?;
+        let s = score(&analyzed.warnings, &cu.bugs);
+        println!("{:<28} {s}", cu.name());
+        total.merge(s);
+    }
+    println!("----");
+    println!("{} unit(s): {total}", corpus.len());
+    Ok(())
+}
+
+fn cmd_study(args: &[String]) -> Result<(), String> {
+    let ds = pallas_study::dataset();
+    match flag_value(args, "--table") {
+        Some("2") => print!("{}", pallas_study::render_table2(&ds)),
+        Some("3") => print!("{}", pallas_study::render_table3(&ds)),
+        Some("4") => print!("{}", pallas_study::render_table4(&ds)),
+        None => {
+            print!("{}", pallas_study::render_table2(&ds));
+            println!();
+            print!("{}", pallas_study::render_table3(&ds));
+            println!();
+            print!("{}", pallas_study::render_table4(&ds));
+        }
+        Some(other) => return Err(format!("unknown study table `{other}`")),
+    }
+    Ok(())
+}

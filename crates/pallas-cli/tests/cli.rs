@@ -1,0 +1,192 @@
+//! Integration tests driving the `pallas` binary end to end.
+
+use std::io::Write as _;
+use std::process::{Command, Output};
+
+fn pallas(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pallas"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pallas-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+const BUGGY: &str = "\
+typedef unsigned int gfp_t;
+int noio(gfp_t m);
+int alloc_fast(gfp_t gfp_mask, int order) {
+  gfp_mask = noio(gfp_mask);
+  return 0;
+}
+int alloc_slow(gfp_t gfp_mask, int order) {
+  if (order > 0)
+    return noio(gfp_mask);
+  return 0;
+}
+";
+
+#[test]
+fn no_args_prints_usage() {
+    let out = pallas(&[]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = pallas(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn check_with_spec_file_reports_warning() {
+    let src = write_temp("check.c", BUGGY);
+    let spec = write_temp("check.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let out = pallas(&["check", src.to_str().unwrap(), "--spec", spec.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Rule 1.2"), "{text}");
+    assert!(text.contains("gfp_mask"), "{text}");
+}
+
+#[test]
+fn check_picks_up_sibling_spec() {
+    let src = write_temp("sibling.c", BUGGY);
+    write_temp("sibling.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let out = pallas(&["check", src.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Rule 1.2"));
+}
+
+#[test]
+fn check_suggest_output() {
+    let src = write_temp("sugg.c", BUGGY);
+    let spec = write_temp("sugg.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let out = pallas(&[
+        "check",
+        src.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--suggest",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("suggestion [Rule 1.2"), "{text}");
+    assert!(text.contains("local copy"), "{text}");
+}
+
+#[test]
+fn check_tsv_output() {
+    let src = write_temp("tsv.c", BUGGY);
+    let spec = write_temp("tsv.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let out = pallas(&[
+        "check",
+        src.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--tsv",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("unit\trule"), "{text}");
+    assert!(text.contains("\t1.2\t"), "{text}");
+}
+
+#[test]
+fn paths_renders_cfg_and_dot() {
+    let src = write_temp("paths.c", BUGGY);
+    let out = pallas(&["paths", src.to_str().unwrap(), "--function", "alloc_slow"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fn alloc_slow"), "{text}");
+    assert!(!text.contains("fn alloc_fast"));
+
+    let out = pallas(&["paths", src.to_str().unwrap(), "--dot"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("digraph"));
+}
+
+#[test]
+fn table5_renders_symbolic_listing() {
+    let src = write_temp("t5.c", BUGGY);
+    let spec = write_temp("t5.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let out = pallas(&[
+        "table5",
+        src.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--function",
+        "alloc_fast",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Signature"), "{text}");
+    assert!(text.contains("@immutable = gfp_mask"), "{text}");
+}
+
+#[test]
+fn diff_compares_fast_and_slow() {
+    let src = write_temp("diff.c", BUGGY);
+    let out = pallas(&[
+        "diff",
+        src.to_str().unwrap(),
+        "--fast",
+        "alloc_fast",
+        "--slow",
+        "alloc_slow",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("diff: fast `alloc_fast` vs slow `alloc_slow`"), "{text}");
+}
+
+#[test]
+fn infer_proposes_spec() {
+    let src = write_temp("infer.c", BUGGY);
+    let out = pallas(&[
+        "infer",
+        src.to_str().unwrap(),
+        "--fast",
+        "alloc_fast",
+        "--slow",
+        "alloc_slow",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fastpath alloc_fast;"), "{text}");
+    assert!(text.contains("# evidence:"), "{text}");
+}
+
+#[test]
+fn corpus_examples_score() {
+    let out = pallas(&["corpus", "--set", "examples"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mm/page_alloc_example"), "{text}");
+    assert!(text.contains("9 unit(s)"), "{text}");
+}
+
+#[test]
+fn study_tables_render() {
+    for (flag, needle) in [("2", "Fast path is buggy"), ("3", "Distribution"), ("4", "Consequences")] {
+        let out = pallas(&["study", "--table", flag]);
+        assert!(out.status.success());
+        assert!(String::from_utf8_lossy(&out.stdout).contains(needle));
+    }
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = pallas(&["check", "/nonexistent/nope.c"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,33 @@
+//! # pallas-core
+//!
+//! The Pallas toolkit driver: the four-step pipeline of the paper's §4
+//! (merge sources into one unit → build the control-flow/path database
+//! → take the user's semantic spec → filter every execution path
+//! through the rule checkers), plus warning reports and ground-truth
+//! scoring for the evaluation harness.
+//!
+//! ```
+//! use pallas_core::Pallas;
+//!
+//! # fn main() -> Result<(), pallas_core::PallasError> {
+//! let report = Pallas::new().check_source(
+//!     "mm/page_alloc",
+//!     "typedef unsigned int gfp_t;\n\
+//!      int noio(gfp_t m);\n\
+//!      int alloc_fast(gfp_t gfp_mask) { gfp_mask = noio(gfp_mask); return 0; }",
+//!     "fastpath alloc_fast; immutable gfp_mask;",
+//! )?;
+//! assert_eq!(report.warnings.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod pipeline;
+pub mod report;
+pub mod truth;
+pub mod unit;
+
+pub use pipeline::{AnalyzedUnit, Pallas, PallasError, PallasErrorKind};
+pub use report::{render_tsv, render_unit_report, warning_counts_by_rule};
+pub use truth::{score, KnownBug, Score};
+pub use unit::{MergeMap, SourceUnit};

@@ -1,0 +1,286 @@
+//! The Pallas driver: merge → parse → extract → check.
+
+use crate::unit::{MergeMap, SourceUnit};
+use pallas_checkers::{run_all, CheckContext, Warning};
+use pallas_lang::{parse, Ast, ParseError};
+use pallas_spec::{parse_pragma, parse_spec, FastPathSpec, SpecError};
+use pallas_sym::{extract, ExtractConfig, PathDb};
+use std::fmt;
+use std::time::Duration;
+
+/// An error from analyzing a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PallasError {
+    /// Unit the error occurred in.
+    pub unit: String,
+    /// What went wrong.
+    pub kind: PallasErrorKind,
+}
+
+/// Error variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PallasErrorKind {
+    /// The merged source failed to parse.
+    Parse(ParseError),
+    /// The spec document or an inline pragma failed to parse.
+    Spec(SpecError),
+}
+
+impl fmt::Display for PallasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PallasErrorKind::Parse(e) => write!(f, "unit `{}`: {e}", self.unit),
+            PallasErrorKind::Spec(e) => write!(f, "unit `{}`: {e}", self.unit),
+        }
+    }
+}
+
+impl std::error::Error for PallasError {}
+
+/// The result of analyzing one unit.
+#[derive(Debug, Clone)]
+pub struct AnalyzedUnit {
+    /// Unit name.
+    pub name: String,
+    /// Merged source text.
+    pub merged_src: String,
+    /// Merged-line → file mapping.
+    pub merge_map: MergeMap,
+    /// Parsed AST of the merged unit.
+    pub ast: Ast,
+    /// Extracted path database.
+    pub db: PathDb,
+    /// Effective spec (document + inline pragmas).
+    pub spec: FastPathSpec,
+    /// Checker warnings, sorted and deduplicated.
+    pub warnings: Vec<Warning>,
+    /// Spec lint findings (dead or contradictory annotations).
+    pub lint: Vec<pallas_spec::LintIssue>,
+    /// Wall-clock time spent on this unit.
+    pub elapsed: Duration,
+}
+
+impl AnalyzedUnit {
+    /// Warnings of one rule.
+    pub fn warnings_for(&self, rule: pallas_checkers::Rule) -> Vec<&Warning> {
+        self.warnings.iter().filter(|w| w.rule == rule).collect()
+    }
+}
+
+/// The Pallas toolkit driver.
+///
+/// Holds the extraction configuration; `check_*` methods run the whole
+/// pipeline over units.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pallas {
+    config: ExtractConfig,
+}
+
+impl Pallas {
+    /// Creates a driver with the default configuration
+    /// (loop unrolling 1, callee inlining depth 1, 4096-path cap).
+    pub fn new() -> Self {
+        Pallas::default()
+    }
+
+    /// Overrides the extraction configuration.
+    pub fn with_config(mut self, config: ExtractConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The current extraction configuration.
+    pub fn config(&self) -> &ExtractConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on one unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PallasError`] if the merged source or the spec fails
+    /// to parse.
+    pub fn check_unit(&self, unit: &SourceUnit) -> Result<AnalyzedUnit, PallasError> {
+        let started = std::time::Instant::now();
+        let (merged_src, merge_map) = unit.merge();
+        let ast = parse(&merged_src).map_err(|e| PallasError {
+            unit: unit.name.clone(),
+            kind: PallasErrorKind::Parse(e),
+        })?;
+        let mut spec = parse_spec(&unit.spec_text).map_err(|e| PallasError {
+            unit: unit.name.clone(),
+            kind: PallasErrorKind::Spec(e),
+        })?;
+        for pragma in ast.pragmas() {
+            let fragment = parse_pragma(pragma).map_err(|e| PallasError {
+                unit: unit.name.clone(),
+                kind: PallasErrorKind::Spec(e),
+            })?;
+            spec.merge(fragment);
+        }
+        if spec.unit.is_empty() {
+            spec.unit = unit.name.clone();
+        }
+        let db = extract(&unit.name, &ast, &merged_src, &self.config);
+        let warnings = run_all(&CheckContext { db: &db, spec: &spec, ast: &ast });
+        let lint = spec.lint();
+        Ok(AnalyzedUnit {
+            name: unit.name.clone(),
+            merged_src,
+            merge_map,
+            ast,
+            db,
+            spec,
+            warnings,
+            lint,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Convenience wrapper: a single in-memory source plus spec text.
+    pub fn check_source(
+        &self,
+        name: &str,
+        src: &str,
+        spec_text: &str,
+    ) -> Result<AnalyzedUnit, PallasError> {
+        self.check_unit(
+            &SourceUnit::new(name).with_file(format!("{name}.c"), src).with_spec(spec_text),
+        )
+    }
+
+    /// Checks many units in parallel (one thread per unit, capped by
+    /// the host's parallelism), preserving input order in the output.
+    pub fn check_many(&self, units: &[SourceUnit]) -> Vec<Result<AnalyzedUnit, PallasError>> {
+        let jobs = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+        let mut out: Vec<Option<Result<AnalyzedUnit, PallasError>>> =
+            (0..units.len()).map(|_| None).collect();
+        let mut pairs: Vec<(&mut Option<Result<AnalyzedUnit, PallasError>>, &SourceUnit)> =
+            out.iter_mut().zip(units.iter()).collect();
+        let chunk_size = units.len().div_ceil(jobs).max(1);
+        crossbeam::thread::scope(|scope| {
+            for chunk in pairs.chunks_mut(chunk_size) {
+                // Move each chunk of (slot, unit) pairs into a worker.
+                let driver = *self;
+                scope.spawn(move |_| {
+                    for (slot, unit) in chunk.iter_mut() {
+                        **slot = Some(driver.check_unit(unit));
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_checkers::Rule;
+
+    const BUGGY: &str = "\
+typedef unsigned int gfp_t;
+int noio(gfp_t m);
+int alloc_fast(gfp_t gfp_mask) {
+  gfp_mask = noio(gfp_mask);
+  return 0;
+}";
+
+    #[test]
+    fn end_to_end_single_source() {
+        let report = Pallas::new()
+            .check_source("mm", BUGGY, "fastpath alloc_fast; immutable gfp_mask;")
+            .unwrap();
+        assert_eq!(report.warnings.len(), 1);
+        assert_eq!(report.warnings[0].rule, Rule::ImmutableOverwrite);
+        assert_eq!(report.warnings_for(Rule::ImmutableOverwrite).len(), 1);
+        assert_eq!(report.warnings_for(Rule::FaultMissing).len(), 0);
+    }
+
+    #[test]
+    fn inline_pragmas_merge_with_spec() {
+        let src = "\
+/* @pallas immutable gfp_mask; */
+typedef unsigned int gfp_t;
+int noio(gfp_t m);
+int alloc_fast(gfp_t gfp_mask) {
+  gfp_mask = noio(gfp_mask);
+  return 0;
+}";
+        let report = Pallas::new().check_source("mm", src, "fastpath alloc_fast;").unwrap();
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.spec.immutable.contains(&"gfp_mask".to_string()));
+    }
+
+    #[test]
+    fn multi_file_unit_merges_headers() {
+        let unit = SourceUnit::new("net/demo")
+            .with_file("demo.h", "typedef unsigned int gfp_t;\nint noio(gfp_t m);\n")
+            .with_file("demo.c", "int alloc_fast(gfp_t gfp_mask) {\n  gfp_mask = noio(gfp_mask);\n  return 0;\n}\n")
+            .with_spec("fastpath alloc_fast; immutable gfp_mask;");
+        let report = Pallas::new().check_unit(&unit).unwrap();
+        assert_eq!(report.warnings.len(), 1);
+        // The warning's merged line resolves into demo.c.
+        let (file, local) = report.merge_map.resolve(report.warnings[0].line).unwrap();
+        assert_eq!(file, "demo.c");
+        assert_eq!(local, 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_unit() {
+        let err = Pallas::new().check_source("bad", "int f( {", "").unwrap_err();
+        assert_eq!(err.unit, "bad");
+        assert!(matches!(err.kind, PallasErrorKind::Parse(_)));
+    }
+
+    #[test]
+    fn spec_errors_are_reported_with_unit() {
+        let err = Pallas::new()
+            .check_source("bad", "int f(void) { return 0; }", "bogus keyword;")
+            .unwrap_err();
+        assert!(matches!(err.kind, PallasErrorKind::Spec(_)));
+    }
+
+    #[test]
+    fn bad_inline_pragma_is_a_spec_error() {
+        let err = Pallas::new()
+            .check_source("bad", "/* @pallas nonsense here; */ int f(void) { return 0; }", "")
+            .unwrap_err();
+        assert!(matches!(err.kind, PallasErrorKind::Spec(_)));
+    }
+
+    #[test]
+    fn check_many_preserves_order() {
+        let units: Vec<SourceUnit> = (0..8)
+            .map(|i| {
+                SourceUnit::new(format!("u{i}"))
+                    .with_file("f.c", format!("int f{i}(int x) {{ return x + {i}; }}"))
+                    .with_spec(format!("fastpath f{i};"))
+            })
+            .collect();
+        let results = Pallas::new().check_many(&units);
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().name, format!("u{i}"));
+        }
+    }
+
+    #[test]
+    fn clean_unit_has_no_warnings() {
+        let report = Pallas::new()
+            .check_source(
+                "ok",
+                "int fast(int order) { if (order == 0) return 1; return 0; }",
+                "fastpath fast; cond order0: order; returns 0, 1;",
+            )
+            .unwrap();
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn elapsed_time_recorded() {
+        let report = Pallas::new().check_source("t", "int f(void) { return 0; }", "").unwrap();
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+}

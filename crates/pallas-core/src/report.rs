@@ -1,0 +1,174 @@
+//! Textual reports over analyzed units.
+
+use crate::pipeline::AnalyzedUnit;
+use pallas_checkers::Rule;
+use pallas_spec::ElementClass;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders warnings as tab-separated values for machine consumption:
+/// `unit, rule, class, function, file, line, message` per row.
+pub fn render_tsv(unit: &AnalyzedUnit) -> String {
+    let mut out = String::from("unit\trule\tclass\tfunction\tfile\tline\tmessage\n");
+    for w in &unit.warnings {
+        let (file, line) = unit
+            .merge_map
+            .resolve(w.line)
+            .map(|(f, l)| (f.to_string(), l))
+            .unwrap_or_else(|| ("<merged>".to_string(), w.line));
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            w.unit,
+            w.rule.number(),
+            w.rule.class(),
+            w.function,
+            file,
+            line,
+            w.message
+        );
+    }
+    out
+}
+
+/// Renders a human-readable report for one analyzed unit: the spec
+/// facts consumed, path-database statistics, and warnings grouped by
+/// element class.
+pub fn render_unit_report(unit: &AnalyzedUnit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Pallas report: {} ===", unit.name);
+    let _ = writeln!(
+        out,
+        "spec: {} fact(s); fast path(s): {}",
+        unit.spec.fact_count(),
+        if unit.spec.fastpath.is_empty() { "-".to_string() } else { unit.spec.fastpath.join(", ") }
+    );
+    let _ = writeln!(
+        out,
+        "path database: {} function(s), {} path(s), built in {:?}",
+        unit.db.functions.len(),
+        unit.db.path_count(),
+        unit.elapsed
+    );
+    let (loops, nesting) = unit
+        .ast
+        .functions()
+        .map(|f| pallas_cfg::loop_stats(&pallas_cfg::build_cfg(&unit.ast, f)))
+        .fold((0, 0), |(l, n), (fl, fn_)| (l + fl, n.max(fn_)));
+    if loops > 0 {
+        let _ = writeln!(out, "structure: {loops} loop(s), max nesting {nesting} (bounded unrolling applies)");
+    }
+    for issue in &unit.lint {
+        let _ = writeln!(out, "{issue}");
+    }
+    if unit.warnings.is_empty() {
+        let _ = writeln!(out, "no warnings.");
+        return out;
+    }
+    let _ = writeln!(out, "{} warning(s):", unit.warnings.len());
+    for class in ElementClass::ALL {
+        let in_class: Vec<_> =
+            unit.warnings.iter().filter(|w| w.rule.class() == class).collect();
+        if in_class.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  [{class}]");
+        for w in in_class {
+            let location = match unit.merge_map.resolve(w.line) {
+                Some((file, line)) => format!("{file}:{line}"),
+                None => format!("line {}", w.line),
+            };
+            let _ = writeln!(
+                out,
+                "    {} {} ({location}, `{}`): {}",
+                w.rule,
+                w.rule.finding(),
+                w.function,
+                w.message
+            );
+        }
+    }
+    out
+}
+
+/// Per-rule warning counts across many units (one Table 1 cell set).
+pub fn warning_counts_by_rule(units: &[&AnalyzedUnit]) -> BTreeMap<Rule, usize> {
+    let mut counts = BTreeMap::new();
+    for unit in units {
+        for w in &unit.warnings {
+            *counts.entry(w.rule).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pallas;
+
+    fn analyzed() -> AnalyzedUnit {
+        Pallas::new()
+            .check_source(
+                "mm/demo",
+                "typedef unsigned int gfp_t;\n\
+                 int noio(gfp_t m);\n\
+                 int alloc_fast(gfp_t gfp_mask) {\n\
+                   gfp_mask = noio(gfp_mask);\n\
+                   return 0;\n\
+                 }",
+                "fastpath alloc_fast; immutable gfp_mask; fault ENOSPC;",
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn report_contains_warnings_grouped_by_class() {
+        let unit = analyzed();
+        let report = render_unit_report(&unit);
+        assert!(report.contains("Pallas report: mm/demo"));
+        assert!(report.contains("[Path State]"));
+        assert!(report.contains("[Fault Handling]"));
+        assert!(report.contains("immutable"));
+    }
+
+    #[test]
+    fn clean_unit_reports_no_warnings() {
+        let unit = Pallas::new()
+            .check_source("ok", "int f(void) { return 0; }", "fastpath f;")
+            .unwrap();
+        assert!(render_unit_report(&unit).contains("no warnings."));
+    }
+
+    #[test]
+    fn tsv_export_has_header_and_rows() {
+        let unit = analyzed();
+        let tsv = render_tsv(&unit);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert!(lines[0].starts_with("unit\trule"));
+        assert_eq!(lines.len(), 1 + unit.warnings.len());
+        assert!(lines[1].contains("1.2"));
+        assert!(lines[1].contains("mm/demo.c"));
+    }
+
+    #[test]
+    fn loop_structure_reported() {
+        let unit = Pallas::new()
+            .check_source(
+                "loopy",
+                "int f(int n) { while (n) { n--; } return n; }",
+                "fastpath f;",
+            )
+            .unwrap();
+        assert!(render_unit_report(&unit).contains("1 loop(s)"));
+    }
+
+    #[test]
+    fn counts_by_rule_aggregate() {
+        let unit = analyzed();
+        let counts = warning_counts_by_rule(&[&unit]);
+        assert_eq!(counts.get(&Rule::ImmutableOverwrite), Some(&1));
+        assert_eq!(counts.get(&Rule::FaultMissing), Some(&1));
+        assert_eq!(counts.values().sum::<usize>(), unit.warnings.len());
+    }
+}

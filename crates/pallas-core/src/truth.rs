@@ -1,0 +1,226 @@
+//! Ground truth and warning scoring.
+//!
+//! Every corpus unit ships the list of bugs known to be present (the
+//! paper's manual-validation step, made machine-checkable). Scoring a
+//! unit's warnings against its ground truth yields the validated-bug /
+//! warning split of Table 1's last column and the paper's 69% accuracy
+//! figure.
+
+use pallas_checkers::{Rule, Warning};
+use std::fmt;
+
+/// A bug known to exist in a corpus unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnownBug {
+    /// Stable identifier, e.g. `mm/page_alloc#gfp-overwrite`.
+    pub id: String,
+    /// The rule whose checker should catch it.
+    pub rule: Rule,
+    /// Function the bug lives in.
+    pub function: String,
+    /// Short description for reports (Table 7's "Error" column).
+    pub description: String,
+    /// Observed consequence (Table 7's "Consequence" column).
+    pub consequence: String,
+    /// Latent period in years (`None` where the tracker has no dates,
+    /// as for Chromium in the paper).
+    pub latent_years: Option<f32>,
+    /// Whether Pallas is expected to detect the bug. The one `false`
+    /// entry in the corpus is Table 8's semantic-exception miss (a
+    /// page-state value only known at runtime).
+    pub detectable: bool,
+}
+
+impl KnownBug {
+    /// Creates a detectable bug record.
+    pub fn new(
+        id: impl Into<String>,
+        rule: Rule,
+        function: impl Into<String>,
+        description: impl Into<String>,
+        consequence: impl Into<String>,
+    ) -> Self {
+        KnownBug {
+            id: id.into(),
+            rule,
+            function: function.into(),
+            description: description.into(),
+            consequence: consequence.into(),
+            latent_years: None,
+            detectable: true,
+        }
+    }
+
+    /// Sets the latent period.
+    pub fn with_latent_years(mut self, years: f32) -> Self {
+        self.latent_years = Some(years);
+        self
+    }
+
+    /// Marks the bug as undetectable by static analysis (Table 8's
+    /// semantic exception).
+    pub fn undetectable(mut self) -> Self {
+        self.detectable = false;
+        self
+    }
+
+    /// Whether a warning matches this bug (same rule, same function).
+    pub fn matches(&self, w: &Warning) -> bool {
+        self.rule == w.rule && self.function == w.function
+    }
+}
+
+/// The scoring of one unit's warnings against its ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Score {
+    /// Warnings matching a known bug (validated bugs, Table 1's "B").
+    pub true_positives: Vec<Warning>,
+    /// Warnings matching no known bug (Table 1's `W − B`).
+    pub false_positives: Vec<Warning>,
+    /// Detectable known bugs no warning matched (Table 8 misses).
+    pub missed: Vec<KnownBug>,
+    /// Known bugs marked undetectable (expected misses).
+    pub expected_misses: Vec<KnownBug>,
+}
+
+impl Score {
+    /// Total warnings emitted.
+    pub fn warning_count(&self) -> usize {
+        self.true_positives.len() + self.false_positives.len()
+    }
+
+    /// Validated-bug count.
+    pub fn bug_count(&self) -> usize {
+        self.true_positives.len()
+    }
+
+    /// Warning accuracy: validated bugs / warnings (the paper reports
+    /// 69%). Returns `None` when no warnings were emitted.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.warning_count() == 0 {
+            None
+        } else {
+            Some(self.bug_count() as f64 / self.warning_count() as f64)
+        }
+    }
+
+    /// Merges another score into this one (for whole-corpus totals).
+    pub fn merge(&mut self, other: Score) {
+        self.true_positives.extend(other.true_positives);
+        self.false_positives.extend(other.false_positives);
+        self.missed.extend(other.missed);
+        self.expected_misses.extend(other.expected_misses);
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} warnings, {} validated bugs, {} false positives, {} missed",
+            self.warning_count(),
+            self.bug_count(),
+            self.false_positives.len(),
+            self.missed.len()
+        )?;
+        if let Some(acc) = self.accuracy() {
+            write!(f, " (accuracy {:.0}%)", acc * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Scores warnings against the ground truth.
+///
+/// Each warning is a true positive if *some* known bug matches it;
+/// each detectable known bug is missed if *no* warning matches it.
+/// (Several warnings may validate the same bug — the paper counts
+/// validated warnings, so we do too.)
+pub fn score(warnings: &[Warning], truth: &[KnownBug]) -> Score {
+    let mut s = Score::default();
+    for w in warnings {
+        if truth.iter().any(|b| b.detectable && b.matches(w)) {
+            s.true_positives.push(w.clone());
+        } else {
+            s.false_positives.push(w.clone());
+        }
+    }
+    for b in truth {
+        if !b.detectable {
+            s.expected_misses.push(b.clone());
+        } else if !warnings.iter().any(|w| b.matches(w)) {
+            s.missed.push(b.clone());
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warning(rule: Rule, function: &str) -> Warning {
+        Warning {
+            rule,
+            unit: "u".into(),
+            function: function.into(),
+            line: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn matching_warning_is_true_positive() {
+        let truth = vec![KnownBug::new("b1", Rule::FaultMissing, "f", "d", "crash")];
+        let ws = vec![warning(Rule::FaultMissing, "f")];
+        let s = score(&ws, &truth);
+        assert_eq!(s.bug_count(), 1);
+        assert!(s.false_positives.is_empty());
+        assert!(s.missed.is_empty());
+        assert_eq!(s.accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn unmatched_warning_is_false_positive() {
+        let truth = vec![KnownBug::new("b1", Rule::FaultMissing, "f", "d", "crash")];
+        let ws = vec![warning(Rule::FaultMissing, "g")];
+        let s = score(&ws, &truth);
+        assert_eq!(s.bug_count(), 0);
+        assert_eq!(s.false_positives.len(), 1);
+        assert_eq!(s.missed.len(), 1);
+        assert_eq!(s.accuracy(), Some(0.0));
+    }
+
+    #[test]
+    fn undetectable_bug_is_expected_miss() {
+        let truth =
+            vec![KnownBug::new("b1", Rule::OutputDefined, "f", "d", "loss").undetectable()];
+        let s = score(&[], &truth);
+        assert!(s.missed.is_empty());
+        assert_eq!(s.expected_misses.len(), 1);
+        assert_eq!(s.accuracy(), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = score(
+            &[warning(Rule::CondMissing, "f")],
+            &[KnownBug::new("b", Rule::CondMissing, "f", "d", "perf")],
+        );
+        let b = score(&[warning(Rule::CondMissing, "g")], &[]);
+        a.merge(b);
+        assert_eq!(a.warning_count(), 2);
+        assert_eq!(a.bug_count(), 1);
+        assert_eq!(a.accuracy(), Some(0.5));
+        assert!(a.to_string().contains("2 warnings"));
+    }
+
+    #[test]
+    fn rule_must_match_not_just_function() {
+        let truth = vec![KnownBug::new("b1", Rule::FaultMissing, "f", "d", "crash")];
+        let ws = vec![warning(Rule::CondMissing, "f")];
+        let s = score(&ws, &truth);
+        assert_eq!(s.bug_count(), 0);
+        assert_eq!(s.false_positives.len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Pipeline edge cases: lint surfacing, configuration propagation,
+//! merge-map behaviour, and error paths.
+
+use pallas_cfg::PathConfig;
+use pallas_core::{render_tsv, render_unit_report, Pallas, SourceUnit};
+use pallas_spec::LintSeverity;
+use pallas_sym::ExtractConfig;
+
+#[test]
+fn lint_findings_surface_in_the_report() {
+    let report = Pallas::new()
+        .check_source(
+            "linty",
+            "int f(int a) { if (a) return 1; return 0; }",
+            "fastpath f; order ghost before phantom; match_slow_return;",
+        )
+        .unwrap();
+    assert!(report.lint.len() >= 3, "{:#?}", report.lint);
+    assert!(report.lint.iter().any(|i| i.severity == LintSeverity::Warning));
+    let text = render_unit_report(&report);
+    assert!(text.contains("spec warning"), "{text}");
+}
+
+#[test]
+fn clean_spec_produces_no_lints() {
+    let report = Pallas::new()
+        .check_source("ok", "int f(void) { return 0; }", "fastpath f;")
+        .unwrap();
+    assert!(report.lint.is_empty());
+}
+
+#[test]
+fn extract_config_propagates_to_path_limits() {
+    let src = "\
+int f(int a, int b, int c) {
+  int r = 0;
+  if (a) r += 1;
+  if (b) r += 2;
+  if (c) r += 4;
+  return r;
+}";
+    let tight = Pallas::new().with_config(ExtractConfig {
+        paths: PathConfig { max_paths: 2, ..PathConfig::default() },
+        inline_depth: 1,
+    });
+    let report = tight.check_source("limited", src, "fastpath f;").unwrap();
+    let f = report.db.function("f").unwrap();
+    assert_eq!(f.records.len(), 2);
+    assert!(f.truncated);
+    assert_eq!(tight.config().paths.max_paths, 2);
+}
+
+#[test]
+fn tsv_resolves_lines_through_merge_map() {
+    let unit = SourceUnit::new("multi")
+        .with_file("a.h", "typedef unsigned int gfp_t;\nint g(gfp_t m);\n")
+        .with_file("b.c", "int fast(gfp_t gfp_mask) {\n  gfp_mask = g(gfp_mask);\n  return 0;\n}\n")
+        .with_spec("fastpath fast; immutable gfp_mask;");
+    let report = Pallas::new().check_unit(&unit).unwrap();
+    let tsv = render_tsv(&report);
+    assert!(tsv.contains("b.c\t2\t"), "{tsv}");
+}
+
+#[test]
+fn unit_with_only_pragma_spec_checks() {
+    let src = "\
+/* @pallas fastpath fast; */
+/* @pallas fault ENOSPC; */
+int fast(int x) { return x; }";
+    let report = Pallas::new().check_source("pragmas", src, "").unwrap();
+    assert_eq!(report.warnings.len(), 1);
+    assert_eq!(report.spec.faults, vec!["ENOSPC"]);
+}
+
+#[test]
+fn empty_source_is_a_valid_empty_unit() {
+    let report = Pallas::new().check_source("empty", "", "").unwrap();
+    assert!(report.warnings.is_empty());
+    assert_eq!(report.db.functions.len(), 0);
+    assert!(render_unit_report(&report).contains("no warnings."));
+}
+
+#[test]
+fn check_many_propagates_errors_per_unit() {
+    let units = vec![
+        SourceUnit::new("good")
+            .with_file("g.c", "int f(void) { return 0; }")
+            .with_spec("fastpath f;"),
+        SourceUnit::new("bad-parse").with_file("b.c", "int f( {").with_spec(""),
+        SourceUnit::new("bad-spec")
+            .with_file("s.c", "int f(void) { return 0; }")
+            .with_spec("nonsense keyword;"),
+    ];
+    let results = Pallas::new().check_many(&units);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_err());
+    assert_eq!(results[1].as_ref().unwrap_err().unit, "bad-parse");
+    assert_eq!(results[2].as_ref().unwrap_err().unit, "bad-spec");
+}
+
+#[test]
+fn elapsed_and_merged_source_exposed() {
+    let report = Pallas::new()
+        .check_source("t", "int f(void) { return 0; }", "fastpath f;")
+        .unwrap();
+    assert!(report.merged_src.contains("int f(void)"));
+    assert!(report.elapsed.as_nanos() > 0);
+}

@@ -1,0 +1,152 @@
+//! Composing template segments into checkable corpus units.
+
+use crate::templates::{flavor_nouns, segment};
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+use pallas_core::{KnownBug, SourceUnit};
+
+/// Typical consequence per rule, used for ground-truth records
+/// (matches the consequence vocabulary of the paper's Table 7).
+pub fn typical_consequence(rule: Rule) -> &'static str {
+    match rule {
+        Rule::ImmutableOverwrite => "Wrong result",
+        Rule::ImmutableInit => "Memory leak",
+        Rule::Correlated => "Wrong result",
+        Rule::CondMissing => "System crash",
+        Rule::CondIncomplete => "Regression",
+        Rule::CondOrder => "Regression",
+        Rule::OutputDefined => "Inconsistency",
+        Rule::OutputMatchSlow => "Wrong result",
+        Rule::OutputChecked => "Data loss",
+        Rule::FaultMissing => "System crash",
+        Rule::AssistLayout => "Regression",
+        Rule::AssistStale => "Inconsistency",
+    }
+}
+
+/// Composes a corpus unit containing one fast-path function with one
+/// segment per `(rule, is_fp)` plan entry.
+///
+/// Constraints on `plan` (enforced by debug assertion): at most one
+/// entry per rule, so each warning can be attributed unambiguously.
+pub fn compose_unit(
+    component: Component,
+    unit_name: &str,
+    fast_fn: &str,
+    plan: &[(Rule, bool)],
+) -> CorpusUnit {
+    debug_assert!(
+        {
+            let mut rules: Vec<Rule> = plan.iter().map(|&(r, _)| r).collect();
+            rules.sort();
+            rules.windows(2).all(|w| w[0] != w[1])
+        },
+        "at most one segment per rule per unit"
+    );
+    let nouns = flavor_nouns(component);
+    let mut items_pre = String::new();
+    let mut items_post = String::new();
+    let mut params: Vec<(String, String)> = Vec::new();
+    let mut body = String::new();
+    let mut spec = format!("unit {unit_name};\nfastpath {fast_fn};\n");
+    let mut bugs = Vec::new();
+    let mut fps = 0usize;
+
+    for (sidx, &(rule, is_fp)) in plan.iter().enumerate() {
+        let noun = nouns[sidx % nouns.len()];
+        let seg = segment(rule, is_fp, fast_fn, sidx, noun);
+        items_pre.push_str(&seg.items_pre);
+        items_post.push_str(&seg.items_post);
+        params.extend(seg.params.clone());
+        body.push_str(&seg.body);
+        spec.push_str(&seg.spec);
+        spec.push('\n');
+        if is_fp {
+            fps += 1;
+        } else {
+            let function = seg.expected_function.clone().unwrap_or_else(|| fast_fn.to_string());
+            let rule_idx = Rule::ALL.iter().position(|&r| r == rule).unwrap_or(0);
+            let years = 0.5 + ((sidx * 7 + rule_idx * 3) % 80) as f32 / 10.0;
+            bugs.push(
+                KnownBug::new(
+                    format!("{unit_name}#{}", rule.number()),
+                    rule,
+                    function,
+                    seg.description.clone(),
+                    typical_consequence(rule),
+                )
+                .with_latent_years(years),
+            );
+        }
+    }
+
+    let params_text = if params.is_empty() {
+        "void".to_string()
+    } else {
+        params
+            .iter()
+            .map(|(ty, name)| {
+                if ty.ends_with('*') {
+                    format!("{ty}{name}")
+                } else {
+                    format!("{ty} {name}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    let source = format!(
+        "{items_pre}int {fast_fn}({params_text}) {{\n{body}  return 0;\n}}\n{items_post}"
+    );
+
+    CorpusUnit {
+        component,
+        unit: SourceUnit::new(unit_name)
+            .with_file(format!("{}.c", unit_name.replace('/', "_")), source)
+            .with_spec(spec),
+        bugs,
+        expected_false_positives: fps,
+        description: format!(
+            "synthesized {} fast path exercising {} rule pattern(s)",
+            component,
+            plan.len()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_core::Pallas;
+
+    #[test]
+    fn empty_plan_yields_clean_unit() {
+        let cu = compose_unit(Component::Fs, "fs/clean", "clean_fast", &[]);
+        let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+        assert!(analyzed.warnings.is_empty());
+        assert!(cu.bugs.is_empty());
+        assert_eq!(cu.expected_false_positives, 0);
+    }
+
+    #[test]
+    fn unit_name_and_function_wired() {
+        let cu = compose_unit(
+            Component::Wb,
+            "wb/task_queue",
+            "task_queue_fast",
+            &[(Rule::FaultMissing, false)],
+        );
+        assert_eq!(cu.name(), "wb/task_queue");
+        assert_eq!(cu.bugs.len(), 1);
+        assert_eq!(cu.bugs[0].function, "task_queue_fast");
+        assert!(cu.bugs[0].latent_years.is_some());
+    }
+
+    #[test]
+    fn consequences_cover_all_rules() {
+        for rule in Rule::ALL {
+            assert!(!typical_consequence(rule).is_empty());
+        }
+    }
+}

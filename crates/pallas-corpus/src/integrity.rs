@@ -1,0 +1,89 @@
+//! Corpus-wide integrity checks, exposed as a function so both the
+//! test suite and downstream tooling can validate a corpus before
+//! using it as ground truth.
+
+use crate::types::CorpusUnit;
+use std::collections::BTreeSet;
+
+/// Validates structural invariants over a corpus: unique unit names,
+/// unique bug ids, component/prefix agreement, and non-empty sources.
+/// Returns a list of violations (empty = valid).
+pub fn validate(corpus: &[CorpusUnit]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut names = BTreeSet::new();
+    let mut bug_ids = BTreeSet::new();
+    for cu in corpus {
+        if !names.insert(cu.name().to_string()) {
+            problems.push(format!("duplicate unit name `{}`", cu.name()));
+        }
+        if !cu.name().starts_with(cu.component.prefix()) {
+            problems.push(format!(
+                "unit `{}` name does not start with component prefix `{}`",
+                cu.name(),
+                cu.component.prefix()
+            ));
+        }
+        if cu.unit.files.is_empty() || cu.unit.files.iter().all(|(_, c)| c.trim().is_empty()) {
+            problems.push(format!("unit `{}` has no source", cu.name()));
+        }
+        if cu.unit.spec_text.trim().is_empty() {
+            problems.push(format!("unit `{}` has no spec", cu.name()));
+        }
+        for bug in &cu.bugs {
+            if !bug_ids.insert(bug.id.clone()) {
+                problems.push(format!("duplicate bug id `{}`", bug.id));
+            }
+            if bug.description.is_empty() {
+                problems.push(format!("bug `{}` has no description", bug.id));
+            }
+            if bug.consequence.is_empty() {
+                problems.push(format!("bug `{}` has no consequence", bug.id));
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{examples, known_bugs, new_bug_examples, new_paths, studied};
+
+    #[test]
+    fn every_corpus_set_is_internally_valid() {
+        for (name, corpus) in [
+            ("examples", examples()),
+            ("studied", studied()),
+            ("new_bug_examples", new_bug_examples()),
+            ("new_paths", new_paths()),
+            ("known_bugs", known_bugs()),
+        ] {
+            let problems = validate(&corpus);
+            assert!(problems.is_empty(), "{name}: {problems:#?}");
+        }
+    }
+
+    #[test]
+    fn sets_do_not_collide_by_name() {
+        let mut all = BTreeSet::new();
+        for corpus in [examples(), studied(), new_bug_examples(), new_paths(), known_bugs()] {
+            for cu in corpus {
+                assert!(all.insert(cu.name().to_string()), "duplicate across sets: {}", cu.name());
+            }
+        }
+        assert!(all.len() >= 90 + 62 + 9 + 6 + 4);
+    }
+
+    #[test]
+    fn validator_reports_problems() {
+        let mut cu = examples()[0].clone();
+        cu.unit.spec_text.clear();
+        cu.bugs[0].description.clear();
+        let mut broken = vec![cu.clone(), cu];
+        broken[1].bugs.clear(); // keep one duplicate-name instance simple
+        let problems = validate(&broken);
+        assert!(problems.iter().any(|p| p.contains("duplicate unit name")));
+        assert!(problems.iter().any(|p| p.contains("no spec")));
+        assert!(problems.iter().any(|p| p.contains("no description")));
+    }
+}

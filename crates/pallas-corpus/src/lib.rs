@@ -1,0 +1,33 @@
+//! # pallas-corpus
+//!
+//! The evaluation corpus: faithful miniatures of the fast paths the
+//! paper studies (page allocation, UBIFS writes, TCP receive, RPS,
+//! SCSI command teardown, the NFS inode cache, ...) plus a calibrated
+//! synthetic corpus reproducing the paper's Table 1 (155 validated
+//! bugs / 224 warnings over 90 fast paths), Table 7 (34 named new
+//! bugs), and Table 8 (61/62 known bugs re-detected), all with
+//! machine-checkable ground truth. A seeded workload generator
+//! provides arbitrarily large units for the benchmarks.
+
+pub mod builder;
+pub mod examples;
+pub mod integrity;
+pub mod new_bugs;
+pub mod studied;
+pub mod synthetic;
+pub mod table1;
+pub mod table7;
+pub mod table8;
+pub mod templates;
+pub mod types;
+
+pub use builder::compose_unit;
+pub use examples::examples;
+pub use integrity::validate;
+pub use new_bugs::new_bug_examples;
+pub use studied::studied;
+pub use synthetic::{synthetic_corpus, synthetic_unit};
+pub use table1::{new_paths, table1_bug_matrix, table1_fp_matrix, units_per_component};
+pub use table7::{table7, Table7Row};
+pub use table8::{known_bugs, table8_counts};
+pub use types::{systems, Component, CorpusUnit, EvaluatedSystem};

@@ -1,0 +1,237 @@
+//! Hand-written miniatures of the §5.1 narrative bugs in the
+//! *non-kernel* systems — the cases the paper describes in prose when
+//! presenting Table 7: the Chromium PNaCl downloader whose fast path
+//! can never run because a handler forgets to return a value, the
+//! Open vSwitch TCP-fragmentation path missing its CHECKSUM_PARTIAL
+//! conjunct, the Android `cpufreq-set` wrong output, and the Android
+//! macvtap page-pinning path without a fault handler.
+
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+use pallas_core::{KnownBug, SourceUnit};
+
+fn unit(
+    component: Component,
+    name: &str,
+    source: &str,
+    spec: &str,
+    bugs: Vec<KnownBug>,
+    description: &str,
+) -> CorpusUnit {
+    CorpusUnit {
+        component,
+        unit: SourceUnit::new(name)
+            .with_file(format!("{}.c", name.replace('/', "_")), source)
+            .with_spec(spec),
+        bugs,
+        expected_false_positives: 0,
+        description: description.to_string(),
+    }
+}
+
+/// Chromium `ppb_nacl_private_impl.cc`: "developers expected a flag
+/// from a handler with the OpenNaClExecutable function to ensure a
+/// file handle is available for downloading in a fast path. However,
+/// the function never returned a value, causing that the fast path is
+/// never executed" (§5.1).
+pub fn chromium_pnacl() -> CorpusUnit {
+    let src = "\
+int open_nacl_executable_handler(int url) {
+  int handle = url + 1;
+  handle = handle * 2;
+}
+int download_fast(int url, int have_handle) {
+  if (have_handle)
+    return open_nacl_executable_handler(url);
+  return -1;
+}
+";
+    let spec = "\
+unit wb/ppb_nacl_example;
+fastpath open_nacl_executable_handler;
+returns 0, 1;
+";
+    unit(
+        Component::Wb,
+        "wb/ppb_nacl_example",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "wb/ppb_nacl_example#3.1",
+            Rule::OutputDefined,
+            "open_nacl_executable_handler",
+            "handler never returns the file-handle flag; fast path never taken",
+            "System crash",
+        )],
+        "§5.1: Chromium PNaCl handler that never returns a value",
+    )
+}
+
+/// Open vSwitch: "a fast path was implemented for fragmenting TCP
+/// packages ... its trigger conditions should include the checking of
+/// the CHECKSUM_PARTIAL flag. However, the buggy code missed that
+/// checking before entering the fast path" (§5.1).
+pub fn ovs_fragment() -> CorpusUnit {
+    let src = "\
+#define CHECKSUM_PARTIAL 3
+struct sk_buff { int cloned; int ip_summed; };
+int fragment_direct(struct sk_buff *skb);
+int fragment_slow(struct sk_buff *skb);
+int ip6_fragment_fast(struct sk_buff *skb) {
+  if (!skb->cloned)
+    return fragment_direct(skb);
+  return fragment_slow(skb);
+}
+";
+    let spec = "\
+unit sdn/ip6_fragment_example;
+fastpath ip6_fragment_fast;
+cond frag_ok: cloned, ip_summed;
+";
+    unit(
+        Component::Sdn,
+        "sdn/ip6_fragment_example",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "sdn/ip6_fragment_example#2.2",
+            Rule::CondIncomplete,
+            "ip6_fragment_fast",
+            "CHECKSUM_PARTIAL (ip_summed) not checked before the fast path",
+            "Regression",
+        )
+        .with_latent_years(0.5)],
+        "§5.1: OVS TCP fragmentation missing the checksum conjunct",
+    )
+}
+
+/// Android `cpufreq-set.c` (Table 7): modifying only one value of a
+/// policy returns a value outside what the tooling expects.
+pub fn android_cpufreq() -> CorpusUnit {
+    let src = "\
+struct policy { int min; int max; };
+int write_sysfs(int v);
+int cpufreq_set_fast(struct policy *pol, int new_min) {
+  pol->min = new_min;
+  write_sysfs(new_min);
+  return new_min;
+}
+";
+    let spec = "\
+unit mob/cpufreq_set_example;
+fastpath cpufreq_set_fast;
+returns 0, -1;
+";
+    unit(
+        Component::Mob,
+        "mob/cpufreq_set_example",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "mob/cpufreq_set_example#3.1",
+            Rule::OutputDefined,
+            "cpufreq_set_fast",
+            "returns the raw frequency instead of a status code",
+            "Wrong result",
+        )
+        .with_latent_years(4.6)],
+        "Table 7: Android cpufreq-set wrong output",
+    )
+}
+
+/// Android `macvtap.c` (Table 7): pinning user pages without handling
+/// the partial-pin fault leaks the pinned pages.
+pub fn android_macvtap() -> CorpusUnit {
+    let src = "\
+int get_user_pages(int addr, int n);
+int use_pages(int n);
+int macvtap_pin_fast(int addr, int n) {
+  int pinned = get_user_pages(addr, n);
+  use_pages(pinned);
+  return 0;
+}
+int macvtap_pin_fixed(int addr, int n) {
+  int pinned = get_user_pages(addr, n);
+  if (pinned < n) {
+    return -1;
+  }
+  use_pages(pinned);
+  return 0;
+}
+";
+    let spec = "\
+unit mob/macvtap_example;
+fastpath macvtap_pin_fast;
+fault pinned;
+";
+    unit(
+        Component::Mob,
+        "mob/macvtap_example",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "mob/macvtap_example#4.1",
+            Rule::FaultMissing,
+            "macvtap_pin_fast",
+            "partial page pinning never handled; pinned pages leak",
+            "System crash",
+        )
+        .with_latent_years(4.7)],
+        "Table 7: Android macvtap missing partial-pin handler (fixed variant included)",
+    )
+}
+
+/// All non-kernel §5.1 narrative miniatures.
+pub fn new_bug_examples() -> Vec<CorpusUnit> {
+    vec![chromium_pnacl(), ovs_fragment(), android_cpufreq(), android_macvtap()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_core::{score, Pallas};
+
+    #[test]
+    fn new_bug_examples_check_exactly() {
+        for cu in new_bug_examples() {
+            let analyzed = Pallas::new()
+                .check_unit(&cu.unit)
+                .unwrap_or_else(|e| panic!("{}: {e}", cu.name()));
+            let s = score(&analyzed.warnings, &cu.bugs);
+            assert_eq!(
+                s.bug_count(),
+                cu.bugs.len(),
+                "{}: missed {:?}, warnings {:#?}",
+                cu.name(),
+                s.missed,
+                analyzed.warnings
+            );
+            assert!(s.false_positives.is_empty(), "{}: {:#?}", cu.name(), s.false_positives);
+        }
+    }
+
+    #[test]
+    fn covers_all_three_non_kernel_systems() {
+        let comps: Vec<_> = new_bug_examples().iter().map(|u| u.component).collect();
+        assert!(comps.contains(&Component::Wb));
+        assert!(comps.contains(&Component::Sdn));
+        assert!(comps.contains(&Component::Mob));
+    }
+
+    #[test]
+    fn macvtap_fixed_variant_is_clean() {
+        let cu = android_macvtap();
+        let mut fixed = cu.unit.clone();
+        fixed.spec_text = "fastpath macvtap_pin_fixed; fault pinned;".into();
+        let analyzed = Pallas::new().check_unit(&fixed).unwrap();
+        assert!(analyzed.warnings.is_empty(), "{:#?}", analyzed.warnings);
+    }
+
+    #[test]
+    fn pnacl_missing_return_is_the_defect() {
+        let cu = chromium_pnacl();
+        let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+        assert_eq!(analyzed.warnings.len(), 1);
+        assert!(analyzed.warnings[0].message.contains("no value"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Additional miniatures of the in-study bug examples from §3 — the
+//! real-world cases the paper quotes inside the findings but does not
+//! give a dedicated figure: the SLUB frozen-state check, the BtrFS
+//! unchecked `btrfs_wait_ordered_range`, the TCP congestion-control
+//! stale key, the IPv4 `inet_cork` dead field, the memcg uninitialized
+//! page flag, and the `preferred_zone`/`nodemask` correlation.
+
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+use pallas_core::{KnownBug, SourceUnit};
+
+fn unit(
+    component: Component,
+    name: &str,
+    source: &str,
+    spec: &str,
+    bugs: Vec<KnownBug>,
+    description: &str,
+) -> CorpusUnit {
+    CorpusUnit {
+        component,
+        unit: SourceUnit::new(name)
+            .with_file(format!("{}.c", name.replace('/', "_")), source)
+            .with_spec(spec),
+        bugs,
+        expected_false_positives: 0,
+        description: description.to_string(),
+    }
+}
+
+/// §3.4 "Unexpected output": a page allocated in the SLUB fast path
+/// must be in frozen state to enable per-CPU allocation; the miniature
+/// returns a non-frozen state on one path (\[42\]).
+pub fn slub_frozen() -> CorpusUnit {
+    let src = "\
+enum slab_state { UNFROZEN = 0, FROZEN = 1 };
+int take_from_partial(int node);
+int get_freelist_fast(int cpu_slab, int node) {
+  if (cpu_slab)
+    return FROZEN;
+  take_from_partial(node);
+  return 2;
+}
+";
+    let spec = "\
+unit mm/slub_frozen_study;
+fastpath get_freelist_fast;
+returns FROZEN;
+";
+    unit(
+        Component::Mm,
+        "mm/slub_frozen_study",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "mm/slub_frozen_study#3.1",
+            Rule::OutputDefined,
+            "get_freelist_fast",
+            "page returned without frozen state breaks per-CPU allocation",
+            "Wrong result",
+        )
+        .with_latent_years(2.6)],
+        "§3.4: SLUB get_freelist must return frozen pages",
+    )
+}
+
+/// §3.4 "Missing output checking": `prepare_page` assumes the
+/// optimized IO always succeeds and never checks the return of
+/// `btrfs_wait_ordered_range`, losing partially-written data.
+pub fn btrfs_wait_ordered() -> CorpusUnit {
+    let src = "\
+int flush_range(int start, int len);
+int btrfs_wait_ordered_range(int start, int len) {
+  int err = flush_range(start, len);
+  if (err)
+    return err;
+  return 0;
+}
+int prepare_page(int start, int len) {
+  btrfs_wait_ordered_range(start, len);
+  return 0;
+}
+";
+    let spec = "\
+unit fs/btrfs_wait_study;
+fastpath btrfs_wait_ordered_range;
+check_return;
+";
+    unit(
+        Component::Fs,
+        "fs/btrfs_wait_study",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "fs/btrfs_wait_study#3.3",
+            Rule::OutputChecked,
+            "prepare_page",
+            "caller assumes the optimized IO always succeeds",
+            "Data loss",
+        )
+        .with_latent_years(1.7)],
+        "§3.4: unchecked btrfs_wait_ordered_range return",
+    )
+}
+
+/// §3.6 "Stale value": after loading/unloading congestion-control
+/// modules, the key table still maps a stale key to the old module
+/// (\[35\]).
+pub fn tcp_cc_stale_key() -> CorpusUnit {
+    let src = "\
+struct sock { int ca_ops; };
+int module_get(int key);
+int assign_cc_fast(struct sock *sk, int key) {
+  sk->ca_ops = module_get(key);
+  return 0;
+}
+";
+    let spec = "\
+unit net/tcp_cc_study;
+fastpath assign_cc_fast;
+cache ca_key_table for ca_ops;
+";
+    unit(
+        Component::Net,
+        "net/tcp_cc_study",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "net/tcp_cc_study#5.2",
+            Rule::AssistStale,
+            "assign_cc_fast",
+            "congestion-control key table not updated with the new ops",
+            "Regression",
+        )
+        .with_latent_years(1.4)],
+        "§3.6: stale congestion-control key after module reload",
+    )
+}
+
+/// §3.6 "Suboptimal organization": `struct flowi` rides inside
+/// `inet_cork` although the IPv4 fast path never touches it, wasting a
+/// cache line per cork.
+pub fn inet_cork_layout() -> CorpusUnit {
+    let src = "\
+struct inet_cork { int length; int flowi; };
+int append_data(int len);
+int ip_append_fast(struct inet_cork *cork, int len) {
+  cork->length = cork->length + len;
+  return append_data(len);
+}
+";
+    let spec = "\
+unit net/inet_cork_study;
+fastpath ip_append_fast;
+assist struct inet_cork;
+";
+    unit(
+        Component::Net,
+        "net/inet_cork_study",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "net/inet_cork_study#5.1",
+            Rule::AssistLayout,
+            "ip_append_fast",
+            "struct flowi never used by the IPv4 fast path",
+            "Regression",
+        )
+        .with_latent_years(2.8)],
+        "§3.6: dead flowi field bloats inet_cork",
+    )
+}
+
+/// §3.2 "Uninitialized immutable variables": an uninitialized page
+/// flag in the memcg charge-moving fast path (\[32\]).
+pub fn memcg_uninit_flag() -> CorpusUnit {
+    let src = "\
+int charge_page(int page, int flags);
+int mem_cgroup_move_parent_fast(int page) {
+  int page_flags;
+  return charge_page(page, page_flags);
+}
+";
+    let spec = "\
+unit mm/memcg_uninit_study;
+fastpath mem_cgroup_move_parent_fast;
+immutable page_flags;
+";
+    unit(
+        Component::Mm,
+        "mm/memcg_uninit_study",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "mm/memcg_uninit_study#1.1",
+            Rule::ImmutableInit,
+            "mem_cgroup_move_parent_fast",
+            "page flag used before initialization in charge moving",
+            "System crash",
+        )
+        .with_latent_years(1.3)],
+        "§3.2: uninitialized page flag in memcg",
+    )
+}
+
+/// §3.2 "Correlated variables": `preferred_zone` must be a node
+/// allowed by `nodemask`; the fast path picks a zone without ever
+/// consulting the mask (\[31\]).
+pub fn preferred_zone_correlation() -> CorpusUnit {
+    let src = "\
+int first_zone(int zonelist);
+int pick_zone_fast(int zonelist, int nodemask) {
+  int preferred_zone = first_zone(zonelist);
+  if (preferred_zone)
+    return preferred_zone;
+  return 0;
+}
+";
+    let spec = "\
+unit mm/preferred_zone_study;
+fastpath pick_zone_fast;
+correlated preferred_zone -> nodemask;
+";
+    unit(
+        Component::Mm,
+        "mm/preferred_zone_study",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "mm/preferred_zone_study#1.3",
+            Rule::Correlated,
+            "pick_zone_fast",
+            "preferred zone chosen without consulting nodemask",
+            "Wrong result",
+        )
+        .with_latent_years(2.2)],
+        "§3.2: preferred_zone/nodemask correlation not implemented",
+    )
+}
+
+/// All §3 in-study miniatures.
+pub fn studied() -> Vec<CorpusUnit> {
+    vec![
+        slub_frozen(),
+        btrfs_wait_ordered(),
+        tcp_cc_stale_key(),
+        inet_cork_layout(),
+        memcg_uninit_flag(),
+        preferred_zone_correlation(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_core::{score, Pallas};
+
+    #[test]
+    fn studied_units_check_exactly_to_ground_truth() {
+        for cu in studied() {
+            let analyzed = Pallas::new()
+                .check_unit(&cu.unit)
+                .unwrap_or_else(|e| panic!("{}: {e}", cu.name()));
+            let s = score(&analyzed.warnings, &cu.bugs);
+            assert_eq!(
+                s.bug_count(),
+                cu.bugs.len(),
+                "{}: missed {:?}, warnings {:#?}",
+                cu.name(),
+                s.missed,
+                analyzed.warnings
+            );
+            assert!(
+                s.false_positives.is_empty(),
+                "{}: unexpected {:#?}",
+                cu.name(),
+                s.false_positives
+            );
+        }
+    }
+
+    #[test]
+    fn studied_covers_six_distinct_rules() {
+        let mut rules: Vec<_> = studied()
+            .iter()
+            .flat_map(|u| u.bugs.iter().map(|b| b.rule))
+            .collect();
+        rules.sort();
+        rules.dedup();
+        assert_eq!(rules.len(), 6);
+    }
+
+    #[test]
+    fn enum_named_return_set_resolves() {
+        // slub: `returns FROZEN;` resolves through the enum to 1, so
+        // the in-set literal return is clean and only `return 2` warns.
+        let cu = slub_frozen();
+        let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+        assert_eq!(analyzed.warnings.len(), 1);
+        assert!(analyzed.warnings[0].message.contains('2'));
+    }
+}

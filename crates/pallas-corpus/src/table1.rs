@@ -1,0 +1,213 @@
+//! The Table 1 corpus: 90 fast paths whose injected bugs and benign
+//! patterns reproduce the paper's headline evaluation — 155 validated
+//! bugs and 224 warnings across twelve findings and seven components.
+
+use crate::builder::compose_unit;
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+
+/// Validated-bug counts per rule row × component column, exactly the
+/// body of the paper's Table 1 (row order = [`Rule::ALL`], column
+/// order = [`Component::ALL`]).
+pub fn table1_bug_matrix() -> [(Rule, [usize; 7]); 12] {
+    [
+        (Rule::ImmutableOverwrite, [1, 1, 1, 1, 3, 1, 2]),
+        (Rule::ImmutableInit, [1, 1, 2, 1, 2, 1, 2]),
+        (Rule::Correlated, [1, 1, 1, 1, 1, 1, 3]),
+        (Rule::CondMissing, [5, 1, 3, 2, 3, 2, 3]),
+        (Rule::CondIncomplete, [1, 1, 1, 3, 2, 1, 5]),
+        (Rule::CondOrder, [1, 1, 1, 1, 1, 2, 1]),
+        (Rule::OutputMatchSlow, [1, 1, 2, 1, 2, 1, 4]),
+        (Rule::OutputDefined, [1, 1, 2, 1, 3, 2, 2]),
+        (Rule::OutputChecked, [1, 2, 1, 1, 2, 1, 3]),
+        (Rule::FaultMissing, [2, 4, 2, 4, 7, 3, 5]),
+        (Rule::AssistLayout, [2, 2, 1, 2, 4, 2, 2]),
+        (Rule::AssistStale, [1, 1, 1, 1, 1, 1, 2]),
+    ]
+}
+
+/// False-positive counts per rule row (the paper's `W − B` margin),
+/// distributed across components round-robin. Row totals: 16−10, 16−10,
+/// 15−9, 21−19, 18−14, 15−8, 19−12, 14−12, 18−11, 37−27, 21−15, 14−8.
+pub fn table1_fp_matrix() -> [(Rule, [usize; 7]); 12] {
+    let totals: [(Rule, usize); 12] = [
+        (Rule::ImmutableOverwrite, 6),
+        (Rule::ImmutableInit, 6),
+        (Rule::Correlated, 6),
+        (Rule::CondMissing, 2),
+        (Rule::CondIncomplete, 4),
+        (Rule::CondOrder, 7),
+        (Rule::OutputMatchSlow, 7),
+        (Rule::OutputDefined, 2),
+        (Rule::OutputChecked, 7),
+        (Rule::FaultMissing, 10),
+        (Rule::AssistLayout, 6),
+        (Rule::AssistStale, 6),
+    ];
+    let mut out = [(Rule::ImmutableOverwrite, [0usize; 7]); 12];
+    for (row, (rule, total)) in totals.into_iter().enumerate() {
+        let mut counts = [0usize; 7];
+        for j in 0..total {
+            counts[(row + j) % 7] += 1;
+        }
+        out[row] = (rule, counts);
+    }
+    out
+}
+
+/// Number of fast paths per component; sums to the paper's 90
+/// evaluated fast paths.
+pub fn units_per_component() -> [(Component, usize); 7] {
+    [
+        (Component::Mm, 12),
+        (Component::Fs, 12),
+        (Component::Net, 12),
+        (Component::Dev, 12),
+        (Component::Wb, 16),
+        (Component::Sdn, 10),
+        (Component::Mob, 16),
+    ]
+}
+
+/// Realistic unit base names per component.
+fn unit_names(component: Component) -> &'static [&'static str] {
+    match component {
+        Component::Mm => &[
+            "page_alloc", "slab", "slub", "mempolicy", "memcontrol", "vmscan", "huge_memory",
+            "mmap", "mprotect", "swap_state", "compaction", "filemap",
+        ],
+        Component::Fs => &[
+            "ext4_write", "btrfs_io", "xfs_ialloc", "ocfs2_uptodate", "ubifs_write",
+            "nfs_lookup", "dcache", "namei", "namespace", "inode", "aio", "direct_io",
+        ],
+        Component::Net => &[
+            "tcp_input", "tcp_output", "udp", "af_unix", "rps_core", "ip6_output", "skbuff",
+            "netdevice", "sock", "neighbour", "icmp", "route",
+        ],
+        Component::Dev => &[
+            "scsi_transport", "hvc_console", "cl_page", "lov_io", "mpt3sas_base",
+            "mpt3sas_scsih", "nvme_core", "virtio_blk", "e1000_main", "ahci", "usb_core",
+            "md_raid",
+        ],
+        Component::Wb => &[
+            "ppb_nacl_private", "ppb_nacl_loader", "task_queue_impl", "task_queue_post",
+            "web_url_loader", "wts_terminal_monitor", "script_value_serializer",
+            "graphics_context", "partition_alloc", "render_frame", "ipc_channel",
+            "cc_scheduler", "cache_storage", "dom_timer", "paint_worklet", "media_stream",
+        ],
+        Component::Sdn => &[
+            "dpif_netdev", "vxlan", "netdev_offload", "ofproto_dpif", "flow_table", "bond",
+            "tunnel_push", "meter_band", "conntrack", "upcall",
+        ],
+        Component::Mob => &[
+            "binder", "ashmem", "lowmemorykiller", "cpufreq_set", "macvtap", "mempolicy_droid",
+            "namei_droid", "namespace_droid", "page_alloc_droid", "skbuff_droid", "xfs_mount",
+            "ion_heap", "wakelock", "sync_fence", "sensors_hal", "netfilter_droid",
+        ],
+    }
+}
+
+/// Builds the complete Table 1 corpus: 90 units whose checker run
+/// yields exactly the paper's per-cell validated-bug counts plus the
+/// distributed false positives (224 warnings total).
+pub fn new_paths() -> Vec<CorpusUnit> {
+    let bug_matrix = table1_bug_matrix();
+    let fp_matrix = table1_fp_matrix();
+    let mut corpus = Vec::new();
+    for (ci, (component, n_units)) in units_per_component().into_iter().enumerate() {
+        // Per-unit segment plans.
+        let mut plans: Vec<Vec<(Rule, bool)>> = vec![Vec::new(); n_units];
+        for (row, (rule, bug_counts)) in bug_matrix.iter().enumerate() {
+            let bugs = bug_counts[ci];
+            let fps = fp_matrix[row].1[ci];
+            debug_assert!(bugs + fps <= n_units, "rule {rule:?} overflows {component}");
+            // Spread instances of this rule across distinct units,
+            // offset by the row so different rules co-locate.
+            for j in 0..(bugs + fps) {
+                let unit_idx = (row * 3 + j) % n_units;
+                // Find the next unit without this rule (guaranteed to
+                // exist because instances ≤ units).
+                let mut k = unit_idx;
+                while plans[k].iter().any(|&(r, _)| r == *rule) {
+                    k = (k + 1) % n_units;
+                }
+                plans[k].push((*rule, j >= bugs));
+            }
+        }
+        let names = unit_names(component);
+        for (u, plan) in plans.into_iter().enumerate() {
+            let base = names[u % names.len()];
+            let unit_name = format!("{}/{}", component.prefix(), base);
+            let fast_fn = format!("{base}_fast");
+            corpus.push(compose_unit(component, &unit_name, &fast_fn, &plan));
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_totals_match_paper() {
+        let bugs: usize = table1_bug_matrix().iter().flat_map(|(_, r)| r.iter()).sum();
+        assert_eq!(bugs, 155);
+        let fps: usize = table1_fp_matrix().iter().flat_map(|(_, r)| r.iter()).sum();
+        assert_eq!(fps, 69);
+        let units: usize = units_per_component().iter().map(|&(_, n)| n).sum();
+        assert_eq!(units, 90);
+    }
+
+    #[test]
+    fn component_bug_totals_match_table1_columns() {
+        let matrix = table1_bug_matrix();
+        let col = |ci: usize| -> usize { matrix.iter().map(|(_, r)| r[ci]).sum() };
+        assert_eq!(col(0), 18); // MM
+        assert_eq!(col(1), 17); // FS
+        assert_eq!(col(2), 18); // NET
+        assert_eq!(col(3), 19); // DEV
+        assert_eq!(col(4), 31); // WB
+        assert_eq!(col(5), 18); // SDN
+        assert_eq!(col(6), 34); // MOB
+    }
+
+    #[test]
+    fn corpus_has_90_units_with_expected_ground_truth() {
+        let corpus = new_paths();
+        assert_eq!(corpus.len(), 90);
+        let bugs: usize = corpus.iter().map(|u| u.bugs.len()).sum();
+        assert_eq!(bugs, 155);
+        let fps: usize = corpus.iter().map(|u| u.expected_false_positives).sum();
+        assert_eq!(fps, 69);
+    }
+
+    #[test]
+    fn unit_names_unique() {
+        let corpus = new_paths();
+        let mut names: Vec<&str> = corpus.iter().map(|u| u.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 90);
+    }
+
+    #[test]
+    fn no_unit_has_duplicate_rules() {
+        for unit in new_paths() {
+            let mut rules: Vec<_> = unit.bugs.iter().map(|b| b.rule).collect();
+            rules.sort();
+            let before = rules.len();
+            rules.dedup();
+            assert_eq!(rules.len(), before, "{}", unit.name());
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = new_paths();
+        let b = new_paths();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.unit, y.unit);
+        }
+    }
+}

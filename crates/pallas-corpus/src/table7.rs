@@ -1,0 +1,161 @@
+//! Table 7: the 34 new bugs the paper reports, as metadata rows joined
+//! onto the Table 1 corpus ground truth.
+
+use crate::table1::new_paths;
+use crate::types::Component;
+use pallas_checkers::Rule;
+use std::collections::HashMap;
+
+/// One row of the paper's Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    /// Software component (Table 7's first column).
+    pub component: Component,
+    /// Source file the bug was found in.
+    pub file: &'static str,
+    /// Fast-path operation description.
+    pub operation: &'static str,
+    /// Error-type label as printed in the paper (`[F] missing handler`).
+    pub error: &'static str,
+    /// The rule whose checker discovers the bug.
+    pub rule: Rule,
+    /// Potential consequence.
+    pub consequence: &'static str,
+    /// Latent period in years (`None` where the tracker lacks dates).
+    pub years: Option<f32>,
+}
+
+/// The 34 new bugs of the paper's Table 7.
+pub fn table7() -> Vec<Table7Row> {
+    use Component::*;
+    use Rule::*;
+    let r = |component, file, operation, error, rule, consequence, years| Table7Row {
+        component,
+        file,
+        operation,
+        error,
+        rule,
+        consequence,
+        years,
+    };
+    vec![
+        r(Mm, "slab.c", "Allocate w/ local pages", "[F] missing handler", FaultMissing, "System crash", Some(6.5)),
+        r(Fs, "uptodate.c", "Insert metadata buffer to cache w/o resizing", "[O] missing log output", OutputChecked, "Inconsistency", Some(2.2)),
+        r(Fs, "uptodate.c", "Insert new buffer to cache w/o resizing", "[F] missing handler", FaultMissing, "System crash", Some(6.1)),
+        r(Fs, "xfs_ialloc.c", "Allocate an inode using the free inode btree", "[O] wrong output", OutputDefined, "Inconsistency", Some(2.2)),
+        r(Net, "af_unix.c", "Send page data w/ socket", "[C] incorrect order", CondOrder, "Regression", Some(1.1)),
+        r(Net, "tcp_ipv4.c", "Get first established socket w/o a lock", "[O] wrong lock state", OutputDefined, "Deadlock", Some(8.4)),
+        r(Net, "udp.c", "Send msgs w/o a lock for non-corking case", "[O] wrong output", OutputMatchSlow, "Wrong result", Some(5.4)),
+        r(Dev, "cl_page.c", "Find Lustre page in cache", "[O] unexpected output", OutputDefined, "System crash", Some(3.2)),
+        r(Dev, "hvc_console.c", "Open w/ an existing port", "[F] skipping handler", FaultMissing, "System crash", Some(5.5)),
+        r(Dev, "lov_io.c", "I/O initialization when file is striped", "[C] missing condition", CondMissing, "Regression", Some(3.2)),
+        r(Dev, "mpt3sas_base.c", "Send fast-path requests to firmware", "[D] suboptimal layout", AssistLayout, "Regression", Some(3.7)),
+        r(Dev, "mpt3sas_scsih.c", "Turn on fast path for IR physdisk", "[F] skipping handler", FaultMissing, "System crash", Some(2.9)),
+        r(Wb, "ppb_nacl_private_impl.cc", "Download a file w/ PNaCl support", "[F] missing handler", FaultMissing, "System crash", None),
+        r(Wb, "ppb_nacl_private_impl.cc", "Download a Nexe file w/ PNaCl support", "[F] unexpected output", FaultMissing, "System crash", None),
+        r(Wb, "task_queue_impl.cc", "Post delayed tasks w/o a lock", "[O] wrong return", OutputMatchSlow, "Wrong result", None),
+        r(Wb, "task_queue_impl.cc", "Post delayed tasks w/o a lock", "[S] suboptimal layout", ImmutableOverwrite, "Regression", None),
+        r(Wb, "web_url_loader_impl.cc", "Load URL w/ local data", "[F] missing handler", FaultMissing, "System crash", None),
+        r(Wb, "wts_terminal_monitor.cc", "Get session id w/ physical console", "[O] wrong return", OutputMatchSlow, "Wrong result", None),
+        r(Wb, "ScriptValueSerializer.cpp", "Write ASCII strings", "[F] missing handler", FaultMissing, "Inconsistency", None),
+        r(Wb, "GraphicsContext.cpp", "Draw w/ Shader", "[F] missing handler", FaultMissing, "System crash", None),
+        r(Wb, "PartitionAlloc.cpp", "Allocate pages in the active-page list", "[F] wrong handler", FaultMissing, "Wrong result", None),
+        r(Mob, "cpufreq-set.c", "Modify only one value of a policy", "[O] wrong output", OutputDefined, "Wrong result", Some(4.6)),
+        r(Mob, "macvtap.c", "Pin user pages in memory", "[F] missing handler", FaultMissing, "System crash", Some(4.7)),
+        r(Mob, "mempolicy.c", "Allocate a page w/ a default policy", "[S] wrong state", Correlated, "Memory leak", Some(2.1)),
+        r(Mob, "mempolicy.c", "Allocate a page w/ a default policy", "[C] incorrect order", CondOrder, "Regression", Some(2.1)),
+        r(Mob, "namei.c", "Lookup inode w/o a lock", "[O] unexpected state", OutputDefined, "Inconsistency", Some(0.8)),
+        r(Mob, "namespace.c", "Unmount file systems w/o a lock", "[C] skipping slow path", CondMissing, "System crash", Some(2.7)),
+        r(Mob, "page_alloc.c", "Get a page from freelist", "[S] immutable state", ImmutableOverwrite, "Wrong result", Some(0.8)),
+        r(Mob, "skbuff.c", "Reallocate when a skb has a single reference", "[C] wrong condition", CondIncomplete, "Memory leak", Some(1.9)),
+        r(Mob, "xfs_mount.c", "Modify a counter if it is in use", "[F] missing handler", FaultMissing, "Inconsistency", Some(2.3)),
+        r(Sdn, "dpif-netdev.c", "Process in defined fast path", "[C] incorrect order", CondOrder, "Regression", Some(2.8)),
+        r(Sdn, "ip6_output.c", "Create fragments for not cloned skb", "[C] incomplete", CondIncomplete, "Regression", Some(0.5)),
+        r(Sdn, "netdevice.c", "Calculate header offset in fast path", "[F] missing handler", FaultMissing, "System crash", Some(0.5)),
+        r(Sdn, "vxlan.c", "Calculate header offset in fast path", "[F] missing handler", FaultMissing, "System crash", Some(0.5)),
+    ]
+}
+
+/// Joins Table 7 rows onto corpus ground truth: returns, for each row,
+/// the id of a distinct corpus bug with the same component and rule.
+///
+/// # Panics
+///
+/// Panics if the corpus does not contain enough bugs of the required
+/// kind — the Table 1 matrix guarantees it does.
+pub fn table7_bug_ids() -> Vec<String> {
+    let corpus = new_paths();
+    let mut pools: HashMap<(Component, Rule), Vec<String>> = HashMap::new();
+    for unit in &corpus {
+        for bug in &unit.bugs {
+            pools
+                .entry((unit.component, bug.rule))
+                .or_default()
+                .push(bug.id.clone());
+        }
+    }
+    table7()
+        .iter()
+        .map(|row| {
+            pools
+                .get_mut(&(row.component, row.rule))
+                .and_then(|pool| pool.pop())
+                .unwrap_or_else(|| {
+                    panic!("no corpus bug left for {} {:?}", row.component, row.rule)
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_four_rows() {
+        assert_eq!(table7().len(), 34);
+    }
+
+    #[test]
+    fn component_row_counts_match_paper() {
+        let rows = table7();
+        let count = |c: Component| rows.iter().filter(|r| r.component == c).count();
+        assert_eq!(count(Component::Mm), 1);
+        assert_eq!(count(Component::Fs), 3);
+        assert_eq!(count(Component::Net), 3);
+        assert_eq!(count(Component::Dev), 5);
+        assert_eq!(count(Component::Wb), 9);
+        assert_eq!(count(Component::Mob), 9);
+        assert_eq!(count(Component::Sdn), 4);
+    }
+
+    #[test]
+    fn chromium_rows_lack_latent_years() {
+        for row in table7() {
+            if row.component == Component::Wb {
+                assert!(row.years.is_none(), "{}", row.file);
+            } else {
+                assert!(row.years.is_some(), "{}", row.file);
+            }
+        }
+    }
+
+    #[test]
+    fn every_row_joins_to_a_distinct_corpus_bug() {
+        let ids = table7_bug_ids();
+        assert_eq!(ids.len(), 34);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 34, "bug ids must be distinct");
+    }
+
+    #[test]
+    fn average_latent_period_close_to_paper() {
+        // §5.1: "The average latent period of these bugs is 3.1 years."
+        let rows = table7();
+        let years: Vec<f32> = rows.iter().filter_map(|r| r.years).collect();
+        let mean = years.iter().sum::<f32>() / years.len() as f32;
+        assert!((mean - 3.1).abs() < 0.1, "mean latent period {mean}");
+    }
+}

@@ -1,0 +1,123 @@
+//! The Table 8 completeness corpus: 62 known fast-path bugs from the
+//! study synthesized back into checkable units, of which Pallas
+//! re-detects 61 — the single miss is the paper's semantic exception
+//! (a page state whose correct value exists only at runtime).
+
+use crate::builder::compose_unit;
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+use pallas_core::{KnownBug, SourceUnit};
+
+/// Table 8 rows: `(rule, total bugs, detectable bugs)`.
+pub fn table8_counts() -> [(Rule, usize, usize); 12] {
+    [
+        (Rule::ImmutableOverwrite, 4, 4),
+        (Rule::Correlated, 6, 6),
+        (Rule::ImmutableInit, 2, 2),
+        (Rule::CondMissing, 8, 8),
+        (Rule::CondIncomplete, 8, 8),
+        (Rule::CondOrder, 2, 2),
+        (Rule::OutputDefined, 6, 5), // the semantic-exception miss
+        (Rule::OutputMatchSlow, 8, 8),
+        (Rule::OutputChecked, 2, 2),
+        (Rule::FaultMissing, 8, 8),
+        (Rule::AssistLayout, 6, 6),
+        (Rule::AssistStale, 2, 2),
+    ]
+}
+
+/// The undetectable Table 8 bug: the fast path should return a *dirty*
+/// page state but returns the state fetched at runtime; no static
+/// value exists for the checker to compare against the defined set.
+fn semantic_exception_unit() -> CorpusUnit {
+    let src = "\
+int get_page_state(int page);
+int writeback_fast(int page) {
+  if (page)
+    return get_page_state(page);
+  return 0;
+}
+";
+    let spec = "unit mm/writeback_known; fastpath writeback_fast; returns 0, 1;";
+    CorpusUnit {
+        component: Component::Mm,
+        unit: SourceUnit::new("mm/writeback_known")
+            .with_file("writeback.c", src)
+            .with_spec(spec),
+        bugs: vec![KnownBug::new(
+            "mm/writeback_known#3.1",
+            Rule::OutputDefined,
+            "writeback_fast",
+            "page state returned as clean instead of dirty (runtime value)",
+            "Data loss",
+        )
+        .undetectable()],
+        expected_false_positives: 0,
+        description: "Table 8 semantic exception: runtime-only page state".to_string(),
+    }
+}
+
+/// Builds the 62-bug completeness corpus (one bug per unit).
+pub fn known_bugs() -> Vec<CorpusUnit> {
+    let mut corpus = Vec::new();
+    let components = Component::ALL;
+    let mut comp_cursor = 0usize;
+    for (rule, total, detectable) in table8_counts() {
+        for i in 0..total {
+            if rule == Rule::OutputDefined && i >= detectable {
+                corpus.push(semantic_exception_unit());
+                continue;
+            }
+            let component = components[comp_cursor % components.len()];
+            comp_cursor += 1;
+            let unit_name = format!(
+                "{}/known_{}_{}",
+                component.prefix(),
+                rule.number().replace('.', "_"),
+                i
+            );
+            let fast_fn = format!("known_{}_{}_fast", rule.number().replace('.', "_"), i);
+            corpus.push(compose_unit(component, &unit_name, &fast_fn, &[(rule, false)]));
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_two_bugs_one_undetectable() {
+        let corpus = known_bugs();
+        assert_eq!(corpus.len(), 62);
+        let total_bugs: usize = corpus.iter().map(|u| u.bugs.len()).sum();
+        assert_eq!(total_bugs, 62);
+        let undetectable: usize = corpus
+            .iter()
+            .flat_map(|u| &u.bugs)
+            .filter(|b| !b.detectable)
+            .count();
+        assert_eq!(undetectable, 1);
+    }
+
+    #[test]
+    fn row_totals_match_paper() {
+        let counts = table8_counts();
+        let total: usize = counts.iter().map(|&(_, t, _)| t).sum();
+        let detectable: usize = counts.iter().map(|&(_, _, d)| d).sum();
+        assert_eq!(total, 62);
+        assert_eq!(detectable, 61);
+    }
+
+    #[test]
+    fn semantic_exception_is_output_rule() {
+        let corpus = known_bugs();
+        let exceptional: Vec<_> = corpus
+            .iter()
+            .filter(|u| u.bugs.iter().any(|b| !b.detectable))
+            .collect();
+        assert_eq!(exceptional.len(), 1);
+        assert_eq!(exceptional[0].bugs[0].rule, Rule::OutputDefined);
+    }
+}

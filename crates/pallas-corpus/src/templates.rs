@@ -1,0 +1,371 @@
+//! Per-rule code templates for synthesizing corpus units.
+//!
+//! Every template produces one *segment*: top-level helper items, extra
+//! parameters for the unit's fast-path function, body statements, spec
+//! fragments, and the expected ground-truth outcome. A buggy segment
+//! raises exactly one warning that matches its ground truth; a
+//! false-positive segment raises exactly one warning that manual
+//! validation (the ground-truth label) rejects — reproducing the §5.3
+//! false-positive sources structurally where the paper names a
+//! mechanism.
+
+use crate::types::Component;
+use pallas_checkers::Rule;
+
+/// Naming flavor per component, to keep synthesized units idiomatic
+/// for their subsystem.
+pub fn flavor_nouns(component: Component) -> &'static [&'static str] {
+    match component {
+        Component::Mm => &["page", "zone", "pcp", "vma", "folio", "node", "lru", "pte"],
+        Component::Fs => &["inode", "dentry", "extent", "journal", "bio", "leaf", "xattr", "blk"],
+        Component::Net => &["skb", "sock", "seg", "route", "frag", "pkt", "queue", "flow"],
+        Component::Dev => &["cmd", "ring", "irq", "dma", "lun", "port", "desc", "chan"],
+        Component::Wb => &["frame", "task", "tile", "loader", "handle", "nexe", "layer", "url"],
+        Component::Sdn => &["dp", "tun", "meter", "band", "ofp", "match", "mask", "ct"],
+        Component::Mob => &["binder", "ion", "fence", "wake", "pol", "heap", "ref", "proc"],
+    }
+}
+
+/// One synthesized code fragment to compose into a unit.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// The rule exercised.
+    pub rule: Rule,
+    /// True for a deliberately benign (false-positive) pattern.
+    pub is_fp: bool,
+    /// Top-level items to place before the fast-path function.
+    pub items_pre: String,
+    /// Top-level items to place after the fast-path function
+    /// (callers for Rule 3.3).
+    pub items_post: String,
+    /// Parameters `(type, name)` to append to the fast-path signature.
+    pub params: Vec<(String, String)>,
+    /// Statements to insert into the fast-path body.
+    pub body: String,
+    /// Spec fragment lines.
+    pub spec: String,
+    /// Function the resulting warning is expected in (`None` = the
+    /// fast-path function itself).
+    pub expected_function: Option<String>,
+    /// One-line description of the injected pattern (Table 7 "Error").
+    pub description: String,
+}
+
+/// Builds the segment for `rule` (buggy or false-positive flavor).
+///
+/// `fast_fn` is the unit's fast-path function name; `sidx` is a
+/// per-unit unique suffix; `noun` flavors identifiers.
+pub fn segment(rule: Rule, is_fp: bool, fast_fn: &str, sidx: usize, noun: &str) -> Segment {
+    let n = format!("{noun}{sidx}");
+    let mut seg = Segment {
+        rule,
+        is_fp,
+        items_pre: String::new(),
+        items_post: String::new(),
+        params: Vec::new(),
+        body: String::new(),
+        spec: String::new(),
+        expected_function: None,
+        description: String::new(),
+    };
+    match (rule, is_fp) {
+        (Rule::ImmutableOverwrite, false) => {
+            seg.items_pre = format!("int adjust_{n}(int m);\n");
+            seg.params.push(("int".into(), format!("{n}_mask")));
+            seg.body = format!("  {n}_mask = adjust_{n}({n}_mask);\n");
+            seg.spec = format!("immutable {n}_mask;");
+            seg.description = "immutable state".into();
+        }
+        (Rule::ImmutableOverwrite, true) => {
+            // §5.3: snapshot to a global, tweak locally, restore later.
+            seg.items_pre =
+                format!("int saved_{n};\nint restore_{n}(int m);\n");
+            seg.params.push(("int".into(), format!("{n}_mask")));
+            seg.body = format!(
+                "  saved_{n} = {n}_mask;\n  {n}_mask = {n}_mask | 4;\n  restore_{n}({n}_mask);\n"
+            );
+            seg.spec = format!("immutable {n}_mask;");
+            seg.description = "snapshot/restore of immutable (benign)".into();
+        }
+        (Rule::ImmutableInit, false) => {
+            seg.items_pre = format!("int consume_{n}(int f);\n");
+            seg.body = format!("  int {n}_flags;\n  consume_{n}({n}_flags);\n");
+            seg.spec = format!("immutable {n}_flags;");
+            seg.description = "uninitialized state".into();
+        }
+        (Rule::ImmutableInit, true) => {
+            // Initialized through an out-parameter the extractor cannot
+            // see as a write.
+            seg.items_pre =
+                format!("int fill_{n}(int *p);\nint consume_{n}(int f);\n");
+            seg.body = format!(
+                "  int {n}_flags;\n  fill_{n}(&{n}_flags);\n  consume_{n}({n}_flags);\n"
+            );
+            seg.spec = format!("immutable {n}_flags;");
+            seg.description = "out-parameter initialization (benign)".into();
+        }
+        (Rule::Correlated, false) => {
+            seg.items_pre = format!("int select_{n}(int z);\n");
+            seg.params.push(("int".into(), format!("{n}_pref")));
+            seg.params.push(("int".into(), format!("{n}_allowed")));
+            seg.body = format!("  if ({n}_pref > 0)\n    select_{n}({n}_pref);\n");
+            seg.spec = format!("correlated {n}_pref -> {n}_allowed;");
+            seg.description = "wrong state".into();
+        }
+        (Rule::Correlated, true) => {
+            // The correlated state is consulted through a cached getter
+            // whose name hides it from the strict-atom matcher.
+            seg.items_pre = format!("int get_{n}_allowed_cached(void);\n");
+            seg.params.push(("int".into(), format!("{n}_pref")));
+            seg.params.push(("int".into(), format!("{n}_allowed")));
+            seg.body =
+                format!("  if ({n}_pref > 0)\n    get_{n}_allowed_cached();\n");
+            seg.spec = format!("correlated {n}_pref -> {n}_allowed;");
+            seg.description = "correlation via cached getter (benign)".into();
+        }
+        (Rule::CondMissing, false) => {
+            seg.params.push(("int".into(), format!("{n}_data")));
+            seg.params.push(("int".into(), format!("{n}_resized")));
+            seg.body = format!("  int {n}_tmp = {n}_data + 1;\n  {n}_tmp = {n}_tmp * 2;\n");
+            seg.spec = format!("cond {n}_switch: {n}_resized;");
+            seg.description = "missing condition".into();
+        }
+        (Rule::CondMissing, true) => {
+            // §5.3: the trigger is implicit in a flag bit of another
+            // structure (a dirty bit), so the named variable never
+            // appears.
+            seg.items_pre = format!(
+                "struct {n}_hdr {{ int flags; int {n}_dirty; }};\nint emit_{n}(int f);\n"
+            );
+            seg.params.push((format!("struct {n}_hdr *"), format!("{n}_h")));
+            seg.body = format!(
+                "  if ({n}_h->flags & 16)\n    emit_{n}({n}_h->flags);\n"
+            );
+            seg.spec = format!("cond {n}_switch: {n}_dirty;");
+            seg.description = "implicit dirty-bit trigger (benign)".into();
+        }
+        (Rule::CondIncomplete, false) => {
+            seg.items_pre = format!(
+                "struct {n}_map {{ int len; int {n}_tbl; }};\nint steer_{n}(int l);\n"
+            );
+            seg.params.push((format!("struct {n}_map *"), format!("{n}_m")));
+            seg.body = format!(
+                "  if ({n}_m->len == 1)\n    steer_{n}({n}_m->len);\n"
+            );
+            seg.spec = format!("cond {n}_ready: len, {n}_tbl;");
+            seg.description = "incomplete condition".into();
+        }
+        (Rule::CondIncomplete, true) => {
+            // Second conjunct checked two call levels down, beyond the
+            // summary-inlining depth.
+            seg.items_pre = format!(
+                "struct {n}_map {{ int len; int {n}_tbl; }};\n\
+                 int deep2_{n}(int t) {{\n  if (t)\n    return 1;\n  return 0;\n}}\n\
+                 int deep1_{n}(int t) {{\n  return deep2_{n}(t);\n}}\n"
+            );
+            seg.params.push((format!("struct {n}_map *"), format!("{n}_m")));
+            seg.body = format!(
+                "  if ({n}_m->len == 1)\n    deep1_{n}({n}_m->{n}_tbl);\n"
+            );
+            seg.spec = format!("cond {n}_ready: len, {n}_tbl;");
+            seg.description = "deep second conjunct (benign)".into();
+        }
+        (Rule::CondOrder, false) | (Rule::CondOrder, true) => {
+            // Buggy and benign share the shape: the benign instance is
+            // one validation rejected after reproduction (§5.1's manual
+            // step), e.g. because the reversed order is safe here.
+            seg.items_pre = format!("int reclaim_{n}(void);\nint remote_{n}(void);\n");
+            seg.params.push(("int".into(), format!("{n}_oom")));
+            seg.params.push(("int".into(), format!("{n}_rem")));
+            seg.body = format!(
+                "  if ({n}_oom)\n    reclaim_{n}();\n  if ({n}_rem)\n    remote_{n}();\n"
+            );
+            seg.spec = format!(
+                "cond {n}_remote: {n}_rem; cond {n}_oomc: {n}_oom; order {n}_remote before {n}_oomc;"
+            );
+            seg.description = if is_fp {
+                "reversed order, safe in context (benign)".into()
+            } else {
+                "incorrect order".into()
+            };
+        }
+        (Rule::OutputDefined, false) => {
+            seg.params.push(("int".into(), format!("{n}_st")));
+            seg.body = format!("  if ({n}_st)\n    return 2;\n");
+            seg.spec = "returns 0, 1;".into();
+            seg.description = "unexpected output".into();
+        }
+        (Rule::OutputDefined, true) => {
+            // The returned variable is constrained upstream; the
+            // checker cannot see the named value belongs to the set.
+            seg.params.push(("int".into(), format!("{n}_cached_ret")));
+            seg.body = format!("  if ({n}_cached_ret > 2)\n    return {n}_cached_ret;\n");
+            seg.spec = "returns 0, 1;".into();
+            seg.description = "validated-upstream return (benign)".into();
+        }
+        (Rule::OutputMatchSlow, _) => {
+            seg.items_pre = format!(
+                "int {fast_fn}_slow{sidx}(int v) {{\n  if (v)\n    return 2;\n  return 0;\n}}\n"
+            );
+            seg.params.push(("int".into(), format!("{n}_v")));
+            seg.body = format!("  if ({n}_v)\n    return 1;\n");
+            seg.spec = format!("slowpath {fast_fn}_slow{sidx}; match_slow_return;");
+            seg.description = if is_fp {
+                "mapped-equivalent return (benign)".into()
+            } else {
+                "wrong return".into()
+            };
+        }
+        (Rule::OutputChecked, false) => {
+            let caller = format!("invoke_{n}");
+            seg.items_post = format!(
+                "int {caller}(int v) {{\n  {fast_fn}(v{pad});\n  return 0;\n}}\n",
+                pad = ", 0".repeat(0)
+            );
+            seg.spec = "check_return;".into();
+            seg.expected_function = Some(caller);
+            seg.description = "missing output checking".into();
+        }
+        (Rule::OutputChecked, true) => {
+            // §5.3: the output is validated inside the fast path and
+            // deliberately skipped by the caller.
+            let caller = format!("invoke_{n}");
+            seg.items_pre = format!("int log_{n}(int e);\n");
+            seg.params.push(("int".into(), format!("{n}_r")));
+            seg.body = format!("  if ({n}_r < 0)\n    log_{n}({n}_r);\n");
+            seg.items_post =
+                format!("int {caller}(int v) {{\n  {fast_fn}(v);\n  return 0;\n}}\n");
+            seg.spec = "check_return;".into();
+            seg.expected_function = Some(caller);
+            seg.description = "internally-checked output (benign)".into();
+        }
+        (Rule::FaultMissing, false) => {
+            seg.params.push(("int".into(), format!("{n}_err")));
+            seg.body = format!("  int {n}_ok = {n}_err + 0;\n  {n}_ok = {n}_ok;\n");
+            seg.spec = format!("fault {n}_failed;");
+            seg.description = "missing handler".into();
+        }
+        (Rule::FaultMissing, true) => {
+            // §5.3: the fault is handled by a low-level helper two
+            // levels below the fast path.
+            seg.items_pre = format!(
+                "int handle2_{n}(int {n}_failed) {{\n  if ({n}_failed)\n    return 1;\n  return 0;\n}}\n\
+                 int handle1_{n}(int {n}_failed) {{\n  return handle2_{n}({n}_failed);\n}}\n"
+            );
+            seg.params.push(("int".into(), format!("{n}_failed")));
+            seg.body = format!("  handle1_{n}({n}_failed);\n");
+            seg.spec = format!("fault {n}_failed;");
+            seg.description = "fault handled in low-level helper (benign)".into();
+        }
+        (Rule::AssistLayout, false) => {
+            seg.items_pre = format!(
+                "struct {n}_aux {{ int {n}_hot; int {n}_cold; }};\nint read_{n}(int v);\n"
+            );
+            seg.params.push((format!("struct {n}_aux *"), format!("{n}_a")));
+            seg.body = format!("  read_{n}({n}_a->{n}_hot);\n");
+            seg.spec = format!("assist struct {n}_aux;");
+            seg.description = "suboptimal layout".into();
+        }
+        (Rule::AssistLayout, true) => {
+            // The cold field is used by the slow path sharing the
+            // structure, so splitting it would be wrong.
+            seg.items_pre = format!(
+                "struct {n}_aux {{ int {n}_hot; int {n}_cold; }};\nint read_{n}(int v);\n\
+                 int {fast_fn}_aux{sidx}(struct {n}_aux *a) {{\n  return a->{n}_cold;\n}}\n"
+            );
+            seg.params.push((format!("struct {n}_aux *"), format!("{n}_a")));
+            seg.body = format!("  read_{n}({n}_a->{n}_hot);\n");
+            seg.spec = format!("assist struct {n}_aux;");
+            seg.description = "field shared with slow path (benign)".into();
+        }
+        (Rule::AssistStale, false) => {
+            seg.params.push(("int".into(), format!("{n}_state")));
+            seg.body = format!("  {n}_state = 0;\n");
+            seg.spec = format!("cache {n}_cache for {n}_state;");
+            seg.description = "stale value".into();
+        }
+        (Rule::AssistStale, true) => {
+            // §5.3: the cache is refreshed lazily by a deferred worker.
+            seg.items_pre = format!("int defer_{n}_writeback(void);\n");
+            seg.params.push(("int".into(), format!("{n}_state")));
+            seg.body = format!("  {n}_state = 0;\n  defer_{n}_writeback();\n");
+            seg.spec = format!("cache {n}_cache for {n}_state;");
+            seg.description = "lazily-synced cache (benign)".into();
+        }
+    }
+    // Rule 3.3's bug flavor needs at least one parameter on the fast
+    // path so the caller's single-argument call stays well-formed.
+    if matches!(rule, Rule::OutputChecked) && seg.params.is_empty() {
+        seg.params.push(("int".into(), format!("{n}_r")));
+    }
+    seg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::compose_unit;
+    use pallas_checkers::Rule;
+    use pallas_core::Pallas;
+
+    /// Every buggy template must raise exactly its one warning; every
+    /// FP template exactly one unmatched warning.
+    #[test]
+    fn each_template_is_warning_exact() {
+        for rule in Rule::ALL {
+            for is_fp in [false, true] {
+                let cu = compose_unit(
+                    Component::Mm,
+                    "tmpl/probe",
+                    "probe_fast",
+                    &[(rule, is_fp)],
+                );
+                let analyzed = Pallas::new().check_unit(&cu.unit).unwrap_or_else(|e| {
+                    panic!("template {rule:?} fp={is_fp} failed to parse: {e}\n{}", cu.unit.files[0].1)
+                });
+                assert_eq!(
+                    analyzed.warnings.len(),
+                    1,
+                    "template {rule:?} fp={is_fp} warnings: {:#?}\nsource:\n{}",
+                    analyzed.warnings,
+                    cu.unit.files[0].1
+                );
+                assert_eq!(analyzed.warnings[0].rule, rule, "fp={is_fp}");
+                let s = pallas_core::score(&analyzed.warnings, &cu.bugs);
+                if is_fp {
+                    assert_eq!(s.bug_count(), 0, "{rule:?} fp must not match truth");
+                    assert_eq!(s.false_positives.len(), 1);
+                } else {
+                    assert_eq!(s.bug_count(), 1, "{rule:?} bug must match truth");
+                    assert!(s.missed.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Composing several rules into one unit keeps warnings exact.
+    #[test]
+    fn composed_segments_do_not_interfere() {
+        let plan: Vec<(Rule, bool)> = vec![
+            (Rule::ImmutableOverwrite, false),
+            (Rule::CondMissing, false),
+            (Rule::OutputDefined, false),
+            (Rule::OutputMatchSlow, false),
+            (Rule::FaultMissing, true),
+            (Rule::AssistStale, false),
+        ];
+        let cu = compose_unit(Component::Net, "tmpl/multi", "multi_fast", &plan);
+        let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+        assert_eq!(
+            analyzed.warnings.len(),
+            plan.len(),
+            "{:#?}\nsource:\n{}",
+            analyzed.warnings,
+            cu.unit.files[0].1
+        );
+        let s = pallas_core::score(&analyzed.warnings, &cu.bugs);
+        assert_eq!(s.bug_count(), 5);
+        assert_eq!(s.false_positives.len(), 1);
+        assert!(s.missed.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Corpus types: evaluated software components and corpus units.
+
+use pallas_core::{KnownBug, SourceUnit};
+use std::fmt;
+
+/// The seven software components of the paper's evaluation (Table 1
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Linux virtual memory manager.
+    Mm,
+    /// Linux file systems.
+    Fs,
+    /// Linux network stack.
+    Net,
+    /// Linux device drivers.
+    Dev,
+    /// Chromium web browser.
+    Wb,
+    /// Open vSwitch (software-defined networking).
+    Sdn,
+    /// Android mobile OS kernel.
+    Mob,
+}
+
+impl Component {
+    /// All components in Table 1 column order.
+    pub const ALL: [Component; 7] = [
+        Component::Mm,
+        Component::Fs,
+        Component::Net,
+        Component::Dev,
+        Component::Wb,
+        Component::Sdn,
+        Component::Mob,
+    ];
+
+    /// Column label used in the paper's tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::Mm => "MM",
+            Component::Fs => "FS",
+            Component::Net => "NET",
+            Component::Dev => "DEV",
+            Component::Wb => "WB",
+            Component::Sdn => "SDN",
+            Component::Mob => "MOB",
+        }
+    }
+
+    /// Directory-style prefix used in unit names (`mm/...`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Component::Mm => "mm",
+            Component::Fs => "fs",
+            Component::Net => "net",
+            Component::Dev => "dev",
+            Component::Wb => "wb",
+            Component::Sdn => "sdn",
+            Component::Mob => "mob",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+/// One corpus unit: a checkable source unit plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct CorpusUnit {
+    /// Owning component.
+    pub component: Component,
+    /// The mergeable source unit (name, files, spec).
+    pub unit: SourceUnit,
+    /// Ground-truth bugs known to be present.
+    pub bugs: Vec<KnownBug>,
+    /// Number of deliberately benign patterns expected to raise
+    /// warnings (the §5.3 false-positive sources).
+    pub expected_false_positives: usize,
+    /// Short human description.
+    pub description: String,
+}
+
+impl CorpusUnit {
+    /// The unit's report name.
+    pub fn name(&self) -> &str {
+        &self.unit.name
+    }
+}
+
+/// A software system evaluated in the paper (Table 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluatedSystem {
+    /// System name.
+    pub software: &'static str,
+    /// Version evaluated.
+    pub version: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Components of this corpus drawn from the system.
+    pub components: Vec<Component>,
+}
+
+/// The Table 6 inventory.
+pub fn systems() -> Vec<EvaluatedSystem> {
+    vec![
+        EvaluatedSystem {
+            software: "Linux kernel",
+            version: "4.6",
+            description: "General-purpose OS",
+            components: vec![Component::Mm, Component::Fs, Component::Net, Component::Dev],
+        },
+        EvaluatedSystem {
+            software: "Chromium",
+            version: "54.0",
+            description: "Web browser",
+            components: vec![Component::Wb],
+        },
+        EvaluatedSystem {
+            software: "Android kernel",
+            version: "6.0",
+            description: "OS for mobile devices",
+            components: vec![Component::Mob],
+        },
+        EvaluatedSystem {
+            software: "Open vSwitch",
+            version: "2.5.0",
+            description: "SDN software",
+            components: vec![Component::Sdn],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_components() {
+        assert_eq!(Component::ALL.len(), 7);
+        assert_eq!(Component::Mm.to_string(), "MM");
+        assert_eq!(Component::Sdn.prefix(), "sdn");
+    }
+
+    #[test]
+    fn table6_inventory() {
+        let sys = systems();
+        assert_eq!(sys.len(), 4);
+        assert_eq!(sys[0].version, "4.6");
+        let covered: usize = sys.iter().map(|s| s.components.len()).sum();
+        assert_eq!(covered, 7, "every component belongs to a system");
+    }
+}

@@ -1,0 +1,37 @@
+//! # pallas-diff
+//!
+//! The fast-path vs slow-path code comparison tool from the paper's
+//! methodology (§3.1): "we built a tool with the Clang C/C++ compiler
+//! front-end to compare the code difference between a fast path and
+//! slow path on the same functionality to narrow down our focus on
+//! specific data structures, variables, and functions."
+//!
+//! Given two functions of a unit, [`diff_paths`] compares the sets of
+//! variables read, lvalues written, functions called, and conditions
+//! checked, and reports what the fast path dropped, added, or kept.
+//! The Pallas study pipeline uses the report to seed the semantic spec
+//! (the shared variables are immutability/correlation candidates; the
+//! dropped conditions are trigger-condition candidates).
+//!
+//! ```
+//! use pallas_diff::diff_paths;
+//! use pallas_lang::parse;
+//! use pallas_sym::{extract, ExtractConfig};
+//!
+//! # fn main() -> Result<(), pallas_lang::ParseError> {
+//! let src = "int slow(int budget, int page) { if (budget < 0) return -1; return page; }\n\
+//!            int fast(int budget, int page) { return page; }";
+//! let ast = parse(src)?;
+//! let db = extract("demo", &ast, src, &ExtractConfig::default());
+//! let report = diff_paths(&db, "fast", "slow").expect("both functions exist");
+//! assert!(report.dropped_conditions.iter().any(|c| c.contains("budget")));
+//! # Ok(())
+//! # }
+//! ```
+
+
+pub mod diff;
+pub mod infer;
+
+pub use diff::{diff_paths, DiffReport, PathFeatures};
+pub use infer::{infer_spec, InferredSpec};

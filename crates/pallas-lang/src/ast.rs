@@ -1,0 +1,701 @@
+//! Arena-allocated abstract syntax tree for the Pallas C subset.
+//!
+//! All expression and statement nodes live in flat arenas inside [`Ast`]
+//! and are addressed by the copyable ids [`ExprId`] / [`StmtId`]. This
+//! keeps the tree cache-friendly, makes sharing across the CFG and
+//! symbolic layers trivial, and sidesteps ownership cycles.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Index of an expression node in an [`Ast`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// Index of a statement node in an [`Ast`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A (simplified) C type reference: a base name plus pointer depth.
+///
+/// Pallas' checkers are name-driven — they never need full C type
+/// checking — so `struct page **` is represented as
+/// `TypeRef { name: "struct page", ptr: 2 }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeRef {
+    /// Base type name, e.g. `"int"`, `"struct page"`, `"gfp_t"`.
+    pub name: String,
+    /// Number of pointer indirections.
+    pub ptr: u8,
+}
+
+impl TypeRef {
+    /// A non-pointer type with the given base name.
+    pub fn named(name: impl Into<String>) -> Self {
+        TypeRef { name: name.into(), ptr: 0 }
+    }
+
+    /// This type with one more level of indirection.
+    pub fn pointer_to(mut self) -> Self {
+        self.ptr += 1;
+        self
+    }
+
+    /// Whether this is the `void` non-pointer type.
+    pub fn is_void(&self) -> bool {
+        self.ptr == 0 && self.name == "void"
+    }
+}
+
+impl fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        for _ in 0..self.ptr {
+            f.write_str(" *")?;
+        }
+        Ok(())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*x`
+    Deref,
+    /// `&x`
+    Addr,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+impl UnOp {
+    /// Whether the operator mutates its operand.
+    pub fn mutates(self) -> bool {
+        matches!(self, UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec)
+    }
+
+    /// Source spelling (prefix position for inc/dec).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+            UnOp::Deref => "*",
+            UnOp::Addr => "&",
+            UnOp::PreInc | UnOp::PostInc => "++",
+            UnOp::PreDec | UnOp::PostDec => "--",
+        }
+    }
+}
+
+/// Binary operators (excluding assignment, which is [`ExprKind::Assign`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitXor => "^",
+            BitOr => "|",
+            And => "&&",
+            Or => "||",
+        }
+    }
+
+    /// Whether this is a comparison producing a boolean.
+    pub fn is_comparison(self) -> bool {
+        use BinOp::*;
+        matches!(self, Lt | Gt | Le | Ge | Eq | Ne)
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`, `-=`, ... — the compound payload is the underlying [`BinOp`].
+    Compound(BinOp),
+}
+
+impl AssignOp {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::Compound(BinOp::Add) => "+=",
+            AssignOp::Compound(BinOp::Sub) => "-=",
+            AssignOp::Compound(BinOp::Mul) => "*=",
+            AssignOp::Compound(BinOp::Div) => "/=",
+            AssignOp::Compound(BinOp::Rem) => "%=",
+            AssignOp::Compound(BinOp::BitAnd) => "&=",
+            AssignOp::Compound(BinOp::BitOr) => "|=",
+            AssignOp::Compound(BinOp::BitXor) => "^=",
+            AssignOp::Compound(BinOp::Shl) => "<<=",
+            AssignOp::Compound(BinOp::Shr) => ">>=",
+            AssignOp::Compound(_) => "?=",
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer (or character) literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Variable or function reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, ExprId),
+    /// Binary operation.
+    Binary(BinOp, ExprId, ExprId),
+    /// Assignment `lhs op rhs`.
+    Assign(AssignOp, ExprId, ExprId),
+    /// `cond ? then : else`.
+    Ternary(ExprId, ExprId, ExprId),
+    /// Function call.
+    Call {
+        /// Callee expression (usually an identifier).
+        callee: ExprId,
+        /// Argument expressions in order.
+        args: Vec<ExprId>,
+    },
+    /// Member access `base.field` (`arrow == false`) or `base->field`.
+    Member {
+        /// Object expression.
+        base: ExprId,
+        /// Field name.
+        field: String,
+        /// True for `->`.
+        arrow: bool,
+    },
+    /// Array indexing `base[index]`.
+    Index(ExprId, ExprId),
+    /// C cast `(type)expr`.
+    Cast(TypeRef, ExprId),
+    /// `sizeof(type)`.
+    SizeofType(TypeRef),
+    /// `sizeof expr`.
+    SizeofExpr(ExprId),
+    /// Comma expression `a, b`.
+    Comma(ExprId, ExprId),
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What kind of statement.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration `ty name = init;`.
+    Decl {
+        /// Declared type.
+        ty: TypeRef,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<ExprId>,
+    },
+    /// Expression statement.
+    Expr(ExprId),
+    /// `if (cond) then_br else else_br`.
+    If {
+        /// Branch condition.
+        cond: ExprId,
+        /// Taken when the condition is non-zero.
+        then_br: StmtId,
+        /// Taken otherwise, if present.
+        else_br: Option<StmtId>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: ExprId,
+        /// Loop body.
+        body: StmtId,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: StmtId,
+        /// Loop condition.
+        cond: ExprId,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement (decl or expression).
+        init: Option<StmtId>,
+        /// Optional condition.
+        cond: Option<ExprId>,
+        /// Optional step expression.
+        step: Option<ExprId>,
+        /// Loop body.
+        body: StmtId,
+    },
+    /// `switch (scrutinee) body` — the body block contains `Case`/`Default`
+    /// label statements.
+    Switch {
+        /// Switched-on expression.
+        scrutinee: ExprId,
+        /// Body block.
+        body: StmtId,
+    },
+    /// `case value:` label inside a switch body.
+    Case(ExprId),
+    /// `default:` label inside a switch body.
+    Default,
+    /// `return expr;` or bare `return;`.
+    Return(Option<ExprId>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `goto label;`
+    Goto(String),
+    /// `label:` statement label.
+    Label(String),
+    /// `{ ... }` block.
+    Block(Vec<StmtId>),
+    /// Empty statement `;`.
+    Empty,
+    /// Inline `/* @pallas ... */` pragma appearing at statement position.
+    Pragma(String),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: TypeRef,
+    /// Parameter name (`""` for unnamed prototype parameters).
+    pub name: String,
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSig {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeRef,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Whether the signature ends with `...`.
+    pub variadic: bool,
+}
+
+impl fmt::Display for FunctionSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}(", self.ret, self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", p.ty, p.name)?;
+        }
+        if self.variadic {
+            if !self.params.is_empty() {
+                f.write_str(", ")?;
+            }
+            f.write_str("...")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A function definition with a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Signature.
+    pub sig: FunctionSig,
+    /// Body block statement.
+    pub body: StmtId,
+    /// Full definition span.
+    pub span: Span,
+}
+
+/// A field of a struct or union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field type.
+    pub ty: TypeRef,
+    /// Field name.
+    pub name: String,
+}
+
+/// A struct or union definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Tag name (e.g. `page` for `struct page`).
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// True for `union`.
+    pub is_union: bool,
+    /// Definition span.
+    pub span: Span,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Tag name, if any.
+    pub name: Option<String>,
+    /// `(name, value)` pairs with C-style implicit numbering applied.
+    pub variants: Vec<(String, i64)>,
+    /// Definition span.
+    pub span: Span,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Function definition.
+    Function(Function),
+    /// Function prototype (no body).
+    Proto(FunctionSig),
+    /// Struct or union definition.
+    Struct(StructDef),
+    /// Enum definition.
+    Enum(EnumDef),
+    /// Global variable.
+    Global {
+        /// Declared type.
+        ty: TypeRef,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<ExprId>,
+        /// Declaration span.
+        span: Span,
+    },
+    /// `typedef existing new_name;`
+    Typedef {
+        /// Aliased type.
+        ty: TypeRef,
+        /// New name.
+        name: String,
+    },
+    /// Top-level `/* @pallas ... */` pragma.
+    Pragma(String, Span),
+}
+
+/// A parsed translation unit: arenas plus the top-level item list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ast {
+    exprs: Vec<Expr>,
+    stmts: Vec<Stmt>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Ast {
+    /// Creates an empty AST.
+    pub fn new() -> Self {
+        Ast::default()
+    }
+
+    /// Allocates an expression node, returning its id.
+    pub fn alloc_expr(&mut self, kind: ExprKind, span: Span) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(Expr { kind, span });
+        id
+    }
+
+    /// Allocates a statement node, returning its id.
+    pub fn alloc_stmt(&mut self, kind: StmtKind, span: Span) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(Stmt { kind, span });
+        id
+    }
+
+    /// Returns the expression node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this AST.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Returns the statement node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this AST.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// Number of allocated expressions.
+    pub fn expr_count(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Number of allocated statements.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Iterates over all function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.sig.name == name)
+    }
+
+    /// Iterates over all struct/union definitions.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Struct(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Finds a struct definition by tag name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs().find(|s| s.name == name)
+    }
+
+    /// Iterates over all enum definitions.
+    pub fn enums(&self) -> impl Iterator<Item = &EnumDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Enum(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Looks up an enum variant's value by name across all enums.
+    pub fn enum_value(&self, variant: &str) -> Option<i64> {
+        self.enums()
+            .flat_map(|e| e.variants.iter())
+            .find(|(n, _)| n == variant)
+            .map(|&(_, v)| v)
+    }
+
+    /// All top-level and statement-level `@pallas` pragma bodies, in order.
+    pub fn pragmas(&self) -> Vec<&str> {
+        let mut out: Vec<(Span, &str)> = Vec::new();
+        for item in &self.items {
+            if let Item::Pragma(body, span) = item {
+                out.push((*span, body.as_str()));
+            }
+        }
+        for stmt in &self.stmts {
+            if let StmtKind::Pragma(body) = &stmt.kind {
+                out.push((stmt.span, body.as_str()));
+            }
+        }
+        out.sort_by_key(|(s, _)| *s);
+        out.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Visits `expr` and all of its sub-expressions in pre-order.
+    pub fn walk_expr(&self, expr: ExprId, visit: &mut dyn FnMut(ExprId)) {
+        visit(expr);
+        match &self.expr(expr).kind {
+            ExprKind::Int(_) | ExprKind::Str(_) | ExprKind::Ident(_) | ExprKind::SizeofType(_) => {}
+            ExprKind::Unary(_, e)
+            | ExprKind::Cast(_, e)
+            | ExprKind::SizeofExpr(e)
+            | ExprKind::Member { base: e, .. } => self.walk_expr(*e, visit),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(_, a, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::Comma(a, b) => {
+                self.walk_expr(*a, visit);
+                self.walk_expr(*b, visit);
+            }
+            ExprKind::Ternary(c, t, e) => {
+                self.walk_expr(*c, visit);
+                self.walk_expr(*t, visit);
+                self.walk_expr(*e, visit);
+            }
+            ExprKind::Call { callee, args } => {
+                self.walk_expr(*callee, visit);
+                for a in args {
+                    self.walk_expr(*a, visit);
+                }
+            }
+        }
+    }
+
+    /// Collects the names of all identifiers mentioned anywhere in `expr`.
+    pub fn idents_in(&self, expr: ExprId) -> Vec<String> {
+        let mut names = Vec::new();
+        self.walk_expr(expr, &mut |id| {
+            if let ExprKind::Ident(n) = &self.expr(id).kind {
+                names.push(n.clone());
+            }
+        });
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::point(0)
+    }
+
+    #[test]
+    fn arena_allocation_and_lookup() {
+        let mut ast = Ast::new();
+        let a = ast.alloc_expr(ExprKind::Int(1), sp());
+        let b = ast.alloc_expr(ExprKind::Ident("x".into()), sp());
+        let sum = ast.alloc_expr(ExprKind::Binary(BinOp::Add, a, b), sp());
+        assert_eq!(ast.expr_count(), 3);
+        match &ast.expr(sum).kind {
+            ExprKind::Binary(BinOp::Add, l, r) => {
+                assert_eq!(*l, a);
+                assert_eq!(*r, b);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_expr_visits_all_nodes() {
+        let mut ast = Ast::new();
+        let a = ast.alloc_expr(ExprKind::Ident("a".into()), sp());
+        let b = ast.alloc_expr(ExprKind::Ident("b".into()), sp());
+        let c = ast.alloc_expr(ExprKind::Ident("c".into()), sp());
+        let cond = ast.alloc_expr(ExprKind::Binary(BinOp::Lt, a, b), sp());
+        let tern = ast.alloc_expr(ExprKind::Ternary(cond, b, c), sp());
+        let mut count = 0;
+        ast.walk_expr(tern, &mut |_| count += 1);
+        // tern, cond, a, b (in cond), b (then), c (else)
+        assert_eq!(count, 6);
+        let names = ast.idents_in(tern);
+        assert_eq!(names, vec!["a", "b", "b", "c"]);
+    }
+
+    #[test]
+    fn type_ref_display() {
+        let t = TypeRef::named("struct page").pointer_to();
+        assert_eq!(t.to_string(), "struct page *");
+        assert!(TypeRef::named("void").is_void());
+        assert!(!t.is_void());
+    }
+
+    #[test]
+    fn signature_display() {
+        let sig = FunctionSig {
+            name: "alloc_pages".into(),
+            ret: TypeRef::named("struct page").pointer_to(),
+            params: vec![
+                Param { ty: TypeRef::named("gfp_t"), name: "gfp_mask".into() },
+                Param { ty: TypeRef::named("unsigned int"), name: "order".into() },
+            ],
+            variadic: false,
+        };
+        assert_eq!(
+            sig.to_string(),
+            "struct page * alloc_pages(gfp_t gfp_mask, unsigned int order)"
+        );
+    }
+
+    #[test]
+    fn enum_value_lookup() {
+        let mut ast = Ast::new();
+        ast.items.push(Item::Enum(EnumDef {
+            name: Some("zone_type".into()),
+            variants: vec![("ZONE_DMA".into(), 0), ("ZONE_NORMAL".into(), 1)],
+            span: sp(),
+        }));
+        assert_eq!(ast.enum_value("ZONE_NORMAL"), Some(1));
+        assert_eq!(ast.enum_value("ZONE_MOVABLE"), None);
+    }
+
+    #[test]
+    fn unop_mutates() {
+        assert!(UnOp::PostInc.mutates());
+        assert!(!UnOp::Deref.mutates());
+    }
+}

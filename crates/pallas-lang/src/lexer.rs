@@ -1,0 +1,450 @@
+//! Lexer for the Pallas C subset.
+//!
+//! Besides ordinary tokenization the lexer performs two front-end duties
+//! that Clang's driver performed for the original Pallas:
+//!
+//! * **Simple object-like macros.** `#define NAME <int>` registers a
+//!   constant; later uses of `NAME` lex as integer literals. All other
+//!   preprocessor lines (`#include`, `#ifdef`, ...) are skipped — the
+//!   Pallas pipeline merges headers into one translation unit first
+//!   (paper §4 step 1), so conditional compilation is not needed.
+//! * **Pragma capture.** Block comments whose body starts with `@pallas`
+//!   are emitted as [`TokenKind::Pragma`] tokens so inline semantic
+//!   annotations survive lexing; all other comments are discarded.
+
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced during lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+    /// Location of the offending text.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, returning the token stream (terminated by `Eof`).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/comments or characters
+/// outside the language.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    defines: HashMap<String, i64>,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, defines: HashMap::new(), out: Vec::new() }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn err(&self, start: usize, msg: impl Into<String>) -> LexError {
+        LexError { message: msg.into(), span: Span::new(start as u32, self.pos as u32) }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            if self.pos >= self.bytes.len() {
+                self.out.push(Token::new(TokenKind::Eof, Span::point(start as u32)));
+                return Ok(self.out);
+            }
+            let b = self.peek();
+            match b {
+                b'#' => self.directive()?,
+                b'"' => self.string(start)?,
+                b'\'' => self.char_lit(start)?,
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                _ => self.punct(start)?,
+            }
+        }
+    }
+
+    /// Skips whitespace and comments; emits pragma tokens for
+    /// `/* @pallas ... */` comments.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                    let body = &self.src[start + 2..self.pos];
+                    self.maybe_pragma(body.trim(), start);
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.bytes.len() {
+                            self.pos = self.bytes.len();
+                            return Err(self.err(start, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let body = &self.src[start + 2..self.pos - 2];
+                    self.maybe_pragma(body.trim(), start);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn maybe_pragma(&mut self, body: &str, start: usize) {
+        if let Some(rest) = body.strip_prefix("@pallas") {
+            self.out.push(Token::new(
+                TokenKind::Pragma(rest.trim().to_string()),
+                Span::new(start as u32, self.pos as u32),
+            ));
+        }
+    }
+
+    /// Handles a `#` preprocessor line: `#define NAME <int>` registers a
+    /// constant, everything else is skipped through end-of-line.
+    fn directive(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek() != b'\n' {
+            // Honor line continuations so multi-line defines are skipped whole.
+            if self.peek() == b'\\' && self.peek2() == b'\n' {
+                self.pos += 2;
+                continue;
+            }
+            self.pos += 1;
+        }
+        let line = &self.src[start..self.pos];
+        let mut parts = line[1..].split_whitespace();
+        if parts.next() == Some("define") {
+            if let (Some(name), Some(value)) = (parts.next(), parts.next()) {
+                // Function-like macros (`#define f(x) ...`) are not constants.
+                if !name.contains('(') {
+                    if let Some(v) = parse_int(value) {
+                        self.defines.insert(name.to_string(), v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, start: usize) -> Result<(), LexError> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(self.err(start, "unterminated string literal"));
+            }
+            match self.bump() {
+                b'"' => break,
+                b'\\' => {
+                    let esc = self.bump();
+                    s.push(decode_escape(esc));
+                }
+                c => s.push(c as char),
+            }
+        }
+        self.out
+            .push(Token::new(TokenKind::Str(s), Span::new(start as u32, self.pos as u32)));
+        Ok(())
+    }
+
+    fn char_lit(&mut self, start: usize) -> Result<(), LexError> {
+        self.pos += 1; // opening quote
+        let c = match self.bump() {
+            b'\\' => decode_escape(self.bump()),
+            0 => return Err(self.err(start, "unterminated character literal")),
+            c => c as char,
+        };
+        if self.bump() != b'\'' {
+            return Err(self.err(start, "unterminated character literal"));
+        }
+        self.out.push(Token::new(
+            TokenKind::Int(c as i64),
+            Span::new(start as u32, self.pos as u32),
+        ));
+        Ok(())
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), LexError> {
+        while matches!(self.peek(), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'x' | b'X') {
+            self.pos += 1;
+        }
+        // Swallow integer suffixes.
+        while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let value = parse_int(text)
+            .ok_or_else(|| self.err(start, format!("invalid integer literal `{text}`")))?;
+        self.out.push(Token::new(
+            TokenKind::Int(value),
+            Span::new(start as u32, self.pos as u32),
+        ));
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32);
+        let kind = if let Some(k) = Keyword::from_str(text) {
+            TokenKind::Keyword(k)
+        } else if let Some(&v) = self.defines.get(text) {
+            TokenKind::Int(v)
+        } else {
+            TokenKind::Ident(text.to_string())
+        };
+        self.out.push(Token::new(kind, span));
+    }
+
+    fn punct(&mut self, start: usize) -> Result<(), LexError> {
+        use Punct::*;
+        let a = self.bump();
+        let b = self.peek();
+        let c = self.peek2();
+        let (p, extra) = match (a, b, c) {
+            (b'<', b'<', b'=') => (ShlAssign, 2),
+            (b'>', b'>', b'=') => (ShrAssign, 2),
+            (b'.', b'.', b'.') => (Ellipsis, 2),
+            (b'-', b'>', _) => (Arrow, 1),
+            (b'+', b'+', _) => (Inc, 1),
+            (b'-', b'-', _) => (Dec, 1),
+            (b'+', b'=', _) => (PlusAssign, 1),
+            (b'-', b'=', _) => (MinusAssign, 1),
+            (b'*', b'=', _) => (StarAssign, 1),
+            (b'/', b'=', _) => (SlashAssign, 1),
+            (b'%', b'=', _) => (PercentAssign, 1),
+            (b'&', b'=', _) => (AmpAssign, 1),
+            (b'|', b'=', _) => (PipeAssign, 1),
+            (b'^', b'=', _) => (CaretAssign, 1),
+            (b'&', b'&', _) => (AndAnd, 1),
+            (b'|', b'|', _) => (OrOr, 1),
+            (b'=', b'=', _) => (Eq, 1),
+            (b'!', b'=', _) => (Ne, 1),
+            (b'<', b'=', _) => (Le, 1),
+            (b'>', b'=', _) => (Ge, 1),
+            (b'<', b'<', _) => (Shl, 1),
+            (b'>', b'>', _) => (Shr, 1),
+            (b'(', ..) => (LParen, 0),
+            (b')', ..) => (RParen, 0),
+            (b'{', ..) => (LBrace, 0),
+            (b'}', ..) => (RBrace, 0),
+            (b'[', ..) => (LBracket, 0),
+            (b']', ..) => (RBracket, 0),
+            (b';', ..) => (Semi, 0),
+            (b',', ..) => (Comma, 0),
+            (b'.', ..) => (Dot, 0),
+            (b':', ..) => (Colon, 0),
+            (b'?', ..) => (Question, 0),
+            (b'=', ..) => (Assign, 0),
+            (b'+', ..) => (Plus, 0),
+            (b'-', ..) => (Minus, 0),
+            (b'*', ..) => (Star, 0),
+            (b'/', ..) => (Slash, 0),
+            (b'%', ..) => (Percent, 0),
+            (b'&', ..) => (Amp, 0),
+            (b'|', ..) => (Pipe, 0),
+            (b'^', ..) => (Caret, 0),
+            (b'~', ..) => (Tilde, 0),
+            (b'!', ..) => (Not, 0),
+            (b'<', ..) => (Lt, 0),
+            (b'>', ..) => (Gt, 0),
+            _ => {
+                return Err(self.err(start, format!("unexpected character `{}`", a as char)));
+            }
+        };
+        self.pos += extra;
+        self.out.push(Token::new(
+            TokenKind::Punct(p),
+            Span::new(start as u32, self.pos as u32),
+        ));
+        Ok(())
+    }
+}
+
+fn decode_escape(b: u8) -> char {
+    match b {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+/// Parses a C integer literal (decimal, hex `0x`, octal `0`), ignoring
+/// `u`/`l` suffixes. Returns `None` if malformed.
+fn parse_int(text: &str) -> Option<i64> {
+    let t = text.trim_end_matches(['u', 'U', 'l', 'L']);
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if t.len() > 1 && t.starts_with('0') {
+        i64::from_str_radix(&t[1..], 8).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_expression() {
+        let ks = kinds("x = a->b + 0x10;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::Arrow),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(Punct::Plus),
+                TokenKind::Int(16),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_keywords_vs_idents() {
+        let ks = kinds("if ifx struct structural");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::If));
+        assert_eq!(ks[1], TokenKind::Ident("ifx".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::Struct));
+        assert_eq!(ks[3], TokenKind::Ident("structural".into()));
+    }
+
+    #[test]
+    fn lex_comments_discarded() {
+        let ks = kinds("a // comment\n/* block */ b");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_pragma_comment_preserved() {
+        let ks = kinds("/* @pallas immutable gfp_mask; */ int x;");
+        assert_eq!(ks[0], TokenKind::Pragma("immutable gfp_mask;".into()));
+    }
+
+    #[test]
+    fn lex_line_pragma_preserved() {
+        let ks = kinds("// @pallas cond order0: order;\nint x;");
+        assert_eq!(ks[0], TokenKind::Pragma("cond order0: order;".into()));
+    }
+
+    #[test]
+    fn define_substitution() {
+        let ks = kinds("#define GFP_KERNEL 0x14\nint x = GFP_KERNEL;");
+        assert!(ks.contains(&TokenKind::Int(0x14)));
+    }
+
+    #[test]
+    fn include_skipped() {
+        let ks = kinds("#include <linux/mm.h>\nint x;");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Int));
+    }
+
+    #[test]
+    fn function_like_macro_not_registered() {
+        let ks = kinds("#define max(a,b) ((a)>(b)?(a):(b))\nint max;");
+        assert_eq!(ks[1], TokenKind::Ident("max".into()));
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        let ks = kinds(r#"'a' "hi\n""#);
+        assert_eq!(ks[0], TokenKind::Int('a' as i64));
+        assert_eq!(ks[1], TokenKind::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn numeric_suffixes_and_bases() {
+        let ks = kinds("10UL 0x1fL 017");
+        assert_eq!(ks[0], TokenKind::Int(10));
+        assert_eq!(ks[1], TokenKind::Int(31));
+        assert_eq!(ks[2], TokenKind::Int(15));
+    }
+
+    #[test]
+    fn three_char_operators() {
+        let ks = kinds("a <<= 2; b >>= 1;");
+        assert!(ks.contains(&TokenKind::Punct(Punct::ShlAssign)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::ShrAssign)));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+}

@@ -1,0 +1,33 @@
+//! # pallas-lang
+//!
+//! The C-subset front-end for the Pallas fast-path checker — the
+//! substrate that replaces the Clang front-end used by the original
+//! ASPLOS'17 system.
+//!
+//! The pipeline is: [`lexer::lex`] → [`parser::parse`] → [`ast::Ast`].
+//! Source positions are tracked by [`span::Span`] and mapped back to
+//! line numbers with [`span::LineMap`], which is how path records report
+//! the `L#` column of the paper's Table 5.
+//!
+//! ```
+//! use pallas_lang::parse;
+//!
+//! # fn main() -> Result<(), pallas_lang::ParseError> {
+//! let ast = parse("int double_it(int x) { return x * 2; }")?;
+//! assert!(ast.function("double_it").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{Ast, ExprId, ExprKind, Function, FunctionSig, Item, StmtId, StmtKind, TypeRef};
+pub use lexer::{lex, LexError};
+pub use parser::{parse, ParseError};
+pub use pretty::{expr_to_string, stmt_to_source, stmt_to_string, unit_to_source};
+pub use span::{LineCol, LineMap, Span};

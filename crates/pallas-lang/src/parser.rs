@@ -1,0 +1,1110 @@
+//! Recursive-descent parser for the Pallas C subset.
+//!
+//! The subset covers every construct appearing in the fast paths the
+//! paper studies: functions, structs/unions/enums, typedefs, globals,
+//! pointers, member access (`.`/`->`), the full C expression grammar
+//! (including casts, `sizeof`, ternaries, and compound assignment), and
+//! all structured plus unstructured (`goto`) control flow.
+//!
+//! Deliberate omissions (the corpus avoids them): brace initializer
+//! lists, bitfields, function pointers in declarators, and K&R-style
+//! definitions. Hitting one is a parse error, never a silent mis-parse.
+
+use crate::ast::{
+    AssignOp, Ast, BinOp, EnumDef, ExprId, ExprKind, Field, Function, FunctionSig, Item, Param,
+    StmtId, StmtKind, StructDef, TypeRef, UnOp,
+};
+use crate::lexer::{lex, LexError};
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An error produced while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending token.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parses a complete translation unit.
+///
+/// # Errors
+///
+/// Returns the first lex or parse error encountered; there is no error
+/// recovery (a checker must never run over a half-parsed unit).
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).run()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    ast: Ast,
+    /// Names introduced by `typedef`, used for cast/decl disambiguation.
+    typedefs: HashSet<String>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, ast: Ast::new(), typedefs: HashSet::new() }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { message: msg.into(), span: self.peek().span }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<Span, ParseError> {
+        if self.peek().is_punct(p) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", self.peek().kind)))
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek().is_keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ----- type recognition ---------------------------------------------
+
+    /// Whether the token at lookahead `n` can begin a type.
+    fn is_type_start_at(&self, n: usize) -> bool {
+        match &self.peek_at(n).kind {
+            TokenKind::Keyword(k) => k.starts_type(),
+            TokenKind::Ident(name) => self.is_type_name(name),
+            _ => false,
+        }
+    }
+
+    fn is_type_name(&self, name: &str) -> bool {
+        self.typedefs.contains(name)
+            || name.ends_with("_t")
+            || matches!(name, "u8" | "u16" | "u32" | "u64" | "s8" | "s16" | "s32" | "s64")
+    }
+
+    /// Parses declaration specifiers into a base [`TypeRef`] (no pointers).
+    fn parse_base_type(&mut self) -> Result<TypeRef, ParseError> {
+        // Skip storage-class and qualifier keywords.
+        while let TokenKind::Keyword(
+            Keyword::Static | Keyword::Extern | Keyword::Const | Keyword::Inline | Keyword::Volatile,
+        ) = &self.peek().kind
+        {
+            self.bump();
+        }
+        match self.peek().kind.clone() {
+            TokenKind::Keyword(k @ (Keyword::Struct | Keyword::Union | Keyword::Enum)) => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                Ok(TypeRef::named(format!("{} {}", k.as_str(), name)))
+            }
+            TokenKind::Keyword(k) if k.starts_type() => {
+                // Collect a run of builtin type keywords: `unsigned long int`.
+                let mut words = Vec::new();
+                while let TokenKind::Keyword(kw) = self.peek().kind {
+                    if matches!(
+                        kw,
+                        Keyword::Void
+                            | Keyword::Int
+                            | Keyword::Long
+                            | Keyword::Short
+                            | Keyword::Char
+                            | Keyword::Unsigned
+                            | Keyword::Signed
+                            | Keyword::Bool
+                            | Keyword::Float
+                            | Keyword::Double
+                    ) {
+                        words.push(kw.as_str());
+                        self.bump();
+                    } else if matches!(kw, Keyword::Const | Keyword::Volatile) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if words.is_empty() {
+                    return Err(self.err("expected type name"));
+                }
+                Ok(TypeRef::named(words.join(" ")))
+            }
+            TokenKind::Ident(name) if self.is_type_name(&name) => {
+                self.bump();
+                Ok(TypeRef::named(name))
+            }
+            other => Err(self.err(format!("expected type, found {other}"))),
+        }
+    }
+
+    /// Parses `*`s and qualifiers following a base type.
+    fn parse_pointers(&mut self, mut ty: TypeRef) -> TypeRef {
+        loop {
+            if self.eat_punct(Punct::Star) {
+                ty = ty.pointer_to();
+                // `* const`, `* volatile`
+                while matches!(
+                    self.peek().kind,
+                    TokenKind::Keyword(Keyword::Const | Keyword::Volatile)
+                ) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        ty
+    }
+
+    // ----- items ----------------------------------------------------------
+
+    fn run(mut self) -> Result<Ast, ParseError> {
+        while !self.at_eof() {
+            self.parse_item()?;
+        }
+        Ok(self.ast)
+    }
+
+    fn parse_item(&mut self) -> Result<(), ParseError> {
+        // Pragmas can appear anywhere at top level.
+        if let TokenKind::Pragma(body) = self.peek().kind.clone() {
+            let span = self.bump().span;
+            self.ast.items.push(Item::Pragma(body, span));
+            return Ok(());
+        }
+        if self.eat_punct(Punct::Semi) {
+            return Ok(());
+        }
+        if self.peek().is_keyword(Keyword::Typedef) {
+            return self.parse_typedef();
+        }
+        // struct/union/enum definitions (vs. use as a declaration type).
+        if let TokenKind::Keyword(k @ (Keyword::Struct | Keyword::Union)) = self.peek().kind {
+            if matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+                && self.peek_at(2).is_punct(Punct::LBrace)
+            {
+                return self.parse_struct(k == Keyword::Union);
+            }
+            if matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+                && self.peek_at(2).is_punct(Punct::Semi)
+            {
+                // Forward declaration: ignore.
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(());
+            }
+        }
+        if self.peek().is_keyword(Keyword::Enum)
+            && (self.peek_at(1).is_punct(Punct::LBrace)
+                || (matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+                    && self.peek_at(2).is_punct(Punct::LBrace)))
+        {
+            return self.parse_enum();
+        }
+        // Otherwise: type declarator — function def, prototype, or global.
+        let base = self.parse_base_type()?;
+        let ty = self.parse_pointers(base);
+        let (name, name_span) = self.expect_ident()?;
+        if self.peek().is_punct(Punct::LParen) {
+            self.parse_function_or_proto(ty, name, name_span)
+        } else {
+            self.parse_global(ty, name, name_span)
+        }
+    }
+
+    fn parse_typedef(&mut self) -> Result<(), ParseError> {
+        self.bump(); // typedef
+        let base = self.parse_base_type()?;
+        let ty = self.parse_pointers(base);
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::Semi)?;
+        self.typedefs.insert(name.clone());
+        self.ast.items.push(Item::Typedef { ty, name });
+        Ok(())
+    }
+
+    fn parse_struct(&mut self, is_union: bool) -> Result<(), ParseError> {
+        let start = self.bump().span; // struct/union
+        let (name, _) = self.expect_ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated struct body"));
+            }
+            // Skip pragmas inside struct bodies.
+            if matches!(self.peek().kind, TokenKind::Pragma(_)) {
+                self.bump();
+                continue;
+            }
+            let base = self.parse_base_type()?;
+            loop {
+                let fty = self.parse_pointers(base.clone());
+                let (fname, _) = self.expect_ident()?;
+                let fty = self.parse_array_suffix(fty)?;
+                fields.push(Field { ty: fty, name: fname });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::Semi)?;
+        }
+        let end = self.expect_punct(Punct::RBrace)?;
+        self.eat_punct(Punct::Semi);
+        self.ast.items.push(Item::Struct(StructDef {
+            name,
+            fields,
+            is_union,
+            span: start.merge(end),
+        }));
+        Ok(())
+    }
+
+    fn parse_enum(&mut self) -> Result<(), ParseError> {
+        let start = self.bump().span; // enum
+        let name = match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.bump();
+                Some(n)
+            }
+            _ => None,
+        };
+        self.expect_punct(Punct::LBrace)?;
+        let mut variants = Vec::new();
+        let mut next_value = 0i64;
+        while !self.peek().is_punct(Punct::RBrace) {
+            let (vname, _) = self.expect_ident()?;
+            if self.eat_punct(Punct::Assign) {
+                next_value = self.parse_const_int()?;
+            }
+            variants.push((vname, next_value));
+            next_value += 1;
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        let end = self.expect_punct(Punct::RBrace)?;
+        self.expect_punct(Punct::Semi)?;
+        self.ast.items.push(Item::Enum(EnumDef { name, variants, span: start.merge(end) }));
+        Ok(())
+    }
+
+    /// Parses a constant integer expression (literals, unary minus, and
+    /// shifts of literals — enough for enum initializers like `1 << 4`).
+    fn parse_const_int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_punct(Punct::Minus);
+        let base = match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                v
+            }
+            _ => return Err(self.err("expected constant integer")),
+        };
+        let mut value = if neg { -base } else { base };
+        if self.eat_punct(Punct::Shl) {
+            let rhs = self.parse_const_int()?;
+            value <<= rhs;
+        }
+        Ok(value)
+    }
+
+    fn parse_function_or_proto(
+        &mut self,
+        ret: TypeRef,
+        name: String,
+        name_span: Span,
+    ) -> Result<(), ParseError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if !self.peek().is_punct(Punct::RParen) {
+            loop {
+                if self.eat_punct(Punct::Ellipsis) {
+                    variadic = true;
+                    break;
+                }
+                if self.peek().is_keyword(Keyword::Void)
+                    && self.peek_at(1).is_punct(Punct::RParen)
+                {
+                    self.bump();
+                    break;
+                }
+                let base = self.parse_base_type()?;
+                let pty = self.parse_pointers(base);
+                let pname = match &self.peek().kind {
+                    TokenKind::Ident(n) => {
+                        let n = n.clone();
+                        self.bump();
+                        n
+                    }
+                    _ => String::new(),
+                };
+                let pty = self.parse_array_suffix(pty)?;
+                params.push(Param { ty: pty, name: pname });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        let sig = FunctionSig { name, ret, params, variadic };
+        if self.eat_punct(Punct::Semi) {
+            self.ast.items.push(Item::Proto(sig));
+            return Ok(());
+        }
+        let body = self.parse_block()?;
+        let span = name_span.merge(self.ast.stmt(body).span);
+        self.ast.items.push(Item::Function(Function { sig, body, span }));
+        Ok(())
+    }
+
+    fn parse_global(
+        &mut self,
+        ty: TypeRef,
+        name: String,
+        name_span: Span,
+    ) -> Result<(), ParseError> {
+        let ty = self.parse_array_suffix(ty)?;
+        let init =
+            if self.eat_punct(Punct::Assign) { Some(self.parse_assign_expr()?) } else { None };
+        self.ast.items.push(Item::Global { ty, name, init, span: name_span });
+        // Additional declarators: `int a = 1, b = 2;`
+        while self.eat_punct(Punct::Comma) {
+            let (n2, s2) = self.expect_ident()?;
+            let init2 =
+                if self.eat_punct(Punct::Assign) { Some(self.parse_assign_expr()?) } else { None };
+            self.ast.items.push(Item::Global {
+                ty: TypeRef::named("int"),
+                name: n2,
+                init: init2,
+                span: s2,
+            });
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(())
+    }
+
+    /// Array dimensions decay to one extra pointer level.
+    fn parse_array_suffix(&mut self, mut ty: TypeRef) -> Result<TypeRef, ParseError> {
+        while self.eat_punct(Punct::LBracket) {
+            if !self.peek().is_punct(Punct::RBracket) {
+                self.parse_assign_expr()?;
+            }
+            self.expect_punct(Punct::RBracket)?;
+            ty = ty.pointer_to();
+        }
+        Ok(ty)
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.peek().is_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        let end = self.expect_punct(Punct::RBrace)?;
+        Ok(self.ast.alloc_stmt(StmtKind::Block(stmts), start.merge(end)))
+    }
+
+    fn parse_stmt(&mut self) -> Result<StmtId, ParseError> {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Pragma(body) => {
+                let body = body.clone();
+                let span = self.bump().span;
+                Ok(self.ast.alloc_stmt(StmtKind::Pragma(body), span))
+            }
+            TokenKind::Punct(Punct::LBrace) => self.parse_block(),
+            TokenKind::Punct(Punct::Semi) => {
+                let span = self.bump().span;
+                Ok(self.ast.alloc_stmt(StmtKind::Empty, span))
+            }
+            TokenKind::Keyword(Keyword::If) => self.parse_if(),
+            TokenKind::Keyword(Keyword::While) => self.parse_while(),
+            TokenKind::Keyword(Keyword::Do) => self.parse_do_while(),
+            TokenKind::Keyword(Keyword::For) => self.parse_for(),
+            TokenKind::Keyword(Keyword::Switch) => self.parse_switch(),
+            TokenKind::Keyword(Keyword::Case) => {
+                let start = self.bump().span;
+                let value = self.parse_ternary_expr()?;
+                let end = self.expect_punct(Punct::Colon)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Case(value), start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Default) => {
+                let start = self.bump().span;
+                let end = self.expect_punct(Punct::Colon)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Default, start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                let start = self.bump().span;
+                let value = if self.peek().is_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Return(value), start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                let start = self.bump().span;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Break, start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                let start = self.bump().span;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Continue, start.merge(end)))
+            }
+            TokenKind::Keyword(Keyword::Goto) => {
+                let start = self.bump().span;
+                let (label, _) = self.expect_ident()?;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Goto(label), start.merge(end)))
+            }
+            // Label: `ident :` (not part of a ternary at statement start).
+            TokenKind::Ident(name)
+                if self.peek_at(1).is_punct(Punct::Colon) =>
+            {
+                let name = name.clone();
+                let start = self.bump().span;
+                let end = self.expect_punct(Punct::Colon)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Label(name), start.merge(end)))
+            }
+            _ if self.starts_decl() => self.parse_decl_stmt(),
+            _ => {
+                let expr = self.parse_expr()?;
+                let span = self.ast.expr(expr).span;
+                let end = self.expect_punct(Punct::Semi)?;
+                Ok(self.ast.alloc_stmt(StmtKind::Expr(expr), span.merge(end)))
+            }
+        }
+    }
+
+    /// Whether the current position starts a local declaration.
+    fn starts_decl(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Keyword(k) => k.starts_type(),
+            TokenKind::Ident(name) if self.is_type_name(name) => {
+                // `gfp_t x` / `gfp_t *x` — but `size_t = 3;` would be an
+                // (ill-formed) expression; require a declarator to follow.
+                matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+                    || self.peek_at(1).is_punct(Punct::Star)
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_decl_stmt(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.peek().span;
+        let base = self.parse_base_type()?;
+        let mut decls = Vec::new();
+        loop {
+            let ty = self.parse_pointers(base.clone());
+            let (name, _) = self.expect_ident()?;
+            let ty = self.parse_array_suffix(ty)?;
+            let init =
+                if self.eat_punct(Punct::Assign) { Some(self.parse_assign_expr()?) } else { None };
+            decls.push((ty, name, init));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        let end = self.expect_punct(Punct::Semi)?;
+        let span = start.merge(end);
+        if decls.len() == 1 {
+            let (ty, name, init) = decls.pop().expect("one decl");
+            Ok(self.ast.alloc_stmt(StmtKind::Decl { ty, name, init }, span))
+        } else {
+            let stmts = decls
+                .into_iter()
+                .map(|(ty, name, init)| self.ast.alloc_stmt(StmtKind::Decl { ty, name, init }, span))
+                .collect();
+            Ok(self.ast.alloc_stmt(StmtKind::Block(stmts), span))
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.bump().span; // if
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let then_br = self.parse_stmt()?;
+        let mut span = start.merge(self.ast.stmt(then_br).span);
+        let else_br = if self.eat_keyword(Keyword::Else) {
+            let e = self.parse_stmt()?;
+            span = span.merge(self.ast.stmt(e).span);
+            Some(e)
+        } else {
+            None
+        };
+        Ok(self.ast.alloc_stmt(StmtKind::If { cond, then_br, else_br }, span))
+    }
+
+    fn parse_while(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.bump().span; // while
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let body = self.parse_stmt()?;
+        let span = start.merge(self.ast.stmt(body).span);
+        Ok(self.ast.alloc_stmt(StmtKind::While { cond, body }, span))
+    }
+
+    fn parse_do_while(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.bump().span; // do
+        let body = self.parse_stmt()?;
+        if !self.eat_keyword(Keyword::While) {
+            return Err(self.err("expected `while` after do-body"));
+        }
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let end = self.expect_punct(Punct::Semi)?;
+        Ok(self.ast.alloc_stmt(StmtKind::DoWhile { body, cond }, start.merge(end)))
+    }
+
+    fn parse_for(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.bump().span; // for
+        self.expect_punct(Punct::LParen)?;
+        let init = if self.peek().is_punct(Punct::Semi) {
+            self.bump();
+            None
+        } else if self.starts_decl() {
+            Some(self.parse_decl_stmt()?)
+        } else {
+            let e = self.parse_expr()?;
+            let span = self.ast.expr(e).span;
+            self.expect_punct(Punct::Semi)?;
+            Some(self.ast.alloc_stmt(StmtKind::Expr(e), span))
+        };
+        let cond =
+            if self.peek().is_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
+        self.expect_punct(Punct::Semi)?;
+        let step =
+            if self.peek().is_punct(Punct::RParen) { None } else { Some(self.parse_expr()?) };
+        self.expect_punct(Punct::RParen)?;
+        let body = self.parse_stmt()?;
+        let span = start.merge(self.ast.stmt(body).span);
+        Ok(self.ast.alloc_stmt(StmtKind::For { init, cond, step, body }, span))
+    }
+
+    fn parse_switch(&mut self) -> Result<StmtId, ParseError> {
+        let start = self.bump().span; // switch
+        self.expect_punct(Punct::LParen)?;
+        let scrutinee = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let body = self.parse_block()?;
+        let span = start.merge(self.ast.stmt(body).span);
+        Ok(self.ast.alloc_stmt(StmtKind::Switch { scrutinee, body }, span))
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<ExprId, ParseError> {
+        let first = self.parse_assign_expr()?;
+        if self.peek().is_punct(Punct::Comma) {
+            // Comma expression — only valid where commas are not separators;
+            // callers that need separator commas use parse_assign_expr.
+            let mut lhs = first;
+            while self.eat_punct(Punct::Comma) {
+                let rhs = self.parse_assign_expr()?;
+                let span = self.ast.expr(lhs).span.merge(self.ast.expr(rhs).span);
+                lhs = self.ast.alloc_expr(ExprKind::Comma(lhs, rhs), span);
+            }
+            return Ok(lhs);
+        }
+        Ok(first)
+    }
+
+    fn parse_assign_expr(&mut self) -> Result<ExprId, ParseError> {
+        let lhs = self.parse_ternary_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Punct(Punct::Assign) => AssignOp::Assign,
+            TokenKind::Punct(Punct::PlusAssign) => AssignOp::Compound(BinOp::Add),
+            TokenKind::Punct(Punct::MinusAssign) => AssignOp::Compound(BinOp::Sub),
+            TokenKind::Punct(Punct::StarAssign) => AssignOp::Compound(BinOp::Mul),
+            TokenKind::Punct(Punct::SlashAssign) => AssignOp::Compound(BinOp::Div),
+            TokenKind::Punct(Punct::PercentAssign) => AssignOp::Compound(BinOp::Rem),
+            TokenKind::Punct(Punct::AmpAssign) => AssignOp::Compound(BinOp::BitAnd),
+            TokenKind::Punct(Punct::PipeAssign) => AssignOp::Compound(BinOp::BitOr),
+            TokenKind::Punct(Punct::CaretAssign) => AssignOp::Compound(BinOp::BitXor),
+            TokenKind::Punct(Punct::ShlAssign) => AssignOp::Compound(BinOp::Shl),
+            TokenKind::Punct(Punct::ShrAssign) => AssignOp::Compound(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign_expr()?; // right-associative
+        let span = self.ast.expr(lhs).span.merge(self.ast.expr(rhs).span);
+        Ok(self.ast.alloc_expr(ExprKind::Assign(op, lhs, rhs), span))
+    }
+
+    fn parse_ternary_expr(&mut self) -> Result<ExprId, ParseError> {
+        let cond = self.parse_binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_e = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_e = self.parse_assign_expr()?;
+            let span = self.ast.expr(cond).span.merge(self.ast.expr(else_e).span);
+            return Ok(self.ast.alloc_expr(ExprKind::Ternary(cond, then_e, else_e), span));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_binary_expr(&mut self, min_prec: u8) -> Result<ExprId, ParseError> {
+        let mut lhs = self.parse_unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek().kind {
+                TokenKind::Punct(Punct::OrOr) => (BinOp::Or, 1),
+                TokenKind::Punct(Punct::AndAnd) => (BinOp::And, 2),
+                TokenKind::Punct(Punct::Pipe) => (BinOp::BitOr, 3),
+                TokenKind::Punct(Punct::Caret) => (BinOp::BitXor, 4),
+                TokenKind::Punct(Punct::Amp) => (BinOp::BitAnd, 5),
+                TokenKind::Punct(Punct::Eq) => (BinOp::Eq, 6),
+                TokenKind::Punct(Punct::Ne) => (BinOp::Ne, 6),
+                TokenKind::Punct(Punct::Lt) => (BinOp::Lt, 7),
+                TokenKind::Punct(Punct::Gt) => (BinOp::Gt, 7),
+                TokenKind::Punct(Punct::Le) => (BinOp::Le, 7),
+                TokenKind::Punct(Punct::Ge) => (BinOp::Ge, 7),
+                TokenKind::Punct(Punct::Shl) => (BinOp::Shl, 8),
+                TokenKind::Punct(Punct::Shr) => (BinOp::Shr, 8),
+                TokenKind::Punct(Punct::Plus) => (BinOp::Add, 9),
+                TokenKind::Punct(Punct::Minus) => (BinOp::Sub, 9),
+                TokenKind::Punct(Punct::Star) => (BinOp::Mul, 10),
+                TokenKind::Punct(Punct::Slash) => (BinOp::Div, 10),
+                TokenKind::Punct(Punct::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary_expr(prec + 1)?;
+            let span = self.ast.expr(lhs).span.merge(self.ast.expr(rhs).span);
+            lhs = self.ast.alloc_expr(ExprKind::Binary(op, lhs, rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary_expr(&mut self) -> Result<ExprId, ParseError> {
+        let tok = self.peek().clone();
+        let un = match tok.kind {
+            TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
+            TokenKind::Punct(Punct::Not) => Some(UnOp::Not),
+            TokenKind::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            TokenKind::Punct(Punct::Star) => Some(UnOp::Deref),
+            TokenKind::Punct(Punct::Amp) => Some(UnOp::Addr),
+            TokenKind::Punct(Punct::Inc) => Some(UnOp::PreInc),
+            TokenKind::Punct(Punct::Dec) => Some(UnOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = un {
+            let start = self.bump().span;
+            let operand = self.parse_unary_expr()?;
+            let span = start.merge(self.ast.expr(operand).span);
+            return Ok(self.ast.alloc_expr(ExprKind::Unary(op, operand), span));
+        }
+        if tok.is_keyword(Keyword::Sizeof) {
+            let start = self.bump().span;
+            if self.peek().is_punct(Punct::LParen) && self.is_type_start_at(1) {
+                self.bump(); // (
+                let base = self.parse_base_type()?;
+                let ty = self.parse_pointers(base);
+                let end = self.expect_punct(Punct::RParen)?;
+                return Ok(self.ast.alloc_expr(ExprKind::SizeofType(ty), start.merge(end)));
+            }
+            let operand = self.parse_unary_expr()?;
+            let span = start.merge(self.ast.expr(operand).span);
+            return Ok(self.ast.alloc_expr(ExprKind::SizeofExpr(operand), span));
+        }
+        // Cast: `(` type `)` unary
+        if tok.is_punct(Punct::LParen) && self.is_type_start_at(1) && self.looks_like_cast() {
+            let start = self.bump().span; // (
+            let base = self.parse_base_type()?;
+            let ty = self.parse_pointers(base);
+            self.expect_punct(Punct::RParen)?;
+            let operand = self.parse_unary_expr()?;
+            let span = start.merge(self.ast.expr(operand).span);
+            return Ok(self.ast.alloc_expr(ExprKind::Cast(ty, operand), span));
+        }
+        self.parse_postfix_expr()
+    }
+
+    /// Disambiguates `(T)x` casts from parenthesized expressions by
+    /// scanning ahead for the matching `)`: a cast's parenthesized
+    /// content consists only of type-ish tokens.
+    fn looks_like_cast(&self) -> bool {
+        let mut n = 1;
+        loop {
+            match &self.peek_at(n).kind {
+                TokenKind::Punct(Punct::RParen) => {
+                    // Must be followed by something that can begin an operand.
+                    return matches!(
+                        self.peek_at(n + 1).kind,
+                        TokenKind::Ident(_)
+                            | TokenKind::Int(_)
+                            | TokenKind::Str(_)
+                            | TokenKind::Punct(
+                                Punct::LParen
+                                    | Punct::Star
+                                    | Punct::Amp
+                                    | Punct::Not
+                                    | Punct::Tilde
+                                    | Punct::Minus
+                                    | Punct::Inc
+                                    | Punct::Dec
+                            )
+                            | TokenKind::Keyword(Keyword::Sizeof)
+                    );
+                }
+                TokenKind::Punct(Punct::Star) | TokenKind::Keyword(_) => n += 1,
+                TokenKind::Ident(name) if n == 1 || self.is_type_name(name) => n += 1,
+                _ => return false,
+            }
+            if n > 8 {
+                return false;
+            }
+        }
+    }
+
+    fn parse_postfix_expr(&mut self) -> Result<ExprId, ParseError> {
+        let mut expr = self.parse_primary_expr()?;
+        loop {
+            match self.peek().kind {
+                TokenKind::Punct(Punct::LParen) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_assign_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect_punct(Punct::RParen)?;
+                    let span = self.ast.expr(expr).span.merge(end);
+                    expr = self.ast.alloc_expr(ExprKind::Call { callee: expr, args }, span);
+                }
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    let end = self.expect_punct(Punct::RBracket)?;
+                    let span = self.ast.expr(expr).span.merge(end);
+                    expr = self.ast.alloc_expr(ExprKind::Index(expr, index), span);
+                }
+                TokenKind::Punct(p @ (Punct::Dot | Punct::Arrow)) => {
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = self.ast.expr(expr).span.merge(fspan);
+                    expr = self.ast.alloc_expr(
+                        ExprKind::Member { base: expr, field, arrow: p == Punct::Arrow },
+                        span,
+                    );
+                }
+                TokenKind::Punct(Punct::Inc) => {
+                    let end = self.bump().span;
+                    let span = self.ast.expr(expr).span.merge(end);
+                    expr = self.ast.alloc_expr(ExprKind::Unary(UnOp::PostInc, expr), span);
+                }
+                TokenKind::Punct(Punct::Dec) => {
+                    let end = self.bump().span;
+                    let span = self.ast.expr(expr).span.merge(end);
+                    expr = self.ast.alloc_expr(ExprKind::Unary(UnOp::PostDec, expr), span);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<ExprId, ParseError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Int(v) => {
+                let span = self.bump().span;
+                Ok(self.ast.alloc_expr(ExprKind::Int(v), span))
+            }
+            TokenKind::Str(s) => {
+                let span = self.bump().span;
+                Ok(self.ast.alloc_expr(ExprKind::Str(s), span))
+            }
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok(self.ast.alloc_expr(ExprKind::Ident(name), span))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Ast {
+        match parse(src) {
+            Ok(ast) => ast,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn parse_minimal_function() {
+        let ast = parse_ok("int f(void) { return 0; }");
+        let f = ast.function("f").unwrap();
+        assert_eq!(f.sig.ret, TypeRef::named("int"));
+        assert!(f.sig.params.is_empty());
+    }
+
+    #[test]
+    fn parse_struct_and_fields() {
+        let ast = parse_ok(
+            "struct page { unsigned long flags; struct page *next; int refs[4]; };",
+        );
+        let s = ast.struct_def("page").unwrap();
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[0].name, "flags");
+        assert_eq!(s.fields[1].ty, TypeRef::named("struct page").pointer_to());
+        assert_eq!(s.fields[2].ty.ptr, 1, "array decays to pointer");
+    }
+
+    #[test]
+    fn parse_enum_with_values() {
+        let ast = parse_ok("enum zone { ZONE_DMA, ZONE_NORMAL = 5, ZONE_HIGH, };");
+        assert_eq!(ast.enum_value("ZONE_DMA"), Some(0));
+        assert_eq!(ast.enum_value("ZONE_NORMAL"), Some(5));
+        assert_eq!(ast.enum_value("ZONE_HIGH"), Some(6));
+    }
+
+    #[test]
+    fn parse_enum_shift_initializer() {
+        let ast = parse_ok("enum f { A = 1 << 4 };");
+        assert_eq!(ast.enum_value("A"), Some(16));
+    }
+
+    #[test]
+    fn parse_typedef_enables_decls_and_casts() {
+        let ast = parse_ok(
+            "typedef unsigned int gfp_t;\n\
+             int f(gfp_t mask) { gfp_t local = (gfp_t)mask; return (int)local; }",
+        );
+        let f = ast.function("f").unwrap();
+        assert_eq!(f.sig.params[0].ty, TypeRef::named("gfp_t"));
+    }
+
+    #[test]
+    fn parse_member_chains() {
+        let ast = parse_ok("int f(struct a *p) { return p->b.c->d; }");
+        assert!(ast.function("f").is_some());
+    }
+
+    #[test]
+    fn parse_control_flow() {
+        parse_ok(
+            "int f(int x) {\n\
+               if (x > 0) { x--; } else x++;\n\
+               while (x) x -= 1;\n\
+               do { x += 2; } while (x < 10);\n\
+               for (int i = 0; i < 4; i++) x += i;\n\
+               switch (x) { case 1: return 1; default: break; }\n\
+               goto out;\n\
+             out:\n\
+               return x;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parse_ternary_vs_label() {
+        let ast = parse_ok("int f(int a) { int b = a ? 1 : 2; lbl: return b; }");
+        assert!(ast.function("f").is_some());
+    }
+
+    #[test]
+    fn parse_compound_assignment() {
+        let ast = parse_ok("int f(int a) { a |= 4; a <<= 1; a &= ~2; return a; }");
+        assert!(ast.function("f").is_some());
+    }
+
+    #[test]
+    fn parse_multi_declarator() {
+        parse_ok("int f(void) { int a = 1, b = 2, c; c = a + b; return c; }");
+    }
+
+    #[test]
+    fn parse_prototype_and_variadic() {
+        let ast = parse_ok("extern int printk(const char *fmt, ...);");
+        match &ast.items[0] {
+            Item::Proto(sig) => {
+                assert!(sig.variadic);
+                assert_eq!(sig.name, "printk");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_globals() {
+        let ast = parse_ok("static unsigned long totalram_pages = 100;");
+        match &ast.items[0] {
+            Item::Global { name, init, .. } => {
+                assert_eq!(name, "totalram_pages");
+                assert!(init.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_pragma_items_and_stmts() {
+        let ast = parse_ok(
+            "/* @pallas fastpath f; */\n\
+             int f(void) { /* @pallas immutable x; */ return 0; }",
+        );
+        let pragmas = ast.pragmas();
+        assert_eq!(pragmas, vec!["fastpath f;", "immutable x;"]);
+    }
+
+    #[test]
+    fn parse_sizeof_forms() {
+        parse_ok("int f(int x) { return sizeof(int) + sizeof(struct page *) + sizeof x; }");
+    }
+
+    #[test]
+    fn parse_cast_vs_paren() {
+        // `(x)` is a parenthesized expression, `(int)x` a cast.
+        let ast = parse_ok("int g(int x) { return (x) + (int)x + (unsigned long)x; }");
+        assert!(ast.function("g").is_some());
+    }
+
+    #[test]
+    fn parse_call_with_address_of_struct_member() {
+        parse_ok(
+            "int get_page_from_freelist(int order, int flags);\n\
+             int f(int order) { return get_page_from_freelist(order, 1 | 2); }",
+        );
+    }
+
+    #[test]
+    fn parse_kernel_style_snippet() {
+        // Miniature of Figure 5's patch shape.
+        parse_ok(
+            "struct rps_map { int len; int cpus[8]; };\n\
+             struct netdev_rx_queue { struct rps_map *rps_map; struct rps_dev_flow_table *rps_flow_table; };\n\
+             struct rps_dev_flow_table { int mask; };\n\
+             int cpu_online(int cpu);\n\
+             int get_rps_cpu(struct netdev_rx_queue *rxqueue) {\n\
+               struct rps_map *map = rxqueue->rps_map;\n\
+               int cpu = -1;\n\
+               if (map) {\n\
+                 if (map->len == 1 && !rxqueue->rps_flow_table) {\n\
+                   int tcpu = map->cpus[0];\n\
+                   if (cpu_online(tcpu))\n\
+                     cpu = tcpu;\n\
+                 }\n\
+               }\n\
+               return cpu;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parse_error_on_brace_init() {
+        assert!(parse("int f(void) { int a[2] = {1, 2}; return 0; }").is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_span() {
+        let err = parse("int f(void) { return + ; }").unwrap_err();
+        assert!(err.span.start > 0);
+    }
+
+    #[test]
+    fn union_definition() {
+        let ast = parse_ok("union u { int a; long b; };");
+        let u = ast.struct_def("u").unwrap();
+        assert!(u.is_union);
+    }
+
+    #[test]
+    fn forward_declaration_ignored() {
+        let ast = parse_ok("struct sk_buff; int f(struct sk_buff *skb) { return 0; }");
+        assert!(ast.struct_def("sk_buff").is_none());
+        assert!(ast.function("f").is_some());
+    }
+}

@@ -1,0 +1,380 @@
+//! Rendering AST nodes back to C-like source text.
+//!
+//! Used by diagnostics ("the condition `map->len == 1` ..."), by the
+//! symbolic layer for Table 5-style listings, and by the path diff tool.
+
+use crate::ast::{Ast, ExprId, ExprKind, StmtId, StmtKind, UnOp};
+
+/// Renders an expression as compact C-like text.
+pub fn expr_to_string(ast: &Ast, id: ExprId) -> String {
+    let mut out = String::new();
+    write_expr(ast, id, &mut out);
+    out
+}
+
+fn write_expr(ast: &Ast, id: ExprId, out: &mut String) {
+    match &ast.expr(id).kind {
+        ExprKind::Int(v) => out.push_str(&v.to_string()),
+        ExprKind::Str(s) => {
+            out.push('"');
+            out.push_str(&s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n"));
+            out.push('"');
+        }
+        ExprKind::Ident(n) => out.push_str(n),
+        ExprKind::Unary(op, e) => match op {
+            UnOp::PostInc => {
+                write_expr(ast, *e, out);
+                out.push_str("++");
+            }
+            UnOp::PostDec => {
+                write_expr(ast, *e, out);
+                out.push_str("--");
+            }
+            _ => {
+                out.push_str(op.as_str());
+                write_maybe_paren(ast, *e, out);
+            }
+        },
+        ExprKind::Binary(op, a, b) => {
+            write_maybe_paren(ast, *a, out);
+            out.push(' ');
+            out.push_str(op.as_str());
+            out.push(' ');
+            write_maybe_paren(ast, *b, out);
+        }
+        ExprKind::Assign(op, a, b) => {
+            write_expr(ast, *a, out);
+            out.push(' ');
+            out.push_str(op.as_str());
+            out.push(' ');
+            write_expr(ast, *b, out);
+        }
+        ExprKind::Ternary(c, t, e) => {
+            write_maybe_paren(ast, *c, out);
+            out.push_str(" ? ");
+            write_expr(ast, *t, out);
+            out.push_str(" : ");
+            write_expr(ast, *e, out);
+        }
+        ExprKind::Call { callee, args } => {
+            write_expr(ast, *callee, out);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(ast, *a, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Member { base, field, arrow } => {
+            write_maybe_paren(ast, *base, out);
+            out.push_str(if *arrow { "->" } else { "." });
+            out.push_str(field);
+        }
+        ExprKind::Index(b, i) => {
+            write_maybe_paren(ast, *b, out);
+            out.push('[');
+            write_expr(ast, *i, out);
+            out.push(']');
+        }
+        ExprKind::Cast(ty, e) => {
+            out.push('(');
+            out.push_str(&ty.to_string());
+            out.push(')');
+            write_maybe_paren(ast, *e, out);
+        }
+        ExprKind::SizeofType(ty) => {
+            out.push_str("sizeof(");
+            out.push_str(&ty.to_string());
+            out.push(')');
+        }
+        ExprKind::SizeofExpr(e) => {
+            out.push_str("sizeof ");
+            write_maybe_paren(ast, *e, out);
+        }
+        ExprKind::Comma(a, b) => {
+            write_expr(ast, *a, out);
+            out.push_str(", ");
+            write_expr(ast, *b, out);
+        }
+    }
+}
+
+/// Parenthesizes compound sub-expressions for readability.
+fn write_maybe_paren(ast: &Ast, id: ExprId, out: &mut String) {
+    let needs = matches!(
+        ast.expr(id).kind,
+        ExprKind::Binary(..)
+            | ExprKind::Assign(..)
+            | ExprKind::Ternary(..)
+            | ExprKind::Comma(..)
+    );
+    if needs {
+        out.push('(');
+        write_expr(ast, id, out);
+        out.push(')');
+    } else {
+        write_expr(ast, id, out);
+    }
+}
+
+/// Renders a statement as a single summary line (bodies elided).
+///
+/// Intended for diagnostics and CFG dumps, not for round-tripping.
+pub fn stmt_to_string(ast: &Ast, id: StmtId) -> String {
+    match &ast.stmt(id).kind {
+        StmtKind::Decl { ty, name, init } => match init {
+            Some(e) => format!("{ty} {name} = {};", expr_to_string(ast, *e)),
+            None => format!("{ty} {name};"),
+        },
+        StmtKind::Expr(e) => format!("{};", expr_to_string(ast, *e)),
+        StmtKind::If { cond, .. } => format!("if ({}) ...", expr_to_string(ast, *cond)),
+        StmtKind::While { cond, .. } => format!("while ({}) ...", expr_to_string(ast, *cond)),
+        StmtKind::DoWhile { cond, .. } => format!("do ... while ({});", expr_to_string(ast, *cond)),
+        StmtKind::For { .. } => "for (...) ...".to_string(),
+        StmtKind::Switch { scrutinee, .. } => {
+            format!("switch ({}) ...", expr_to_string(ast, *scrutinee))
+        }
+        StmtKind::Case(e) => format!("case {}:", expr_to_string(ast, *e)),
+        StmtKind::Default => "default:".to_string(),
+        StmtKind::Return(Some(e)) => format!("return {};", expr_to_string(ast, *e)),
+        StmtKind::Return(None) => "return;".to_string(),
+        StmtKind::Break => "break;".to_string(),
+        StmtKind::Continue => "continue;".to_string(),
+        StmtKind::Goto(l) => format!("goto {l};"),
+        StmtKind::Label(l) => format!("{l}:"),
+        StmtKind::Block(stmts) => format!("{{ {} statements }}", stmts.len()),
+        StmtKind::Empty => ";".to_string(),
+        StmtKind::Pragma(p) => format!("/* @pallas {p} */"),
+    }
+}
+
+
+/// Renders a full statement tree with indentation (round-trippable,
+/// unlike the one-line summaries of [`stmt_to_string`]).
+pub fn stmt_to_source(ast: &Ast, id: StmtId, indent: usize) -> String {
+    let mut out = String::new();
+    write_stmt_source(ast, id, indent, &mut out);
+    out
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt_source(ast: &Ast, id: StmtId, indent: usize, out: &mut String) {
+    use crate::ast::StmtKind;
+    match &ast.stmt(id).kind {
+        StmtKind::Block(stmts) => {
+            pad(out, indent);
+            out.push_str("{\n");
+            for &s in stmts {
+                write_stmt_source(ast, s, indent + 1, out);
+            }
+            pad(out, indent);
+            out.push_str("}\n");
+        }
+        StmtKind::Decl { ty, name, init } => {
+            pad(out, indent);
+            match init {
+                Some(e) => out.push_str(&format!("{ty} {name} = {};\n", expr_to_string(ast, *e))),
+                None => out.push_str(&format!("{ty} {name};\n")),
+            }
+        }
+        StmtKind::Expr(e) => {
+            pad(out, indent);
+            out.push_str(&format!("{};\n", expr_to_string(ast, *e)));
+        }
+        StmtKind::If { cond, then_br, else_br } => {
+            pad(out, indent);
+            out.push_str(&format!("if ({})\n", expr_to_string(ast, *cond)));
+            write_stmt_source(ast, *then_br, indent + 1, out);
+            if let Some(e) = else_br {
+                pad(out, indent);
+                out.push_str("else\n");
+                write_stmt_source(ast, *e, indent + 1, out);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            pad(out, indent);
+            out.push_str(&format!("while ({})\n", expr_to_string(ast, *cond)));
+            write_stmt_source(ast, *body, indent + 1, out);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            pad(out, indent);
+            out.push_str("do\n");
+            write_stmt_source(ast, *body, indent + 1, out);
+            pad(out, indent);
+            out.push_str(&format!("while ({});\n", expr_to_string(ast, *cond)));
+        }
+        StmtKind::For { init, cond, step, body } => {
+            pad(out, indent);
+            let init_text = match init {
+                Some(s) => {
+                    let mut t = stmt_to_source(ast, *s, 0);
+                    t.truncate(t.trim_end_matches(['\n', ';'].as_ref()).len());
+                    t
+                }
+                None => String::new(),
+            };
+            let cond_text = cond.map(|c| expr_to_string(ast, c)).unwrap_or_default();
+            let step_text = step.map(|s| expr_to_string(ast, s)).unwrap_or_default();
+            out.push_str(&format!("for ({init_text}; {cond_text}; {step_text})\n"));
+            write_stmt_source(ast, *body, indent + 1, out);
+        }
+        StmtKind::Switch { scrutinee, body } => {
+            pad(out, indent);
+            out.push_str(&format!("switch ({})\n", expr_to_string(ast, *scrutinee)));
+            write_stmt_source(ast, *body, indent + 1, out);
+        }
+        StmtKind::Case(e) => {
+            pad(out, indent);
+            out.push_str(&format!("case {}:\n", expr_to_string(ast, *e)));
+        }
+        StmtKind::Default => {
+            pad(out, indent);
+            out.push_str("default:\n");
+        }
+        StmtKind::Return(Some(e)) => {
+            pad(out, indent);
+            out.push_str(&format!("return {};\n", expr_to_string(ast, *e)));
+        }
+        StmtKind::Return(None) => {
+            pad(out, indent);
+            out.push_str("return;\n");
+        }
+        StmtKind::Break => {
+            pad(out, indent);
+            out.push_str("break;\n");
+        }
+        StmtKind::Continue => {
+            pad(out, indent);
+            out.push_str("continue;\n");
+        }
+        StmtKind::Goto(l) => {
+            pad(out, indent);
+            out.push_str(&format!("goto {l};\n"));
+        }
+        StmtKind::Label(l) => {
+            // Labels sit at column 0 in kernel style.
+            out.push_str(&format!("{l}:\n"));
+        }
+        StmtKind::Empty => {
+            pad(out, indent);
+            out.push_str(";\n");
+        }
+        StmtKind::Pragma(p) => {
+            pad(out, indent);
+            out.push_str(&format!("/* @pallas {p} */\n"));
+        }
+    }
+}
+
+/// Renders a whole translation unit back to compilable source.
+///
+/// Spans are not preserved, but parsing the output yields a unit with
+/// the same items, signatures, and statement structure — the
+/// round-trip property the test suite checks.
+pub fn unit_to_source(ast: &Ast) -> String {
+    use crate::ast::Item;
+    let mut out = String::new();
+    for item in &ast.items {
+        match item {
+            Item::Typedef { ty, name } => out.push_str(&format!("typedef {ty} {name};\n")),
+            Item::Struct(def) => {
+                let kw = if def.is_union { "union" } else { "struct" };
+                out.push_str(&format!("{kw} {} {{\n", def.name));
+                for f in &def.fields {
+                    out.push_str(&format!("  {} {};\n", f.ty, f.name));
+                }
+                out.push_str("};\n");
+            }
+            Item::Enum(def) => {
+                match &def.name {
+                    Some(n) => out.push_str(&format!("enum {n} {{ ")),
+                    None => out.push_str("enum { "),
+                }
+                for (i, (n, v)) in def.variants.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{n} = {v}"));
+                }
+                out.push_str(" };\n");
+            }
+            Item::Global { ty, name, init, .. } => match init {
+                Some(e) => out.push_str(&format!("{ty} {name} = {};\n", expr_to_string(ast, *e))),
+                None => out.push_str(&format!("{ty} {name};\n")),
+            },
+            Item::Proto(sig) => out.push_str(&format!("{sig};\n")),
+            Item::Function(f) => {
+                out.push_str(&format!("{}\n", f.sig));
+                out.push_str(&stmt_to_source(ast, f.body, 0));
+            }
+            Item::Pragma(body, _) => out.push_str(&format!("/* @pallas {body} */\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn render_return(src: &str) -> String {
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let body = match &ast.stmt(f.body).kind {
+            StmtKind::Block(stmts) => stmts.clone(),
+            _ => panic!("expected block"),
+        };
+        let last = *body.last().unwrap();
+        stmt_to_string(&ast, last)
+    }
+
+    #[test]
+    fn render_arithmetic() {
+        assert_eq!(
+            render_return("int f(int a, int b) { return a + b * 2; }"),
+            "return a + (b * 2);"
+        );
+    }
+
+    #[test]
+    fn render_member_and_call() {
+        assert_eq!(
+            render_return("int f(struct a *p) { return g(p->x, p->y[1]); }"),
+            "return g(p->x, p->y[1]);"
+        );
+    }
+
+    #[test]
+    fn render_cast_and_mask() {
+        assert_eq!(
+            render_return(
+                "typedef unsigned int gfp_t;\nint f(gfp_t m) { return (int)(m & 16); }"
+            ),
+            "return (int)(m & 16);"
+        );
+    }
+
+    #[test]
+    fn render_ternary_and_unary() {
+        assert_eq!(
+            render_return("int f(int a) { return !a ? -1 : a++; }"),
+            "return !a ? -1 : a++;"
+        );
+    }
+
+    #[test]
+    fn render_string_literal_escapes() {
+        assert_eq!(
+            render_return(r#"int f(void) { return puts("a\"b"); }"#),
+            r#"return puts("a\"b");"#
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Source positions, spans, and line maps.
+//!
+//! Every token and AST node carries a [`Span`] — a byte range into the
+//! original source text. [`LineMap`] converts byte offsets back into
+//! 1-based line/column pairs so diagnostics and path records can report
+//! the `L#` line numbers that appear in the paper's Table 5.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for synthesized nodes.
+    pub fn point(pos: u32) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Extracts the spanned text from `src`.
+    ///
+    /// Returns an empty string if the span is out of bounds, rather than
+    /// panicking, so diagnostics never abort rendering.
+    pub fn text(self, src: &str) -> &str {
+        src.get(self.start as usize..self.end as usize).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Precomputed newline offsets for O(log n) offset → line/column lookup.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of each line; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineMap {
+    /// Builds a line map for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts, len: src.len() as u32 }
+    }
+
+    /// Converts a byte offset to a 1-based line/column.
+    ///
+    /// Offsets past the end of the buffer clamp to the final position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// The 1-based line number containing `offset`.
+    pub fn line(&self, offset: u32) -> u32 {
+        self.line_col(offset).line
+    }
+
+    /// Total number of lines (at least 1, even for an empty buffer).
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_text() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+        let src = "abcdefghij";
+        assert_eq!(a.text(src), "cde");
+        assert_eq!(Span::new(8, 20).text(src), "");
+    }
+
+    #[test]
+    fn span_point_is_empty() {
+        let p = Span::point(7);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn line_map_basic() {
+        let src = "ab\ncd\n\nxyz";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.line_count(), 4);
+        assert_eq!(lm.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(lm.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(lm.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(lm.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(lm.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(lm.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn line_map_clamps_past_end() {
+        let lm = LineMap::new("one\ntwo");
+        assert_eq!(lm.line_col(1000).line, 2);
+    }
+
+    #[test]
+    fn line_map_empty_source() {
+        let lm = LineMap::new("");
+        assert_eq!(lm.line_count(), 1);
+        assert_eq!(lm.line_col(0), LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn line_map_offset_at_newline_belongs_to_current_line() {
+        let lm = LineMap::new("ab\ncd");
+        // offset 2 is the '\n' itself — still line 1.
+        assert_eq!(lm.line_col(2), LineCol { line: 1, col: 3 });
+    }
+}

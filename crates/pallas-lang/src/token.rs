@@ -1,0 +1,370 @@
+//! Token definitions for the Pallas C subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Identifier or keyword candidate (`foo`, `page_alloc`).
+    Ident(String),
+    /// Integer literal, already decoded (`42`, `0x1f`, `'c'`).
+    Int(i64),
+    /// String literal with quotes stripped and escapes decoded.
+    Str(String),
+    /// A reserved keyword (`if`, `while`, `struct`, ...).
+    Keyword(Keyword),
+    /// A punctuation or operator token.
+    Punct(Punct),
+    /// A `/* @pallas ... */` pragma comment body (without delimiters).
+    Pragma(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Pragma(_) => write!(f, "pragma comment"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved keywords of the C subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Switch,
+    Case,
+    Default,
+    Return,
+    Break,
+    Continue,
+    Goto,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    Sizeof,
+    Static,
+    Extern,
+    Const,
+    Inline,
+    Void,
+    Int,
+    Long,
+    Short,
+    Char,
+    Unsigned,
+    Signed,
+    Bool,
+    Float,
+    Double,
+    Volatile,
+}
+
+impl Keyword {
+    /// Looks up a keyword by its source spelling.
+    ///
+    /// Named `from_str` deliberately (it is infallible-by-`Option`, so
+    /// the `FromStr` trait with its error type would be noise).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "do" => Do,
+            "for" => For,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "return" => Return,
+            "break" => Break,
+            "continue" => Continue,
+            "goto" => Goto,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "typedef" => Typedef,
+            "sizeof" => Sizeof,
+            "static" => Static,
+            "extern" => Extern,
+            "const" => Const,
+            "inline" | "__inline" | "__always_inline" => Inline,
+            "void" => Void,
+            "int" => Int,
+            "long" => Long,
+            "short" => Short,
+            "char" => Char,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "bool" | "_Bool" => Bool,
+            "float" => Float,
+            "double" => Double,
+            "volatile" => Volatile,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            If => "if",
+            Else => "else",
+            While => "while",
+            Do => "do",
+            For => "for",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Return => "return",
+            Break => "break",
+            Continue => "continue",
+            Goto => "goto",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Typedef => "typedef",
+            Sizeof => "sizeof",
+            Static => "static",
+            Extern => "extern",
+            Const => "const",
+            Inline => "inline",
+            Void => "void",
+            Int => "int",
+            Long => "long",
+            Short => "short",
+            Char => "char",
+            Unsigned => "unsigned",
+            Signed => "signed",
+            Bool => "bool",
+            Float => "float",
+            Double => "double",
+            Volatile => "volatile",
+        }
+    }
+
+    /// Whether this keyword can begin a type name.
+    pub fn starts_type(self) -> bool {
+        use Keyword::*;
+        matches!(
+            self,
+            Struct
+                | Union
+                | Enum
+                | Void
+                | Int
+                | Long
+                | Short
+                | Char
+                | Unsigned
+                | Signed
+                | Bool
+                | Float
+                | Double
+                | Const
+                | Volatile
+                | Static
+                | Extern
+                | Inline
+                | Typedef
+        )
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Colon,
+    Question,
+    Ellipsis,
+    // Assignment
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    // Arithmetic / bitwise
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    // Logical / comparison
+    Not,
+    AndAnd,
+    OrOr,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    // Inc/dec
+    Inc,
+    Dec,
+}
+
+impl Punct {
+    /// The canonical source spelling.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Colon => ":",
+            Question => "?",
+            Ellipsis => "...",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+            Not => "!",
+            AndAnd => "&&",
+            OrOr => "||",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Inc => "++",
+            Dec => "--",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A lexed token: kind plus source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        self.kind == TokenKind::Punct(p)
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        self.kind == TokenKind::Keyword(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for s in ["if", "while", "struct", "return", "unsigned", "goto"] {
+            let k = Keyword::from_str(s).unwrap();
+            assert_eq!(k.as_str(), s);
+        }
+        assert!(Keyword::from_str("frobnicate").is_none());
+    }
+
+    #[test]
+    fn inline_aliases() {
+        assert_eq!(Keyword::from_str("__always_inline"), Some(Keyword::Inline));
+        assert_eq!(Keyword::from_str("_Bool"), Some(Keyword::Bool));
+    }
+
+    #[test]
+    fn type_starters() {
+        assert!(Keyword::Struct.starts_type());
+        assert!(Keyword::Unsigned.starts_type());
+        assert!(!Keyword::If.starts_type());
+        assert!(!Keyword::Return.starts_type());
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokenKind::Punct(Punct::Arrow), Span::new(0, 2));
+        assert!(t.is_punct(Punct::Arrow));
+        assert!(!t.is_punct(Punct::Dot));
+        assert!(!t.is_keyword(Keyword::If));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error-quality tests: malformed inputs must fail with messages that
+//! name what was expected, never panic, and carry spans.
+
+use pallas_lang::parse;
+
+fn err_of(src: &str) -> String {
+    match parse(src) {
+        Err(e) => {
+            assert!(e.span.end as usize <= src.len() + 1, "span in bounds");
+            e.message
+        }
+        Ok(_) => panic!("expected parse error for:\n{src}"),
+    }
+}
+
+#[test]
+fn missing_semicolon() {
+    let m = err_of("int f(void) { int x = 1 return x; }");
+    assert!(m.contains("expected `;`"), "{m}");
+}
+
+#[test]
+fn missing_closing_paren() {
+    let m = err_of("int f(int a { return a; }");
+    assert!(m.contains("expected"), "{m}");
+}
+
+#[test]
+fn unterminated_block() {
+    let m = err_of("int f(void) { return 0;");
+    assert!(m.contains("unterminated block") || m.contains("expected"), "{m}");
+}
+
+#[test]
+fn stray_operator_in_expression() {
+    let m = err_of("int f(int a) { return a + ; }");
+    assert!(m.contains("expected expression"), "{m}");
+}
+
+#[test]
+fn bad_top_level_token() {
+    let m = err_of("@ int f(void) { return 0; }");
+    assert!(m.contains("unexpected character") || m.contains("expected"), "{m}");
+}
+
+#[test]
+fn struct_without_brace_or_name() {
+    let m = err_of("struct { int a; };");
+    assert!(m.contains("expected identifier"), "{m}");
+}
+
+#[test]
+fn enum_bad_initializer() {
+    let m = err_of("enum e { A = x };");
+    assert!(m.contains("constant"), "{m}");
+}
+
+#[test]
+fn do_without_while() {
+    let m = err_of("int f(int a) { do { a--; } until (a); return a; }");
+    assert!(m.contains("while"), "{m}");
+}
+
+#[test]
+fn case_outside_parse_is_tolerated_but_bad_case_value_is_not() {
+    let m = err_of("int f(int a) { switch (a) { case : return 1; } }");
+    assert!(m.contains("expected expression"), "{m}");
+}
+
+#[test]
+fn missing_function_body_or_semi() {
+    let m = err_of("int f(void)");
+    assert!(m.contains("expected"), "{m}");
+}
+
+#[test]
+fn unterminated_string_reported_from_lexer() {
+    let m = err_of("int f(void) { return puts(\"oops); }");
+    assert!(m.contains("unterminated string"), "{m}");
+}
+
+#[test]
+fn error_messages_name_the_found_token() {
+    let m = err_of("int f(void) { return 0; } }");
+    assert!(m.contains('}'), "{m}");
+}

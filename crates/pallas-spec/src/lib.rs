@@ -1,0 +1,31 @@
+//! # pallas-spec
+//!
+//! The semantic annotation protocol of Pallas: the tiny DSL through
+//! which developers and testers supply the "simple, straightforward and
+//! high-level semantic information" (paper §4) that drives the checkers
+//! — immutable variables, trigger-condition variables, legal returns,
+//! fault states, and assistant data structures.
+//!
+//! ```
+//! use pallas_spec::parse_spec;
+//!
+//! # fn main() -> Result<(), pallas_spec::SpecError> {
+//! let spec = parse_spec(
+//!     "unit mm/page_alloc;\n\
+//!      fastpath get_page_fast;\n\
+//!      immutable gfp_mask, nodemask;",
+//! )?;
+//! assert_eq!(spec.immutable.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod lint;
+pub mod model;
+pub mod parse;
+pub mod spec;
+
+pub use lint::{LintIssue, LintSeverity};
+pub use model::{ElementClass, FastPathModel};
+pub use parse::{parse_pragma, parse_spec, SpecError};
+pub use spec::{CacheSpec, CondSpec, FastPathSpec, RetValue};

@@ -1,0 +1,207 @@
+//! Spec linting: catches inconsistent semantic annotations before the
+//! checkers run on them.
+//!
+//! The paper's protocol is written by hand ("users need to manually
+//! specify the start entry of the slow and fast path, and annotate the
+//! semantic information", §4), so a typo in a cond name silently turns
+//! an `order` clause into a no-op. The linter surfaces such dead or
+//! contradictory facts.
+
+use crate::spec::FastPathSpec;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A lint finding about a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// Severity of the issue.
+    pub severity: LintSeverity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// How bad a lint finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintSeverity {
+    /// The fact is dead or redundant; checking proceeds normally.
+    Note,
+    /// The fact cannot have its intended effect.
+    Warning,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            LintSeverity::Note => "note",
+            LintSeverity::Warning => "warning",
+        };
+        write!(f, "spec {tag}: {}", self.message)
+    }
+}
+
+impl FastPathSpec {
+    /// Lints the spec for dead, duplicate, or contradictory facts.
+    pub fn lint(&self) -> Vec<LintIssue> {
+        let mut issues = Vec::new();
+        let warn = |issues: &mut Vec<LintIssue>, m: String| {
+            issues.push(LintIssue { severity: LintSeverity::Warning, message: m })
+        };
+        let note = |issues: &mut Vec<LintIssue>, m: String| {
+            issues.push(LintIssue { severity: LintSeverity::Note, message: m })
+        };
+
+        if self.fastpath.is_empty() && self.fact_count() > 0 {
+            warn(&mut issues, "semantic facts given but no `fastpath` entry named".into());
+        }
+
+        for f in &self.fastpath {
+            if self.slowpath.contains(f) {
+                warn(
+                    &mut issues,
+                    format!("`{f}` is named as both fastpath and slowpath"),
+                );
+            }
+        }
+
+        let mut seen = HashSet::new();
+        for v in &self.immutable {
+            if !seen.insert(v) {
+                note(&mut issues, format!("immutable `{v}` declared more than once"));
+            }
+        }
+
+        let mut cond_names = HashSet::new();
+        for c in &self.conds {
+            if !cond_names.insert(c.name.as_str()) {
+                warn(&mut issues, format!("cond `{}` declared more than once", c.name));
+            }
+        }
+        for (a, b) in &self.orders {
+            for name in [a, b] {
+                if !cond_names.contains(name.as_str()) {
+                    warn(
+                        &mut issues,
+                        format!("order clause references unknown cond `{name}`"),
+                    );
+                }
+            }
+            if a == b {
+                warn(&mut issues, format!("order clause `{a} before {b}` is circular"));
+            }
+        }
+
+        for (x, y) in &self.correlated {
+            if x == y {
+                warn(&mut issues, format!("correlated pair `{x} -> {y}` relates a variable to itself"));
+            }
+        }
+
+        for c in &self.caches {
+            if c.cache == c.state {
+                warn(
+                    &mut issues,
+                    format!("cache `{}` caches itself; cache and state must differ", c.cache),
+                );
+            }
+        }
+
+        if self.match_slow_return && self.slowpath.is_empty() {
+            warn(
+                &mut issues,
+                "match_slow_return requires a `slowpath` entry to compare against".into(),
+            );
+        }
+
+        let mut fault_seen = HashSet::new();
+        for f in &self.faults {
+            if !fault_seen.insert(f) {
+                note(&mut issues, format!("fault `{f}` declared more than once"));
+            }
+        }
+
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FastPathSpec;
+
+    #[test]
+    fn clean_spec_lints_clean() {
+        let spec = FastPathSpec::new("u")
+            .with_fastpath("f")
+            .with_slowpath("g")
+            .with_immutable("x")
+            .with_cond("a", &["v"])
+            .with_cond("b", &["w"])
+            .with_order("a", "b")
+            .with_match_slow_return()
+            .with_fault("ENOSPC");
+        assert!(spec.lint().is_empty(), "{:#?}", spec.lint());
+    }
+
+    #[test]
+    fn unknown_order_cond_flagged() {
+        let spec = FastPathSpec::new("u").with_fastpath("f").with_order("ghost", "phantom");
+        let issues = spec.lint();
+        assert_eq!(issues.iter().filter(|i| i.message.contains("unknown cond")).count(), 2);
+    }
+
+    #[test]
+    fn circular_order_flagged() {
+        let spec = FastPathSpec::new("u")
+            .with_fastpath("f")
+            .with_cond("a", &["v"])
+            .with_order("a", "a");
+        assert!(spec.lint().iter().any(|i| i.message.contains("circular")));
+    }
+
+    #[test]
+    fn missing_fastpath_flagged() {
+        let spec = FastPathSpec::new("u").with_immutable("x");
+        assert!(spec.lint().iter().any(|i| i.message.contains("no `fastpath`")));
+    }
+
+    #[test]
+    fn fast_and_slow_conflict_flagged() {
+        let spec = FastPathSpec::new("u").with_fastpath("f").with_slowpath("f");
+        assert!(spec.lint().iter().any(|i| i.message.contains("both fastpath and slowpath")));
+    }
+
+    #[test]
+    fn duplicates_are_notes() {
+        let spec = FastPathSpec::new("u")
+            .with_fastpath("f")
+            .with_immutable("x")
+            .with_immutable("x")
+            .with_fault("EIO")
+            .with_fault("EIO");
+        let issues = spec.lint();
+        assert_eq!(issues.len(), 2);
+        assert!(issues.iter().all(|i| i.severity == LintSeverity::Note));
+    }
+
+    #[test]
+    fn match_slow_without_slowpath_flagged() {
+        let spec = FastPathSpec::new("u").with_fastpath("f").with_match_slow_return();
+        assert!(spec
+            .lint()
+            .iter()
+            .any(|i| i.message.contains("match_slow_return requires")));
+    }
+
+    #[test]
+    fn self_cache_flagged() {
+        let spec = FastPathSpec::new("u").with_fastpath("f").with_cache("x", "x");
+        assert!(spec.lint().iter().any(|i| i.message.contains("caches itself")));
+    }
+
+    #[test]
+    fn issue_display() {
+        let spec = FastPathSpec::new("u").with_fastpath("f").with_order("g", "h");
+        let text = spec.lint()[0].to_string();
+        assert!(text.starts_with("spec warning:"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The generalized fast-path element model (paper Figure 2).
+//!
+//! The paper abstracts every fast path into five element classes:
+//! path states (`Sin`, `Sf`, `So`, ...), trigger conditions (`Ct`,
+//! `Cfau`, `Cerr`), path outputs (`Sout`, `Serr`, `Sfau`), fault
+//! handling, and assistant data structures. [`FastPathModel`] names the
+//! elements present in a concrete fast path and renders the Figure 2
+//! diagram for it.
+
+use std::fmt;
+
+/// The five element classes of a fast path (paper §3, Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementClass {
+    /// Input/intermediate/final states (`Sin`, `Sf`, `So`).
+    PathState,
+    /// Conditions triggering path switches (`Ct`, `Cfau`, `Cerr`).
+    TriggerCondition,
+    /// Return values (`Sout`, `Serr`, `Sfau`).
+    PathOutput,
+    /// Exception/fault handling along the path.
+    FaultHandling,
+    /// Caches and other helper structures.
+    AssistantDataStructure,
+}
+
+impl ElementClass {
+    /// All classes in Table 1 order.
+    pub const ALL: [ElementClass; 5] = [
+        ElementClass::PathState,
+        ElementClass::TriggerCondition,
+        ElementClass::PathOutput,
+        ElementClass::FaultHandling,
+        ElementClass::AssistantDataStructure,
+    ];
+
+    /// Short display name matching the paper's tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ElementClass::PathState => "Path State",
+            ElementClass::TriggerCondition => "Trigger Condition",
+            ElementClass::PathOutput => "Path Output",
+            ElementClass::FaultHandling => "Fault Handling",
+            ElementClass::AssistantDataStructure => "Assistant Data Structures",
+        }
+    }
+}
+
+impl fmt::Display for ElementClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+/// A concrete instantiation of the Figure 2 model for one fast path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FastPathModel {
+    /// Workflow name (e.g. "Page allocation").
+    pub name: String,
+    /// Input state description (`Sin`).
+    pub input_state: String,
+    /// Trigger condition description (`Ct`).
+    pub trigger: String,
+    /// Fast-path action (`Sf`).
+    pub fast_action: String,
+    /// Slow-path action (`S0`).
+    pub slow_action: String,
+    /// Fault condition (`Cfau`), if the path models one.
+    pub fault_condition: Option<String>,
+    /// Fault-handling action (`Sfau`).
+    pub fault_action: Option<String>,
+    /// Error condition (`Cerr`), if modeled.
+    pub error_condition: Option<String>,
+    /// Normal output (`Sout`).
+    pub output: String,
+}
+
+impl FastPathModel {
+    /// Creates a model with the mandatory elements.
+    pub fn new(
+        name: impl Into<String>,
+        input_state: impl Into<String>,
+        trigger: impl Into<String>,
+        fast_action: impl Into<String>,
+        slow_action: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        FastPathModel {
+            name: name.into(),
+            input_state: input_state.into(),
+            trigger: trigger.into(),
+            fast_action: fast_action.into(),
+            slow_action: slow_action.into(),
+            output: output.into(),
+            ..FastPathModel::default()
+        }
+    }
+
+    /// Adds the fault-handling elements (`Cfau` / `Sfau`).
+    pub fn with_fault(mut self, condition: impl Into<String>, action: impl Into<String>) -> Self {
+        self.fault_condition = Some(condition.into());
+        self.fault_action = Some(action.into());
+        self
+    }
+
+    /// Adds the error-output condition (`Cerr`).
+    pub fn with_error(mut self, condition: impl Into<String>) -> Self {
+        self.error_condition = Some(condition.into());
+        self
+    }
+
+    /// Renders the Figure 2 diagram instantiated with this model's
+    /// element names.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Fast-path model: {}\n", self.name));
+        out.push_str(&format!("  Sin  : {}\n", self.input_state));
+        out.push_str(&format!("  Ct   : {}\n", self.trigger));
+        out.push_str("         |-- yes --> fast path\n");
+        out.push_str(&format!("         |            Sf: {}\n", self.fast_action));
+        if let (Some(cf), Some(sf)) = (&self.fault_condition, &self.fault_action) {
+            out.push_str(&format!("         |            Cfau: {cf}\n"));
+            out.push_str(&format!("         |              '-- yes --> Sfau: {sf}\n"));
+        }
+        out.push_str("         '-- no  --> slow path\n");
+        out.push_str(&format!("                      S0: {}\n", self.slow_action));
+        if let Some(ce) = &self.error_condition {
+            out.push_str(&format!("  Cerr : {ce} --> Serr\n"));
+        }
+        out.push_str(&format!("  Sout : {}\n", self.output));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_enumerated_in_table_order() {
+        assert_eq!(ElementClass::ALL.len(), 5);
+        assert_eq!(ElementClass::ALL[0].as_str(), "Path State");
+        assert_eq!(ElementClass::ALL[4].as_str(), "Assistant Data Structures");
+    }
+
+    #[test]
+    fn model_render_contains_all_elements() {
+        let m = FastPathModel::new(
+            "Page allocation",
+            "gfp_mask, order",
+            "order == 0",
+            "get page from per-cpu lists",
+            "lock; get pages from fallback lists",
+            "struct page *",
+        )
+        .with_fault("per-cpu list empty", "refill from buddy")
+        .with_error("allocation failed");
+        let r = m.render();
+        for needle in ["Sin", "Ct", "Sf", "S0", "Cfau", "Sfau", "Cerr", "Sout", "order == 0"] {
+            assert!(r.contains(needle), "missing {needle} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn minimal_model_renders_without_optional_parts() {
+        let m = FastPathModel::new("X", "in", "t", "f", "s", "out");
+        let r = m.render();
+        assert!(!r.contains("Cfau"));
+        assert!(!r.contains("Cerr"));
+    }
+}

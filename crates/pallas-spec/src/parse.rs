@@ -1,0 +1,290 @@
+//! Parser for the Pallas specification DSL.
+//!
+//! The DSL is statement-oriented; statements end with `;` and `#`
+//! starts a comment. It is deliberately tiny — the paper's claim is
+//! that the semantic input fits in "a few lines of code":
+//!
+//! ```text
+//! unit mm/page_alloc;
+//! fastpath get_page_fast;
+//! slowpath __alloc_pages_slowpath;
+//! immutable gfp_mask, nodemask;
+//! correlated preferred_zone -> nodemask;
+//! cond order0: order;
+//! order remote before oom;
+//! returns 0, -12, ENOMEM;
+//! match_slow_return;
+//! check_return;
+//! fault ENOSPC;
+//! assist struct inet_cork;
+//! cache icache for inode;
+//! ```
+
+use crate::spec::{CacheSpec, CondSpec, FastPathSpec, RetValue};
+use std::fmt;
+
+/// An error produced while parsing a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number in the spec text.
+    pub line: u32,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a complete spec document.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the offending line on malformed input.
+pub fn parse_spec(text: &str) -> Result<FastPathSpec, SpecError> {
+    let mut spec = FastPathSpec::default();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_stmt(stmt, line_no, &mut spec)?;
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses a single pragma body (the text after `@pallas` in a source
+/// comment) into a spec fragment. Several pragmas merge via
+/// [`FastPathSpec::merge`].
+pub fn parse_pragma(body: &str) -> Result<FastPathSpec, SpecError> {
+    parse_spec(body)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn err(line: u32, msg: impl Into<String>) -> SpecError {
+    SpecError { message: msg.into(), line }
+}
+
+fn parse_stmt(stmt: &str, line: u32, spec: &mut FastPathSpec) -> Result<(), SpecError> {
+    let (kw, rest) = match stmt.split_once(char::is_whitespace) {
+        Some((k, r)) => (k, r.trim()),
+        None => (stmt, ""),
+    };
+    match kw {
+        "unit" => {
+            if rest.is_empty() {
+                return Err(err(line, "unit requires a name"));
+            }
+            spec.unit = rest.to_string();
+        }
+        "fastpath" => {
+            for name in split_list(rest) {
+                spec.fastpath.push(name);
+            }
+            if spec.fastpath.is_empty() {
+                return Err(err(line, "fastpath requires at least one function name"));
+            }
+        }
+        "slowpath" => {
+            for name in split_list(rest) {
+                spec.slowpath.push(name);
+            }
+        }
+        "immutable" => {
+            let vars = split_list(rest);
+            if vars.is_empty() {
+                return Err(err(line, "immutable requires at least one variable"));
+            }
+            spec.immutable.extend(vars);
+        }
+        "correlated" => {
+            let (x, y) = rest
+                .split_once("->")
+                .ok_or_else(|| err(line, "correlated requires `X -> Y`"))?;
+            spec.correlated.push((x.trim().to_string(), y.trim().to_string()));
+        }
+        "cond" => {
+            let (name, vars) = rest
+                .split_once(':')
+                .ok_or_else(|| err(line, "cond requires `name: var, ...`"))?;
+            let vars = split_list(vars);
+            if vars.is_empty() {
+                return Err(err(line, "cond requires at least one variable"));
+            }
+            spec.conds.push(CondSpec { name: name.trim().to_string(), vars });
+        }
+        "order" => {
+            let (a, b) = rest
+                .split_once(" before ")
+                .ok_or_else(|| err(line, "order requires `X before Y`"))?;
+            spec.orders.push((a.trim().to_string(), b.trim().to_string()));
+        }
+        "returns" => {
+            let values = split_list(rest);
+            if values.is_empty() {
+                return Err(err(line, "returns requires at least one value"));
+            }
+            for v in values {
+                match v.parse::<i64>() {
+                    Ok(i) => spec.returns.push(RetValue::Int(i)),
+                    Err(_) => spec.returns.push(RetValue::Name(v)),
+                }
+            }
+        }
+        "match_slow_return" => spec.match_slow_return = true,
+        "check_return" => spec.check_return = true,
+        "fault" => {
+            let faults = split_list(rest);
+            if faults.is_empty() {
+                return Err(err(line, "fault requires at least one state name"));
+            }
+            spec.faults.extend(faults);
+        }
+        "assist" => {
+            let name = rest
+                .strip_prefix("struct")
+                .map(str::trim)
+                .unwrap_or(rest);
+            if name.is_empty() {
+                return Err(err(line, "assist requires a struct name"));
+            }
+            spec.assist_structs.push(name.to_string());
+        }
+        "cache" => {
+            let (cache, state) = rest
+                .split_once(" for ")
+                .ok_or_else(|| err(line, "cache requires `CACHE for STATE`"))?;
+            spec.caches.push(CacheSpec {
+                cache: cache.trim().to_string(),
+                state: state.trim().to_string(),
+            });
+        }
+        other => return Err(err(line, format!("unknown spec keyword `{other}`"))),
+    }
+    Ok(())
+}
+
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_document() {
+        let spec = parse_spec(
+            "unit mm/page_alloc;\n\
+             fastpath get_page_fast;\n\
+             slowpath __alloc_pages_slowpath;\n\
+             immutable gfp_mask, nodemask;\n\
+             correlated preferred_zone -> nodemask;\n\
+             cond order0: order;\n\
+             cond remote: zone_local;\n\
+             order remote before oom; # comment\n\
+             returns 0, -12, ENOMEM;\n\
+             match_slow_return;\n\
+             check_return;\n\
+             fault ENOSPC;\n\
+             assist struct per_cpu_pages;\n\
+             cache pcp for zone_state;\n",
+        )
+        .unwrap();
+        assert_eq!(spec.unit, "mm/page_alloc");
+        assert_eq!(spec.immutable, vec!["gfp_mask", "nodemask"]);
+        assert_eq!(spec.correlated, vec![("preferred_zone".into(), "nodemask".into())]);
+        assert_eq!(spec.conds.len(), 2);
+        assert_eq!(spec.orders, vec![("remote".into(), "oom".into())]);
+        assert_eq!(
+            spec.returns,
+            vec![RetValue::Int(0), RetValue::Int(-12), RetValue::Name("ENOMEM".into())]
+        );
+        assert!(spec.match_slow_return);
+        assert!(spec.check_return);
+        assert_eq!(spec.faults, vec!["ENOSPC"]);
+        assert_eq!(spec.assist_structs, vec!["per_cpu_pages"]);
+        assert_eq!(spec.caches.len(), 1);
+        assert_eq!(spec.fact_count(), 12);
+    }
+
+    #[test]
+    fn multiple_statements_on_one_line() {
+        let spec = parse_spec("fastpath f; slowpath g; immutable x;").unwrap();
+        assert_eq!(spec.fastpath, vec!["f"]);
+        assert_eq!(spec.slowpath, vec!["g"]);
+        assert_eq!(spec.immutable, vec!["x"]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_spec("# whole-line comment\n\n  fastpath f; # trailing\n").unwrap();
+        assert_eq!(spec.fastpath, vec!["f"]);
+    }
+
+    #[test]
+    fn cond_with_multiple_vars() {
+        let spec = parse_spec("cond pred: map, rps_flow_table;").unwrap();
+        assert_eq!(spec.conds[0].vars, vec!["map", "rps_flow_table"]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_spec("fastpath f;\nbogus_keyword x;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus_keyword"));
+    }
+
+    #[test]
+    fn malformed_clauses_rejected() {
+        assert!(parse_spec("correlated a b;").is_err());
+        assert!(parse_spec("order a then b;").is_err());
+        assert!(parse_spec("cond noname;").is_err());
+        assert!(parse_spec("cache x;").is_err());
+        assert!(parse_spec("immutable ;").is_err());
+        assert!(parse_spec("returns ;").is_err());
+    }
+
+    #[test]
+    fn assist_without_struct_keyword() {
+        let spec = parse_spec("assist inet_cork;").unwrap();
+        assert_eq!(spec.assist_structs, vec!["inet_cork"]);
+    }
+
+    #[test]
+    fn pragma_fragments_merge() {
+        let mut spec = parse_pragma("fastpath f;").unwrap();
+        spec.merge(parse_pragma("immutable gfp_mask;").unwrap());
+        spec.merge(parse_pragma("fault ENOSPC;").unwrap());
+        assert_eq!(spec.fastpath, vec!["f"]);
+        assert_eq!(spec.immutable, vec!["gfp_mask"]);
+        assert_eq!(spec.faults, vec!["ENOSPC"]);
+    }
+
+    #[test]
+    fn negative_returns_parse_as_ints() {
+        let spec = parse_spec("returns -5;").unwrap();
+        assert_eq!(spec.returns, vec![RetValue::Int(-5)]);
+    }
+}

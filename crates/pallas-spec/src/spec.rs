@@ -1,0 +1,303 @@
+//! The semantic specification model.
+//!
+//! A [`FastPathSpec`] captures exactly the "simple, straightforward and
+//! high-level semantic information" the paper asks users to provide
+//! (§4): which variables are immutable, which variables form trigger
+//! conditions, what the legal returns are, which fault states must be
+//! handled, and which data structures assist the fast path.
+
+use std::fmt;
+
+/// A named trigger-condition group: the variables whose checking forms
+/// one trigger condition (paper `@cond`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CondSpec {
+    /// Name used to refer to this condition in `order` clauses.
+    pub name: String,
+    /// Variables that must all appear in flow-control statements.
+    pub vars: Vec<String>,
+}
+
+/// A legal return value for Rule 3.1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RetValue {
+    /// Concrete integer (e.g. `0`, `-5`).
+    Int(i64),
+    /// Symbolic name (e.g. `EIO`, `NULL`, a variable).
+    Name(String),
+}
+
+impl fmt::Display for RetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetValue::Int(v) => write!(f, "{v}"),
+            RetValue::Name(n) => f.write_str(n),
+        }
+    }
+}
+
+/// A cache relationship for Rule 5.2: updates to `state` must be
+/// followed by an update touching `cache`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheSpec {
+    /// The assistant data structure acting as a cache (variable or
+    /// function-name prefix, e.g. `icache`).
+    pub cache: String,
+    /// The path state it caches (e.g. `inode`).
+    pub state: String,
+}
+
+/// The complete semantic specification for one fast path.
+///
+/// Construct with [`FastPathSpec::new`] plus the builder-style `with_*`
+/// methods, or parse the DSL with [`crate::parse_spec`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FastPathSpec {
+    /// Unit name (for reports), e.g. `mm/page_alloc`.
+    pub unit: String,
+    /// Fast-path entry function names.
+    pub fastpath: Vec<String>,
+    /// Slow-path entry function names (for Rule 3.2 cross-checking).
+    pub slowpath: Vec<String>,
+    /// Rule 1.1/1.2: immutable variables.
+    pub immutable: Vec<String>,
+    /// Rule 1.3: correlated variable pairs `X -> Y`.
+    pub correlated: Vec<(String, String)>,
+    /// Rule 2.1/2.2: trigger-condition groups.
+    pub conds: Vec<CondSpec>,
+    /// Rule 2.3: `(first, second)` pairs of cond names that must be
+    /// checked in this order.
+    pub orders: Vec<(String, String)>,
+    /// Rule 3.1: legal return values (empty = unconstrained).
+    pub returns: Vec<RetValue>,
+    /// Rule 3.2: fast-path returns must match slow-path returns.
+    pub match_slow_return: bool,
+    /// Rule 3.3: callers must check the fast path's return value.
+    pub check_return: bool,
+    /// Rule 4.1: fault states (identifiers) that must be handled.
+    pub faults: Vec<String>,
+    /// Rule 5.1: assistant structures whose fields must all be used
+    /// (struct tag names, e.g. `inet_cork`).
+    pub assist_structs: Vec<String>,
+    /// Rule 5.2: cache/state pairs.
+    pub caches: Vec<CacheSpec>,
+}
+
+impl FastPathSpec {
+    /// Creates an empty spec for the named unit.
+    pub fn new(unit: impl Into<String>) -> Self {
+        FastPathSpec { unit: unit.into(), ..FastPathSpec::default() }
+    }
+
+    /// Names a fast-path entry function.
+    pub fn with_fastpath(mut self, f: impl Into<String>) -> Self {
+        self.fastpath.push(f.into());
+        self
+    }
+
+    /// Names a slow-path entry function.
+    pub fn with_slowpath(mut self, f: impl Into<String>) -> Self {
+        self.slowpath.push(f.into());
+        self
+    }
+
+    /// Declares an immutable variable.
+    pub fn with_immutable(mut self, v: impl Into<String>) -> Self {
+        self.immutable.push(v.into());
+        self
+    }
+
+    /// Declares a correlated pair `x -> y`.
+    pub fn with_correlated(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.correlated.push((x.into(), y.into()));
+        self
+    }
+
+    /// Declares a trigger-condition group.
+    pub fn with_cond(mut self, name: impl Into<String>, vars: &[&str]) -> Self {
+        self.conds.push(CondSpec {
+            name: name.into(),
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Declares an ordering constraint between two cond names.
+    pub fn with_order(mut self, first: impl Into<String>, second: impl Into<String>) -> Self {
+        self.orders.push((first.into(), second.into()));
+        self
+    }
+
+    /// Adds a legal return value.
+    pub fn with_return(mut self, v: RetValue) -> Self {
+        self.returns.push(v);
+        self
+    }
+
+    /// Requires fast/slow return agreement (Rule 3.2).
+    pub fn with_match_slow_return(mut self) -> Self {
+        self.match_slow_return = true;
+        self
+    }
+
+    /// Requires callers to check the fast path's return (Rule 3.3).
+    pub fn with_check_return(mut self) -> Self {
+        self.check_return = true;
+        self
+    }
+
+    /// Declares a fault state that must be handled.
+    pub fn with_fault(mut self, f: impl Into<String>) -> Self {
+        self.faults.push(f.into());
+        self
+    }
+
+    /// Declares an assistant structure for Rule 5.1.
+    pub fn with_assist_struct(mut self, s: impl Into<String>) -> Self {
+        self.assist_structs.push(s.into());
+        self
+    }
+
+    /// Declares a cache/state pair for Rule 5.2.
+    pub fn with_cache(mut self, cache: impl Into<String>, state: impl Into<String>) -> Self {
+        self.caches.push(CacheSpec { cache: cache.into(), state: state.into() });
+        self
+    }
+
+    /// Looks up a cond group by name.
+    pub fn cond(&self, name: &str) -> Option<&CondSpec> {
+        self.conds.iter().find(|c| c.name == name)
+    }
+
+    /// Total number of semantic facts in the spec — the paper's "a few
+    /// lines of code" metric reported in the evaluation.
+    pub fn fact_count(&self) -> usize {
+        self.immutable.len()
+            + self.correlated.len()
+            + self.conds.len()
+            + self.orders.len()
+            + usize::from(!self.returns.is_empty())
+            + usize::from(self.match_slow_return)
+            + usize::from(self.check_return)
+            + self.faults.len()
+            + self.assist_structs.len()
+            + self.caches.len()
+    }
+
+    /// Merges another spec's facts into this one (used when a unit has
+    /// several pragma comments).
+    pub fn merge(&mut self, other: FastPathSpec) {
+        if self.unit.is_empty() {
+            self.unit = other.unit;
+        }
+        self.fastpath.extend(other.fastpath);
+        self.slowpath.extend(other.slowpath);
+        self.immutable.extend(other.immutable);
+        self.correlated.extend(other.correlated);
+        self.conds.extend(other.conds);
+        self.orders.extend(other.orders);
+        self.returns.extend(other.returns);
+        self.match_slow_return |= other.match_slow_return;
+        self.check_return |= other.check_return;
+        self.faults.extend(other.faults);
+        self.assist_structs.extend(other.assist_structs);
+        self.caches.extend(other.caches);
+    }
+}
+
+impl fmt::Display for FastPathSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "unit {};", self.unit)?;
+        for fp in &self.fastpath {
+            writeln!(f, "fastpath {fp};")?;
+        }
+        for sp in &self.slowpath {
+            writeln!(f, "slowpath {sp};")?;
+        }
+        if !self.immutable.is_empty() {
+            writeln!(f, "immutable {};", self.immutable.join(", "))?;
+        }
+        for (x, y) in &self.correlated {
+            writeln!(f, "correlated {x} -> {y};")?;
+        }
+        for c in &self.conds {
+            writeln!(f, "cond {}: {};", c.name, c.vars.join(", "))?;
+        }
+        for (a, b) in &self.orders {
+            writeln!(f, "order {a} before {b};")?;
+        }
+        if !self.returns.is_empty() {
+            let vals: Vec<String> = self.returns.iter().map(|r| r.to_string()).collect();
+            writeln!(f, "returns {};", vals.join(", "))?;
+        }
+        if self.match_slow_return {
+            writeln!(f, "match_slow_return;")?;
+        }
+        if self.check_return {
+            writeln!(f, "check_return;")?;
+        }
+        if !self.faults.is_empty() {
+            writeln!(f, "fault {};", self.faults.join(", "))?;
+        }
+        for s in &self.assist_structs {
+            writeln!(f, "assist struct {s};")?;
+        }
+        for c in &self.caches {
+            writeln!(f, "cache {} for {};", c.cache, c.state)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_facts() {
+        let spec = FastPathSpec::new("mm/page_alloc")
+            .with_fastpath("get_page_fast")
+            .with_slowpath("alloc_pages_slowpath")
+            .with_immutable("gfp_mask")
+            .with_correlated("preferred_zone", "nodemask")
+            .with_cond("order0", &["order"])
+            .with_order("remote", "oom")
+            .with_return(RetValue::Int(0))
+            .with_match_slow_return()
+            .with_fault("ENOMEM")
+            .with_assist_struct("per_cpu_pages")
+            .with_cache("pcp_cache", "zone_state");
+        assert_eq!(spec.fact_count(), 9);
+        assert!(spec.cond("order0").is_some());
+        assert!(spec.cond("missing").is_none());
+    }
+
+    #[test]
+    fn merge_unions_facts() {
+        let mut a = FastPathSpec::new("u").with_immutable("x");
+        let b = FastPathSpec::new("u").with_immutable("y").with_check_return();
+        a.merge(b);
+        assert_eq!(a.immutable, vec!["x", "y"]);
+        assert!(a.check_return);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let spec = FastPathSpec::new("net/tcp")
+            .with_fastpath("tcp_rcv_fast")
+            .with_cond("pred", &["pred_flags", "seq"])
+            .with_return(RetValue::Int(0))
+            .with_return(RetValue::Name("EIO".into()));
+        let text = spec.to_string();
+        let parsed = crate::parse_spec(&text).unwrap();
+        assert_eq!(parsed.fastpath, spec.fastpath);
+        assert_eq!(parsed.conds, spec.conds);
+        assert_eq!(parsed.returns, spec.returns);
+    }
+
+    #[test]
+    fn ret_value_display() {
+        assert_eq!(RetValue::Int(-5).to_string(), "-5");
+        assert_eq!(RetValue::Name("EIO".into()).to_string(), "EIO");
+    }
+}

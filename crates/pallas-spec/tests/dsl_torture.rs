@@ -1,0 +1,100 @@
+//! DSL torture tests: every statement form under hostile formatting,
+//! plus full-document round trips.
+
+use pallas_spec::{parse_spec, RetValue};
+
+#[test]
+fn whitespace_and_comment_torture() {
+    let spec = parse_spec(
+        "   unit   mm/x ;   # trailing comment\n\
+         \t fastpath   get_page_fast ;\n\
+         immutable a ,   b,c ;\n\
+         # full-line comment\n\
+         \n\
+         correlated   x   ->   y ;\n\
+         cond   c1 :  v1 , v2 ;\n\
+         order   c1   before   c2 ;\n\
+         returns   0 ,  -1 ,   EIO ;\n\
+         match_slow_return ;  check_return ;\n\
+         fault   ENOSPC ;\n\
+         assist   struct   per_cpu ;\n\
+         cache   pcp   for   zone ;\n",
+    )
+    .unwrap();
+    assert_eq!(spec.unit, "mm/x");
+    assert_eq!(spec.immutable, vec!["a", "b", "c"]);
+    assert_eq!(spec.correlated, vec![("x".into(), "y".into())]);
+    assert_eq!(spec.conds[0].vars, vec!["v1", "v2"]);
+    assert_eq!(spec.orders, vec![("c1".into(), "c2".into())]);
+    assert_eq!(
+        spec.returns,
+        vec![RetValue::Int(0), RetValue::Int(-1), RetValue::Name("EIO".into())]
+    );
+    assert!(spec.match_slow_return && spec.check_return);
+    assert_eq!(spec.assist_structs, vec!["per_cpu"]);
+    assert_eq!(spec.caches[0].cache, "pcp");
+    assert_eq!(spec.fact_count(), 12);
+}
+
+#[test]
+fn member_path_variables_allowed() {
+    let spec = parse_spec("fastpath f; immutable page->private; cache icache for inode->valid;")
+        .unwrap();
+    assert_eq!(spec.immutable, vec!["page->private"]);
+    assert_eq!(spec.caches[0].state, "inode->valid");
+}
+
+#[test]
+fn empty_document_is_the_empty_spec() {
+    let spec = parse_spec("").unwrap();
+    assert_eq!(spec.fact_count(), 0);
+    assert!(spec.fastpath.is_empty());
+    let spec = parse_spec("\n\n# only comments\n\n").unwrap();
+    assert_eq!(spec.fact_count(), 0);
+}
+
+#[test]
+fn repeated_statements_accumulate() {
+    let spec = parse_spec(
+        "fastpath a; fastpath b;\nimmutable x;\nimmutable y;\nfault E1;\nfault E2;",
+    )
+    .unwrap();
+    assert_eq!(spec.fastpath, vec!["a", "b"]);
+    assert_eq!(spec.immutable, vec!["x", "y"]);
+    assert_eq!(spec.faults, vec!["E1", "E2"]);
+}
+
+#[test]
+fn display_of_every_fact_form_reparses_identically() {
+    let original = parse_spec(
+        "unit net/full;\nfastpath f;\nslowpath g;\nimmutable a, b;\n\
+         correlated x -> y;\ncond c1: v1, v2;\ncond c2: w;\norder c1 before c2;\n\
+         returns 0, -5, EIO;\nmatch_slow_return;\ncheck_return;\n\
+         fault ENOSPC, EFAULT;\nassist struct inet_cork;\ncache icache for inode;",
+    )
+    .unwrap();
+    let reparsed = parse_spec(&original.to_string()).unwrap();
+    assert_eq!(reparsed, original);
+}
+
+#[test]
+fn error_positions_are_precise() {
+    let e = parse_spec("fastpath f;\nimmutable x;\ncond broken\nfault E;").unwrap_err();
+    assert_eq!(e.line, 3);
+}
+
+#[test]
+fn keywords_are_not_greedy_prefixes() {
+    // `conditions` is not `cond`; unknown keywords fail cleanly.
+    let e = parse_spec("conditions a: b;").unwrap_err();
+    assert!(e.message.contains("conditions"));
+}
+
+#[test]
+fn negative_and_large_returns() {
+    let spec = parse_spec("returns -2147483648, 2147483647;").unwrap();
+    assert_eq!(
+        spec.returns,
+        vec![RetValue::Int(i32::MIN as i64), RetValue::Int(i32::MAX as i64)]
+    );
+}

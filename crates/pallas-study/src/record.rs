@@ -1,0 +1,196 @@
+//! Record types for the fast-path patch characterization study.
+//!
+//! The paper's study (§3) hand-tagged 404 fast-path-relevant patches
+//! committed to the Linux kernel between 2009 and 2015, keeping 65
+//! committed fast paths and 172 bug-fix patches across four core
+//! subsystems. These types model one tagged patch each; the analyzer
+//! in [`crate::analyze`] recomputes the paper's Tables 2–4 from the
+//! raw records.
+
+use pallas_spec::ElementClass;
+use std::fmt;
+
+/// The four Linux subsystems the study covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// Virtual memory manager.
+    Mm,
+    /// File systems.
+    Fs,
+    /// Network stack.
+    Net,
+    /// Device drivers.
+    Dev,
+}
+
+impl Subsystem {
+    /// All subsystems in table-column order.
+    pub const ALL: [Subsystem; 4] = [Subsystem::Mm, Subsystem::Fs, Subsystem::Net, Subsystem::Dev];
+
+    /// Column label used in the paper's tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Subsystem::Mm => "MM",
+            Subsystem::Fs => "FS",
+            Subsystem::Net => "NET",
+            Subsystem::Dev => "DEV",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+/// The consequence classes of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Consequence {
+    /// Silent wrong results.
+    IncorrectResults,
+    /// Lost or corrupted persistent data.
+    DataLoss,
+    /// The system stops making progress.
+    SystemHang,
+    /// Kernel panic / process crash.
+    SystemCrash,
+    /// Slowdowns and regressions.
+    PerformanceDegradation,
+    /// Leaked memory or objects.
+    MemoryLeak,
+}
+
+impl Consequence {
+    /// All consequences in Table 4 row order.
+    pub const ALL: [Consequence; 6] = [
+        Consequence::IncorrectResults,
+        Consequence::DataLoss,
+        Consequence::SystemHang,
+        Consequence::SystemCrash,
+        Consequence::PerformanceDegradation,
+        Consequence::MemoryLeak,
+    ];
+
+    /// Row label used in Table 4.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Consequence::IncorrectResults => "Incorrect results",
+            Consequence::DataLoss => "Data loss",
+            Consequence::SystemHang => "System hang",
+            Consequence::SystemCrash => "System crash",
+            Consequence::PerformanceDegradation => "Performance degradation",
+            Consequence::MemoryLeak => "Memory leak",
+        }
+    }
+}
+
+impl fmt::Display for Consequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+/// A committed fast path (one of the 65 studied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastPathRecord {
+    /// Stable id, e.g. `mm-fp-03`.
+    pub id: String,
+    /// Owning subsystem.
+    pub subsystem: Subsystem,
+}
+
+/// A committed bug-fix patch against a fast path (one of the 172).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugFixRecord {
+    /// Stable id, e.g. `mm-fix-017`.
+    pub id: String,
+    /// Owning subsystem.
+    pub subsystem: Subsystem,
+    /// Id of the fast path the fix belongs to.
+    pub fastpath_id: String,
+    /// Tagged bug category (the five element classes).
+    pub category: ElementClass,
+    /// Tagged consequence.
+    pub consequence: Consequence,
+    /// Day the bug was reported (days since an arbitrary epoch).
+    pub reported_day: u32,
+    /// Day the fix was committed.
+    pub committed_day: u32,
+}
+
+impl BugFixRecord {
+    /// Days between report and commit — the paper's "fix time" proxy.
+    pub fn fix_days(&self) -> u32 {
+        self.committed_day.saturating_sub(self.reported_day)
+    }
+}
+
+/// The complete study dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StudyDataset {
+    /// The committed fast paths.
+    pub fastpaths: Vec<FastPathRecord>,
+    /// The bug-fix patches.
+    pub fixes: Vec<BugFixRecord>,
+    /// Total fast-path-relevant patches identified (404 in the paper).
+    pub total_fastpath_patches: usize,
+    /// Total patches in the studied window (so that fast-path patches
+    /// account for the paper's 7%).
+    pub total_patches_in_window: usize,
+}
+
+impl StudyDataset {
+    /// Fraction of all patches that are fast-path relevant (§3.1's 7%).
+    pub fn fastpath_patch_share(&self) -> f64 {
+        if self.total_patches_in_window == 0 {
+            0.0
+        } else {
+            self.total_fastpath_patches as f64 / self.total_patches_in_window as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fix_days_saturates() {
+        let r = BugFixRecord {
+            id: "x".into(),
+            subsystem: Subsystem::Mm,
+            fastpath_id: "fp".into(),
+            category: ElementClass::PathState,
+            consequence: Consequence::DataLoss,
+            reported_day: 10,
+            committed_day: 13,
+        };
+        assert_eq!(r.fix_days(), 3);
+        let swapped = BugFixRecord { reported_day: 13, committed_day: 10, ..r };
+        assert_eq!(swapped.fix_days(), 0);
+    }
+
+    #[test]
+    fn subsystem_labels() {
+        assert_eq!(Subsystem::Mm.to_string(), "MM");
+        assert_eq!(Subsystem::ALL.len(), 4);
+    }
+
+    #[test]
+    fn consequence_labels() {
+        assert_eq!(Consequence::ALL.len(), 6);
+        assert_eq!(Consequence::DataLoss.to_string(), "Data loss");
+    }
+
+    #[test]
+    fn patch_share() {
+        let ds = StudyDataset {
+            total_fastpath_patches: 7,
+            total_patches_in_window: 100,
+            ..StudyDataset::default()
+        };
+        assert!((ds.fastpath_patch_share() - 0.07).abs() < 1e-9);
+        assert_eq!(StudyDataset::default().fastpath_patch_share(), 0.0);
+    }
+}

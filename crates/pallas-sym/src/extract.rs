@@ -1,0 +1,746 @@
+//! Symbolic path extraction: CFG paths → [`PathDb`] event timelines.
+//!
+//! For every function the extractor enumerates bounded CFG paths and
+//! interprets each path's statements over symbolic values, producing
+//! the ordered [`Event`] timeline the checkers consume. Calls to
+//! functions defined in the same (merged) unit can be *summary-inlined*
+//! up to a configurable depth — the union of the callee's own events is
+//! appended at `depth + 1` — mirroring the paper's "inlines a limited
+//! number of callee functions" design (§4).
+
+use crate::event::{Event, FunctionPaths, OutputRecord, PathDb, PathRecord};
+use crate::sym::Sym;
+use pallas_cfg::{build_cfg, enumerate_paths, CfgPath, Decision, PathConfig};
+use pallas_lang::ast::{AssignOp, Ast, ExprId, ExprKind, StmtKind, UnOp};
+use pallas_lang::{expr_to_string, LineMap};
+use std::collections::{HashMap, HashSet};
+
+/// Extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractConfig {
+    /// CFG path-enumeration limits.
+    pub paths: PathConfig,
+    /// How many levels of same-unit callees to summary-inline
+    /// (0 disables inlining).
+    pub inline_depth: u8,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig { paths: PathConfig::default(), inline_depth: 1 }
+    }
+}
+
+/// Extracts the path database for a parsed unit.
+///
+/// `src` must be the exact text the unit was parsed from (line numbers
+/// are derived from it).
+pub fn extract(unit: &str, ast: &Ast, src: &str, config: &ExtractConfig) -> PathDb {
+    let lm = LineMap::new(src);
+    let mut db = PathDb::new(unit);
+    let mut summaries: SummaryCache = HashMap::new();
+    for func in ast.functions() {
+        let fp = extract_function(ast, &lm, &func.sig.name, config, &mut summaries);
+        db.insert(fp);
+    }
+    db
+}
+
+/// Memoized callee summaries, keyed by `(function, remaining depth)`.
+type SummaryCache = HashMap<(String, u8), Vec<Event>>;
+
+fn extract_function(
+    ast: &Ast,
+    lm: &LineMap,
+    name: &str,
+    config: &ExtractConfig,
+    summaries: &mut SummaryCache,
+) -> FunctionPaths {
+    let func = ast.function(name).expect("function exists");
+    let cfg = build_cfg(ast, func);
+    let paths = enumerate_paths(&cfg, &config.paths);
+    let mut records = Vec::with_capacity(paths.paths.len());
+    for (index, path) in paths.paths.iter().enumerate() {
+        records.push(extract_path(ast, lm, &cfg, path, index, config, summaries));
+    }
+    FunctionPaths {
+        name: func.sig.name.clone(),
+        signature: func.sig.to_string(),
+        params: func.sig.params.iter().map(|p| p.name.clone()).collect(),
+        line: lm.line(func.span.start),
+        records,
+        truncated: paths.truncated,
+    }
+}
+
+fn extract_path(
+    ast: &Ast,
+    lm: &LineMap,
+    cfg: &pallas_cfg::Cfg,
+    path: &CfgPath,
+    index: usize,
+    config: &ExtractConfig,
+    summaries: &mut SummaryCache,
+) -> PathRecord {
+    let mut ev = Evaluator::new(ast, lm, config, summaries);
+    // Parameters start as symbolic inputs of their own name.
+    // (The environment defaults to `Input(name)` on lookup, so nothing
+    // to seed.)
+    let mut decision_iter = path.decisions.iter().peekable();
+    for (i, &bb) in path.blocks.iter().enumerate() {
+        let block = cfg.block(bb);
+        for &stmt in &block.stmts {
+            ev.exec_stmt(stmt);
+        }
+        for &(b, step) in &cfg.step_exprs {
+            if b == bb {
+                ev.eval(step);
+            }
+        }
+        // If this block made a decision on the path, record it.
+        let is_last = i + 1 == path.blocks.len();
+        if !is_last {
+            if let Some(d) = decision_iter.peek() {
+                if d.block() == bb {
+                    let d = decision_iter.next().expect("peeked");
+                    ev.record_decision(d);
+                }
+            }
+        }
+    }
+    let output = match path.ret {
+        Some(e) => {
+            let value = ev.eval_in_return(e);
+            OutputRecord {
+                line: lm.line(ast.expr(e).span.start),
+                text: expr_to_string(ast, e),
+                value: Some(value),
+                vars: ev.atoms_of(e),
+            }
+        }
+        None => OutputRecord {
+            line: path
+                .blocks
+                .last()
+                .map(|&b| lm.line(cfg.block(b).span.start))
+                .unwrap_or(0),
+            text: String::new(),
+            value: None,
+            vars: Vec::new(),
+        },
+    };
+    PathRecord { index, events: ev.events, output }
+}
+
+/// Computes (and memoizes) the summary event set of a callee: the union
+/// of events over all of its extracted paths, deduplicated. `remaining`
+/// is the inlining budget left at the *call site*: the callee's own
+/// extraction gets `remaining - 1`, so a budget of 2 surfaces the
+/// callee's callees' conditions at cumulative depth 2, and so on.
+fn callee_summary(
+    ast: &Ast,
+    lm: &LineMap,
+    name: &str,
+    remaining: u8,
+    base: &ExtractConfig,
+    summaries: &mut SummaryCache,
+) -> Vec<Event> {
+    if remaining == 0 {
+        return Vec::new();
+    }
+    let key = (name.to_string(), remaining);
+    if let Some(s) = summaries.get(&key) {
+        return s.clone();
+    }
+    // Insert a placeholder first to break recursion cycles.
+    summaries.insert(key.clone(), Vec::new());
+    let sub_config = ExtractConfig {
+        paths: PathConfig { max_paths: 64, ..base.paths },
+        inline_depth: remaining - 1,
+    };
+    let fp = extract_function(ast, lm, name, &sub_config, summaries);
+    let mut seen = HashSet::new();
+    let mut union = Vec::new();
+    for rec in &fp.records {
+        for e in &rec.events {
+            let key = format!("{e:?}");
+            if seen.insert(key) {
+                union.push(e.clone());
+            }
+        }
+    }
+    summaries.insert(key, union.clone());
+    union
+}
+
+struct Evaluator<'a> {
+    ast: &'a Ast,
+    lm: &'a LineMap,
+    config: &'a ExtractConfig,
+    env: HashMap<String, Sym>,
+    temp_counter: u32,
+    in_condition: u32,
+    events: Vec<Event>,
+    summaries: &'a mut SummaryCache,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(
+        ast: &'a Ast,
+        lm: &'a LineMap,
+        config: &'a ExtractConfig,
+        summaries: &'a mut SummaryCache,
+    ) -> Self {
+        Evaluator {
+            ast,
+            lm,
+            config,
+            env: HashMap::new(),
+            temp_counter: 0,
+            in_condition: 0,
+            events: Vec::new(),
+            summaries,
+        }
+    }
+
+    fn line_of(&self, e: ExprId) -> u32 {
+        self.lm.line(self.ast.expr(e).span.start)
+    }
+
+    fn exec_stmt(&mut self, id: pallas_lang::StmtId) {
+        let stmt = self.ast.stmt(id).clone();
+        match stmt.kind {
+            StmtKind::Decl { name, init, .. } => {
+                let line = self.lm.line(stmt.span.start);
+                self.events.push(Event::Decl {
+                    line,
+                    name: name.clone(),
+                    has_init: init.is_some(),
+                    depth: 0,
+                });
+                match init {
+                    Some(e) => {
+                        let value = self.eval(e);
+                        let value = self.detemporalize_call(value, &name);
+                        self.events.push(Event::State {
+                            line,
+                            lvalue: name.clone(),
+                            value: value.clone(),
+                            text: format!("{name} = {}", expr_to_string(self.ast, e)),
+                            reads: self.atoms_of(e),
+                            depth: 0,
+                        });
+                        self.env.insert(name, value);
+                    }
+                    None => {
+                        // Declared but uninitialized: poison so reads
+                        // can be recognized by the init checker.
+                        self.env.insert(name, Sym::Unknown);
+                    }
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e);
+            }
+            _ => {}
+        }
+    }
+
+    fn record_decision(&mut self, d: &Decision) {
+        match d {
+            Decision::Branch { cond, taken, .. } => {
+                self.in_condition += 1;
+                let sym = self.eval(*cond);
+                self.in_condition -= 1;
+                self.events.push(Event::Cond {
+                    line: self.line_of(*cond),
+                    text: expr_to_string(self.ast, *cond),
+                    symbolic: sym.to_string(),
+                    vars: self.atoms_of(*cond),
+                    taken: Some(*taken),
+                    depth: 0,
+                });
+            }
+            Decision::Switch { scrutinee, case, .. } => {
+                self.in_condition += 1;
+                let sym = self.eval(*scrutinee);
+                self.in_condition -= 1;
+                let case_text = case
+                    .map(|c| format!(" == case {}", expr_to_string(self.ast, c)))
+                    .unwrap_or_else(|| " == default".to_string());
+                let mut vars = self.atoms_of(*scrutinee);
+                if let Some(c) = case {
+                    for atom in self.atoms_of(*c) {
+                        if !vars.contains(&atom) {
+                            vars.push(atom);
+                        }
+                    }
+                }
+                self.events.push(Event::Cond {
+                    line: self.line_of(*scrutinee),
+                    text: format!("{}{case_text}", expr_to_string(self.ast, *scrutinee)),
+                    symbolic: format!("{sym}{case_text}"),
+                    vars,
+                    taken: None,
+                    depth: 0,
+                });
+            }
+        }
+    }
+
+    fn eval_in_return(&mut self, e: ExprId) -> Sym {
+        self.eval(e)
+    }
+
+    /// If the value is a raw call result, rewrite it as a `V#` temp (the
+    /// Table 5 convention) and point the most recent Call event at the
+    /// assigned lvalue.
+    fn detemporalize_call(&mut self, value: Sym, lvalue: &str) -> Sym {
+        if let Sym::Call { .. } = value {
+            for e in self.events.iter_mut().rev() {
+                // Only the function's own call events qualify — summary
+                // events spliced from callees sit at depth > 0 and must
+                // not absorb the assignment.
+                if let Event::Call { assigned_to, depth: 0, .. } = e {
+                    if assigned_to.is_none() {
+                        *assigned_to = Some(lvalue.to_string());
+                        break;
+                    }
+                }
+            }
+            self.temp_counter += 1;
+            return Sym::Temp(self.temp_counter);
+        }
+        value
+    }
+
+    /// Canonical lvalue text for identifier / member / index / deref
+    /// chains; `None` for non-lvalue expressions.
+    fn lvalue_key(&self, e: ExprId) -> Option<String> {
+        match &self.ast.expr(e).kind {
+            ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index(..) => {
+                Some(expr_to_string(self.ast, e))
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                self.lvalue_key(*inner).map(|k| format!("*{k}"))
+            }
+            _ => None,
+        }
+    }
+
+    /// Name atoms mentioned by an expression: identifiers, full member
+    /// paths, and bare field names.
+    fn atoms_of(&self, e: ExprId) -> Vec<String> {
+        let mut set = Vec::new();
+        let mut push = |s: String| {
+            if !set.contains(&s) {
+                set.push(s);
+            }
+        };
+        self.ast.walk_expr(e, &mut |id| match &self.ast.expr(id).kind {
+            ExprKind::Ident(n) => push(n.clone()),
+            ExprKind::Member { field, .. } => {
+                push(field.clone());
+                push(expr_to_string(self.ast, id));
+            }
+            _ => {}
+        });
+        set
+    }
+
+    fn eval(&mut self, e: ExprId) -> Sym {
+        match self.ast.expr(e).kind.clone() {
+            ExprKind::Int(v) => Sym::Int(v),
+            ExprKind::Str(s) => Sym::Str(s),
+            ExprKind::Ident(n) => self.env.get(&n).cloned().unwrap_or(Sym::Input(n)),
+            ExprKind::Unary(op, inner) => {
+                if op.mutates() {
+                    let value = self.eval(inner);
+                    if let Some(key) = self.lvalue_key(inner) {
+                        let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) { 1 } else { -1 };
+                        let new = Sym::binary(
+                            pallas_lang::ast::BinOp::Add,
+                            value.clone(),
+                            Sym::Int(delta),
+                        );
+                        self.events.push(Event::State {
+                            line: self.line_of(e),
+                            lvalue: key.clone(),
+                            value: new.clone(),
+                            text: expr_to_string(self.ast, e),
+                            reads: self.atoms_of(inner),
+                            depth: 0,
+                        });
+                        self.env.insert(key, new.clone());
+                        return match op {
+                            UnOp::PostInc | UnOp::PostDec => value,
+                            _ => new,
+                        };
+                    }
+                    return Sym::Unknown;
+                }
+                if matches!(op, UnOp::Addr) {
+                    // Taking an address counts as a read; value unknown.
+                    self.eval(inner);
+                    return Sym::Unknown;
+                }
+                let v = self.eval(inner);
+                if matches!(op, UnOp::Deref) {
+                    return match self.lvalue_key(e) {
+                        Some(key) => self.env.get(&key).cloned().unwrap_or(Sym::Input(key)),
+                        None => Sym::Unknown,
+                    };
+                }
+                Sym::unary(op, v)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                Sym::binary(op, va, vb)
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let rhs_value = self.eval(rhs);
+                let key = match self.lvalue_key(lhs) {
+                    Some(k) => k,
+                    None => return Sym::Unknown,
+                };
+                let mut value = match op {
+                    AssignOp::Assign => rhs_value,
+                    AssignOp::Compound(bin) => {
+                        let cur =
+                            self.env.get(&key).cloned().unwrap_or(Sym::Input(key.clone()));
+                        Sym::binary(bin, cur, rhs_value)
+                    }
+                };
+                value = self.detemporalize_call(value, &key);
+                let mut reads = self.atoms_of(rhs);
+                if matches!(op, AssignOp::Compound(_)) {
+                    for a in self.atoms_of(lhs) {
+                        if !reads.contains(&a) {
+                            reads.push(a);
+                        }
+                    }
+                }
+                self.events.push(Event::State {
+                    line: self.line_of(e),
+                    lvalue: key.clone(),
+                    value: value.clone(),
+                    text: expr_to_string(self.ast, e),
+                    reads,
+                    depth: 0,
+                });
+                self.env.insert(key, value.clone());
+                value
+            }
+            ExprKind::Ternary(c, t, el) => {
+                self.in_condition += 1;
+                let sym = self.eval(c);
+                self.in_condition -= 1;
+                self.events.push(Event::Cond {
+                    line: self.line_of(c),
+                    text: expr_to_string(self.ast, c),
+                    symbolic: sym.to_string(),
+                    vars: self.atoms_of(c),
+                    taken: None,
+                    depth: 0,
+                });
+                let tv = self.eval(t);
+                let ev = self.eval(el);
+                if tv == ev {
+                    tv
+                } else {
+                    Sym::Unknown
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let callee_name = expr_to_string(self.ast, callee);
+                let mut arg_syms = Vec::with_capacity(args.len());
+                let mut arg_vars = Vec::new();
+                for &a in &args {
+                    arg_syms.push(self.eval(a));
+                    for atom in self.atoms_of(a) {
+                        if !arg_vars.contains(&atom) {
+                            arg_vars.push(atom);
+                        }
+                    }
+                }
+                self.events.push(Event::Call {
+                    line: self.line_of(e),
+                    callee: callee_name.clone(),
+                    arg_vars,
+                    assigned_to: None,
+                    in_condition: self.in_condition > 0,
+                    depth: 0,
+                });
+                // Summary-inline same-unit callees.
+                if self.config.inline_depth > 0 && self.ast.function(&callee_name).is_some() {
+                    let summary = callee_summary(
+                        self.ast,
+                        self.lm,
+                        &callee_name,
+                        self.config.inline_depth,
+                        self.config,
+                        self.summaries,
+                    );
+                    for mut ev in summary {
+                        match &mut ev {
+                            Event::Cond { depth, .. }
+                            | Event::State { depth, .. }
+                            | Event::Call { depth, .. }
+                            | Event::Decl { depth, .. } => *depth += 1,
+                        }
+                        self.events.push(ev);
+                    }
+                }
+                Sym::Call { callee: callee_name, args: arg_syms }
+            }
+            ExprKind::Member { base, .. } => {
+                self.eval(base);
+                match self.lvalue_key(e) {
+                    Some(key) => self.env.get(&key).cloned().unwrap_or(Sym::Input(key)),
+                    None => Sym::Unknown,
+                }
+            }
+            ExprKind::Index(b, i) => {
+                self.eval(b);
+                self.eval(i);
+                match self.lvalue_key(e) {
+                    Some(key) => self.env.get(&key).cloned().unwrap_or(Sym::Input(key)),
+                    None => Sym::Unknown,
+                }
+            }
+            ExprKind::Cast(_, inner) => self.eval(inner),
+            ExprKind::SizeofType(ty) => Sym::Input(format!("sizeof({ty})")),
+            ExprKind::SizeofExpr(inner) => {
+                self.eval(inner);
+                Sym::Unknown
+            }
+            ExprKind::Comma(a, b) => {
+                self.eval(a);
+                self.eval(b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_lang::parse;
+
+    fn db_of(src: &str) -> PathDb {
+        let ast = parse(src).unwrap();
+        extract("test", &ast, src, &ExtractConfig::default())
+    }
+
+    #[test]
+    fn straight_line_states_recorded() {
+        let db = db_of("int f(int x) {\n  int y = x + 1;\n  y = y * 2;\n  return y;\n}");
+        let f = db.function("f").unwrap();
+        assert_eq!(f.records.len(), 1);
+        let rec = &f.records[0];
+        let states: Vec<_> = rec.states().collect();
+        assert_eq!(states.len(), 2);
+        match &states[1] {
+            Event::State { lvalue, line, .. } => {
+                assert_eq!(lvalue, "y");
+                assert_eq!(*line, 3);
+            }
+            _ => unreachable!(),
+        }
+        // y = (x+1)*2 stays symbolic in x.
+        assert!(rec.output.value.as_ref().unwrap().mentions("x"));
+    }
+
+    #[test]
+    fn constant_propagation_to_return() {
+        let db = db_of("int f(void) { int a = 2; int b = a + 3; return b * 2; }");
+        let f = db.function("f").unwrap();
+        assert_eq!(f.records[0].output.value, Some(Sym::Int(10)));
+        assert_eq!(f.literal_returns(), vec![10]);
+    }
+
+    #[test]
+    fn branch_conditions_recorded_per_path() {
+        let db = db_of("int f(int x) {\n  if (x > 0)\n    return 1;\n  return 0;\n}");
+        let f = db.function("f").unwrap();
+        assert_eq!(f.records.len(), 2);
+        for rec in &f.records {
+            assert!(rec.checks_atom("x"));
+            assert_eq!(rec.conditions().count(), 1);
+        }
+        assert_eq!(f.literal_returns(), vec![0, 1]);
+    }
+
+    #[test]
+    fn member_lvalues_tracked() {
+        let db = db_of(
+            "struct page { int private; };\n\
+             int f(struct page *page, int migratetype) {\n\
+               page->private = migratetype;\n\
+               page->private = 0;\n\
+               return page->private;\n\
+             }",
+        );
+        let f = db.function("f").unwrap();
+        let rec = &f.records[0];
+        let lvalues: Vec<&str> = rec
+            .states()
+            .map(|e| match e {
+                Event::State { lvalue, .. } => lvalue.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lvalues, vec!["page->private", "page->private"]);
+        assert_eq!(rec.output.value, Some(Sym::Int(0)));
+    }
+
+    #[test]
+    fn calls_recorded_with_assignment_target() {
+        let db = db_of(
+            "int g(int a);\n\
+             int f(int x) {\n\
+               int r = g(x);\n\
+               if (r < 0)\n\
+                 return -1;\n\
+               return 0;\n\
+             }",
+        );
+        let f = db.function("f").unwrap();
+        let rec = &f.records[0];
+        let call = rec.calls().next().unwrap();
+        match call {
+            Event::Call { callee, assigned_to, in_condition, arg_vars, .. } => {
+                assert_eq!(callee, "g");
+                assert_eq!(assigned_to.as_deref(), Some("r"));
+                assert!(!in_condition);
+                assert_eq!(arg_vars, &vec!["x".to_string()]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn call_inside_condition_flagged() {
+        let db = db_of(
+            "int ok(int a);\n\
+             int f(int x) { if (ok(x)) return 1; return 0; }",
+        );
+        let f = db.function("f").unwrap();
+        let call = f.records[0].calls().next().unwrap();
+        assert!(matches!(call, Event::Call { in_condition: true, .. }));
+    }
+
+    #[test]
+    fn compound_assignment_reads_lhs() {
+        let db = db_of("int f(int x) { x |= 4; return x; }");
+        let f = db.function("f").unwrap();
+        let st = f.records[0].states().next().unwrap();
+        match st {
+            Event::State { lvalue, reads, .. } => {
+                assert_eq!(lvalue, "x");
+                assert!(reads.contains(&"x".to_string()));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn increment_is_a_state_update() {
+        let db = db_of("int f(int i) { i++; return i; }");
+        let f = db.function("f").unwrap();
+        assert_eq!(f.records[0].states().count(), 1);
+    }
+
+    #[test]
+    fn ternary_condition_recorded() {
+        let db = db_of("int f(int flag) { return flag ? 1 : 0; }");
+        let f = db.function("f").unwrap();
+        assert!(f.records[0].checks_atom("flag"));
+    }
+
+    #[test]
+    fn summary_inlining_surfaces_callee_conditions() {
+        let src = "int handle_fault(int err) {\n\
+               if (err == -5)\n\
+                 return 1;\n\
+               return 0;\n\
+             }\n\
+             int f(int err) {\n\
+               handle_fault(err);\n\
+               return 0;\n\
+             }";
+        let db = db_of(src);
+        let f = db.function("f").unwrap();
+        // The callee's `err == -5` check appears at depth 1.
+        let has_inlined_cond = f.records[0]
+            .conditions()
+            .any(|e| matches!(e, Event::Cond { depth: 1, vars, .. } if vars.iter().any(|v| v == "err")));
+        assert!(has_inlined_cond);
+        // With inlining disabled it does not.
+        let ast = parse(src).unwrap();
+        let db0 = extract(
+            "test",
+            &ast,
+            src,
+            &ExtractConfig { inline_depth: 0, ..ExtractConfig::default() },
+        );
+        let f0 = db0.function("f").unwrap();
+        assert_eq!(f0.records[0].conditions().count(), 0);
+    }
+
+    #[test]
+    fn recursive_functions_do_not_hang() {
+        let db = db_of("int f(int x) { if (x) return f(x - 1); return 0; }");
+        assert!(db.function("f").is_some());
+    }
+
+    #[test]
+    fn switch_scrutinee_recorded() {
+        let db = db_of(
+            "int f(int mode) { switch (mode) { case 1: return 1; default: return 0; } }",
+        );
+        let f = db.function("f").unwrap();
+        assert!(f.records.iter().all(|r| r.checks_atom("mode")));
+        assert_eq!(f.records.len(), 2);
+    }
+
+    #[test]
+    fn member_path_atoms_include_field_names() {
+        let db = db_of(
+            "struct q { struct t *rps_flow_table; };\n\
+             int f(struct q *rxq) {\n\
+               if (!rxq->rps_flow_table)\n\
+                 return 1;\n\
+               return 0;\n\
+             }",
+        );
+        let f = db.function("f").unwrap();
+        let rec = &f.records[0];
+        assert!(rec.checks_atom("rps_flow_table"));
+        assert!(rec.checks_atom("rxq->rps_flow_table"));
+        assert!(rec.checks_atom("rxq"));
+    }
+
+    #[test]
+    fn globals_default_to_symbolic_inputs() {
+        let db = db_of(
+            "int total_pages = 100;\n\
+             int f(void) { return total_pages; }",
+        );
+        let f = db.function("f").unwrap();
+        assert_eq!(f.records[0].output.value, Some(Sym::Input("total_pages".into())));
+    }
+
+    #[test]
+    fn for_loop_step_event_present() {
+        let db = db_of("int f(void) { int s = 0; for (int i = 0; i < 2; i++) s += i; return s; }");
+        let f = db.function("f").unwrap();
+        // At least one path iterates and thus records the i++ state.
+        let any_step = f
+            .records
+            .iter()
+            .any(|r| r.states().any(|e| matches!(e, Event::State { lvalue, .. } if lvalue == "i")));
+        assert!(any_step);
+    }
+}

@@ -1,0 +1,198 @@
+//! Symbolic values.
+//!
+//! The extractor evaluates path statements over symbolic values in the
+//! notation of the paper's Table 5: `S#` marks a symbolic expression
+//! (an input whose value is unknown statically), `I#` an integer
+//! constant, `V#` a temporary, and `E#` the result of a call.
+
+use pallas_lang::ast::{BinOp, UnOp};
+use std::fmt;
+
+/// A symbolic value computed along one execution path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// `S#name`: the unknown entry value of a variable or lvalue path.
+    Input(String),
+    /// `I#v`: a known integer constant.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// `V#n`: a temporary introduced for a call result or unknown.
+    Temp(u32),
+    /// `E#callee(...)`: the result of calling `callee`.
+    Call {
+        /// Callee function name (or rendered callee expression).
+        callee: String,
+        /// Symbolic arguments.
+        args: Vec<Sym>,
+    },
+    /// A unary operation over a symbolic operand.
+    Unary(UnOp, Box<Sym>),
+    /// A binary operation over symbolic operands.
+    Binary(BinOp, Box<Sym>, Box<Sym>),
+    /// A value the evaluator cannot usefully track (ternaries, sizeof,
+    /// address-taken values).
+    Unknown,
+}
+
+impl Sym {
+    /// Constant-folds integer operands where possible, otherwise builds
+    /// a symbolic binary node.
+    pub fn binary(op: BinOp, a: Sym, b: Sym) -> Sym {
+        if let (Sym::Int(x), Sym::Int(y)) = (&a, &b) {
+            if let Some(v) = fold(op, *x, *y) {
+                return Sym::Int(v);
+            }
+        }
+        Sym::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Constant-folds a unary operation where possible.
+    pub fn unary(op: UnOp, a: Sym) -> Sym {
+        if let Sym::Int(x) = &a {
+            match op {
+                UnOp::Neg => return Sym::Int(-x),
+                UnOp::Not => return Sym::Int(i64::from(*x == 0)),
+                UnOp::BitNot => return Sym::Int(!x),
+                _ => {}
+            }
+        }
+        Sym::Unary(op, Box::new(a))
+    }
+
+    /// The concrete integer value, if this symbol is a constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Sym::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The input name, if this symbol is an untouched input.
+    pub fn as_input(&self) -> Option<&str> {
+        match self {
+            Sym::Input(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether the symbol mentions the given input name anywhere.
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Sym::Input(n) => n == name,
+            Sym::Call { args, .. } => args.iter().any(|a| a.mentions(name)),
+            Sym::Unary(_, a) => a.mentions(name),
+            Sym::Binary(_, a, b) => a.mentions(name) || b.mentions(name),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Input(n) => write!(f, "(S#{n})"),
+            Sym::Int(v) => write!(f, "(I#{v})"),
+            Sym::Str(s) => write!(f, "{s:?}"),
+            Sym::Temp(n) => write!(f, "(V#{n})"),
+            Sym::Call { callee, args } => {
+                write!(f, "(E#{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str("))")
+            }
+            Sym::Unary(op, a) => write!(f, "{}{a}", op.as_str()),
+            Sym::Binary(op, a, b) => write!(f, "{a} {} {b}", op.as_str()),
+            Sym::Unknown => f.write_str("(?)"),
+        }
+    }
+}
+
+fn fold(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+        BinOp::Lt => i64::from(x < y),
+        BinOp::Gt => i64::from(x > y),
+        BinOp::Le => i64::from(x <= y),
+        BinOp::Ge => i64::from(x >= y),
+        BinOp::Eq => i64::from(x == y),
+        BinOp::Ne => i64::from(x != y),
+        BinOp::BitAnd => x & y,
+        BinOp::BitXor => x ^ y,
+        BinOp::BitOr => x | y,
+        BinOp::And => i64::from(x != 0 && y != 0),
+        BinOp::Or => i64::from(x != 0 || y != 0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Sym::binary(BinOp::Add, Sym::Int(2), Sym::Int(3)), Sym::Int(5));
+        assert_eq!(Sym::binary(BinOp::Eq, Sym::Int(2), Sym::Int(2)), Sym::Int(1));
+        assert_eq!(Sym::unary(UnOp::Not, Sym::Int(0)), Sym::Int(1));
+        assert_eq!(Sym::unary(UnOp::Neg, Sym::Int(7)), Sym::Int(-7));
+    }
+
+    #[test]
+    fn division_by_zero_stays_symbolic() {
+        let s = Sym::binary(BinOp::Div, Sym::Int(1), Sym::Int(0));
+        assert!(matches!(s, Sym::Binary(..)));
+    }
+
+    #[test]
+    fn symbolic_operands_do_not_fold() {
+        let s = Sym::binary(BinOp::BitAnd, Sym::Input("gfp_mask".into()), Sym::Int(16));
+        assert_eq!(s.to_string(), "(S#gfp_mask) & (I#16)");
+    }
+
+    #[test]
+    fn mentions_traverses_structure() {
+        let s = Sym::binary(
+            BinOp::Add,
+            Sym::Call { callee: "f".into(), args: vec![Sym::Input("x".into())] },
+            Sym::Int(1),
+        );
+        assert!(s.mentions("x"));
+        assert!(!s.mentions("y"));
+    }
+
+    #[test]
+    fn table5_notation() {
+        assert_eq!(Sym::Input("gfp_mask".into()).to_string(), "(S#gfp_mask)");
+        assert_eq!(Sym::Int(16).to_string(), "(I#16)");
+        assert_eq!(Sym::Temp(1).to_string(), "(V#1)");
+        let call = Sym::Call { callee: "memalloc_noio_flags".into(), args: vec![Sym::Input("gfp_mask".into())] };
+        assert_eq!(call.to_string(), "(E#memalloc_noio_flags((S#gfp_mask)))");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Sym::Int(3).as_int(), Some(3));
+        assert_eq!(Sym::Input("a".into()).as_int(), None);
+        assert_eq!(Sym::Input("a".into()).as_input(), Some("a"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # pallas — semantic-aware checking for deep bugs in fast paths
+//!
+//! Facade crate for the Pallas toolkit (ASPLOS'17 reproduction). It
+//! re-exports the public API of every workspace crate so applications
+//! can depend on a single crate:
+//!
+//! * [`lang`] — C-subset front-end (lexer, parser, AST).
+//! * `cfg` — control-flow graphs and bounded path enumeration.
+//! * [`sym`] — symbolic path extraction (the path database).
+//! * [`spec`] — the semantic annotation protocol.
+//! * [`checkers`] — the five checker families / twelve rules.
+//! * [`core`] — the pipeline driver, reports, and scoring.
+//! * [`diff`] — fast-path vs slow-path comparison.
+//! * [`corpus`] — the miniature evaluation corpus with ground truth.
+//! * [`study`] — the fast-path patch characterization study.
+
+pub use pallas_cfg as cfg;
+pub use pallas_checkers as checkers;
+pub use pallas_core as core;
+pub use pallas_corpus as corpus;
+pub use pallas_diff as diff;
+pub use pallas_lang as lang;
+pub use pallas_spec as spec;
+pub use pallas_study as study;
+pub use pallas_sym as sym;

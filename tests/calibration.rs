@@ -1,0 +1,97 @@
+//! Corpus calibration: the headline evaluation numbers of the paper
+//! reproduce exactly when the checker runs over the corpus.
+
+use pallas::core::{score, Pallas, Score};
+use pallas::corpus;
+
+fn run_corpus(units: &[corpus::CorpusUnit]) -> Score {
+    let driver = Pallas::new();
+    let mut total = Score::default();
+    for cu in units {
+        let analyzed = driver
+            .check_unit(&cu.unit)
+            .unwrap_or_else(|e| panic!("{}: {e}", cu.name()));
+        total.merge(score(&analyzed.warnings, &cu.bugs));
+    }
+    total
+}
+
+#[test]
+fn table1_headline_numbers() {
+    // §5.1: "PALLAS reported 224 warnings ... identified 155 fast-path
+    // bugs ... an accuracy of 69%."
+    let total = run_corpus(&corpus::new_paths());
+    assert_eq!(total.warning_count(), 224);
+    assert_eq!(total.bug_count(), 155);
+    assert_eq!(total.false_positives.len(), 69);
+    assert!(total.missed.is_empty(), "{:#?}", total.missed);
+    let acc = total.accuracy().unwrap();
+    assert!((acc - 0.69).abs() < 0.01, "accuracy {acc}");
+}
+
+#[test]
+fn table8_completeness_61_of_62() {
+    // §5.2: "only one bug was missed by PALLAS due to a semantic
+    // exception."
+    let total = run_corpus(&corpus::known_bugs());
+    assert_eq!(total.bug_count(), 61);
+    assert_eq!(total.expected_misses.len(), 1);
+    assert!(total.missed.is_empty(), "{:#?}", total.missed);
+    assert!(total.false_positives.is_empty(), "{:#?}", total.false_positives);
+}
+
+#[test]
+fn figure_examples_score_exactly() {
+    for cu in corpus::examples() {
+        let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+        let s = score(&analyzed.warnings, &cu.bugs);
+        assert_eq!(s.bug_count(), cu.bugs.len(), "{}", cu.name());
+        assert!(s.false_positives.is_empty(), "{}", cu.name());
+    }
+}
+
+#[test]
+fn kernel_vs_other_software_split() {
+    // §5.1: 72 validated bugs in the Linux kernel, 83 in the other
+    // open-source software.
+    let driver = Pallas::new();
+    let mut kernel = 0usize;
+    let mut other = 0usize;
+    for cu in corpus::new_paths() {
+        let analyzed = driver.check_unit(&cu.unit).unwrap();
+        let s = score(&analyzed.warnings, &cu.bugs);
+        match cu.component {
+            corpus::Component::Mm
+            | corpus::Component::Fs
+            | corpus::Component::Net
+            | corpus::Component::Dev => kernel += s.bug_count(),
+            _ => other += s.bug_count(),
+        }
+    }
+    assert_eq!(kernel, 72);
+    assert_eq!(other, 83);
+}
+
+#[test]
+fn parallel_and_serial_checking_agree() {
+    let corpus: Vec<_> = corpus::examples().into_iter().map(|cu| cu.unit).collect();
+    let driver = Pallas::new();
+    let serial: Vec<usize> = corpus
+        .iter()
+        .map(|u| driver.check_unit(u).unwrap().warnings.len())
+        .collect();
+    let parallel: Vec<usize> = driver
+        .check_many(&corpus)
+        .into_iter()
+        .map(|r| r.unwrap().warnings.len())
+        .collect();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn study_population_constants() {
+    let ds = pallas::study::dataset();
+    assert_eq!(ds.fastpaths.len(), 65);
+    assert_eq!(ds.fixes.len(), 172);
+    assert!((ds.fastpath_patch_share() - 0.07).abs() < 0.001);
+}

@@ -1,0 +1,97 @@
+//! Integration tests for automatic spec inference over the corpus
+//! miniatures: the inferred specs must re-find the paper's bugs where
+//! the relevant fact class is inferable.
+
+use pallas::checkers::{run_all, CheckContext, Rule};
+use pallas::core::Pallas;
+use pallas::corpus;
+use pallas::diff::infer_spec;
+
+fn infer_and_check(
+    cu: &corpus::CorpusUnit,
+    fast: &str,
+    slow: &str,
+) -> (pallas::spec::FastPathSpec, Vec<pallas::checkers::Warning>) {
+    let analyzed = Pallas::new().check_unit(&cu.unit).expect("corpus unit checks");
+    let inferred = infer_spec(&analyzed.db, &analyzed.ast, fast, slow).expect("paths exist");
+    let warnings = run_all(&CheckContext {
+        db: &analyzed.db,
+        spec: &inferred.spec,
+        ast: &analyzed.ast,
+    });
+    (inferred.spec, warnings)
+}
+
+#[test]
+fn tcp_rcv_inference_finds_the_mismatched_return() {
+    // Figure 7: inference proposes match_slow_return (both paths
+    // return literals), which re-finds the 0-vs-1 mismatch.
+    let cu = corpus::examples::tcp_rcv();
+    let (spec, warnings) = infer_and_check(&cu, "tcp_rcv_established", "tcp_rcv_slow");
+    assert!(spec.match_slow_return);
+    assert!(
+        warnings.iter().any(|w| w.rule == Rule::OutputMatchSlow),
+        "{warnings:#?}"
+    );
+}
+
+#[test]
+fn page_alloc_inference_proposes_order_trigger() {
+    let cu = corpus::examples::page_alloc();
+    let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+    let inferred = infer_spec(
+        &analyzed.db,
+        &analyzed.ast,
+        "__alloc_pages_nodemask",
+        "__alloc_pages_slowpath",
+    )
+    .unwrap();
+    // The fast path's own `order == 0` trigger is proposed.
+    let trigger = inferred.spec.cond("trigger").expect("trigger proposed");
+    assert!(
+        trigger.vars.contains(&"order".to_string()),
+        "{:?}",
+        trigger.vars
+    );
+}
+
+#[test]
+fn inferred_specs_parse_and_lint_cleanly() {
+    // Inference must produce protocol-valid output: parseable and free
+    // of lint warnings (notes are acceptable).
+    for (cu, fast, slow) in [
+        (corpus::examples::tcp_rcv(), "tcp_rcv_established", "tcp_rcv_slow"),
+        (corpus::examples::ubifs_write(), "ubifs_write_fast", "ubifs_write_slow"),
+        (corpus::examples::ocfs2_dio(), "ocfs2_get_block_fast", "ocfs2_dio_write_slow"),
+    ] {
+        let analyzed = Pallas::new().check_unit(&cu.unit).unwrap();
+        let inferred = infer_spec(&analyzed.db, &analyzed.ast, fast, slow).unwrap();
+        let reparsed = pallas::spec::parse_spec(&inferred.spec.to_string())
+            .unwrap_or_else(|e| panic!("{}: {e}\n{}", cu.name(), inferred.spec));
+        assert_eq!(reparsed.fastpath, inferred.spec.fastpath);
+        let hard = reparsed
+            .lint()
+            .into_iter()
+            .filter(|i| i.severity == pallas::spec::LintSeverity::Warning)
+            .collect::<Vec<_>>();
+        assert!(hard.is_empty(), "{}: {hard:#?}", cu.name());
+    }
+}
+
+#[test]
+fn inference_is_conservative_on_identical_paths() {
+    // Identical fast/slow functions: no trigger, no faults, returns
+    // agreeing — the inferred spec should raise no warnings at all.
+    let src = "\
+int work(int page);
+int a(int page, int flag) { if (flag) return -1; work(page); return 0; }
+int b(int page, int flag) { if (flag) return -1; work(page); return 0; }";
+    let analyzed = Pallas::new().check_source("t", src, "").unwrap();
+    let inferred = infer_spec(&analyzed.db, &analyzed.ast, "a", "b").unwrap();
+    let warnings = run_all(&CheckContext {
+        db: &analyzed.db,
+        spec: &inferred.spec,
+        ast: &analyzed.ast,
+    });
+    assert!(warnings.is_empty(), "{warnings:#?}\nspec:\n{}", inferred.spec);
+}

@@ -1,0 +1,112 @@
+//! Golden checks over the reproduction harness: every regenerated
+//! table and figure must carry its paper-defining content.
+
+#[test]
+fn table1_golden_lines() {
+    let t = bench::table1_text();
+    // The exact B/W margins of the paper's Table 1.
+    for needle in [
+        "10/16", // immutable overwritten
+        "9/15",  // correlated
+        "19/21", // missing condition
+        "14/18", // incomplete condition
+        "8/15",  // wrong order
+        "12/19", // mismatched output
+        "12/14", // undefined output
+        "11/18", // unchecked output
+        "27/37", // missing fault handler
+        "15/21", // suboptimal layout
+        "8/14",  // stale cache
+        "155 validated bugs / 224 warnings",
+    ] {
+        assert!(t.contains(needle), "missing `{needle}` in:\n{t}");
+    }
+}
+
+#[test]
+fn table2_golden_lines() {
+    let t = bench::table2_text();
+    for needle in ["16", "21", "62", "41", "28", "19", "17", "11", "12"] {
+        assert!(t.contains(needle), "missing `{needle}` in:\n{t}");
+    }
+}
+
+#[test]
+fn table3_table4_golden_ratios() {
+    let t3 = bench::table3_text();
+    assert!(t3.contains("34%"), "{t3}");
+    assert!(t3.contains("36%"), "{t3}");
+    let t4 = bench::table4_text();
+    assert!(t4.contains("44%"), "{t4}");
+    assert!(t4.contains("37%"), "{t4}");
+    assert!(t4.contains("22%"), "{t4}");
+}
+
+#[test]
+fn table5_golden_symbols() {
+    let t = bench::table5_text();
+    for needle in ["@immutable = gfp_mask", "(S#", "(I#", "(E#", "__alloc_pages_nodemask"] {
+        assert!(t.contains(needle), "missing `{needle}` in:\n{t}");
+    }
+}
+
+#[test]
+fn table6_golden_inventory() {
+    let t = bench::table6_text();
+    for needle in ["Linux kernel", "4.6", "Chromium", "54.0", "Android", "6.0", "Open vSwitch", "2.5.0"] {
+        assert!(t.contains(needle), "missing `{needle}` in:\n{t}");
+    }
+}
+
+#[test]
+fn table7_golden_rows() {
+    let t = bench::table7_text();
+    for needle in [
+        "slab.c",
+        "xfs_ialloc.c",
+        "tcp_ipv4.c",
+        "mpt3sas_base.c",
+        "ppb_nacl_private_impl.cc",
+        "PartitionAlloc.cpp",
+        "dpif-netdev.c",
+        "vxlan.c",
+        "average latent period: 3.1 years",
+    ] {
+        assert!(t.contains(needle), "missing `{needle}` in:\n{t}");
+    }
+    assert!(!t.contains(" NO\n"), "all rows verified:\n{t}");
+}
+
+#[test]
+fn figures_golden_content() {
+    let f1 = bench::figure_text(1).unwrap();
+    assert!(f1.contains("__alloc_pages_nodemask"));
+    assert!(f1.contains("UBIFS"));
+    assert!(f1.contains("TCP"));
+
+    let f2 = bench::figure_text(2).unwrap();
+    for needle in ["Sin", "Ct", "Sf", "Cfau", "Sout"] {
+        assert!(f2.contains(needle), "{f2}");
+    }
+
+    let f3 = bench::figure_text(3).unwrap();
+    assert!(f3.contains("page->private"));
+
+    let f6 = bench::figure_text(6).unwrap();
+    assert!(f6.contains("checked before"));
+
+    let f8 = bench::figure_text(8).unwrap();
+    assert!(f8.contains("state_active"));
+    assert!(f8.contains("patch diff"));
+
+    let f9 = bench::figure_text(9).unwrap();
+    assert!(f9.contains("icache"));
+}
+
+#[test]
+fn ablation_golden_shape() {
+    let rows = bench::depth_ablation();
+    assert_eq!(rows.iter().map(|r| r.bugs).collect::<Vec<_>>(), vec![155, 155, 155]);
+    assert_eq!(rows[1].warnings, 224);
+    assert!(rows[2].warnings < rows[1].warnings);
+}

@@ -1,0 +1,71 @@
+//! Scale tests: the pipeline stays correct and bounded on larger
+//! workloads.
+
+use pallas::core::{score, Pallas, SourceUnit};
+use pallas::corpus::{synthetic_corpus, synthetic_unit};
+
+#[test]
+fn hundred_unit_synthetic_corpus_checks_correctly() {
+    let corpus = synthetic_corpus(100, 2024);
+    let units: Vec<SourceUnit> = corpus.iter().map(|cu| cu.unit.clone()).collect();
+    let results = Pallas::new().check_many(&units);
+    assert_eq!(results.len(), 100);
+    for (cu, result) in corpus.iter().zip(results) {
+        let analyzed = result.unwrap_or_else(|e| panic!("{}: {e}", cu.name()));
+        let s = score(&analyzed.warnings, &cu.bugs);
+        assert_eq!(s.bug_count(), cu.bugs.len(), "{}", cu.name());
+        assert_eq!(s.false_positives.len(), cu.expected_false_positives, "{}", cu.name());
+        assert!(s.missed.is_empty(), "{}", cu.name());
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_synthetic_corpus() {
+    let corpus = synthetic_corpus(24, 7);
+    let units: Vec<SourceUnit> = corpus.iter().map(|cu| cu.unit.clone()).collect();
+    let driver = Pallas::new();
+    let serial: Vec<Vec<String>> = units
+        .iter()
+        .map(|u| {
+            driver
+                .check_unit(u)
+                .unwrap()
+                .warnings
+                .iter()
+                .map(|w| w.to_string())
+                .collect()
+        })
+        .collect();
+    let parallel: Vec<Vec<String>> = driver
+        .check_many(&units)
+        .into_iter()
+        .map(|r| r.unwrap().warnings.iter().map(|w| w.to_string()).collect())
+        .collect();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn path_explosion_is_bounded_on_wide_units() {
+    // 24 sequential branches would be 16M paths unbounded; the default
+    // cap keeps the database finite and the run fast.
+    let unit = synthetic_unit(1, 24, 99);
+    let started = std::time::Instant::now();
+    let analyzed = Pallas::new().check_unit(&unit).expect("unit checks");
+    let elapsed = started.elapsed();
+    let f = &analyzed.db.functions[0];
+    assert!(f.truncated, "the enumeration must report truncation");
+    assert!(f.records.len() <= 4096);
+    assert!(
+        elapsed.as_secs() < 30,
+        "bounded enumeration stays fast, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn large_multi_function_unit_checks() {
+    // 64 functions, 8 branches each.
+    let unit = synthetic_unit(64, 8, 1);
+    let analyzed = Pallas::new().check_unit(&unit).expect("unit checks");
+    assert_eq!(analyzed.db.functions.len(), 64);
+    assert!(analyzed.db.path_count() >= 64);
+}
