@@ -1,0 +1,60 @@
+//! Staged-engine costs: cold versus warm frontend cache, and the
+//! chunked baseline versus work-stealing scheduling on a skewed
+//! synthetic workload (heavy units clustered at the front, the shape
+//! contiguous chunking handles worst).
+//!
+//! The scheduling comparison is CPU-bound, so the work-stealing win
+//! only shows on multi-core hosts; on a single-core container both
+//! numbers collapse to serial cost plus thread overhead. The
+//! core-count-independent demonstration lives in
+//! `pallas_core::engine::schedule`'s blocking-workload test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pallas_core::{Engine, SourceUnit};
+use pallas_corpus::skewed_units;
+
+fn bench_cache(c: &mut Criterion) {
+    let corpus = pallas_corpus::new_paths();
+    let units: Vec<SourceUnit> = corpus.iter().map(|cu| cu.unit.clone()).collect();
+    let mut group = c.benchmark_group("engine-cache");
+    group.sample_size(10);
+    group.bench_function("table1-corpus-cold", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            for unit in &units {
+                engine.check_unit(unit).expect("checks");
+            }
+        })
+    });
+    let warm = Engine::new();
+    for unit in &units {
+        warm.check_unit(unit).expect("checks");
+    }
+    group.bench_function("table1-corpus-warm", |b| {
+        b.iter(|| {
+            for unit in &units {
+                warm.check_unit(unit).expect("checks");
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let units = skewed_units(48, 17);
+    let jobs = 4;
+    let mut group = c.benchmark_group("engine-scheduling");
+    group.sample_size(10);
+    // Fresh engines per iteration so the frontend cache cannot mask
+    // the scheduling difference.
+    group.bench_with_input(BenchmarkId::new("chunked", jobs), &units, |b, units| {
+        b.iter(|| Engine::new().check_many_chunked(units, jobs))
+    });
+    group.bench_with_input(BenchmarkId::new("work-stealing", jobs), &units, |b, units| {
+        b.iter(|| Engine::new().check_many_jobs(units, jobs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_scheduling);
+criterion_main!(benches);

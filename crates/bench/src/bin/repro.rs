@@ -1,15 +1,22 @@
 //! `repro` — regenerate every table and figure of the Pallas paper.
 //!
 //! ```text
-//! repro --table <1..8>     one table
-//! repro --figure <1..9>    one figure
+//! repro --table <1..8>     one table (repeatable: --table 1 --table 7)
+//! repro --figure <1..9>    one figure (repeatable)
 //! repro --accuracy         §5 accuracy + false-positive breakdown
 //! repro --ablation         inlining-depth / checker-family ablations
 //! repro --findings         the §3 Findings 1-5 subtype report
 //! repro --timing           per-path checking time
 //! repro --all              everything, in paper order
+//! repro ... --stage-stats  append the engine's per-stage cost summary
 //! ```
+//!
+//! One staged engine is shared across the whole invocation, so
+//! requests that re-score the same corpus (Tables 1, 7, and 8,
+//! `--accuracy`, `--timing`) merge, parse, and extract each unit
+//! exactly once; `--stage-stats` makes the cache behaviour visible.
 
+use pallas_core::Engine;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,52 +32,69 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     if args.is_empty() {
-        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --all".into());
+        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --all [--stage-stats]".into());
     }
-    let value = |flag: &str| {
+    // Every occurrence of `--table N` / `--figure N`, in order.
+    let values = |flag: &str| -> Result<Vec<u32>, String> {
         args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u32>().ok())
+            .enumerate()
+            .filter(|(_, a)| *a == flag)
+            .map(|(i, _)| {
+                args.get(i + 1)
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or_else(|| format!("{flag} needs a number"))
+            })
+            .collect()
     };
+    let stage_stats = args.iter().any(|a| a == "--stage-stats");
+    let engine = Engine::new();
+    let mut handled = false;
     if args.iter().any(|a| a == "--all") {
         for n in 1..=8 {
-            println!("{}", bench::table_text(n).expect("tables 1..8 exist"));
+            println!("{}", bench::table_text_in(&engine, n).expect("tables 1..8 exist"));
         }
         for n in 1..=9 {
             println!("{}", bench::figure_text(n).expect("figures 1..9 exist"));
         }
-        println!("{}", bench::accuracy_text());
+        println!("{}", bench::accuracy_text_in(&engine));
         println!("{}", bench::ablation_text());
         println!("{}", bench::findings_text());
-        println!("{}", bench::timing_text());
-        return Ok(());
+        println!("{}", bench::timing_text_in(&engine));
+        handled = true;
+    } else {
+        for n in values("--table")? {
+            let text = bench::table_text_in(&engine, n)
+                .ok_or(format!("no table {n} (valid: 1..8)"))?;
+            println!("{text}");
+            handled = true;
+        }
+        for n in values("--figure")? {
+            let text = bench::figure_text(n).ok_or(format!("no figure {n} (valid: 1..9)"))?;
+            println!("{text}");
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--accuracy") {
+            println!("{}", bench::accuracy_text_in(&engine));
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--ablation") {
+            println!("{}", bench::ablation_text());
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--findings") {
+            println!("{}", bench::findings_text());
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--timing") {
+            println!("{}", bench::timing_text_in(&engine));
+            handled = true;
+        }
     }
-    if let Some(n) = value("--table") {
-        let text = bench::table_text(n).ok_or(format!("no table {n} (valid: 1..8)"))?;
-        println!("{text}");
-        return Ok(());
+    if !handled && !stage_stats {
+        return Err("unknown arguments (try --all)".into());
     }
-    if let Some(n) = value("--figure") {
-        let text = bench::figure_text(n).ok_or(format!("no figure {n} (valid: 1..9)"))?;
-        println!("{text}");
-        return Ok(());
+    if stage_stats {
+        println!("{}", bench::stage_stats_text(&engine));
     }
-    if args.iter().any(|a| a == "--accuracy") {
-        println!("{}", bench::accuracy_text());
-        return Ok(());
-    }
-    if args.iter().any(|a| a == "--ablation") {
-        println!("{}", bench::ablation_text());
-        return Ok(());
-    }
-    if args.iter().any(|a| a == "--findings") {
-        println!("{}", bench::findings_text());
-        return Ok(());
-    }
-    if args.iter().any(|a| a == "--timing") {
-        println!("{}", bench::timing_text());
-        return Ok(());
-    }
-    Err("unknown arguments (try --all)".into())
+    Ok(())
 }

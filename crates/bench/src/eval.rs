@@ -2,7 +2,7 @@
 //! validated-bug / warning counts per rule and component.
 
 use pallas_checkers::Rule;
-use pallas_core::{score, Pallas, Score};
+use pallas_core::{score, Engine, Score, Stage};
 use pallas_corpus::{Component, CorpusUnit};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -22,6 +22,9 @@ pub struct CorpusEval {
     pub elapsed: Duration,
     /// Number of fast paths (units) evaluated.
     pub unit_count: usize,
+    /// Cumulative time per pipeline stage across this run, in
+    /// [`Stage::ALL`] order (cached stages contribute zero).
+    pub stage_totals: [Duration; 5],
 }
 
 impl CorpusEval {
@@ -42,6 +45,11 @@ impl CorpusEval {
             .map(|&c| self.warnings.get(&(rule, c)).copied().unwrap_or(0))
             .sum()
     }
+
+    /// Cumulative time one stage took across this run.
+    pub fn stage_total(&self, stage: Stage) -> Duration {
+        self.stage_totals[stage as usize]
+    }
 }
 
 /// Runs the full pipeline over every unit and aggregates scores.
@@ -51,13 +59,20 @@ impl CorpusEval {
 /// Panics if a corpus unit fails to parse — corpus units are
 /// compile-time constants and must always be checkable.
 pub fn evaluate(corpus: &[CorpusUnit]) -> CorpusEval {
-    evaluate_with(corpus, &pallas_sym::ExtractConfig::default())
+    evaluate_in(&Engine::new(), corpus)
 }
 
 /// Like [`evaluate`], with an explicit extraction configuration (used
 /// by the ablation studies).
 pub fn evaluate_with(corpus: &[CorpusUnit], config: &pallas_sym::ExtractConfig) -> CorpusEval {
-    let driver = Pallas::new().with_config(*config);
+    evaluate_in(&Engine::with_config(*config), corpus)
+}
+
+/// Like [`evaluate`], against a caller-supplied [`Engine`]. The repro
+/// harness shares one engine across every table so each corpus unit is
+/// merged, parsed, and extracted exactly once no matter how many
+/// tables re-score it.
+pub fn evaluate_in(engine: &Engine, corpus: &[CorpusUnit]) -> CorpusEval {
     let started = Instant::now();
     let mut eval = CorpusEval {
         per_unit: Vec::with_capacity(corpus.len()),
@@ -66,11 +81,15 @@ pub fn evaluate_with(corpus: &[CorpusUnit], config: &pallas_sym::ExtractConfig) 
         total: Score::default(),
         elapsed: Duration::ZERO,
         unit_count: corpus.len(),
+        stage_totals: [Duration::ZERO; 5],
     };
     for cu in corpus {
-        let analyzed = driver
+        let analyzed = engine
             .check_unit(&cu.unit)
             .unwrap_or_else(|e| panic!("corpus unit {} failed: {e}", cu.name()));
+        for t in &analyzed.stage_timings {
+            eval.stage_totals[t.stage as usize] += t.elapsed;
+        }
         let s = score(&analyzed.warnings, &cu.bugs);
         for w in &s.true_positives {
             *eval.bugs.entry((w.rule, cu.component)).or_insert(0) += 1;
@@ -122,5 +141,23 @@ mod tests {
         assert_eq!(eval.total.bug_count(), 61);
         assert_eq!(eval.total.expected_misses.len(), 1);
         assert!(eval.total.missed.is_empty(), "{:?}", eval.total.missed);
+    }
+
+    #[test]
+    fn shared_engine_reuses_frontends_and_scores_identically() {
+        let corpus = pallas_corpus::new_paths();
+        let engine = Engine::new();
+        let cold = evaluate_in(&engine, &corpus);
+        let after_cold = engine.stats();
+        let warm = evaluate_in(&engine, &corpus);
+        let after_warm = engine.stats();
+        // Identical verdicts either way...
+        assert_eq!(cold.total.bug_count(), warm.total.bug_count());
+        assert_eq!(cold.total.warning_count(), warm.total.warning_count());
+        // ...but the warm pass re-ran no frontend stage at all.
+        assert_eq!(after_cold.parses, corpus.len() as u64);
+        assert_eq!(after_warm.parses, after_cold.parses);
+        assert_eq!(after_warm.extracts, after_cold.extracts);
+        assert_eq!(after_warm.cache_hits, corpus.len() as u64);
     }
 }

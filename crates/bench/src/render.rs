@@ -1,9 +1,9 @@
 //! Renderers that regenerate every table and figure of the paper's
 //! evaluation from this repository's own runs.
 
-use crate::eval::{evaluate, CorpusEval};
+use crate::eval::{evaluate, evaluate_in, CorpusEval};
 use pallas_checkers::Rule;
-use pallas_core::Pallas;
+use pallas_core::{Engine, Pallas, Stage};
 use pallas_corpus::{examples, known_bugs, new_paths, systems, table7, Component};
 use pallas_spec::{ElementClass, FastPathModel};
 use std::fmt::Write as _;
@@ -11,7 +11,13 @@ use std::fmt::Write as _;
 /// Table 1: validated bugs per finding × component, with the B/W
 /// margin, measured by running the checkers over the corpus.
 pub fn table1_text() -> String {
-    let eval = evaluate(&new_paths());
+    table1_text_in(&Engine::new())
+}
+
+/// [`table1_text`] against a shared engine, so the corpus frontends
+/// are reused across tables within one `repro` invocation.
+pub fn table1_text_in(engine: &Engine) -> String {
+    let eval = evaluate_in(engine, &new_paths());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -111,7 +117,12 @@ pub fn table6_text() -> String {
 /// Table 7: the 34 new bugs, each verified against the corpus run
 /// (the row's rule × component cell must contain a detected bug).
 pub fn table7_text() -> String {
-    let eval = evaluate(&new_paths());
+    table7_text_in(&Engine::new())
+}
+
+/// [`table7_text`] against a shared engine.
+pub fn table7_text_in(engine: &Engine) -> String {
+    let eval = evaluate_in(engine, &new_paths());
     let mut out = String::new();
     let _ = writeln!(out, "Table 7: list of new bugs discovered by Pallas.");
     let _ = writeln!(
@@ -142,7 +153,12 @@ pub fn table7_text() -> String {
 
 /// Table 8: completeness over the 62 synthesized known bugs.
 pub fn table8_text() -> String {
-    let eval = evaluate(&known_bugs());
+    table8_text_in(&Engine::new())
+}
+
+/// [`table8_text`] against a shared engine.
+pub fn table8_text_in(engine: &Engine) -> String {
+    let eval = evaluate_in(engine, &known_bugs());
     let mut out = String::new();
     let _ = writeln!(out, "Table 8: completeness of Pallas' results (D/T).");
     // Count detected and total per rule from the per-unit scores.
@@ -174,7 +190,12 @@ pub fn table8_text() -> String {
 /// §5.1/§5.3 accuracy summary: warnings, validated bugs, and the
 /// false-positive breakdown per checker family.
 pub fn accuracy_text() -> String {
-    let eval = evaluate(&new_paths());
+    accuracy_text_in(&Engine::new())
+}
+
+/// [`accuracy_text`] against a shared engine.
+pub fn accuracy_text_in(engine: &Engine) -> String {
+    let eval = evaluate_in(engine, &new_paths());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -306,17 +327,45 @@ pub fn figure_text(n: u32) -> Option<String> {
 
 /// Regenerates one table by number.
 pub fn table_text(n: u32) -> Option<String> {
+    table_text_in(&Engine::new(), n)
+}
+
+/// [`table_text`] against a shared engine. Tables 1, 7, and 8 all run
+/// the corpus; sharing one engine across them parses and extracts each
+/// unit exactly once per `repro` invocation.
+pub fn table_text_in(engine: &Engine, n: u32) -> Option<String> {
     Some(match n {
-        1 => table1_text(),
+        1 => table1_text_in(engine),
         2 => table2_text(),
         3 => table3_text(),
         4 => table4_text(),
         5 => table5_text(),
         6 => table6_text(),
-        7 => table7_text(),
-        8 => table8_text(),
+        7 => table7_text_in(engine),
+        8 => table8_text_in(engine),
         _ => return None,
     })
+}
+
+/// The engine's per-stage cost breakdown for one `repro` invocation
+/// (`--stage-stats`): cache behaviour plus run counts and cumulative
+/// time per pipeline stage.
+pub fn stage_stats_text(engine: &Engine) -> String {
+    let stats = engine.stats();
+    let mut out = pallas_core::render_engine_stats(&stats);
+    let frontend: std::time::Duration =
+        [Stage::Merge, Stage::Parse, Stage::Spec, Stage::Extract]
+            .into_iter()
+            .map(|s| stats.stage_total(s))
+            .sum();
+    let _ = writeln!(
+        out,
+        "frontend {frontend:?} across {} run(s); check {:?} across {} run(s)",
+        stats.frontend_runs(),
+        stats.stage_total(Stage::Check),
+        stats.checks
+    );
+    out
 }
 
 /// Re-exported corpus eval for the repro binary's summary mode.
@@ -328,8 +377,15 @@ pub fn new_paths_eval() -> CorpusEval {
 /// fast path" analog on our substrate), plus the "a few lines of code"
 /// spec-size claim measured over the corpus.
 pub fn timing_text() -> String {
+    timing_text_in(&Engine::new())
+}
+
+/// [`timing_text`] against a shared engine — the spec-size sweep below
+/// then reuses the frontends the evaluation just built instead of
+/// re-extracting the whole corpus a second time.
+pub fn timing_text_in(engine: &Engine) -> String {
     let corpus = new_paths();
-    let eval = evaluate(&corpus);
+    let eval = evaluate_in(engine, &corpus);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -339,11 +395,10 @@ pub fn timing_text() -> String {
         eval.elapsed / eval.unit_count as u32
     );
     // Spec sizes: the paper claims the semantic input is "a few lines".
-    let driver = Pallas::new();
     let mut facts = Vec::with_capacity(corpus.len());
     let mut db_stats = pallas_sym::DbStats::default();
     for cu in &corpus {
-        let analyzed = driver.check_unit(&cu.unit).expect("corpus unit checks");
+        let analyzed = engine.check_unit(&cu.unit).expect("corpus unit checks");
         facts.push(analyzed.spec.fact_count());
         let s = pallas_sym::DbStats::compute(&analyzed.db);
         db_stats.functions += s.functions;
@@ -424,6 +479,39 @@ mod tests {
         let f = figure_text(5).unwrap();
         assert!(f.contains("patch diff"), "{f}");
         assert!(f.contains("rps_flow_table"), "{f}");
+    }
+
+    #[test]
+    fn shared_engine_tables_match_fresh_runs_cold_and_warm() {
+        let engine = Engine::new();
+        for n in [1, 7, 8] {
+            assert_eq!(
+                table_text_in(&engine, n).unwrap(),
+                table_text(n).unwrap(),
+                "cold table {n}"
+            );
+        }
+        // Tables 1 and 7 share the new-paths corpus: the second run
+        // reused every frontend, so a full warm pass parses nothing.
+        let parses_cold = engine.stats().parses;
+        for n in [1, 7, 8] {
+            assert_eq!(
+                table_text_in(&engine, n).unwrap(),
+                table_text(n).unwrap(),
+                "warm table {n}"
+            );
+        }
+        assert_eq!(engine.stats().parses, parses_cold, "warm pass re-parsed");
+    }
+
+    #[test]
+    fn stage_stats_summarize_the_run() {
+        let engine = Engine::new();
+        table_text_in(&engine, 1).unwrap();
+        let text = stage_stats_text(&engine);
+        assert!(text.contains("cache hit(s)"), "{text}");
+        assert!(text.contains("extract"), "{text}");
+        assert!(text.contains("frontend "), "{text}");
     }
 
     #[test]

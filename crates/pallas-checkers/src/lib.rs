@@ -59,10 +59,28 @@ pub fn all_checkers() -> [(pallas_spec::ElementClass, &'static dyn Checker); 5] 
     ]
 }
 
+/// Wall-clock cost of one checker family over one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckerTiming {
+    /// The family's element class.
+    pub class: pallas_spec::ElementClass,
+    /// The checker's name.
+    pub name: &'static str,
+    /// Time spent in `check`.
+    pub elapsed: std::time::Duration,
+    /// Warnings the family produced (before cross-family dedup).
+    pub warnings: usize,
+}
+
 /// Runs all five checkers, returning their warnings sorted by rule,
 /// function, and line.
 pub fn run_all(cx: &CheckContext<'_>) -> Vec<Warning> {
     run_selected(cx, &pallas_spec::ElementClass::ALL)
+}
+
+/// Like [`run_all`], also reporting per-family wall-clock cost.
+pub fn run_all_timed(cx: &CheckContext<'_>) -> (Vec<Warning>, Vec<CheckerTiming>) {
+    run_selected_timed(cx, &pallas_spec::ElementClass::ALL)
 }
 
 /// Runs only the checker families for the given element classes —
@@ -72,12 +90,33 @@ pub fn run_selected(
     cx: &CheckContext<'_>,
     classes: &[pallas_spec::ElementClass],
 ) -> Vec<Warning> {
-    let mut warnings: Vec<Warning> = all_checkers()
-        .iter()
-        .filter(|(class, _)| classes.contains(class))
-        .flat_map(|(_, c)| c.check(cx))
-        .collect();
+    run_selected_timed(cx, classes).0
+}
+
+/// Like [`run_selected`], also reporting per-family wall-clock cost.
+/// Timings come back in Table 1 family order, one entry per selected
+/// class; the warning list is identical to [`run_selected`]'s.
+pub fn run_selected_timed(
+    cx: &CheckContext<'_>,
+    classes: &[pallas_spec::ElementClass],
+) -> (Vec<Warning>, Vec<CheckerTiming>) {
+    let mut warnings = Vec::new();
+    let mut timings = Vec::new();
+    for (class, checker) in all_checkers() {
+        if !classes.contains(&class) {
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let found = checker.check(cx);
+        timings.push(CheckerTiming {
+            class,
+            name: checker.name(),
+            elapsed: started.elapsed(),
+            warnings: found.len(),
+        });
+        warnings.extend(found);
+    }
     warnings.sort();
     warnings.dedup();
-    warnings
+    (warnings, timings)
 }

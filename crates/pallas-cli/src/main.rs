@@ -1,7 +1,8 @@
 //! `pallas` — command-line interface to the Pallas fast-path checker.
 //!
 //! ```text
-//! pallas check <file.c> [--spec <file.pallas>] [--tsv] [--suggest]  run the checkers
+//! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
+//!              [--jobs N] [--stage-stats] [--tsv] [--suggest]      run the checkers
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
 //! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
 //! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
@@ -9,8 +10,13 @@
 //! pallas corpus [--set new-paths|known-bugs|examples|studied] score the corpus
 //! pallas study [--table 2|3|4]                        study tables
 //! ```
+//!
+//! `check` accepts several `.c` files at once — each becomes one unit
+//! (any `.h` arguments are merged into every unit as shared headers) —
+//! and distributes them over `--jobs N` worker threads with work
+//! stealing. `--stage-stats` appends the per-stage timing breakdown.
 
-use pallas_core::{render_unit_report, score, Pallas, Score, SourceUnit};
+use pallas_core::{render_unit_report, score, Engine, Pallas, Score, SourceUnit};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -51,7 +57,7 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c> [--spec <file.pallas>] [--tsv] [--suggest]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--suggest]\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
          \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
@@ -97,12 +103,80 @@ fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
     Ok(SourceUnit::new(path.as_str()).with_file(path.as_str(), src).with_spec(spec_text))
 }
 
+/// Flags of `check` that consume the following argument.
+const CHECK_VALUE_FLAGS: [&str; 2] = ["--spec", "--jobs"];
+
+/// Positional (non-flag, non-flag-value) arguments of `check`.
+fn positional_args(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            i += if CHECK_VALUE_FLAGS.contains(&a.as_str()) { 2 } else { 1 };
+            continue;
+        }
+        out.push(a);
+        i += 1;
+    }
+    out
+}
+
+/// Builds one unit per source file. `.h` arguments become shared
+/// headers merged into every unit; the spec comes from `--spec` (all
+/// units) or each source's sibling `<stem>.pallas` if present.
+fn load_units(args: &[String]) -> Result<Vec<SourceUnit>, String> {
+    let positionals = positional_args(args);
+    let (sources, headers): (Vec<&String>, Vec<&String>) =
+        positionals.into_iter().partition(|p| !p.ends_with(".h"));
+    if sources.is_empty() {
+        return Err("missing source file argument".into());
+    }
+    let shared_spec = flag_value(args, "--spec").map(read_file).transpose()?;
+    let mut header_files = Vec::with_capacity(headers.len());
+    for h in headers {
+        header_files.push((h.clone(), read_file(h)?));
+    }
+    let mut units = Vec::with_capacity(sources.len());
+    for path in sources {
+        let src = read_file(path)?;
+        let spec_text = match &shared_spec {
+            Some(spec) => spec.clone(),
+            None => {
+                let sibling = std::path::Path::new(path).with_extension("pallas");
+                std::fs::read_to_string(sibling).unwrap_or_default()
+            }
+        };
+        let mut unit = SourceUnit::new(path.as_str());
+        for (name, contents) in &header_files {
+            unit = unit.with_file(name.clone(), contents.clone());
+        }
+        units.push(unit.with_file(path.as_str(), src).with_spec(spec_text));
+    }
+    Ok(units)
+}
+
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let unit = load_unit(args)?;
-    let analyzed = Pallas::new().check_unit(&unit).map_err(|e| e.to_string())?;
-    if has_flag(args, "--tsv") {
-        print!("{}", pallas_core::render_tsv(&analyzed));
-    } else {
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("--jobs needs a number, got `{v}`"))?,
+        None => 1,
+    }
+    .max(1);
+    let units = load_units(args)?;
+    let engine = Engine::new();
+    let mut failures = Vec::new();
+    for result in engine.check_many_jobs(&units, jobs) {
+        let analyzed = match result {
+            Ok(a) => a,
+            Err(e) => {
+                failures.push(e.to_string());
+                continue;
+            }
+        };
+        if has_flag(args, "--tsv") {
+            print!("{}", pallas_core::render_tsv(&analyzed));
+            continue;
+        }
         print!("{}", render_unit_report(&analyzed));
         if has_flag(args, "--suggest") {
             for w in &analyzed.warnings {
@@ -114,8 +188,18 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 );
             }
         }
+        if has_flag(args, "--stage-stats") {
+            print!("{}", pallas_core::render_stage_stats(&analyzed));
+        }
     }
-    Ok(())
+    if has_flag(args, "--stage-stats") && !has_flag(args, "--tsv") {
+        print!("{}", pallas_core::render_engine_stats(&engine.stats()));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 fn cmd_paths(args: &[String]) -> Result<(), String> {

@@ -190,3 +190,72 @@ fn missing_file_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn check_batches_multiple_sources_with_shared_header() {
+    let header = write_temp("batch.h", "typedef unsigned int gfp_t;\nint noio(gfp_t m);\n");
+    let a = write_temp(
+        "batch_a.c",
+        "int fast_a(gfp_t gfp_mask) {\n  gfp_mask = noio(gfp_mask);\n  return 0;\n}\n",
+    );
+    let b = write_temp("batch_b.c", "int fast_b(gfp_t gfp_mask) {\n  return 0;\n}\n");
+    let spec =
+        write_temp("batch.pallas", "fastpath fast_a; fastpath fast_b; immutable gfp_mask;");
+    let out = pallas(&[
+        "check",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        header.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("batch_a.c"), "{text}");
+    assert!(text.contains("batch_b.c"), "{text}");
+    assert!(text.contains("Rule 1.2"), "{text}");
+    // Output order follows the argument order regardless of --jobs.
+    let pos_a = text.find("batch_a.c").unwrap();
+    let pos_b = text.find("batch_b.c").unwrap();
+    assert!(pos_a < pos_b, "{text}");
+}
+
+#[test]
+fn check_stage_stats_prints_breakdown() {
+    let src = write_temp("stats.c", BUGGY);
+    let spec = write_temp("stats.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let out = pallas(&[
+        "check",
+        src.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--stage-stats",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--- stages:"), "{text}");
+    assert!(text.contains("extract"), "{text}");
+    assert!(text.contains("=== engine:"), "{text}");
+}
+
+#[test]
+fn check_bad_jobs_value_fails() {
+    let src = write_temp("jobs.c", BUGGY);
+    let out = pallas(&["check", src.to_str().unwrap(), "--jobs", "many"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs needs a number"));
+}
+
+#[test]
+fn check_batch_reports_each_failing_unit() {
+    let good = write_temp("mix_good.c", "int f(void) { return 0; }\n");
+    let bad = write_temp("mix_bad.c", "int broken( {\n");
+    let out = pallas(&["check", good.to_str().unwrap(), bad.to_str().unwrap(), "--jobs", "2"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("mix_good.c"), "good unit still reported:\n{stdout}");
+    assert!(stderr.contains("mix_bad.c"), "{stderr}");
+}

@@ -1,0 +1,129 @@
+//! Content-addressed fingerprints for frontend artifacts.
+//!
+//! The staged engine memoizes everything up to extraction under a
+//! 64-bit FNV-1a fingerprint of the inputs that determine those
+//! artifacts: the unit name (it is embedded in the path database and
+//! in warnings), every file name and body, the spec document, and the
+//! extraction configuration. Fields are length-prefixed so
+//! concatenation boundaries cannot collide (`"ab" + "c"` hashes
+//! differently from `"a" + "bc"`).
+
+use crate::unit::SourceUnit;
+use pallas_sym::ExtractConfig;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: Self::OFFSET_BASIS }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a variable-length field, length-prefixed.
+    pub fn write_field(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write(bytes);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The frontend cache key for one unit under one configuration.
+pub fn fingerprint_unit(unit: &SourceUnit, config: &ExtractConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_field(unit.name.as_bytes());
+    h.write_u64(unit.files.len() as u64);
+    for (name, contents) in &unit.files {
+        h.write_field(name.as_bytes());
+        h.write_field(contents.as_bytes());
+    }
+    h.write_field(unit.spec_text.as_bytes());
+    h.write(&config.cache_key_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_cfg::PathConfig;
+
+    fn unit() -> SourceUnit {
+        SourceUnit::new("mm/demo")
+            .with_file("d.h", "int g(int);\n")
+            .with_file("d.c", "int f(int x) { return g(x); }\n")
+            .with_spec("fastpath f;")
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a 64 of "a" is a published test vector.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn identical_inputs_agree() {
+        let config = ExtractConfig::default();
+        assert_eq!(fingerprint_unit(&unit(), &config), fingerprint_unit(&unit(), &config));
+    }
+
+    #[test]
+    fn every_input_component_changes_the_key() {
+        let config = ExtractConfig::default();
+        let base = fingerprint_unit(&unit(), &config);
+        let mut renamed = unit();
+        renamed.name = "mm/other".into();
+        assert_ne!(fingerprint_unit(&renamed, &config), base);
+        let mut edited = unit();
+        edited.files[1].1.push_str("int h(void) { return 0; }\n");
+        assert_ne!(fingerprint_unit(&edited, &config), base);
+        let mut respecced = unit();
+        respecced.spec_text = "fastpath f; immutable x;".into();
+        assert_ne!(fingerprint_unit(&respecced, &config), base);
+        let tight = ExtractConfig {
+            paths: PathConfig { max_paths: 7, ..PathConfig::default() },
+            ..ExtractConfig::default()
+        };
+        assert_ne!(fingerprint_unit(&unit(), &tight), base);
+        let shallow = ExtractConfig { inline_depth: 0, ..ExtractConfig::default() };
+        assert_ne!(fingerprint_unit(&unit(), &shallow), base);
+    }
+
+    #[test]
+    fn length_prefixing_separates_field_boundaries() {
+        let a = SourceUnit::new("u").with_file("x", "ab").with_file("y", "c");
+        let b = SourceUnit::new("u").with_file("x", "a").with_file("y", "bc");
+        let config = ExtractConfig::default();
+        assert_ne!(fingerprint_unit(&a, &config), fingerprint_unit(&b, &config));
+    }
+}

@@ -1,0 +1,571 @@
+//! The staged analysis engine.
+//!
+//! [`Engine`] runs the pipeline as five explicit stages —
+//! **Merge → Parse → Spec → Extract → Check** — each producing a typed
+//! artifact plus a [`StageTiming`]. The first four stages (the
+//! *frontend*) are memoized in a content-addressed cache keyed by an
+//! FNV-1a fingerprint over the unit's name, files, spec text, and
+//! extraction configuration ([`fingerprint`]), so re-checking the same
+//! unit — as the `repro` harness does when Tables 1, 7, and 8 all
+//! evaluate the same corpus — merges, parses, and extracts it exactly
+//! once. The Check stage always runs (it is cheap relative to
+//! extraction and its warnings are what callers came for).
+//!
+//! Batches go through a work-stealing scheduler ([`schedule`]) that
+//! keeps skewed workloads balanced, and every unit is panic-isolated:
+//! an internal panic while checking one unit becomes
+//! [`PallasErrorKind::Internal`](crate::PallasErrorKind) for that unit
+//! instead of tearing down the batch.
+//!
+//! [`Pallas`](crate::Pallas) remains the stateless one-shot facade; it
+//! delegates to a fresh `Engine` per call. Hold an `Engine` (or clone
+//! its handle — clones share the cache) whenever the same units may be
+//! checked more than once.
+//!
+//! ```
+//! use pallas_core::{Engine, SourceUnit};
+//!
+//! # fn main() -> Result<(), pallas_core::PallasError> {
+//! let engine = Engine::new();
+//! let unit = SourceUnit::new("demo")
+//!     .with_file("demo.c", "int f(void) { return 0; }")
+//!     .with_spec("fastpath f;");
+//! engine.check_unit(&unit)?;
+//! let again = engine.check_unit(&unit)?; // frontend served from cache
+//! assert!(again.stage_timings.iter().any(|t| t.cached));
+//! assert_eq!(engine.stats().parses, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod fingerprint;
+pub mod schedule;
+
+use crate::pipeline::{AnalyzedUnit, PallasError, PallasErrorKind};
+use crate::unit::{MergeMap, SourceUnit};
+use pallas_checkers::{run_all_timed, CheckContext};
+use pallas_lang::{parse, Ast};
+use pallas_spec::{parse_pragma, parse_spec, FastPathSpec};
+use pallas_sym::{extract, ExtractConfig, PathDb};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The five pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Concatenate the unit's files into one buffer.
+    Merge,
+    /// Parse the merged buffer into an AST.
+    Parse,
+    /// Parse the spec document and fold in inline pragmas.
+    Spec,
+    /// Extract the symbolic path database.
+    Extract,
+    /// Run the checker families over the artifacts.
+    Check,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Merge, Stage::Parse, Stage::Spec, Stage::Extract, Stage::Check];
+
+    /// Lower-case stage name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Merge => "merge",
+            Stage::Parse => "parse",
+            Stage::Spec => "spec",
+            Stage::Extract => "extract",
+            Stage::Check => "check",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock record of one stage over one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: Stage,
+    /// Time spent (zero when served from cache).
+    pub elapsed: Duration,
+    /// Whether the artifact came from the frontend cache.
+    pub cached: bool,
+}
+
+/// Snapshot of an engine's cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Units checked (cache hits included).
+    pub units_checked: u64,
+    /// Frontend cache hits.
+    pub cache_hits: u64,
+    /// Frontend cache misses (frontends built).
+    pub cache_misses: u64,
+    /// Merge stage invocations.
+    pub merges: u64,
+    /// Parse stage invocations.
+    pub parses: u64,
+    /// Spec stage invocations.
+    pub spec_parses: u64,
+    /// Extract stage invocations.
+    pub extracts: u64,
+    /// Check stage invocations.
+    pub checks: u64,
+    /// Cumulative nanoseconds per stage, in [`Stage::ALL`] order.
+    pub stage_nanos: [u64; 5],
+}
+
+impl EngineStats {
+    /// Invocation count for one stage.
+    pub fn stage_runs(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Merge => self.merges,
+            Stage::Parse => self.parses,
+            Stage::Spec => self.spec_parses,
+            Stage::Extract => self.extracts,
+            Stage::Check => self.checks,
+        }
+    }
+
+    /// Cumulative time spent in one stage.
+    pub fn stage_total(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.stage_nanos[stage.index()])
+    }
+
+    /// Frontend (merge + parse + spec + extract) invocation total —
+    /// the quantity a warm cache drives down.
+    pub fn frontend_runs(&self) -> u64 {
+        self.merges + self.parses + self.spec_parses + self.extracts
+    }
+}
+
+/// Frontend artifacts shared between repeated checks of one unit.
+#[derive(Debug)]
+struct Frontend {
+    merged_src: String,
+    merge_map: MergeMap,
+    ast: Ast,
+    spec: FastPathSpec,
+    db: PathDb,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    units_checked: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    merges: AtomicU64,
+    parses: AtomicU64,
+    spec_parses: AtomicU64,
+    extracts: AtomicU64,
+    checks: AtomicU64,
+    stage_nanos: [AtomicU64; 5],
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    config: ExtractConfig,
+    cache: Mutex<HashMap<u64, Arc<Frontend>>>,
+    counters: Counters,
+}
+
+/// The staged, caching analysis engine. Cloning is cheap and clones
+/// share one cache and one set of counters.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the default extraction configuration.
+    pub fn new() -> Self {
+        Engine::with_config(ExtractConfig::default())
+    }
+
+    /// An engine with an explicit extraction configuration. The
+    /// configuration is part of every cache key, so engines never
+    /// serve artifacts extracted under different limits.
+    pub fn with_config(config: ExtractConfig) -> Self {
+        Engine {
+            inner: Arc::new(EngineInner {
+                config,
+                cache: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// The engine's extraction configuration.
+    pub fn config(&self) -> &ExtractConfig {
+        &self.inner.config
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.inner.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        EngineStats {
+            units_checked: load(&c.units_checked),
+            cache_hits: load(&c.cache_hits),
+            cache_misses: load(&c.cache_misses),
+            merges: load(&c.merges),
+            parses: load(&c.parses),
+            spec_parses: load(&c.spec_parses),
+            extracts: load(&c.extracts),
+            checks: load(&c.checks),
+            stage_nanos: [
+                load(&c.stage_nanos[0]),
+                load(&c.stage_nanos[1]),
+                load(&c.stage_nanos[2]),
+                load(&c.stage_nanos[3]),
+                load(&c.stage_nanos[4]),
+            ],
+        }
+    }
+
+    /// Number of frontends currently cached.
+    pub fn cached_frontends(&self) -> usize {
+        self.inner.cache.lock().expect("engine cache").len()
+    }
+
+    /// Drops every cached frontend (counters are kept).
+    pub fn clear_cache(&self) {
+        self.inner.cache.lock().expect("engine cache").clear();
+    }
+
+    /// Runs the staged pipeline on one unit, reusing cached frontend
+    /// artifacts when this engine has checked an identical unit
+    /// (same name, files, spec, and configuration) before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PallasError`] if the merged source or the spec fails
+    /// to parse. Errors are never cached: a failing unit is re-tried
+    /// from scratch on every call.
+    pub fn check_unit(&self, unit: &SourceUnit) -> Result<AnalyzedUnit, PallasError> {
+        let started = Instant::now();
+        let counters = &self.inner.counters;
+        let mut timings = Vec::with_capacity(Stage::ALL.len());
+        let key = fingerprint::fingerprint_unit(unit, &self.inner.config);
+        let cached = self.inner.cache.lock().expect("engine cache").get(&key).cloned();
+        let frontend = match cached {
+            Some(frontend) => {
+                counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                for stage in [Stage::Merge, Stage::Parse, Stage::Spec, Stage::Extract] {
+                    timings.push(StageTiming { stage, elapsed: Duration::ZERO, cached: true });
+                }
+                frontend
+            }
+            None => {
+                counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let frontend = Arc::new(self.build_frontend(unit, &mut timings)?);
+                self.inner
+                    .cache
+                    .lock()
+                    .expect("engine cache")
+                    .insert(key, Arc::clone(&frontend));
+                frontend
+            }
+        };
+        let check_started = Instant::now();
+        let (warnings, checker_timings) = run_all_timed(&CheckContext {
+            db: &frontend.db,
+            spec: &frontend.spec,
+            ast: &frontend.ast,
+        });
+        let lint = frontend.spec.lint();
+        counters.checks.fetch_add(1, Ordering::Relaxed);
+        timings.push(StageTiming {
+            stage: Stage::Check,
+            elapsed: check_started.elapsed(),
+            cached: false,
+        });
+        for t in &timings {
+            counters.stage_nanos[t.stage.index()]
+                .fetch_add(t.elapsed.as_nanos() as u64, Ordering::Relaxed);
+        }
+        counters.units_checked.fetch_add(1, Ordering::Relaxed);
+        Ok(AnalyzedUnit {
+            name: unit.name.clone(),
+            merged_src: frontend.merged_src.clone(),
+            merge_map: frontend.merge_map.clone(),
+            ast: frontend.ast.clone(),
+            db: frontend.db.clone(),
+            spec: frontend.spec.clone(),
+            warnings,
+            lint,
+            elapsed: started.elapsed(),
+            stage_timings: timings,
+            checker_timings,
+        })
+    }
+
+    /// Convenience wrapper: a single in-memory source plus spec text.
+    pub fn check_source(
+        &self,
+        name: &str,
+        src: &str,
+        spec_text: &str,
+    ) -> Result<AnalyzedUnit, PallasError> {
+        self.check_unit(
+            &SourceUnit::new(name).with_file(format!("{name}.c"), src).with_spec(spec_text),
+        )
+    }
+
+    /// Checks many units with work-stealing parallelism across the
+    /// host's available cores, preserving input order.
+    pub fn check_many(&self, units: &[SourceUnit]) -> Vec<Result<AnalyzedUnit, PallasError>> {
+        self.check_many_jobs(units, default_jobs())
+    }
+
+    /// Like [`check_many`](Engine::check_many) with an explicit worker
+    /// count. `jobs == 1` runs inline on the calling thread; results
+    /// are byte-identical across worker counts.
+    pub fn check_many_jobs(
+        &self,
+        units: &[SourceUnit],
+        jobs: usize,
+    ) -> Vec<Result<AnalyzedUnit, PallasError>> {
+        self.check_many_with(units, jobs, Engine::check_unit)
+    }
+
+    /// The scheduling core of [`check_many_jobs`](Engine::check_many_jobs)
+    /// with the per-unit work function exposed — instrumentation and
+    /// fault-injection tests substitute their own `f`. A panic in `f`
+    /// is confined to its unit and surfaces as
+    /// [`PallasErrorKind::Internal`].
+    pub fn check_many_with<F>(
+        &self,
+        units: &[SourceUnit],
+        jobs: usize,
+        f: F,
+    ) -> Vec<Result<AnalyzedUnit, PallasError>>
+    where
+        F: Fn(&Engine, &SourceUnit) -> Result<AnalyzedUnit, PallasError> + Sync,
+    {
+        schedule::run_tasks(units, jobs, |unit| f(self, unit))
+            .into_iter()
+            .zip(units)
+            .map(|(outcome, unit)| match outcome {
+                Ok(result) => result,
+                Err(panic_msg) => Err(PallasError {
+                    unit: unit.name.clone(),
+                    kind: PallasErrorKind::Internal(panic_msg),
+                }),
+            })
+            .collect()
+    }
+
+    /// [`check_many_jobs`](Engine::check_many_jobs) with the legacy
+    /// contiguous-chunk partitioning instead of work stealing. Kept as
+    /// the baseline the `engine` benchmark measures against; prefer
+    /// the work-stealing entry points everywhere else.
+    pub fn check_many_chunked(
+        &self,
+        units: &[SourceUnit],
+        jobs: usize,
+    ) -> Vec<Result<AnalyzedUnit, PallasError>> {
+        schedule::run_tasks_chunked(units, jobs, |unit| self.check_unit(unit))
+            .into_iter()
+            .zip(units)
+            .map(|(outcome, unit)| match outcome {
+                Ok(result) => result,
+                Err(panic_msg) => Err(PallasError {
+                    unit: unit.name.clone(),
+                    kind: PallasErrorKind::Internal(panic_msg),
+                }),
+            })
+            .collect()
+    }
+
+    /// Runs the four frontend stages, recording a timing per stage.
+    fn build_frontend(
+        &self,
+        unit: &SourceUnit,
+        timings: &mut Vec<StageTiming>,
+    ) -> Result<Frontend, PallasError> {
+        let counters = &self.inner.counters;
+        let stage = |s: Stage, timings: &mut Vec<StageTiming>, elapsed: Duration| {
+            timings.push(StageTiming { stage: s, elapsed, cached: false });
+        };
+
+        let t = Instant::now();
+        let (merged_src, merge_map) = unit.merge();
+        counters.merges.fetch_add(1, Ordering::Relaxed);
+        stage(Stage::Merge, timings, t.elapsed());
+
+        let t = Instant::now();
+        counters.parses.fetch_add(1, Ordering::Relaxed);
+        let ast = parse(&merged_src).map_err(|e| PallasError {
+            unit: unit.name.clone(),
+            kind: PallasErrorKind::Parse(e),
+        })?;
+        stage(Stage::Parse, timings, t.elapsed());
+
+        let t = Instant::now();
+        counters.spec_parses.fetch_add(1, Ordering::Relaxed);
+        let mut spec = parse_spec(&unit.spec_text).map_err(|e| PallasError {
+            unit: unit.name.clone(),
+            kind: PallasErrorKind::Spec(e),
+        })?;
+        for pragma in ast.pragmas() {
+            let fragment = parse_pragma(pragma).map_err(|e| PallasError {
+                unit: unit.name.clone(),
+                kind: PallasErrorKind::Spec(e),
+            })?;
+            spec.merge(fragment);
+        }
+        if spec.unit.is_empty() {
+            spec.unit = unit.name.clone();
+        }
+        stage(Stage::Spec, timings, t.elapsed());
+
+        let t = Instant::now();
+        counters.extracts.fetch_add(1, Ordering::Relaxed);
+        let db = extract(&unit.name, &ast, &merged_src, &self.inner.config);
+        stage(Stage::Extract, timings, t.elapsed());
+
+        Ok(Frontend { merged_src, merge_map, ast, spec, db })
+    }
+}
+
+/// Default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(i: usize) -> SourceUnit {
+        SourceUnit::new(format!("u{i}"))
+            .with_file("f.c", format!("int f{i}(int x) {{ return x + {i}; }}"))
+            .with_spec(format!("fastpath f{i};"))
+    }
+
+    #[test]
+    fn stage_timings_cover_all_stages_in_order() {
+        let engine = Engine::new();
+        let report = engine.check_unit(&unit(0)).unwrap();
+        let stages: Vec<Stage> = report.stage_timings.iter().map(|t| t.stage).collect();
+        assert_eq!(stages, Stage::ALL);
+        assert!(report.stage_timings.iter().all(|t| !t.cached));
+        assert_eq!(report.checker_timings.len(), 5);
+    }
+
+    #[test]
+    fn second_check_hits_the_cache() {
+        let engine = Engine::new();
+        engine.check_unit(&unit(0)).unwrap();
+        let warm = engine.check_unit(&unit(0)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.units_checked, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.parses, 1);
+        assert_eq!(stats.extracts, 1);
+        assert_eq!(stats.checks, 2);
+        assert!(warm.stage_timings[..4].iter().all(|t| t.cached));
+        assert!(!warm.stage_timings[4].cached, "check never caches");
+    }
+
+    #[test]
+    fn cache_is_keyed_by_configuration() {
+        let unit = unit(0);
+        let engine = Engine::new();
+        engine.check_unit(&unit).unwrap();
+        // A differently-configured engine shares nothing.
+        let shallow = Engine::with_config(ExtractConfig {
+            inline_depth: 0,
+            ..ExtractConfig::default()
+        });
+        shallow.check_unit(&unit).unwrap();
+        assert_eq!(shallow.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn clones_share_cache_and_counters() {
+        let engine = Engine::new();
+        let clone = engine.clone();
+        engine.check_unit(&unit(0)).unwrap();
+        clone.check_unit(&unit(0)).unwrap();
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.cached_frontends(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let engine = Engine::new();
+        let bad = SourceUnit::new("bad").with_file("b.c", "int f( {").with_spec("");
+        assert!(engine.check_unit(&bad).is_err());
+        assert!(engine.check_unit(&bad).is_err());
+        assert_eq!(engine.cached_frontends(), 0);
+        assert_eq!(engine.stats().parses, 2, "failed units re-run from scratch");
+    }
+
+    #[test]
+    fn check_many_matches_sequential_results() {
+        let units: Vec<SourceUnit> = (0..12).map(unit).collect();
+        let engine = Engine::new();
+        let parallel = engine.check_many_jobs(&units, 4);
+        let sequential: Vec<_> = units.iter().map(|u| Engine::new().check_unit(u)).collect();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.warnings, s.warnings);
+        }
+    }
+
+    #[test]
+    fn panicking_unit_yields_internal_error_for_that_unit_only() {
+        let units: Vec<SourceUnit> = (0..6).map(unit).collect();
+        let engine = Engine::new();
+        let results = engine.check_many_with(&units, 3, |engine, unit| {
+            assert!(unit.name != "u3", "injected fault in u3");
+            engine.check_unit(unit)
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.unit, "u3");
+                match &err.kind {
+                    PallasErrorKind::Internal(msg) => {
+                        assert!(msg.contains("injected fault"), "{msg}")
+                    }
+                    other => panic!("expected Internal, got {other:?}"),
+                }
+            } else {
+                assert_eq!(r.as_ref().unwrap().name, format!("u{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_cache_forces_rebuild() {
+        let engine = Engine::new();
+        engine.check_unit(&unit(0)).unwrap();
+        engine.clear_cache();
+        engine.check_unit(&unit(0)).unwrap();
+        assert_eq!(engine.stats().cache_misses, 2);
+    }
+}

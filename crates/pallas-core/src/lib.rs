@@ -22,12 +22,17 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod pipeline;
 pub mod report;
 pub mod truth;
 pub mod unit;
 
+pub use engine::{Engine, EngineStats, Stage, StageTiming};
 pub use pipeline::{AnalyzedUnit, Pallas, PallasError, PallasErrorKind};
-pub use report::{render_tsv, render_unit_report, warning_counts_by_rule};
+pub use report::{
+    render_engine_stats, render_stage_stats, render_tsv, render_unit_report,
+    warning_counts_by_rule,
+};
 pub use truth::{score, KnownBug, Score};
 pub use unit::{MergeMap, SourceUnit};

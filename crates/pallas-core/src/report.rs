@@ -1,5 +1,6 @@
 //! Textual reports over analyzed units.
 
+use crate::engine::{EngineStats, Stage};
 use crate::pipeline::AnalyzedUnit;
 use pallas_checkers::Rule;
 use pallas_spec::ElementClass;
@@ -91,6 +92,45 @@ pub fn render_unit_report(unit: &AnalyzedUnit) -> String {
     out
 }
 
+/// Renders one unit's per-stage and per-checker timing breakdown.
+pub fn render_stage_stats(unit: &AnalyzedUnit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- stages: {} ---", unit.name);
+    for t in &unit.stage_timings {
+        let note = if t.cached { " (cached)" } else { "" };
+        let _ = writeln!(out, "  {:<8} {:>12?}{note}", t.stage.name(), t.elapsed);
+    }
+    for t in &unit.checker_timings {
+        let _ = writeln!(
+            out,
+            "  check/{:<24} {:>12?}  {} warning(s)",
+            t.name, t.elapsed, t.warnings
+        );
+    }
+    out
+}
+
+/// Renders an engine's cumulative counters: units checked, cache
+/// behaviour, and per-stage invocation counts with total time.
+pub fn render_engine_stats(stats: &EngineStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== engine: {} unit-check(s), {} cache hit(s), {} miss(es) ===",
+        stats.units_checked, stats.cache_hits, stats.cache_misses
+    );
+    for stage in Stage::ALL {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} run(s)  {:>12?} total",
+            stage.name(),
+            stats.stage_runs(stage),
+            stats.stage_total(stage)
+        );
+    }
+    out
+}
+
 /// Per-rule warning counts across many units (one Table 1 cell set).
 pub fn warning_counts_by_rule(units: &[&AnalyzedUnit]) -> BTreeMap<Rule, usize> {
     let mut counts = BTreeMap::new();
@@ -161,6 +201,29 @@ mod tests {
             )
             .unwrap();
         assert!(render_unit_report(&unit).contains("1 loop(s)"));
+    }
+
+    #[test]
+    fn stage_stats_list_every_stage_and_checker() {
+        let unit = analyzed();
+        let stats = render_stage_stats(&unit);
+        for stage in Stage::ALL {
+            assert!(stats.contains(stage.name()), "missing {stage} in:\n{stats}");
+        }
+        assert!(stats.contains("check/"), "{stats}");
+    }
+
+    #[test]
+    fn engine_stats_report_cache_behaviour() {
+        let engine = crate::engine::Engine::new();
+        let unit = crate::unit::SourceUnit::new("t")
+            .with_file("t.c", "int f(void) { return 0; }")
+            .with_spec("fastpath f;");
+        engine.check_unit(&unit).unwrap();
+        engine.check_unit(&unit).unwrap();
+        let text = render_engine_stats(&engine.stats());
+        assert!(text.contains("2 unit-check(s), 1 cache hit(s), 1 miss(es)"), "{text}");
+        assert!(text.contains("extract"), "{text}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub use examples::examples;
 pub use integrity::validate;
 pub use new_bugs::new_bug_examples;
 pub use studied::studied;
-pub use synthetic::{synthetic_corpus, synthetic_unit};
+pub use synthetic::{skewed_units, synthetic_corpus, synthetic_unit};
 pub use table1::{new_paths, table1_bug_matrix, table1_fp_matrix, units_per_component};
 pub use table7::{table7, Table7Row};
 pub use table8::{known_bugs, table8_counts};

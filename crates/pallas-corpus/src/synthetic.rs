@@ -70,6 +70,22 @@ pub fn synthetic_corpus(n_units: usize, seed: u64) -> Vec<CorpusUnit> {
         .collect()
 }
 
+/// Generates a batch whose cost is deliberately skewed: the first
+/// sixth of the units are heavy (10 branches ≈ 1024 paths before
+/// capping), the rest light (2 branches). With contiguous chunking the
+/// heavy cluster lands on one worker and serializes the batch; work
+/// stealing spreads it — this is the workload the `engine` benchmark
+/// compares the two schedulers on.
+pub fn skewed_units(n_units: usize, seed: u64) -> Vec<SourceUnit> {
+    let heavy = (n_units / 6).max(1).min(n_units);
+    (0..n_units)
+        .map(|i| {
+            let branches = if i < heavy { 10 } else { 2 };
+            synthetic_unit(2, branches, seed.wrapping_add(i as u64))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +111,16 @@ mod tests {
         let small = Pallas::new().check_unit(&synthetic_unit(1, 2, 7)).unwrap();
         let large = Pallas::new().check_unit(&synthetic_unit(1, 8, 7)).unwrap();
         assert!(large.db.path_count() > small.db.path_count());
+    }
+
+    #[test]
+    fn skewed_units_front_load_the_cost() {
+        let units = skewed_units(12, 5);
+        assert_eq!(units.len(), 12);
+        let paths = |u: &SourceUnit| Pallas::new().check_unit(u).unwrap().db.path_count();
+        assert!(paths(&units[0]) > 10 * paths(&units[11]), "front units must dominate");
+        // Deterministic for a given seed.
+        assert_eq!(units, skewed_units(12, 5));
     }
 
     #[test]

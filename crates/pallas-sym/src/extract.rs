@@ -31,6 +31,22 @@ impl Default for ExtractConfig {
     }
 }
 
+impl ExtractConfig {
+    /// A stable byte encoding of every field that influences
+    /// extraction output. Content-addressed caches (the staged
+    /// engine's frontend cache) must include these bytes in their
+    /// keys: two configurations with different encodings can produce
+    /// different path databases for the same source.
+    pub fn cache_key_bytes(&self) -> [u8; 25] {
+        let mut out = [0u8; 25];
+        out[0..8].copy_from_slice(&(self.paths.max_paths as u64).to_le_bytes());
+        out[8..16].copy_from_slice(&(self.paths.max_visits as u64).to_le_bytes());
+        out[16..24].copy_from_slice(&(self.paths.max_len as u64).to_le_bytes());
+        out[24] = self.inline_depth;
+        out
+    }
+}
+
 /// Extracts the path database for a parsed unit.
 ///
 /// `src` must be the exact text the unit was parsed from (line numbers

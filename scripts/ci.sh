@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus workspace-wide tests and lints. Run from anywhere;
+# operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (tier-1 root package) =="
+cargo test -q
+
+echo "== tests (full workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "ci: all green"

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two API surfaces this workspace consumes:
+//!
+//! * [`deque`] — the `Injector` / `Worker` / `Stealer` work-stealing
+//!   triple behind the staged engine's scheduler. Upstream crossbeam
+//!   implements these lock-free (Chase–Lev); this stand-in uses short
+//!   critical sections over `Mutex<VecDeque>`, which preserves the
+//!   scheduling semantics (FIFO injector, LIFO-ish steals, batch
+//!   refill) at task granularities of microseconds and up — our unit
+//!   analyses take milliseconds, so lock overhead is noise.
+//! * [`thread`] — `scope`/`spawn` on top of `std::thread::scope`.
+
+pub mod deque {
+    //! Work-stealing deques: a global [`Injector`] plus per-worker
+    //! [`Worker`] queues whose [`Stealer`] handles let idle threads
+    //! take work from busy ones.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Chains a second steal attempt: a success short-circuits, an
+        /// `Empty` after a `Retry` stays `Retry` (upstream semantics,
+        /// so retry loops don't terminate while a racing steal is
+        /// still possible).
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(t) => Steal::Success(t),
+                Steal::Empty => f(),
+                Steal::Retry => match f() {
+                    Steal::Success(t) => Steal::Success(t),
+                    _ => Steal::Retry,
+                },
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// First success wins; otherwise `Retry` if any attempt must be
+        /// retried; otherwise `Empty` (mirrors upstream semantics).
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(t) => return Steal::Success(t),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    /// A global FIFO task queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Pops one task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves a batch of tasks (up to half the queue) into `dest`'s
+        /// local queue and pops one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().expect("injector lock");
+            let n = q.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            let take = (n / 2).max(1);
+            let mut local = dest.queue.lock().expect("worker lock");
+            for _ in 0..take - 1 {
+                if let Some(t) = q.pop_front() {
+                    local.push_back(t);
+                }
+            }
+            match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    /// A worker-local queue; the owning thread pushes and pops cheaply,
+    /// other threads steal through [`Stealer`] handles.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker lock").pop_front()
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker lock").is_empty()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// A stealing handle to another worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("stealer lock").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread::scope` call shape
+    //! (`scope(|s| { s.spawn(|_| ...); })`), on `std::thread::scope`.
+
+    /// A scope handle; `spawn` closures receive it as their argument
+    /// for upstream signature compatibility.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || f(&Scope { inner: inner_scope }));
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local data can
+    /// be spawned; all are joined before `scope` returns. Unlike
+    /// upstream, a panicking child propagates on join inside the scope,
+    /// so the `Ok` path is the only one observed by callers.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn injector_round_trip() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal().success(), Some(1));
+        assert!(!inj.is_empty());
+        assert_eq!(inj.steal().success(), Some(2));
+        assert!(matches!(inj.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn batch_refills_local_queue() {
+        let inj = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(3));
+        // Half of 8 = 4 tasks taken: 0,1,2 into the local queue, 3 popped.
+        assert_eq!(w.pop(), Some(0));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_back() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert_eq!(s.steal().success(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn scoped_threads_join() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(sum, 6);
+    }
+}

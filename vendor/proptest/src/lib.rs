@@ -1,0 +1,169 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors the API subset its property tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_filter` / `prop_flat_map` / `prop_recursive` / `boxed`,
+//! regex-subset string strategies, integer-range and tuple strategies,
+//! `proptest::collection::vec`, `any::<T>()`, and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Semantics differ from upstream in one deliberate way: inputs are
+//! **generated only** — failing cases are reported by the ordinary test
+//! panic without shrinking. Each test draws from a deterministic
+//! SplitMix64 stream seeded from its fully qualified name, so runs are
+//! reproducible without a persistence file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, running each body `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                { $body }
+            }
+        }
+        $crate::__proptest_impl!(@config ($config) $($rest)*);
+    };
+}
+
+/// Defines a function returning a strategy built by drawing named
+/// intermediate values from other strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident : $pty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                })
+        }
+    };
+}
+
+/// Uniform choice among the given strategies (all must produce the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn offset_pair(base: i64)(
+            a in 0i64..10,
+            b in 0i64..10,
+        ) -> (i64, i64) {
+            (base + a, base + b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and config are accepted; arguments bind.
+        #[test]
+        fn ranges_and_tuples(x in 0u32..100, (a, b) in offset_pair(1000)) {
+            prop_assert!(x < 100);
+            prop_assert!((1000..1010).contains(&a) && (1000..1010).contains(&b));
+        }
+
+        #[test]
+        fn oneof_and_map(s in prop_oneof![
+            Just("lhs".to_string()),
+            "[a-z]{3}".prop_map(|s| format!("p_{s}")),
+        ]) {
+            prop_assert!(s == "lhs" || (s.starts_with("p_") && s.len() == 5), "{s}");
+        }
+
+        #[test]
+        fn vec_filter_flat_map(v in crate::collection::vec(0u8..10, 1..4)
+            .prop_filter("nonempty", |v| !v.is_empty())
+            .prop_flat_map(|v| (Just(v.len()), 0usize..8))) {
+            let (len, _draw) = v;
+            prop_assert!((1..4).contains(&len));
+        }
+    }
+
+    proptest! {
+        /// Recursion terminates and produces nested output.
+        #[test]
+        fn recursive_strategy_terminates(e in Just(1u32).prop_map(|v| v.to_string())
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+            })) {
+            prop_assert!(e.chars().filter(|&c| c == '(').count() <= 15, "{e}");
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("x::y");
+        let mut b = crate::test_runner::TestRng::from_name("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

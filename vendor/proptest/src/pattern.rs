@@ -1,0 +1,228 @@
+//! Generator for the regex subset used as string strategies: literal
+//! characters, escapes, character classes with ranges, and the
+//! `{n}` / `{n,m}` / `*` / `+` / `?` quantifiers.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    /// Inclusive codepoint ranges; a lone member is `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+struct Item {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Draws one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let items = parse(pattern);
+    let mut out = String::new();
+    for item in &items {
+        let n = if item.min == item.max {
+            item.min
+        } else {
+            item.min + rng.below(item.max - item.min + 1)
+        };
+        for _ in 0..n {
+            out.push(match &item.atom {
+                Atom::Literal(c) => *c,
+                Atom::Class(ranges) => pick(ranges, rng),
+            });
+        }
+    }
+    out
+}
+
+/// Uniform draw over the union of ranges, weighted by range width.
+fn pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+    let mut draw = rng.next_u64() % total;
+    for (lo, hi) in ranges {
+        let span = *hi as u64 - *lo as u64 + 1;
+        if draw < span {
+            return char::from_u32(*lo as u32 + draw as u32)
+                .expect("class ranges contain only valid scalars");
+        }
+        draw -= span;
+    }
+    unreachable!("draw bounded by total span")
+}
+
+fn parse(pattern: &str) -> Vec<Item> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in pattern {pattern:?}");
+                i += 2;
+                Atom::Literal(unescape(chars[i - 1]))
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(vec![(' ', '~')])
+            }
+            c @ ('(' | ')' | '|') => {
+                panic!("pattern feature {c:?} is not supported by the offline proptest stand-in (pattern {pattern:?})")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let (bounds, next) = parse_repeat(&chars, i + 1, pattern);
+                i = next;
+                bounds
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "empty repeat {{{min},{max}}} in pattern {pattern:?}");
+        items.push(Item { atom, min, max });
+    }
+    items
+}
+
+/// Parses class members starting just past `[`; returns the ranges and
+/// the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = class_member(chars, &mut i, pattern);
+        // `a-z` forms a range unless the `-` is the final member.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = class_member(chars, &mut i, pattern);
+            assert!(lo <= hi, "inverted class range {lo:?}-{hi:?} in pattern {pattern:?}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unterminated class in pattern {pattern:?}");
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    (ranges, i + 1)
+}
+
+fn class_member(chars: &[char], i: &mut usize, pattern: &str) -> char {
+    let c = chars[*i];
+    *i += 1;
+    if c == '\\' {
+        assert!(*i < chars.len(), "dangling escape in pattern {pattern:?}");
+        let e = chars[*i];
+        *i += 1;
+        unescape(e)
+    } else {
+        c
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses digits starting just past `{`; returns `(min, max)` and the
+/// index just past `}`.
+fn parse_repeat(chars: &[char], mut i: usize, pattern: &str) -> ((usize, usize), usize) {
+    let min = parse_number(chars, &mut i, pattern);
+    let bounds = if chars.get(i) == Some(&',') {
+        i += 1;
+        (min, parse_number(chars, &mut i, pattern))
+    } else {
+        (min, min)
+    };
+    assert!(chars.get(i) == Some(&'}'), "unterminated repeat in pattern {pattern:?}");
+    (bounds, i + 1)
+}
+
+fn parse_number(chars: &[char], i: &mut usize, pattern: &str) -> usize {
+    let start = *i;
+    while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        *i += 1;
+    }
+    assert!(*i > start, "expected a number in repeat of pattern {pattern:?}");
+    chars[start..*i].iter().collect::<String>().parse().expect("digits parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::from_seed(42);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in sample("[a-z][a-z0-9_]{0,8}", 200) {
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_with_control_chars() {
+        // The class holds a space-to-tilde range plus literal \n and \t.
+        let mut seen_len_spread = std::collections::HashSet::new();
+        for s in sample("[ -~\n\t]{0,200}", 100) {
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'), "{s:?}");
+            seen_len_spread.insert(s.len());
+        }
+        assert!(seen_len_spread.len() > 10, "lengths should vary");
+    }
+
+    #[test]
+    fn literal_separator() {
+        for s in sample("[a-z]{2,6}/[a-z_]{2,10}", 100) {
+            let (a, b) = s.split_once('/').expect("separator present");
+            assert!((2..=6).contains(&a.len()), "{s:?}");
+            assert!((2..=10).contains(&b.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_and_postfix_quantifiers() {
+        for s in sample("x{3}", 10) {
+            assert_eq!(s, "xxx");
+        }
+        for s in sample("a?b+", 50) {
+            let plus = s.trim_start_matches('a');
+            assert!(s.len() - plus.len() <= 1);
+            assert!(!plus.is_empty() && plus.chars().all(|c| c == 'b'), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the *exact* API subset it consumes: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer
+//! ranges, and [`Rng::gen_bool`]. The generator is SplitMix64 —
+//! deterministic for a given seed, which is the only property the
+//! seeded corpus/workload generators rely on. Numeric streams differ
+//! from upstream `rand`'s `StdRng` (ChaCha12), so seeds name *this*
+//! implementation's sequences.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Sources of randomness: a 64-bit output function is all we need.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding: only the `u64` convenience constructor is used here.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every core
+/// generator (mirrors `rand`'s `Rng: RngCore` extension trait).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`). The
+    /// element type is an independent parameter, as in `rand` 0.8, so
+    /// literal ranges infer it from the call site (`0..4` indexing a
+    /// slice infers `usize`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range of `T` that can be sampled uniformly. Implemented once,
+/// generically, for `Range<T>` / `RangeInclusive<T>` — a single
+/// blanket impl (as in `rand` 0.8) is what lets `gen_range(0..4)`
+/// infer the element type from the surrounding expression.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample. Panics on an empty range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integer element types, widened through `i128` for the span math.
+pub trait SampleUniform: Copy {
+    #[doc(hidden)]
+    fn to_i128(self) -> i128;
+    #[doc(hidden)]
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn sample_span<R: RngCore>(rng: &mut R, span: u128) -> u128 {
+    // Modulo reduction; the bias is irrelevant for test workloads.
+    ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(lo + sample_span(rng, (hi - lo) as u128) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(lo + sample_span(rng, (hi - lo) as u128 + 1) as i128)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
