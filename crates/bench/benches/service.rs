@@ -1,0 +1,109 @@
+//! Daemon amortization: N independent one-shot engine invocations
+//! (the `pallas check` cost model — every run rebuilds its frontends)
+//! versus N requests against one warm `pallas-service` daemon, where
+//! the shared engine answers repeats from its fingerprint cache.
+//!
+//! The daemon round trips a Unix-domain socket per request, so its
+//! win is the cached frontend minus the socket + JSON overhead. The
+//! workload is the skewed synthetic corpus whose frontends cost
+//! milliseconds to build — the regime a daemon exists for. (On
+//! toy-sized units the ~0.2ms protocol overhead can exceed the
+//! ~0.05ms frontend build, and one-shot wins; the tiny-unit round
+//! trip cost is pinned separately in the service e2e tests.) A third
+//! case holds the bounded cache at a small capacity and streams
+//! 3x-capacity distinct units through it, demonstrating flat memory
+//! under churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pallas_core::{Engine, EngineConfig, SourceUnit};
+use pallas_corpus::skewed_units;
+use pallas_service::{Client, Server, ServiceConfig};
+
+fn bench_one_shot_vs_daemon(c: &mut Criterion) {
+    let units = skewed_units(16, 17);
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    // The one-shot baseline: a fresh engine per unit, as if each were
+    // a separate `pallas check` process.
+    group.bench_function("one-shot-engine", |b| {
+        b.iter(|| {
+            for unit in &units {
+                Engine::new().check_unit(unit).expect("checks");
+            }
+        })
+    });
+
+    // One daemon, warmed by a first wave; the measured waves hit the
+    // shared fingerprint cache through the full socket protocol.
+    let socket = std::env::temp_dir()
+        .join(format!("pallas-bench-{}.sock", std::process::id()));
+    let handle =
+        Server::start(&socket, ServiceConfig::default()).expect("daemon starts");
+    let mut client = Client::connect(&socket).expect("client connects");
+    for unit in &units {
+        client.check(unit).expect("warmup");
+    }
+    group.bench_function("warm-daemon", |b| {
+        b.iter(|| {
+            for unit in &units {
+                client.check(unit).expect("checks");
+            }
+        })
+    });
+    group.finish();
+
+    let stats = handle.engine().stats();
+    println!(
+        "warm daemon served {} unit-check(s): {} hit(s), {} miss(es)",
+        stats.units_checked, stats.cache_hits, stats.cache_misses
+    );
+    handle.stop();
+}
+
+fn bench_bounded_cache_churn(c: &mut Criterion) {
+    let capacity = 8;
+    let socket = std::env::temp_dir()
+        .join(format!("pallas-bench-churn-{}.sock", std::process::id()));
+    let handle = Server::start(
+        &socket,
+        ServiceConfig {
+            engine: EngineConfig { cache_capacity: capacity, ..EngineConfig::default() },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    let mut client = Client::connect(&socket).expect("client connects");
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let mut wave = 0usize;
+    group.bench_function("bounded-cache-churn", |b| {
+        b.iter(|| {
+            // Fresh unit names every wave: all misses, all evictions.
+            for i in 0..capacity * 3 {
+                let unit = SourceUnit::new(format!("churn/u{wave}_{i}"))
+                    .with_file("c.c", "int fast(int a) { return a; }\n")
+                    .with_spec("fastpath fast;");
+                client.check(&unit).expect("checks");
+            }
+            wave += 1;
+        })
+    });
+    group.finish();
+
+    let stats = handle.engine().stats();
+    assert!(
+        stats.cached_frontends <= capacity as u64,
+        "bounded cache leaked: {} resident > capacity {capacity}",
+        stats.cached_frontends
+    );
+    println!(
+        "churn daemon stayed flat: {}/{} frontend(s) resident after {} eviction(s)",
+        stats.cached_frontends, capacity, stats.cache_evictions
+    );
+    handle.stop();
+}
+
+criterion_group!(benches, bench_one_shot_vs_daemon, bench_bounded_cache_churn);
+criterion_main!(benches);

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
-//!              [--jobs N] [--stage-stats] [--tsv] [--suggest]      run the checkers
+//!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]  run the checkers
+//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N]  analysis daemon
+//! pallas client <socket> check <file.c>... [--spec S] [--json]  check via a daemon
+//! pallas client <socket> stats|shutdown|request <req.json>      daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
 //! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
 //! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
@@ -14,10 +17,16 @@
 //! `check` accepts several `.c` files at once — each becomes one unit
 //! (any `.h` arguments are merged into every unit as shared headers) —
 //! and distributes them over `--jobs N` worker threads with work
-//! stealing. `--stage-stats` appends the per-stage timing breakdown.
+//! stealing. `--stage-stats` appends the per-stage timing breakdown;
+//! `--json` emits the NDJSON findings stream. `serve` runs the
+//! persistent daemon from `pallas-service`; `client check` prints
+//! byte-identical output to a local `check` while sharing the
+//! daemon's warm frontend cache.
 
 use pallas_core::{render_unit_report, score, Engine, Pallas, Score, SourceUnit};
+use pallas_service::{Client, Server, ServiceConfig, Value};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +47,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     match cmd.as_str() {
         "check" => cmd_check(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "paths" => cmd_paths(rest),
         "table5" => cmd_table5(rest),
         "diff" => cmd_diff(rest),
@@ -57,7 +68,10 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--suggest]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]\n\
+         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N]\n\
+         \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--json]\n\
+         \x20 pallas client <socket> stats | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
          \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
@@ -105,6 +119,37 @@ fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
 
 /// Flags of `check` that consume the following argument.
 const CHECK_VALUE_FLAGS: [&str; 2] = ["--spec", "--jobs"];
+
+/// Boolean flags of `check`.
+const CHECK_BOOL_FLAGS: [&str; 4] = ["--stage-stats", "--tsv", "--json", "--suggest"];
+
+/// Rejects unknown flags and value flags without a value, so a typo
+/// fails loudly instead of being silently ignored.
+fn validate_flags(
+    command: &str,
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value_flags.contains(&a) {
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 2,
+                    _ => return Err(format!("flag `{a}` needs a value")),
+                }
+                continue;
+            }
+            if !bool_flags.contains(&a) {
+                return Err(format!("unknown flag `{a}` for `{command}` (try `pallas help`)"));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
 
 /// Positional (non-flag, non-flag-value) arguments of `check`.
 fn positional_args(args: &[String]) -> Vec<&String> {
@@ -157,6 +202,10 @@ fn load_units(args: &[String]) -> Result<Vec<SourceUnit>, String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
+    validate_flags("check", args, &CHECK_VALUE_FLAGS, &CHECK_BOOL_FLAGS)?;
+    if has_flag(args, "--tsv") && has_flag(args, "--json") {
+        return Err("choose one of --tsv and --json".into());
+    }
     let jobs = match flag_value(args, "--jobs") {
         Some(v) => v.parse::<usize>().map_err(|_| format!("--jobs needs a number, got `{v}`"))?,
         None => 1,
@@ -177,6 +226,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             print!("{}", pallas_core::render_tsv(&analyzed));
             continue;
         }
+        if has_flag(args, "--json") {
+            print!("{}", pallas_core::render_ndjson(&analyzed));
+            continue;
+        }
         print!("{}", render_unit_report(&analyzed));
         if has_flag(args, "--suggest") {
             for w in &analyzed.warnings {
@@ -192,8 +245,123 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             print!("{}", pallas_core::render_stage_stats(&analyzed));
         }
     }
-    if has_flag(args, "--stage-stats") && !has_flag(args, "--tsv") {
+    if has_flag(args, "--stage-stats") && !has_flag(args, "--tsv") && !has_flag(args, "--json") {
         print!("{}", pallas_core::render_engine_stats(&engine.stats()));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// Parses a required positive integer flag value.
+fn numeric_flag(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("{flag} needs a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    validate_flags("serve", args, &["--workers", "--queue-depth", "--timeout-ms"], &[])?;
+    let socket = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing socket path argument")?;
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: numeric_flag(args, "--workers", defaults.workers)?.max(1),
+        queue_depth: numeric_flag(args, "--queue-depth", defaults.queue_depth)?.max(1),
+        timeout: Duration::from_millis(
+            numeric_flag(args, "--timeout-ms", defaults.timeout.as_millis() as usize)? as u64,
+        ),
+        ..defaults
+    };
+    let handle = Server::start(socket, config)
+        .map_err(|e| format!("cannot serve on `{socket}`: {e}"))?;
+    println!(
+        "serving on `{socket}` (workers {}, queue depth {}, timeout {}ms); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        config.workers,
+        config.queue_depth,
+        config.timeout.as_millis()
+    );
+    // Blocks until a shutdown request arrives, then logs the metrics
+    // summary the registry accumulated over the daemon's lifetime.
+    print!("{}", handle.wait());
+    Ok(())
+}
+
+/// Connects to a daemon socket with a one-line diagnostic on failure.
+fn connect_client(socket: &str) -> Result<Client, String> {
+    Client::connect(socket).map_err(|e| format!("cannot connect to daemon at `{socket}`: {e}"))
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let socket = args.first().ok_or("missing socket path argument")?.clone();
+    let rest = &args[1..];
+    let sub = rest.first().ok_or("missing client subcommand (check|stats|shutdown|request)")?;
+    let sub_args = &rest[1..];
+    match sub.as_str() {
+        "check" => cmd_client_check(&socket, sub_args),
+        "stats" => {
+            let response = connect_client(&socket)?
+                .stats()
+                .map_err(|e| format!("stats request failed: {e}"))?;
+            println!("{response}");
+            Ok(())
+        }
+        "shutdown" => {
+            let response = connect_client(&socket)?
+                .shutdown()
+                .map_err(|e| format!("shutdown request failed: {e}"))?;
+            println!("{response}");
+            Ok(())
+        }
+        "request" => {
+            let path = sub_args
+                .first()
+                .ok_or("missing request file argument (a one-line JSON request)")?;
+            let mut client = connect_client(&socket)?;
+            for line in read_file(path)?.lines().filter(|l| !l.trim().is_empty()) {
+                let response = client
+                    .request_line(line)
+                    .map_err(|e| format!("request failed: {e}"))?;
+                println!("{response}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown client subcommand `{other}` (try `pallas help`)")),
+    }
+}
+
+/// `pallas client <socket> check …`: same unit loading as the local
+/// `check`, but analysis happens in the daemon. Output is
+/// byte-identical to the local command because the daemon embeds the
+/// very serializer output `check` prints.
+fn cmd_client_check(socket: &str, args: &[String]) -> Result<(), String> {
+    validate_flags("client check", args, &["--spec"], &["--json"])?;
+    let units = load_units(args)?;
+    let mut client = connect_client(socket)?;
+    let mut failures = Vec::new();
+    for unit in &units {
+        let response =
+            client.check(unit).map_err(|e| format!("check request failed: {e}"))?;
+        if response.get("ok").and_then(Value::as_bool) == Some(true) {
+            let field = if has_flag(args, "--json") { "ndjson" } else { "report" };
+            let text = response
+                .get(field)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("daemon response lacks `{field}`"))?;
+            print!("{text}");
+        } else {
+            let message = response
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("daemon reported an unknown error");
+            failures.push(message.to_string());
+        }
     }
     if failures.is_empty() {
         Ok(())

@@ -248,6 +248,135 @@ fn check_bad_jobs_value_fails() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs needs a number"));
 }
 
+/// Error paths must exit non-zero with a one-line `pallas:` diagnostic
+/// on stderr — never a panic backtrace.
+fn assert_one_line_diagnostic(out: &Output, needle: &str) {
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(needle), "{stderr}");
+    assert!(stderr.starts_with("pallas: "), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{stderr}");
+}
+
+#[test]
+fn check_unknown_flag_fails_with_diagnostic() {
+    let src = write_temp("unknown_flag.c", BUGGY);
+    let out = pallas(&["check", src.to_str().unwrap(), "--frobnicate"]);
+    assert_one_line_diagnostic(&out, "unknown flag `--frobnicate` for `check`");
+}
+
+#[test]
+fn check_unreadable_file_fails_with_diagnostic() {
+    // A directory path is guaranteed unreadable as a source file.
+    let dir = std::env::temp_dir();
+    let out = pallas(&["check", dir.to_str().unwrap()]);
+    assert_one_line_diagnostic(&out, "cannot read");
+}
+
+#[test]
+fn check_spec_without_value_fails_with_diagnostic() {
+    let src = write_temp("dangling_spec.c", BUGGY);
+    let out = pallas(&["check", src.to_str().unwrap(), "--spec"]);
+    assert_one_line_diagnostic(&out, "flag `--spec` needs a value");
+}
+
+#[test]
+fn check_tsv_and_json_are_mutually_exclusive() {
+    let src = write_temp("both.c", BUGGY);
+    let out = pallas(&["check", src.to_str().unwrap(), "--tsv", "--json"]);
+    assert_one_line_diagnostic(&out, "choose one of --tsv and --json");
+}
+
+#[test]
+fn client_on_dead_socket_fails_with_diagnostic() {
+    let out = pallas(&["client", "/nonexistent/pallas-dead.sock", "stats"]);
+    assert_one_line_diagnostic(&out, "cannot connect to daemon at");
+}
+
+#[test]
+fn serve_bad_workers_value_fails_with_diagnostic() {
+    let out = pallas(&["serve", "/tmp/unused.sock", "--workers", "lots"]);
+    assert_one_line_diagnostic(&out, "--workers needs a number");
+}
+
+/// Golden-file test pinning the NDJSON schema: field names, order,
+/// and value shapes are a stable contract shared with the daemon.
+#[test]
+fn check_json_matches_golden_file() {
+    // Run from inside the temp dir with a relative path so the unit
+    // name (and the NDJSON `unit`/`file` fields) stay deterministic.
+    let dir = std::env::temp_dir().join("pallas-cli-golden");
+    std::fs::create_dir_all(&dir).expect("golden dir");
+    std::fs::write(dir.join("golden.c"), BUGGY).expect("write source");
+    std::fs::write(dir.join("golden.pallas"), "fastpath alloc_fast; immutable gfp_mask;")
+        .expect("write spec");
+    let out = Command::new(env!("CARGO_BIN_EXE_pallas"))
+        .args(["check", "golden.c", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let expected = include_str!("golden/check.ndjson");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        expected,
+        "NDJSON schema drifted from tests/golden/check.ndjson"
+    );
+}
+
+/// End-to-end: `pallas serve` + `pallas client check` print the exact
+/// bytes a local `pallas check` would, and `client stats`/`shutdown`
+/// drive the daemon lifecycle.
+#[test]
+fn serve_and_client_round_trip_matches_local_check() {
+    let src = write_temp("served.c", BUGGY);
+    let spec = write_temp("served.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let socket = std::env::temp_dir()
+        .join(format!("pallas-cli-e2e-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_pallas"))
+        .args(["serve", socket.to_str().unwrap(), "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    // Wait for the socket to appear.
+    for _ in 0..100 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(socket.exists(), "daemon never bound its socket");
+
+    let local = pallas(&["check", src.to_str().unwrap(), "--spec", spec.to_str().unwrap()]);
+    let via_daemon = pallas(&[
+        "client",
+        socket.to_str().unwrap(),
+        "check",
+        src.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(via_daemon.status.success(), "{}", String::from_utf8_lossy(&via_daemon.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&via_daemon.stdout),
+        String::from_utf8_lossy(&local.stdout),
+        "daemon-backed check must be byte-identical to local check"
+    );
+
+    let stats = pallas(&["client", socket.to_str().unwrap(), "stats"]);
+    assert!(stats.status.success());
+    let stats_text = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats_text.contains("\"completed\":1"), "{stats_text}");
+
+    let down = pallas(&["client", socket.to_str().unwrap(), "shutdown"]);
+    assert!(down.status.success());
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success());
+}
+
 #[test]
 fn check_batch_reports_each_failing_unit() {
     let good = write_temp("mix_good.c", "int f(void) { return 0; }\n");

@@ -1,0 +1,190 @@
+//! Bounded frontend cache with second-chance (clock) eviction.
+//!
+//! The staged engine originally memoized frontends in an unbounded
+//! map, which is fine for one-shot CLI runs but not for a long-lived
+//! daemon ([`pallas-service`]) where the key space is every distinct
+//! `(source, spec, config)` ever submitted. [`BoundedCache`] caps the
+//! entry count and evicts with the second-chance policy: entries get a
+//! referenced bit on every hit, and the clock hand skips (and clears)
+//! referenced entries once before evicting, so recently re-used
+//! frontends survive a scan of one-off units. Second-chance gives
+//! LRU-like behaviour with O(1) hits and amortized O(1) inserts, and
+//! needs no per-access list surgery under the cache mutex.
+//!
+//! [`pallas-service`]: https://example.org/pallas
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A capacity-bounded map with second-chance eviction.
+///
+/// `capacity == 0` disables caching entirely: every `insert` is a
+/// no-op and every `get` misses. (A daemon can run cache-less for
+/// A/B measurements without special-casing its request path.)
+#[derive(Debug)]
+pub struct BoundedCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, Slot<V>>,
+    /// Clock order: front is the next eviction candidate.
+    clock: VecDeque<K>,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    referenced: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        BoundedCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            clock: VecDeque::with_capacity(capacity.min(1024)),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, marking the entry recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.get_mut(key)?;
+        slot.referenced = true;
+        Some(slot.value.clone())
+    }
+
+    /// Inserts `key → value`, evicting the first un-referenced entry
+    /// in clock order once the cache is full. Re-inserting an existing
+    /// key replaces its value in place.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.value = value;
+            slot.referenced = true;
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            let candidate = self.clock.pop_front().expect("clock tracks every entry");
+            let slot = self.map.get_mut(&candidate).expect("clock keys live in the map");
+            if slot.referenced {
+                // Second chance: clear the bit and rotate to the back.
+                slot.referenced = false;
+                self.clock.push_back(candidate);
+            } else {
+                self.map.remove(&candidate);
+                self.evictions += 1;
+            }
+        }
+        self.clock.push_back(key.clone());
+        self.map.insert(key, Slot { value, referenced: false });
+    }
+
+    /// Current entry count (never exceeds the capacity).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions performed since construction (survives
+    /// [`clear`](BoundedCache::clear)).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every entry without counting evictions.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.clock.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_at_most_capacity_entries() {
+        let mut cache = BoundedCache::new(4);
+        for i in 0..12 {
+            cache.insert(i, i * 10);
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 8);
+        // The newest entry is always resident.
+        assert_eq!(cache.get(&11), Some(110));
+    }
+
+    #[test]
+    fn referenced_entries_survive_a_scan() {
+        let mut cache = BoundedCache::new(3);
+        cache.insert("hot", 1);
+        cache.insert("a", 2);
+        cache.insert("b", 3);
+        // Touch `hot`, then stream one-off keys through the cache.
+        for i in 0..6 {
+            assert_eq!(cache.get(&"hot"), Some(1), "hot entry evicted at step {i}");
+            cache.insert(["c", "d", "e", "f", "g", "h"][i], 10 + i as i32);
+        }
+        assert_eq!(cache.get(&"hot"), Some(1));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut cache = BoundedCache::new(2);
+        cache.insert("k", 1);
+        cache.insert("k", 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&"k"), Some(2));
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = BoundedCache::new(0);
+        cache.insert("k", 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&"k"), None);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_eviction_count() {
+        let mut cache = BoundedCache::new(2);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.insert(3, 3);
+        assert_eq!(cache.evictions(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 1);
+        cache.insert(4, 4);
+        assert_eq!(cache.get(&4), Some(4));
+    }
+
+    #[test]
+    fn eviction_loop_terminates_when_everything_is_referenced() {
+        let mut cache = BoundedCache::new(3);
+        for i in 0..3 {
+            cache.insert(i, i);
+        }
+        for i in 0..3 {
+            cache.get(&i);
+        }
+        cache.insert(99, 99);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&99), Some(99));
+    }
+}

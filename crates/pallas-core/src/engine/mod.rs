@@ -38,16 +38,17 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod fingerprint;
 pub mod schedule;
 
 use crate::pipeline::{AnalyzedUnit, PallasError, PallasErrorKind};
 use crate::unit::{MergeMap, SourceUnit};
+use cache::BoundedCache;
 use pallas_checkers::{run_all_timed, CheckContext};
 use pallas_lang::{parse, Ast};
 use pallas_spec::{parse_pragma, parse_spec, FastPathSpec};
 use pallas_sym::{extract, ExtractConfig, PathDb};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -106,6 +107,31 @@ pub struct StageTiming {
     pub cached: bool,
 }
 
+/// Engine-level configuration: the extraction limits plus the
+/// frontend cache bound. The extraction part participates in every
+/// cache key; the cache bound only controls memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Extraction limits (part of the frontend cache key).
+    pub extract: ExtractConfig,
+    /// Maximum cached frontends; `0` disables the cache. Long-lived
+    /// holders (the `pallas-service` daemon) must keep this bounded
+    /// or distinct units grow the process without limit.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { extract: ExtractConfig::default(), cache_capacity: DEFAULT_CACHE_CAPACITY }
+    }
+}
+
+/// Default frontend cache bound. Sized for corpus-scale batches: the
+/// full evaluation corpus is ~100 units, so one order of magnitude
+/// above that keeps every workload in this repo hit-for-hit identical
+/// to the old unbounded cache while capping daemon memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
 /// Snapshot of an engine's cumulative counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -115,6 +141,12 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Frontend cache misses (frontends built).
     pub cache_misses: u64,
+    /// Frontends evicted by the cache bound.
+    pub cache_evictions: u64,
+    /// Frontends currently resident in the cache.
+    pub cached_frontends: u64,
+    /// The cache bound (`0` = caching disabled).
+    pub cache_capacity: u64,
     /// Merge stage invocations.
     pub merges: u64,
     /// Parse stage invocations.
@@ -178,8 +210,8 @@ struct Counters {
 
 #[derive(Debug)]
 struct EngineInner {
-    config: ExtractConfig,
-    cache: Mutex<HashMap<u64, Arc<Frontend>>>,
+    config: EngineConfig,
+    cache: Mutex<BoundedCache<u64, Arc<Frontend>>>,
     counters: Counters,
 }
 
@@ -202,14 +234,21 @@ impl Engine {
         Engine::with_config(ExtractConfig::default())
     }
 
-    /// An engine with an explicit extraction configuration. The
-    /// configuration is part of every cache key, so engines never
-    /// serve artifacts extracted under different limits.
+    /// An engine with an explicit extraction configuration (and the
+    /// default cache bound). The configuration is part of every cache
+    /// key, so engines never serve artifacts extracted under
+    /// different limits.
     pub fn with_config(config: ExtractConfig) -> Self {
+        Engine::with_engine_config(EngineConfig { extract: config, ..EngineConfig::default() })
+    }
+
+    /// An engine with full engine-level configuration, including the
+    /// frontend cache bound.
+    pub fn with_engine_config(config: EngineConfig) -> Self {
         Engine {
             inner: Arc::new(EngineInner {
+                cache: Mutex::new(BoundedCache::new(config.cache_capacity)),
                 config,
-                cache: Mutex::new(HashMap::new()),
                 counters: Counters::default(),
             }),
         }
@@ -217,6 +256,11 @@ impl Engine {
 
     /// The engine's extraction configuration.
     pub fn config(&self) -> &ExtractConfig {
+        &self.inner.config.extract
+    }
+
+    /// The engine-level configuration (extraction + cache bound).
+    pub fn engine_config(&self) -> &EngineConfig {
         &self.inner.config
     }
 
@@ -224,10 +268,17 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let c = &self.inner.counters;
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let (evictions, resident) = {
+            let cache = self.inner.cache.lock().expect("engine cache");
+            (cache.evictions(), cache.len() as u64)
+        };
         EngineStats {
             units_checked: load(&c.units_checked),
             cache_hits: load(&c.cache_hits),
             cache_misses: load(&c.cache_misses),
+            cache_evictions: evictions,
+            cached_frontends: resident,
+            cache_capacity: self.inner.config.cache_capacity as u64,
             merges: load(&c.merges),
             parses: load(&c.parses),
             spec_parses: load(&c.spec_parses),
@@ -266,8 +317,8 @@ impl Engine {
         let started = Instant::now();
         let counters = &self.inner.counters;
         let mut timings = Vec::with_capacity(Stage::ALL.len());
-        let key = fingerprint::fingerprint_unit(unit, &self.inner.config);
-        let cached = self.inner.cache.lock().expect("engine cache").get(&key).cloned();
+        let key = fingerprint::fingerprint_unit(unit, &self.inner.config.extract);
+        let cached = self.inner.cache.lock().expect("engine cache").get(&key);
         let frontend = match cached {
             Some(frontend) => {
                 counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -442,7 +493,7 @@ impl Engine {
 
         let t = Instant::now();
         counters.extracts.fetch_add(1, Ordering::Relaxed);
-        let db = extract(&unit.name, &ast, &merged_src, &self.inner.config);
+        let db = extract(&unit.name, &ast, &merged_src, &self.inner.config.extract);
         stage(Stage::Extract, timings, t.elapsed());
 
         Ok(Frontend { merged_src, merge_map, ast, spec, db })
@@ -567,5 +618,53 @@ mod tests {
         engine.clear_cache();
         engine.check_unit(&unit(0)).unwrap();
         assert_eq!(engine.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn cache_stays_within_its_bound_across_many_distinct_units() {
+        let capacity = 4;
+        let engine = Engine::with_engine_config(EngineConfig {
+            cache_capacity: capacity,
+            ..EngineConfig::default()
+        });
+        // 3× capacity distinct units: residency must stay flat at the
+        // bound while evictions absorb the difference.
+        for i in 0..capacity * 3 {
+            engine.check_unit(&unit(i)).unwrap();
+            assert!(engine.cached_frontends() <= capacity);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.cached_frontends, capacity as u64);
+        assert_eq!(stats.cache_capacity, capacity as u64);
+        assert_eq!(stats.cache_evictions, (capacity * 2) as u64);
+        assert_eq!(stats.cache_misses, (capacity * 3) as u64);
+    }
+
+    #[test]
+    fn recently_checked_unit_survives_eviction_pressure() {
+        let engine = Engine::with_engine_config(EngineConfig {
+            cache_capacity: 3,
+            ..EngineConfig::default()
+        });
+        for wave in 0..4 {
+            engine.check_unit(&unit(0)).unwrap(); // keep u0 hot
+            engine.check_unit(&unit(100 + wave)).unwrap(); // one-off
+        }
+        let stats = engine.stats();
+        assert!(stats.cache_hits >= 3, "hot unit should keep hitting: {stats:?}");
+    }
+
+    #[test]
+    fn zero_capacity_engine_rebuilds_every_time() {
+        let engine = Engine::with_engine_config(EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        engine.check_unit(&unit(0)).unwrap();
+        engine.check_unit(&unit(0)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cached_frontends, 0);
     }
 }

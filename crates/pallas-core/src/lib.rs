@@ -28,11 +28,11 @@ pub mod report;
 pub mod truth;
 pub mod unit;
 
-pub use engine::{Engine, EngineStats, Stage, StageTiming};
+pub use engine::{Engine, EngineConfig, EngineStats, Stage, StageTiming};
 pub use pipeline::{AnalyzedUnit, Pallas, PallasError, PallasErrorKind};
 pub use report::{
-    render_engine_stats, render_stage_stats, render_tsv, render_unit_report,
-    warning_counts_by_rule,
+    finding_json, json_escape, render_engine_stats, render_ndjson, render_stage_stats,
+    render_tsv, render_unit_report, warning_counts_by_rule,
 };
 pub use truth::{score, KnownBug, Score};
 pub use unit::{MergeMap, SourceUnit};

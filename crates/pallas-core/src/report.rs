@@ -44,12 +44,14 @@ pub fn render_unit_report(unit: &AnalyzedUnit) -> String {
         unit.spec.fact_count(),
         if unit.spec.fastpath.is_empty() { "-".to_string() } else { unit.spec.fastpath.join(", ") }
     );
+    // Deliberately timing-free: the report must be byte-identical for
+    // identical inputs (daemon responses are compared against one-shot
+    // output); wall-clock detail lives in `render_stage_stats`.
     let _ = writeln!(
         out,
-        "path database: {} function(s), {} path(s), built in {:?}",
+        "path database: {} function(s), {} path(s)",
         unit.db.functions.len(),
         unit.db.path_count(),
-        unit.elapsed
     );
     let (loops, nesting) = unit
         .ast
@@ -110,14 +112,97 @@ pub fn render_stage_stats(unit: &AnalyzedUnit) -> String {
     out
 }
 
+/// Escapes `s` as the contents of a JSON string literal (quotes not
+/// included). Control characters, `"`, and `\` are escaped; everything
+/// else passes through as UTF-8.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One warning as a single-line JSON object. This is *the* finding
+/// serializer: `pallas check --json` emits these lines and the
+/// `pallas-service` daemon embeds the same bytes in its responses, so
+/// the two surfaces can never drift apart.
+///
+/// Schema (field order is fixed):
+/// `{"type":"finding","unit":s,"rule":s,"class":s,"function":s,"file":s,"line":n,"message":s}`
+pub fn finding_json(unit: &AnalyzedUnit, w: &pallas_checkers::Warning) -> String {
+    let (file, line) = unit
+        .merge_map
+        .resolve(w.line)
+        .map(|(f, l)| (f.to_string(), l))
+        .unwrap_or_else(|| ("<merged>".to_string(), w.line));
+    format!(
+        "{{\"type\":\"finding\",\"unit\":\"{}\",\"rule\":\"{}\",\"class\":\"{}\",\"function\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+        json_escape(&w.unit),
+        w.rule.number(),
+        json_escape(&w.rule.class().to_string()),
+        json_escape(&w.function),
+        json_escape(&file),
+        line,
+        json_escape(&w.message),
+    )
+}
+
+/// Renders one analyzed unit as NDJSON: one `finding` object per
+/// warning ([`finding_json`]), one `lint` object per spec lint issue,
+/// and a trailing `unit` summary object. Every field is deterministic
+/// (no timings), so the output is byte-stable across runs and safe to
+/// pin with golden files.
+pub fn render_ndjson(unit: &AnalyzedUnit) -> String {
+    let mut out = String::new();
+    for w in &unit.warnings {
+        let _ = writeln!(out, "{}", finding_json(unit, w));
+    }
+    for issue in &unit.lint {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"lint\",\"unit\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&unit.name),
+            json_escape(&issue.to_string()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"unit\",\"unit\":\"{}\",\"functions\":{},\"paths\":{},\"warnings\":{},\"lint\":{}}}",
+        json_escape(&unit.name),
+        unit.db.functions.len(),
+        unit.db.path_count(),
+        unit.warnings.len(),
+        unit.lint.len(),
+    );
+    out
+}
+
 /// Renders an engine's cumulative counters: units checked, cache
 /// behaviour, and per-stage invocation counts with total time.
 pub fn render_engine_stats(stats: &EngineStats) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "=== engine: {} unit-check(s), {} cache hit(s), {} miss(es) ===",
-        stats.units_checked, stats.cache_hits, stats.cache_misses
+        "=== engine: {} unit-check(s), {} cache hit(s), {} miss(es), {} eviction(s) ===",
+        stats.units_checked, stats.cache_hits, stats.cache_misses, stats.cache_evictions
+    );
+    let _ = writeln!(
+        out,
+        "  cache: {}/{} frontend(s) resident",
+        stats.cached_frontends, stats.cache_capacity
     );
     for stage in Stage::ALL {
         let _ = writeln!(
@@ -224,6 +309,32 @@ mod tests {
         let text = render_engine_stats(&engine.stats());
         assert!(text.contains("2 unit-check(s), 1 cache hit(s), 1 miss(es)"), "{text}");
         assert!(text.contains("extract"), "{text}");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn ndjson_lists_findings_then_summary() {
+        let unit = analyzed();
+        let text = render_ndjson(&unit);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), unit.warnings.len() + unit.lint.len() + 1);
+        assert!(lines[0].starts_with("{\"type\":\"finding\",\"unit\":\"mm/demo\""), "{text}");
+        assert!(lines[0].contains("\"rule\":\"1.2\""), "{text}");
+        assert!(lines[0].contains("\"file\":\"mm/demo.c\""), "{text}");
+        let last = lines.last().unwrap();
+        assert!(last.starts_with("{\"type\":\"unit\""), "{text}");
+        assert!(last.contains(&format!("\"warnings\":{}", unit.warnings.len())), "{text}");
+    }
+
+    #[test]
+    fn ndjson_is_deterministic_across_runs() {
+        assert_eq!(render_ndjson(&analyzed()), render_ndjson(&analyzed()));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Admission control: a bounded pending queue with explicit overload
+//! rejection.
+//!
+//! Connection threads [`submit`](Admission::submit) work; worker
+//! threads [`next`](Admission::next) it. When the queue is at
+//! capacity the submit fails *immediately* — the daemon sheds load
+//! with a protocol-level `overload` error instead of queueing without
+//! bound or blocking the connection. Shutdown flips a flag: new
+//! submissions are refused, but queued work still drains so in-flight
+//! requests get real answers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The pending queue is at capacity.
+    Overloaded {
+        /// The configured queue bound.
+        depth: usize,
+    },
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+struct QueueState<T> {
+    pending: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded multi-producer multi-consumer work queue.
+pub struct Admission<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> Admission<T> {
+    /// A queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Self {
+        Admission {
+            state: Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of pending (not yet claimed) items.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("admission queue").pending.len()
+    }
+
+    /// Admits one item, or rejects it without blocking.
+    pub fn submit(&self, item: T) -> Result<(), AdmissionError> {
+        let mut state = self.state.lock().expect("admission queue");
+        if state.shutdown {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if state.pending.len() >= self.capacity {
+            return Err(AdmissionError::Overloaded { depth: self.capacity });
+        }
+        state.pending.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or shutdown has drained the
+    /// queue; `None` means "no more work ever" (worker should exit).
+    pub fn next(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("admission queue");
+        loop {
+            if let Some(item) = state.pending.pop_front() {
+                return Some(item);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).expect("admission queue");
+        }
+    }
+
+    /// Starts shutdown: refuses new work, wakes every worker. Already
+    /// queued items still drain through [`next`](Admission::next).
+    pub fn shutdown(&self) {
+        self.state.lock().expect("admission queue").shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_instead_of_blocking() {
+        let queue = Admission::new(2);
+        queue.submit(1).unwrap();
+        queue.submit(2).unwrap();
+        assert_eq!(queue.submit(3), Err(AdmissionError::Overloaded { depth: 2 }));
+        assert_eq!(queue.depth(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(queue.next(), Some(1));
+        queue.submit(3).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_then_stops_workers() {
+        let queue = Admission::new(4);
+        queue.submit("queued").unwrap();
+        queue.shutdown();
+        assert_eq!(queue.submit("late"), Err(AdmissionError::ShuttingDown));
+        assert_eq!(queue.next(), Some("queued"));
+        assert_eq!(queue.next(), None);
+    }
+
+    #[test]
+    fn workers_wake_on_submit_and_on_shutdown() {
+        let queue = Arc::new(Admission::new(4));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = queue.next() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+        for i in 0..3 {
+            queue.submit(i).unwrap();
+        }
+        // Give the consumer a moment to drain, then stop it.
+        while queue.depth() > 0 {
+            std::thread::yield_now();
+        }
+        queue.shutdown();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let queue = Admission::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.submit(1).unwrap();
+        assert!(queue.submit(2).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Blocking client for the daemon protocol.
+//!
+//! One [`Client`] wraps one connection; requests are serialized in
+//! order (the protocol answers one line per line). The CLI's
+//! `pallas client` subcommand is a thin shell around this type, and
+//! the end-to-end tests drive the daemon through it.
+
+use crate::json::{self, Value};
+use crate::protocol::Request;
+use pallas_core::SourceUnit;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw request line and reads the one response line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches('\n').to_string())
+    }
+
+    /// Sends a typed request; returns the parsed response.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Value> {
+        let line = self.request_line(&request.to_line())?;
+        json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed daemon response: {e}"),
+            )
+        })
+    }
+
+    /// Checks one unit.
+    pub fn check(&mut self, unit: &SourceUnit) -> std::io::Result<Value> {
+        self.request(&Request::Check { unit: unit.clone(), delay: None })
+    }
+
+    /// Checks one unit with an artificial pre-analysis stall
+    /// (timeout/overload tests and benches).
+    pub fn check_delayed(
+        &mut self,
+        unit: &SourceUnit,
+        delay: Duration,
+    ) -> std::io::Result<Value> {
+        self.request(&Request::Check { unit: unit.clone(), delay: Some(delay) })
+    }
+
+    /// Checks a batch of units through the daemon's worker pool.
+    pub fn batch(&mut self, units: &[SourceUnit]) -> std::io::Result<Value> {
+        self.request(&Request::Batch { units: units.to_vec(), delay: None })
+    }
+
+    /// Samples the daemon's metrics registry.
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> std::io::Result<Value> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,52 @@
+//! # pallas-service
+//!
+//! A persistent analysis daemon for Pallas. One-shot `pallas check`
+//! invocations rebuild the whole frontend every time and throw the
+//! staged engine's fingerprint cache away on exit; this crate keeps a
+//! single shared [`Engine`](pallas_core::Engine) alive behind a
+//! Unix-domain socket so repeated requests for the same `(source,
+//! spec, config)` are served from the bounded frontend cache.
+//!
+//! The daemon speaks a newline-delimited JSON protocol
+//! ([`protocol`]): `check`, `batch`, `stats`, and `shutdown`
+//! requests, one response line per request. Requests flow through an
+//! admission controller ([`admission`]) — a bounded pending queue
+//! with explicit overload rejection — into a configurable worker
+//! pool; a per-request wall-clock timeout is enforced around the
+//! engine call, and graceful shutdown drains admitted work. A
+//! metrics registry ([`metrics`]) of atomic counters and fixed-bucket
+//! latency histograms is sampled by `stats` and summarized on
+//! shutdown.
+//!
+//! ```no_run
+//! use pallas_core::SourceUnit;
+//! use pallas_service::{Client, Server, ServiceConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let handle = Server::start("/tmp/pallas.sock", ServiceConfig::default())?;
+//! let mut client = Client::connect("/tmp/pallas.sock")?;
+//! let unit = SourceUnit::new("demo")
+//!     .with_file("demo.c", "int f(void) { return 0; }")
+//!     .with_spec("fastpath f;");
+//! let first = client.check(&unit)?; // cold: builds the frontend
+//! let again = client.check(&unit)?; // warm: frontend cache hit
+//! assert_eq!(first.get("report"), again.get("report"));
+//! client.shutdown()?;
+//! println!("{}", handle.wait()); // metrics summary
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod admission;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, AdmissionError};
+pub use client::Client;
+pub use json::Value;
+pub use metrics::{Histogram, ServiceMetrics};
+pub use protocol::Request;
+pub use server::{Server, ServerHandle, ServiceConfig};

@@ -1,0 +1,225 @@
+//! Metrics registry: atomic counters plus fixed-bucket latency
+//! histograms.
+//!
+//! Everything here is lock-free on the hot path (relaxed atomics —
+//! counters tolerate torn reads across fields, a snapshot is advisory)
+//! and sampled on demand by the `stats` protocol request. The same
+//! snapshot is logged when the daemon shuts down.
+
+use crate::json::{n, obj, Value};
+use pallas_core::{EngineStats, Stage, StageTiming};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in microseconds. The last implicit
+/// bucket is `+inf`. Spans 50µs (a warm cache hit over the socket) to
+/// 1s (a path-explosion outlier).
+pub const BUCKET_BOUNDS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000];
+
+/// A fixed-bucket latency histogram with total count and sum.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// One count per bound in [`BUCKET_BOUNDS_US`], plus the
+    /// overflow bucket at the end.
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Snapshot as a JSON object: bounds, per-bucket counts, count, sum.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("bounds_us", Value::Arr(BUCKET_BOUNDS_US.iter().map(|&b| n(b)).collect())),
+            (
+                "counts",
+                Value::Arr(self.counts.iter().map(|c| n(c.load(Ordering::Relaxed))).collect()),
+            ),
+            ("count", n(self.count())),
+            ("sum_us", n(self.sum_us.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+/// The daemon's counters and histograms.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests read off a connection (any op).
+    pub received: AtomicU64,
+    /// Check/batch requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Check/batch requests rejected because the queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Requests that hit the per-request wall-clock timeout.
+    pub timed_out: AtomicU64,
+    /// Units whose analysis returned an error.
+    pub failed: AtomicU64,
+    /// Units analyzed successfully.
+    pub completed: AtomicU64,
+    /// Malformed request lines.
+    pub protocol_errors: AtomicU64,
+    /// End-to-end request latency (admission + analysis).
+    pub request_latency: Histogram,
+    /// Per-pipeline-stage latency, in [`Stage::ALL`] order, fed from
+    /// each analyzed unit's stage timings (cached stages record 0).
+    pub stage_latency: [Histogram; 5],
+}
+
+impl ServiceMetrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed unit's stage timings.
+    pub fn record_stages(&self, timings: &[StageTiming]) {
+        for t in timings {
+            self.stage_latency[t.stage as usize].record(t.elapsed);
+        }
+    }
+
+    /// Snapshot of the full registry (service counters, latency
+    /// histograms, and the shared engine's counters) as JSON.
+    pub fn to_json(&self, engine: &EngineStats, queue_depth: usize, workers: usize) -> Value {
+        let load = |c: &AtomicU64| n(c.load(Ordering::Relaxed));
+        let stage_latency: Vec<(String, Value)> = Stage::ALL
+            .iter()
+            .map(|&stage| (stage.name().to_string(), self.stage_latency[stage as usize].to_json()))
+            .collect();
+        obj(vec![
+            (
+                "service",
+                obj(vec![
+                    ("received", load(&self.received)),
+                    ("accepted", load(&self.accepted)),
+                    ("completed", load(&self.completed)),
+                    ("failed", load(&self.failed)),
+                    ("rejected_overload", load(&self.rejected_overload)),
+                    ("timed_out", load(&self.timed_out)),
+                    ("protocol_errors", load(&self.protocol_errors)),
+                    ("queue_depth", n(queue_depth as u64)),
+                    ("workers", n(workers as u64)),
+                ]),
+            ),
+            (
+                "engine",
+                obj(vec![
+                    ("units_checked", n(engine.units_checked)),
+                    ("cache_hits", n(engine.cache_hits)),
+                    ("cache_misses", n(engine.cache_misses)),
+                    ("cache_evictions", n(engine.cache_evictions)),
+                    ("cached_frontends", n(engine.cached_frontends)),
+                    ("cache_capacity", n(engine.cache_capacity)),
+                    (
+                        "stage_runs",
+                        obj(Stage::ALL
+                            .iter()
+                            .map(|&stage| {
+                                (stage.name(), n(engine.stage_runs(stage)))
+                            })
+                            .collect()),
+                    ),
+                    (
+                        "stage_nanos",
+                        obj(Stage::ALL
+                            .iter()
+                            .map(|&stage| {
+                                (stage.name(), n(engine.stage_total(stage).as_nanos() as u64))
+                            })
+                            .collect()),
+                    ),
+                ]),
+            ),
+            ("request_latency", self.request_latency.to_json()),
+            ("stage_latency", Value::Obj(stage_latency)),
+        ])
+    }
+
+    /// A short human-readable summary, logged on shutdown.
+    pub fn render_summary(&self, engine: &EngineStats) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "served {} request(s): {} completed, {} failed, {} overloaded, {} timed out \
+             (mean latency {}µs); engine: {} hit(s) / {} miss(es) / {} eviction(s), \
+             {}/{} frontend(s) resident\n",
+            load(&self.received),
+            load(&self.completed),
+            load(&self.failed),
+            load(&self.rejected_overload),
+            load(&self.timed_out),
+            self.request_latency.mean_us(),
+            engine.cache_hits,
+            engine.cache_misses,
+            engine.cache_evictions,
+            engine.cached_frontends,
+            engine.cache_capacity,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(10)); // bucket 0 (≤50µs)
+        h.record(Duration::from_micros(50)); // bucket 0 (inclusive bound)
+        h.record(Duration::from_micros(700)); // ≤1000µs bucket
+        h.record(Duration::from_secs(5)); // overflow
+        assert_eq!(h.count(), 4);
+        let snap = h.to_json();
+        let counts = snap.get("counts").and_then(Value::as_arr).unwrap();
+        assert_eq!(counts.len(), BUCKET_BOUNDS_US.len() + 1);
+        assert_eq!(counts[0].as_u64(), Some(2));
+        assert_eq!(counts[4].as_u64(), Some(1));
+        assert_eq!(counts.last().unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn mean_is_zero_when_empty() {
+        assert_eq!(Histogram::default().mean_us(), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_has_service_and_engine_sections() {
+        let metrics = ServiceMetrics::default();
+        ServiceMetrics::bump(&metrics.received);
+        ServiceMetrics::bump(&metrics.completed);
+        metrics.request_latency.record(Duration::from_millis(2));
+        let engine = EngineStats { cache_hits: 3, ..EngineStats::default() };
+        let snap = metrics.to_json(&engine, 8, 2);
+        let service = snap.get("service").unwrap();
+        assert_eq!(service.get("received").and_then(Value::as_u64), Some(1));
+        assert_eq!(service.get("workers").and_then(Value::as_u64), Some(2));
+        let engine_section = snap.get("engine").unwrap();
+        assert_eq!(engine_section.get("cache_hits").and_then(Value::as_u64), Some(3));
+        assert!(snap.get("stage_latency").unwrap().get("extract").is_some());
+        // The snapshot renders to a single protocol-safe line.
+        assert!(!snap.to_string().contains('\n'));
+    }
+}

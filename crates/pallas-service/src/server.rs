@@ -1,0 +1,384 @@
+//! The analysis daemon.
+//!
+//! [`Server::start`] binds a Unix-domain socket and spins up three
+//! kinds of threads around one shared [`Engine`]:
+//!
+//! * an **accept loop** that hands each connection to its own thread;
+//! * **connection threads** that read newline-delimited JSON requests,
+//!   push check/batch work through the [`Admission`] queue, and
+//!   enforce the per-request wall-clock timeout around the engine
+//!   call (a request that blows the budget gets a `timeout` error and
+//!   its job is flagged cancelled so an unstarted copy is skipped);
+//! * a **worker pool** that executes admitted jobs. A `batch` job
+//!   fans its units out through the engine's work-stealing scheduler
+//!   (`check_many_jobs`), so one request can still use every worker.
+//!
+//! Because every worker shares the engine, repeated requests for the
+//! same `(source, spec, config)` hit the bounded frontend cache —
+//! the daemon turns the engine cache from a per-invocation
+//! optimization into a cross-request one. Graceful shutdown (the
+//! `shutdown` request or [`ServerHandle::stop`]) refuses new work,
+//! drains everything already admitted, and returns a metrics summary
+//! for the operator log.
+
+use crate::admission::{Admission, AdmissionError};
+use crate::json::{obj, Value};
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{
+    analysis_error_response, batch_response, check_response, error_response,
+    kinded_error_response, Request,
+};
+use pallas_core::engine::default_jobs;
+use pallas_core::{Engine, EngineConfig, SourceUnit};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads executing admitted jobs (also the fan-out width
+    /// of a `batch` request).
+    pub workers: usize,
+    /// Bound on the pending queue; submissions beyond it are rejected
+    /// with an `overload` error.
+    pub queue_depth: usize,
+    /// Per-request wall-clock budget, enforced around the engine call.
+    pub timeout: Duration,
+    /// Engine configuration (extraction limits + frontend cache bound).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: default_jobs(),
+            queue_depth: 64,
+            timeout: Duration::from_secs(30),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    kind: JobKind,
+    reply: mpsc::Sender<String>,
+    /// Set by the connection thread when its timeout fires; a worker
+    /// seeing the flag before starting skips the job entirely.
+    cancelled: Arc<AtomicBool>,
+}
+
+enum JobKind {
+    Check { unit: SourceUnit, delay: Option<Duration> },
+    Batch { units: Vec<SourceUnit>, delay: Option<Duration> },
+}
+
+/// Everything the connection and worker threads share.
+struct Shared {
+    engine: Engine,
+    metrics: ServiceMetrics,
+    admission: Admission<Job>,
+    shutdown: AtomicBool,
+    config: ServiceConfig,
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `path` (replacing any stale socket file) and starts the
+    /// accept loop and worker pool. Returns immediately; use the
+    /// handle to wait for or trigger shutdown.
+    pub fn start(path: impl AsRef<Path>, config: ServiceConfig) -> std::io::Result<ServerHandle> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            engine: Engine::with_engine_config(config.engine),
+            metrics: ServiceMetrics::default(),
+            admission: Admission::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pallas-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("pallas-accept".into())
+                .spawn(move || accept_loop(listener, &shared, &connections))
+                .expect("spawn accept loop")
+        };
+        Ok(ServerHandle { path, shared, accept: Some(accept), workers, connections })
+    }
+}
+
+/// A running daemon. Dropping the handle requests shutdown without
+/// waiting; call [`stop`](ServerHandle::stop) or
+/// [`wait`](ServerHandle::wait) to drain and join cleanly.
+pub struct ServerHandle {
+    path: PathBuf,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The socket path the daemon is serving on.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared engine (tests and benches inspect its cache stats).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Blocks until a `shutdown` request arrives, then drains and
+    /// joins everything. Returns the metrics summary for logging.
+    pub fn wait(mut self) -> String {
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.finish()
+    }
+
+    /// Triggers shutdown programmatically, drains, and joins.
+    /// Returns the metrics summary for logging.
+    pub fn stop(mut self) -> String {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.finish()
+    }
+
+    fn finish(&mut self) -> String {
+        // Order matters: stop accepting, let connection threads flush
+        // their final responses, then drain the worker queue.
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for conn in connections {
+            let _ = conn.join();
+        }
+        self.shared.admission.shutdown();
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        self.shared.metrics.render_summary(&self.shared.engine.stats())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.admission.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: UnixListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("pallas-conn".into())
+                    .spawn(move || connection_loop(stream, &shared))
+                    .expect("spawn connection thread");
+                connections.lock().expect("connection list").push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn connection_loop(stream: UnixStream, shared: &Arc<Shared>) {
+    // Blocking reads with a short timeout so the thread notices
+    // daemon shutdown even while a client keeps the connection open.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                let (response, is_shutdown) = if trimmed.is_empty() {
+                    (None, false)
+                } else {
+                    let (r, s) = handle_request(shared, trimmed);
+                    (Some(r), s)
+                };
+                line.clear();
+                if let Some(response) = response {
+                    if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+                        break;
+                    }
+                }
+                if is_shutdown {
+                    break;
+                }
+            }
+            // Read timeout tick: `line` keeps any partial data; poll
+            // the shutdown flag and retry.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Processes one request line; returns the response line and whether
+/// this request asked the daemon to shut down.
+fn handle_request(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    ServiceMetrics::bump(&shared.metrics.received);
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            ServiceMetrics::bump(&shared.metrics.protocol_errors);
+            return (error_response(&message), false);
+        }
+    };
+    match request {
+        Request::Stats => {
+            let snapshot = shared.metrics.to_json(
+                &shared.engine.stats(),
+                shared.admission.depth(),
+                shared.config.workers,
+            );
+            (obj(vec![("ok", Value::Bool(true)), ("stats", snapshot)]).to_string(), false)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            (obj(vec![("ok", Value::Bool(true)), ("shutdown", Value::Bool(true))]).to_string(), true)
+        }
+        Request::Check { unit, delay } => {
+            (submit_and_wait(shared, JobKind::Check { unit, delay }), false)
+        }
+        Request::Batch { units, delay } => {
+            (submit_and_wait(shared, JobKind::Batch { units, delay }), false)
+        }
+    }
+}
+
+/// Admits one job and waits for its response under the configured
+/// wall-clock timeout.
+fn submit_and_wait(shared: &Arc<Shared>, kind: JobKind) -> String {
+    let started = Instant::now();
+    let (reply, response) = mpsc::channel();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let job = Job { kind, reply, cancelled: Arc::clone(&cancelled) };
+    match shared.admission.submit(job) {
+        Err(AdmissionError::Overloaded { depth }) => {
+            ServiceMetrics::bump(&shared.metrics.rejected_overload);
+            kinded_error_response(
+                "overload",
+                &format!("overloaded: pending queue is full ({depth} deep); retry later"),
+            )
+        }
+        Err(AdmissionError::ShuttingDown) => error_response("daemon is shutting down"),
+        Ok(()) => match response.recv_timeout(shared.config.timeout) {
+            Ok(line) => {
+                shared.metrics.request_latency.record(started.elapsed());
+                line
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                cancelled.store(true, Ordering::Relaxed);
+                ServiceMetrics::bump(&shared.metrics.timed_out);
+                kinded_error_response(
+                    "timeout",
+                    &format!("request exceeded {}ms budget", shared.config.timeout.as_millis()),
+                )
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                error_response("internal: worker dropped the request")
+            }
+        },
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.admission.next() {
+        if job.cancelled.load(Ordering::Relaxed) {
+            // The connection already answered with a timeout error;
+            // don't burn engine time on a response nobody reads.
+            continue;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job.kind)));
+        let line = outcome
+            .unwrap_or_else(|_| error_response("internal: analysis worker panicked"));
+        // The receiver may be gone (timeout); that is fine.
+        let _ = job.reply.send(line);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, kind: &JobKind) -> String {
+    match kind {
+        JobKind::Check { unit, delay } => {
+            if let Some(d) = delay {
+                std::thread::sleep(*d);
+            }
+            match shared.engine.check_unit(unit) {
+                Ok(analyzed) => {
+                    ServiceMetrics::bump(&shared.metrics.completed);
+                    shared.metrics.record_stages(&analyzed.stage_timings);
+                    check_response(&analyzed)
+                }
+                Err(err) => {
+                    ServiceMetrics::bump(&shared.metrics.failed);
+                    analysis_error_response(&err)
+                }
+            }
+        }
+        JobKind::Batch { units, delay } => {
+            if let Some(d) = delay {
+                std::thread::sleep(*d);
+            }
+            let results = shared.engine.check_many_jobs(units, shared.config.workers.max(1));
+            for result in &results {
+                match result {
+                    Ok(analyzed) => {
+                        ServiceMetrics::bump(&shared.metrics.completed);
+                        shared.metrics.record_stages(&analyzed.stage_timings);
+                    }
+                    Err(_) => ServiceMetrics::bump(&shared.metrics.failed),
+                }
+            }
+            batch_response(&results)
+        }
+    }
+}

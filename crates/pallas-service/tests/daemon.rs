@@ -1,0 +1,284 @@
+//! End-to-end tests: a real daemon on a temp socket, driven through
+//! real Unix-stream clients.
+
+use pallas_core::{render_ndjson, render_unit_report, EngineConfig, Pallas, SourceUnit};
+use pallas_service::{Client, Server, ServiceConfig, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A unique socket path per test (parallel test threads must not
+/// collide, and UDS paths must stay short).
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pallas-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+fn demo_unit(i: usize) -> SourceUnit {
+    SourceUnit::new(format!("mm/demo{i}"))
+        .with_file("demo.h", "typedef unsigned int gfp_t;\nint noio(gfp_t m);\n")
+        .with_file(
+            "demo.c",
+            format!(
+                "int alloc_fast{i}(gfp_t gfp_mask) {{\n  gfp_mask = noio(gfp_mask);\n  return 0;\n}}\n"
+            ),
+        )
+        .with_spec(format!("fastpath alloc_fast{i}; immutable gfp_mask;"))
+}
+
+fn ok(v: &Value) -> bool {
+    v.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+fn stat(v: &Value, section: &str, field: &str) -> u64 {
+    v.get("stats")
+        .and_then(|s| s.get(section))
+        .and_then(|s| s.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing stats.{section}.{field} in {v}"))
+}
+
+#[test]
+fn warm_requests_hit_the_shared_cache_and_match_one_shot_output() {
+    let path = socket_path("warm");
+    let handle = Server::start(&path, ServiceConfig::default()).unwrap();
+    let unit = demo_unit(0);
+    // What the one-shot CLI path produces for this unit.
+    let one_shot = Pallas::new().check_unit(&unit).unwrap();
+    let expected_report = render_unit_report(&one_shot);
+    let expected_ndjson = render_ndjson(&one_shot);
+
+    let mut client = Client::connect(&path).unwrap();
+    let cold = client.check(&unit).unwrap();
+    assert!(ok(&cold), "{cold}");
+    assert_eq!(cold.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(cold.get("report").and_then(Value::as_str), Some(expected_report.as_str()));
+    assert_eq!(cold.get("ndjson").and_then(Value::as_str), Some(expected_ndjson.as_str()));
+
+    // Second wave, new connection: same engine, warm cache.
+    let mut second = Client::connect(&path).unwrap();
+    let warm = second.check(&unit).unwrap();
+    assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(warm.get("report"), cold.get("report"), "warm report must be byte-identical");
+    assert_eq!(warm.get("ndjson"), cold.get("ndjson"));
+
+    let stats = second.stats().unwrap();
+    assert!(ok(&stats), "{stats}");
+    assert!(stat(&stats, "engine", "cache_hits") > 0, "{stats}");
+    assert_eq!(stat(&stats, "service", "completed"), 2);
+    assert!(stat(&stats, "request_latency", "count") >= 2);
+
+    assert!(ok(&second.shutdown().unwrap()));
+    let summary = handle.wait();
+    assert!(summary.contains("hit(s)"), "{summary}");
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_ordered_responses() {
+    let path = socket_path("conc");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { workers: 4, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let threads: Vec<_> = (0..6)
+        .map(|i| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).unwrap();
+                // Each client issues two rounds over its own units.
+                for _round in 0..2 {
+                    for j in 0..3 {
+                        let unit = demo_unit(i * 10 + j);
+                        let response = client.check(&unit).unwrap();
+                        assert!(ok(&response), "{response}");
+                        assert_eq!(
+                            response.get("unit").and_then(Value::as_str),
+                            Some(unit.name.as_str()),
+                            "responses must pair with their requests in order"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = handle.engine().stats();
+    assert_eq!(stats.units_checked, 36);
+    assert_eq!(stats.cache_misses, 18, "18 distinct units");
+    assert_eq!(stats.cache_hits, 18, "second round fully cached");
+    handle.stop();
+}
+
+#[test]
+fn batch_requests_flow_through_the_work_stealing_pool() {
+    let path = socket_path("batch");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { workers: 3, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let units: Vec<SourceUnit> = (0..8).map(demo_unit).collect();
+    let mut client = Client::connect(&path).unwrap();
+    let response = client.batch(&units).unwrap();
+    assert!(ok(&response), "{response}");
+    let results = response.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 8);
+    for (i, item) in results.iter().enumerate() {
+        assert_eq!(
+            item.get("unit").and_then(Value::as_str),
+            Some(units[i].name.as_str()),
+            "batch results preserve request order"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn over_queue_depth_burst_gets_explicit_overload_rejections() {
+    let path = socket_path("load");
+    // One worker, queue of one: a burst of slow requests must shed
+    // load instead of hanging.
+    let handle = Server::start(
+        &path,
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            timeout: Duration::from_secs(10),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let burst = 6;
+    let threads: Vec<_> = (0..burst)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).unwrap();
+                client.check_delayed(&demo_unit(0), Duration::from_millis(300)).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<Value> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let overloaded = responses
+        .iter()
+        .filter(|r| r.get("kind").and_then(Value::as_str) == Some("overload"))
+        .count();
+    let succeeded = responses.iter().filter(|r| ok(r)).count();
+    assert!(succeeded >= 1, "at least the running request completes: {responses:?}");
+    assert!(overloaded >= 1, "the burst must overflow the 1-deep queue: {responses:?}");
+    assert_eq!(succeeded + overloaded, burst, "every request got an explicit answer");
+    for r in &responses {
+        if !ok(r) {
+            let msg = r.get("error").and_then(Value::as_str).unwrap();
+            assert!(msg.contains("overloaded"), "{msg}");
+        }
+    }
+    let mut client = Client::connect(&path).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "rejected_overload") as usize, overloaded);
+    handle.stop();
+}
+
+#[test]
+fn timed_out_request_errors_while_daemon_keeps_serving() {
+    let path = socket_path("timeout");
+    let handle = Server::start(
+        &path,
+        ServiceConfig {
+            workers: 1,
+            timeout: Duration::from_millis(100),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    // Deliberately slow: stalls well past the 100ms budget.
+    let slow = client.check_delayed(&demo_unit(0), Duration::from_millis(600)).unwrap();
+    assert_eq!(slow.get("ok").and_then(Value::as_bool), Some(false), "{slow}");
+    assert_eq!(slow.get("kind").and_then(Value::as_str), Some("timeout"), "{slow}");
+    assert!(
+        slow.get("error").and_then(Value::as_str).unwrap().contains("100ms"),
+        "{slow}"
+    );
+    // The engine call itself cannot be interrupted, so the lone
+    // worker stays busy until the stalled job finishes; once it
+    // drains, the daemon serves the next request normally.
+    std::thread::sleep(Duration::from_millis(600));
+    let fine = client.check(&demo_unit(1)).unwrap();
+    assert!(ok(&fine), "{fine}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "timed_out"), 1);
+    handle.stop();
+}
+
+#[test]
+fn bounded_cache_keeps_daemon_memory_flat_across_many_distinct_units() {
+    let path = socket_path("bound");
+    let capacity = 8;
+    let handle = Server::start(
+        &path,
+        ServiceConfig {
+            engine: EngineConfig { cache_capacity: capacity, ..EngineConfig::default() },
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    for i in 0..capacity * 3 {
+        assert!(ok(&client.check(&demo_unit(i)).unwrap()));
+        assert!(handle.engine().cached_frontends() <= capacity);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "engine", "cached_frontends"), capacity as u64);
+    assert_eq!(stat(&stats, "engine", "cache_evictions"), (capacity * 2) as u64);
+    handle.stop();
+}
+
+#[test]
+fn malformed_and_failing_requests_answer_without_killing_the_connection() {
+    let path = socket_path("err");
+    let handle = Server::start(&path, ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(&path).unwrap();
+
+    let garbage = client.request_line("this is not json").unwrap();
+    assert!(garbage.contains("\"ok\":false"), "{garbage}");
+    assert!(garbage.contains("malformed request"), "{garbage}");
+
+    let unknown = client.request_line(r#"{"op":"teleport"}"#).unwrap();
+    assert!(unknown.contains("unknown op"), "{unknown}");
+
+    // A unit whose source fails to parse: an analysis error, not a
+    // dead daemon.
+    let bad = SourceUnit::new("bad").with_file("b.c", "int f( {").with_spec("");
+    let response = client.check(&bad).unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(response.get("kind").and_then(Value::as_str), Some("analysis"));
+
+    // Connection still works afterwards.
+    assert!(ok(&client.check(&demo_unit(0)).unwrap()));
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "protocol_errors"), 2);
+    assert_eq!(stat(&stats, "service", "failed"), 1);
+    handle.stop();
+}
+
+#[test]
+fn shutdown_request_drains_and_wait_returns_summary() {
+    let path = socket_path("drain");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { workers: 2, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    assert!(ok(&client.check(&demo_unit(0)).unwrap()));
+    assert!(ok(&client.shutdown().unwrap()));
+    let summary = handle.wait();
+    assert!(summary.contains("served"), "{summary}");
+    assert!(!path.exists(), "socket file removed on shutdown");
+    // New connections are refused after shutdown.
+    assert!(Client::connect(&path).is_err());
+}

@@ -16,4 +16,33 @@ cargo test --workspace -q
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 
+echo "== daemon smoke test =="
+cargo build --release -p pallas-cli
+PALLAS_BIN=target/release/pallas
+SOCK="$(mktemp -u /tmp/pallas-ci-XXXXXX.sock)"
+SMOKE_DIR="$(mktemp -d /tmp/pallas-ci-smoke-XXXXXX)"
+trap 'rm -rf "$SMOKE_DIR" "$SOCK"' EXIT
+cat > "$SMOKE_DIR/smoke.c" <<'EOF'
+typedef unsigned int gfp_t;
+int noio(gfp_t m);
+int alloc_fast(gfp_t gfp_mask) {
+  gfp_mask = noio(gfp_mask);
+  return 0;
+}
+EOF
+echo "fastpath alloc_fast; immutable gfp_mask;" > "$SMOKE_DIR/smoke.pallas"
+"$PALLAS_BIN" serve "$SOCK" --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "ci: daemon never bound $SOCK" >&2; exit 1; }
+"$PALLAS_BIN" client "$SOCK" check "$SMOKE_DIR/smoke.c" | grep -q "Rule 1.2"
+"$PALLAS_BIN" client "$SOCK" check "$SMOKE_DIR/smoke.c" --json | grep -q '"type":"finding"'
+"$PALLAS_BIN" client "$SOCK" stats | grep -q '"cache_hits":1'
+"$PALLAS_BIN" client "$SOCK" shutdown | grep -q '"shutdown":true'
+wait "$SERVE_PID"
+echo "daemon smoke test: ok"
+
 echo "ci: all green"

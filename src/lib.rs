@@ -13,6 +13,7 @@
 //! * [`diff`] — fast-path vs slow-path comparison.
 //! * [`corpus`] — the miniature evaluation corpus with ground truth.
 //! * [`study`] — the fast-path patch characterization study.
+//! * [`service`] — the persistent analysis daemon and its client.
 
 pub use pallas_cfg as cfg;
 pub use pallas_checkers as checkers;
@@ -20,6 +21,7 @@ pub use pallas_core as core;
 pub use pallas_corpus as corpus;
 pub use pallas_diff as diff;
 pub use pallas_lang as lang;
+pub use pallas_service as service;
 pub use pallas_spec as spec;
 pub use pallas_study as study;
 pub use pallas_sym as sym;
