@@ -73,11 +73,19 @@ pub struct PathConfig {
     pub max_visits: usize,
     /// Maximum path length in blocks.
     pub max_len: usize,
+    /// Total budget of blocks the walk may visit across *all* prefixes,
+    /// complete or not. `max_paths` only counts completed paths, so on
+    /// a deeply nested function whose prefixes mostly die at the visit
+    /// or length caps the walk would otherwise explore an exponential
+    /// tree of doomed prefixes without ever producing a path (found by
+    /// the fuzzer at depth 5: a ~400-line generated function hung the
+    /// enumeration). Exceeding the budget marks the set truncated.
+    pub max_steps: usize,
 }
 
 impl Default for PathConfig {
     fn default() -> Self {
-        PathConfig { max_paths: 4096, max_visits: 2, max_len: 512 }
+        PathConfig { max_paths: 4096, max_visits: 2, max_len: 512, max_steps: 500_000 }
     }
 }
 
@@ -94,77 +102,86 @@ pub struct PathSet {
 /// Enumerates entry-to-return paths under the given limits.
 pub fn enumerate_paths(cfg: &Cfg, config: &PathConfig) -> PathSet {
     let mut out = PathSet { paths: Vec::new(), truncated: false };
-    let mut visits = vec![0usize; cfg.block_count()];
-    let mut blocks = Vec::new();
-    let mut decisions = Vec::new();
-    walk(cfg, config, cfg.entry, &mut visits, &mut blocks, &mut decisions, &mut out);
+    let mut state = Walk {
+        visits: vec![0usize; cfg.block_count()],
+        blocks: Vec::new(),
+        decisions: Vec::new(),
+        steps: 0,
+    };
+    walk(cfg, config, cfg.entry, &mut state, &mut out);
     out
 }
 
-fn walk(
-    cfg: &Cfg,
-    config: &PathConfig,
-    bb: BlockId,
-    visits: &mut Vec<usize>,
-    blocks: &mut Vec<BlockId>,
-    decisions: &mut Vec<Decision>,
-    out: &mut PathSet,
-) {
+/// Mutable DFS state threaded through [`walk`].
+struct Walk {
+    visits: Vec<usize>,
+    blocks: Vec<BlockId>,
+    decisions: Vec<Decision>,
+    steps: usize,
+}
+
+fn walk(cfg: &Cfg, config: &PathConfig, bb: BlockId, st: &mut Walk, out: &mut PathSet) {
     if out.paths.len() >= config.max_paths {
         out.truncated = true;
         return;
     }
-    if visits[bb.0 as usize] >= config.max_visits {
+    if st.steps >= config.max_steps {
         out.truncated = true;
         return;
     }
-    if blocks.len() >= config.max_len {
+    st.steps += 1;
+    if st.visits[bb.0 as usize] >= config.max_visits {
         out.truncated = true;
         return;
     }
-    visits[bb.0 as usize] += 1;
-    blocks.push(bb);
+    if st.blocks.len() >= config.max_len {
+        out.truncated = true;
+        return;
+    }
+    st.visits[bb.0 as usize] += 1;
+    st.blocks.push(bb);
 
     match &cfg.block(bb).term {
         Terminator::Return(ret) => {
             out.paths.push(CfgPath {
-                blocks: blocks.clone(),
-                decisions: decisions.clone(),
+                blocks: st.blocks.clone(),
+                decisions: st.decisions.clone(),
                 ret: *ret,
             });
         }
         Terminator::Jump(t) => {
-            walk(cfg, config, *t, visits, blocks, decisions, out);
+            walk(cfg, config, *t, st, out);
         }
         Terminator::Branch { cond, then_bb, else_bb } => {
-            decisions.push(Decision::Branch { cond: *cond, taken: true, block: bb });
-            walk(cfg, config, *then_bb, visits, blocks, decisions, out);
-            decisions.pop();
-            decisions.push(Decision::Branch { cond: *cond, taken: false, block: bb });
-            walk(cfg, config, *else_bb, visits, blocks, decisions, out);
-            decisions.pop();
+            let (cond, then_bb, else_bb) = (*cond, *then_bb, *else_bb);
+            st.decisions.push(Decision::Branch { cond, taken: true, block: bb });
+            walk(cfg, config, then_bb, st, out);
+            st.decisions.pop();
+            st.decisions.push(Decision::Branch { cond, taken: false, block: bb });
+            walk(cfg, config, else_bb, st, out);
+            st.decisions.pop();
         }
         Terminator::Switch { scrutinee, cases, default } => {
             for &(value, target) in cases {
-                decisions.push(Decision::Switch {
+                st.decisions.push(Decision::Switch {
                     scrutinee: *scrutinee,
                     case: Some(value),
                     block: bb,
                 });
-                walk(cfg, config, target, visits, blocks, decisions, out);
-                decisions.pop();
+                walk(cfg, config, target, st, out);
+                st.decisions.pop();
             }
-            decisions.push(Decision::Switch { scrutinee: *scrutinee, case: None, block: bb });
-            walk(cfg, config, *default, visits, blocks, decisions, out);
-            decisions.pop();
+            st.decisions.push(Decision::Switch { scrutinee: *scrutinee, case: None, block: bb });
+            walk(cfg, config, *default, st, out);
+            st.decisions.pop();
         }
         Terminator::Unreachable => {
             // Dead end: not a completed path; drop silently.
         }
     }
 
-    blocks.pop();
-    visits[bb.0 as usize] -= 1;
+    st.blocks.pop();
+    st.visits[bb.0 as usize] -= 1;
 }
 
 #[cfg(test)]
@@ -278,6 +295,31 @@ mod tests {
         let d = &ps.paths[0].decisions[0];
         assert_eq!(d.block(), BlockId(0));
         let _ = d.condition();
+    }
+
+    #[test]
+    fn step_budget_bounds_doomed_prefix_exploration() {
+        // A loop over a long chain of branches: almost every prefix
+        // dies at the visit cap instead of completing, so max_paths
+        // alone never triggers and the walk visits an exponential
+        // number of prefixes. The step budget must cut it off.
+        let mut body = String::new();
+        for i in 0..24 {
+            body.push_str(&format!("if (x == {i}) r += 1;\n"));
+        }
+        let src = format!(
+            "int f(int x) {{ int r = 0; while (x) {{ {body} x--; }} return r; }}"
+        );
+        let ast = parse(&src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let ps = enumerate_paths(
+            &cfg,
+            &PathConfig { max_paths: 1_000_000, max_steps: 10_000, ..PathConfig::default() },
+        );
+        assert!(ps.truncated, "budget exhaustion must be reported");
+        // The walk stopped: without the budget this enumeration visits
+        // on the order of 2^24 prefixes per unrolling.
     }
 
     #[test]

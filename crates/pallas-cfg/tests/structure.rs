@@ -196,3 +196,44 @@ fn infinite_loop_yields_no_complete_path() {
     // may take it, but the body-only cycle is truncated.
     assert!(ps.truncated || !ps.paths.is_empty());
 }
+
+#[test]
+fn goto_only_body_builds_and_enumerates_without_hanging() {
+    let cfg = cfg_of("int spin(void) { loop: goto loop; }");
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert!(ps.paths.is_empty(), "no return is ever reached");
+    assert!(ps.truncated, "the cycle is cut by the visit cap");
+}
+
+#[test]
+fn unreachable_statements_before_first_case() {
+    let cfg = cfg_of(
+        "int sw(int x) {\n\
+           switch (x) {\n\
+             x = 9;\n\
+             case 0: return 1;\n\
+             default: return 0;\n\
+           }\n\
+         }",
+    );
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert_eq!(ps.paths.len(), 2, "one per reachable arm");
+    // The pre-case statement's block is never on a completed path.
+    for p in &ps.paths {
+        assert!(p.ret.is_some());
+    }
+}
+
+#[test]
+fn unreachable_code_after_return_does_not_add_paths() {
+    let cfg = cfg_of(
+        "int tail(int x) {\n\
+           return x;\n\
+           x = 1;\n\
+         out:\n\
+           return 0;\n\
+         }",
+    );
+    let ps = enumerate_paths(&cfg, &PathConfig::default());
+    assert_eq!(ps.paths.len(), 1);
+}

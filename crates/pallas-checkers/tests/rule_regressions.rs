@@ -1,0 +1,465 @@
+//! One positive (warning fires) and one negative (clean) regression
+//! unit for each of the twelve rules, run through `run_all` so the
+//! full family dispatch is covered, not just the individual checker.
+//!
+//! The scenarios deliberately differ from the inline unit tests in
+//! each checker module: those pin the paper figures; these pin small
+//! kernel-flavored shapes the fuzzer's generator also produces, so a
+//! behavior change surfaces in both places.
+
+use pallas_checkers::{run_all, CheckContext, Rule, Warning};
+use pallas_lang::parse;
+use pallas_spec::{FastPathSpec, RetValue};
+use pallas_sym::{extract, ExtractConfig};
+
+fn check(src: &str, spec: &FastPathSpec) -> Vec<Warning> {
+    let ast = parse(src).expect("regression source parses");
+    let db = extract("regress", &ast, src, &ExtractConfig::default());
+    run_all(&CheckContext { db: &db, spec, ast: &ast })
+}
+
+fn fires(ws: &[Warning], rule: Rule) -> bool {
+    ws.iter().any(|w| w.rule == rule)
+}
+
+fn silent(ws: &[Warning], rule: Rule) -> bool {
+    ws.iter().all(|w| w.rule != rule)
+}
+
+// ---- 1.1 ImmutableInit ------------------------------------------------------
+
+#[test]
+fn rule_1_1_positive_uninitialized_immutable_local() {
+    let src = "\
+int consume(int f);
+int xmit_fast(void) {
+  int flags;
+  int r = consume(flags);
+  return r;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("xmit_fast").with_immutable("flags");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::ImmutableInit), "{ws:#?}");
+}
+
+#[test]
+fn rule_1_1_negative_initialized_before_use() {
+    let src = "\
+int consume(int f);
+int xmit_fast(int mode) {
+  int flags = mode & 3;
+  return consume(flags);
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("xmit_fast").with_immutable("flags");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::ImmutableInit), "{ws:#?}");
+}
+
+// ---- 1.2 ImmutableOverwrite -------------------------------------------------
+
+#[test]
+fn rule_1_2_positive_compound_assign_to_immutable() {
+    let src = "\
+typedef unsigned int gfp_t;
+int queue_fast(gfp_t gfp_mask, int budget) {
+  gfp_mask |= 4;
+  return budget;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("queue_fast").with_immutable("gfp_mask");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::ImmutableOverwrite), "{ws:#?}");
+}
+
+#[test]
+fn rule_1_2_negative_immutable_only_read() {
+    let src = "\
+typedef unsigned int gfp_t;
+int queue_fast(gfp_t gfp_mask, int budget) {
+  if (gfp_mask & 4)
+    return budget;
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("queue_fast").with_immutable("gfp_mask");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::ImmutableOverwrite), "{ws:#?}");
+}
+
+// ---- 1.3 Correlated ---------------------------------------------------------
+
+#[test]
+fn rule_1_3_positive_partner_state_ignored() {
+    let src = "\
+int select_zone(int z);
+int alloc_fast(int zone, int nodemask) {
+  return select_zone(zone);
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("alloc_fast").with_correlated("zone", "nodemask");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::Correlated), "{ws:#?}");
+}
+
+#[test]
+fn rule_1_3_negative_pair_used_together() {
+    let src = "\
+int select_zone(int z, int m);
+int alloc_fast(int zone, int nodemask) {
+  if (nodemask)
+    return select_zone(zone, nodemask);
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("alloc_fast").with_correlated("zone", "nodemask");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::Correlated), "{ws:#?}");
+}
+
+// ---- 2.1 CondMissing --------------------------------------------------------
+
+#[test]
+fn rule_2_1_positive_trigger_never_consulted() {
+    let src = "\
+int commit_fast(int seq, int dirty) {
+  return seq + 1;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("commit_fast").with_cond("dirty", &["dirty"]);
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::CondMissing), "{ws:#?}");
+}
+
+#[test]
+fn rule_2_1_negative_trigger_guarded() {
+    let src = "\
+int commit_slow(int s);
+int commit_fast(int seq, int dirty) {
+  if (dirty)
+    return commit_slow(seq);
+  return seq + 1;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("commit_fast").with_cond("dirty", &["dirty"]);
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::CondMissing), "{ws:#?}");
+}
+
+// ---- 2.2 CondIncomplete -----------------------------------------------------
+
+#[test]
+fn rule_2_2_positive_one_of_two_vars_checked() {
+    let src = "\
+struct rxq { int len; int flow_cnt; };
+int steer_fast(struct rxq *q) {
+  if (q->len == 1)
+    return 1;
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("steer_fast").with_cond("rps", &["len", "flow_cnt"]);
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::CondIncomplete), "{ws:#?}");
+}
+
+#[test]
+fn rule_2_2_negative_both_vars_checked() {
+    let src = "\
+struct rxq { int len; int flow_cnt; };
+int steer_fast(struct rxq *q) {
+  if (q->len == 1 && !q->flow_cnt)
+    return 1;
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("steer_fast").with_cond("rps", &["len", "flow_cnt"]);
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::CondIncomplete), "{ws:#?}");
+}
+
+// ---- 2.3 CondOrder ----------------------------------------------------------
+
+#[test]
+fn rule_2_3_positive_checks_swapped() {
+    let src = "\
+int reclaim(void);
+int spill(void);
+int alloc_fast(int low_mem, int remote) {
+  if (low_mem)
+    return reclaim();
+  if (remote)
+    return spill();
+  return 0;
+}";
+    let spec = FastPathSpec::new("r")
+        .with_fastpath("alloc_fast")
+        .with_cond("remote", &["remote"])
+        .with_cond("oom", &["low_mem"])
+        .with_order("remote", "oom");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::CondOrder), "{ws:#?}");
+}
+
+#[test]
+fn rule_2_3_negative_specified_order_respected() {
+    let src = "\
+int reclaim(void);
+int spill(void);
+int alloc_fast(int low_mem, int remote) {
+  if (remote)
+    return spill();
+  if (low_mem)
+    return reclaim();
+  return 0;
+}";
+    let spec = FastPathSpec::new("r")
+        .with_fastpath("alloc_fast")
+        .with_cond("remote", &["remote"])
+        .with_cond("oom", &["low_mem"])
+        .with_order("remote", "oom");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::CondOrder), "{ws:#?}");
+}
+
+// ---- 3.1 OutputDefined ------------------------------------------------------
+
+#[test]
+fn rule_3_1_positive_literal_outside_return_set() {
+    let src = "int poll_fast(int n) { if (n) return 7; return 0; }";
+    let spec = FastPathSpec::new("r")
+        .with_fastpath("poll_fast")
+        .with_return(RetValue::Int(0))
+        .with_return(RetValue::Int(1));
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::OutputDefined), "{ws:#?}");
+}
+
+#[test]
+fn rule_3_1_negative_all_returns_in_set() {
+    let src = "int poll_fast(int n) { if (n) return 1; return 0; }";
+    let spec = FastPathSpec::new("r")
+        .with_fastpath("poll_fast")
+        .with_return(RetValue::Int(0))
+        .with_return(RetValue::Int(1));
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::OutputDefined), "{ws:#?}");
+}
+
+// ---- 3.2 OutputMatchSlow ----------------------------------------------------
+
+#[test]
+fn rule_3_2_positive_fast_returns_value_slow_never_does() {
+    let src = "\
+int recv_slow(int s) { if (s) return -1; return 0; }
+int recv_fast(int s) { if (s) return 2; return 0; }";
+    let spec = FastPathSpec::new("r")
+        .with_fastpath("recv_fast")
+        .with_slowpath("recv_slow")
+        .with_match_slow_return();
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::OutputMatchSlow), "{ws:#?}");
+}
+
+#[test]
+fn rule_3_2_negative_return_sets_agree() {
+    let src = "\
+int recv_slow(int s) { if (s) return -1; return 0; }
+int recv_fast(int s) { if (s) return -1; return 0; }";
+    let spec = FastPathSpec::new("r")
+        .with_fastpath("recv_fast")
+        .with_slowpath("recv_slow")
+        .with_match_slow_return();
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::OutputMatchSlow), "{ws:#?}");
+}
+
+// ---- 3.3 OutputChecked ------------------------------------------------------
+
+#[test]
+fn rule_3_3_positive_caller_drops_return() {
+    let src = "\
+int flush_fast(int n) { if (n) return -5; return 0; }
+int writeback(int n) {
+  flush_fast(n);
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("flush_fast").with_check_return();
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::OutputChecked), "{ws:#?}");
+}
+
+#[test]
+fn rule_3_3_negative_caller_branches_on_return() {
+    let src = "\
+int flush_fast(int n) { if (n) return -5; return 0; }
+int writeback(int n) {
+  int ret = flush_fast(n);
+  if (ret < 0)
+    return ret;
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("flush_fast").with_check_return();
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::OutputChecked), "{ws:#?}");
+}
+
+// ---- 4.1 FaultMissing -------------------------------------------------------
+
+#[test]
+fn rule_4_1_positive_fault_state_never_handled() {
+    let src = "\
+struct req { int timed_out; };
+int complete_fast(struct req *rq, int force) {
+  if (force)
+    return 1;
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("complete_fast").with_fault("timed_out");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::FaultMissing), "{ws:#?}");
+}
+
+#[test]
+fn rule_4_1_negative_fault_guarded_in_flow_control() {
+    let src = "\
+struct req { int timed_out; };
+int abort_req(struct req *rq);
+int complete_fast(struct req *rq, int force) {
+  if (rq->timed_out)
+    return abort_req(rq);
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("complete_fast").with_fault("timed_out");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::FaultMissing), "{ws:#?}");
+}
+
+// ---- 5.1 AssistLayout -------------------------------------------------------
+
+#[test]
+fn rule_5_1_positive_cold_field_in_assist_struct() {
+    let src = "\
+struct dentry { int d_hash; int d_cold; };
+int lookup_fast(struct dentry *d) {
+  return d->d_hash;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("lookup_fast").with_assist_struct("dentry");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::AssistLayout), "{ws:#?}");
+    assert!(ws.iter().any(|w| w.message.contains("d_cold")), "{ws:#?}");
+}
+
+#[test]
+fn rule_5_1_negative_every_field_touched() {
+    let src = "\
+struct dentry { int d_hash; int d_gen; };
+int lookup_fast(struct dentry *d) {
+  if (d->d_gen)
+    return d->d_hash;
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("lookup_fast").with_assist_struct("dentry");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::AssistLayout), "{ws:#?}");
+}
+
+// ---- 5.2 AssistStale --------------------------------------------------------
+
+#[test]
+fn rule_5_2_positive_state_update_without_cache_update() {
+    let src = "\
+int evict_fast(int inode) {
+  inode = 0;
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("evict_fast").with_cache("icache", "inode");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::AssistStale), "{ws:#?}");
+}
+
+#[test]
+fn rule_5_2_negative_cache_refreshed_after_update() {
+    let src = "\
+int icache_drop(int ino);
+int evict_fast(int inode) {
+  inode = 0;
+  icache_drop(inode);
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("evict_fast").with_cache("icache", "inode");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::AssistStale), "{ws:#?}");
+}
+
+// ---- meta -------------------------------------------------------------------
+
+#[test]
+fn every_rule_has_a_positive_case_in_this_file() {
+    // Guard against a rule being added without regression coverage:
+    // the positive scenarios above must collectively exercise all 12.
+    let scenarios: [(&str, FastPathSpec); 12] = [
+        (
+            "int c(int f); int fp(void) { int flags; return c(flags); }",
+            FastPathSpec::new("m").with_fastpath("fp").with_immutable("flags"),
+        ),
+        (
+            "int fp(int m) { m = 1; return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_immutable("m"),
+        ),
+        (
+            "int g(int z); int fp(int z, int n) { return g(z); }",
+            FastPathSpec::new("m").with_fastpath("fp").with_correlated("z", "n"),
+        ),
+        (
+            "int fp(int s, int d) { return s; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_cond("d", &["d"]),
+        ),
+        (
+            "struct q { int a; int b; }; int fp(struct q *q) { if (q->a) return 1; return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_cond("c", &["a", "b"]),
+        ),
+        (
+            "int fp(int a, int b) { if (a) return 1; if (b) return 2; return 0; }",
+            FastPathSpec::new("m")
+                .with_fastpath("fp")
+                .with_cond("cb", &["b"])
+                .with_cond("ca", &["a"])
+                .with_order("cb", "ca"),
+        ),
+        (
+            "int fp(int n) { if (n) return 9; return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_return(RetValue::Int(0)),
+        ),
+        (
+            "int sp(int s) { return 0; }\nint fp(int s) { if (s) return 3; return 0; }",
+            FastPathSpec::new("m")
+                .with_fastpath("fp")
+                .with_slowpath("sp")
+                .with_match_slow_return(),
+        ),
+        (
+            "int fp(int n) { if (n) return -1; return 0; }\nint cl(int n) { fp(n); return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_check_return(),
+        ),
+        (
+            "struct r { int dead; }; int fp(struct r *r, int f) { return f; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_fault("dead"),
+        ),
+        (
+            "struct s { int hot; int cold; }; int fp(struct s *s) { return s->hot; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_assist_struct("s"),
+        ),
+        (
+            "int fp(int st) { st = 1; return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_cache("cc", "st"),
+        ),
+    ];
+    let mut covered: Vec<Rule> = Vec::new();
+    for (src, spec) in &scenarios {
+        for w in check(src, spec) {
+            if !covered.contains(&w.rule) {
+                covered.push(w.rule);
+            }
+        }
+    }
+    covered.sort();
+    let mut all = Rule::ALL.to_vec();
+    all.sort();
+    assert_eq!(covered, all, "some rule has no firing scenario");
+}

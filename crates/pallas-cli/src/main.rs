@@ -12,6 +12,7 @@
 //! pallas infer <file.c> --fast <f> --slow <g>        propose a spec
 //! pallas corpus [--set new-paths|known-bugs|examples|studied] score the corpus
 //! pallas study [--table 2|3|4]                        study tables
+//! pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir D]  differential fuzzing
 //! ```
 //!
 //! `check` accepts several `.c` files at once — each becomes one unit
@@ -55,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "infer" => cmd_infer(rest),
         "corpus" => cmd_corpus(rest),
         "study" => cmd_study(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -77,7 +79,8 @@ fn print_usage() {
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
          \x20 pallas infer <file.c> --fast <f> --slow <g>\n\
          \x20 pallas corpus [--set new-paths|known-bugs|examples|studied]\n\
-         \x20 pallas study [--table 2|3|4]"
+         \x20 pallas study [--table 2|3|4]\n\
+         \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>]"
     );
 }
 
@@ -260,6 +263,66 @@ fn numeric_flag(args: &[String], flag: &str, default: usize) -> Result<usize, St
     match flag_value(args, flag) {
         Some(v) => v.parse::<usize>().map_err(|_| format!("{flag} needs a number, got `{v}`")),
         None => Ok(default),
+    }
+}
+
+/// Flags of `fuzz` that consume the following argument.
+const FUZZ_VALUE_FLAGS: [&str; 6] =
+    ["--seed", "--iters", "--unit-seed", "--found-dir", "--max-depth", "--max-block"];
+
+/// Boolean flags of `fuzz`.
+const FUZZ_BOOL_FLAGS: [&str; 3] = ["--reduce", "--no-daemon", "--dump"];
+
+/// Parses an optional `u64` flag value.
+fn u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    flag_value(args, flag)
+        .map(|v| v.parse::<u64>().map_err(|_| format!("{flag} needs a number, got `{v}`")))
+        .transpose()
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    validate_flags("fuzz", args, &FUZZ_VALUE_FLAGS, &FUZZ_BOOL_FLAGS)?;
+    let defaults = pallas_fuzz::GenConfig::default();
+    let gen = pallas_fuzz::GenConfig {
+        max_depth: numeric_flag(args, "--max-depth", defaults.max_depth)?.max(1),
+        max_block_len: numeric_flag(args, "--max-block", defaults.max_block_len)?.max(1),
+        ..defaults
+    };
+    let cfg = pallas_fuzz::FuzzConfig {
+        seed: u64_flag(args, "--seed")?.unwrap_or(42),
+        iters: u64_flag(args, "--iters")?.unwrap_or(200),
+        unit_seed: u64_flag(args, "--unit-seed")?,
+        gen,
+        daemon: !has_flag(args, "--no-daemon"),
+        reduce: has_flag(args, "--reduce"),
+        found_dir: flag_value(args, "--found-dir").map(std::path::PathBuf::from),
+    };
+    if has_flag(args, "--dump") {
+        let seed = cfg.unit_seed.ok_or("--dump needs --unit-seed <N>")?;
+        let g = pallas_fuzz::generate_with(seed, &cfg.gen);
+        println!("// seed {seed}\n{}\n/* spec:\n{}*/", g.source, g.spec);
+        return Ok(());
+    }
+    let report = pallas_fuzz::run_fuzz(&cfg, &mut |line| eprintln!("fuzz: {line}"));
+    for f in &report.failures {
+        for path in &f.written {
+            eprintln!("fuzz: wrote {}", path.display());
+        }
+    }
+    println!(
+        "fuzz: seed={} iters={} digest={:016x} failures={}",
+        cfg.seed,
+        report.iters,
+        report.digest,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} fuzz failure(s); replay with `pallas fuzz --unit-seed <seed>`",
+            report.failures.len()
+        ))
     }
 }
 

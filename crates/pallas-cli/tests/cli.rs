@@ -388,3 +388,43 @@ fn check_batch_reports_each_failing_unit() {
     assert!(stdout.contains("mix_good.c"), "good unit still reported:\n{stdout}");
     assert!(stderr.contains("mix_bad.c"), "{stderr}");
 }
+
+#[test]
+fn fuzz_rejects_unknown_flags_and_bad_numbers() {
+    let out = pallas(&["fuzz", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = pallas(&["fuzz", "--seed", "banana"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+}
+
+#[test]
+fn fuzz_small_run_is_deterministic_and_clean() {
+    let run = |_: u32| {
+        let out = pallas(&["fuzz", "--seed", "9", "--iters", "8", "--no-daemon"]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a, b, "same seed must print the same digest line");
+    assert!(a.contains("seed=9"), "{a}");
+    assert!(a.contains("failures=0"), "{a}");
+    assert!(a.contains("digest="), "{a}");
+}
+
+#[test]
+fn fuzz_dump_prints_unit_and_requires_unit_seed() {
+    let out = pallas(&["fuzz", "--unit-seed", "3", "--dump"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("// seed 3"), "{text}");
+    assert!(text.contains("typedef unsigned int gfp_t;"), "{text}");
+    assert!(text.contains("fastpath"), "spec is appended:\n{text}");
+
+    let out = pallas(&["fuzz", "--dump"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--unit-seed"));
+}

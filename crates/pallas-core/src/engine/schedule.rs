@@ -184,7 +184,8 @@ mod tests {
         let costs: Vec<Duration> = (0..24)
             .map(|i| Duration::from_millis(if i < 8 { 20 } else { 1 }))
             .collect();
-        let run = |f: fn(&[Duration], usize, fn(&Duration)) -> Vec<Result<(), String>>| {
+        type Runner = fn(&[Duration], usize, fn(&Duration)) -> Vec<Result<(), String>>;
+        let run = |f: Runner| {
             let started = Instant::now();
             let results = f(&costs, 4, |d| std::thread::sleep(*d));
             assert!(results.iter().all(Result::is_ok));

@@ -1,0 +1,765 @@
+//! Seeded, deterministic generator of C-subset workflow units plus
+//! matching spec annotations.
+//!
+//! The generator builds an [`Ast`] directly through the arena API —
+//! covering the constructs `pallas-lang` claims to handle (structs,
+//! flag masks, `if`/`else`, `switch`, the three loop forms, `goto`,
+//! calls) — then pretty-prints it with `unit_to_source` and pairs it
+//! with a [`FastPathSpec`] that references the generated names. Both
+//! sides are functions of the seed alone: the same seed always yields
+//! byte-identical source and spec text, which is what makes fuzz runs
+//! replayable and lets CI compare digests across runs.
+
+use pallas_core::SourceUnit;
+use pallas_lang::ast::{
+    AssignOp, Ast, BinOp, ExprId, ExprKind, Field, Function, FunctionSig, Item, Param, StmtId,
+    StmtKind, StructDef, TypeRef, UnOp,
+};
+use pallas_lang::pretty::unit_to_source;
+use pallas_lang::span::Span;
+use pallas_spec::{FastPathSpec, RetValue};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Size and depth knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of helper prototypes emitted.
+    pub max_helpers: usize,
+    /// Maximum number of struct definitions emitted.
+    pub max_structs: usize,
+    /// Maximum statements per block.
+    pub max_block_len: usize,
+    /// Maximum statement nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_helpers: 3, max_structs: 2, max_block_len: 4, max_depth: 3 }
+    }
+}
+
+/// A generated unit: the AST the generator built, its printed source,
+/// the matching spec, and the [`SourceUnit`] handed to the pipeline.
+#[derive(Debug, Clone)]
+pub struct GenUnit {
+    /// The seed this unit was generated from.
+    pub seed: u64,
+    /// The arena AST as built (spans are all `Span::point(0)`).
+    pub ast: Ast,
+    /// `unit_to_source(&ast)` — what the pipeline actually parses.
+    pub source: String,
+    /// The matching spec.
+    pub spec: FastPathSpec,
+    /// Ready-to-check unit named `fuzz/seed-<seed>` with file `gen.c`.
+    pub unit: SourceUnit,
+}
+
+// Name pools. Kept disjoint from each other and free of the `_t`
+// suffix (the parser treats `*_t` identifiers as type names) and of
+// the `_rn` / `fz_` substrings reserved by the metamorphic rewrites.
+const VAR_POOL: &[&str] =
+    &["gfp_mask", "order", "flags", "mode", "len", "nid", "seq", "budget", "refs"];
+const STRUCT_POOL: &[&str] = &["page", "zone_ref", "pcp_cache", "rx_desc"];
+const FIELD_POOL: &[&str] = &["private", "watermark", "gen", "count", "prio"];
+const HELPER_POOL: &[&str] = &["noio_flags", "zone_watermark_ok", "prep_new", "stat_inc"];
+const BASE_POOL: &[&str] = &["alloc_pages", "tcp_rcv", "get_page", "queue_xmit"];
+
+#[derive(Clone)]
+struct Var {
+    name: String,
+    /// Index into `structs` when this is a pointer to a generated struct.
+    struct_idx: Option<usize>,
+}
+
+struct Gen<'a> {
+    rng: StdRng,
+    ast: Ast,
+    cfg: &'a GenConfig,
+    structs: Vec<(String, Vec<String>)>,
+    helpers: Vec<String>,
+    /// Variables in scope while generating the current function.
+    vars: Vec<Var>,
+    uses_goto: bool,
+    next_local: usize,
+}
+
+fn sp() -> Span {
+    Span::point(0)
+}
+
+/// Generates the unit for `seed` under the default configuration.
+pub fn generate(seed: u64) -> GenUnit {
+    generate_with(seed, &GenConfig::default())
+}
+
+/// Generates the unit for `seed` under an explicit configuration.
+pub fn generate_with(seed: u64, cfg: &GenConfig) -> GenUnit {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        ast: Ast::new(),
+        cfg,
+        structs: Vec::new(),
+        helpers: Vec::new(),
+        vars: Vec::new(),
+        uses_goto: false,
+        next_local: 0,
+    };
+    let spec = g.build();
+    let source = unit_to_source(&g.ast);
+    let name = format!("fuzz/seed-{seed}");
+    let unit = SourceUnit::new(&name)
+        .with_file("gen.c", &source)
+        .with_spec(spec.to_string());
+    GenUnit { seed, ast: g.ast, source, spec, unit }
+}
+
+impl Gen<'_> {
+    fn build(&mut self) -> FastPathSpec {
+        self.ast
+            .items
+            .push(Item::Typedef { ty: TypeRef::named("unsigned int"), name: "gfp_t".into() });
+
+        let n_structs = self.rng.gen_range(0..=self.cfg.max_structs.min(STRUCT_POOL.len()));
+        for sname in STRUCT_POOL.iter().take(n_structs) {
+            let n_fields = self.rng.gen_range(2..=3usize);
+            let fields: Vec<String> =
+                FIELD_POOL.iter().take(n_fields).map(|f| f.to_string()).collect();
+            self.structs.push((sname.to_string(), fields.clone()));
+            self.ast.items.push(Item::Struct(StructDef {
+                name: sname.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|f| Field { ty: TypeRef::named("int"), name: f.clone() })
+                    .collect(),
+                is_union: false,
+                span: sp(),
+            }));
+        }
+
+        let n_helpers = self.rng.gen_range(1..=self.cfg.max_helpers.min(HELPER_POOL.len()));
+        for h in HELPER_POOL.iter().take(n_helpers) {
+            self.helpers.push(h.to_string());
+            self.ast.items.push(Item::Proto(FunctionSig {
+                name: h.to_string(),
+                ret: TypeRef::named("int"),
+                params: vec![
+                    Param { ty: TypeRef::named("int"), name: "a".into() },
+                    Param { ty: TypeRef::named("int"), name: "b".into() },
+                ],
+                variadic: false,
+            }));
+        }
+
+        if self.rng.gen_bool(0.3) {
+            let zero = self.int(0);
+            self.ast.items.push(Item::Global {
+                ty: TypeRef::named("int"),
+                name: "total_count".into(),
+                init: Some(zero),
+                span: sp(),
+            });
+        }
+
+        let base = BASE_POOL[self.rng.gen_range(0..BASE_POOL.len())];
+        let fast_name = format!("{base}_fast");
+        let slow_name = format!("{base}_slow");
+        let caller_name = format!("{base}_caller");
+
+        // Fast-path parameters, shared by the slow path.
+        let n_params = self.rng.gen_range(1..=3usize);
+        let mut params = Vec::new();
+        for pname in VAR_POOL.iter().take(n_params) {
+            let name = pname.to_string();
+            let struct_ptr = !self.structs.is_empty() && self.rng.gen_bool(0.25);
+            if struct_ptr {
+                let si = self.rng.gen_range(0..self.structs.len());
+                params.push((
+                    Param {
+                        ty: TypeRef::named(format!("struct {}", self.structs[si].0)).pointer_to(),
+                        name: name.clone(),
+                    },
+                    Var { name, struct_idx: Some(si) },
+                ));
+            } else {
+                let ty = if self.rng.gen_bool(0.2) { "gfp_t" } else { "int" };
+                params.push((Param { ty: TypeRef::named(ty), name: name.clone() }, Var {
+                    name,
+                    struct_idx: None,
+                }));
+            }
+        }
+
+        let has_slow = self.rng.gen_bool(0.6);
+        if has_slow {
+            self.emit_slow(&slow_name, &params);
+        }
+        self.emit_fast(&fast_name, &params);
+        let has_caller = self.rng.gen_bool(0.5);
+        if has_caller {
+            self.emit_caller(&caller_name, &fast_name, params.len());
+        }
+
+        self.build_spec(&fast_name, &slow_name, &caller_name, &params, has_slow, has_caller)
+    }
+
+    /// Slow path: a short chain of guarded returns over the shared
+    /// parameters, always ending in a plain integer return.
+    fn emit_slow(&mut self, name: &str, params: &[(Param, Var)]) {
+        self.vars = params.iter().map(|(_, v)| v.clone()).collect();
+        let mut stmts = Vec::new();
+        for _ in 0..self.rng.gen_range(1..=3usize) {
+            let cond = self.gen_cond();
+            let v = self.rng.gen_range(-2..=2i64);
+            let ret_val = self.int(v);
+            let ret = self.ast.alloc_stmt(StmtKind::Return(Some(ret_val)), sp());
+            let s = self
+                .ast
+                .alloc_stmt(StmtKind::If { cond, then_br: ret, else_br: None }, sp());
+            stmts.push(s);
+        }
+        let v = self.rng.gen_range(-1..=1i64);
+        let fin = self.int(v);
+        stmts.push(self.ast.alloc_stmt(StmtKind::Return(Some(fin)), sp()));
+        let body = self.ast.alloc_stmt(StmtKind::Block(stmts), sp());
+        self.push_fn(name, params, body);
+    }
+
+    fn emit_fast(&mut self, name: &str, params: &[(Param, Var)]) {
+        self.vars = params.iter().map(|(_, v)| v.clone()).collect();
+        self.uses_goto = self.rng.gen_bool(0.35);
+        self.next_local = 0;
+        let mut stmts = self.gen_stmts(self.cfg.max_depth);
+        if self.uses_goto {
+            stmts.push(self.ast.alloc_stmt(StmtKind::Label("out".into()), sp()));
+        }
+        let v = self.rng.gen_range(-1..=1i64);
+        let ret = self.gen_return_expr(v);
+        stmts.push(self.ast.alloc_stmt(StmtKind::Return(Some(ret)), sp()));
+        let body = self.ast.alloc_stmt(StmtKind::Block(stmts), sp());
+        self.push_fn(name, params, body);
+        self.uses_goto = false;
+    }
+
+    /// Caller in one of three shapes: result checked, result ignored,
+    /// result propagated (`return fast(...)`).
+    fn emit_caller(&mut self, name: &str, fast: &str, n_args: usize) {
+        self.vars.clear();
+        let args: Vec<ExprId> = (0..n_args).map(|i| self.int(i as i64)).collect();
+        let callee = self.ast.alloc_expr(ExprKind::Ident(fast.into()), sp());
+        let call = self.ast.alloc_expr(ExprKind::Call { callee, args }, sp());
+        let mut stmts = Vec::new();
+        match self.rng.gen_range(0..3u32) {
+            0 => {
+                // int ret = fast(...); if (ret < 0) return ret; return 0;
+                stmts.push(self.ast.alloc_stmt(
+                    StmtKind::Decl {
+                        ty: TypeRef::named("int"),
+                        name: "ret".into(),
+                        init: Some(call),
+                    },
+                    sp(),
+                ));
+                let r1 = self.ast.alloc_expr(ExprKind::Ident("ret".into()), sp());
+                let zero = self.int(0);
+                let cond = self.ast.alloc_expr(ExprKind::Binary(BinOp::Lt, r1, zero), sp());
+                let r2 = self.ast.alloc_expr(ExprKind::Ident("ret".into()), sp());
+                let ret_stmt = self.ast.alloc_stmt(StmtKind::Return(Some(r2)), sp());
+                let s = self
+                    .ast
+                    .alloc_stmt(StmtKind::If { cond, then_br: ret_stmt, else_br: None }, sp());
+                stmts.push(s);
+                let z = self.int(0);
+                stmts.push(self.ast.alloc_stmt(StmtKind::Return(Some(z)), sp()));
+            }
+            1 => {
+                // fast(...); return 0;  (result ignored)
+                stmts.push(self.ast.alloc_stmt(StmtKind::Expr(call), sp()));
+                let z = self.int(0);
+                stmts.push(self.ast.alloc_stmt(StmtKind::Return(Some(z)), sp()));
+            }
+            _ => {
+                // return fast(...);  (result propagated)
+                stmts.push(self.ast.alloc_stmt(StmtKind::Return(Some(call)), sp()));
+            }
+        }
+        let body = self.ast.alloc_stmt(StmtKind::Block(stmts), sp());
+        self.push_fn(name, &[], body);
+    }
+
+    fn push_fn(&mut self, name: &str, params: &[(Param, Var)], body: StmtId) {
+        self.ast.items.push(Item::Function(Function {
+            sig: FunctionSig {
+                name: name.to_string(),
+                ret: TypeRef::named("int"),
+                params: params.iter().map(|(p, _)| p.clone()).collect(),
+                variadic: false,
+            },
+            body,
+            span: sp(),
+        }));
+    }
+
+    fn build_spec(
+        &mut self,
+        fast: &str,
+        slow: &str,
+        caller: &str,
+        params: &[(Param, Var)],
+        has_slow: bool,
+        has_caller: bool,
+    ) -> FastPathSpec {
+        let _ = caller;
+        let names: Vec<&str> = params.iter().map(|(p, _)| p.name.as_str()).collect();
+        let mut spec = FastPathSpec::new("fuzz").with_fastpath(fast);
+        if has_slow {
+            spec = spec.with_slowpath(slow);
+        }
+        if self.rng.gen_bool(0.5) {
+            spec = spec.with_immutable(names[self.rng.gen_range(0..names.len())]);
+        }
+        if names.len() >= 2 && self.rng.gen_bool(0.4) {
+            spec = spec.with_correlated(names[0], names[1]);
+        }
+        let mut groups = 0;
+        if self.rng.gen_bool(0.6) {
+            let take = self.rng.gen_range(1..=names.len().min(2));
+            spec = spec.with_cond("c0", &names[..take]);
+            groups += 1;
+        }
+        if names.len() >= 2 && self.rng.gen_bool(0.3) {
+            spec = spec.with_cond("c1", &names[names.len() - 1..]);
+            groups += 1;
+        }
+        if groups == 2 && self.rng.gen_bool(0.5) {
+            spec = spec.with_order("c0", "c1");
+        }
+        if self.rng.gen_bool(0.5) {
+            for v in [-1i64, 0, 1] {
+                spec = spec.with_return(RetValue::Int(v));
+            }
+        }
+        if has_slow && self.rng.gen_bool(0.4) {
+            spec = spec.with_match_slow_return();
+        }
+        if has_caller && self.rng.gen_bool(0.5) {
+            spec = spec.with_check_return();
+        }
+        if self.rng.gen_bool(0.3) {
+            spec = spec.with_fault(names[self.rng.gen_range(0..names.len())]);
+        }
+        if !self.structs.is_empty() && self.rng.gen_bool(0.4) {
+            let si = self.rng.gen_range(0..self.structs.len());
+            spec = spec.with_assist_struct(self.structs[si].0.clone());
+        }
+        if names.len() >= 2 && self.rng.gen_bool(0.3) {
+            spec = spec.with_cache(names[1], names[0]);
+        }
+        spec
+    }
+
+    // ---- statements ----
+
+    fn gen_stmts(&mut self, depth: usize) -> Vec<StmtId> {
+        let n = self.rng.gen_range(1..=self.cfg.max_block_len);
+        let scope_mark = self.vars.len();
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let s = self.gen_stmt(depth);
+            out.push(s);
+        }
+        self.vars.truncate(scope_mark);
+        out
+    }
+
+    fn gen_stmt(&mut self, depth: usize) -> StmtId {
+        let roll = self.rng.gen_range(0..100u32);
+        // Below depth 1, only flat statements.
+        if depth <= 1 || roll < 40 {
+            return self.gen_flat_stmt();
+        }
+        match roll {
+            40..=59 => self.gen_if(depth),
+            60..=69 => self.gen_loop(depth),
+            70..=81 => self.gen_switch(depth),
+            82..=89 => {
+                let v = self.rng.gen_range(-1..=1i64);
+                let e = self.gen_return_expr(v);
+                self.ast.alloc_stmt(StmtKind::Return(Some(e)), sp())
+            }
+            _ => {
+                let stmts = self.gen_stmts(depth - 1);
+                self.ast.alloc_stmt(StmtKind::Block(stmts), sp())
+            }
+        }
+    }
+
+    fn gen_flat_stmt(&mut self) -> StmtId {
+        match self.rng.gen_range(0..10u32) {
+            0..=2 => {
+                // Local declaration, occasionally uninitialized.
+                let name = format!("v{}", self.next_local);
+                self.next_local += 1;
+                let init = if self.rng.gen_bool(0.8) {
+                    Some(self.gen_expr(2))
+                } else {
+                    None
+                };
+                self.vars.push(Var { name: clone_str(&name), struct_idx: None });
+                self.ast.alloc_stmt(
+                    StmtKind::Decl { ty: TypeRef::named("int"), name, init },
+                    sp(),
+                )
+            }
+            3..=5 => {
+                // Assignment to a variable or struct field.
+                let lhs = self.gen_lvalue();
+                let op = match self.rng.gen_range(0..5u32) {
+                    0 => AssignOp::Compound(BinOp::BitOr),
+                    1 => AssignOp::Compound(BinOp::BitAnd),
+                    2 => AssignOp::Compound(BinOp::Add),
+                    _ => AssignOp::Assign,
+                };
+                let rhs = self.gen_expr(2);
+                let e = self.ast.alloc_expr(ExprKind::Assign(op, lhs, rhs), sp());
+                self.ast.alloc_stmt(StmtKind::Expr(e), sp())
+            }
+            6 | 7 => {
+                // Helper call statement.
+                let e = self.gen_call();
+                self.ast.alloc_stmt(StmtKind::Expr(e), sp())
+            }
+            8 => {
+                if self.uses_goto {
+                    self.ast.alloc_stmt(StmtKind::Goto("out".into()), sp())
+                } else {
+                    self.ast.alloc_stmt(StmtKind::Empty, sp())
+                }
+            }
+            _ => {
+                let v = self.rng.gen_range(-1..=1i64);
+                let e = self.gen_return_expr(v);
+                self.ast.alloc_stmt(StmtKind::Return(Some(e)), sp())
+            }
+        }
+    }
+
+    fn gen_if(&mut self, depth: usize) -> StmtId {
+        let cond = self.gen_cond();
+        let then_stmts = self.gen_stmts(depth - 1);
+        let then_br = self.ast.alloc_stmt(StmtKind::Block(then_stmts), sp());
+        let else_br = if self.rng.gen_bool(0.5) {
+            let else_stmts = self.gen_stmts(depth - 1);
+            Some(self.ast.alloc_stmt(StmtKind::Block(else_stmts), sp()))
+        } else {
+            None
+        };
+        self.ast.alloc_stmt(StmtKind::If { cond, then_br, else_br }, sp())
+    }
+
+    fn gen_loop(&mut self, depth: usize) -> StmtId {
+        match self.rng.gen_range(0..3u32) {
+            0 => {
+                let cond = self.gen_cond();
+                let stmts = self.gen_stmts(depth - 1);
+                let body = self.ast.alloc_stmt(StmtKind::Block(stmts), sp());
+                self.ast.alloc_stmt(StmtKind::While { cond, body }, sp())
+            }
+            1 => {
+                let stmts = self.gen_stmts(depth - 1);
+                let body = self.ast.alloc_stmt(StmtKind::Block(stmts), sp());
+                let cond = self.gen_cond();
+                self.ast.alloc_stmt(StmtKind::DoWhile { body, cond }, sp())
+            }
+            _ => {
+                // for (i = 0; i < N; i = i + 1) over a fresh local.
+                let name = format!("v{}", self.next_local);
+                self.next_local += 1;
+                self.vars.push(Var { name: clone_str(&name), struct_idx: None });
+                let decl = self.ast.alloc_stmt(
+                    StmtKind::Decl {
+                        ty: TypeRef::named("int"),
+                        name: clone_str(&name),
+                        init: None,
+                    },
+                    sp(),
+                );
+                let i0 = self.ast.alloc_expr(ExprKind::Ident(clone_str(&name)), sp());
+                let z = self.int(0);
+                let init_e = self.ast.alloc_expr(ExprKind::Assign(AssignOp::Assign, i0, z), sp());
+                let init_s = self.ast.alloc_stmt(StmtKind::Expr(init_e), sp());
+                let i1 = self.ast.alloc_expr(ExprKind::Ident(clone_str(&name)), sp());
+                let bound_v = self.rng.gen_range(2..=8i64);
+                let bound = self.int(bound_v);
+                let cond = self.ast.alloc_expr(ExprKind::Binary(BinOp::Lt, i1, bound), sp());
+                let i2 = self.ast.alloc_expr(ExprKind::Ident(clone_str(&name)), sp());
+                let i3 = self.ast.alloc_expr(ExprKind::Ident(clone_str(&name)), sp());
+                let one = self.int(1);
+                let next = self.ast.alloc_expr(ExprKind::Binary(BinOp::Add, i3, one), sp());
+                let step = self.ast.alloc_expr(ExprKind::Assign(AssignOp::Assign, i2, next), sp());
+                let stmts = self.gen_stmts(depth - 1);
+                let body = self.ast.alloc_stmt(StmtKind::Block(stmts), sp());
+                let f = self.ast.alloc_stmt(
+                    StmtKind::For { init: Some(init_s), cond: Some(cond), step: Some(step), body },
+                    sp(),
+                );
+                let wrap = vec![decl, f];
+                self.ast.alloc_stmt(StmtKind::Block(wrap), sp())
+            }
+        }
+    }
+
+    fn gen_switch(&mut self, depth: usize) -> StmtId {
+        let scrutinee = self.gen_int_var();
+        let mut body = Vec::new();
+        // Occasionally park a statement before the first case label —
+        // it is unreachable, which exercises the CFG's orphan-block
+        // handling.
+        if self.rng.gen_bool(0.15) {
+            let s = self.gen_flat_stmt();
+            body.push(s);
+        }
+        let n_cases = self.rng.gen_range(1..=3i64);
+        for v in 0..n_cases {
+            let val = self.int(v);
+            body.push(self.ast.alloc_stmt(StmtKind::Case(val), sp()));
+            let mut arm = self.gen_stmts(depth - 1);
+            body.append(&mut arm);
+            // Mostly break, sometimes fall through.
+            if self.rng.gen_bool(0.8) {
+                body.push(self.ast.alloc_stmt(StmtKind::Break, sp()));
+            }
+        }
+        if self.rng.gen_bool(0.7) {
+            body.push(self.ast.alloc_stmt(StmtKind::Default, sp()));
+            let mut arm = self.gen_stmts(depth - 1);
+            body.append(&mut arm);
+            body.push(self.ast.alloc_stmt(StmtKind::Break, sp()));
+        }
+        let block = self.ast.alloc_stmt(StmtKind::Block(body), sp());
+        self.ast.alloc_stmt(StmtKind::Switch { scrutinee, body: block }, sp())
+    }
+
+    // ---- expressions ----
+
+    fn int(&mut self, v: i64) -> ExprId {
+        self.ast.alloc_expr(ExprKind::Int(v), sp())
+    }
+
+    /// A variable reference that is not a struct pointer (for
+    /// arithmetic and switch scrutinee positions).
+    fn gen_int_var(&mut self) -> ExprId {
+        let ints: Vec<String> = self
+            .vars
+            .iter()
+            .filter(|v| v.struct_idx.is_none())
+            .map(|v| v.name.clone())
+            .collect();
+        if ints.is_empty() {
+            let v = self.rng.gen_range(0..=4i64);
+            return self.int(v);
+        }
+        let name = ints[self.rng.gen_range(0..ints.len())].clone();
+        self.ast.alloc_expr(ExprKind::Ident(name), sp())
+    }
+
+    /// A struct-field access `p->field` if a struct-pointer variable
+    /// is in scope, else an int variable.
+    fn gen_member_or_var(&mut self) -> ExprId {
+        let ptrs: Vec<(String, usize)> = self
+            .vars
+            .iter()
+            .filter_map(|v| v.struct_idx.map(|i| (v.name.clone(), i)))
+            .collect();
+        if !ptrs.is_empty() && self.rng.gen_bool(0.5) {
+            let (name, si) = ptrs[self.rng.gen_range(0..ptrs.len())].clone();
+            let fields = &self.structs[si].1;
+            let field = fields[self.rng.gen_range(0..fields.len())].clone();
+            let base = self.ast.alloc_expr(ExprKind::Ident(name), sp());
+            self.ast.alloc_expr(ExprKind::Member { base, field, arrow: true }, sp())
+        } else {
+            self.gen_int_var()
+        }
+    }
+
+    fn gen_lvalue(&mut self) -> ExprId {
+        self.gen_member_or_var()
+    }
+
+    fn gen_call(&mut self) -> ExprId {
+        let h = self.helpers[self.rng.gen_range(0..self.helpers.len())].clone();
+        let callee = self.ast.alloc_expr(ExprKind::Ident(h), sp());
+        let n_args = self.rng.gen_range(1..=2usize);
+        let args: Vec<ExprId> = (0..n_args).map(|_| self.gen_expr(1)).collect();
+        self.ast.alloc_expr(ExprKind::Call { callee, args }, sp())
+    }
+
+    fn gen_expr(&mut self, depth: usize) -> ExprId {
+        if depth == 0 {
+            return match self.rng.gen_range(0..3u32) {
+                0 => {
+                    let v = self.rng.gen_range(0..=16i64);
+                    self.int(v)
+                }
+                _ => self.gen_member_or_var(),
+            };
+        }
+        match self.rng.gen_range(0..10u32) {
+            0 | 1 => {
+                let v = self.rng.gen_range(0..=16i64);
+                self.int(v)
+            }
+            2 | 3 => self.gen_member_or_var(),
+            4 | 5 => {
+                let op = match self.rng.gen_range(0..6u32) {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::BitAnd,
+                    3 => BinOp::BitOr,
+                    4 => BinOp::Mul,
+                    _ => BinOp::BitXor,
+                };
+                let a = self.gen_expr(depth - 1);
+                let b = self.gen_expr(depth - 1);
+                self.ast.alloc_expr(ExprKind::Binary(op, a, b), sp())
+            }
+            6 => {
+                // Flag-mask test or shift by a small constant.
+                let a = self.gen_member_or_var();
+                let v = self.rng.gen_range(1..=4i64);
+                let k = self.int(1 << v);
+                let op = if self.rng.gen_bool(0.7) { BinOp::BitAnd } else { BinOp::Shl };
+                self.ast.alloc_expr(ExprKind::Binary(op, a, k), sp())
+            }
+            7 => self.gen_call(),
+            8 => {
+                let op = if self.rng.gen_bool(0.5) { UnOp::Not } else { UnOp::BitNot };
+                let a = self.gen_member_or_var();
+                self.ast.alloc_expr(ExprKind::Unary(op, a), sp())
+            }
+            _ => {
+                // Division by a non-zero constant.
+                let a = self.gen_member_or_var();
+                let v = self.rng.gen_range(1..=4i64);
+                let d = self.int(v);
+                self.ast.alloc_expr(ExprKind::Binary(BinOp::Div, a, d), sp())
+            }
+        }
+    }
+
+    fn gen_cond(&mut self) -> ExprId {
+        match self.rng.gen_range(0..5u32) {
+            0 => {
+                // var <cmp> int
+                let a = self.gen_member_or_var();
+                let v = self.rng.gen_range(-1..=4i64);
+                let b = self.int(v);
+                let op = match self.rng.gen_range(0..4u32) {
+                    0 => BinOp::Eq,
+                    1 => BinOp::Ne,
+                    2 => BinOp::Lt,
+                    _ => BinOp::Ge,
+                };
+                self.ast.alloc_expr(ExprKind::Binary(op, a, b), sp())
+            }
+            1 => {
+                // flag test: var & MASK
+                let a = self.gen_member_or_var();
+                let v = self.rng.gen_range(0..=4i64);
+                let m = self.int(1 << v);
+                self.ast.alloc_expr(ExprKind::Binary(BinOp::BitAnd, a, m), sp())
+            }
+            2 => {
+                let a = self.gen_member_or_var();
+                self.ast.alloc_expr(ExprKind::Unary(UnOp::Not, a), sp())
+            }
+            3 => {
+                // conjunction of two simple tests
+                let a = self.gen_cond_simple();
+                let b = self.gen_cond_simple();
+                let op = if self.rng.gen_bool(0.6) { BinOp::And } else { BinOp::Or };
+                self.ast.alloc_expr(ExprKind::Binary(op, a, b), sp())
+            }
+            _ => {
+                // call() == 0
+                let c = self.gen_call();
+                let z = self.int(0);
+                self.ast.alloc_expr(ExprKind::Binary(BinOp::Eq, c, z), sp())
+            }
+        }
+    }
+
+    fn gen_cond_simple(&mut self) -> ExprId {
+        let a = self.gen_member_or_var();
+        let v = self.rng.gen_range(0..=4i64);
+        let b = self.int(v);
+        let op = if self.rng.gen_bool(0.5) { BinOp::Lt } else { BinOp::Ne };
+        self.ast.alloc_expr(ExprKind::Binary(op, a, b), sp())
+    }
+
+    /// Return expression: often a plain small integer (so the
+    /// `returns`/`match_slow_return` rules have something to bite
+    /// on), sometimes a variable or helper call.
+    fn gen_return_expr(&mut self, default: i64) -> ExprId {
+        match self.rng.gen_range(0..4u32) {
+            0 | 1 => self.int(default),
+            2 => self.gen_int_var(),
+            _ => self.gen_call(),
+        }
+    }
+}
+
+fn clone_str(s: &str) -> String {
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_lang::parse;
+
+    #[test]
+    fn same_seed_same_unit() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.spec.to_string(), b.spec.to_string());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Not guaranteed in principle, but these two do differ and
+        // pin the seed-sensitivity of the stream.
+        assert_ne!(generate(1).source, generate(2).source);
+    }
+
+    #[test]
+    fn generated_units_parse(){
+        for seed in 0..60u64 {
+            let g = generate(seed);
+            parse(&g.source).unwrap_or_else(|e| {
+                panic!("seed {seed} produced unparseable source: {e:?}\n{}", g.source)
+            });
+            pallas_spec::parse_spec(&g.spec.to_string()).unwrap_or_else(|e| {
+                panic!("seed {seed} produced bad spec: {e:?}\n{}", g.spec)
+            });
+        }
+    }
+
+    #[test]
+    fn knobs_bound_size() {
+        let small = GenConfig { max_helpers: 1, max_structs: 0, max_block_len: 1, max_depth: 1 };
+        let g = generate_with(3, &small);
+        // Depth 1 means no nested blocks: source stays tiny.
+        assert!(g.source.lines().count() < 40, "{}", g.source);
+    }
+
+    #[test]
+    fn spec_names_the_fast_path() {
+        for seed in 0..20u64 {
+            let g = generate(seed);
+            let fast = &g.spec.fastpath[0];
+            assert!(g.source.contains(fast.as_str()), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The differential oracle battery.
+//!
+//! Every generated unit is pushed through a stack of cross-checks,
+//! from strongest to weakest comparison:
+//!
+//! | oracle            | comparison                                  |
+//! |-------------------|---------------------------------------------|
+//! | `pipeline`        | the unit analyzes without a `PallasError`    |
+//! | `pretty-fixpoint` | `print(parse(print(ast)))` is a fixpoint     |
+//! | `engine-cold-warm`| cold, warm, and facade NDJSON byte-identical |
+//! | `daemon`          | daemon `check` NDJSON byte-identical         |
+//! | `meta-rename`     | NDJSON byte-identical after suffix strip     |
+//! | `meta-churn`      | NDJSON byte-identical                        |
+//! | `meta-swap`       | (rule, function, message) multiset invariant |
+//! | `meta-dead`       | (rule, function, message) multiset invariant |
+//!
+//! The rename and churn rewrites preserve line structure, so they
+//! must reproduce the NDJSON byte-for-byte; branch swapping and dead
+//! statements shift line numbers, so only the line-free projection of
+//! the finding set is required to be invariant. The projection compare
+//! is additionally skipped when either side's path enumeration was
+//! truncated: under a cap the enumerated subset depends on DFS order,
+//! so a CFG-reshaping rewrite can shift the finding multiset without
+//! any checker bug.
+
+use crate::rewrite;
+use pallas_core::{render_ndjson, AnalyzedUnit, Engine, Pallas, SourceUnit};
+use pallas_lang::pretty::unit_to_source;
+
+/// Which cross-check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// The pipeline returned a `PallasError` on generator output.
+    Pipeline,
+    /// Pretty-printing is not a fixpoint under reparsing.
+    PrettyFixpoint,
+    /// Cold, warm, and facade runs disagreed.
+    EngineColdWarm,
+    /// The daemon's NDJSON differed from the local run.
+    DaemonIdentity,
+    /// Identifier renaming changed the findings.
+    MetaRename,
+    /// Branch swapping changed the findings.
+    MetaSwap,
+    /// Dead-statement insertion changed the findings.
+    MetaDead,
+    /// Whitespace churn changed the findings.
+    MetaChurn,
+}
+
+impl Oracle {
+    /// Stable tag used in failure signatures and `found/` file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Oracle::Pipeline => "pipeline",
+            Oracle::PrettyFixpoint => "pretty-fixpoint",
+            Oracle::EngineColdWarm => "engine-cold-warm",
+            Oracle::DaemonIdentity => "daemon",
+            Oracle::MetaRename => "meta-rename",
+            Oracle::MetaSwap => "meta-swap",
+            Oracle::MetaDead => "meta-dead",
+            Oracle::MetaChurn => "meta-churn",
+        }
+    }
+}
+
+/// A failed cross-check, with a human-readable detail line.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Which oracle tripped.
+    pub oracle: Oracle,
+    /// What diverged (first differing line, error text, ...).
+    pub detail: String,
+}
+
+/// The line-free projection of a finding set: sorted multiset of
+/// (rule, function, message). Line numbers are deliberately excluded
+/// so that line-shifting rewrites can be compared.
+pub fn projection(analyzed: &AnalyzedUnit) -> Vec<(String, String, String)> {
+    let mut v: Vec<(String, String, String)> = analyzed
+        .warnings
+        .iter()
+        .map(|w| (w.rule.number().to_string(), w.function.clone(), w.message.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("`{la}` vs `{lb}`");
+        }
+    }
+    format!("{} vs {} lines", a.lines().count(), b.lines().count())
+}
+
+fn fail(oracle: Oracle, detail: impl Into<String>) -> OracleFailure {
+    OracleFailure { oracle, detail: detail.into() }
+}
+
+/// Runs the full battery on one unit. On success, returns the
+/// baseline NDJSON (fed into the run digest). `daemon` is optional so
+/// the reducer can re-run the battery hermetically.
+pub fn run_oracles(
+    unit: &SourceUnit,
+    daemon: Option<&mut pallas_service::Client>,
+) -> Result<String, OracleFailure> {
+    // 1. Baseline via the facade.
+    let base = Pallas::new()
+        .check_unit(unit)
+        .map_err(|e| fail(Oracle::Pipeline, format!("{e}")))?;
+    let base_ndjson = render_ndjson(&base);
+    let base_proj = projection(&base);
+
+    // 2. Pretty-printer fixpoint on the parsed AST.
+    let printed = unit_to_source(&base.ast);
+    match pallas_lang::parse(&printed) {
+        Ok(reparsed) => {
+            let printed2 = unit_to_source(&reparsed);
+            if printed != printed2 {
+                return Err(fail(Oracle::PrettyFixpoint, first_diff(&printed, &printed2)));
+            }
+        }
+        Err(e) => {
+            return Err(fail(Oracle::PrettyFixpoint, format!("printed source fails to parse: {e:?}")))
+        }
+    }
+
+    // 3. Engine cold vs warm vs facade.
+    let engine = Engine::new();
+    let cold = engine
+        .check_unit(unit)
+        .map_err(|e| fail(Oracle::EngineColdWarm, format!("cold: {e}")))?;
+    let warm = engine
+        .check_unit(unit)
+        .map_err(|e| fail(Oracle::EngineColdWarm, format!("warm: {e}")))?;
+    let cold_nd = render_ndjson(&cold);
+    let warm_nd = render_ndjson(&warm);
+    if cold_nd != base_ndjson {
+        return Err(fail(Oracle::EngineColdWarm, format!("cold vs facade: {}", first_diff(&cold_nd, &base_ndjson))));
+    }
+    if warm_nd != base_ndjson {
+        return Err(fail(Oracle::EngineColdWarm, format!("warm vs facade: {}", first_diff(&warm_nd, &base_ndjson))));
+    }
+
+    // 4. Daemon identity.
+    if let Some(client) = daemon {
+        let resp = client
+            .check(unit)
+            .map_err(|e| fail(Oracle::DaemonIdentity, format!("request failed: {e}")))?;
+        match resp.get("ndjson").and_then(pallas_service::Value::as_str) {
+            Some(nd) if nd == base_ndjson => {}
+            Some(nd) => {
+                return Err(fail(Oracle::DaemonIdentity, first_diff(nd, &base_ndjson)));
+            }
+            None => {
+                return Err(fail(Oracle::DaemonIdentity, format!("no ndjson in response: {resp}")));
+            }
+        }
+    }
+
+    let spec_text = unit.spec_text.clone();
+
+    // 5. Metamorphic: rename (byte-identical after suffix strip).
+    {
+        let (renamed, map) = rewrite::rename_idents(&base.ast);
+        let src = unit_to_source(&renamed);
+        let spec = rewrite::rename_spec_text(&spec_text, &map);
+        let rn_unit = remade(unit, &src, &spec);
+        let analyzed = Pallas::new()
+            .check_unit(&rn_unit)
+            .map_err(|e| fail(Oracle::MetaRename, format!("renamed unit fails: {e}")))?;
+        let stripped = rewrite::strip_rename_suffix(&render_ndjson(&analyzed));
+        if stripped != base_ndjson {
+            return Err(fail(Oracle::MetaRename, first_diff(&stripped, &base_ndjson)));
+        }
+    }
+
+    // 6. Metamorphic: whitespace churn (byte-identical).
+    {
+        let src = rewrite::churn_whitespace(&source_of(unit));
+        let ch_unit = remade(unit, &src, &spec_text);
+        let analyzed = Pallas::new()
+            .check_unit(&ch_unit)
+            .map_err(|e| fail(Oracle::MetaChurn, format!("churned unit fails: {e}")))?;
+        let nd = render_ndjson(&analyzed);
+        if nd != base_ndjson {
+            return Err(fail(Oracle::MetaChurn, first_diff(&nd, &base_ndjson)));
+        }
+    }
+
+    // The CFG-reshaping rewrites (branch swap, dead statements) are
+    // only sound to compare when path enumeration completed: under a
+    // `PathConfig` cap the enumerated subset depends on DFS order, so
+    // reshaping the CFG legitimately swaps which paths make the cut
+    // and the finding multiset can shift without any checker bug
+    // (found by a depth-5 fuzz sweep: a unit at exactly `max_paths`
+    // dropped one Rule 1.2 site after a branch swap). Each side still
+    // has to *analyze* cleanly; only the projection compare is gated.
+    let base_truncated = base.db.any_truncated();
+
+    // 7. Metamorphic: branch swap (projection-invariant).
+    {
+        let swapped = rewrite::swap_branches(&base.ast);
+        let src = unit_to_source(&swapped);
+        let sw_unit = remade(unit, &src, &spec_text);
+        let analyzed = Pallas::new()
+            .check_unit(&sw_unit)
+            .map_err(|e| fail(Oracle::MetaSwap, format!("swapped unit fails: {e}")))?;
+        let proj = projection(&analyzed);
+        if !base_truncated && !analyzed.db.any_truncated() && proj != base_proj {
+            return Err(fail(Oracle::MetaSwap, format!("{proj:?} vs {base_proj:?}")));
+        }
+    }
+
+    // 8. Metamorphic: dead statements (projection-invariant).
+    {
+        let dead = rewrite::insert_dead_stmts(&base.ast);
+        let src = unit_to_source(&dead);
+        let dd_unit = remade(unit, &src, &spec_text);
+        let analyzed = Pallas::new()
+            .check_unit(&dd_unit)
+            .map_err(|e| fail(Oracle::MetaDead, format!("dead-stmt unit fails: {e}")))?;
+        let proj = projection(&analyzed);
+        if !base_truncated && !analyzed.db.any_truncated() && proj != base_proj {
+            return Err(fail(Oracle::MetaDead, format!("{proj:?} vs {base_proj:?}")));
+        }
+    }
+
+    Ok(base_ndjson)
+}
+
+/// The single-file source text of a unit.
+fn source_of(unit: &SourceUnit) -> String {
+    unit.files.first().map(|(_, s)| s.clone()).unwrap_or_default()
+}
+
+/// A unit with the same name and file name but different content.
+/// Keeping the name identical is what makes NDJSON byte comparisons
+/// possible.
+fn remade(unit: &SourceUnit, src: &str, spec: &str) -> SourceUnit {
+    let file = unit.files.first().map(|(n, _)| n.clone()).unwrap_or_else(|| "gen.c".into());
+    SourceUnit::new(&unit.name).with_file(&file, src).with_spec(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn battery_clean_on_generated_seeds() {
+        for seed in 0..25u64 {
+            let g = generate(seed);
+            if let Err(f) = run_oracles(&g.unit, None) {
+                panic!(
+                    "seed {seed}: oracle {} failed: {}\n--- source ---\n{}\n--- spec ---\n{}",
+                    f.oracle.tag(),
+                    f.detail,
+                    g.source,
+                    g.spec
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_ndjson_is_deterministic() {
+        let g = generate(11);
+        let a = run_oracles(&g.unit, None).unwrap();
+        let b = run_oracles(&g.unit, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_units_do_not_trip_cfg_reshaping_oracles() {
+        // Enough sequential branches inside a loop to overflow
+        // `max_paths`: the enumerated subset is DFS-order-sensitive,
+        // so meta-swap / meta-dead must not compare finding multisets
+        // on this unit (the overwrite of `gfp_mask` fires Rule 1.2 on
+        // whichever paths made the cut).
+        let mut body = String::new();
+        for i in 0..13 {
+            body.push_str(&format!(
+                "    if (gfp_mask & {}) r += 1; else r -= 1;\n",
+                1 << (i % 8)
+            ));
+        }
+        let src = format!(
+            "int rx_fast(int gfp_mask) {{\n  int r = 0;\n  while (gfp_mask) {{\n\
+             {body}    gfp_mask = gfp_mask - 1;\n  }}\n  return r;\n}}\n"
+        );
+        // Normalize to pretty-printed form — generator output is
+        // always a fixpoint, and the line-sensitive oracles rely on
+        // that.
+        let src = unit_to_source(&pallas_lang::parse(&src).unwrap());
+        let unit = SourceUnit::new("fuzz/truncated")
+            .with_file("gen.c", &src)
+            .with_spec("fastpath rx_fast; immutable gfp_mask;");
+        let analyzed = Pallas::new().check_unit(&unit).unwrap();
+        assert!(analyzed.db.any_truncated(), "test premise: the unit must truncate");
+        assert!(!analyzed.warnings.is_empty(), "test premise: findings must exist");
+        run_oracles(&unit, None).unwrap();
+    }
+
+    #[test]
+    fn oracle_catches_seeded_divergence() {
+        // A unit whose spec refers to a file that cannot parse must
+        // surface as a pipeline failure, not a panic.
+        let bad = SourceUnit::new("fuzz/bad")
+            .with_file("gen.c", "int f( { return; }")
+            .with_spec("fastpath f;");
+        let err = run_oracles(&bad, None).unwrap_err();
+        assert_eq!(err.oracle, Oracle::Pipeline);
+    }
+}

@@ -1,0 +1,194 @@
+//! Crash-triage reducer: delta debugging over source lines plus
+//! clause-level spec reduction.
+//!
+//! Given a unit that fails an oracle (or panics), [`reduce_unit`]
+//! shrinks it while the failure *signature* — the oracle tag, or a
+//! normalized panic message — stays the same. Reduction is two
+//! interleaved passes run to a fixpoint:
+//!
+//! 1. **ddmin over source lines**: remove progressively smaller line
+//!    chunks; a candidate is kept only if it still fails the same
+//!    way. Candidates that no longer fail (or fail differently) are
+//!    rejected, so the reducer never "walks" to an unrelated bug.
+//! 2. **spec clause dropping**: the spec DSL is `;`-terminated
+//!    clauses; each clause is dropped greedily if the failure
+//!    survives without it.
+//!
+//! The battery is re-run *without* the daemon during reduction: the
+//! daemon owns a shared engine whose state the candidates would
+//! pollute, and a hermetic signature makes reduction deterministic.
+
+use crate::oracle::run_oracles;
+use pallas_core::SourceUnit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The failure signature of a unit: `panic:<first line>` if the
+/// battery panics, `Some(oracle tag)` if an oracle fails, `None` if
+/// the unit is clean.
+pub fn signature(unit: &SourceUnit) -> Option<String> {
+    let u = unit.clone();
+    match catch_unwind(AssertUnwindSafe(|| run_oracles(&u, None))) {
+        Ok(Ok(_)) => None,
+        Ok(Err(f)) => Some(f.oracle.tag().to_string()),
+        Err(payload) => Some(format!("panic:{}", normalize_panic(&payload))),
+    }
+}
+
+/// Extracts a short, stable label from a panic payload.
+pub fn normalize_panic(payload: &Box<dyn std::any::Any + Send>) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    };
+    let first = msg.lines().next().unwrap_or("");
+    first.chars().take(80).collect()
+}
+
+/// Shrinks `unit` while `signature` stays equal to `sig`. Returns the
+/// smallest failing unit found.
+pub fn reduce_unit(unit: &SourceUnit, sig: &str) -> SourceUnit {
+    let file_name =
+        unit.files.first().map(|(n, _)| n.clone()).unwrap_or_else(|| "gen.c".into());
+    let mut src: Vec<String> =
+        unit.files.first().map(|(_, s)| s.lines().map(String::from).collect()).unwrap_or_default();
+    let mut spec = unit.spec_text.clone();
+
+    let still_fails = |lines: &[String], spec: &str| -> bool {
+        let candidate = SourceUnit::new(&unit.name)
+            .with_file(&file_name, lines.join("\n"))
+            .with_spec(spec);
+        signature(&candidate).as_deref() == Some(sig)
+    };
+
+    // Sanity: the input must actually fail with the claimed signature,
+    // otherwise return it untouched.
+    if !still_fails(&src, &spec) {
+        return unit.clone();
+    }
+
+    for _round in 0..8 {
+        let before = (src.len(), spec.len());
+        src = ddmin_lines(src, |cand| still_fails(cand, &spec));
+        spec = reduce_spec(&spec, |cand| still_fails(&src, cand));
+        if (src.len(), spec.len()) == before {
+            break;
+        }
+    }
+
+    SourceUnit::new(&unit.name).with_file(&file_name, src.join("\n")).with_spec(spec)
+}
+
+/// Classic ddmin over lines: try removing chunks at halving
+/// granularity; keep any removal that preserves the predicate.
+pub fn ddmin_lines(mut lines: Vec<String>, keep: impl Fn(&[String]) -> bool) -> Vec<String> {
+    let mut chunk = lines.len().div_ceil(2).max(1);
+    while chunk >= 1 && !lines.is_empty() {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < lines.len() {
+            let end = (start + chunk).min(lines.len());
+            let mut candidate = Vec::with_capacity(lines.len() - (end - start));
+            candidate.extend_from_slice(&lines[..start]);
+            candidate.extend_from_slice(&lines[end..]);
+            if keep(&candidate) {
+                lines = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk has shifted into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if chunk > 1 {
+            chunk = chunk.div_ceil(2).min(chunk - 1).max(1);
+        }
+    }
+    lines
+}
+
+/// Drops spec clauses (`;`-terminated) greedily while the predicate
+/// holds. Comment-only and blank fragments are dropped for free.
+pub fn reduce_spec(spec: &str, keep: impl Fn(&str) -> bool) -> String {
+    let mut clauses: Vec<String> = spec
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    let mut i = 0;
+    while i < clauses.len() {
+        let mut candidate = clauses.clone();
+        candidate.remove(i);
+        let text = candidate.join("\n");
+        if keep(&text) {
+            clauses = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    clauses.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_finds_minimal_pair() {
+        let lines: Vec<String> = (0..32).map(|i| format!("line{i}")).collect();
+        let keep = |cand: &[String]| {
+            cand.iter().any(|l| l == "line7") && cand.iter().any(|l| l == "line19")
+        };
+        let out = ddmin_lines(lines, keep);
+        assert_eq!(out, vec!["line7".to_string(), "line19".to_string()]);
+    }
+
+    #[test]
+    fn ddmin_keeps_everything_when_all_needed() {
+        let lines: Vec<String> = (0..4).map(|i| format!("l{i}")).collect();
+        let all = lines.clone();
+        let keep = move |cand: &[String]| cand == all.as_slice();
+        assert_eq!(ddmin_lines(lines.clone(), keep), lines);
+    }
+
+    #[test]
+    fn spec_reduction_drops_irrelevant_clauses() {
+        let spec = "unit u;\nfastpath f;\nimmutable x;\nreturns 0;\n";
+        let out = reduce_spec(spec, |cand| cand.contains("immutable x;"));
+        assert_eq!(out, "immutable x;");
+    }
+
+    #[test]
+    fn clean_unit_is_returned_untouched() {
+        let unit = SourceUnit::new("t")
+            .with_file("a.c", "int f(void) { return 0; }")
+            .with_spec("fastpath f;");
+        assert_eq!(signature(&unit), None);
+        let same = reduce_unit(&unit, "pipeline");
+        assert_eq!(same.files[0].1, unit.files[0].1);
+    }
+
+    #[test]
+    fn reducer_shrinks_a_parse_failure() {
+        // A unit with a syntax error among otherwise valid functions:
+        // the reducer should strip the valid ones.
+        let src = "\
+int ok1(void) { return 0; }
+int ok2(void) { return 1; }
+int broken( { return 2; }
+int ok3(void) { return 3; }";
+        let unit = SourceUnit::new("t").with_file("a.c", src).with_spec("fastpath ok1;");
+        let sig = signature(&unit).expect("unit fails");
+        assert_eq!(sig, "pipeline");
+        let reduced = reduce_unit(&unit, &sig);
+        let out = &reduced.files[0].1;
+        assert!(out.contains("broken"), "{out}");
+        assert!(!out.contains("ok1("), "valid functions dropped: {out}");
+        assert!(reduced.spec_text.is_empty() || !reduced.spec_text.contains("fastpath"));
+    }
+}

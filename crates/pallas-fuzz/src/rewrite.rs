@@ -1,0 +1,573 @@
+//! Semantics-preserving metamorphic rewrites.
+//!
+//! Each rewrite takes a parsed [`Ast`] and produces a new one that
+//! denotes the same program, so the checker findings must be
+//! invariant (up to the comparison documented per rewrite in
+//! [`crate::oracle`]):
+//!
+//! * **rename** — every *declared* identifier gets an `_rn` suffix,
+//!   applied consistently to uses, struct tags, fields, labels, and
+//!   the spec text. Line structure is untouched, so the NDJSON output
+//!   must be byte-identical once the suffix is stripped back out.
+//! * **swap branches** — every `if (c) A else B` becomes
+//!   `if (!(c)) B else A`. Line numbers shift, so only the
+//!   (rule, function, message) projection must be invariant.
+//! * **dead statements** — inert `;` statements are interleaved into
+//!   blocks and a never-read `fz_dead*` local is prepended to each
+//!   function body. Same projection-level invariance.
+//! * **whitespace churn** — a text-level rewrite that indents lines
+//!   and appends `/* fz */` comments without adding or removing
+//!   lines: NDJSON must stay byte-identical.
+//!
+//! Names ending in `_t` are never renamed: the parser's type-name
+//! heuristic treats them as types, and a reduced unit may rely on
+//! that without retaining the `typedef` line.
+
+use pallas_lang::ast::{
+    Ast, Expr, ExprId, ExprKind, Function, FunctionSig, Item, Param, Stmt, StmtId, StmtKind,
+    StructDef, TypeRef, UnOp,
+};
+use std::collections::{HashMap, HashSet};
+
+/// The suffix appended by the rename rewrite.
+pub const RENAME_SUFFIX: &str = "_rn";
+
+enum Mode {
+    Rename(HashMap<String, String>),
+    Swap,
+    Dead,
+}
+
+/// Renames all declared identifiers with an `_rn` suffix. Returns the
+/// rewritten AST and the rename map (original → renamed).
+pub fn rename_idents(ast: &Ast) -> (Ast, HashMap<String, String>) {
+    let declared = declared_names(ast);
+    let mut map = HashMap::new();
+    for name in &declared {
+        if name.ends_with("_t") {
+            continue;
+        }
+        let target = format!("{name}{RENAME_SUFFIX}");
+        if declared.contains(&target) {
+            continue; // paranoia: never collide with an existing name
+        }
+        map.insert(name.clone(), target);
+    }
+    let out = Rewriter { src: ast, dst: Ast::new(), mode: Mode::Rename(map.clone()), dead: 0 }
+        .run();
+    (out, map)
+}
+
+/// Applies the rename map to a spec text *structurally*: the spec is
+/// parsed, name-carrying fields are mapped, and the result is
+/// re-rendered. Spec keywords (`order`, `cache`, ...) can collide
+/// with program identifiers, so a token-level rewrite would corrupt
+/// the DSL — found by the fuzzer on seed 8, where a variable named
+/// `order` renamed the `order c0 before c1;` clause keyword.
+pub fn rename_spec_text(spec: &str, map: &HashMap<String, String>) -> String {
+    let Ok(mut parsed) = pallas_spec::parse_spec(spec) else {
+        return spec.to_string();
+    };
+    let map_path = |s: &mut String| *s = map_tokens(s, |tok| map.get(tok).cloned());
+    for f in parsed
+        .fastpath
+        .iter_mut()
+        .chain(parsed.slowpath.iter_mut())
+        .chain(parsed.immutable.iter_mut())
+        .chain(parsed.faults.iter_mut())
+        .chain(parsed.assist_structs.iter_mut())
+    {
+        map_path(f);
+    }
+    for (x, y) in parsed.correlated.iter_mut() {
+        map_path(x);
+        map_path(y);
+    }
+    for c in parsed.conds.iter_mut() {
+        // Group names are spec-level labels, not program identifiers.
+        for v in c.vars.iter_mut() {
+            map_path(v);
+        }
+    }
+    for r in parsed.returns.iter_mut() {
+        if let pallas_spec::RetValue::Name(n) = r {
+            map_path(n);
+        }
+    }
+    for c in parsed.caches.iter_mut() {
+        map_path(&mut c.cache);
+        map_path(&mut c.state);
+    }
+    let text = parsed.to_string();
+    // A spec without a `unit` clause renders as `unit ;`, which does
+    // not re-parse — drop the line rather than invent a name.
+    match text.strip_prefix("unit ;\n") {
+        Some(rest) if parsed.unit.is_empty() => rest.to_string(),
+        _ => text,
+    }
+}
+
+/// Strips the rename suffix back out of rendered output so it can be
+/// compared byte-for-byte against the original run.
+pub fn strip_rename_suffix(s: &str) -> String {
+    s.replace(RENAME_SUFFIX, "")
+}
+
+/// Swaps every two-armed `if`, negating its condition.
+pub fn swap_branches(ast: &Ast) -> Ast {
+    Rewriter { src: ast, dst: Ast::new(), mode: Mode::Swap, dead: 0 }.run()
+}
+
+/// Interleaves inert statements into every block and prepends a dead
+/// local to each function body.
+pub fn insert_dead_stmts(ast: &Ast) -> Ast {
+    Rewriter { src: ast, dst: Ast::new(), mode: Mode::Dead, dead: 0 }.run()
+}
+
+/// Line-count-preserving whitespace and comment churn.
+pub fn churn_whitespace(src: &str) -> String {
+    let mut out = String::with_capacity(src.len() * 2);
+    for line in src.lines() {
+        if line.trim().is_empty() {
+            out.push('\n');
+        } else {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push_str("  /* fz */\n");
+        }
+    }
+    out
+}
+
+/// Every identifier declared anywhere in the unit: functions, params,
+/// locals, globals, struct tags and fields, enum variants, typedefs,
+/// and labels.
+fn declared_names(ast: &Ast) -> HashSet<String> {
+    let mut names = HashSet::new();
+    let mut sigs: Vec<&FunctionSig> = Vec::new();
+    for item in &ast.items {
+        match item {
+            Item::Function(f) => {
+                sigs.push(&f.sig);
+                collect_stmt_names(ast, f.body, &mut names);
+            }
+            Item::Proto(sig) => sigs.push(sig),
+            Item::Struct(def) => {
+                names.insert(def.name.clone());
+                for f in &def.fields {
+                    names.insert(f.name.clone());
+                }
+            }
+            Item::Enum(def) => {
+                if let Some(n) = &def.name {
+                    names.insert(n.clone());
+                }
+                for (n, _) in &def.variants {
+                    names.insert(n.clone());
+                }
+            }
+            Item::Global { name, .. } => {
+                names.insert(name.clone());
+            }
+            Item::Typedef { name, .. } => {
+                names.insert(name.clone());
+            }
+            Item::Pragma(..) => {}
+        }
+    }
+    for sig in sigs {
+        names.insert(sig.name.clone());
+        for p in &sig.params {
+            if !p.name.is_empty() {
+                names.insert(p.name.clone());
+            }
+        }
+    }
+    names
+}
+
+fn collect_stmt_names(ast: &Ast, id: StmtId, names: &mut HashSet<String>) {
+    match &ast.stmt(id).kind {
+        StmtKind::Decl { name, .. } => {
+            names.insert(name.clone());
+        }
+        StmtKind::Label(l) => {
+            names.insert(l.clone());
+        }
+        StmtKind::Block(stmts) => {
+            for &s in stmts {
+                collect_stmt_names(ast, s, names);
+            }
+        }
+        StmtKind::If { then_br, else_br, .. } => {
+            collect_stmt_names(ast, *then_br, names);
+            if let Some(e) = else_br {
+                collect_stmt_names(ast, *e, names);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::Switch { body, .. } => collect_stmt_names(ast, *body, names),
+        StmtKind::For { init, body, .. } => {
+            if let Some(s) = init {
+                collect_stmt_names(ast, *s, names);
+            }
+            collect_stmt_names(ast, *body, names);
+        }
+        _ => {}
+    }
+}
+
+/// Replaces identifier tokens in free text. Non-identifier characters
+/// are copied through; maximal `[A-Za-z_][A-Za-z0-9_]*` runs are
+/// offered to `f`.
+fn map_tokens(text: &str, f: impl Fn(&str) -> Option<String>) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut token = String::new();
+    let flush = |token: &mut String, out: &mut String| {
+        if token.is_empty() {
+            return;
+        }
+        match f(token) {
+            Some(mapped) => out.push_str(&mapped),
+            None => out.push_str(token),
+        }
+        token.clear();
+    };
+    for ch in text.chars() {
+        let ident_char = ch == '_' || ch.is_ascii_alphanumeric();
+        let starts = ch == '_' || ch.is_ascii_alphabetic();
+        if token.is_empty() {
+            if starts {
+                token.push(ch);
+            } else {
+                out.push(ch);
+            }
+        } else if ident_char {
+            token.push(ch);
+        } else {
+            flush(&mut token, &mut out);
+            out.push(ch);
+        }
+    }
+    flush(&mut token, &mut out);
+    out
+}
+
+struct Rewriter<'a> {
+    src: &'a Ast,
+    dst: Ast,
+    mode: Mode,
+    dead: usize,
+}
+
+impl Rewriter<'_> {
+    fn run(mut self) -> Ast {
+        for item in &self.src.items.clone() {
+            let mapped = match item {
+                Item::Function(f) => {
+                    let body = self.clone_fn_body(f.body);
+                    Item::Function(Function { sig: self.map_sig(&f.sig), body, span: f.span })
+                }
+                Item::Proto(sig) => Item::Proto(self.map_sig(sig)),
+                Item::Struct(def) => Item::Struct(StructDef {
+                    name: self.map_name(&def.name),
+                    fields: def
+                        .fields
+                        .iter()
+                        .map(|f| pallas_lang::ast::Field {
+                            ty: self.map_ty(&f.ty),
+                            name: self.map_name(&f.name),
+                        })
+                        .collect(),
+                    is_union: def.is_union,
+                    span: def.span,
+                }),
+                Item::Enum(def) => {
+                    let mut d = def.clone();
+                    d.name = d.name.as_ref().map(|n| self.map_name(n));
+                    d.variants =
+                        d.variants.iter().map(|(n, v)| (self.map_name(n), *v)).collect();
+                    Item::Enum(d)
+                }
+                Item::Global { ty, name, init, span } => Item::Global {
+                    ty: self.map_ty(ty),
+                    name: self.map_name(name),
+                    init: init.map(|e| self.clone_expr(e)),
+                    span: *span,
+                },
+                Item::Typedef { ty, name } => {
+                    Item::Typedef { ty: self.map_ty(ty), name: self.map_name(name) }
+                }
+                Item::Pragma(body, span) => Item::Pragma(body.clone(), *span),
+            };
+            self.dst.items.push(mapped);
+        }
+        self.dst
+    }
+
+    fn map_name(&self, name: &str) -> String {
+        match &self.mode {
+            Mode::Rename(map) => map.get(name).cloned().unwrap_or_else(|| name.to_string()),
+            _ => name.to_string(),
+        }
+    }
+
+    /// Type names carry an optional `struct `/`union ` prefix in front
+    /// of the tag.
+    fn map_ty(&self, ty: &TypeRef) -> TypeRef {
+        let name = if let Some(tag) = ty.name.strip_prefix("struct ") {
+            format!("struct {}", self.map_name(tag))
+        } else if let Some(tag) = ty.name.strip_prefix("union ") {
+            format!("union {}", self.map_name(tag))
+        } else {
+            self.map_name(&ty.name)
+        };
+        TypeRef { name, ptr: ty.ptr }
+    }
+
+    fn map_sig(&self, sig: &FunctionSig) -> FunctionSig {
+        FunctionSig {
+            name: self.map_name(&sig.name),
+            ret: self.map_ty(&sig.ret),
+            params: sig
+                .params
+                .iter()
+                .map(|p| Param { ty: self.map_ty(&p.ty), name: self.map_name(&p.name) })
+                .collect(),
+            variadic: sig.variadic,
+        }
+    }
+
+    /// Clones a function body; in dead mode a never-read local is
+    /// prepended.
+    fn clone_fn_body(&mut self, id: StmtId) -> StmtId {
+        let Stmt { kind, span } = self.src.stmt(id);
+        let span = *span;
+        if let (Mode::Dead, StmtKind::Block(stmts)) = (&self.mode, kind) {
+            let stmts = stmts.clone();
+            let zero = self.dst.alloc_expr(ExprKind::Int(0), span);
+            let name = format!("fz_dead{}", self.dead);
+            self.dead += 1;
+            let decl = self.dst.alloc_stmt(
+                StmtKind::Decl { ty: TypeRef::named("int"), name, init: Some(zero) },
+                span,
+            );
+            let mut out = vec![decl];
+            self.clone_block_into(&stmts, &mut out);
+            self.dst.alloc_stmt(StmtKind::Block(out), span)
+        } else {
+            self.clone_stmt(id)
+        }
+    }
+
+    fn clone_block_into(&mut self, stmts: &[StmtId], out: &mut Vec<StmtId>) {
+        for (i, &s) in stmts.iter().enumerate() {
+            let c = self.clone_stmt(s);
+            out.push(c);
+            // In dead mode, interleave inert statements — but never
+            // directly after a `case`/`default` label inside a switch
+            // body (harmless, just keeps output readable) and only at
+            // every other position to bound growth.
+            if matches!(self.mode, Mode::Dead)
+                && i % 2 == 0
+                && !matches!(
+                    self.src.stmt(s).kind,
+                    StmtKind::Case(_) | StmtKind::Default | StmtKind::Label(_)
+                )
+            {
+                let e = self.dst.alloc_stmt(StmtKind::Empty, self.src.stmt(s).span);
+                out.push(e);
+            }
+        }
+    }
+
+    fn clone_stmt(&mut self, id: StmtId) -> StmtId {
+        let Stmt { kind, span } = self.src.stmt(id).clone();
+        let kind = match kind {
+            StmtKind::Decl { ty, name, init } => StmtKind::Decl {
+                ty: self.map_ty(&ty),
+                name: self.map_name(&name),
+                init: init.map(|e| self.clone_expr(e)),
+            },
+            StmtKind::Expr(e) => StmtKind::Expr(self.clone_expr(e)),
+            StmtKind::If { cond, then_br, else_br } => {
+                if let (Mode::Swap, Some(els)) = (&self.mode, else_br) {
+                    let c = self.clone_expr(cond);
+                    let negated = self.dst.alloc_expr(ExprKind::Unary(UnOp::Not, c), span);
+                    let new_then = self.clone_stmt(els);
+                    let new_else = Some(self.clone_stmt(then_br));
+                    StmtKind::If { cond: negated, then_br: new_then, else_br: new_else }
+                } else {
+                    StmtKind::If {
+                        cond: self.clone_expr(cond),
+                        then_br: self.clone_stmt(then_br),
+                        else_br: else_br.map(|e| self.clone_stmt(e)),
+                    }
+                }
+            }
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: self.clone_expr(cond),
+                body: self.clone_stmt(body),
+            },
+            StmtKind::DoWhile { body, cond } => StmtKind::DoWhile {
+                body: self.clone_stmt(body),
+                cond: self.clone_expr(cond),
+            },
+            StmtKind::For { init, cond, step, body } => StmtKind::For {
+                init: init.map(|s| self.clone_stmt(s)),
+                cond: cond.map(|e| self.clone_expr(e)),
+                step: step.map(|e| self.clone_expr(e)),
+                body: self.clone_stmt(body),
+            },
+            StmtKind::Switch { scrutinee, body } => StmtKind::Switch {
+                scrutinee: self.clone_expr(scrutinee),
+                body: self.clone_stmt(body),
+            },
+            StmtKind::Case(e) => StmtKind::Case(self.clone_expr(e)),
+            StmtKind::Default => StmtKind::Default,
+            StmtKind::Return(e) => StmtKind::Return(e.map(|e| self.clone_expr(e))),
+            StmtKind::Break => StmtKind::Break,
+            StmtKind::Continue => StmtKind::Continue,
+            StmtKind::Goto(l) => StmtKind::Goto(self.map_name(&l)),
+            StmtKind::Label(l) => StmtKind::Label(self.map_name(&l)),
+            StmtKind::Block(stmts) => {
+                let mut out = Vec::new();
+                self.clone_block_into(&stmts, &mut out);
+                StmtKind::Block(out)
+            }
+            StmtKind::Empty => StmtKind::Empty,
+            StmtKind::Pragma(p) => StmtKind::Pragma(p),
+        };
+        self.dst.alloc_stmt(kind, span)
+    }
+
+    fn clone_expr(&mut self, id: ExprId) -> ExprId {
+        let Expr { kind, span } = self.src.expr(id).clone();
+        let kind = match kind {
+            ExprKind::Int(v) => ExprKind::Int(v),
+            ExprKind::Str(s) => ExprKind::Str(s),
+            ExprKind::Ident(n) => ExprKind::Ident(self.map_name(&n)),
+            ExprKind::Unary(op, e) => ExprKind::Unary(op, self.clone_expr(e)),
+            ExprKind::Binary(op, a, b) => {
+                ExprKind::Binary(op, self.clone_expr(a), self.clone_expr(b))
+            }
+            ExprKind::Assign(op, a, b) => {
+                ExprKind::Assign(op, self.clone_expr(a), self.clone_expr(b))
+            }
+            ExprKind::Ternary(c, t, e) => {
+                ExprKind::Ternary(self.clone_expr(c), self.clone_expr(t), self.clone_expr(e))
+            }
+            ExprKind::Call { callee, args } => ExprKind::Call {
+                callee: self.clone_expr(callee),
+                args: args.iter().map(|&a| self.clone_expr(a)).collect(),
+            },
+            ExprKind::Member { base, field, arrow } => ExprKind::Member {
+                base: self.clone_expr(base),
+                field: self.map_name(&field),
+                arrow,
+            },
+            ExprKind::Index(b, i) => ExprKind::Index(self.clone_expr(b), self.clone_expr(i)),
+            ExprKind::Cast(ty, e) => ExprKind::Cast(self.map_ty(&ty), self.clone_expr(e)),
+            ExprKind::SizeofType(ty) => ExprKind::SizeofType(self.map_ty(&ty)),
+            ExprKind::SizeofExpr(e) => ExprKind::SizeofExpr(self.clone_expr(e)),
+            ExprKind::Comma(a, b) => ExprKind::Comma(self.clone_expr(a), self.clone_expr(b)),
+        };
+        self.dst.alloc_expr(kind, span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_lang::pretty::unit_to_source;
+    use pallas_lang::parse;
+
+    const SRC: &str = "\
+typedef unsigned int gfp_t;
+struct page { int private; int count; };
+int helper(int a, int b);
+int fast(gfp_t gfp_mask, struct page *page) {
+  int v0 = gfp_mask & 4;
+  if (v0 == 0) {
+    page->private = 1;
+  } else {
+    page->count = 2;
+  }
+  goto out;
+out:
+  return 0;
+}";
+
+    #[test]
+    fn rename_is_consistent_and_parseable() {
+        let ast = parse(SRC).unwrap();
+        let (renamed, map) = rename_idents(&ast);
+        let out = unit_to_source(&renamed);
+        assert!(map.contains_key("fast"));
+        assert!(!map.contains_key("gfp_t"), "typedef names are excluded");
+        assert!(out.contains("fast_rn"));
+        assert!(out.contains("page_rn->private_rn"));
+        let reparsed = parse(&out).expect("renamed source parses");
+        assert_eq!(reparsed.functions().count(), 1);
+        // Stripping the suffix restores the original text exactly.
+        assert_eq!(strip_rename_suffix(&out), unit_to_source(&ast));
+    }
+
+    #[test]
+    fn swap_negates_and_swaps() {
+        let ast = parse(SRC).unwrap();
+        let swapped = swap_branches(&ast);
+        let out = unit_to_source(&swapped);
+        assert!(out.contains("if (!(v0 == 0))"), "{out}");
+        let pos_count = out.find("page->count").unwrap();
+        let pos_private = out.find("page->private").unwrap();
+        assert!(pos_count < pos_private, "arms swapped");
+        parse(&out).expect("swapped source parses");
+    }
+
+    #[test]
+    fn dead_insertion_parses_and_grows() {
+        let ast = parse(SRC).unwrap();
+        let dead = insert_dead_stmts(&ast);
+        let out = unit_to_source(&dead);
+        assert!(out.contains("int fz_dead0 = 0;"));
+        assert!(out.lines().count() > SRC.lines().count());
+        parse(&out).expect("dead-statement source parses");
+    }
+
+    #[test]
+    fn churn_preserves_line_count() {
+        let churned = churn_whitespace(SRC);
+        assert_eq!(churned.lines().count(), SRC.lines().count());
+        assert!(churned.contains("/* fz */"));
+        parse(&churned).expect("churned source parses");
+    }
+
+    #[test]
+    fn spec_rename_is_structural() {
+        let mut map = HashMap::new();
+        map.insert("fast".to_string(), "fast_rn".to_string());
+        map.insert("gfp_mask".to_string(), "gfp_mask_rn".to_string());
+        map.insert("order".to_string(), "order_rn".to_string());
+        // `order` is both a variable and a spec keyword: the clause
+        // keyword must survive, the variable must be renamed.
+        let spec =
+            "unit u;\nfastpath fast;\ncond c0: gfp_mask;\ncond c1: order;\norder c0 before c1;\n";
+        let out = rename_spec_text(spec, &map);
+        assert!(out.contains("fastpath fast_rn;"), "{out}");
+        assert!(out.contains("cond c0: gfp_mask_rn;"), "{out}");
+        assert!(out.contains("cond c1: order_rn;"), "{out}");
+        assert!(out.contains("order c0 before c1;"), "keyword untouched: {out}");
+    }
+
+    #[test]
+    fn spec_rename_handles_member_paths() {
+        let mut map = HashMap::new();
+        map.insert("page".to_string(), "page_rn".to_string());
+        map.insert("private".to_string(), "private_rn".to_string());
+        let spec = "unit u;\nimmutable page->private;\n";
+        let out = rename_spec_text(spec, &map);
+        assert!(out.contains("immutable page_rn->private_rn;"), "{out}");
+    }
+}

@@ -54,17 +54,36 @@ pub fn parse(src: &str) -> Result<Ast, ParseError> {
     Parser::new(tokens).run()
 }
 
+/// Maximum statement/expression nesting depth. The parser is a
+/// recursive descent, so pathological inputs like 20k nested
+/// parentheses would otherwise overflow the stack — an abort that
+/// `catch_unwind` cannot contain (found by probing the fuzzer's
+/// degenerate-input corner). Real kernel code nests a few dozen
+/// levels at most.
+const MAX_NESTING: usize = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     ast: Ast,
     /// Names introduced by `typedef`, used for cast/decl disambiguation.
     typedefs: HashSet<String>,
+    /// Current statement + expression nesting depth, bounded by
+    /// [`MAX_NESTING`].
+    depth: usize,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, ast: Ast::new(), typedefs: HashSet::new() }
+        Parser { tokens, pos: 0, ast: Ast::new(), typedefs: HashSet::new(), depth: 0 }
+    }
+
+    fn enter_nested(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err(format!("nesting deeper than {MAX_NESTING} levels")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -475,6 +494,13 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Result<StmtId, ParseError> {
+        self.enter_nested()?;
+        let r = self.parse_stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<StmtId, ParseError> {
         let tok = self.peek().clone();
         match &tok.kind {
             TokenKind::Pragma(body) => {
@@ -685,6 +711,13 @@ impl Parser {
     }
 
     fn parse_assign_expr(&mut self) -> Result<ExprId, ParseError> {
+        self.enter_nested()?;
+        let r = self.parse_assign_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_assign_expr_inner(&mut self) -> Result<ExprId, ParseError> {
         let lhs = self.parse_ternary_expr()?;
         let op = match self.peek().kind {
             TokenKind::Punct(Punct::Assign) => AssignOp::Assign,

@@ -84,3 +84,23 @@ fn error_messages_name_the_found_token() {
     let m = err_of("int f(void) { return 0; } }");
     assert!(m.contains('}'), "{m}");
 }
+
+#[test]
+fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+    // 20k nested parens previously aborted the process with a stack
+    // overflow, which catch_unwind cannot contain. The parser must
+    // bail out with a regular error instead.
+    let deep = format!("int f(int x) {{ return {}x{}; }}", "(".repeat(20_000), ")".repeat(20_000));
+    let m = err_of(&deep);
+    assert!(m.contains("nesting"), "{m}");
+
+    let blocks = format!("int g(void) {{ {} return 0; {} }}", "{".repeat(20_000), "}".repeat(20_000));
+    let m = err_of(&blocks);
+    assert!(m.contains("nesting"), "{m}");
+}
+
+#[test]
+fn reasonable_nesting_still_parses() {
+    let src = format!("int f(int x) {{ return {}x{}; }}", "(".repeat(100), ")".repeat(100));
+    assert!(parse(&src).is_ok());
+}

@@ -242,6 +242,14 @@ impl PathDb {
         self.functions.iter().map(|f| f.records.len()).sum()
     }
 
+    /// True if any function's enumeration hit a [`PathConfig`] limit,
+    /// i.e. the database under-approximates the path set.
+    ///
+    /// [`PathConfig`]: pallas_cfg::PathConfig
+    pub fn any_truncated(&self) -> bool {
+        self.functions.iter().any(|f| f.truncated)
+    }
+
     /// Functions whose paths contain a call to `callee` at depth 0.
     pub fn callers_of(&self, callee: &str) -> Vec<&FunctionPaths> {
         self.functions
@@ -349,6 +357,30 @@ mod tests {
         assert_eq!(callers.len(), 1);
         assert_eq!(callers[0].name, "caller");
         assert_eq!(db.path_count(), 1);
+        assert!(!db.any_truncated());
+    }
+
+    #[test]
+    fn any_truncated_reflects_function_records() {
+        let mut db = PathDb::new("u");
+        db.insert(FunctionPaths {
+            name: "full".into(),
+            signature: "int full()".into(),
+            params: vec![],
+            line: 1,
+            records: vec![],
+            truncated: false,
+        });
+        assert!(!db.any_truncated());
+        db.insert(FunctionPaths {
+            name: "capped".into(),
+            signature: "int capped()".into(),
+            params: vec![],
+            line: 9,
+            records: vec![],
+            truncated: true,
+        });
+        assert!(db.any_truncated());
     }
 
     #[test]

@@ -37,12 +37,13 @@ impl ExtractConfig {
     /// engine's frontend cache) must include these bytes in their
     /// keys: two configurations with different encodings can produce
     /// different path databases for the same source.
-    pub fn cache_key_bytes(&self) -> [u8; 25] {
-        let mut out = [0u8; 25];
+    pub fn cache_key_bytes(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
         out[0..8].copy_from_slice(&(self.paths.max_paths as u64).to_le_bytes());
         out[8..16].copy_from_slice(&(self.paths.max_visits as u64).to_le_bytes());
         out[16..24].copy_from_slice(&(self.paths.max_len as u64).to_le_bytes());
-        out[24] = self.inline_depth;
+        out[24..32].copy_from_slice(&(self.paths.max_steps as u64).to_le_bytes());
+        out[32] = self.inline_depth;
         out
     }
 }

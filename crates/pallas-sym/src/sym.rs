@@ -35,19 +35,36 @@ pub enum Sym {
     Unknown,
 }
 
+/// Node budget for constructed symbolic expressions. Self-referential
+/// updates along an unrolled loop path (`x = x * x + x` executed many
+/// times) otherwise roughly double the tree per assignment, and every
+/// `State` event clones the current value — the fuzzer found a deep
+/// generated unit whose symbolic state reached gigabytes and stalled
+/// the extractor in the allocator. A result that would exceed the
+/// budget is widened to [`Sym::Unknown`], the usual sound
+/// over-approximation; every constructor keeps the invariant that a
+/// built value has at most this many nodes.
+const MAX_SYM_NODES: usize = 256;
+
 impl Sym {
     /// Constant-folds integer operands where possible, otherwise builds
-    /// a symbolic binary node.
+    /// a symbolic binary node (widened to `Unknown` over the node
+    /// budget).
     pub fn binary(op: BinOp, a: Sym, b: Sym) -> Sym {
         if let (Sym::Int(x), Sym::Int(y)) = (&a, &b) {
             if let Some(v) = fold(op, *x, *y) {
                 return Sym::Int(v);
             }
         }
+        let mut remaining = MAX_SYM_NODES;
+        if !(a.count_into(&mut remaining) && b.count_into(&mut remaining)) {
+            return Sym::Unknown;
+        }
         Sym::Binary(op, Box::new(a), Box::new(b))
     }
 
-    /// Constant-folds a unary operation where possible.
+    /// Constant-folds a unary operation where possible (widened to
+    /// `Unknown` over the node budget).
     pub fn unary(op: UnOp, a: Sym) -> Sym {
         if let Sym::Int(x) = &a {
             match op {
@@ -57,7 +74,27 @@ impl Sym {
                 _ => {}
             }
         }
+        let mut remaining = MAX_SYM_NODES;
+        if !a.count_into(&mut remaining) {
+            return Sym::Unknown;
+        }
         Sym::Unary(op, Box::new(a))
+    }
+
+    /// Counts this value's nodes against `remaining`, decrementing as
+    /// it walks; returns `false` as soon as the budget runs out, so the
+    /// walk is O(budget) no matter the tree size.
+    fn count_into(&self, remaining: &mut usize) -> bool {
+        if *remaining == 0 {
+            return false;
+        }
+        *remaining -= 1;
+        match self {
+            Sym::Call { args, .. } => args.iter().all(|a| a.count_into(remaining)),
+            Sym::Unary(_, a) => a.count_into(remaining),
+            Sym::Binary(_, a, b) => a.count_into(remaining) && b.count_into(remaining),
+            _ => true,
+        }
     }
 
     /// The concrete integer value, if this symbol is a constant.
@@ -187,6 +224,27 @@ mod tests {
         assert_eq!(Sym::Temp(1).to_string(), "(V#1)");
         let call = Sym::Call { callee: "memalloc_noio_flags".into(), args: vec![Sym::Input("gfp_mask".into())] };
         assert_eq!(call.to_string(), "(E#memalloc_noio_flags((S#gfp_mask)))");
+    }
+
+    #[test]
+    fn oversized_trees_stay_within_node_budget() {
+        // `x = x * x + x` style growth: without the node budget this
+        // doubles per step and reaches gigabytes within ~40 steps.
+        // With it, oversized results widen to Unknown (and may regrow
+        // from there), so every constructed value stays small.
+        let mut v = Sym::Input("x".into());
+        let mut widened = false;
+        for _ in 0..1000 {
+            let sq = Sym::binary(BinOp::Mul, v.clone(), v.clone());
+            v = Sym::binary(BinOp::Add, sq, v);
+            widened |= v == Sym::Unknown;
+            let mut remaining = MAX_SYM_NODES + 1;
+            assert!(v.count_into(&mut remaining), "value exceeded the node budget");
+        }
+        assert!(widened, "the growth chain must hit the budget at least once");
+        // Small combinations stay structural.
+        let s = Sym::binary(BinOp::Add, Sym::Input("a".into()), Sym::Input("b".into()));
+        assert!(matches!(s, Sym::Binary(..)));
     }
 
     #[test]

@@ -45,4 +45,17 @@ done
 wait "$SERVE_PID"
 echo "daemon smoke test: ok"
 
+echo "== fuzz smoke (fixed seed, differential oracles) =="
+# Two runs with the same seed must print the same digest line; any
+# panic or oracle divergence makes `pallas fuzz` exit nonzero.
+FUZZ_A="$("$PALLAS_BIN" fuzz --seed 42 --iters 200)"
+FUZZ_B="$("$PALLAS_BIN" fuzz --seed 42 --iters 200)"
+echo "$FUZZ_A"
+echo "$FUZZ_A" | grep -q "failures=0" || { echo "ci: fuzz smoke found failures" >&2; exit 1; }
+[ "$FUZZ_A" = "$FUZZ_B" ] || { echo "ci: fuzz digest not deterministic: '$FUZZ_A' vs '$FUZZ_B'" >&2; exit 1; }
+echo "fuzz smoke: ok"
+
+echo "== per-rule regression tests =="
+cargo test --release -q -p pallas-checkers --test rule_regressions
+
 echo "ci: all green"

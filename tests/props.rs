@@ -129,7 +129,7 @@ proptest! {
         let ast = parse(&src).unwrap();
         let f = ast.functions().next().unwrap();
         let cfg = build_cfg(&ast, f);
-        let config = PathConfig { max_paths, max_visits, max_len: 128 };
+        let config = PathConfig { max_paths, max_visits, max_len: 128, ..PathConfig::default() };
         let ps = enumerate_paths(&cfg, &config);
         prop_assert!(ps.paths.len() <= max_paths);
         for p in &ps.paths {
