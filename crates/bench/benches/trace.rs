@@ -1,0 +1,63 @@
+//! Tracing overhead table: the warm-cache engine path with the
+//! collector disabled (the default everyone runs), enabled (what a
+//! `--trace` run pays), and the raw per-call cost of a disabled span
+//! (one relaxed atomic load — the contract `tests/trace.rs` asserts
+//! stays under 5% of a warm check).
+//!
+//! `pallas-trace`'s collector is process-wide, so the whole bench
+//! holds `trace::exclusive()` and restores the disabled state between
+//! groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pallas_core::{Engine, SourceUnit};
+use pallas_trace as trace;
+
+fn warm_corpus_engine() -> (Engine, Vec<SourceUnit>) {
+    let corpus = pallas_corpus::new_paths();
+    let units: Vec<SourceUnit> = corpus.iter().map(|cu| cu.unit.clone()).collect();
+    let engine = Engine::new();
+    for unit in &units {
+        engine.check_unit(unit).expect("checks");
+    }
+    (engine, units)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let _x = trace::exclusive();
+    let (engine, units) = warm_corpus_engine();
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(10);
+
+    trace::set_enabled(false);
+    group.bench_function("warm-check-disabled", |b| {
+        b.iter(|| {
+            for unit in &units {
+                engine.check_unit(unit).expect("checks");
+            }
+        })
+    });
+
+    trace::start();
+    group.bench_function("warm-check-enabled", |b| {
+        b.iter(|| {
+            for unit in &units {
+                engine.check_unit(unit).expect("checks");
+            }
+            // Drain between iterations so the ring never saturates and
+            // the enabled cost includes the push, not drop-counting.
+            trace::take();
+        })
+    });
+    trace::stop();
+    trace::clear();
+
+    group.bench_function("disabled-span-call", |b| {
+        b.iter(|| {
+            let _s = trace::span(trace::Layer::Stage, "probe");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -101,6 +101,7 @@ pub struct PathSet {
 
 /// Enumerates entry-to-return paths under the given limits.
 pub fn enumerate_paths(cfg: &Cfg, config: &PathConfig) -> PathSet {
+    let mut span = pallas_trace::span(pallas_trace::Layer::Paths, "enumerate");
     let mut out = PathSet { paths: Vec::new(), truncated: false };
     let mut state = Walk {
         visits: vec![0usize; cfg.block_count()],
@@ -109,7 +110,30 @@ pub fn enumerate_paths(cfg: &Cfg, config: &PathConfig) -> PathSet {
         steps: 0,
     };
     walk(cfg, config, cfg.entry, &mut state, &mut out);
+    span.attr_u64("blocks", cfg.block_count() as u64);
+    span.attr_u64("paths", out.paths.len() as u64);
+    span.attr_u64("steps", state.steps as u64);
+    span.attr_u64("step_budget", config.max_steps as u64);
+    span.attr_bool("truncated", out.truncated);
     out
+}
+
+/// Marks the path set truncated, emitting one trace event the first
+/// time a limit fires (the same limit then fires on every doomed
+/// prefix, which would flood the ring).
+fn truncate(out: &mut PathSet, st: &Walk, cause: &'static str) {
+    if !out.truncated && pallas_trace::enabled() {
+        pallas_trace::instant(
+            pallas_trace::Layer::Paths,
+            "truncated",
+            vec![
+                ("cause", pallas_trace::AttrValue::Str(cause.to_string())),
+                ("steps", pallas_trace::AttrValue::U64(st.steps as u64)),
+                ("paths", pallas_trace::AttrValue::U64(out.paths.len() as u64)),
+            ],
+        );
+    }
+    out.truncated = true;
 }
 
 /// Mutable DFS state threaded through [`walk`].
@@ -122,20 +146,20 @@ struct Walk {
 
 fn walk(cfg: &Cfg, config: &PathConfig, bb: BlockId, st: &mut Walk, out: &mut PathSet) {
     if out.paths.len() >= config.max_paths {
-        out.truncated = true;
+        truncate(out, st, "max_paths");
         return;
     }
     if st.steps >= config.max_steps {
-        out.truncated = true;
+        truncate(out, st, "max_steps");
         return;
     }
     st.steps += 1;
     if st.visits[bb.0 as usize] >= config.max_visits {
-        out.truncated = true;
+        truncate(out, st, "max_visits");
         return;
     }
     if st.blocks.len() >= config.max_len {
-        out.truncated = true;
+        truncate(out, st, "max_len");
         return;
     }
     st.visits[bb.0 as usize] += 1;

@@ -106,12 +106,29 @@ pub fn run_selected_timed(
         if !classes.contains(&class) {
             continue;
         }
+        let mut span = pallas_trace::span(pallas_trace::Layer::Checker, checker.name());
         let started = std::time::Instant::now();
         let found = checker.check(cx);
+        let elapsed = started.elapsed();
+        span.attr_u64("warnings", found.len() as u64);
+        // Per-rule outcome events, nested inside the family span. The
+        // families compute all their rules in one pass, so the rule
+        // layer carries counts rather than durations.
+        if pallas_trace::enabled() {
+            for rule in Rule::ALL.iter().filter(|r| r.class() == class) {
+                let count = found.iter().filter(|w| w.rule == *rule).count();
+                pallas_trace::instant(
+                    pallas_trace::Layer::Rule,
+                    rule.number(),
+                    vec![("warnings", pallas_trace::AttrValue::U64(count as u64))],
+                );
+            }
+        }
+        drop(span);
         timings.push(CheckerTiming {
             class,
             name: checker.name(),
-            elapsed: started.elapsed(),
+            elapsed,
             warnings: found.len(),
         });
         warnings.extend(found);

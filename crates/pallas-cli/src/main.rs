@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
-//!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]  run the checkers
-//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N]  analysis daemon
+//!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]
+//!              [--trace] [--trace-out <trace.json>]       run the checkers
+//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--trace]  analysis daemon
 //! pallas client <socket> check <file.c>... [--spec S] [--json]  check via a daemon
-//! pallas client <socket> stats|shutdown|request <req.json>      daemon control
+//! pallas client <socket> stats|trace|shutdown|request <req.json>  daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
 //! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
 //! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
@@ -19,10 +20,14 @@
 //! (any `.h` arguments are merged into every unit as shared headers) —
 //! and distributes them over `--jobs N` worker threads with work
 //! stealing. `--stage-stats` appends the per-stage timing breakdown;
-//! `--json` emits the NDJSON findings stream. `serve` runs the
-//! persistent daemon from `pallas-service`; `client check` prints
-//! byte-identical output to a local `check` while sharing the
-//! daemon's warm frontend cache.
+//! `--json` emits the NDJSON findings stream. `--trace` enables the
+//! structured span collector and prints a flame summary to stderr;
+//! `--trace-out FILE` additionally writes the Chrome trace-event
+//! export (load it at chrome://tracing or ui.perfetto.dev). `serve`
+//! runs the persistent daemon from `pallas-service`; `client check`
+//! prints byte-identical output to a local `check` while sharing the
+//! daemon's warm frontend cache, and `client trace` drains a
+//! `serve --trace` daemon's collector.
 
 use pallas_core::{render_unit_report, score, Engine, Pallas, Score, SourceUnit};
 use pallas_service::{Client, Server, ServiceConfig, Value};
@@ -70,10 +75,10 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]\n\
-         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--trace] [--trace-out <trace.json>]\n\
+         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--trace]\n\
          \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--json]\n\
-         \x20 pallas client <socket> stats | shutdown | request <request.json>\n\
+         \x20 pallas client <socket> stats | trace | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
          \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
@@ -121,10 +126,10 @@ fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
 }
 
 /// Flags of `check` that consume the following argument.
-const CHECK_VALUE_FLAGS: [&str; 2] = ["--spec", "--jobs"];
+const CHECK_VALUE_FLAGS: [&str; 3] = ["--spec", "--jobs", "--trace-out"];
 
 /// Boolean flags of `check`.
-const CHECK_BOOL_FLAGS: [&str; 4] = ["--stage-stats", "--tsv", "--json", "--suggest"];
+const CHECK_BOOL_FLAGS: [&str; 5] = ["--stage-stats", "--tsv", "--json", "--suggest", "--trace"];
 
 /// Rejects unknown flags and value flags without a value, so a typo
 /// fails loudly instead of being silently ignored.
@@ -215,6 +220,15 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     .max(1);
     let units = load_units(args)?;
+    let trace_out = flag_value(args, "--trace-out");
+    let tracing = has_flag(args, "--trace") || trace_out.is_some();
+    // The collector is process-wide: hold the exclusivity guard for
+    // the whole traced run so nothing else drains it under us.
+    let trace_guard = tracing.then(|| {
+        let guard = pallas_trace::exclusive();
+        pallas_trace::start();
+        guard
+    });
     let engine = Engine::new();
     let mut failures = Vec::new();
     for result in engine.check_many_jobs(&units, jobs) {
@@ -250,6 +264,16 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     if has_flag(args, "--stage-stats") && !has_flag(args, "--tsv") && !has_flag(args, "--json") {
         print!("{}", pallas_core::render_engine_stats(&engine.stats()));
+    }
+    if tracing {
+        let records = pallas_trace::stop();
+        if let Some(path) = trace_out {
+            std::fs::write(path, pallas_trace::chrome::export_chrome(&records))
+                .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+            eprintln!("trace: wrote {} event(s) to `{path}`", records.len());
+        }
+        eprint!("{}", pallas_trace::summary::render_trace_summary(&records, 15));
+        drop(trace_guard);
     }
     if failures.is_empty() {
         Ok(())
@@ -327,7 +351,12 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    validate_flags("serve", args, &["--workers", "--queue-depth", "--timeout-ms"], &[])?;
+    validate_flags(
+        "serve",
+        args,
+        &["--workers", "--queue-depth", "--timeout-ms"],
+        &["--trace"],
+    )?;
     let socket = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -339,16 +368,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         timeout: Duration::from_millis(
             numeric_flag(args, "--timeout-ms", defaults.timeout.as_millis() as usize)? as u64,
         ),
+        trace: has_flag(args, "--trace"),
         ..defaults
     };
+    let (workers, queue_depth, timeout_ms) =
+        (config.workers, config.queue_depth, config.timeout.as_millis());
     let handle = Server::start(socket, config)
         .map_err(|e| format!("cannot serve on `{socket}`: {e}"))?;
     println!(
-        "serving on `{socket}` (workers {}, queue depth {}, timeout {}ms); \
-         send {{\"op\":\"shutdown\"}} to stop",
-        config.workers,
-        config.queue_depth,
-        config.timeout.as_millis()
+        "serving on `{socket}` (workers {workers}, queue depth {queue_depth}, \
+         timeout {timeout_ms}ms); send {{\"op\":\"shutdown\"}} to stop"
     );
     // Blocks until a shutdown request arrives, then logs the metrics
     // summary the registry accumulated over the daemon's lifetime.
@@ -364,7 +393,9 @@ fn connect_client(socket: &str) -> Result<Client, String> {
 fn cmd_client(args: &[String]) -> Result<(), String> {
     let socket = args.first().ok_or("missing socket path argument")?.clone();
     let rest = &args[1..];
-    let sub = rest.first().ok_or("missing client subcommand (check|stats|shutdown|request)")?;
+    let sub = rest
+        .first()
+        .ok_or("missing client subcommand (check|stats|trace|shutdown|request)")?;
     let sub_args = &rest[1..];
     match sub.as_str() {
         "check" => cmd_client_check(&socket, sub_args),
@@ -373,6 +404,18 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 .stats()
                 .map_err(|e| format!("stats request failed: {e}"))?;
             println!("{response}");
+            Ok(())
+        }
+        "trace" => {
+            let response = connect_client(&socket)?
+                .trace()
+                .map_err(|e| format!("trace request failed: {e}"))?;
+            // The summary is human-oriented; print it as text and
+            // leave the Chrome export to `request` users.
+            match response.get("summary").and_then(Value::as_str) {
+                Some(summary) => print!("{summary}"),
+                None => println!("{response}"),
+            }
             Ok(())
         }
         "shutdown" => {

@@ -315,10 +315,19 @@ impl Engine {
     /// from scratch on every call.
     pub fn check_unit(&self, unit: &SourceUnit) -> Result<AnalyzedUnit, PallasError> {
         let started = Instant::now();
+        let mut unit_span = pallas_trace::span(pallas_trace::Layer::Unit, &unit.name);
         let counters = &self.inner.counters;
         let mut timings = Vec::with_capacity(Stage::ALL.len());
         let key = fingerprint::fingerprint_unit(unit, &self.inner.config.extract);
         let cached = self.inner.cache.lock().expect("engine cache").get(&key);
+        let hit = cached.is_some();
+        if pallas_trace::enabled() {
+            pallas_trace::instant(
+                pallas_trace::Layer::Cache,
+                if hit { "cache-hit" } else { "cache-miss" },
+                vec![("fingerprint", pallas_trace::AttrValue::U64(key))],
+            );
+        }
         let frontend = match cached {
             Some(frontend) => {
                 counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -330,14 +339,22 @@ impl Engine {
             None => {
                 counters.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let frontend = Arc::new(self.build_frontend(unit, &mut timings)?);
-                self.inner
-                    .cache
-                    .lock()
-                    .expect("engine cache")
-                    .insert(key, Arc::clone(&frontend));
+                let mut cache = self.inner.cache.lock().expect("engine cache");
+                let evictions_before = cache.evictions();
+                cache.insert(key, Arc::clone(&frontend));
+                let evicted = cache.evictions() - evictions_before;
+                drop(cache);
+                if evicted > 0 && pallas_trace::enabled() {
+                    pallas_trace::instant(
+                        pallas_trace::Layer::Cache,
+                        "cache-evict",
+                        vec![("evicted", pallas_trace::AttrValue::U64(evicted))],
+                    );
+                }
                 frontend
             }
         };
+        let check_span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Check.name());
         let check_started = Instant::now();
         let (warnings, checker_timings) = run_all_timed(&CheckContext {
             db: &frontend.db,
@@ -345,12 +362,15 @@ impl Engine {
             ast: &frontend.ast,
         });
         let lint = frontend.spec.lint();
+        drop(check_span);
         counters.checks.fetch_add(1, Ordering::Relaxed);
         timings.push(StageTiming {
             stage: Stage::Check,
             elapsed: check_started.elapsed(),
             cached: false,
         });
+        unit_span.attr_bool("cached", hit);
+        unit_span.attr_u64("warnings", warnings.len() as u64);
         for t in &timings {
             counters.stage_nanos[t.stage.index()]
                 .fetch_add(t.elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -460,11 +480,14 @@ impl Engine {
             timings.push(StageTiming { stage: s, elapsed, cached: false });
         };
 
+        let span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Merge.name());
         let t = Instant::now();
         let (merged_src, merge_map) = unit.merge();
         counters.merges.fetch_add(1, Ordering::Relaxed);
         stage(Stage::Merge, timings, t.elapsed());
+        drop(span);
 
+        let mut span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Parse.name());
         let t = Instant::now();
         counters.parses.fetch_add(1, Ordering::Relaxed);
         let ast = parse(&merged_src).map_err(|e| PallasError {
@@ -472,7 +495,10 @@ impl Engine {
             kind: PallasErrorKind::Parse(e),
         })?;
         stage(Stage::Parse, timings, t.elapsed());
+        span.attr_u64("bytes", merged_src.len() as u64);
+        drop(span);
 
+        let span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Spec.name());
         let t = Instant::now();
         counters.spec_parses.fetch_add(1, Ordering::Relaxed);
         let mut spec = parse_spec(&unit.spec_text).map_err(|e| PallasError {
@@ -490,11 +516,15 @@ impl Engine {
             spec.unit = unit.name.clone();
         }
         stage(Stage::Spec, timings, t.elapsed());
+        drop(span);
 
+        let mut span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Extract.name());
         let t = Instant::now();
         counters.extracts.fetch_add(1, Ordering::Relaxed);
         let db = extract(&unit.name, &ast, &merged_src, &self.inner.config.extract);
         stage(Stage::Extract, timings, t.elapsed());
+        span.attr_u64("functions", db.functions.len() as u64);
+        drop(span);
 
         Ok(Frontend { merged_src, merge_map, ast, spec, db })
     }

@@ -25,6 +25,9 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let jobs = jobs.clamp(1, items.len().max(1));
+    let mut batch = pallas_trace::span(pallas_trace::Layer::Sched, "batch");
+    batch.attr_u64("items", items.len() as u64);
+    batch.attr_u64("jobs", jobs as u64);
     if jobs == 1 {
         return items.iter().map(|item| run_caught(&f, item)).collect();
     }
@@ -37,12 +40,17 @@ where
     let slots: Vec<Mutex<Option<Result<R, String>>>> =
         (0..items.len()).map(|_| Mutex::new(None)).collect();
     crossbeam::thread::scope(|scope| {
-        for local in workers {
+        for (worker_index, local) in workers.into_iter().enumerate() {
             let (injector, stealers, slots, f) = (&injector, &stealers, &slots, &f);
             scope.spawn(move |_| {
+                let mut span = pallas_trace::span(pallas_trace::Layer::Sched, "worker");
+                span.attr_u64("worker", worker_index as u64);
+                let mut ran = 0u64;
                 while let Some(index) = find_task(&local, injector, stealers) {
                     *slots[index].lock().expect("result slot") = Some(run_caught(f, &items[index]));
+                    ran += 1;
                 }
+                span.attr_u64("tasks", ran);
             });
         }
     })

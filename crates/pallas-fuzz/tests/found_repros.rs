@@ -1,0 +1,83 @@
+//! Replays every artifact in `crates/pallas-fuzz/found/` through the
+//! full oracle battery as a regression test.
+//!
+//! `pallas fuzz --found-dir crates/pallas-fuzz/found` writes each
+//! failure as `seed-<seed>-<signature>.c` plus a sibling `.spec` (and
+//! a `.txt` note). Committing those files makes the failure a
+//! permanent regression: this test scans the directory, rebuilds each
+//! unit, and asserts the oracles now pass — so a repro stays red
+//! until the underlying bug is fixed, then keeps guarding it forever.
+//!
+//! A clean tree (no artifacts, as on a healthy branch) passes
+//! trivially; the directory only ever contains `README.md` then.
+
+use pallas_core::SourceUnit;
+use pallas_fuzz::run_oracles;
+use std::path::{Path, PathBuf};
+
+fn found_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("found")
+}
+
+/// Every `.c` artifact in `found/`, sorted for stable test order.
+fn artifacts() -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(found_dir()) else {
+        return Vec::new(); // no directory at all: nothing to replay
+    };
+    let mut sources: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "c"))
+        .collect();
+    sources.sort();
+    sources
+}
+
+fn unit_from_artifact(source: &Path) -> SourceUnit {
+    let name = source.file_stem().unwrap().to_string_lossy().into_owned();
+    let src = std::fs::read_to_string(source)
+        .unwrap_or_else(|e| panic!("cannot read `{}`: {e}", source.display()));
+    let spec_path = source.with_extension("spec");
+    let spec = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        panic!(
+            "artifact `{}` lacks its sibling spec `{}`: {e}",
+            source.display(),
+            spec_path.display()
+        )
+    });
+    SourceUnit::new(name).with_file("fuzz.c", src).with_spec(spec)
+}
+
+#[test]
+fn every_found_artifact_passes_the_oracle_battery() {
+    let mut failures = Vec::new();
+    for source in artifacts() {
+        let unit = unit_from_artifact(&source);
+        if let Err(f) = run_oracles(&unit, None) {
+            failures.push(format!(
+                "{}: oracle `{}` still fails: {}",
+                source.display(),
+                f.oracle.tag(),
+                f.detail
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} found-artifact repro(s) still failing:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Guards the pairing convention the replay relies on: a `.c` without
+/// its `.spec` would silently replay with the wrong (empty) spec.
+#[test]
+fn every_artifact_has_its_spec_sibling() {
+    for source in artifacts() {
+        assert!(
+            source.with_extension("spec").exists(),
+            "`{}` has no sibling .spec file",
+            source.display()
+        );
+    }
+}

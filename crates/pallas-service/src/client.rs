@@ -78,6 +78,12 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Drains the daemon's trace collector (Chrome export + flame
+    /// summary of everything recorded since the last drain).
+    pub fn trace(&mut self) -> std::io::Result<Value> {
+        self.request(&Request::Trace)
+    }
+
     /// Asks the daemon to drain and exit.
     pub fn shutdown(&mut self) -> std::io::Result<Value> {
         self.request(&Request::Shutdown)

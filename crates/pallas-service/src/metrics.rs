@@ -11,30 +11,58 @@ use pallas_core::{EngineStats, Stage, StageTiming};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Histogram bucket upper bounds, in microseconds. The last implicit
-/// bucket is `+inf`. Spans 50µs (a warm cache hit over the socket) to
-/// 1s (a path-explosion outlier).
+/// Default histogram bucket upper bounds, in microseconds. The last
+/// implicit bucket is `+inf`. Spans 50µs (a warm cache hit over the
+/// socket) to 1s (a path-explosion outlier). Deployments watching a
+/// different latency regime override these through
+/// [`ServiceConfig::bucket_bounds_us`](crate::ServiceConfig).
 pub const BUCKET_BOUNDS_US: [u64; 12] =
     [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000];
 
 /// A fixed-bucket latency histogram with total count and sum.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Histogram {
-    /// One count per bound in [`BUCKET_BOUNDS_US`], plus the
-    /// overflow bucket at the end.
-    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    /// Bucket upper bounds, sorted ascending, each inclusive.
+    bounds_us: Vec<u64>,
+    /// One count per bound, plus the overflow bucket at the end.
+    counts: Vec<AtomicU64>,
     total: AtomicU64,
     sum_us: AtomicU64,
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&BUCKET_BOUNDS_US)
+    }
+}
+
 impl Histogram {
-    /// Records one observation.
+    /// A histogram with explicit bucket upper bounds (microseconds,
+    /// each inclusive). Bounds are sorted and deduplicated; an empty
+    /// slice leaves only the overflow bucket.
+    pub fn new(bounds_us: &[u64]) -> Histogram {
+        let mut bounds_us = bounds_us.to_vec();
+        bounds_us.sort_unstable();
+        bounds_us.dedup();
+        let counts = (0..bounds_us.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds_us, counts, total: AtomicU64::new(0), sum_us: AtomicU64::new(0) }
+    }
+
+    /// The bucket upper bounds this histogram was built with.
+    pub fn bounds_us(&self) -> &[u64] {
+        &self.bounds_us
+    }
+
+    /// Records one observation. An observation exactly on a bound
+    /// lands in that bound's bucket (bounds are inclusive); anything
+    /// above the top bound lands in the overflow bucket.
     pub fn record(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = BUCKET_BOUNDS_US
+        let bucket = self
+            .bounds_us
             .iter()
             .position(|&bound| us <= bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
+            .unwrap_or(self.bounds_us.len());
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
@@ -53,7 +81,7 @@ impl Histogram {
     /// Snapshot as a JSON object: bounds, per-bucket counts, count, sum.
     pub fn to_json(&self) -> Value {
         obj(vec![
-            ("bounds_us", Value::Arr(BUCKET_BOUNDS_US.iter().map(|&b| n(b)).collect())),
+            ("bounds_us", Value::Arr(self.bounds_us.iter().map(|&b| n(b)).collect())),
             (
                 "counts",
                 Value::Arr(self.counts.iter().map(|c| n(c.load(Ordering::Relaxed))).collect()),
@@ -83,12 +111,30 @@ pub struct ServiceMetrics {
     pub protocol_errors: AtomicU64,
     /// End-to-end request latency (admission + analysis).
     pub request_latency: Histogram,
+    /// Time jobs sat in the admission queue before a worker picked
+    /// them up.
+    pub queue_wait: Histogram,
+    /// Time workers spent executing jobs (the end-to-end latency
+    /// minus queue wait and socket overhead).
+    pub execute_latency: Histogram,
     /// Per-pipeline-stage latency, in [`Stage::ALL`] order, fed from
     /// each analyzed unit's stage timings (cached stages record 0).
     pub stage_latency: [Histogram; 5],
 }
 
 impl ServiceMetrics {
+    /// A registry whose histograms all use the given bucket bounds
+    /// (microseconds) instead of [`BUCKET_BOUNDS_US`].
+    pub fn with_bounds(bounds_us: &[u64]) -> ServiceMetrics {
+        ServiceMetrics {
+            request_latency: Histogram::new(bounds_us),
+            queue_wait: Histogram::new(bounds_us),
+            execute_latency: Histogram::new(bounds_us),
+            stage_latency: std::array::from_fn(|_| Histogram::new(bounds_us)),
+            ..ServiceMetrics::default()
+        }
+    }
+
     /// Bumps a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
@@ -154,6 +200,8 @@ impl ServiceMetrics {
                 ]),
             ),
             ("request_latency", self.request_latency.to_json()),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("execute_latency", self.execute_latency.to_json()),
             ("stage_latency", Value::Obj(stage_latency)),
         ])
     }
@@ -203,6 +251,58 @@ mod tests {
     #[test]
     fn mean_is_zero_when_empty() {
         assert_eq!(Histogram::default().mean_us(), 0);
+    }
+
+    /// Regression: an observation exactly on the top bound must land
+    /// in the last finite bucket, and one microsecond above it in the
+    /// overflow bucket — the boundary where `<` vs `<=` bucketing
+    /// silently misfiles the slowest real requests.
+    #[test]
+    fn top_bound_is_inclusive_and_overflow_starts_just_above_it() {
+        let h = Histogram::default();
+        let top = *BUCKET_BOUNDS_US.last().unwrap();
+        h.record(Duration::from_micros(top));
+        h.record(Duration::from_micros(top + 1));
+        let snap = h.to_json();
+        let counts = snap.get("counts").and_then(Value::as_arr).unwrap();
+        assert_eq!(counts[BUCKET_BOUNDS_US.len() - 1].as_u64(), Some(1), "on-bound");
+        assert_eq!(counts[BUCKET_BOUNDS_US.len()].as_u64(), Some(1), "just above");
+    }
+
+    #[test]
+    fn custom_bounds_are_sorted_deduped_and_used_verbatim() {
+        let h = Histogram::new(&[500, 100, 100, 1_000]);
+        assert_eq!(h.bounds_us(), &[100, 500, 1_000]);
+        h.record(Duration::from_micros(100)); // bucket 0 (inclusive)
+        h.record(Duration::from_micros(101)); // bucket 1
+        h.record(Duration::from_micros(2_000)); // overflow
+        let counts_json = h.to_json();
+        let counts = counts_json.get("counts").and_then(Value::as_arr).unwrap();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts[0].as_u64(), Some(1));
+        assert_eq!(counts[1].as_u64(), Some(1));
+        assert_eq!(counts[3].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn empty_bounds_leave_only_the_overflow_bucket() {
+        let h = Histogram::new(&[]);
+        h.record(Duration::from_micros(1));
+        let snap = h.to_json();
+        let counts = snap.get("counts").and_then(Value::as_arr).unwrap();
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn with_bounds_applies_to_every_histogram() {
+        let metrics = ServiceMetrics::with_bounds(&[10, 20]);
+        assert_eq!(metrics.request_latency.bounds_us(), &[10, 20]);
+        assert_eq!(metrics.queue_wait.bounds_us(), &[10, 20]);
+        assert_eq!(metrics.execute_latency.bounds_us(), &[10, 20]);
+        for h in &metrics.stage_latency {
+            assert_eq!(h.bounds_us(), &[10, 20]);
+        }
     }
 
     #[test]

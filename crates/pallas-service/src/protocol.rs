@@ -8,6 +8,7 @@
 //! {"op":"check","unit":UNIT}                 check one unit
 //! {"op":"batch","units":[UNIT,...]}          check many (work-stealing pool)
 //! {"op":"stats"}                             metrics + engine counters
+//! {"op":"trace"}                             drain the trace collector
 //! {"op":"shutdown"}                          drain in-flight work and exit
 //! ```
 //!
@@ -52,6 +53,12 @@ pub enum Request {
     },
     /// Sample the metrics registry.
     Stats,
+    /// Drain the trace collector: the response carries the Chrome
+    /// trace-event export and the flame summary of every span recorded
+    /// since the previous `trace` request (draining resets the
+    /// collector). Useful output needs the daemon started with tracing
+    /// on (`ServiceConfig::trace` / `pallas serve --trace`).
+    Trace,
     /// Graceful shutdown: drain, log metrics, exit.
     Shutdown,
 }
@@ -83,6 +90,7 @@ impl Request {
                 Ok(Request::Batch { units, delay })
             }
             "stats" => Ok(Request::Stats),
+            "trace" => Ok(Request::Trace),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -107,6 +115,7 @@ impl Request {
                 }
             }
             Request::Stats => fields.push(("op", s("stats"))),
+            Request::Trace => fields.push(("op", s("trace"))),
             Request::Shutdown => fields.push(("op", s("shutdown"))),
         }
         obj(fields).to_string()
@@ -239,7 +248,7 @@ mod tests {
 
     #[test]
     fn control_requests_roundtrip() {
-        for request in [Request::Stats, Request::Shutdown] {
+        for request in [Request::Stats, Request::Trace, Request::Shutdown] {
             assert_eq!(Request::parse(&request.to_line()).unwrap(), request);
         }
     }

@@ -40,7 +40,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Daemon configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads executing admitted jobs (also the fan-out width
     /// of a `batch` request).
@@ -52,6 +52,13 @@ pub struct ServiceConfig {
     pub timeout: Duration,
     /// Engine configuration (extraction limits + frontend cache bound).
     pub engine: EngineConfig,
+    /// Latency histogram bucket upper bounds, in microseconds (each
+    /// inclusive; an implicit `+inf` bucket follows the last). Applies
+    /// to every histogram in the metrics registry.
+    pub bucket_bounds_us: Vec<u64>,
+    /// Start the process-wide trace collector when the daemon comes
+    /// up; the `trace` protocol request drains it.
+    pub trace: bool,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +68,8 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             timeout: Duration::from_secs(30),
             engine: EngineConfig::default(),
+            bucket_bounds_us: crate::metrics::BUCKET_BOUNDS_US.to_vec(),
+            trace: false,
         }
     }
 }
@@ -72,11 +81,30 @@ struct Job {
     /// Set by the connection thread when its timeout fires; a worker
     /// seeing the flag before starting skips the job entirely.
     cancelled: Arc<AtomicBool>,
+    /// When the connection thread submitted the job; the gap to a
+    /// worker picking it up is the queue wait.
+    submitted: Instant,
 }
 
 enum JobKind {
     Check { unit: SourceUnit, delay: Option<Duration> },
     Batch { units: Vec<SourceUnit>, delay: Option<Duration> },
+}
+
+impl JobKind {
+    fn op_name(&self) -> &'static str {
+        match self {
+            JobKind::Check { .. } => "check",
+            JobKind::Batch { .. } => "batch",
+        }
+    }
+
+    fn unit_count(&self) -> usize {
+        match self {
+            JobKind::Check { .. } => 1,
+            JobKind::Batch { units, .. } => units.len(),
+        }
+    }
 }
 
 /// Everything the connection and worker threads share.
@@ -102,14 +130,18 @@ impl Server {
         }
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
+        if config.trace {
+            pallas_trace::set_enabled(true);
+        }
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             engine: Engine::with_engine_config(config.engine),
-            metrics: ServiceMetrics::default(),
+            metrics: ServiceMetrics::with_bounds(&config.bucket_bounds_us),
             admission: Admission::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
             config,
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -286,6 +318,19 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> (String, bool) {
             shared.shutdown.store(true, Ordering::Relaxed);
             (obj(vec![("ok", Value::Bool(true)), ("shutdown", Value::Bool(true))]).to_string(), true)
         }
+        Request::Trace => {
+            let enabled = pallas_trace::enabled();
+            let records = pallas_trace::take();
+            let response = obj(vec![
+                ("ok", Value::Bool(true)),
+                ("enabled", Value::Bool(enabled)),
+                ("spans", crate::json::n(records.len() as u64)),
+                ("dropped", crate::json::n(pallas_trace::dropped())),
+                ("chrome", crate::json::s(pallas_trace::chrome::export_chrome(&records))),
+                ("summary", crate::json::s(pallas_trace::summary::render_trace_summary(&records, 10))),
+            ]);
+            (response.to_string(), false)
+        }
         Request::Check { unit, delay } => {
             (submit_and_wait(shared, JobKind::Check { unit, delay }), false)
         }
@@ -301,7 +346,7 @@ fn submit_and_wait(shared: &Arc<Shared>, kind: JobKind) -> String {
     let started = Instant::now();
     let (reply, response) = mpsc::channel();
     let cancelled = Arc::new(AtomicBool::new(false));
-    let job = Job { kind, reply, cancelled: Arc::clone(&cancelled) };
+    let job = Job { kind, reply, cancelled: Arc::clone(&cancelled), submitted: started };
     match shared.admission.submit(job) {
         Err(AdmissionError::Overloaded { depth }) => {
             ServiceMetrics::bump(&shared.metrics.rejected_overload);
@@ -338,7 +383,17 @@ fn worker_loop(shared: &Arc<Shared>) {
             // don't burn engine time on a response nobody reads.
             continue;
         }
+        let queue_wait = job.submitted.elapsed();
+        shared.metrics.queue_wait.record(queue_wait);
+        let mut span = pallas_trace::span(pallas_trace::Layer::Request, job.kind.op_name());
+        span.attr_u64("queue_wait_us", queue_wait.as_micros() as u64);
+        span.attr_u64("units", job.kind.unit_count() as u64);
+        let execute_started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job.kind)));
+        let execute = execute_started.elapsed();
+        shared.metrics.execute_latency.record(execute);
+        span.attr_u64("execute_us", execute.as_micros() as u64);
+        drop(span);
         let line = outcome
             .unwrap_or_else(|_| error_response("internal: analysis worker panicked"));
         // The receiver may be gone (timeout); that is fine.

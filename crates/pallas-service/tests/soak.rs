@@ -1,0 +1,169 @@
+//! Daemon soak test: sustained mixed load against one server.
+//!
+//! Several client threads hammer the daemon with a mix of `check`
+//! (warm and cold units), `batch`, and `stats` requests for the soak
+//! duration, while a sampler thread polls `stats` and records the
+//! queue depth and counter values. The run must show:
+//!
+//! * **zero dropped responses** — every request line gets exactly one
+//!   well-formed response line back, none of them timeouts, overloads,
+//!   or internal errors;
+//! * **flat queue depth** — the pending queue stays within its bound
+//!   throughout and drains to zero once the load stops (no leak of
+//!   admitted-but-never-finished jobs);
+//! * **monotone counters** — `received`, `completed`, and the
+//!   latency-histogram counts never move backwards between samples.
+//!
+//! Duration is controlled by `PALLAS_SOAK_SECS` (default 5, the CI
+//! setting). For a real soak run it locally with
+//! `PALLAS_SOAK_SECS=60 cargo test -p pallas-service --test soak`.
+
+use pallas_core::SourceUnit;
+use pallas_service::{Client, Server, ServiceConfig, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn soak_duration() -> Duration {
+    let secs = std::env::var("PALLAS_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(5);
+    Duration::from_secs(secs.max(1))
+}
+
+fn unit(i: usize) -> SourceUnit {
+    SourceUnit::new(format!("soak/u{i}"))
+        .with_file(
+            "u.c",
+            format!(
+                "typedef unsigned int gfp_t;\n\
+                 int noio(gfp_t m);\n\
+                 int fast{i}(gfp_t gfp_mask) {{ gfp_mask = noio(gfp_mask); return {i}; }}\n"
+            ),
+        )
+        .with_spec(format!("fastpath fast{i}; immutable gfp_mask;"))
+}
+
+/// One stats sample's monotone slice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+struct Counters {
+    received: u64,
+    completed: u64,
+    latency_count: u64,
+}
+
+fn sample(client: &mut Client) -> (Counters, u64) {
+    let response = client.stats().expect("stats request");
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let stats = response.get("stats").expect("stats payload");
+    let service = stats.get("service").expect("service section");
+    let get = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let counters = Counters {
+        received: get(service, "received"),
+        completed: get(service, "completed"),
+        latency_count: stats
+            .get("request_latency")
+            .map(|h| get(h, "count"))
+            .unwrap_or(0),
+    };
+    (counters, get(service, "queue_depth"))
+}
+
+#[test]
+fn daemon_survives_sustained_mixed_load() {
+    let socket =
+        std::env::temp_dir().join(format!("pallas-soak-{}.sock", std::process::id()));
+    let config = ServiceConfig {
+        workers: 2,
+        queue_depth: 32,
+        timeout: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    };
+    let queue_bound = config.queue_depth as u64;
+    let handle = Server::start(&socket, config).expect("daemon starts");
+    let deadline = Instant::now() + soak_duration();
+
+    let stop = AtomicBool::new(false);
+    let sent = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+    let max_depth = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Three load threads: two single-checks over a rotating unit
+        // window (warm hits + fresh misses), one batcher.
+        for t in 0..2usize {
+            let (socket, sent, answered) = (&socket, &sent, &answered);
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).expect("load client connects");
+                let mut i = t;
+                while Instant::now() < deadline {
+                    let u = unit(i % 7); // 7 distinct units: mostly warm
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    let response = client.check(&u).expect("check response arrives");
+                    assert_eq!(
+                        response.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "check failed mid-soak: {response}"
+                    );
+                    answered.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut client = Client::connect(&socket).expect("batch client connects");
+            let mut wave = 0usize;
+            while Instant::now() < deadline {
+                let units: Vec<SourceUnit> =
+                    (0..3).map(|k| unit(100 + (wave + k) % 5)).collect();
+                sent.fetch_add(1, Ordering::Relaxed);
+                let response = client.batch(&units).expect("batch response arrives");
+                assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+                let results = response.get("results").and_then(Value::as_arr).unwrap();
+                assert_eq!(results.len(), 3, "batch answers every unit");
+                answered.fetch_add(1, Ordering::Relaxed);
+                wave += 1;
+            }
+        });
+        // Sampler: counters must be monotone, depth bounded.
+        scope.spawn(|| {
+            let mut client = Client::connect(&socket).expect("sampler connects");
+            let mut last = Counters::default();
+            while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                let (counters, depth) = sample(&mut client);
+                assert!(
+                    counters >= last,
+                    "counters moved backwards: {last:?} -> {counters:?}"
+                );
+                assert!(
+                    depth <= queue_bound,
+                    "queue depth {depth} exceeded its bound {queue_bound}"
+                );
+                max_depth.fetch_max(depth, Ordering::Relaxed);
+                last = counters;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    });
+    stop.store(true, Ordering::Relaxed);
+
+    // Load is gone: the queue must drain fully, and the final counters
+    // must account for every response the clients received.
+    let mut client = Client::connect(&socket).expect("final client connects");
+    let (final_counters, final_depth) = sample(&mut client);
+    assert_eq!(final_depth, 0, "queue did not drain after the load stopped");
+    let sent = sent.load(Ordering::Relaxed);
+    let answered = answered.load(Ordering::Relaxed);
+    assert!(sent > 0, "soak sent no load");
+    assert_eq!(answered, sent, "dropped {} response(s)", sent - answered);
+    assert!(
+        final_counters.latency_count >= sent,
+        "latency histogram saw {} of {sent} requests",
+        final_counters.latency_count
+    );
+    assert!(final_counters.completed >= sent, "completed units < requests");
+
+    client.shutdown().expect("shutdown");
+    let summary = handle.wait();
+    assert!(summary.contains("0 timed out"), "soak requests timed out: {summary}");
+}

@@ -57,7 +57,10 @@ pub fn extract(unit: &str, ast: &Ast, src: &str, config: &ExtractConfig) -> Path
     let mut db = PathDb::new(unit);
     let mut summaries: SummaryCache = HashMap::new();
     for func in ast.functions() {
+        let mut span = pallas_trace::span(pallas_trace::Layer::Paths, &func.sig.name);
         let fp = extract_function(ast, &lm, &func.sig.name, config, &mut summaries);
+        span.attr_u64("paths", fp.records.len() as u64);
+        span.attr_bool("truncated", fp.truncated);
         db.insert(fp);
     }
     db

@@ -1,0 +1,201 @@
+//! Terminal flame summary: where the time actually went.
+//!
+//! Aggregates spans by `(layer, name)` and ranks them by **self
+//! time** — duration minus the duration of direct children on the
+//! same thread — so a parent that merely contains expensive children
+//! does not crowd the table. This is the "flame graph folded into a
+//! table" view for terminals; the Chrome export carries the full
+//! hierarchy.
+
+use crate::{Layer, Record};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Default, Clone, Copy)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Computes per-span self time (duration minus direct children) by a
+/// stack sweep over each thread's spans in start order.
+fn self_times(records: &[Record]) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..records.len())
+        .filter(|&i| records[i].dur_ns.is_some())
+        .collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&records[a], &records[b]);
+        ra.tid
+            .cmp(&rb.tid)
+            .then(ra.start_ns.cmp(&rb.start_ns))
+            .then(rb.end_ns().cmp(&ra.end_ns()))
+    });
+    let mut child_ns = vec![0u64; records.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut current_tid = None;
+    for &i in &order {
+        let r = &records[i];
+        if current_tid != Some(r.tid) {
+            stack.clear();
+            current_tid = Some(r.tid);
+        }
+        while let Some(&top) = stack.last() {
+            if records[top].end_ns() <= r.start_ns {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&parent) = stack.last() {
+            child_ns[parent] = child_ns[parent].saturating_add(r.dur_ns.unwrap_or(0));
+        }
+        stack.push(i);
+    }
+    (0..records.len())
+        .map(|i| records[i].dur_ns.unwrap_or(0).saturating_sub(child_ns[i]))
+        .collect()
+}
+
+/// Renders the top-`top_n` `(layer, name)` groups by cumulative self
+/// time, plus wall-clock and event totals. Instant events are counted
+/// but never ranked (they have no duration).
+pub fn render_trace_summary(records: &[Record], top_n: usize) -> String {
+    let selfs = self_times(records);
+    let mut groups: HashMap<(Layer, &str), Agg> = HashMap::new();
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    let (mut min_start, mut max_end) = (u64::MAX, 0u64);
+    for (i, r) in records.iter().enumerate() {
+        min_start = min_start.min(r.start_ns);
+        max_end = max_end.max(r.end_ns());
+        match r.dur_ns {
+            Some(dur) => {
+                spans += 1;
+                let agg = groups.entry((r.layer, r.name.as_str())).or_default();
+                agg.count += 1;
+                agg.total_ns += dur;
+                agg.self_ns += selfs[i];
+            }
+            None => instants += 1,
+        }
+    }
+    let wall = if records.is_empty() { 0 } else { max_end - min_start };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== trace summary: {spans} span(s), {instants} event(s), {} wall, {} dropped ===",
+        fmt_ns(wall),
+        crate::dropped(),
+    );
+    if groups.is_empty() {
+        let _ = writeln!(out, "  (no spans recorded)");
+        return out;
+    }
+    let mut rows: Vec<((Layer, &str), Agg)> = groups.into_iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(&b.0)));
+    let _ = writeln!(
+        out,
+        "  {:<8} {:<32} {:>7} {:>12} {:>12}",
+        "layer", "name", "count", "self", "total"
+    );
+    for ((layer, name), agg) in rows.into_iter().take(top_n.max(1)) {
+        let shown: String = if name.chars().count() > 32 {
+            let mut s: String = name.chars().take(31).collect();
+            s.push('…');
+            s
+        } else {
+            name.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<32} {:>7} {:>12} {:>12}",
+            layer.name(),
+            shown,
+            agg.count,
+            fmt_ns(agg.self_ns),
+            fmt_ns(agg.total_ns),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(layer: Layer, name: &str, tid: u64, start: u64, dur: u64) -> Record {
+        Record {
+            layer,
+            name: name.to_string(),
+            tid,
+            start_ns: start,
+            dur_ns: Some(dur),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // parent [0,100) with child [10,60); grandchild [20,30).
+        let records = vec![
+            span(Layer::Unit, "u", 1, 0, 100),
+            span(Layer::Stage, "s", 1, 10, 50),
+            span(Layer::Paths, "p", 1, 20, 10),
+        ];
+        let selfs = self_times(&records);
+        assert_eq!(selfs, vec![50, 40, 10]);
+    }
+
+    #[test]
+    fn siblings_both_subtract_from_parent() {
+        let records = vec![
+            span(Layer::Unit, "u", 1, 0, 100),
+            span(Layer::Stage, "a", 1, 0, 30),
+            span(Layer::Stage, "b", 1, 40, 30),
+        ];
+        assert_eq!(self_times(&records), vec![40, 30, 30]);
+    }
+
+    #[test]
+    fn threads_do_not_nest_into_each_other() {
+        let records = vec![
+            span(Layer::Unit, "u", 1, 0, 100),
+            span(Layer::Unit, "v", 2, 10, 50), // overlaps in time, other thread
+        ];
+        assert_eq!(self_times(&records), vec![100, 50]);
+    }
+
+    #[test]
+    fn summary_ranks_by_self_time() {
+        let records = vec![
+            span(Layer::Unit, "u", 1, 0, 100),
+            span(Layer::Stage, "extract", 1, 0, 90),
+        ];
+        let text = render_trace_summary(&records, 10);
+        let extract_pos = text.find("extract").unwrap();
+        let unit_pos = text.find(" u ").unwrap();
+        assert!(extract_pos < unit_pos, "{text}");
+        assert!(text.contains("2 span(s)"), "{text}");
+    }
+
+    #[test]
+    fn empty_summary_does_not_panic() {
+        let text = render_trace_summary(&[], 5);
+        assert!(text.contains("0 span(s)"), "{text}");
+        assert!(text.contains("no spans recorded"), "{text}");
+    }
+}

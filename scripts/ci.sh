@@ -45,6 +45,20 @@ done
 wait "$SERVE_PID"
 echo "daemon smoke test: ok"
 
+echo "== trace smoke (chrome export round-trip) =="
+"$PALLAS_BIN" check "$SMOKE_DIR/smoke.c" --trace-out "$SMOKE_DIR/trace.json" >/dev/null
+python3 - "$SMOKE_DIR/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+cats = {e["cat"] for e in events}
+missing = {"unit", "stage", "paths", "checker", "rule"} - cats
+assert not missing, f"missing span layers: {sorted(missing)}"
+for e in events:
+    assert e["ph"] in ("X", "i"), f"unexpected phase: {e}"
+    assert ("dur" in e) == (e["ph"] == "X"), f"dur/phase mismatch: {e}"
+print(f"trace smoke: ok ({len(events)} event(s), layers {sorted(cats)})")
+EOF
+
 echo "== fuzz smoke (fixed seed, differential oracles) =="
 # Two runs with the same seed must print the same digest line; any
 # panic or oracle divergence makes `pallas fuzz` exit nonzero.
@@ -57,5 +71,13 @@ echo "fuzz smoke: ok"
 
 echo "== per-rule regression tests =="
 cargo test --release -q -p pallas-checkers --test rule_regressions
+
+echo "== golden corpus snapshots =="
+# Byte-for-byte NDJSON snapshots of every corpus set; regenerate
+# intentional changes with UPDATE_GOLDEN=1 (see tests/golden_corpus.rs).
+cargo test -q --test golden_corpus
+
+echo "== daemon soak (CI-length knob) =="
+PALLAS_SOAK_SECS=5 cargo test -q -p pallas-service --test soak
 
 echo "ci: all green"

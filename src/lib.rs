@@ -14,6 +14,7 @@
 //! * [`corpus`] — the miniature evaluation corpus with ground truth.
 //! * [`study`] — the fast-path patch characterization study.
 //! * [`service`] — the persistent analysis daemon and its client.
+//! * [`trace`] — zero-dependency structured span tracing.
 
 pub use pallas_cfg as cfg;
 pub use pallas_checkers as checkers;
@@ -25,3 +26,4 @@ pub use pallas_service as service;
 pub use pallas_spec as spec;
 pub use pallas_study as study;
 pub use pallas_sym as sym;
+pub use pallas_trace as trace;

@@ -1,0 +1,110 @@
+//! Golden-snapshot suite for the evaluation corpus.
+//!
+//! Every corpus set is checked through the engine and rendered with
+//! the NDJSON serializer (`render_ndjson` — the exact stream `pallas
+//! check --json` and the daemon's `ndjson` response field emit); the
+//! concatenated per-unit streams must match the committed snapshots
+//! in `tests/golden/corpus/` **byte for byte**. Any change to the
+//! parser, extractor, checkers, or serializer that shifts a single
+//! warning shows up here as a diff, not as a silently different
+//! score.
+//!
+//! Regenerating after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_corpus
+//! git diff tests/golden/corpus/   # review every changed line
+//! ```
+
+use pallas::core::{render_ndjson, Pallas};
+use pallas::corpus::CorpusUnit;
+use std::path::PathBuf;
+
+fn golden_path(set: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/corpus")
+        .join(format!("{set}.ndjson"))
+}
+
+/// Renders one corpus set as the concatenation of each unit's NDJSON
+/// stream, in corpus order.
+fn render_set(corpus: &[CorpusUnit]) -> String {
+    let driver = Pallas::new();
+    let mut out = String::new();
+    for cu in corpus {
+        let analyzed = driver
+            .check_unit(&cu.unit)
+            .unwrap_or_else(|e| panic!("corpus unit `{}` failed to check: {e}", cu.name()));
+        out.push_str(&render_ndjson(&analyzed));
+    }
+    out
+}
+
+fn assert_matches_golden(set: &str, corpus: &[CorpusUnit]) {
+    assert!(!corpus.is_empty(), "corpus set `{set}` is empty");
+    let path = golden_path(set);
+    let actual = render_set(corpus);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden snapshot `{}`: {e}\n\
+             (first run? regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_corpus`)",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, e)| a != e)
+            .map(|i| {
+                format!(
+                    "first difference at line {}:\n  expected: {}\n  actual:   {}",
+                    i + 1,
+                    expected.lines().nth(i).unwrap_or(""),
+                    actual.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: expected {}, actual {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "corpus set `{set}` diverged from its golden snapshot.\n{mismatch}\n\
+             If the change is intentional, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_corpus` and review the diff."
+        );
+    }
+}
+
+#[test]
+fn table1_new_paths_matches_golden() {
+    assert_matches_golden("table1", &pallas::corpus::new_paths());
+}
+
+#[test]
+fn table7_new_bug_examples_matches_golden() {
+    assert_matches_golden("table7", &pallas::corpus::new_bug_examples());
+}
+
+#[test]
+fn table8_known_bugs_matches_golden() {
+    assert_matches_golden("table8", &pallas::corpus::known_bugs());
+}
+
+#[test]
+fn studied_matches_golden() {
+    assert_matches_golden("studied", &pallas::corpus::studied());
+}
+
+#[test]
+fn examples_matches_golden() {
+    assert_matches_golden("examples", &pallas::corpus::examples());
+}
