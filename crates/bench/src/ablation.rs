@@ -10,12 +10,14 @@
 //! 3. **Path-enumeration caps** — how the bounded exploration trades
 //!    path coverage against database size on growing workloads.
 
-use crate::eval::evaluate_with;
+use crate::eval::{evaluate_in, evaluate_with};
 use pallas_cfg::PathConfig;
-use pallas_corpus::{new_paths, synthetic_unit};
+use pallas_core::Engine;
+use pallas_corpus::{examples, infeasible, known_bugs, new_paths, studied, synthetic_unit, CorpusUnit};
 use pallas_spec::ElementClass;
 use pallas_sym::ExtractConfig;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// One row of the inlining-depth ablation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +53,69 @@ pub fn depth_ablation() -> Vec<DepthAblationRow> {
         .collect()
 }
 
-/// Renders all three ablations as text.
+/// One row of the path-feasibility-pruning ablation: a corpus set
+/// evaluated with pruning on or off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneAblationRow {
+    /// Corpus set name.
+    pub corpus: &'static str,
+    /// Whether infeasible-arm pruning was enabled.
+    pub pruning: bool,
+    /// Total warnings emitted.
+    pub warnings: usize,
+    /// Validated bugs (soundness: must not change with pruning).
+    pub bugs: usize,
+    /// False positives.
+    pub false_positives: usize,
+    /// Paths extracted across the corpus (the engine's
+    /// `paths_enumerated` counter).
+    pub paths: u64,
+    /// Decision arms pruned as contradictory.
+    pub pruned_arms: u64,
+    /// Wall-clock time for the full run.
+    pub elapsed: Duration,
+}
+
+/// The corpus sets the pruning ablation sweeps.
+fn prune_corpora() -> Vec<(&'static str, Vec<CorpusUnit>)> {
+    vec![
+        ("table1", new_paths()),
+        ("known-bugs", known_bugs()),
+        ("examples", examples()),
+        ("studied", studied()),
+        ("infeasible", infeasible()),
+    ]
+}
+
+/// Evaluates every corpus set with feasibility pruning off and on.
+/// Each run uses a fresh engine so the `paths_enumerated` /
+/// `paths_pruned` counters cover exactly that run.
+pub fn prune_ablation() -> Vec<PruneAblationRow> {
+    let mut rows = Vec::new();
+    for (corpus, units) in prune_corpora() {
+        for pruning in [false, true] {
+            let engine = Engine::with_config(ExtractConfig {
+                prune_infeasible: pruning,
+                ..ExtractConfig::default()
+            });
+            let eval = evaluate_in(&engine, &units);
+            let stats = engine.stats();
+            rows.push(PruneAblationRow {
+                corpus,
+                pruning,
+                warnings: eval.total.warning_count(),
+                bugs: eval.total.bug_count(),
+                false_positives: eval.total.false_positives.len(),
+                paths: stats.paths_enumerated,
+                pruned_arms: stats.paths_pruned,
+                elapsed: eval.elapsed,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders all four ablations as text.
 pub fn ablation_text() -> String {
     let mut out = String::new();
 
@@ -98,6 +162,7 @@ pub fn ablation_text() -> String {
             let config = ExtractConfig {
                 paths: PathConfig { max_paths, ..PathConfig::default() },
                 inline_depth: 1,
+                ..ExtractConfig::default()
             };
             let db = pallas_sym::extract("ablation", &ast, &src, &config);
             let f = db.function("synth_fn_0").expect("generated");
@@ -109,6 +174,9 @@ pub fn ablation_text() -> String {
             );
         }
     }
+
+    out.push('\n');
+    out.push_str(&crate::render::prune_ablation_text());
     out
 }
 
@@ -139,6 +207,44 @@ mod tests {
         assert!(text.contains("Ablation 1"));
         assert!(text.contains("Ablation 2"));
         assert!(text.contains("Ablation 3"));
+        assert!(text.contains("Ablation 4"));
         assert!(text.contains("Fault Handling"));
+    }
+
+    #[test]
+    fn pruning_is_sound_and_cuts_paths() {
+        let rows = prune_ablation();
+        // Rows come in off/on pairs per corpus set.
+        assert_eq!(rows.len() % 2, 0);
+        let mut some_corpus_lost_paths = false;
+        for pair in rows.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert_eq!(off.corpus, on.corpus);
+            assert!(!off.pruning && on.pruning);
+            assert_eq!(off.pruned_arms, 0, "{}: pruning off must prune nothing", off.corpus);
+            // Soundness: pruning only removes warnings, never adds,
+            // and never costs a validated bug.
+            assert!(
+                on.warnings <= off.warnings,
+                "{}: pruning grew warnings {} -> {}",
+                off.corpus,
+                off.warnings,
+                on.warnings
+            );
+            assert_eq!(
+                on.bugs, off.bugs,
+                "{}: pruning changed the validated-bug count",
+                off.corpus
+            );
+            assert!(on.paths <= off.paths, "{}: pruning grew the path count", off.corpus);
+            if on.paths < off.paths {
+                some_corpus_lost_paths = true;
+                assert!(on.pruned_arms > 0, "{}: paths dropped without pruned arms", on.corpus);
+            }
+        }
+        assert!(
+            some_corpus_lost_paths,
+            "pruning never fired on any corpus set: {rows:#?}"
+        );
     }
 }

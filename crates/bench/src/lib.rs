@@ -14,10 +14,13 @@ pub mod ablation;
 pub mod eval;
 pub mod render;
 
-pub use ablation::{ablation_text, depth_ablation, DepthAblationRow};
+pub use ablation::{
+    ablation_text, depth_ablation, prune_ablation, DepthAblationRow, PruneAblationRow,
+};
 pub use eval::{evaluate, evaluate_in, evaluate_with, CorpusEval};
 pub use render::{
-    accuracy_text, accuracy_text_in, figure_text, findings_text, stage_stats_text,
+    accuracy_text, accuracy_text_in, figure_text, findings_text, prune_ablation_text,
+    stage_stats_text,
     table1_text, table1_text_in, table2_text, table3_text, table4_text, table5_text,
     table6_text, table7_text, table7_text_in, table8_text, table8_text_in, table_text,
     table_text_in, timing_text, timing_text_in,

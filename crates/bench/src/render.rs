@@ -347,6 +347,35 @@ pub fn table_text_in(engine: &Engine, n: u32) -> Option<String> {
     })
 }
 
+/// Ablation 4: feasibility pruning per corpus set — warnings, false
+/// positives, wall time, and paths enumerated with pruning off vs on.
+/// Soundness shows up as shrink-or-equal warning counts and unchanged
+/// validated-bug counts; the win shows up in the paths column.
+pub fn prune_ablation_text() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation 4: path-feasibility pruning (per corpus set).");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>9} {:>6} {:>6} {:>7} {:>7} {:>12}",
+        "corpus", "pruning", "warnings", "bugs", "FPs", "paths", "pruned", "wall"
+    );
+    for row in crate::ablation::prune_ablation() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>9} {:>6} {:>6} {:>7} {:>7} {:>12}",
+            row.corpus,
+            if row.pruning { "on" } else { "off" },
+            row.warnings,
+            row.bugs,
+            row.false_positives,
+            row.paths,
+            row.pruned_arms,
+            format!("{:?}", row.elapsed),
+        );
+    }
+    out
+}
+
 /// The engine's per-stage cost breakdown for one `repro` invocation
 /// (`--stage-stats`): cache behaviour plus run counts and cumulative
 /// time per pipeline stage.

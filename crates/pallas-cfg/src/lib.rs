@@ -30,5 +30,8 @@ pub use build::{build_all, build_cfg};
 pub use dom::Dominators;
 pub use graph::{BasicBlock, BlockId, Cfg, Terminator};
 pub use loops::{find_loops, loop_stats, NaturalLoop};
-pub use paths::{enumerate_paths, CfgPath, Decision, PathConfig, PathSet};
+pub use paths::{
+    enumerate_paths, enumerate_paths_with, CfgPath, Decision, NoOracle, PathConfig, PathOracle,
+    PathSet,
+};
 pub use render::{render_ascii, render_dot};

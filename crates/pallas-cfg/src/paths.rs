@@ -97,24 +97,83 @@ pub struct PathSet {
     /// True if any limit in [`PathConfig`] was hit, meaning the set is
     /// an under-approximation.
     pub truncated: bool,
+    /// Number of decision arms a [`PathOracle`] proved infeasible —
+    /// each one a whole doomed subtree the walk never entered.
+    pub pruned: usize,
+}
+
+/// A semantic observer of the path DFS that can veto provably
+/// infeasible decision arms before the walk descends into them.
+///
+/// The enumeration drives the oracle in lockstep with the walk:
+/// [`enter_block`](PathOracle::enter_block) as a block joins the
+/// current prefix (its statements conceptually execute),
+/// [`push_decision`](PathOracle::push_decision) before descending into
+/// a branch or switch arm, [`pop_decision`](PathOracle::pop_decision)
+/// when that arm's subtree is exhausted, and
+/// [`leave_block`](PathOracle::leave_block) when the walk backtracks
+/// out of the block. Returning `false` from `push_decision` prunes the
+/// arm: the walk never descends, `pop_decision` is *not* called, and
+/// the oracle must leave its own state exactly as it was before the
+/// call.
+///
+/// Pruning must be *sound*: an arm may only be vetoed when the
+/// accumulated conditions can provably never hold together, otherwise
+/// real paths (and the warnings on them) silently disappear. The
+/// `pallas-sym` feasibility engine is the production implementation;
+/// this crate only defines the hook so the DFS can cut doomed
+/// prefixes before the `max_steps` / `max_paths` budgets bite.
+pub trait PathOracle {
+    /// The walk extended the current prefix with `bb`.
+    fn enter_block(&mut self, cfg: &Cfg, bb: BlockId);
+    /// A decision arm is about to be explored; `false` vetoes it.
+    fn push_decision(&mut self, cfg: &Cfg, d: &Decision) -> bool;
+    /// The most recent non-vetoed decision arm is exhausted.
+    fn pop_decision(&mut self);
+    /// The walk backtracked out of `bb`.
+    fn leave_block(&mut self, cfg: &Cfg, bb: BlockId);
+}
+
+/// The trivial oracle: observes nothing, vetoes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOracle;
+
+impl PathOracle for NoOracle {
+    fn enter_block(&mut self, _cfg: &Cfg, _bb: BlockId) {}
+    fn push_decision(&mut self, _cfg: &Cfg, _d: &Decision) -> bool {
+        true
+    }
+    fn pop_decision(&mut self) {}
+    fn leave_block(&mut self, _cfg: &Cfg, _bb: BlockId) {}
 }
 
 /// Enumerates entry-to-return paths under the given limits.
 pub fn enumerate_paths(cfg: &Cfg, config: &PathConfig) -> PathSet {
+    enumerate_paths_with(cfg, config, &mut NoOracle)
+}
+
+/// Like [`enumerate_paths`], with a [`PathOracle`] pruning provably
+/// infeasible decision arms as the walk goes.
+pub fn enumerate_paths_with(
+    cfg: &Cfg,
+    config: &PathConfig,
+    oracle: &mut dyn PathOracle,
+) -> PathSet {
     let mut span = pallas_trace::span(pallas_trace::Layer::Paths, "enumerate");
-    let mut out = PathSet { paths: Vec::new(), truncated: false };
+    let mut out = PathSet { paths: Vec::new(), truncated: false, pruned: 0 };
     let mut state = Walk {
         visits: vec![0usize; cfg.block_count()],
         blocks: Vec::new(),
         decisions: Vec::new(),
         steps: 0,
     };
-    walk(cfg, config, cfg.entry, &mut state, &mut out);
+    walk(cfg, config, cfg.entry, &mut state, &mut out, oracle);
     span.attr_u64("blocks", cfg.block_count() as u64);
     span.attr_u64("paths", out.paths.len() as u64);
     span.attr_u64("steps", state.steps as u64);
     span.attr_u64("step_budget", config.max_steps as u64);
     span.attr_bool("truncated", out.truncated);
+    span.attr_u64("pruned", out.pruned as u64);
     out
 }
 
@@ -144,7 +203,31 @@ struct Walk {
     steps: usize,
 }
 
-fn walk(cfg: &Cfg, config: &PathConfig, bb: BlockId, st: &mut Walk, out: &mut PathSet) {
+/// Counts one pruned decision arm, emitting one trace event the first
+/// time (like [`truncate`], every subsequent prune would flood the
+/// ring).
+fn prune(out: &mut PathSet, st: &Walk) {
+    if out.pruned == 0 && pallas_trace::enabled() {
+        pallas_trace::instant(
+            pallas_trace::Layer::Paths,
+            "pruned",
+            vec![
+                ("steps", pallas_trace::AttrValue::U64(st.steps as u64)),
+                ("paths", pallas_trace::AttrValue::U64(out.paths.len() as u64)),
+            ],
+        );
+    }
+    out.pruned += 1;
+}
+
+fn walk(
+    cfg: &Cfg,
+    config: &PathConfig,
+    bb: BlockId,
+    st: &mut Walk,
+    out: &mut PathSet,
+    oracle: &mut dyn PathOracle,
+) {
     if out.paths.len() >= config.max_paths {
         truncate(out, st, "max_paths");
         return;
@@ -164,6 +247,7 @@ fn walk(cfg: &Cfg, config: &PathConfig, bb: BlockId, st: &mut Walk, out: &mut Pa
     }
     st.visits[bb.0 as usize] += 1;
     st.blocks.push(bb);
+    oracle.enter_block(cfg, bb);
 
     match &cfg.block(bb).term {
         Terminator::Return(ret) => {
@@ -174,36 +258,44 @@ fn walk(cfg: &Cfg, config: &PathConfig, bb: BlockId, st: &mut Walk, out: &mut Pa
             });
         }
         Terminator::Jump(t) => {
-            walk(cfg, config, *t, st, out);
+            walk(cfg, config, *t, st, out, oracle);
         }
         Terminator::Branch { cond, then_bb, else_bb } => {
             let (cond, then_bb, else_bb) = (*cond, *then_bb, *else_bb);
-            st.decisions.push(Decision::Branch { cond, taken: true, block: bb });
-            walk(cfg, config, then_bb, st, out);
-            st.decisions.pop();
-            st.decisions.push(Decision::Branch { cond, taken: false, block: bb });
-            walk(cfg, config, else_bb, st, out);
-            st.decisions.pop();
+            for (taken, target) in [(true, then_bb), (false, else_bb)] {
+                let d = Decision::Branch { cond, taken, block: bb };
+                if oracle.push_decision(cfg, &d) {
+                    st.decisions.push(d);
+                    walk(cfg, config, target, st, out, oracle);
+                    st.decisions.pop();
+                    oracle.pop_decision();
+                } else {
+                    prune(out, st);
+                }
+            }
         }
         Terminator::Switch { scrutinee, cases, default } => {
-            for &(value, target) in cases {
-                st.decisions.push(Decision::Switch {
-                    scrutinee: *scrutinee,
-                    case: Some(value),
-                    block: bb,
-                });
-                walk(cfg, config, target, st, out);
-                st.decisions.pop();
+            let mut arms: Vec<(Option<ExprId>, BlockId)> =
+                cases.iter().map(|&(value, target)| (Some(value), target)).collect();
+            arms.push((None, *default));
+            for (case, target) in arms {
+                let d = Decision::Switch { scrutinee: *scrutinee, case, block: bb };
+                if oracle.push_decision(cfg, &d) {
+                    st.decisions.push(d);
+                    walk(cfg, config, target, st, out, oracle);
+                    st.decisions.pop();
+                    oracle.pop_decision();
+                } else {
+                    prune(out, st);
+                }
             }
-            st.decisions.push(Decision::Switch { scrutinee: *scrutinee, case: None, block: bb });
-            walk(cfg, config, *default, st, out);
-            st.decisions.pop();
         }
         Terminator::Unreachable => {
             // Dead end: not a completed path; drop silently.
         }
     }
 
+    oracle.leave_block(cfg, bb);
     st.blocks.pop();
     st.visits[bb.0 as usize] -= 1;
 }
@@ -344,6 +436,63 @@ mod tests {
         assert!(ps.truncated, "budget exhaustion must be reported");
         // The walk stopped: without the budget this enumeration visits
         // on the order of 2^24 prefixes per unrolling.
+    }
+
+    /// Vetoes every else-arm: a stand-in for a feasibility oracle that
+    /// exercises the pruning plumbing without semantic knowledge.
+    struct ThenOnly {
+        depth: usize,
+        max_depth: usize,
+    }
+
+    impl PathOracle for ThenOnly {
+        fn enter_block(&mut self, _cfg: &Cfg, _bb: BlockId) {}
+        fn push_decision(&mut self, _cfg: &Cfg, d: &Decision) -> bool {
+            let keep = matches!(d, Decision::Branch { taken: true, .. });
+            if keep {
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+            }
+            keep
+        }
+        fn pop_decision(&mut self) {
+            self.depth -= 1;
+        }
+        fn leave_block(&mut self, _cfg: &Cfg, _bb: BlockId) {}
+    }
+
+    #[test]
+    fn oracle_prunes_vetoed_arms_and_counts_them() {
+        let src = "int f(int a, int b) { int r = 0; if (a) r += 1; if (b) r += 2; return r; }";
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let mut oracle = ThenOnly { depth: 0, max_depth: 0 };
+        let ps = enumerate_paths_with(&cfg, &PathConfig::default(), &mut oracle);
+        // Of the 4 unpruned paths only the taken/taken one survives;
+        // each vetoed else-arm counts once (first `if`'s else subtree
+        // is cut whole, then the second's on the surviving prefix).
+        assert_eq!(ps.paths.len(), 1);
+        assert_eq!(ps.pruned, 2);
+        assert!(!ps.truncated);
+        assert!(ps.paths[0]
+            .decisions
+            .iter()
+            .all(|d| matches!(d, Decision::Branch { taken: true, .. })));
+        assert_eq!(oracle.depth, 0, "push/pop must balance");
+        assert_eq!(oracle.max_depth, 2);
+    }
+
+    #[test]
+    fn no_oracle_enumeration_matches_plain_enumeration() {
+        let src = "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }";
+        let ast = parse(src).unwrap();
+        let f = ast.functions().next().unwrap();
+        let cfg = build_cfg(&ast, f);
+        let plain = enumerate_paths(&cfg, &PathConfig::default());
+        let with = enumerate_paths_with(&cfg, &PathConfig::default(), &mut NoOracle);
+        assert_eq!(plain, with);
+        assert_eq!(plain.pruned, 0);
     }
 
     #[test]

@@ -463,3 +463,43 @@ fn every_rule_has_a_positive_case_in_this_file() {
     all.sort();
     assert_eq!(covered, all, "some rule has no firing scenario");
 }
+
+// ---- feasibility pruning ----------------------------------------------------
+//
+// The classic infeasible-path false positive: a violation planted on a
+// path whose condition set is contradictory. With pruning disabled the
+// dead path is enumerated and Rule 1.2 fires; with the default config
+// the arm is vetoed before extraction and the warning is suppressed.
+
+const DEAD_BRANCH_SRC: &str = "\
+int slow(int order);
+int alloc_fast(int gfp_mask, int order) {
+  if (gfp_mask == 0) {
+    if (gfp_mask != 0) {
+      gfp_mask = 1;
+    }
+    return slow(order);
+  }
+  return 0;
+}";
+
+fn check_with(src: &str, spec: &FastPathSpec, config: &ExtractConfig) -> Vec<Warning> {
+    let ast = parse(src).expect("regression source parses");
+    let db = extract("regress", &ast, src, config);
+    run_all(&CheckContext { db: &db, spec, ast: &ast })
+}
+
+#[test]
+fn infeasible_path_fp_fires_with_pruning_disabled() {
+    let spec = FastPathSpec::new("m").with_fastpath("alloc_fast").with_immutable("gfp_mask");
+    let config = ExtractConfig { prune_infeasible: false, ..ExtractConfig::default() };
+    let ws = check_with(DEAD_BRANCH_SRC, &spec, &config);
+    assert!(fires(&ws, Rule::ImmutableOverwrite), "{ws:#?}");
+}
+
+#[test]
+fn infeasible_path_fp_suppressed_by_default() {
+    let spec = FastPathSpec::new("m").with_fastpath("alloc_fast").with_immutable("gfp_mask");
+    let ws = check(DEAD_BRANCH_SRC, &spec);
+    assert!(silent(&ws, Rule::ImmutableOverwrite), "{ws:#?}");
+}

@@ -3,15 +3,15 @@
 //! ```text
 //! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
 //!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]
-//!              [--trace] [--trace-out <trace.json>]       run the checkers
-//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--trace]  analysis daemon
+//!              [--no-prune] [--trace] [--trace-out <trace.json>]  run the checkers
+//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--no-prune] [--trace]  analysis daemon
 //! pallas client <socket> check <file.c>... [--spec S] [--json]  check via a daemon
 //! pallas client <socket> stats|trace|shutdown|request <req.json>  daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
 //! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
 //! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
 //! pallas infer <file.c> --fast <f> --slow <g>        propose a spec
-//! pallas corpus [--set new-paths|known-bugs|examples|studied] score the corpus
+//! pallas corpus [--set new-paths|known-bugs|examples|studied|infeasible] score the corpus
 //! pallas study [--table 2|3|4]                        study tables
 //! pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir D]  differential fuzzing
 //! ```
@@ -29,8 +29,9 @@
 //! daemon's warm frontend cache, and `client trace` drains a
 //! `serve --trace` daemon's collector.
 
-use pallas_core::{render_unit_report, score, Engine, Pallas, Score, SourceUnit};
+use pallas_core::{render_unit_report, score, Engine, EngineConfig, Pallas, Score, SourceUnit};
 use pallas_service::{Client, Server, ServiceConfig, Value};
+use pallas_sym::ExtractConfig;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -75,15 +76,15 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--trace] [--trace-out <trace.json>]\n\
-         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--trace]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
+         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--no-prune] [--trace]\n\
          \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--json]\n\
          \x20 pallas client <socket> stats | trace | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
          \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
          \x20 pallas infer <file.c> --fast <f> --slow <g>\n\
-         \x20 pallas corpus [--set new-paths|known-bugs|examples|studied]\n\
+         \x20 pallas corpus [--set new-paths|known-bugs|examples|studied|infeasible]\n\
          \x20 pallas study [--table 2|3|4]\n\
          \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>]"
     );
@@ -129,7 +130,8 @@ fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
 const CHECK_VALUE_FLAGS: [&str; 3] = ["--spec", "--jobs", "--trace-out"];
 
 /// Boolean flags of `check`.
-const CHECK_BOOL_FLAGS: [&str; 5] = ["--stage-stats", "--tsv", "--json", "--suggest", "--trace"];
+const CHECK_BOOL_FLAGS: [&str; 6] =
+    ["--stage-stats", "--tsv", "--json", "--suggest", "--trace", "--no-prune"];
 
 /// Rejects unknown flags and value flags without a value, so a typo
 /// fails loudly instead of being silently ignored.
@@ -229,7 +231,12 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         pallas_trace::start();
         guard
     });
-    let engine = Engine::new();
+    // `--no-prune` disables the path-feasibility engine, re-enumerating
+    // contradictory arms — useful for comparing against the default.
+    let engine = Engine::with_config(ExtractConfig {
+        prune_infeasible: !has_flag(args, "--no-prune"),
+        ..ExtractConfig::default()
+    });
     let mut failures = Vec::new();
     for result in engine.check_many_jobs(&units, jobs) {
         let analyzed = match result {
@@ -355,7 +362,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "serve",
         args,
         &["--workers", "--queue-depth", "--timeout-ms"],
-        &["--trace"],
+        &["--trace", "--no-prune"],
     )?;
     let socket = args
         .iter()
@@ -369,6 +376,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             numeric_flag(args, "--timeout-ms", defaults.timeout.as_millis() as usize)? as u64,
         ),
         trace: has_flag(args, "--trace"),
+        engine: EngineConfig {
+            extract: ExtractConfig {
+                prune_infeasible: !has_flag(args, "--no-prune"),
+                ..ExtractConfig::default()
+            },
+            ..defaults.engine
+        },
         ..defaults
     };
     let (workers, queue_depth, timeout_ms) =
@@ -544,6 +558,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
         "examples" => pallas_corpus::examples(),
         "studied" => pallas_corpus::studied(),
         "new-bug-examples" => pallas_corpus::new_bug_examples(),
+        "infeasible" => pallas_corpus::infeasible(),
         other => return Err(format!("unknown corpus set `{other}`")),
     };
     let driver = Pallas::new();

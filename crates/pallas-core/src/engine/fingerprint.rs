@@ -117,6 +117,8 @@ mod tests {
         assert_ne!(fingerprint_unit(&unit(), &tight), base);
         let shallow = ExtractConfig { inline_depth: 0, ..ExtractConfig::default() };
         assert_ne!(fingerprint_unit(&unit(), &shallow), base);
+        let unpruned = ExtractConfig { prune_infeasible: false, ..ExtractConfig::default() };
+        assert_ne!(fingerprint_unit(&unit(), &unpruned), base);
     }
 
     #[test]

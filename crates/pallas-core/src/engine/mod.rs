@@ -157,6 +157,12 @@ pub struct EngineStats {
     pub extracts: u64,
     /// Check stage invocations.
     pub checks: u64,
+    /// Paths extracted across all Extract stage invocations (cache
+    /// hits excluded — they re-serve previously extracted paths).
+    pub paths_enumerated: u64,
+    /// Decision arms the feasibility oracle pruned as contradictory
+    /// across all Extract stage invocations.
+    pub paths_pruned: u64,
     /// Cumulative nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 5],
 }
@@ -205,6 +211,8 @@ struct Counters {
     spec_parses: AtomicU64,
     extracts: AtomicU64,
     checks: AtomicU64,
+    paths_enumerated: AtomicU64,
+    paths_pruned: AtomicU64,
     stage_nanos: [AtomicU64; 5],
 }
 
@@ -284,6 +292,8 @@ impl Engine {
             spec_parses: load(&c.spec_parses),
             extracts: load(&c.extracts),
             checks: load(&c.checks),
+            paths_enumerated: load(&c.paths_enumerated),
+            paths_pruned: load(&c.paths_pruned),
             stage_nanos: [
                 load(&c.stage_nanos[0]),
                 load(&c.stage_nanos[1]),
@@ -522,8 +532,12 @@ impl Engine {
         let t = Instant::now();
         counters.extracts.fetch_add(1, Ordering::Relaxed);
         let db = extract(&unit.name, &ast, &merged_src, &self.inner.config.extract);
+        counters.paths_enumerated.fetch_add(db.path_count() as u64, Ordering::Relaxed);
+        counters.paths_pruned.fetch_add(db.pruned_paths() as u64, Ordering::Relaxed);
         stage(Stage::Extract, timings, t.elapsed());
         span.attr_u64("functions", db.functions.len() as u64);
+        span.attr_u64("paths", db.path_count() as u64);
+        span.attr_u64("pruned", db.pruned_paths() as u64);
         drop(span);
 
         Ok(Frontend { merged_src, merge_map, ast, spec, db })

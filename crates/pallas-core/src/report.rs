@@ -204,6 +204,11 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
         "  cache: {}/{} frontend(s) resident",
         stats.cached_frontends, stats.cache_capacity
     );
+    let _ = writeln!(
+        out,
+        "  paths: {} enumerated, {} arm(s) pruned as infeasible",
+        stats.paths_enumerated, stats.paths_pruned
+    );
     for stage in Stage::ALL {
         let _ = writeln!(
             out,

@@ -42,6 +42,7 @@ int f(int a, int b, int c) {
     let tight = Pallas::new().with_config(ExtractConfig {
         paths: PathConfig { max_paths: 2, ..PathConfig::default() },
         inline_depth: 1,
+        ..ExtractConfig::default()
     });
     let report = tight.check_source("limited", src, "fastpath f;").unwrap();
     let f = report.db.function("f").unwrap();

@@ -1,0 +1,228 @@
+//! Contradictory-path miniatures for the feasibility-pruning ablation.
+//!
+//! Each unit plants a rule violation on a path whose condition set is
+//! provably unsatisfiable (an `x == k` guard re-tested as `x != k`,
+//! disjoint interval bounds, two distinct equalities on one variable).
+//! With pruning disabled the extractor enumerates the dead path and the
+//! checkers raise a false positive; with pruning enabled (the default)
+//! the arm is vetoed before extraction and the warning disappears. The
+//! set therefore gives the pruning ablation a corpus where the path and
+//! warning counts *must* drop while the validated-bug count holds.
+
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+use pallas_core::{KnownBug, SourceUnit};
+
+fn unit(
+    component: Component,
+    name: &str,
+    source: &str,
+    spec: &str,
+    bugs: Vec<KnownBug>,
+    description: &str,
+) -> CorpusUnit {
+    CorpusUnit {
+        component,
+        unit: SourceUnit::new(name)
+            .with_file(format!("{}.c", name.replace('/', "_")), source)
+            .with_spec(spec),
+        bugs,
+        expected_false_positives: 0,
+        description: description.to_string(),
+    }
+}
+
+/// An `x == 0` guard re-tested as `x != 0` inside the guarded block:
+/// the inner then-arm carries an immutable overwrite that can never
+/// execute.
+pub fn recheck_contradiction() -> CorpusUnit {
+    let src = "\
+int audit_reserves(int order);
+int alloc_fast(int gfp_mask, int order) {
+  if (gfp_mask == 0) {
+    if (gfp_mask != 0) {
+      gfp_mask = 1;
+    }
+    return audit_reserves(order);
+  }
+  return 0;
+}
+";
+    let spec = "\
+unit mm/infeasible_recheck;
+fastpath alloc_fast;
+immutable gfp_mask;
+";
+    unit(
+        Component::Mm,
+        "mm/infeasible_recheck",
+        src,
+        spec,
+        vec![],
+        "dead gfp_mask rewrite behind an `== 0` guard re-tested as `!= 0`",
+    )
+}
+
+/// Disjoint interval bounds: `budget < 0` and `budget > 8` cannot both
+/// hold, so the overwrite between them is unreachable.
+pub fn interval_contradiction() -> CorpusUnit {
+    let src = "\
+int journal_room(int budget);
+int reserve_fast(int budget, int mode) {
+  if (budget < 0) {
+    if (budget > 8) {
+      mode = 3;
+    }
+    return journal_room(budget);
+  }
+  return 0;
+}
+";
+    let spec = "\
+unit fs/infeasible_interval;
+fastpath reserve_fast;
+immutable mode;
+";
+    unit(
+        Component::Fs,
+        "fs/infeasible_interval",
+        src,
+        spec,
+        vec![],
+        "dead mode rewrite behind disjoint `< 0` / `> 8` bounds",
+    )
+}
+
+/// Two distinct equalities on one variable: a path assuming both
+/// `state == 1` and `state == 2` is unsatisfiable.
+pub fn equality_contradiction() -> CorpusUnit {
+    let src = "\
+int deliver(int skb);
+int rx_fast(int state, int skb) {
+  if (state == 1) {
+    if (state == 2) {
+      state = 0;
+    }
+    return deliver(skb);
+  }
+  return 0;
+}
+";
+    let spec = "\
+unit net/infeasible_equality;
+fastpath rx_fast;
+immutable state;
+";
+    unit(
+        Component::Net,
+        "net/infeasible_equality",
+        src,
+        spec,
+        vec![],
+        "dead state rewrite behind `== 1` re-tested as `== 2`",
+    )
+}
+
+/// A genuine returns-set violation on a feasible path next to an
+/// immutable-overwrite false positive on a contradictory one: pruning
+/// must drop the false positive yet keep validating the bug.
+pub fn guarded_real_bug() -> CorpusUnit {
+    let src = "\
+enum poll_state { READY = 1 };
+int poll_hw(int dev_state);
+int poll_fast(int dev_state, int budget) {
+  if (dev_state == 0) {
+    if (dev_state != 0) {
+      budget = 0;
+    }
+    return 2;
+  }
+  return READY;
+}
+";
+    let spec = "\
+unit dev/infeasible_guarded;
+fastpath poll_fast;
+immutable budget;
+returns READY;
+";
+    unit(
+        Component::Dev,
+        "dev/infeasible_guarded",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "dev/infeasible_guarded#3.1",
+            Rule::OutputDefined,
+            "poll_fast",
+            "fast path returns 2, outside the declared READY return set",
+            "Wrong result",
+        )],
+        "real returns-set bug on the live arm, dead budget rewrite on the contradictory one",
+    )
+}
+
+/// The contradictory-path corpus set.
+pub fn infeasible() -> Vec<CorpusUnit> {
+    vec![
+        recheck_contradiction(),
+        interval_contradiction(),
+        equality_contradiction(),
+        guarded_real_bug(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use pallas_core::Pallas;
+    use pallas_sym::ExtractConfig;
+
+    fn check(cu: &CorpusUnit, prune: bool) -> (usize, usize) {
+        let engine = Pallas::new().with_config(ExtractConfig {
+            prune_infeasible: prune,
+            ..ExtractConfig::default()
+        });
+        let report = engine.check_unit(&cu.unit).expect(cu.name());
+        (report.warnings.len(), report.db.path_count())
+    }
+
+    #[test]
+    fn set_is_internally_valid() {
+        assert!(validate(&infeasible()).is_empty());
+    }
+
+    #[test]
+    fn every_unit_loses_a_warning_and_a_path_under_pruning() {
+        for cu in infeasible() {
+            let (warns_off, paths_off) = check(&cu, false);
+            let (warns_on, paths_on) = check(&cu, true);
+            assert!(
+                warns_on < warns_off,
+                "{}: warnings {} -> {}",
+                cu.name(),
+                warns_off,
+                warns_on
+            );
+            assert!(
+                paths_on < paths_off,
+                "{}: paths {} -> {}",
+                cu.name(),
+                paths_off,
+                paths_on
+            );
+        }
+    }
+
+    #[test]
+    fn real_bug_survives_pruning() {
+        let cu = guarded_real_bug();
+        let engine = Pallas::new();
+        let report = engine.check_unit(&cu.unit).expect("checks");
+        let score = pallas_core::score(&report.warnings, &cu.bugs);
+        assert_eq!(score.bug_count(), 1, "{:#?}", report.warnings);
+        assert!(score.false_positives.is_empty(), "{:#?}", score.false_positives);
+        assert!(score.missed.is_empty());
+    }
+}

@@ -47,7 +47,7 @@ pub fn validate(corpus: &[CorpusUnit]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{examples, known_bugs, new_bug_examples, new_paths, studied};
+    use crate::{examples, infeasible, known_bugs, new_bug_examples, new_paths, studied};
 
     #[test]
     fn every_corpus_set_is_internally_valid() {
@@ -57,6 +57,7 @@ mod tests {
             ("new_bug_examples", new_bug_examples()),
             ("new_paths", new_paths()),
             ("known_bugs", known_bugs()),
+            ("infeasible", infeasible()),
         ] {
             let problems = validate(&corpus);
             assert!(problems.is_empty(), "{name}: {problems:#?}");
@@ -66,12 +67,14 @@ mod tests {
     #[test]
     fn sets_do_not_collide_by_name() {
         let mut all = BTreeSet::new();
-        for corpus in [examples(), studied(), new_bug_examples(), new_paths(), known_bugs()] {
+        for corpus in
+            [examples(), studied(), new_bug_examples(), new_paths(), known_bugs(), infeasible()]
+        {
             for cu in corpus {
                 assert!(all.insert(cu.name().to_string()), "duplicate across sets: {}", cu.name());
             }
         }
-        assert!(all.len() >= 90 + 62 + 9 + 6 + 4);
+        assert!(all.len() >= 90 + 62 + 9 + 6 + 4 + 4);
     }
 
     #[test]

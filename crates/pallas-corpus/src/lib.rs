@@ -11,6 +11,7 @@
 
 pub mod builder;
 pub mod examples;
+pub mod infeasible;
 pub mod integrity;
 pub mod new_bugs;
 pub mod studied;
@@ -23,6 +24,7 @@ pub mod types;
 
 pub use builder::compose_unit;
 pub use examples::examples;
+pub use infeasible::infeasible;
 pub use integrity::validate;
 pub use new_bugs::new_bug_examples;
 pub use studied::studied;

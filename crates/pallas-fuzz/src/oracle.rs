@@ -13,6 +13,7 @@
 //! | `meta-churn`      | NDJSON byte-identical                        |
 //! | `meta-swap`       | (rule, function, message) multiset invariant |
 //! | `meta-dead`       | (rule, function, message) multiset invariant |
+//! | `prune-subset`    | pruned findings ⊆ unpruned findings          |
 //!
 //! The rename and churn rewrites preserve line structure, so they
 //! must reproduce the NDJSON byte-for-byte; branch swapping and dead
@@ -26,6 +27,7 @@
 use crate::rewrite;
 use pallas_core::{render_ndjson, AnalyzedUnit, Engine, Pallas, SourceUnit};
 use pallas_lang::pretty::unit_to_source;
+use pallas_sym::ExtractConfig;
 
 /// Which cross-check failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +48,9 @@ pub enum Oracle {
     MetaDead,
     /// Whitespace churn changed the findings.
     MetaChurn,
+    /// Disabling feasibility pruning failed, or the pruned findings
+    /// were not a subset of the unpruned ones.
+    PruneSubset,
 }
 
 impl Oracle {
@@ -60,6 +65,7 @@ impl Oracle {
             Oracle::MetaSwap => "meta-swap",
             Oracle::MetaDead => "meta-dead",
             Oracle::MetaChurn => "meta-churn",
+            Oracle::PruneSubset => "prune-subset",
         }
     }
 }
@@ -228,7 +234,56 @@ pub fn run_oracles(
         }
     }
 
+    // 9. Feasibility pruning: the unit must also analyze cleanly with
+    //    pruning disabled, and the default (pruned) warning *sites* —
+    //    the (rule, function) multiset — must be contained in the
+    //    unpruned ones: pruning may only remove warnings, never add
+    //    them. Message text is deliberately excluded from the compare:
+    //    pruning a contradictory slow-path arm shrinks derived sets
+    //    quoted in messages (a seed-2 slow path returned -2 only under
+    //    `flags == 0 && flags < 0`, so Rule 3.2's quoted return set
+    //    tightened from [-2, 0, 1] to [0, 1]). The compare is skipped
+    //    when either side truncated: pruning frees path budget, so a
+    //    capped run can legitimately reach paths (and findings) the
+    //    unpruned run never enumerated.
+    {
+        let unpruned = Pallas::new()
+            .with_config(ExtractConfig { prune_infeasible: false, ..ExtractConfig::default() })
+            .check_unit(unit)
+            .map_err(|e| fail(Oracle::PruneSubset, format!("unpruned run fails: {e}")))?;
+        let sites = |proj: &[(String, String, String)]| -> Vec<(String, String)> {
+            proj.iter().map(|(r, f, _)| (r.clone(), f.clone())).collect()
+        };
+        let pruned_sites = sites(&base_proj);
+        let full_sites = sites(&projection(&unpruned));
+        if !base_truncated
+            && !unpruned.db.any_truncated()
+            && !is_sub_multiset(&pruned_sites, &full_sites)
+        {
+            return Err(fail(
+                Oracle::PruneSubset,
+                format!("pruned {pruned_sites:?} not within unpruned {full_sites:?}"),
+            ));
+        }
+    }
+
     Ok(base_ndjson)
+}
+
+/// Whether sorted multiset `a` is contained in sorted multiset `b`.
+fn is_sub_multiset<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 /// The single-file source text of a unit.
@@ -302,6 +357,40 @@ mod tests {
         assert!(analyzed.db.any_truncated(), "test premise: the unit must truncate");
         assert!(!analyzed.warnings.is_empty(), "test premise: findings must exist");
         run_oracles(&unit, None).unwrap();
+    }
+
+    #[test]
+    fn prune_subset_clean_on_contradictory_paths() {
+        // The dead inner branch re-tests the outer guard's negation:
+        // pruning suppresses the Rule 1.2 site on it, so the pruned
+        // findings are a strict subset of the unpruned ones — which is
+        // exactly what the oracle demands.
+        let src = "\
+int slow(int order);
+int alloc_fast(int gfp_mask, int order) {
+  if (gfp_mask == 0) {
+    if (gfp_mask != 0) {
+      gfp_mask = 1;
+    }
+    return slow(order);
+  }
+  return 0;
+}
+";
+        let src = unit_to_source(&pallas_lang::parse(src).unwrap());
+        let unit = SourceUnit::new("fuzz/dead-branch")
+            .with_file("gen.c", &src)
+            .with_spec("fastpath alloc_fast; immutable gfp_mask;");
+        run_oracles(&unit, None).unwrap();
+    }
+
+    #[test]
+    fn sub_multiset_respects_multiplicity() {
+        assert!(is_sub_multiset(&[1, 2], &[1, 2, 3]));
+        assert!(is_sub_multiset::<i32>(&[], &[]));
+        assert!(!is_sub_multiset(&[1, 1], &[1, 2]));
+        assert!(!is_sub_multiset(&[4], &[1, 2, 3]));
+        assert!(is_sub_multiset(&[2, 2], &[1, 2, 2, 3]));
     }
 
     #[test]

@@ -182,6 +182,10 @@ pub struct FunctionPaths {
     pub records: Vec<PathRecord>,
     /// Whether enumeration hit a limit (the set under-approximates).
     pub truncated: bool,
+    /// Decision arms the feasibility oracle proved contradictory — each
+    /// one a doomed subtree path enumeration never entered. Always 0
+    /// when pruning is disabled.
+    pub pruned: usize,
 }
 
 impl FunctionPaths {
@@ -248,6 +252,12 @@ impl PathDb {
     /// [`PathConfig`]: pallas_cfg::PathConfig
     pub fn any_truncated(&self) -> bool {
         self.functions.iter().any(|f| f.truncated)
+    }
+
+    /// Total number of decision arms pruned as infeasible across all
+    /// functions.
+    pub fn pruned_paths(&self) -> usize {
+        self.functions.iter().map(|f| f.pruned).sum()
     }
 
     /// Functions whose paths contain a call to `callee` at depth 0.
@@ -331,6 +341,7 @@ mod tests {
             line: 1,
             records: vec![],
             truncated: false,
+            pruned: 0,
         });
         db.insert(FunctionPaths {
             name: "caller".into(),
@@ -350,6 +361,7 @@ mod tests {
                 output: OutputRecord { line: 12, text: String::new(), value: None, vars: vec![] },
             }],
             truncated: false,
+            pruned: 0,
         });
         assert!(db.function("callee").is_some());
         assert!(db.function("nope").is_none());
@@ -370,6 +382,7 @@ mod tests {
             line: 1,
             records: vec![],
             truncated: false,
+            pruned: 0,
         });
         assert!(!db.any_truncated());
         db.insert(FunctionPaths {
@@ -379,6 +392,7 @@ mod tests {
             line: 9,
             records: vec![],
             truncated: true,
+            pruned: 0,
         });
         assert!(db.any_truncated());
     }
@@ -413,6 +427,7 @@ mod tests {
                 },
             ],
             truncated: false,
+            pruned: 0,
         };
         assert_eq!(fp.literal_returns(), vec![0]);
         assert_eq!(fp.named_returns(), vec!["err"]);

@@ -9,8 +9,9 @@
 //! number of callee functions" design (§4).
 
 use crate::event::{Event, FunctionPaths, OutputRecord, PathDb, PathRecord};
+use crate::feasible::FeasibilityOracle;
 use crate::sym::Sym;
-use pallas_cfg::{build_cfg, enumerate_paths, CfgPath, Decision, PathConfig};
+use pallas_cfg::{build_cfg, enumerate_paths, enumerate_paths_with, CfgPath, Decision, PathConfig};
 use pallas_lang::ast::{AssignOp, Ast, ExprId, ExprKind, StmtKind, UnOp};
 use pallas_lang::{expr_to_string, LineMap};
 use std::collections::{HashMap, HashSet};
@@ -23,11 +24,22 @@ pub struct ExtractConfig {
     /// How many levels of same-unit callees to summary-inline
     /// (0 disables inlining).
     pub inline_depth: u8,
+    /// Whether to prune provably infeasible decision arms during path
+    /// enumeration (the [`crate::feasible`] engine). Pruning is sound —
+    /// only contradictory condition sets are cut — so on an
+    /// untruncated enumeration it can only remove paths no execution
+    /// takes; under truncation it additionally frees budget for
+    /// feasible paths the limits would otherwise have cut.
+    pub prune_infeasible: bool,
 }
 
 impl Default for ExtractConfig {
     fn default() -> Self {
-        ExtractConfig { paths: PathConfig::default(), inline_depth: 1 }
+        ExtractConfig {
+            paths: PathConfig::default(),
+            inline_depth: 1,
+            prune_infeasible: true,
+        }
     }
 }
 
@@ -37,13 +49,14 @@ impl ExtractConfig {
     /// engine's frontend cache) must include these bytes in their
     /// keys: two configurations with different encodings can produce
     /// different path databases for the same source.
-    pub fn cache_key_bytes(&self) -> [u8; 33] {
-        let mut out = [0u8; 33];
+    pub fn cache_key_bytes(&self) -> [u8; 34] {
+        let mut out = [0u8; 34];
         out[0..8].copy_from_slice(&(self.paths.max_paths as u64).to_le_bytes());
         out[8..16].copy_from_slice(&(self.paths.max_visits as u64).to_le_bytes());
         out[16..24].copy_from_slice(&(self.paths.max_len as u64).to_le_bytes());
         out[24..32].copy_from_slice(&(self.paths.max_steps as u64).to_le_bytes());
         out[32] = self.inline_depth;
+        out[33] = self.prune_infeasible as u8;
         out
     }
 }
@@ -61,6 +74,7 @@ pub fn extract(unit: &str, ast: &Ast, src: &str, config: &ExtractConfig) -> Path
         let fp = extract_function(ast, &lm, &func.sig.name, config, &mut summaries);
         span.attr_u64("paths", fp.records.len() as u64);
         span.attr_bool("truncated", fp.truncated);
+        span.attr_u64("pruned", fp.pruned as u64);
         db.insert(fp);
     }
     db
@@ -78,7 +92,12 @@ fn extract_function(
 ) -> FunctionPaths {
     let func = ast.function(name).expect("function exists");
     let cfg = build_cfg(ast, func);
-    let paths = enumerate_paths(&cfg, &config.paths);
+    let paths = if config.prune_infeasible {
+        let mut oracle = FeasibilityOracle::new(ast);
+        enumerate_paths_with(&cfg, &config.paths, &mut oracle)
+    } else {
+        enumerate_paths(&cfg, &config.paths)
+    };
     let mut records = Vec::with_capacity(paths.paths.len());
     for (index, path) in paths.paths.iter().enumerate() {
         records.push(extract_path(ast, lm, &cfg, path, index, config, summaries));
@@ -90,6 +109,7 @@ fn extract_function(
         line: lm.line(func.span.start),
         records,
         truncated: paths.truncated,
+        pruned: paths.pruned,
     }
 }
 
@@ -177,6 +197,7 @@ fn callee_summary(
     let sub_config = ExtractConfig {
         paths: PathConfig { max_paths: 64, ..base.paths },
         inline_depth: remaining - 1,
+        ..*base
     };
     let fp = extract_function(ast, lm, name, &sub_config, summaries);
     let mut seen = HashSet::new();

@@ -1,0 +1,822 @@
+//! Path-feasibility checking: a lightweight abstract domain over the
+//! [`Sym`] conditions collected along a path.
+//!
+//! The paper's §5.3 accuracy discussion attributes most false
+//! positives to warnings reported on paths whose branch conditions can
+//! never hold together (`x == 0` taken on one branch, `x != 0` taken
+//! later with `x` untouched). This module decides, as conditions
+//! accumulate, whether the set is *provably unsatisfiable* — and only
+//! then. The verdict is deliberately one-sided:
+//!
+//! * [`Feasibility::Contradiction`] is a proof: under the extractor's
+//!   symbolic semantics no assignment of the path's inputs satisfies
+//!   every accumulated condition. Sources of proof are exactly the
+//!   ones a three-fact domain can discharge — a condition that folds
+//!   to a constant and disagrees with the taken arm, `x == k` against
+//!   `x != k` or `x == k2`, and disjoint interval bounds on the same
+//!   stable value.
+//! * [`Feasibility::Feasible`] means "no contradiction found", not
+//!   "satisfiable" — anything the domain does not understand
+//!   (call results compared twice under different temporaries,
+//!   bitwise conditions, relations between two inputs) is simply
+//!   ignored.
+//!
+//! Facts are keyed by *stable values*: [`Sym::Input`] (the entry value
+//! of a variable, fixed for the whole path) and [`Sym::Temp`] (a call
+//! result bound once at its assignment point). Everything else is
+//! unkeyed and contributes no facts. Soundness is therefore relative
+//! to the extractor's memory model — distinct lvalue keys are assumed
+//! not to alias, exactly as [`extract`](crate::extract) itself
+//! assumes when it builds the symbolic environment the checkers see.
+//!
+//! [`FeasibilityOracle`] packages the domain as a
+//! [`pallas_cfg::PathOracle`]: it re-interprets block statements with
+//! a side-effect-free mirror of the extraction evaluator so each
+//! branch condition is seen exactly as the extractor would render it,
+//! and vetoes decision arms whose added constraint is contradictory —
+//! pruning the whole doomed subtree before the `max_steps` /
+//! `max_paths` budgets are spent on it.
+
+use crate::sym::Sym;
+use pallas_cfg::{find_loops, BlockId, Cfg, Decision, PathOracle, Terminator};
+use pallas_lang::ast::{AssignOp, Ast, BinOp, ExprId, ExprKind, StmtKind, UnOp};
+use pallas_lang::expr_to_string;
+use std::collections::{BTreeSet, HashMap};
+
+/// Verdict over a set of path conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// No contradiction was found (the set may still be unsatisfiable
+    /// in ways the domain cannot see).
+    Feasible,
+    /// The condition set is provably unsatisfiable.
+    Contradiction,
+}
+
+impl Feasibility {
+    /// True for [`Feasibility::Contradiction`].
+    pub fn is_contradiction(self) -> bool {
+        matches!(self, Feasibility::Contradiction)
+    }
+}
+
+/// Per-value facts: an optional exact value, a disequality set, and an
+/// inclusive interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Facts {
+    eq: Option<i64>,
+    ne: Vec<i64>,
+    lo: Option<i64>,
+    hi: Option<i64>,
+}
+
+impl Facts {
+    fn assert_eq(&mut self, k: i64) -> Feasibility {
+        if self.eq.is_some_and(|e| e != k)
+            || self.ne.contains(&k)
+            || self.lo.is_some_and(|lo| lo > k)
+            || self.hi.is_some_and(|hi| hi < k)
+        {
+            return Feasibility::Contradiction;
+        }
+        self.eq = Some(k);
+        Feasibility::Feasible
+    }
+
+    fn assert_ne(&mut self, k: i64) -> Feasibility {
+        if self.eq == Some(k) || (self.lo == Some(k) && self.hi == Some(k)) {
+            return Feasibility::Contradiction;
+        }
+        if !self.ne.contains(&k) {
+            self.ne.push(k);
+        }
+        Feasibility::Feasible
+    }
+
+    /// `value >= k`.
+    fn assert_ge(&mut self, k: i64) -> Feasibility {
+        if let Some(e) = self.eq {
+            return if e >= k { Feasibility::Feasible } else { Feasibility::Contradiction };
+        }
+        self.lo = Some(self.lo.map_or(k, |lo| lo.max(k)));
+        self.bounds_consistent()
+    }
+
+    /// `value <= k`.
+    fn assert_le(&mut self, k: i64) -> Feasibility {
+        if let Some(e) = self.eq {
+            return if e <= k { Feasibility::Feasible } else { Feasibility::Contradiction };
+        }
+        self.hi = Some(self.hi.map_or(k, |hi| hi.min(k)));
+        self.bounds_consistent()
+    }
+
+    /// `value > k` / `value < k`, saturating at the i64 rim (where the
+    /// strict comparison is unsatisfiable outright).
+    fn assert_gt(&mut self, k: i64) -> Feasibility {
+        match k.checked_add(1) {
+            Some(k1) => self.assert_ge(k1),
+            None => Feasibility::Contradiction,
+        }
+    }
+
+    fn assert_lt(&mut self, k: i64) -> Feasibility {
+        match k.checked_sub(1) {
+            Some(k1) => self.assert_le(k1),
+            None => Feasibility::Contradiction,
+        }
+    }
+
+    fn bounds_consistent(&self) -> Feasibility {
+        if let (Some(lo), Some(hi)) = (self.lo, self.hi) {
+            if lo > hi || (lo == hi && self.ne.contains(&lo)) {
+                return Feasibility::Contradiction;
+            }
+        }
+        Feasibility::Feasible
+    }
+}
+
+/// A set of accumulated path constraints with undo support, so a DFS
+/// can speculatively add a decision's constraints and roll them back
+/// when backtracking (or immediately, on a contradiction).
+#[derive(Debug, Default)]
+pub struct ConstraintSet {
+    facts: HashMap<String, Facts>,
+    undo: Vec<(String, Option<Facts>)>,
+}
+
+impl ConstraintSet {
+    /// An empty, everything-is-feasible set.
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// An undo mark; [`rollback`](ConstraintSet::rollback) to it to
+    /// discard every constraint added since.
+    pub fn mark(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Restores the set to the state it had at `mark`.
+    pub fn rollback(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let (key, prev) = self.undo.pop().expect("undo entry above mark");
+            match prev {
+                Some(facts) => {
+                    self.facts.insert(key, facts);
+                }
+                None => {
+                    self.facts.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn with_facts(
+        &mut self,
+        key: &str,
+        f: impl FnOnce(&mut Facts) -> Feasibility,
+    ) -> Feasibility {
+        self.undo.push((key.to_string(), self.facts.get(key).cloned()));
+        f(self.facts.entry(key.to_string()).or_default())
+    }
+
+    /// Asserts that `cond` evaluated to a value whose truth equals
+    /// `taken`, returning [`Feasibility::Contradiction`] iff the set
+    /// thereby becomes provably unsatisfiable.
+    ///
+    /// On a contradiction the set may hold a partial update; callers
+    /// are expected to [`rollback`](ConstraintSet::rollback) to a
+    /// [`mark`](ConstraintSet::mark) taken before the call.
+    pub fn assume(&mut self, cond: &Sym, taken: bool) -> Feasibility {
+        match cond {
+            // A constant condition is decided outright.
+            Sym::Int(v) => {
+                if (*v != 0) == taken {
+                    Feasibility::Feasible
+                } else {
+                    Feasibility::Contradiction
+                }
+            }
+            // String literals are non-null, hence truthy.
+            Sym::Str(_) => {
+                if taken {
+                    Feasibility::Feasible
+                } else {
+                    Feasibility::Contradiction
+                }
+            }
+            Sym::Unary(UnOp::Not, a) => self.assume(a, !taken),
+            Sym::Binary(op, a, b) => match (op, taken) {
+                // `a && b` taken means both hold; `a || b` not taken
+                // means neither holds. The disjunctive duals admit no
+                // single fact and are skipped.
+                (BinOp::And, true) => {
+                    if self.assume(a, true).is_contradiction() {
+                        return Feasibility::Contradiction;
+                    }
+                    self.assume(b, true)
+                }
+                (BinOp::Or, false) => {
+                    if self.assume(a, false).is_contradiction() {
+                        return Feasibility::Contradiction;
+                    }
+                    self.assume(b, false)
+                }
+                (BinOp::And, false) | (BinOp::Or, true) => Feasibility::Feasible,
+                _ => self.assume_cmp(*op, a, b, taken),
+            },
+            // A bare stable value used as a truth value.
+            _ => match key_of(cond) {
+                Some(key) => self.with_facts(&key, |f| {
+                    if taken {
+                        f.assert_ne(0)
+                    } else {
+                        f.assert_eq(0)
+                    }
+                }),
+                None => Feasibility::Feasible,
+            },
+        }
+    }
+
+    /// Handles a (possibly negated) comparison between a stable value
+    /// and an integer constant; everything else contributes no facts.
+    fn assume_cmp(&mut self, op: BinOp, a: &Sym, b: &Sym, taken: bool) -> Feasibility {
+        // Orient as `key OP constant`.
+        let (key, op, k) = match (key_of(a), a.as_int(), key_of(b), b.as_int()) {
+            (Some(key), _, _, Some(k)) => (key, op, k),
+            (_, Some(k), Some(key), _) => match flip(op) {
+                Some(flipped) => (key, flipped, k),
+                None => return Feasibility::Feasible,
+            },
+            _ => return Feasibility::Feasible,
+        };
+        // Fold the taken-arm negation into the operator.
+        let op = if taken {
+            op
+        } else {
+            match negate(op) {
+                Some(n) => n,
+                None => return Feasibility::Feasible,
+            }
+        };
+        self.with_facts(&key, |f| match op {
+            BinOp::Eq => f.assert_eq(k),
+            BinOp::Ne => f.assert_ne(k),
+            BinOp::Lt => f.assert_lt(k),
+            BinOp::Le => f.assert_le(k),
+            BinOp::Gt => f.assert_gt(k),
+            BinOp::Ge => f.assert_ge(k),
+            _ => Feasibility::Feasible,
+        })
+    }
+}
+
+/// The constraint key of a stable symbolic value, if it has one.
+/// `Input` names cannot contain `#`, so the `V#` temporary namespace
+/// never collides with them.
+fn key_of(sym: &Sym) -> Option<String> {
+    match sym {
+        Sym::Input(name) => Some(name.clone()),
+        Sym::Temp(n) => Some(format!("V#{n}")),
+        _ => None,
+    }
+}
+
+/// Mirror-image of a comparison (`k OP x` → `x OP' k`).
+fn flip(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Eq => BinOp::Eq,
+        BinOp::Ne => BinOp::Ne,
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Ge => BinOp::Le,
+        _ => return None,
+    })
+}
+
+/// Logical negation of a comparison.
+fn negate(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Ge => BinOp::Lt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Le => BinOp::Gt,
+        _ => return None,
+    })
+}
+
+/// Convenience entry point: the verdict over a complete condition set
+/// (each entry a condition value plus the arm that was taken).
+pub fn path_feasibility(conds: &[(Sym, bool)]) -> Feasibility {
+    let mut set = ConstraintSet::new();
+    for (cond, taken) in conds {
+        if set.assume(cond, *taken).is_contradiction() {
+            return Feasibility::Contradiction;
+        }
+    }
+    Feasibility::Feasible
+}
+
+/// One speculation frame of the oracle: every environment binding and
+/// constraint added since the frame opened, so backtracking restores
+/// both exactly.
+#[derive(Debug)]
+struct Frame {
+    env_undo: Vec<(String, Option<Sym>)>,
+    cons_mark: usize,
+}
+
+/// A [`PathOracle`] that vetoes provably infeasible decision arms.
+///
+/// The oracle mirrors the extraction evaluator's environment handling
+/// (same lvalue keys, same constant folding, same call-temporary
+/// convention) minus event recording, so each condition is judged on
+/// the same symbolic value the extractor would later attach to the
+/// path. State is fully speculative: every block entry and accepted
+/// decision opens a [`Frame`] that is unwound when the DFS backtracks.
+///
+/// Decisions inside natural loops are *transparent* — evaluated for
+/// their environment effects but never constrained or vetoed. Bounded
+/// unrolling deliberately emits concretely infeasible loop-exit paths
+/// (`for (i = 0; i < 2; i++)` exits at the visit cap with `i < 2`
+/// still folding true) as stand-ins for the deeper iterations the cap
+/// cuts off; pruning those would leave a loop with no paths at all.
+/// The same transparency applies to any block revisited on the current
+/// prefix, covering irreducible cycles natural-loop detection misses.
+pub struct FeasibilityOracle<'a> {
+    ast: &'a Ast,
+    env: HashMap<String, Sym>,
+    frames: Vec<Frame>,
+    cons: ConstraintSet,
+    temp: u32,
+    /// Union of all natural-loop bodies, computed on first block entry.
+    loop_blocks: Option<BTreeSet<BlockId>>,
+    /// Occurrences of each block on the current prefix.
+    visits: HashMap<u32, usize>,
+}
+
+impl<'a> FeasibilityOracle<'a> {
+    /// An oracle for paths of functions in `ast`.
+    pub fn new(ast: &'a Ast) -> Self {
+        FeasibilityOracle {
+            ast,
+            env: HashMap::new(),
+            frames: Vec::new(),
+            cons: ConstraintSet::new(),
+            temp: 0,
+            loop_blocks: None,
+            visits: HashMap::new(),
+        }
+    }
+
+    /// Whether decisions made in `bb` must not constrain or veto:
+    /// the block sits in a loop (its conditions govern the unrolling
+    /// approximation) or is revisited on the current prefix.
+    fn transparent(&self, bb: BlockId) -> bool {
+        self.loop_blocks.as_ref().is_some_and(|s| s.contains(&bb))
+            || self.visits.get(&bb.0).copied().unwrap_or(0) > 1
+    }
+
+    fn push_frame(&mut self) {
+        self.frames.push(Frame { env_undo: Vec::new(), cons_mark: self.cons.mark() });
+    }
+
+    fn pop_frame(&mut self) {
+        let frame = self.frames.pop().expect("balanced frame stack");
+        for (key, prev) in frame.env_undo.into_iter().rev() {
+            match prev {
+                Some(v) => {
+                    self.env.insert(key, v);
+                }
+                None => {
+                    self.env.remove(&key);
+                }
+            }
+        }
+        self.cons.rollback(frame.cons_mark);
+    }
+
+    fn bind(&mut self, key: String, value: Sym) {
+        let prev = self.env.insert(key.clone(), value);
+        if let Some(frame) = self.frames.last_mut() {
+            frame.env_undo.push((key, prev));
+        }
+    }
+
+    fn lookup(&self, key: &str) -> Sym {
+        self.env.get(key).cloned().unwrap_or_else(|| Sym::Input(key.to_string()))
+    }
+
+    /// Canonical lvalue text — must match the extractor's keying.
+    fn lvalue_key(&self, e: ExprId) -> Option<String> {
+        match &self.ast.expr(e).kind {
+            ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index(..) => {
+                Some(expr_to_string(self.ast, e))
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                self.lvalue_key(*inner).map(|k| format!("*{k}"))
+            }
+            _ => None,
+        }
+    }
+
+    /// Call results are opaque: bound values become fresh temporaries,
+    /// the extractor's `V#` convention.
+    fn detemporalize_call(&mut self, value: Sym) -> Sym {
+        if let Sym::Call { .. } = value {
+            self.temp += 1;
+            return Sym::Temp(self.temp);
+        }
+        value
+    }
+
+    fn exec_stmt(&mut self, id: pallas_lang::StmtId) {
+        let stmt = self.ast.stmt(id).clone();
+        match stmt.kind {
+            StmtKind::Decl { name, init, .. } => match init {
+                Some(e) => {
+                    let value = self.eval(e);
+                    let value = self.detemporalize_call(value);
+                    self.bind(name, value);
+                }
+                None => {
+                    self.bind(name, Sym::Unknown);
+                }
+            },
+            StmtKind::Expr(e) => {
+                self.eval(e);
+            }
+            _ => {}
+        }
+    }
+
+    /// The extraction evaluator minus event recording; see
+    /// [`crate::extract`]. Divergence here would make the oracle judge
+    /// a different condition value than the extractor later records,
+    /// so every arm mirrors `Evaluator::eval` exactly.
+    fn eval(&mut self, e: ExprId) -> Sym {
+        match self.ast.expr(e).kind.clone() {
+            ExprKind::Int(v) => Sym::Int(v),
+            ExprKind::Str(s) => Sym::Str(s),
+            ExprKind::Ident(n) => self.lookup(&n),
+            ExprKind::Unary(op, inner) => {
+                if op.mutates() {
+                    let value = self.eval(inner);
+                    if let Some(key) = self.lvalue_key(inner) {
+                        let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) { 1 } else { -1 };
+                        let new = Sym::binary(BinOp::Add, value.clone(), Sym::Int(delta));
+                        self.bind(key, new.clone());
+                        return match op {
+                            UnOp::PostInc | UnOp::PostDec => value,
+                            _ => new,
+                        };
+                    }
+                    return Sym::Unknown;
+                }
+                if matches!(op, UnOp::Addr) {
+                    self.eval(inner);
+                    return Sym::Unknown;
+                }
+                let v = self.eval(inner);
+                if matches!(op, UnOp::Deref) {
+                    return match self.lvalue_key(e) {
+                        Some(key) => self.lookup(&key),
+                        None => Sym::Unknown,
+                    };
+                }
+                Sym::unary(op, v)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                Sym::binary(op, va, vb)
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let rhs_value = self.eval(rhs);
+                let key = match self.lvalue_key(lhs) {
+                    Some(k) => k,
+                    None => return Sym::Unknown,
+                };
+                let value = match op {
+                    AssignOp::Assign => rhs_value,
+                    AssignOp::Compound(bin) => {
+                        let cur = self.lookup(&key);
+                        Sym::binary(bin, cur, rhs_value)
+                    }
+                };
+                let value = self.detemporalize_call(value);
+                self.bind(key, value.clone());
+                value
+            }
+            ExprKind::Ternary(c, t, el) => {
+                self.eval(c);
+                let tv = self.eval(t);
+                let ev = self.eval(el);
+                if tv == ev {
+                    tv
+                } else {
+                    Sym::Unknown
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let callee_name = expr_to_string(self.ast, callee);
+                let mut arg_syms = Vec::with_capacity(args.len());
+                for &a in &args {
+                    arg_syms.push(self.eval(a));
+                }
+                Sym::Call { callee: callee_name, args: arg_syms }
+            }
+            ExprKind::Member { base, .. } => {
+                self.eval(base);
+                match self.lvalue_key(e) {
+                    Some(key) => self.lookup(&key),
+                    None => Sym::Unknown,
+                }
+            }
+            ExprKind::Index(b, i) => {
+                self.eval(b);
+                self.eval(i);
+                match self.lvalue_key(e) {
+                    Some(key) => self.lookup(&key),
+                    None => Sym::Unknown,
+                }
+            }
+            ExprKind::Cast(_, inner) => self.eval(inner),
+            ExprKind::SizeofType(ty) => Sym::Input(format!("sizeof({ty})")),
+            ExprKind::SizeofExpr(inner) => {
+                self.eval(inner);
+                Sym::Unknown
+            }
+            ExprKind::Comma(a, b) => {
+                self.eval(a);
+                self.eval(b)
+            }
+        }
+    }
+
+    /// Asserts one decision's constraint; `false` means contradiction.
+    fn decide(&mut self, cfg: &Cfg, d: &Decision) -> bool {
+        // Transparent decisions still evaluate their condition (the
+        // extractor does, and side effects like `if (x++)` must carry
+        // into the subtree) but assert nothing and never veto.
+        let transparent = self.transparent(d.block());
+        match d {
+            Decision::Branch { cond, taken, .. } => {
+                let sym = self.eval(*cond);
+                if transparent {
+                    return true;
+                }
+                !self.cons.assume(&sym, *taken).is_contradiction()
+            }
+            Decision::Switch { scrutinee, case, block } => {
+                let s = self.eval(*scrutinee);
+                if transparent {
+                    return true;
+                }
+                match case {
+                    // A matched arm pins the scrutinee to the case value.
+                    Some(c) => {
+                        let k = self.eval(*c);
+                        let eq = Sym::binary(BinOp::Eq, s, k);
+                        !self.cons.assume(&eq, true).is_contradiction()
+                    }
+                    // The default arm excludes every constant case value.
+                    None => {
+                        if let Terminator::Switch { cases, .. } = &cfg.block(*block).term {
+                            let cases = cases.clone();
+                            for (value, _) in cases {
+                                let k = self.eval(value);
+                                let ne = Sym::binary(BinOp::Eq, s.clone(), k);
+                                if self.cons.assume(&ne, false).is_contradiction() {
+                                    return false;
+                                }
+                            }
+                        }
+                        true
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PathOracle for FeasibilityOracle<'_> {
+    fn enter_block(&mut self, cfg: &Cfg, bb: BlockId) {
+        if self.loop_blocks.is_none() {
+            let mut blocks = BTreeSet::new();
+            for l in find_loops(cfg) {
+                blocks.extend(l.body.iter().copied());
+            }
+            self.loop_blocks = Some(blocks);
+        }
+        *self.visits.entry(bb.0).or_insert(0) += 1;
+        self.push_frame();
+        let block = cfg.block(bb);
+        for &stmt in &block.stmts {
+            self.exec_stmt(stmt);
+        }
+        for &(b, step) in &cfg.step_exprs {
+            if b == bb {
+                self.eval(step);
+            }
+        }
+    }
+
+    fn push_decision(&mut self, cfg: &Cfg, d: &Decision) -> bool {
+        self.push_frame();
+        if self.decide(cfg, d) {
+            true
+        } else {
+            // Restore both the environment (condition side effects)
+            // and the constraint set before declining the arm.
+            self.pop_frame();
+            false
+        }
+    }
+
+    fn pop_decision(&mut self) {
+        self.pop_frame();
+    }
+
+    fn leave_block(&mut self, _cfg: &Cfg, bb: BlockId) {
+        if let Some(count) = self.visits.get_mut(&bb.0) {
+            *count -= 1;
+        }
+        self.pop_frame();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(n: &str) -> Sym {
+        Sym::Input(n.into())
+    }
+
+    fn cmp(op: BinOp, a: Sym, k: i64) -> Sym {
+        Sym::Binary(op, Box::new(a), Box::new(Sym::Int(k)))
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        assert_eq!(path_feasibility(&[]), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn constant_condition_contradicts_wrong_arm() {
+        assert_eq!(path_feasibility(&[(Sym::Int(0), true)]), Feasibility::Contradiction);
+        assert_eq!(path_feasibility(&[(Sym::Int(1), false)]), Feasibility::Contradiction);
+        assert_eq!(path_feasibility(&[(Sym::Int(7), true)]), Feasibility::Feasible);
+        assert_eq!(path_feasibility(&[(Sym::Int(0), false)]), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn eq_vs_ne_contradicts() {
+        let conds = [(cmp(BinOp::Eq, input("x"), 3), true), (cmp(BinOp::Ne, input("x"), 3), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // Same thing via arm polarity: `x == 3` taken then not taken.
+        let conds = [(cmp(BinOp::Eq, input("x"), 3), true), (cmp(BinOp::Eq, input("x"), 3), false)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn two_distinct_equalities_contradict() {
+        let conds = [(cmp(BinOp::Eq, input("x"), 1), true), (cmp(BinOp::Eq, input("x"), 2), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // Distinct variables are independent.
+        let conds = [(cmp(BinOp::Eq, input("x"), 1), true), (cmp(BinOp::Eq, input("y"), 2), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn disjoint_intervals_contradict() {
+        let conds = [(cmp(BinOp::Lt, input("x"), 0), true), (cmp(BinOp::Gt, input("x"), 10), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        let conds = [(cmp(BinOp::Ge, input("x"), 5), true), (cmp(BinOp::Le, input("x"), 4), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // Touching intervals are satisfiable (x == 5).
+        let conds = [(cmp(BinOp::Ge, input("x"), 5), true), (cmp(BinOp::Le, input("x"), 5), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn equality_outside_interval_contradicts() {
+        let conds = [(cmp(BinOp::Lt, input("x"), 0), true), (cmp(BinOp::Eq, input("x"), 3), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        let conds = [(cmp(BinOp::Eq, input("x"), 3), true), (cmp(BinOp::Gt, input("x"), 7), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn constant_on_the_left_is_oriented() {
+        // `0 < x` then `x <= 0`.
+        let conds = [
+            (Sym::Binary(BinOp::Lt, Box::new(Sym::Int(0)), Box::new(input("x"))), true),
+            (cmp(BinOp::Le, input("x"), 0), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn bare_truth_values_constrain_to_zero_or_nonzero() {
+        let conds = [(input("flag"), false), (cmp(BinOp::Eq, input("flag"), 1), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        let conds = [(input("flag"), true), (cmp(BinOp::Eq, input("flag"), 0), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        let conds = [(input("flag"), true), (cmp(BinOp::Eq, input("flag"), 1), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn negation_and_conjunction_decompose() {
+        // `!(x)` taken == `x == 0`; then `x != 0` contradicts.
+        let conds = [
+            (Sym::Unary(UnOp::Not, Box::new(input("x"))), true),
+            (cmp(BinOp::Ne, input("x"), 0), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // `a > 0 && a < 0` taken is contradictory on its own.
+        let and = Sym::Binary(
+            BinOp::And,
+            Box::new(cmp(BinOp::Gt, input("a"), 0)),
+            Box::new(cmp(BinOp::Lt, input("a"), 0)),
+        );
+        assert_eq!(path_feasibility(&[(and.clone(), true)]), Feasibility::Contradiction);
+        // ...but not-taken tells us nothing certain.
+        assert_eq!(path_feasibility(&[(and, false)]), Feasibility::Feasible);
+        // `a || b` not taken pins both to zero.
+        let or = Sym::Binary(BinOp::Or, Box::new(input("a")), Box::new(input("b")));
+        let conds = [(or, false), (cmp(BinOp::Ne, input("a"), 0), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn temporaries_are_stable_values() {
+        // `r = g(); if (r < 0) ... if (r >= 0)` — both conditions see
+        // the same V#1.
+        let conds =
+            [(cmp(BinOp::Lt, Sym::Temp(1), 0), true), (cmp(BinOp::Ge, Sym::Temp(1), 0), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn opaque_conditions_contribute_nothing() {
+        let call = Sym::Call { callee: "f".into(), args: vec![input("x")] };
+        let conds = [
+            (cmp(BinOp::Lt, call.clone(), 0), true),
+            (cmp(BinOp::Ge, call, 0), true),
+            (Sym::Unknown, true),
+            (Sym::Unknown, false),
+            (cmp(BinOp::BitAnd, input("m"), 16), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn i64_rim_strict_comparisons_are_unsatisfiable() {
+        assert_eq!(
+            path_feasibility(&[(cmp(BinOp::Lt, input("x"), i64::MIN), true)]),
+            Feasibility::Contradiction
+        );
+        assert_eq!(
+            path_feasibility(&[(cmp(BinOp::Gt, input("x"), i64::MAX), true)]),
+            Feasibility::Contradiction
+        );
+        // Non-strict rim bounds are fine.
+        assert_eq!(
+            path_feasibility(&[(cmp(BinOp::Le, input("x"), i64::MIN), true)]),
+            Feasibility::Feasible
+        );
+    }
+
+    #[test]
+    fn rollback_restores_prior_facts() {
+        let mut set = ConstraintSet::new();
+        assert!(!set.assume(&cmp(BinOp::Eq, input("x"), 1), true).is_contradiction());
+        let mark = set.mark();
+        assert!(set.assume(&cmp(BinOp::Eq, input("x"), 2), true).is_contradiction());
+        set.rollback(mark);
+        // `x == 1` is still in force; `x != 1` must now contradict.
+        assert!(set.assume(&cmp(BinOp::Ne, input("x"), 1), true).is_contradiction());
+        set.rollback(mark);
+        assert!(!set.assume(&cmp(BinOp::Eq, input("x"), 1), true).is_contradiction());
+    }
+
+    #[test]
+    fn interval_chain_narrows_to_contradiction() {
+        let conds = [
+            (cmp(BinOp::Ge, input("n"), 0), true),
+            (cmp(BinOp::Le, input("n"), 10), true),
+            (cmp(BinOp::Gt, input("n"), 4), true),
+            (cmp(BinOp::Lt, input("n"), 5), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod callgraph;
 pub mod event;
 pub mod extract;
+pub mod feasible;
 pub mod stats;
 pub mod sym;
 pub mod table5;
@@ -31,6 +32,7 @@ pub mod table5;
 pub use callgraph::CallGraph;
 pub use event::{Event, FunctionPaths, OutputRecord, PathDb, PathRecord};
 pub use extract::{extract, ExtractConfig};
+pub use feasible::{path_feasibility, ConstraintSet, Feasibility, FeasibilityOracle};
 pub use stats::DbStats;
 pub use sym::Sym;
 pub use table5::render_table5;

@@ -143,7 +143,12 @@ impl fmt::Display for Sym {
                 f.write_str("))")
             }
             Sym::Unary(op, a) => write!(f, "{}{a}", op.as_str()),
-            Sym::Binary(op, a, b) => write!(f, "{a} {} {b}", op.as_str()),
+            // Parenthesized so structurally distinct trees render
+            // distinctly: without the parens `a + (b * c)` and
+            // `(a + b) * c` would both print `... + ... * ...`,
+            // ambiguous in NDJSON output and a digest-collision hazard
+            // for the fuzz oracles.
+            Sym::Binary(op, a, b) => write!(f, "({a} {} {b})", op.as_str()),
             Sym::Unknown => f.write_str("(?)"),
         }
     }
@@ -166,8 +171,22 @@ fn fold(op: BinOp, x: i64, y: i64) -> Option<i64> {
             }
             x.wrapping_rem(y)
         }
-        BinOp::Shl => x.wrapping_shl(y as u32),
-        BinOp::Shr => x.wrapping_shr(y as u32),
+        // A shift count outside [0, 63] is undefined behaviour in C;
+        // `wrapping_shl(y as u32)` would silently mask it mod 64 (so
+        // `1 << 64` folds to `1` and negative counts fold to garbage).
+        // Stay symbolic instead, mirroring division by zero.
+        BinOp::Shl => {
+            if !(0..64).contains(&y) {
+                return None;
+            }
+            x.wrapping_shl(y as u32)
+        }
+        BinOp::Shr => {
+            if !(0..64).contains(&y) {
+                return None;
+            }
+            x.wrapping_shr(y as u32)
+        }
         BinOp::Lt => i64::from(x < y),
         BinOp::Gt => i64::from(x > y),
         BinOp::Le => i64::from(x <= y),
@@ -203,7 +222,46 @@ mod tests {
     #[test]
     fn symbolic_operands_do_not_fold() {
         let s = Sym::binary(BinOp::BitAnd, Sym::Input("gfp_mask".into()), Sym::Int(16));
-        assert_eq!(s.to_string(), "(S#gfp_mask) & (I#16)");
+        assert_eq!(s.to_string(), "((S#gfp_mask) & (I#16))");
+    }
+
+    #[test]
+    fn out_of_range_shift_counts_stay_symbolic() {
+        // `1 << 64` must not fold (the hardware masks the count mod 64,
+        // which would yield 1); same for negative counts.
+        let s = Sym::binary(BinOp::Shl, Sym::Int(1), Sym::Int(64));
+        assert!(matches!(s, Sym::Binary(..)), "1 << 64 must stay symbolic, got {s}");
+        let s = Sym::binary(BinOp::Shl, Sym::Int(1), Sym::Int(-1));
+        assert!(matches!(s, Sym::Binary(..)), "1 << -1 must stay symbolic, got {s}");
+        let s = Sym::binary(BinOp::Shr, Sym::Int(1), Sym::Int(64));
+        assert!(matches!(s, Sym::Binary(..)), "1 >> 64 must stay symbolic, got {s}");
+        let s = Sym::binary(BinOp::Shr, Sym::Int(1), Sym::Int(i64::MIN));
+        assert!(matches!(s, Sym::Binary(..)), "negative shift count must stay symbolic");
+        // The boundary count 63 still folds (wrapping into the sign bit).
+        assert_eq!(Sym::binary(BinOp::Shl, Sym::Int(1), Sym::Int(63)), Sym::Int(i64::MIN));
+        assert_eq!(Sym::binary(BinOp::Shl, Sym::Int(1), Sym::Int(3)), Sym::Int(8));
+        assert_eq!(Sym::binary(BinOp::Shr, Sym::Int(16), Sym::Int(63)), Sym::Int(0));
+    }
+
+    #[test]
+    fn display_parenthesizes_binary_nodes_unambiguously() {
+        let a = Sym::Input("a".into());
+        let b = Sym::Input("b".into());
+        let c = Sym::Input("c".into());
+        // a + (b * c) vs (a + b) * c must render distinctly.
+        let left = Sym::binary(
+            BinOp::Add,
+            a.clone(),
+            Sym::binary(BinOp::Mul, b.clone(), c.clone()),
+        );
+        let right = Sym::binary(BinOp::Mul, Sym::binary(BinOp::Add, a, b), c);
+        assert_eq!(left.to_string(), "((S#a) + ((S#b) * (S#c)))");
+        assert_eq!(right.to_string(), "(((S#a) + (S#b)) * (S#c))");
+        assert_ne!(left.to_string(), right.to_string());
+        // Unary over a binary is distinct from binary over a unary.
+        let neg_sum = Sym::unary(UnOp::Neg, Sym::binary(BinOp::Add, Sym::Input("a".into()), Sym::Input("b".into())));
+        let sum_of_neg = Sym::binary(BinOp::Add, Sym::unary(UnOp::Neg, Sym::Input("a".into())), Sym::Input("b".into()));
+        assert_ne!(neg_sum.to_string(), sum_of_neg.to_string());
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property tests for the path-feasibility engine's one-sided
+//! soundness contract: a condition sequence that is *satisfied* by a
+//! concrete assignment (each condition's `taken` flag matches its
+//! truth value under that assignment) must never be judged a
+//! contradiction. The engine may miss contradictions (`Feasible` is
+//! "no proof found"), but a false `Contradiction` would prune a real
+//! path and silently hide bugs from every checker.
+
+use pallas_lang::ast::{BinOp, UnOp};
+use pallas_sym::{path_feasibility, Feasibility, Sym};
+use proptest::prelude::*;
+
+/// A leaf comparison `p<var> OP k`.
+#[derive(Debug, Clone, Copy)]
+struct Cmp {
+    var: usize,
+    op: BinOp,
+    k: i64,
+    /// Render as `k OP p<var>` instead, exercising orientation.
+    flipped: bool,
+}
+
+/// One path condition over the four-variable alphabet.
+#[derive(Debug, Clone, Copy)]
+enum Cond {
+    /// `p OP k` (or flipped).
+    Leaf(Cmp),
+    /// `!(p OP k)`.
+    Not(Cmp),
+    /// `(a) && (b)`.
+    AndOp(Cmp, Cmp),
+    /// `(a) || (b)`.
+    OrOp(Cmp, Cmp),
+    /// Bare variable truthiness: `p`.
+    Bare(usize),
+    /// An opaque arithmetic condition `p + k` the domain cannot key.
+    Arith(usize, i64),
+}
+
+fn var(i: usize) -> Sym {
+    Sym::Input(format!("p{i}"))
+}
+
+fn cmp_sym(c: Cmp) -> Sym {
+    if c.flipped {
+        Sym::binary(c.op, Sym::Int(c.k), var(c.var))
+    } else {
+        Sym::binary(c.op, var(c.var), Sym::Int(c.k))
+    }
+}
+
+fn cmp_truth(c: Cmp, env: &[i64; 4]) -> bool {
+    let (a, b) =
+        if c.flipped { (c.k, env[c.var]) } else { (env[c.var], c.k) };
+    match c.op {
+        BinOp::Lt => a < b,
+        BinOp::Gt => a > b,
+        BinOp::Le => a <= b,
+        BinOp::Ge => a >= b,
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        _ => unreachable!("only comparisons are generated"),
+    }
+}
+
+fn cond_sym(c: &Cond) -> Sym {
+    match *c {
+        Cond::Leaf(l) => cmp_sym(l),
+        Cond::Not(l) => Sym::unary(UnOp::Not, cmp_sym(l)),
+        Cond::AndOp(a, b) => Sym::binary(BinOp::And, cmp_sym(a), cmp_sym(b)),
+        Cond::OrOp(a, b) => Sym::binary(BinOp::Or, cmp_sym(a), cmp_sym(b)),
+        Cond::Bare(v) => var(v),
+        Cond::Arith(v, k) => Sym::binary(BinOp::Add, var(v), Sym::Int(k)),
+    }
+}
+
+fn cond_truth(c: &Cond, env: &[i64; 4]) -> bool {
+    match *c {
+        Cond::Leaf(l) => cmp_truth(l, env),
+        Cond::Not(l) => !cmp_truth(l, env),
+        Cond::AndOp(a, b) => cmp_truth(a, env) && cmp_truth(b, env),
+        Cond::OrOp(a, b) => cmp_truth(a, env) || cmp_truth(b, env),
+        Cond::Bare(v) => env[v] != 0,
+        Cond::Arith(v, k) => env[v] + k != 0,
+    }
+}
+
+fn arb_cmp() -> impl Strategy<Value = Cmp> {
+    (0usize..4, 0u8..6, -8i64..8, any::<bool>()).prop_map(|(var, op, k, flipped)| Cmp {
+        var,
+        op: [BinOp::Lt, BinOp::Gt, BinOp::Le, BinOp::Ge, BinOp::Eq, BinOp::Ne][op as usize],
+        k,
+        flipped,
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        arb_cmp().prop_map(Cond::Leaf),
+        arb_cmp().prop_map(Cond::Not),
+        (arb_cmp(), arb_cmp()).prop_map(|(a, b)| Cond::AndOp(a, b)),
+        (arb_cmp(), arb_cmp()).prop_map(|(a, b)| Cond::OrOp(a, b)),
+        (0usize..4).prop_map(Cond::Bare),
+        (0usize..4, -8i64..8).prop_map(|(v, k)| Cond::Arith(v, k)),
+    ]
+}
+
+proptest! {
+    /// Soundness: a path consistent with a witness assignment is never
+    /// a contradiction, regardless of how many conditions pile up on
+    /// the same variables.
+    #[test]
+    fn satisfied_paths_are_never_contradictions(
+        env in (-8i64..8, -8i64..8, -8i64..8, -8i64..8),
+        conds in proptest::collection::vec(arb_cond(), 0..24),
+    ) {
+        let env = [env.0, env.1, env.2, env.3];
+        let path: Vec<(Sym, bool)> =
+            conds.iter().map(|c| (cond_sym(c), cond_truth(c, &env))).collect();
+        prop_assert_eq!(
+            path_feasibility(&path),
+            Feasibility::Feasible,
+            "witness {:?} satisfies the path, yet it was pruned: {:?}",
+            env,
+            conds
+        );
+    }
+
+    /// The verdict is a pure function of the condition sequence.
+    #[test]
+    fn verdict_is_deterministic(
+        taken in proptest::collection::vec(any::<bool>(), 0..24),
+        conds in proptest::collection::vec(arb_cond(), 0..24),
+    ) {
+        let path: Vec<(Sym, bool)> = conds
+            .iter()
+            .zip(taken.iter().chain(std::iter::repeat(&true)))
+            .map(|(c, t)| (cond_sym(c), *t))
+            .collect();
+        prop_assert_eq!(path_feasibility(&path), path_feasibility(&path));
+    }
+}
+
+/// Keeps the soundness property honest: the engine does prove *some*
+/// contradictions, so `Feasible` above is not vacuous.
+#[test]
+fn engine_is_not_vacuously_feasible() {
+    let eq = Sym::binary(BinOp::Eq, var(0), Sym::Int(3));
+    let ne = Sym::binary(BinOp::Ne, var(0), Sym::Int(3));
+    assert_eq!(
+        path_feasibility(&[(eq, true), (ne, true)]),
+        Feasibility::Contradiction
+    );
+}

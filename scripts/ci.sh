@@ -69,6 +69,35 @@ echo "$FUZZ_A" | grep -q "failures=0" || { echo "ci: fuzz smoke found failures" 
 [ "$FUZZ_A" = "$FUZZ_B" ] || { echo "ci: fuzz digest not deterministic: '$FUZZ_A' vs '$FUZZ_B'" >&2; exit 1; }
 echo "fuzz smoke: ok"
 
+echo "== feasibility pruning ablation =="
+# The inner branch re-tests the outer guard's negation, so its Rule 1.2
+# site is a textbook infeasible-path false positive: it must fire with
+# --no-prune and be suppressed by the default. The bench test then
+# sweeps every corpus set asserting warnings shrink-or-hold, validated
+# bugs stay fixed, and the path count strictly drops somewhere. The
+# fuzz smoke above already pins the pruned-run digest (pruning is the
+# default) and cross-checks the prune-subset oracle each iteration.
+cat > "$SMOKE_DIR/dead.c" <<'EOF'
+int slow(int order);
+int alloc_fast(int gfp_mask, int order) {
+  if (gfp_mask == 0) {
+    if (gfp_mask != 0) {
+      gfp_mask = 1;
+    }
+    return slow(order);
+  }
+  return 0;
+}
+EOF
+echo "fastpath alloc_fast; immutable gfp_mask;" > "$SMOKE_DIR/dead.pallas"
+"$PALLAS_BIN" check "$SMOKE_DIR/dead.c" --no-prune | grep -q "Rule 1.2" \
+  || { echo "ci: unpruned run lost the dead-branch warning" >&2; exit 1; }
+if "$PALLAS_BIN" check "$SMOKE_DIR/dead.c" | grep -q "Rule 1.2"; then
+  echo "ci: pruning failed to suppress the dead-branch warning" >&2; exit 1
+fi
+cargo test --release -q -p bench --lib pruning_is_sound_and_cuts_paths
+echo "feasibility pruning: ok"
+
 echo "== per-rule regression tests =="
 cargo test --release -q -p pallas-checkers --test rule_regressions
 

@@ -108,3 +108,8 @@ fn studied_matches_golden() {
 fn examples_matches_golden() {
     assert_matches_golden("examples", &pallas::corpus::examples());
 }
+
+#[test]
+fn infeasible_matches_golden() {
+    assert_matches_golden("infeasible", &pallas::corpus::infeasible());
+}
