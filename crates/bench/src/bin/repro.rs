@@ -7,6 +7,7 @@
 //! repro --ablation         inlining-depth / checker-family ablations
 //! repro --findings         the §3 Findings 1-5 subtype report
 //! repro --timing           per-path checking time
+//! repro --scaling          rule-count scaling over registry prefixes
 //! repro --all              everything, in paper order
 //! repro ... --stage-stats  append the engine's per-stage cost summary
 //! ```
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     if args.is_empty() {
-        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --all [--stage-stats]".into());
+        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --scaling | --all [--stage-stats]".into());
     }
     // Every occurrence of `--table N` / `--figure N`, in order.
     let values = |flag: &str| -> Result<Vec<u32>, String> {
@@ -60,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", bench::ablation_text());
         println!("{}", bench::findings_text());
         println!("{}", bench::timing_text_in(&engine));
+        println!("{}", bench::rule_scaling_text());
         handled = true;
     } else {
         for n in values("--table")? {
@@ -87,6 +89,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         if args.iter().any(|a| a == "--timing") {
             println!("{}", bench::timing_text_in(&engine));
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--scaling") {
+            println!("{}", bench::rule_scaling_text());
             handled = true;
         }
     }

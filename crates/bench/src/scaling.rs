@@ -1,0 +1,154 @@
+//! Rule-count scaling: checking cost as the registry grows.
+//!
+//! The declarative registry makes "how much does each rule cost?" a
+//! measurable question: build an engine over each prefix of
+//! [`REGISTRY`] (registry order is execution order, so a prefix is a
+//! meaningful configuration — whole families enable together) and
+//! re-check the combined corpus. Warnings are exact and monotone in
+//! the prefix length; wall-clock shows whether checking stays
+//! extraction-dominated as rules are added (the paper's scalability
+//! claim) or any single family bends the curve.
+
+use pallas_checkers::{RuleSet, REGISTRY};
+use pallas_core::{Engine, EngineConfig};
+use pallas_corpus::CorpusUnit;
+use std::fmt::Write;
+use std::time::{Duration, Instant};
+
+/// One row of the scaling table: the corpus checked under the first
+/// `rules` registry entries.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of enabled rules (a registry prefix).
+    pub rules: usize,
+    /// Paper-style number of the last enabled rule (`"4.1"`, ...).
+    pub last_rule: &'static str,
+    /// Total warnings across the corpus under this prefix.
+    pub warnings: usize,
+    /// Wall-clock time for the checking sweep (cold engine).
+    pub elapsed: Duration,
+}
+
+/// The corpus for the sweep: the Table 1 evaluation set plus the
+/// mined-rule miniatures, so the extension prefixes have findings to
+/// contribute.
+fn scaling_corpus() -> Vec<CorpusUnit> {
+    let mut units = pallas_corpus::new_paths();
+    units.extend(pallas_corpus::mined_rules());
+    units
+}
+
+/// Runs the sweep over registry prefixes: one row per family boundary
+/// (the counts where `REGISTRY[..n]` ends exactly at a family edge),
+/// which yields 1, 3, 6, 9, 10, 12, 14, 15 for the current registry.
+pub fn rule_scaling() -> Vec<ScalingRow> {
+    let units = scaling_corpus();
+    let mut rows = Vec::new();
+    for n in prefix_sizes() {
+        let set = RuleSet::only(REGISTRY.iter().take(n).map(|d| d.id));
+        let engine = Engine::with_engine_config(EngineConfig {
+            rules: set,
+            ..EngineConfig::default()
+        });
+        let start = Instant::now();
+        let mut warnings = 0;
+        for cu in &units {
+            warnings += engine
+                .check_unit(&cu.unit)
+                .unwrap_or_else(|e| panic!("scaling sweep: `{}` failed: {e}", cu.name()))
+                .warnings
+                .len();
+        }
+        rows.push(ScalingRow {
+            rules: n,
+            last_rule: REGISTRY[n - 1].number,
+            warnings,
+            elapsed: start.elapsed(),
+        });
+    }
+    rows
+}
+
+/// Prefix lengths ending at family boundaries, plus the single-rule
+/// floor and the full registry.
+fn prefix_sizes() -> Vec<usize> {
+    let mut sizes = vec![1];
+    for n in 1..=REGISTRY.len() {
+        let at_boundary =
+            n == REGISTRY.len() || REGISTRY[n - 1].family != REGISTRY[n].family;
+        if at_boundary && !sizes.contains(&n) {
+            sizes.push(n);
+        }
+    }
+    sizes
+}
+
+/// Renders the sweep as an aligned text table.
+pub fn rule_scaling_text() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Rule-count scaling: corpus re-checked under registry prefixes.");
+    let _ = writeln!(out, "{:>6} {:>11} {:>9} {:>12}", "rules", "through", "warnings", "elapsed");
+    for row in rule_scaling() {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>11} {:>9} {:>12}",
+            row.rules,
+            row.last_rule,
+            row.warnings,
+            format!("{:?}", row.elapsed)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_grow_monotonically_with_the_prefix() {
+        let rows = rule_scaling();
+        assert!(rows.len() >= 6, "{rows:?}");
+        assert_eq!(rows.first().unwrap().rules, 1);
+        assert_eq!(rows.last().unwrap().rules, REGISTRY.len());
+        for pair in rows.windows(2) {
+            assert!(pair[0].rules < pair[1].rules);
+            assert!(
+                pair[0].warnings <= pair[1].warnings,
+                "adding rules removed warnings: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_prefix_matches_the_default_engine() {
+        let rows = rule_scaling();
+        let engine = Engine::new();
+        let full: usize = scaling_corpus()
+            .iter()
+            .map(|cu| engine.check_unit(&cu.unit).unwrap().warnings.len())
+            .sum();
+        assert_eq!(rows.last().unwrap().warnings, full);
+    }
+
+    #[test]
+    fn extension_rules_contribute_warnings() {
+        // The sweep's whole point: the tail prefixes (resource-release,
+        // work-amplification) must add findings over the paper's 12.
+        let rows = rule_scaling();
+        let at_12 = rows.iter().find(|r| r.rules == 12).expect("paper boundary row");
+        let at_15 = rows.last().unwrap();
+        assert!(
+            at_15.warnings > at_12.warnings,
+            "extension rules silent: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn scaling_text_renders_every_row() {
+        let text = rule_scaling_text();
+        for row in rule_scaling() {
+            assert!(text.contains(row.last_rule), "{text}");
+        }
+    }
+}

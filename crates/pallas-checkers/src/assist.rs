@@ -9,28 +9,40 @@ use crate::rule::{Rule, Warning};
 use pallas_sym::{Event, FunctionPaths};
 use std::collections::BTreeSet;
 
-/// Checker for assistant-data-structure rules.
+/// Checker for assistant-data-structure rules — a thin view over the
+/// registry's rules 5.1–5.2.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AssistStructChecker;
 
 impl Checker for AssistStructChecker {
     fn name(&self) -> &'static str {
-        "assistant-data-structure"
+        crate::registry::family_name(pallas_spec::ElementClass::AssistantDataStructure)
     }
 
     fn check(&self, cx: &CheckContext<'_>) -> Vec<Warning> {
-        let mut warnings = BTreeSet::new();
-        let fns = cx.fastpath_fns();
-        for strukt in &cx.spec.assist_structs {
-            check_layout(cx, &fns, strukt, &mut warnings);
-        }
-        for cache in &cx.spec.caches {
-            for func in &fns {
-                check_stale(cx, func, &cache.state, &cache.cache, &mut warnings);
-            }
-        }
-        warnings.into_iter().collect()
+        crate::registry::run_family(cx, pallas_spec::ElementClass::AssistantDataStructure)
     }
+}
+
+/// Registry matcher for Rule 5.1.
+pub(crate) fn match_layout(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    let fns = cx.fastpath_fns();
+    for strukt in &cx.spec.assist_structs {
+        check_layout(cx, &fns, strukt, &mut out);
+    }
+    out.into_iter().collect()
+}
+
+/// Registry matcher for Rule 5.2.
+pub(crate) fn match_stale(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for cache in &cx.spec.caches {
+        for func in cx.fastpath_fns() {
+            check_stale(cx, func, &cache.state, &cache.cache, &mut out);
+        }
+    }
+    out.into_iter().collect()
 }
 
 /// Rule 5.1: every field of the assistant structure must be used

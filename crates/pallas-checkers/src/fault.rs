@@ -14,34 +14,40 @@ use crate::context::{CheckContext, Checker};
 use crate::rule::{Rule, Warning};
 use std::collections::BTreeSet;
 
-/// Checker for the fault-handling rule.
+/// Checker for the fault-handling rule — a thin view over the
+/// registry's rule 4.1.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultHandlingChecker;
 
 impl Checker for FaultHandlingChecker {
     fn name(&self) -> &'static str {
-        "fault-handling"
+        crate::registry::family_name(pallas_spec::ElementClass::FaultHandling)
     }
 
     fn check(&self, cx: &CheckContext<'_>) -> Vec<Warning> {
-        let mut warnings = BTreeSet::new();
-        for func in cx.fastpath_fns() {
-            for fault in &cx.spec.faults {
-                let handled = func.records.iter().any(|r| r.checks_atom(fault));
-                if !handled {
-                    warnings.insert(cx.warn(
-                        Rule::FaultMissing,
-                        &func.name,
-                        func.line,
-                        format!(
-                            "fault state `{fault}` is never handled in any flow-control statement"
-                        ),
-                    ));
-                }
+        crate::registry::run_family(cx, pallas_spec::ElementClass::FaultHandling)
+    }
+}
+
+/// Registry matcher for Rule 4.1.
+pub(crate) fn match_fault_missing(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for func in cx.fastpath_fns() {
+        for fault in &cx.spec.faults {
+            let handled = func.records.iter().any(|r| r.checks_atom(fault));
+            if !handled {
+                out.insert(cx.warn(
+                    Rule::FaultMissing,
+                    &func.name,
+                    func.line,
+                    format!(
+                        "fault state `{fault}` is never handled in any flow-control statement"
+                    ),
+                ));
             }
         }
-        warnings.into_iter().collect()
     }
+    out.into_iter().collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,11 @@
 //! # pallas-checkers
 //!
-//! The five semantic-aware checker families of Pallas, implementing the
-//! twelve rules distilled from the paper's fast-path bug study:
+//! The semantic-aware checkers of Pallas as a declarative platform:
+//! every rule is a data value in [`registry::REGISTRY`], and the seven
+//! checker families are thin views over it. Rules 1.1–5.2 implement
+//! the twelve rules distilled from the paper's fast-path bug study;
+//! rules 6.1–7.1 extend the set with the two consequence classes the
+//! study tags but the paper rules do not cover:
 //!
 //! | Family | Rules | Bug patterns |
 //! |---|---|---|
@@ -10,6 +14,8 @@
 //! | [`PathOutputChecker`] | 3.1–3.3 | undefined / mismatched / unchecked returns |
 //! | [`FaultHandlingChecker`] | 4.1 | missing fault handlers |
 //! | [`AssistStructChecker`] | 5.1–5.2 | bloated assistant structs, stale caches |
+//! | [`ResourceReleaseChecker`] | 6.1–6.2 | leaked or unbalanced resource acquire/release |
+//! | [`WorkAmplificationChecker`] | 7.1 | unconditional or repeated slow-path work |
 //!
 //! ```
 //! use pallas_checkers::{run_all, CheckContext};
@@ -30,108 +36,137 @@
 //! # }
 //! ```
 
+pub mod amplify;
 pub mod assist;
 pub mod context;
 pub mod fault;
 pub mod path_output;
 pub mod path_state;
+pub mod registry;
+pub mod resource;
 pub mod rule;
 pub mod suggest;
 pub mod trigger_cond;
 
+pub use amplify::WorkAmplificationChecker;
 pub use assist::AssistStructChecker;
 pub use context::{CheckContext, Checker};
 pub use fault::FaultHandlingChecker;
 pub use path_output::PathOutputChecker;
 pub use path_state::PathStateChecker;
+pub use registry::{
+    catalogue_markdown, family_name, parse_rule, Quantifier, RuleDef, RuleSet, Severity, REGISTRY,
+};
+pub use resource::ResourceReleaseChecker;
 pub use rule::{Rule, Warning};
 pub use suggest::suggest_fix;
 pub use trigger_cond::TriggerConditionChecker;
 
-/// The five checker families in Table 1 order.
-pub fn all_checkers() -> [(pallas_spec::ElementClass, &'static dyn Checker); 5] {
+/// The seven checker families in registry order.
+pub fn all_checkers() -> [(pallas_spec::ElementClass, &'static dyn Checker); 7] {
     [
         (pallas_spec::ElementClass::PathState, &PathStateChecker),
         (pallas_spec::ElementClass::TriggerCondition, &TriggerConditionChecker),
         (pallas_spec::ElementClass::PathOutput, &PathOutputChecker),
         (pallas_spec::ElementClass::FaultHandling, &FaultHandlingChecker),
         (pallas_spec::ElementClass::AssistantDataStructure, &AssistStructChecker),
+        (pallas_spec::ElementClass::ResourceRelease, &ResourceReleaseChecker),
+        (pallas_spec::ElementClass::WorkAmplification, &WorkAmplificationChecker),
     ]
 }
 
-/// Wall-clock cost of one checker family over one unit.
+/// Wall-clock cost of one registry rule over one unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckerTiming {
-    /// The family's element class.
+    /// The rule that ran.
+    pub rule: Rule,
+    /// The rule's family element class.
     pub class: pallas_spec::ElementClass,
-    /// The checker's name.
+    /// The rule's registry title (e.g. `"immutable-overwrite"`).
     pub name: &'static str,
-    /// Time spent in `check`.
+    /// Time spent in the rule's matcher.
     pub elapsed: std::time::Duration,
-    /// Warnings the family produced (before cross-family dedup).
+    /// Warnings the rule produced (before cross-rule dedup).
     pub warnings: usize,
 }
 
-/// Runs all five checkers, returning their warnings sorted by rule,
-/// function, and line.
+/// Runs every registered rule, returning warnings sorted and deduped.
 pub fn run_all(cx: &CheckContext<'_>) -> Vec<Warning> {
-    run_selected(cx, &pallas_spec::ElementClass::ALL)
+    run_rules(cx, &RuleSet::all())
 }
 
-/// Like [`run_all`], also reporting per-family wall-clock cost.
+/// Like [`run_all`], also reporting per-rule wall-clock cost.
 pub fn run_all_timed(cx: &CheckContext<'_>) -> (Vec<Warning>, Vec<CheckerTiming>) {
-    run_selected_timed(cx, &pallas_spec::ElementClass::ALL)
+    run_rules_timed(cx, &RuleSet::all())
 }
 
-/// Runs only the checker families for the given element classes —
-/// used by the ablation harness and by users who want a subset of the
-/// tools.
+/// Runs only the rules of the given element classes — used by the
+/// ablation harness and by users who want a subset of the families.
 pub fn run_selected(
     cx: &CheckContext<'_>,
     classes: &[pallas_spec::ElementClass],
 ) -> Vec<Warning> {
-    run_selected_timed(cx, classes).0
+    run_rules(cx, &RuleSet::for_classes(classes))
 }
 
-/// Like [`run_selected`], also reporting per-family wall-clock cost.
-/// Timings come back in Table 1 family order, one entry per selected
-/// class; the warning list is identical to [`run_selected`]'s.
+/// Like [`run_selected`], also reporting per-rule wall-clock cost.
 pub fn run_selected_timed(
     cx: &CheckContext<'_>,
     classes: &[pallas_spec::ElementClass],
 ) -> (Vec<Warning>, Vec<CheckerTiming>) {
+    run_rules_timed(cx, &RuleSet::for_classes(classes))
+}
+
+/// Runs the enabled rules of a [`RuleSet`].
+pub fn run_rules(cx: &CheckContext<'_>, rules: &RuleSet) -> Vec<Warning> {
+    run_rules_timed(cx, rules).0
+}
+
+/// Like [`run_rules`], also reporting per-rule wall-clock cost.
+///
+/// Rules execute in registry order, grouped per family under one
+/// trace span; each rule additionally emits a `Layer::Rule` instant
+/// event carrying its warning count. Timings come back in registry
+/// order, one entry per enabled rule; the warning list is sorted and
+/// deduped across rules.
+pub fn run_rules_timed(
+    cx: &CheckContext<'_>,
+    rules: &RuleSet,
+) -> (Vec<Warning>, Vec<CheckerTiming>) {
     let mut warnings = Vec::new();
     let mut timings = Vec::new();
-    for (class, checker) in all_checkers() {
-        if !classes.contains(&class) {
+    for (class, _) in all_checkers() {
+        let defs: Vec<&'static RuleDef> =
+            rules.defs().filter(|d| d.family == class).collect();
+        if defs.is_empty() {
             continue;
         }
-        let mut span = pallas_trace::span(pallas_trace::Layer::Checker, checker.name());
-        let started = std::time::Instant::now();
-        let found = checker.check(cx);
-        let elapsed = started.elapsed();
-        span.attr_u64("warnings", found.len() as u64);
-        // Per-rule outcome events, nested inside the family span. The
-        // families compute all their rules in one pass, so the rule
-        // layer carries counts rather than durations.
-        if pallas_trace::enabled() {
-            for rule in Rule::ALL.iter().filter(|r| r.class() == class) {
-                let count = found.iter().filter(|w| w.rule == *rule).count();
+        let mut span =
+            pallas_trace::span(pallas_trace::Layer::Checker, registry::family_name(class));
+        let mut family_warnings = 0u64;
+        for def in defs {
+            let started = std::time::Instant::now();
+            let found = (def.matcher)(cx);
+            let elapsed = started.elapsed();
+            if pallas_trace::enabled() {
                 pallas_trace::instant(
                     pallas_trace::Layer::Rule,
-                    rule.number(),
-                    vec![("warnings", pallas_trace::AttrValue::U64(count as u64))],
+                    def.number,
+                    vec![("warnings", pallas_trace::AttrValue::U64(found.len() as u64))],
                 );
             }
+            family_warnings += found.len() as u64;
+            timings.push(CheckerTiming {
+                rule: def.id,
+                class,
+                name: def.title,
+                elapsed,
+                warnings: found.len(),
+            });
+            warnings.extend(found);
         }
+        span.attr_u64("warnings", family_warnings);
         drop(span);
-        timings.push(CheckerTiming {
-            class,
-            name: checker.name(),
-            elapsed,
-            warnings: found.len(),
-        });
-        warnings.extend(found);
     }
     warnings.sort();
     warnings.dedup();

@@ -11,30 +11,52 @@ use pallas_spec::RetValue;
 use pallas_sym::{Event, FunctionPaths, Sym};
 use std::collections::BTreeSet;
 
-/// Checker for path-output rules.
+/// Checker for path-output rules — a thin view over the registry's
+/// rules 3.1–3.3.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PathOutputChecker;
 
 impl Checker for PathOutputChecker {
     fn name(&self) -> &'static str {
-        "path-output"
+        crate::registry::family_name(pallas_spec::ElementClass::PathOutput)
     }
 
     fn check(&self, cx: &CheckContext<'_>) -> Vec<Warning> {
-        let mut warnings = BTreeSet::new();
-        for func in cx.fastpath_fns() {
-            if !cx.spec.returns.is_empty() {
-                check_defined(cx, func, &mut warnings);
-            }
-            if cx.spec.match_slow_return {
-                check_match_slow(cx, func, &mut warnings);
-            }
-            if cx.spec.check_return {
-                check_callers(cx, func, &mut warnings);
-            }
-        }
-        warnings.into_iter().collect()
+        crate::registry::run_family(cx, pallas_spec::ElementClass::PathOutput)
     }
+}
+
+/// Registry matcher for Rule 3.1.
+pub(crate) fn match_defined(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    if !cx.spec.returns.is_empty() {
+        for func in cx.fastpath_fns() {
+            check_defined(cx, func, &mut out);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Registry matcher for Rule 3.2.
+pub(crate) fn match_match_slow(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    if cx.spec.match_slow_return {
+        for func in cx.fastpath_fns() {
+            check_match_slow(cx, func, &mut out);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Registry matcher for Rule 3.3.
+pub(crate) fn match_callers(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    if cx.spec.check_return {
+        for func in cx.fastpath_fns() {
+            check_callers(cx, func, &mut out);
+        }
+    }
+    out.into_iter().collect()
 }
 
 /// Rule 3.1: every decidable return value must belong to the declared

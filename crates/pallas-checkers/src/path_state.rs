@@ -10,28 +10,52 @@ use pallas_lang::Item;
 use pallas_sym::{Event, FunctionPaths};
 use std::collections::BTreeSet;
 
-/// Checker for path-state rules.
+/// Checker for path-state rules — a thin view over the registry's
+/// rules 1.1–1.3.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PathStateChecker;
 
 impl Checker for PathStateChecker {
     fn name(&self) -> &'static str {
-        "path-state"
+        crate::registry::family_name(pallas_spec::ElementClass::PathState)
     }
 
     fn check(&self, cx: &CheckContext<'_>) -> Vec<Warning> {
-        let mut warnings = BTreeSet::new();
-        for func in cx.fastpath_fns() {
-            for imm in &cx.spec.immutable {
-                check_overwrite(cx, func, imm, &mut warnings);
-                check_init(cx, func, imm, &mut warnings);
-            }
-            for (x, y) in &cx.spec.correlated {
-                check_correlated(cx, func, x, y, &mut warnings);
-            }
-        }
-        warnings.into_iter().collect()
+        crate::registry::run_family(cx, pallas_spec::ElementClass::PathState)
     }
+}
+
+/// Registry matcher for Rule 1.2.
+pub(crate) fn match_overwrite(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for func in cx.fastpath_fns() {
+        for imm in &cx.spec.immutable {
+            check_overwrite(cx, func, imm, &mut out);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Registry matcher for Rule 1.1.
+pub(crate) fn match_init(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for func in cx.fastpath_fns() {
+        for imm in &cx.spec.immutable {
+            check_init(cx, func, imm, &mut out);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Registry matcher for Rule 1.3.
+pub(crate) fn match_correlated(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for func in cx.fastpath_fns() {
+        for (x, y) in &cx.spec.correlated {
+            check_correlated(cx, func, x, y, &mut out);
+        }
+    }
+    out.into_iter().collect()
 }
 
 /// Rule 1.2: the immutable variable (or anything reached through it)

@@ -1,0 +1,522 @@
+//! The declarative rule registry: every checking rule as a data value.
+//!
+//! A rule is a [`RuleDef`] — identity, paper-style number, family,
+//! severity, title, Table 1 finding text, and a matcher function over
+//! the symbolized path database. [`REGISTRY`] is the single source of
+//! truth for rule metadata (the [`crate::rule::Rule`] methods are thin
+//! lookups into it) and for execution order: rules run in Table 1 row
+//! order, extension rules last, grouped by family.
+//!
+//! [`RuleSet`] owns enablement: the engine, the CLI
+//! (`--only-rule`/`--disable-rule`), the daemon protocol, and the
+//! fuzz battery all select rules through it, and its
+//! [`RuleSet::cache_key`] feeds the engine's frontend cache
+//! fingerprint so differently-selected runs never share cache
+//! entries.
+
+use crate::context::CheckContext;
+use crate::rule::{Rule, Warning};
+use pallas_spec::ElementClass;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A matcher inspects the path database through the shared context and
+/// returns the rule's warnings.
+pub type Matcher = fn(&CheckContext<'_>) -> Vec<Warning>;
+
+/// How consequential a violation of the rule is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suboptimal but functionally correct (layout/performance advice).
+    Advice,
+    /// Likely bug; semantics may be violated.
+    Warning,
+    /// Definite corruption pattern (double release, overwritten
+    /// immutable state).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase display name (`"advice"`, `"warning"`, `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a rule quantifies over the enumerated paths.
+///
+/// Existential rules warn on evidence a *single* path carries (an
+/// overwrite, an unpaired release), so shrinking the path set can only
+/// remove their warnings. Universal rules warn when evidence is absent
+/// from *every* path (no path checks the trigger, no path uses a
+/// field), so shrinking the path set — feasibility pruning, a path
+/// cap — can also *add* warnings. Differential harnesses that compare
+/// runs across path-set changes must only assert monotonicity for
+/// existential rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// One path witnesses the violation.
+    Exists,
+    /// The violation is the absence of evidence across all paths.
+    Forall,
+}
+
+impl Quantifier {
+    /// Lowercase display name (`"exists"`, `"forall"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Quantifier::Exists => "exists",
+            Quantifier::Forall => "forall",
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One checking rule as a data value.
+#[derive(Clone, Copy)]
+pub struct RuleDef {
+    /// Enum identity (stable across the crate).
+    pub id: Rule,
+    /// Paper-style number, e.g. `"1.2"`.
+    pub number: &'static str,
+    /// Element-class family the rule belongs to.
+    pub family: ElementClass,
+    /// Violation severity.
+    pub severity: Severity,
+    /// Short kebab-case title, e.g. `"immutable-overwrite"`.
+    pub title: &'static str,
+    /// How the rule quantifies over enumerated paths.
+    pub quantifier: Quantifier,
+    /// The Table 1 "Bug Finding" row description.
+    pub finding: &'static str,
+    /// The predicate that produces this rule's warnings.
+    pub matcher: Matcher,
+}
+
+impl fmt::Debug for RuleDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuleDef")
+            .field("id", &self.id)
+            .field("number", &self.number)
+            .field("family", &self.family)
+            .field("severity", &self.severity)
+            .field("title", &self.title)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All rules in execution order: Table 1 row order, extension rules
+/// last, contiguous per family.
+pub static REGISTRY: [RuleDef; 15] = [
+    RuleDef {
+        id: Rule::ImmutableOverwrite,
+        number: "1.2",
+        family: ElementClass::PathState,
+        severity: Severity::Error,
+        title: "immutable-overwrite",
+        quantifier: Quantifier::Exists,
+        finding: "immutable states are overwritten",
+        matcher: crate::path_state::match_overwrite,
+    },
+    RuleDef {
+        id: Rule::ImmutableInit,
+        number: "1.1",
+        family: ElementClass::PathState,
+        severity: Severity::Warning,
+        title: "immutable-init",
+        quantifier: Quantifier::Exists,
+        finding: "immutable states are not initialized",
+        matcher: crate::path_state::match_init,
+    },
+    RuleDef {
+        id: Rule::Correlated,
+        number: "1.3",
+        family: ElementClass::PathState,
+        severity: Severity::Warning,
+        title: "correlated-state",
+        quantifier: Quantifier::Exists,
+        finding: "one state does not refer to its correlated state",
+        matcher: crate::path_state::match_correlated,
+    },
+    RuleDef {
+        id: Rule::CondMissing,
+        number: "2.1",
+        family: ElementClass::TriggerCondition,
+        severity: Severity::Warning,
+        title: "cond-missing",
+        quantifier: Quantifier::Forall,
+        finding: "the condition checking for path switch is missing",
+        matcher: crate::trigger_cond::match_cond_missing,
+    },
+    RuleDef {
+        id: Rule::CondIncomplete,
+        number: "2.2",
+        family: ElementClass::TriggerCondition,
+        severity: Severity::Warning,
+        title: "cond-incomplete",
+        quantifier: Quantifier::Forall,
+        finding: "the implementation of trigger condition is incomplete",
+        matcher: crate::trigger_cond::match_cond_incomplete,
+    },
+    RuleDef {
+        id: Rule::CondOrder,
+        number: "2.3",
+        family: ElementClass::TriggerCondition,
+        severity: Severity::Warning,
+        title: "cond-order",
+        quantifier: Quantifier::Exists,
+        finding: "the order of condition checking is incorrect",
+        matcher: crate::trigger_cond::match_cond_order,
+    },
+    RuleDef {
+        id: Rule::OutputMatchSlow,
+        number: "3.2",
+        family: ElementClass::PathOutput,
+        severity: Severity::Error,
+        title: "output-match-slow",
+        quantifier: Quantifier::Forall,
+        finding: "the return values of slow and fast path should be the same",
+        matcher: crate::path_output::match_match_slow,
+    },
+    RuleDef {
+        id: Rule::OutputDefined,
+        number: "3.1",
+        family: ElementClass::PathOutput,
+        severity: Severity::Warning,
+        title: "output-defined",
+        quantifier: Quantifier::Exists,
+        finding: "the returned values should be one of the defined values",
+        matcher: crate::path_output::match_defined,
+    },
+    RuleDef {
+        id: Rule::OutputChecked,
+        number: "3.3",
+        family: ElementClass::PathOutput,
+        severity: Severity::Warning,
+        title: "output-checked",
+        quantifier: Quantifier::Exists,
+        finding: "the returned value should be checked",
+        matcher: crate::path_output::match_callers,
+    },
+    RuleDef {
+        id: Rule::FaultMissing,
+        number: "4.1",
+        family: ElementClass::FaultHandling,
+        severity: Severity::Warning,
+        title: "fault-missing",
+        quantifier: Quantifier::Forall,
+        finding: "the fault handler is missing",
+        matcher: crate::fault::match_fault_missing,
+    },
+    RuleDef {
+        id: Rule::AssistLayout,
+        number: "5.1",
+        family: ElementClass::AssistantDataStructure,
+        severity: Severity::Advice,
+        title: "assist-layout",
+        quantifier: Quantifier::Forall,
+        finding: "not all elements in a data structure are used in fast path",
+        matcher: crate::assist::match_layout,
+    },
+    RuleDef {
+        id: Rule::AssistStale,
+        number: "5.2",
+        family: ElementClass::AssistantDataStructure,
+        severity: Severity::Warning,
+        title: "assist-stale",
+        quantifier: Quantifier::Exists,
+        finding: "an update on a data structure should be followed by an update on its cached version",
+        matcher: crate::assist::match_stale,
+    },
+    RuleDef {
+        id: Rule::AcquireNoRelease,
+        number: "6.1",
+        family: ElementClass::ResourceRelease,
+        severity: Severity::Warning,
+        title: "acquire-no-release",
+        quantifier: Quantifier::Exists,
+        finding: "a resource acquired on the fast path should be released on every path",
+        matcher: crate::resource::match_acquire_no_release,
+    },
+    RuleDef {
+        id: Rule::ReleaseNoAcquire,
+        number: "6.2",
+        family: ElementClass::ResourceRelease,
+        severity: Severity::Error,
+        title: "release-no-acquire",
+        quantifier: Quantifier::Exists,
+        finding: "a release on the fast path should be preceded by its acquire",
+        matcher: crate::resource::match_release_no_acquire,
+    },
+    RuleDef {
+        id: Rule::FastPathExpensive,
+        number: "7.1",
+        family: ElementClass::WorkAmplification,
+        severity: Severity::Advice,
+        title: "fastpath-expensive",
+        quantifier: Quantifier::Forall,
+        finding: "the fast path should not unconditionally perform slow-path work",
+        matcher: crate::amplify::match_expensive,
+    },
+];
+
+/// The stable report name of a checker family (`"path-state"`, ...).
+pub fn family_name(class: ElementClass) -> &'static str {
+    match class {
+        ElementClass::PathState => "path-state",
+        ElementClass::TriggerCondition => "trigger-condition",
+        ElementClass::PathOutput => "path-output",
+        ElementClass::FaultHandling => "fault-handling",
+        ElementClass::AssistantDataStructure => "assistant-data-structure",
+        ElementClass::ResourceRelease => "resource-release",
+        ElementClass::WorkAmplification => "work-amplification",
+    }
+}
+
+/// Looks up a rule by paper-style number (`"1.2"`) or registry title
+/// (`"immutable-overwrite"`).
+pub fn parse_rule(s: &str) -> Option<Rule> {
+    REGISTRY.iter().find(|d| d.number == s || d.title == s).map(|d| d.id)
+}
+
+/// Runs every registered rule of one family, returning the family's
+/// warnings in sorted order (the historic per-family `Checker`
+/// behavior).
+pub fn run_family(cx: &CheckContext<'_>, class: ElementClass) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for def in REGISTRY.iter().filter(|d| d.family == class) {
+        out.extend((def.matcher)(cx));
+    }
+    out.into_iter().collect()
+}
+
+/// An enablement set over the registry: which rules run and (through
+/// registry order) in what sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSet {
+    enabled: BTreeSet<Rule>,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::all()
+    }
+}
+
+impl RuleSet {
+    /// Every registered rule.
+    pub fn all() -> Self {
+        RuleSet { enabled: REGISTRY.iter().map(|d| d.id).collect() }
+    }
+
+    /// No rules.
+    pub fn empty() -> Self {
+        RuleSet { enabled: BTreeSet::new() }
+    }
+
+    /// Only the given rules.
+    pub fn only(rules: impl IntoIterator<Item = Rule>) -> Self {
+        RuleSet { enabled: rules.into_iter().collect() }
+    }
+
+    /// Every rule of the given families.
+    pub fn for_classes(classes: &[ElementClass]) -> Self {
+        RuleSet {
+            enabled: REGISTRY
+                .iter()
+                .filter(|d| classes.contains(&d.family))
+                .map(|d| d.id)
+                .collect(),
+        }
+    }
+
+    /// Enables one rule.
+    pub fn enable(&mut self, rule: Rule) {
+        self.enabled.insert(rule);
+    }
+
+    /// Disables one rule.
+    pub fn disable(&mut self, rule: Rule) {
+        self.enabled.remove(&rule);
+    }
+
+    /// Builder-style [`RuleSet::disable`].
+    pub fn without(mut self, rule: Rule) -> Self {
+        self.disable(rule);
+        self
+    }
+
+    /// Whether the rule is enabled.
+    pub fn is_enabled(&self, rule: Rule) -> bool {
+        self.enabled.contains(&rule)
+    }
+
+    /// Number of enabled rules.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Whether no rule is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+
+    /// Enabled rule definitions in registry (execution) order.
+    pub fn defs(&self) -> impl Iterator<Item = &'static RuleDef> + '_ {
+        REGISTRY.iter().filter(|d| self.is_enabled(d.id))
+    }
+
+    /// Stable cache-key text: the enabled rule numbers in registry
+    /// order (`"1.2,1.1,...,7.1"`). Part of the engine's frontend
+    /// cache fingerprint.
+    pub fn cache_key(&self) -> String {
+        let nums: Vec<&str> = self.defs().map(|d| d.number).collect();
+        nums.join(",")
+    }
+
+    /// Builds a set from CLI/daemon-style selections: `only` keeps
+    /// just the named rules (all when empty), then `disable` removes
+    /// rules. Names are numbers or titles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if it matches no registered rule.
+    pub fn from_selection(only: &[String], disable: &[String]) -> Result<Self, String> {
+        let lookup = |name: &String| {
+            parse_rule(name).ok_or_else(|| {
+                format!(
+                    "unknown rule `{name}` (rules are named by number, e.g. `4.1`, \
+                     or title, e.g. `fault-missing`; see `pallas check --list-rules`)"
+                )
+            })
+        };
+        let mut set = if only.is_empty() {
+            RuleSet::all()
+        } else {
+            let mut s = RuleSet::empty();
+            for name in only {
+                s.enable(lookup(name)?);
+            }
+            s
+        };
+        for name in disable {
+            set.disable(lookup(name)?);
+        }
+        Ok(set)
+    }
+}
+
+/// Markdown rule catalogue generated from the registry — the table
+/// embedded in `docs/CHECKERS.md` (a test keeps the document in sync).
+pub fn catalogue_markdown() -> String {
+    let mut out = String::from(
+        "| Rule | Title | Family | Severity | Quantifier | Bug finding |\n|---|---|---|---|---|---|\n",
+    );
+    for def in &REGISTRY {
+        out.push_str(&format!(
+            "| {} | `{}` | {} | {} | {} | {} |\n",
+            def.number,
+            def.title,
+            def.family.as_str(),
+            def.severity,
+            def.quantifier,
+            def.finding
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_and_rule_enum_agree() {
+        // The registry is ordered exactly like `Rule::ALL`, covers it
+        // exactly once, and its metadata is what the enum methods
+        // report (they are lookups, so this pins the delegation).
+        assert_eq!(REGISTRY.len(), Rule::ALL.len());
+        for (def, rule) in REGISTRY.iter().zip(Rule::ALL.iter()) {
+            assert_eq!(def.id, *rule);
+            assert_eq!(def.number, rule.number());
+            assert_eq!(def.family, rule.class());
+            assert_eq!(def.finding, rule.finding());
+            assert_eq!(def.quantifier, rule.quantifier());
+        }
+    }
+
+    #[test]
+    fn registry_families_are_contiguous_in_class_order() {
+        let families: Vec<ElementClass> = REGISTRY.iter().map(|d| d.family).collect();
+        let mut deduped = families.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ElementClass::ALL.len(), "family blocks are contiguous");
+        assert_eq!(deduped, ElementClass::ALL.to_vec());
+    }
+
+    #[test]
+    fn titles_and_numbers_unique() {
+        let mut titles: Vec<&str> = REGISTRY.iter().map(|d| d.title).collect();
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn parse_rule_accepts_number_and_title() {
+        assert_eq!(parse_rule("1.2"), Some(Rule::ImmutableOverwrite));
+        assert_eq!(parse_rule("immutable-overwrite"), Some(Rule::ImmutableOverwrite));
+        assert_eq!(parse_rule("7.1"), Some(Rule::FastPathExpensive));
+        assert_eq!(parse_rule("bogus"), None);
+    }
+
+    #[test]
+    fn ruleset_selection_and_cache_key() {
+        let all = RuleSet::all();
+        assert_eq!(all.len(), 15);
+        assert!(all.cache_key().starts_with("1.2,1.1,1.3"));
+        assert!(all.cache_key().ends_with("6.1,6.2,7.1"));
+
+        let without = all.clone().without(Rule::FaultMissing);
+        assert_eq!(without.len(), 14);
+        assert!(!without.is_enabled(Rule::FaultMissing));
+        assert_ne!(without.cache_key(), all.cache_key());
+
+        let only = RuleSet::only([Rule::CondOrder]);
+        assert_eq!(only.cache_key(), "2.3");
+    }
+
+    #[test]
+    fn from_selection_parses_and_rejects() {
+        let set = RuleSet::from_selection(&["1.2".into(), "4.1".into()], &["4.1".into()]).unwrap();
+        assert!(set.is_enabled(Rule::ImmutableOverwrite));
+        assert!(!set.is_enabled(Rule::FaultMissing));
+        assert_eq!(set.len(), 1);
+        let err = RuleSet::from_selection(&[], &["9.9".into()]).unwrap_err();
+        assert!(err.contains("unknown rule `9.9`"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn catalogue_lists_every_rule() {
+        let md = catalogue_markdown();
+        for def in &REGISTRY {
+            assert!(md.contains(def.number), "catalogue missing {}", def.number);
+            assert!(md.contains(def.title), "catalogue missing {}", def.title);
+        }
+    }
+}

@@ -1,12 +1,16 @@
 //! Rule identities and warning records.
 //!
-//! The twelve rules are numbered as in the paper (§3's `Rule N.M`
-//! boxes) and grouped into the five element classes of Table 1.
+//! The twelve paper rules are numbered as in the paper (§3's `Rule N.M`
+//! boxes) and grouped into the five element classes of Table 1; rules
+//! 6.1/6.2 and 7.1 extend the set with the two study-mined families.
+//! All rule metadata — number, family, severity, title, finding text —
+//! lives in the [`crate::registry`] table; the methods here are thin
+//! lookups into it so the enum and the registry can never disagree.
 
 use pallas_spec::ElementClass;
 use std::fmt;
 
-/// One of the twelve Pallas checking rules.
+/// One of the fifteen Pallas checking rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// 1.1 — specified immutable variables must be initialized.
@@ -33,11 +37,21 @@ pub enum Rule {
     AssistLayout,
     /// 5.2 — path-state updates must be followed by cache updates.
     AssistStale,
+    /// 6.1 — resources acquired on the fast path must be released on
+    /// every path (MemoryLeak consequence class).
+    AcquireNoRelease,
+    /// 6.2 — releases must be preceded by their acquire on the same
+    /// path (double-release consequence class).
+    ReleaseNoAcquire,
+    /// 7.1 — the fast path must not unconditionally or repeatedly call
+    /// declared-expensive helpers (PerformanceDegradation class).
+    FastPathExpensive,
 }
 
 impl Rule {
-    /// All rules in Table 1 row order.
-    pub const ALL: [Rule; 12] = [
+    /// All rules in Table 1 row order, extension rules last — the same
+    /// order as [`crate::registry::REGISTRY`] (pinned by a meta-test).
+    pub const ALL: [Rule; 15] = [
         Rule::ImmutableOverwrite,
         Rule::ImmutableInit,
         Rule::Correlated,
@@ -50,61 +64,38 @@ impl Rule {
         Rule::FaultMissing,
         Rule::AssistLayout,
         Rule::AssistStale,
+        Rule::AcquireNoRelease,
+        Rule::ReleaseNoAcquire,
+        Rule::FastPathExpensive,
     ];
 
-    /// The paper's rule number (`"1.2"`, ...).
+    /// This rule's registry entry.
+    pub fn def(self) -> &'static crate::registry::RuleDef {
+        crate::registry::REGISTRY
+            .iter()
+            .find(|d| d.id == self)
+            .expect("every rule has a registry entry")
+    }
+
+    /// The paper-style rule number (`"1.2"`, ...).
     pub fn number(self) -> &'static str {
-        match self {
-            Rule::ImmutableInit => "1.1",
-            Rule::ImmutableOverwrite => "1.2",
-            Rule::Correlated => "1.3",
-            Rule::CondMissing => "2.1",
-            Rule::CondIncomplete => "2.2",
-            Rule::CondOrder => "2.3",
-            Rule::OutputDefined => "3.1",
-            Rule::OutputMatchSlow => "3.2",
-            Rule::OutputChecked => "3.3",
-            Rule::FaultMissing => "4.1",
-            Rule::AssistLayout => "5.1",
-            Rule::AssistStale => "5.2",
-        }
+        self.def().number
     }
 
     /// The element class (Table 1 grouping) the rule belongs to.
     pub fn class(self) -> ElementClass {
-        match self {
-            Rule::ImmutableInit | Rule::ImmutableOverwrite | Rule::Correlated => {
-                ElementClass::PathState
-            }
-            Rule::CondMissing | Rule::CondIncomplete | Rule::CondOrder => {
-                ElementClass::TriggerCondition
-            }
-            Rule::OutputDefined | Rule::OutputMatchSlow | Rule::OutputChecked => {
-                ElementClass::PathOutput
-            }
-            Rule::FaultMissing => ElementClass::FaultHandling,
-            Rule::AssistLayout | Rule::AssistStale => ElementClass::AssistantDataStructure,
-        }
+        self.def().family
     }
 
     /// The Table 1 "Bug Finding" row description.
     pub fn finding(self) -> &'static str {
-        match self {
-            Rule::ImmutableOverwrite => "immutable states are overwritten",
-            Rule::ImmutableInit => "immutable states are not initialized",
-            Rule::Correlated => "one state does not refer to its correlated state",
-            Rule::CondMissing => "the condition checking for path switch is missing",
-            Rule::CondIncomplete => "the implementation of trigger condition is incomplete",
-            Rule::CondOrder => "the order of condition checking is incorrect",
-            Rule::OutputMatchSlow => "the return values of slow and fast path should be the same",
-            Rule::OutputDefined => "the returned values should be one of the defined values",
-            Rule::OutputChecked => "the returned value should be checked",
-            Rule::FaultMissing => "the fault handler is missing",
-            Rule::AssistLayout => "not all elements in a data structure are used in fast path",
-            Rule::AssistStale => {
-                "an update on a data structure should be followed by an update on its cached version"
-            }
-        }
+        self.def().finding
+    }
+
+    /// How the rule quantifies over enumerated paths (see
+    /// [`crate::registry::Quantifier`]).
+    pub fn quantifier(self) -> crate::registry::Quantifier {
+        self.def().quantifier
     }
 }
 
@@ -115,7 +106,7 @@ impl fmt::Display for Rule {
 }
 
 /// A warning produced by a checker.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Warning {
     /// The violated rule.
     pub rule: Rule,
@@ -127,6 +118,28 @@ pub struct Warning {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+}
+
+impl Ord for Warning {
+    /// Source order, not rule order: warnings sort by `(function,
+    /// line, rule)`, so a report reads top-to-bottom through each
+    /// function regardless of which checker fired first. The remaining
+    /// fields only break ties to keep the order total.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.function, self.line, self.rule, &self.unit, &self.message).cmp(&(
+            &other.function,
+            other.line,
+            other.rule,
+            &other.unit,
+            &other.message,
+        ))
+    }
+}
+
+impl PartialOrd for Warning {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl fmt::Display for Warning {
@@ -149,11 +162,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twelve_rules_cover_five_classes() {
-        assert_eq!(Rule::ALL.len(), 12);
+    fn fifteen_rules_cover_seven_classes() {
+        assert_eq!(Rule::ALL.len(), 15);
         let mut classes: Vec<ElementClass> = Rule::ALL.iter().map(|r| r.class()).collect();
         classes.dedup();
-        assert_eq!(classes.len(), 5);
+        assert_eq!(classes.len(), 7);
     }
 
     #[test]
@@ -161,7 +174,7 @@ mod tests {
         let mut nums: Vec<&str> = Rule::ALL.iter().map(|r| r.number()).collect();
         nums.sort();
         nums.dedup();
-        assert_eq!(nums.len(), 12);
+        assert_eq!(nums.len(), 15);
     }
 
     #[test]
@@ -177,5 +190,29 @@ mod tests {
         assert!(s.contains("1.2"));
         assert!(s.contains("get_page_fast"));
         assert!(s.contains("42"));
+    }
+
+    #[test]
+    fn warnings_sort_by_function_then_line_then_rule() {
+        let w = |rule, function: &str, line| Warning {
+            rule,
+            unit: "u".into(),
+            function: function.into(),
+            line,
+            message: "m".into(),
+        };
+        let mut ws = vec![
+            w(Rule::ImmutableInit, "b_fn", 3),
+            w(Rule::FaultMissing, "a_fn", 9),
+            w(Rule::AssistStale, "a_fn", 2),
+            w(Rule::ImmutableInit, "a_fn", 2),
+        ];
+        ws.sort();
+        let order: Vec<(&str, u32, &str)> =
+            ws.iter().map(|w| (w.function.as_str(), w.line, w.rule.number())).collect();
+        assert_eq!(
+            order,
+            vec![("a_fn", 2, "1.1"), ("a_fn", 2, "5.2"), ("a_fn", 9, "4.1"), ("b_fn", 3, "1.1")]
+        );
     }
 }

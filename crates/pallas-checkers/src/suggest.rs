@@ -113,6 +113,30 @@ pub fn suggest_fix(warning: &Warning, spec: &FastPathSpec) -> String {
                 None => "update the cached copy together with the path state".to_string(),
             }
         }
+        Rule::AcquireNoRelease => {
+            let pair = spec
+                .pairs
+                .iter()
+                .find(|(acq, _)| warning.message.contains(acq.as_str()));
+            match pair {
+                Some((_, rel)) => format!(
+                    "release before every early return, e.g. `{rel}(buf); return -1;`, or \
+                     restructure with a single `goto out` cleanup label"
+                ),
+                None => "release the acquired resource on every return arm of the path"
+                    .to_string(),
+            }
+        }
+        Rule::ReleaseNoAcquire => {
+            "release only what this path acquired — drop the stray release or move the \
+             acquire onto this path (double releases corrupt the allocator)"
+                .to_string()
+        }
+        Rule::FastPathExpensive => {
+            "guard the expensive helper behind the slow-path trigger condition (or hoist it \
+             out of the loop) so the common traversal stays cheap"
+                .to_string()
+        }
     }
 }
 

@@ -11,27 +11,53 @@ use pallas_spec::CondSpec;
 use pallas_sym::{Event, FunctionPaths, PathRecord};
 use std::collections::BTreeSet;
 
-/// Checker for trigger-condition rules.
+/// Checker for trigger-condition rules — a thin view over the
+/// registry's rules 2.1–2.3.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TriggerConditionChecker;
 
 impl Checker for TriggerConditionChecker {
     fn name(&self) -> &'static str {
-        "trigger-condition"
+        crate::registry::family_name(pallas_spec::ElementClass::TriggerCondition)
     }
 
     fn check(&self, cx: &CheckContext<'_>) -> Vec<Warning> {
-        let mut warnings = BTreeSet::new();
-        for func in cx.fastpath_fns() {
-            for cond in &cx.spec.conds {
-                check_presence(cx, func, cond, &mut warnings);
-            }
-            for (first, second) in &cx.spec.orders {
-                check_order(cx, func, first, second, &mut warnings);
-            }
-        }
-        warnings.into_iter().collect()
+        crate::registry::run_family(cx, pallas_spec::ElementClass::TriggerCondition)
     }
+}
+
+/// Presence analysis shared by rules 2.1 and 2.2: one pass emits the
+/// missing-or-incomplete verdict per cond group, the matchers keep
+/// their own rule's warnings.
+fn presence_warnings(cx: &CheckContext<'_>, rule: Rule) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for func in cx.fastpath_fns() {
+        for cond in &cx.spec.conds {
+            check_presence(cx, func, cond, &mut out);
+        }
+    }
+    out.into_iter().filter(|w| w.rule == rule).collect()
+}
+
+/// Registry matcher for Rule 2.1.
+pub(crate) fn match_cond_missing(cx: &CheckContext<'_>) -> Vec<Warning> {
+    presence_warnings(cx, Rule::CondMissing)
+}
+
+/// Registry matcher for Rule 2.2.
+pub(crate) fn match_cond_incomplete(cx: &CheckContext<'_>) -> Vec<Warning> {
+    presence_warnings(cx, Rule::CondIncomplete)
+}
+
+/// Registry matcher for Rule 2.3.
+pub(crate) fn match_cond_order(cx: &CheckContext<'_>) -> Vec<Warning> {
+    let mut out = BTreeSet::new();
+    for func in cx.fastpath_fns() {
+        for (first, second) in &cx.spec.orders {
+            check_order(cx, func, first, second, &mut out);
+        }
+    }
+    out.into_iter().collect()
 }
 
 /// Variables of `cond` that appear in at least one flow-control

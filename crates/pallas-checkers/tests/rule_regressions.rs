@@ -387,13 +387,113 @@ int evict_fast(int inode) {
     assert!(silent(&ws, Rule::AssistStale), "{ws:#?}");
 }
 
+// ---- 6.1 AcquireNoRelease ---------------------------------------------------
+
+#[test]
+fn rule_6_1_positive_release_skipped_on_one_arm() {
+    let src = "\
+int pin_page(void);
+int unpin_page(int p);
+int gup_fast(int nr) {
+  int page = pin_page();
+  if (nr)
+    unpin_page(page);
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("gup_fast").with_pair("pin_page", "unpin_page");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::AcquireNoRelease), "{ws:#?}");
+}
+
+#[test]
+fn rule_6_1_negative_released_on_every_arm() {
+    let src = "\
+int pin_page(void);
+int unpin_page(int p);
+int gup_fast(int nr) {
+  int page = pin_page();
+  unpin_page(page);
+  return nr;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("gup_fast").with_pair("pin_page", "unpin_page");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::AcquireNoRelease), "{ws:#?}");
+}
+
+// ---- 6.2 ReleaseNoAcquire ---------------------------------------------------
+
+#[test]
+fn rule_6_2_positive_release_without_acquire() {
+    let src = "\
+int pin_page(void);
+int unpin_page(int p);
+int put_fast(int page) {
+  unpin_page(page);
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("put_fast").with_pair("pin_page", "unpin_page");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::ReleaseNoAcquire), "{ws:#?}");
+}
+
+#[test]
+fn rule_6_2_negative_acquire_precedes_release() {
+    let src = "\
+int pin_page(void);
+int unpin_page(int p);
+int put_fast(void) {
+  int page = pin_page();
+  unpin_page(page);
+  return 0;
+}";
+    let spec =
+        FastPathSpec::new("r").with_fastpath("put_fast").with_pair("pin_page", "unpin_page");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::ReleaseNoAcquire), "{ws:#?}");
+}
+
+// ---- 7.1 FastPathExpensive --------------------------------------------------
+
+#[test]
+fn rule_7_1_positive_expensive_helper_unguarded() {
+    let src = "\
+int wb_sync(void);
+int write_fast(int dirty) {
+  wb_sync();
+  if (dirty)
+    return 1;
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("write_fast").with_expensive("wb_sync");
+    let ws = check(src, &spec);
+    assert!(fires(&ws, Rule::FastPathExpensive), "{ws:#?}");
+}
+
+#[test]
+fn rule_7_1_negative_expensive_helper_guarded() {
+    let src = "\
+int wb_sync(void);
+int write_fast(int dirty) {
+  if (dirty)
+    return wb_sync();
+  return 0;
+}";
+    let spec = FastPathSpec::new("r").with_fastpath("write_fast").with_expensive("wb_sync");
+    let ws = check(src, &spec);
+    assert!(silent(&ws, Rule::FastPathExpensive), "{ws:#?}");
+}
+
 // ---- meta -------------------------------------------------------------------
 
 #[test]
 fn every_rule_has_a_positive_case_in_this_file() {
     // Guard against a rule being added without regression coverage:
-    // the positive scenarios above must collectively exercise all 12.
-    let scenarios: [(&str, FastPathSpec); 12] = [
+    // the positive scenarios above must collectively exercise every
+    // registered rule.
+    let scenarios: [(&str, FastPathSpec); 15] = [
         (
             "int c(int f); int fp(void) { int flags; return c(flags); }",
             FastPathSpec::new("m").with_fastpath("fp").with_immutable("flags"),
@@ -449,6 +549,18 @@ fn every_rule_has_a_positive_case_in_this_file() {
             "int fp(int st) { st = 1; return 0; }",
             FastPathSpec::new("m").with_fastpath("fp").with_cache("cc", "st"),
         ),
+        (
+            "int acq(void); int rel(int p); int fp(int n) { int p = acq(); if (n) rel(p); return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_pair("acq", "rel"),
+        ),
+        (
+            "int acq(void); int rel(int p); int fp(int p) { rel(p); return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_pair("acq", "rel"),
+        ),
+        (
+            "int slow_work(void); int fp(void) { slow_work(); return 0; }",
+            FastPathSpec::new("m").with_fastpath("fp").with_expensive("slow_work"),
+        ),
     ];
     let mut covered: Vec<Rule> = Vec::new();
     for (src, spec) in &scenarios {
@@ -459,9 +571,9 @@ fn every_rule_has_a_positive_case_in_this_file() {
         }
     }
     covered.sort();
-    let mut all = Rule::ALL.to_vec();
+    let mut all: Vec<Rule> = pallas_checkers::REGISTRY.iter().map(|d| d.id).collect();
     all.sort();
-    assert_eq!(covered, all, "some rule has no firing scenario");
+    assert_eq!(covered, all, "some registered rule has no firing scenario");
 }
 
 // ---- feasibility pruning ----------------------------------------------------

@@ -3,15 +3,16 @@
 //! ```text
 //! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
 //!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]
+//!              [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules]
 //!              [--no-prune] [--trace] [--trace-out <trace.json>]  run the checkers
-//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--no-prune] [--trace]  analysis daemon
-//! pallas client <socket> check <file.c>... [--spec S] [--json]  check via a daemon
+//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--no-prune] [--trace]  analysis daemon
+//! pallas client <socket> check <file.c>... [--spec S] [--only-rule R] [--disable-rule R] [--json]  check via a daemon
 //! pallas client <socket> stats|trace|shutdown|request <req.json>  daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
 //! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
 //! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
 //! pallas infer <file.c> --fast <f> --slow <g>        propose a spec
-//! pallas corpus [--set new-paths|known-bugs|examples|studied|infeasible] score the corpus
+//! pallas corpus [--set new-paths|known-bugs|examples|studied|new-bug-examples|infeasible|mined-rules] score the corpus
 //! pallas study [--table 2|3|4]                        study tables
 //! pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir D]  differential fuzzing
 //! ```
@@ -20,7 +21,10 @@
 //! (any `.h` arguments are merged into every unit as shared headers) —
 //! and distributes them over `--jobs N` worker threads with work
 //! stealing. `--stage-stats` appends the per-stage timing breakdown;
-//! `--json` emits the NDJSON findings stream. `--trace` enables the
+//! `--json` emits the NDJSON findings stream. `--list-rules` prints
+//! the registry catalogue; `--only-rule`/`--disable-rule` scope the
+//! Check stage to a selection of rules named by paper number (`4.1`)
+//! or title (both flags repeat and accept comma-separated lists). `--trace` enables the
 //! structured span collector and prints a flame summary to stderr;
 //! `--trace-out FILE` additionally writes the Chrome trace-event
 //! export (load it at chrome://tracing or ui.perfetto.dev). `serve`
@@ -76,15 +80,15 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
-         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--no-prune] [--trace]\n\
-         \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--json]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
+         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--no-prune] [--trace]\n\
+         \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--only-rule R] [--disable-rule R] [--json]\n\
          \x20 pallas client <socket> stats | trace | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
          \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
          \x20 pallas infer <file.c> --fast <f> --slow <g>\n\
-         \x20 pallas corpus [--set new-paths|known-bugs|examples|studied|infeasible]\n\
+         \x20 pallas corpus [--set new-paths|known-bugs|examples|studied|new-bug-examples|infeasible|mined-rules]\n\
          \x20 pallas study [--table 2|3|4]\n\
          \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>]"
     );
@@ -127,11 +131,56 @@ fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
 }
 
 /// Flags of `check` that consume the following argument.
-const CHECK_VALUE_FLAGS: [&str; 3] = ["--spec", "--jobs", "--trace-out"];
+const CHECK_VALUE_FLAGS: [&str; 5] =
+    ["--spec", "--jobs", "--trace-out", "--only-rule", "--disable-rule"];
 
 /// Boolean flags of `check`.
-const CHECK_BOOL_FLAGS: [&str; 6] =
-    ["--stage-stats", "--tsv", "--json", "--suggest", "--trace", "--no-prune"];
+const CHECK_BOOL_FLAGS: [&str; 7] =
+    ["--stage-stats", "--tsv", "--json", "--suggest", "--trace", "--no-prune", "--list-rules"];
+
+/// Collects every value of a repeatable flag, splitting each on
+/// commas: `--only-rule 1.2 --only-rule 4.1,5.2` yields three rules.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.extend(v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()));
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Resolves `--only-rule` / `--disable-rule` flags into a rule set
+/// (every registered rule when neither flag is given). Rules may be
+/// named by paper number (`4.1`) or title (`fault-missing`).
+fn rule_selection(args: &[String]) -> Result<pallas_checkers::RuleSet, String> {
+    pallas_checkers::RuleSet::from_selection(
+        &flag_values(args, "--only-rule"),
+        &flag_values(args, "--disable-rule"),
+    )
+}
+
+/// `--list-rules`: one line per registered rule, in registry order.
+fn render_rule_list() -> String {
+    let mut out = String::new();
+    for def in pallas_checkers::REGISTRY.iter() {
+        out.push_str(&format!(
+            "{:<5} {:<8} {:<24} {:<28} {}\n",
+            def.number,
+            def.severity.as_str(),
+            pallas_checkers::family_name(def.family),
+            def.title,
+            def.finding
+        ));
+    }
+    out
+}
 
 /// Rejects unknown flags and value flags without a value, so a typo
 /// fails loudly instead of being silently ignored.
@@ -213,6 +262,10 @@ fn load_units(args: &[String]) -> Result<Vec<SourceUnit>, String> {
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
     validate_flags("check", args, &CHECK_VALUE_FLAGS, &CHECK_BOOL_FLAGS)?;
+    if has_flag(args, "--list-rules") {
+        print!("{}", render_rule_list());
+        return Ok(());
+    }
     if has_flag(args, "--tsv") && has_flag(args, "--json") {
         return Err("choose one of --tsv and --json".into());
     }
@@ -233,9 +286,15 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     });
     // `--no-prune` disables the path-feasibility engine, re-enumerating
     // contradictory arms — useful for comparing against the default.
-    let engine = Engine::with_config(ExtractConfig {
-        prune_infeasible: !has_flag(args, "--no-prune"),
-        ..ExtractConfig::default()
+    // The rule selection joins the extraction config in the engine
+    // configuration, so it participates in every cache key.
+    let engine = Engine::with_engine_config(EngineConfig {
+        extract: ExtractConfig {
+            prune_infeasible: !has_flag(args, "--no-prune"),
+            ..ExtractConfig::default()
+        },
+        rules: rule_selection(args)?,
+        ..EngineConfig::default()
     });
     let mut failures = Vec::new();
     for result in engine.check_many_jobs(&units, jobs) {
@@ -361,7 +420,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     validate_flags(
         "serve",
         args,
-        &["--workers", "--queue-depth", "--timeout-ms"],
+        &["--workers", "--queue-depth", "--timeout-ms", "--only-rule", "--disable-rule"],
         &["--trace", "--no-prune"],
     )?;
     let socket = args
@@ -381,7 +440,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 prune_infeasible: !has_flag(args, "--no-prune"),
                 ..ExtractConfig::default()
             },
-            ..defaults.engine
+            rules: rule_selection(args)?,
+            ..defaults.engine.clone()
         },
         ..defaults
     };
@@ -461,13 +521,26 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
 /// byte-identical to the local command because the daemon embeds the
 /// very serializer output `check` prints.
 fn cmd_client_check(socket: &str, args: &[String]) -> Result<(), String> {
-    validate_flags("client check", args, &["--spec"], &["--json"])?;
+    validate_flags(
+        "client check",
+        args,
+        &["--spec", "--only-rule", "--disable-rule"],
+        &["--json"],
+    )?;
     let units = load_units(args)?;
+    // Validate the selection locally so a typo fails before any
+    // request goes out; the daemon re-resolves it per request.
+    let selection = pallas_service::RuleSelection {
+        only: flag_values(args, "--only-rule"),
+        disable: flag_values(args, "--disable-rule"),
+    };
+    selection.resolve()?;
     let mut client = connect_client(socket)?;
     let mut failures = Vec::new();
     for unit in &units {
-        let response =
-            client.check(unit).map_err(|e| format!("check request failed: {e}"))?;
+        let response = client
+            .check_with_rules(unit, selection.clone())
+            .map_err(|e| format!("check request failed: {e}"))?;
         if response.get("ok").and_then(Value::as_bool) == Some(true) {
             let field = if has_flag(args, "--json") { "ndjson" } else { "report" };
             let text = response
@@ -559,6 +632,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
         "studied" => pallas_corpus::studied(),
         "new-bug-examples" => pallas_corpus::new_bug_examples(),
         "infeasible" => pallas_corpus::infeasible(),
+        "mined-rules" => pallas_corpus::mined_rules(),
         other => return Err(format!("unknown corpus set `{other}`")),
     };
     let driver = Pallas::new();

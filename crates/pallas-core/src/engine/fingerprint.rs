@@ -57,8 +57,21 @@ impl Fnv1a {
     }
 }
 
-/// The frontend cache key for one unit under one configuration.
+/// The frontend cache key for one unit under one configuration, with
+/// every registered rule enabled.
 pub fn fingerprint_unit(unit: &SourceUnit, config: &ExtractConfig) -> u64 {
+    fingerprint_unit_with_rules(unit, config, &pallas_checkers::RuleSet::all())
+}
+
+/// The frontend cache key for one unit under one configuration and
+/// rule selection. The rule set's canonical key participates so a
+/// scoped run (`--only-rule` / `--disable-rule`) can never share
+/// cached artifacts with a differently-scoped one.
+pub fn fingerprint_unit_with_rules(
+    unit: &SourceUnit,
+    config: &ExtractConfig,
+    rules: &pallas_checkers::RuleSet,
+) -> u64 {
     let mut h = Fnv1a::new();
     h.write_field(unit.name.as_bytes());
     h.write_u64(unit.files.len() as u64);
@@ -68,6 +81,7 @@ pub fn fingerprint_unit(unit: &SourceUnit, config: &ExtractConfig) -> u64 {
     }
     h.write_field(unit.spec_text.as_bytes());
     h.write(&config.cache_key_bytes());
+    h.write_field(rules.cache_key().as_bytes());
     h.finish()
 }
 
@@ -119,6 +133,18 @@ mod tests {
         assert_ne!(fingerprint_unit(&unit(), &shallow), base);
         let unpruned = ExtractConfig { prune_infeasible: false, ..ExtractConfig::default() };
         assert_ne!(fingerprint_unit(&unit(), &unpruned), base);
+        let scoped = pallas_checkers::RuleSet::all()
+            .without(pallas_checkers::Rule::FaultMissing);
+        assert_ne!(fingerprint_unit_with_rules(&unit(), &config, &scoped), base);
+    }
+
+    #[test]
+    fn all_rules_selection_matches_the_default_key() {
+        let config = ExtractConfig::default();
+        assert_eq!(
+            fingerprint_unit(&unit(), &config),
+            fingerprint_unit_with_rules(&unit(), &config, &pallas_checkers::RuleSet::all())
+        );
     }
 
     #[test]

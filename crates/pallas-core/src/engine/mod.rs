@@ -45,7 +45,7 @@ pub mod schedule;
 use crate::pipeline::{AnalyzedUnit, PallasError, PallasErrorKind};
 use crate::unit::{MergeMap, SourceUnit};
 use cache::BoundedCache;
-use pallas_checkers::{run_all_timed, CheckContext};
+use pallas_checkers::{run_rules_timed, CheckContext, RuleSet};
 use pallas_lang::{parse, Ast};
 use pallas_spec::{parse_pragma, parse_spec, FastPathSpec};
 use pallas_sym::{extract, ExtractConfig, PathDb};
@@ -107,13 +107,18 @@ pub struct StageTiming {
     pub cached: bool,
 }
 
-/// Engine-level configuration: the extraction limits plus the
-/// frontend cache bound. The extraction part participates in every
-/// cache key; the cache bound only controls memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Engine-level configuration: the extraction limits, the enabled
+/// rule set, and the frontend cache bound. The extraction config and
+/// the rule set participate in every cache key; the cache bound only
+/// controls memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Extraction limits (part of the frontend cache key).
     pub extract: ExtractConfig,
+    /// The registry rules the Check stage runs (part of the frontend
+    /// cache key, so selections never share cached artifacts with
+    /// differently-scoped runs). Defaults to every registered rule.
+    pub rules: RuleSet,
     /// Maximum cached frontends; `0` disables the cache. Long-lived
     /// holders (the `pallas-service` daemon) must keep this bounded
     /// or distinct units grow the process without limit.
@@ -122,7 +127,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { extract: ExtractConfig::default(), cache_capacity: DEFAULT_CACHE_CAPACITY }
+        EngineConfig {
+            extract: ExtractConfig::default(),
+            rules: RuleSet::all(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
     }
 }
 
@@ -165,9 +174,21 @@ pub struct EngineStats {
     pub paths_pruned: u64,
     /// Cumulative nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 5],
+    /// Cumulative warnings emitted per registry rule, in
+    /// [`pallas_checkers::Rule::ALL`] order (post-dedup counts).
+    pub rule_warnings: [u64; pallas_checkers::Rule::ALL.len()],
 }
 
 impl EngineStats {
+    /// Cumulative warnings emitted for one rule.
+    pub fn warnings_for(&self, rule: pallas_checkers::Rule) -> u64 {
+        let idx = pallas_checkers::Rule::ALL
+            .iter()
+            .position(|&r| r == rule)
+            .expect("every rule is in Rule::ALL");
+        self.rule_warnings[idx]
+    }
+
     /// Invocation count for one stage.
     pub fn stage_runs(&self, stage: Stage) -> u64 {
         match stage {
@@ -214,6 +235,7 @@ struct Counters {
     paths_enumerated: AtomicU64,
     paths_pruned: AtomicU64,
     stage_nanos: [AtomicU64; 5],
+    rule_warnings: [AtomicU64; pallas_checkers::Rule::ALL.len()],
 }
 
 #[derive(Debug)]
@@ -262,9 +284,20 @@ impl Engine {
         }
     }
 
+    /// An engine running only the given rules (default extraction
+    /// configuration and cache bound).
+    pub fn with_rules(rules: RuleSet) -> Self {
+        Engine::with_engine_config(EngineConfig { rules, ..EngineConfig::default() })
+    }
+
     /// The engine's extraction configuration.
     pub fn config(&self) -> &ExtractConfig {
         &self.inner.config.extract
+    }
+
+    /// The rules this engine's Check stage runs.
+    pub fn rules(&self) -> &RuleSet {
+        &self.inner.config.rules
     }
 
     /// The engine-level configuration (extraction + cache bound).
@@ -301,6 +334,7 @@ impl Engine {
                 load(&c.stage_nanos[3]),
                 load(&c.stage_nanos[4]),
             ],
+            rule_warnings: std::array::from_fn(|i| load(&c.rule_warnings[i])),
         }
     }
 
@@ -324,11 +358,26 @@ impl Engine {
     /// to parse. Errors are never cached: a failing unit is re-tried
     /// from scratch on every call.
     pub fn check_unit(&self, unit: &SourceUnit) -> Result<AnalyzedUnit, PallasError> {
+        self.check_unit_with_rules(unit, &self.inner.config.rules)
+    }
+
+    /// Like [`Engine::check_unit`], but runs the given rule set
+    /// instead of the engine's configured one. The selection
+    /// participates in the frontend cache key, so scoped and default
+    /// requests share one cache without ever sharing artifacts across
+    /// selections — this is how the daemon honors per-request
+    /// `--only-rule` / `--disable-rule` without a second engine.
+    pub fn check_unit_with_rules(
+        &self,
+        unit: &SourceUnit,
+        rules: &RuleSet,
+    ) -> Result<AnalyzedUnit, PallasError> {
         let started = Instant::now();
         let mut unit_span = pallas_trace::span(pallas_trace::Layer::Unit, &unit.name);
         let counters = &self.inner.counters;
         let mut timings = Vec::with_capacity(Stage::ALL.len());
-        let key = fingerprint::fingerprint_unit(unit, &self.inner.config.extract);
+        let key =
+            fingerprint::fingerprint_unit_with_rules(unit, &self.inner.config.extract, rules);
         let cached = self.inner.cache.lock().expect("engine cache").get(&key);
         let hit = cached.is_some();
         if pallas_trace::enabled() {
@@ -366,11 +415,10 @@ impl Engine {
         };
         let check_span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Check.name());
         let check_started = Instant::now();
-        let (warnings, checker_timings) = run_all_timed(&CheckContext {
-            db: &frontend.db,
-            spec: &frontend.spec,
-            ast: &frontend.ast,
-        });
+        let (warnings, checker_timings) = run_rules_timed(
+            &CheckContext { db: &frontend.db, spec: &frontend.spec, ast: &frontend.ast },
+            rules,
+        );
         let lint = frontend.spec.lint();
         drop(check_span);
         counters.checks.fetch_add(1, Ordering::Relaxed);
@@ -379,6 +427,13 @@ impl Engine {
             elapsed: check_started.elapsed(),
             cached: false,
         });
+        for w in &warnings {
+            if let Some(idx) =
+                pallas_checkers::Rule::ALL.iter().position(|&r| r == w.rule)
+            {
+                counters.rule_warnings[idx].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         unit_span.attr_bool("cached", hit);
         unit_span.attr_u64("warnings", warnings.len() as u64);
         for t in &timings {
@@ -566,7 +621,26 @@ mod tests {
         let stages: Vec<Stage> = report.stage_timings.iter().map(|t| t.stage).collect();
         assert_eq!(stages, Stage::ALL);
         assert!(report.stage_timings.iter().all(|t| !t.cached));
-        assert_eq!(report.checker_timings.len(), 5);
+        assert_eq!(report.checker_timings.len(), pallas_checkers::Rule::ALL.len());
+    }
+
+    #[test]
+    fn scoped_engine_runs_only_selected_rules() {
+        use pallas_checkers::Rule;
+        // Two findable bugs (1.2 overwrite + 4.1 fault); a scoped
+        // engine sees only the enabled rule and times only it.
+        let unit = SourceUnit::new("scoped")
+            .with_file("s.c", "int f(int m) { m = 1; return 0; }")
+            .with_spec("fastpath f; immutable m; fault dead;");
+        let full = Engine::new().check_unit(&unit).unwrap();
+        assert_eq!(full.warnings.len(), 2, "{:#?}", full.warnings);
+        let scoped = Engine::with_rules(RuleSet::only([Rule::ImmutableOverwrite]));
+        let report = scoped.check_unit(&unit).unwrap();
+        assert_eq!(report.warnings.len(), 1, "{:#?}", report.warnings);
+        assert_eq!(report.warnings[0].rule, Rule::ImmutableOverwrite);
+        assert_eq!(report.checker_timings.len(), 1);
+        assert_eq!(scoped.stats().warnings_for(Rule::ImmutableOverwrite), 1);
+        assert_eq!(scoped.stats().warnings_for(Rule::FaultMissing), 0);
     }
 
     #[test]

@@ -277,7 +277,10 @@ mod tests {
         let lines: Vec<&str> = tsv.lines().collect();
         assert!(lines[0].starts_with("unit\trule"));
         assert_eq!(lines.len(), 1 + unit.warnings.len());
-        assert!(lines[1].contains("1.2"));
+        // Warnings export in source order: the 4.1 finding at line 3
+        // precedes the 1.2 finding at line 4.
+        assert!(lines[1].contains("4.1"));
+        assert!(lines[2].contains("1.2"));
         assert!(lines[1].contains("mm/demo.c"));
     }
 
@@ -330,7 +333,9 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), unit.warnings.len() + unit.lint.len() + 1);
         assert!(lines[0].starts_with("{\"type\":\"finding\",\"unit\":\"mm/demo\""), "{text}");
-        assert!(lines[0].contains("\"rule\":\"1.2\""), "{text}");
+        // Source order: the 4.1 finding at line 3 comes first.
+        assert!(lines[0].contains("\"rule\":\"4.1\""), "{text}");
+        assert!(lines[1].contains("\"rule\":\"1.2\""), "{text}");
         assert!(lines[0].contains("\"file\":\"mm/demo.c\""), "{text}");
         let last = lines.last().unwrap();
         assert!(last.starts_with("{\"type\":\"unit\""), "{text}");

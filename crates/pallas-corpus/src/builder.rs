@@ -21,6 +21,9 @@ pub fn typical_consequence(rule: Rule) -> &'static str {
         Rule::FaultMissing => "System crash",
         Rule::AssistLayout => "Regression",
         Rule::AssistStale => "Inconsistency",
+        Rule::AcquireNoRelease => "Memory leak",
+        Rule::ReleaseNoAcquire => "System crash",
+        Rule::FastPathExpensive => "Regression",
     }
 }
 

@@ -13,6 +13,7 @@ pub mod builder;
 pub mod examples;
 pub mod infeasible;
 pub mod integrity;
+pub mod mined;
 pub mod new_bugs;
 pub mod studied;
 pub mod synthetic;
@@ -26,6 +27,7 @@ pub use builder::compose_unit;
 pub use examples::examples;
 pub use infeasible::infeasible;
 pub use integrity::validate;
+pub use mined::mined_rules;
 pub use new_bugs::new_bug_examples;
 pub use studied::studied;
 pub use synthetic::{skewed_units, synthetic_corpus, synthetic_unit};

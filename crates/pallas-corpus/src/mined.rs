@@ -1,0 +1,340 @@
+//! Labelled miniatures for the study-mined extension rules.
+//!
+//! The bug study tags two consequence classes that none of the twelve
+//! Table 1 rules address: MemoryLeak (resources acquired on the fast
+//! path and dropped by an early-return arm) and
+//! PerformanceDegradation (slow-path work performed unconditionally or
+//! repeatedly on the fast path). Rules 6.1/6.2 and 7.1 cover them;
+//! this set is their ground truth — one positive and one negative
+//! unit per rule, plus the family's known false-positive source
+//! (ownership transfer), so the scorer exercises hit, clean, and FP
+//! outcomes for every new rule.
+
+use crate::types::{Component, CorpusUnit};
+use pallas_checkers::Rule;
+use pallas_core::{KnownBug, SourceUnit};
+
+fn unit(
+    component: Component,
+    name: &str,
+    source: &str,
+    spec: &str,
+    bugs: Vec<KnownBug>,
+    expected_false_positives: usize,
+    description: &str,
+) -> CorpusUnit {
+    CorpusUnit {
+        component,
+        unit: SourceUnit::new(name)
+            .with_file(format!("{}.c", name.replace('/', "_")), source)
+            .with_spec(spec),
+        bugs,
+        expected_false_positives,
+        description: description.to_string(),
+    }
+}
+
+/// Rule 6.1 positive: the fast path pins a page and an early-return
+/// arm bails out before the unpin — the study's dominant MemoryLeak
+/// shape.
+pub fn pin_leak() -> CorpusUnit {
+    let src = "\
+int pin_page(int addr);
+int unpin_page(int page);
+int process(int page);
+int pin_fast(int addr, int ready) {
+  int page = pin_page(addr);
+  if (!ready)
+    return -1;
+  process(page);
+  unpin_page(page);
+  return 0;
+}
+";
+    let spec = "\
+unit mm/pin_leak;
+fastpath pin_fast;
+pair pin_page -> unpin_page;
+";
+    unit(
+        Component::Mm,
+        "mm/pin_leak",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "mm/pin_leak#6.1",
+            Rule::AcquireNoRelease,
+            "pin_fast",
+            "the not-ready arm returns between pin_page and unpin_page",
+            "Memory leak",
+        )],
+        0,
+        "6.1 positive: early return between acquire and release",
+    )
+}
+
+/// Rule 6.1 negative: the same shape with the early-return arm
+/// releasing before it bails — every path is balanced.
+pub fn pin_balanced() -> CorpusUnit {
+    let src = "\
+int pin_page(int addr);
+int unpin_page(int page);
+int process(int page);
+int pin_fast(int addr, int ready) {
+  int page = pin_page(addr);
+  if (!ready) {
+    unpin_page(page);
+    return -1;
+  }
+  process(page);
+  unpin_page(page);
+  return 0;
+}
+";
+    let spec = "\
+unit mm/pin_balanced;
+fastpath pin_fast;
+pair pin_page -> unpin_page;
+";
+    unit(
+        Component::Mm,
+        "mm/pin_balanced",
+        src,
+        spec,
+        vec![],
+        0,
+        "6.1 negative: every arm releases before returning",
+    )
+}
+
+/// Rule 6.1 false-positive source: the acquired buffer is handed to a
+/// queue that owns it from then on. Path-local checking cannot see the
+/// ownership transfer, so the unit is benign but warns — the family's
+/// §5.3-style FP, labelled as such.
+pub fn io_handoff() -> CorpusUnit {
+    let src = "\
+int grab_buffer(int len);
+int put_buffer(int buf);
+int queue_write(int buf);
+int submit_fast(int len) {
+  int buf = grab_buffer(len);
+  queue_write(buf);
+  return 0;
+}
+";
+    let spec = "\
+unit fs/io_handoff;
+fastpath submit_fast;
+pair grab_buffer -> put_buffer;
+";
+    unit(
+        Component::Fs,
+        "fs/io_handoff",
+        src,
+        spec,
+        vec![],
+        1,
+        "6.1 false positive: ownership transferred to the write queue",
+    )
+}
+
+/// Rule 6.2 positive: a path releases a buffer it never acquired —
+/// seen from this path, a double release.
+pub fn stray_put() -> CorpusUnit {
+    let src = "\
+int grab_buffer(int len);
+int put_buffer(int buf);
+int drop_fast(int buf, int dirty) {
+  if (dirty)
+    put_buffer(buf);
+  return 0;
+}
+";
+    let spec = "\
+unit fs/stray_put;
+fastpath drop_fast;
+pair grab_buffer -> put_buffer;
+";
+    unit(
+        Component::Fs,
+        "fs/stray_put",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "fs/stray_put#6.2",
+            Rule::ReleaseNoAcquire,
+            "drop_fast",
+            "put_buffer runs on a path that never called grab_buffer",
+            "System crash",
+        )],
+        0,
+        "6.2 positive: release with no acquire on the path",
+    )
+}
+
+/// Rule 6.2 negative: the acquire precedes the release on the same
+/// path, so the pairing is clean.
+pub fn grab_then_put() -> CorpusUnit {
+    let src = "\
+int grab_buffer(int len);
+int put_buffer(int buf);
+int copy_fast(int len) {
+  int buf = grab_buffer(len);
+  put_buffer(buf);
+  return 0;
+}
+";
+    let spec = "\
+unit fs/grab_then_put;
+fastpath copy_fast;
+pair grab_buffer -> put_buffer;
+";
+    unit(
+        Component::Fs,
+        "fs/grab_then_put",
+        src,
+        spec,
+        vec![],
+        0,
+        "6.2 negative: acquire precedes the release",
+    )
+}
+
+/// Rule 7.1 positive: a declared-expensive writeback flush runs on
+/// every traversal of the fast path — the fast path is only fast in
+/// name.
+pub fn tx_flush() -> CorpusUnit {
+    let src = "\
+int wb_flush(void);
+int tx_fast(int len) {
+  wb_flush();
+  return len;
+}
+";
+    let spec = "\
+unit net/tx_flush;
+fastpath tx_fast;
+expensive wb_flush;
+";
+    unit(
+        Component::Net,
+        "net/tx_flush",
+        src,
+        spec,
+        vec![KnownBug::new(
+            "net/tx_flush#7.1",
+            Rule::FastPathExpensive,
+            "tx_fast",
+            "wb_flush runs unconditionally on the fast path",
+            "Regression",
+        )],
+        0,
+        "7.1 positive: unconditional expensive helper",
+    )
+}
+
+/// Rule 7.1 negative: the flush is guarded by the dirty flag, so a
+/// clean traversal skips the slow work.
+pub fn tx_flush_guarded() -> CorpusUnit {
+    let src = "\
+int wb_flush(void);
+int tx_fast(int len, int dirty) {
+  if (dirty)
+    wb_flush();
+  return len;
+}
+";
+    let spec = "\
+unit net/tx_flush_guarded;
+fastpath tx_fast;
+expensive wb_flush;
+";
+    unit(
+        Component::Net,
+        "net/tx_flush_guarded",
+        src,
+        spec,
+        vec![],
+        0,
+        "7.1 negative: flush guarded by the dirty flag",
+    )
+}
+
+/// All labelled units for the study-mined rules, positives first
+/// within each rule.
+pub fn mined_rules() -> Vec<CorpusUnit> {
+    vec![
+        pin_leak(),
+        pin_balanced(),
+        io_handoff(),
+        stray_put(),
+        grab_then_put(),
+        tx_flush(),
+        tx_flush_guarded(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pallas_core::{score, Pallas};
+
+    #[test]
+    fn mined_units_check_exactly() {
+        for cu in mined_rules() {
+            let analyzed = Pallas::new()
+                .check_unit(&cu.unit)
+                .unwrap_or_else(|e| panic!("{}: {e}", cu.name()));
+            let s = score(&analyzed.warnings, &cu.bugs);
+            assert_eq!(
+                s.bug_count(),
+                cu.bugs.len(),
+                "{}: missed {:?}, warnings {:#?}",
+                cu.name(),
+                s.missed,
+                analyzed.warnings
+            );
+            assert_eq!(
+                s.false_positives.len(),
+                cu.expected_false_positives,
+                "{}: {:#?}",
+                cu.name(),
+                s.false_positives
+            );
+        }
+    }
+
+    #[test]
+    fn every_mined_rule_has_a_positive_and_a_negative() {
+        let set = mined_rules();
+        for rule in [Rule::AcquireNoRelease, Rule::ReleaseNoAcquire, Rule::FastPathExpensive] {
+            assert!(
+                set.iter().any(|cu| cu.bugs.iter().any(|b| b.rule == rule)),
+                "no positive unit for {rule:?}"
+            );
+        }
+        assert!(
+            set.iter().any(|cu| cu.bugs.is_empty() && cu.expected_false_positives == 0),
+            "no clean negative unit"
+        );
+    }
+
+    #[test]
+    fn positives_fire_under_the_default_rule_set() {
+        // The acceptance bar for the extension rules: they fire in a
+        // plain engine run, not only when explicitly selected.
+        let engine = pallas_core::Engine::new();
+        for cu in mined_rules().iter().filter(|cu| !cu.bugs.is_empty()) {
+            let analyzed = engine.check_unit(&cu.unit).unwrap();
+            for bug in &cu.bugs {
+                assert!(
+                    analyzed.warnings.iter().any(|w| w.rule == bug.rule),
+                    "{}: rule {:?} silent in default run; warnings {:#?}",
+                    cu.name(),
+                    bug.rule,
+                    analyzed.warnings
+                );
+            }
+        }
+    }
+}

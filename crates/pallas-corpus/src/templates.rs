@@ -292,6 +292,56 @@ pub fn segment(rule: Rule, is_fp: bool, fast_fn: &str, sidx: usize, noun: &str) 
             seg.spec = format!("cache {n}_cache for {n}_state;");
             seg.description = "lazily-synced cache (benign)".into();
         }
+        (Rule::AcquireNoRelease, false) => {
+            // The release is guarded, so the other arm leaks. (No
+            // early return: composed units share one return set, and
+            // a stray value would trip the path-output rules.)
+            seg.items_pre = format!("int grab_{n}(void);\nint drop_{n}(int b);\n");
+            seg.params.push(("int".into(), format!("{n}_len")));
+            seg.body = format!(
+                "  int {n}_buf = grab_{n}();\n  if ({n}_len)\n    drop_{n}({n}_buf);\n"
+            );
+            seg.spec = format!("pair grab_{n} -> drop_{n};");
+            seg.description = "leaked resource".into();
+        }
+        (Rule::AcquireNoRelease, true) => {
+            // Ownership transferred to a registry that releases later;
+            // the path-local analysis cannot see the handoff.
+            seg.items_pre = format!(
+                "int grab_{n}(void);\nint drop_{n}(int b);\nint stash_{n}(int b);\n"
+            );
+            seg.body = format!("  int {n}_buf = grab_{n}();\n  stash_{n}({n}_buf);\n");
+            seg.spec = format!("pair grab_{n} -> drop_{n};");
+            seg.description = "ownership transferred to registry (benign)".into();
+        }
+        (Rule::ReleaseNoAcquire, _) => {
+            // Buggy and benign share the shape: the benign instance
+            // releases a caller-owned resource on the caller's behalf,
+            // which manual validation accepts.
+            seg.items_pre = format!("int grab_{n}(void);\nint drop_{n}(int b);\n");
+            seg.params.push(("int".into(), format!("{n}_buf")));
+            seg.body = format!("  drop_{n}({n}_buf);\n");
+            seg.spec = format!("pair grab_{n} -> drop_{n};");
+            seg.description = if is_fp {
+                "releases caller-owned resource (benign)".into()
+            } else {
+                "unbalanced release".into()
+            };
+        }
+        (Rule::FastPathExpensive, _) => {
+            // Shared shape (doubled call, so the rule fires no matter
+            // where the segment lands in a composed body): the benign
+            // instance's helper is idempotent, so the second call
+            // no-ops and manual validation rejects the warning.
+            seg.items_pre = format!("int flush_{n}(void);\n");
+            seg.body = format!("  flush_{n}();\n  flush_{n}();\n");
+            seg.spec = format!("expensive flush_{n};");
+            seg.description = if is_fp {
+                "idempotent helper, second call no-ops (benign)".into()
+            } else {
+                "amplified slow work".into()
+            };
+        }
     }
     // Rule 3.3's bug flavor needs at least one parameter on the fast
     // path so the caller's single-argument call stays well-formed.

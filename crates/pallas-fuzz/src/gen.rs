@@ -9,6 +9,11 @@
 //! sides are functions of the seed alone: the same seed always yields
 //! byte-identical source and spec text, which is what makes fuzz runs
 //! replayable and lets CI compare digests across runs.
+//!
+//! Beyond the Table 1 families, seeds can declare an acquire/release
+//! pair and an expensive helper (`pair`/`expensive` spec facts), with
+//! the fast path seeded in leaking, stray, and balanced arrangements,
+//! so the extension rules 6.1/6.2/7.1 see generated traffic too.
 
 use pallas_core::SourceUnit;
 use pallas_lang::ast::{
@@ -64,6 +69,8 @@ const STRUCT_POOL: &[&str] = &["page", "zone_ref", "pcp_cache", "rx_desc"];
 const FIELD_POOL: &[&str] = &["private", "watermark", "gen", "count", "prio"];
 const HELPER_POOL: &[&str] = &["noio_flags", "zone_watermark_ok", "prep_new", "stat_inc"];
 const BASE_POOL: &[&str] = &["alloc_pages", "tcp_rcv", "get_page", "queue_xmit"];
+/// Acquire/release pairs for the resource-pairing rules (6.1/6.2).
+const PAIR_POOL: &[(&str, &str)] = &[("acquire_buf", "release_buf"), ("pin_ref", "unpin_ref")];
 
 #[derive(Clone)]
 struct Var {
@@ -78,6 +85,10 @@ struct Gen<'a> {
     cfg: &'a GenConfig,
     structs: Vec<(String, Vec<String>)>,
     helpers: Vec<String>,
+    /// Acquire/release pairs declared by the spec (at most one).
+    pairs: Vec<(String, String)>,
+    /// Helpers declared expensive by the spec (at most one).
+    expensive: Vec<String>,
     /// Variables in scope while generating the current function.
     vars: Vec<Var>,
     uses_goto: bool,
@@ -101,6 +112,8 @@ pub fn generate_with(seed: u64, cfg: &GenConfig) -> GenUnit {
         cfg,
         structs: Vec::new(),
         helpers: Vec::new(),
+        pairs: Vec::new(),
+        expensive: Vec::new(),
         vars: Vec::new(),
         uses_goto: false,
         next_local: 0,
@@ -149,6 +162,29 @@ impl Gen<'_> {
                 ],
                 variadic: false,
             }));
+        }
+
+        // Resource-pair and expensive-helper shapes for the extension
+        // rules. The pair's prototypes join the helper pool so random
+        // calls land anywhere `gen_call` fires; `emit_fast` then seeds
+        // acquire/release calls at the function's edges so balanced,
+        // leaking, and stray arrangements all occur across seeds.
+        if self.rng.gen_bool(0.35) {
+            let (acq, rel) = PAIR_POOL[self.rng.gen_range(0..PAIR_POOL.len())];
+            for name in [acq, rel] {
+                self.helpers.push(name.to_string());
+                self.ast.items.push(Item::Proto(FunctionSig {
+                    name: name.to_string(),
+                    ret: TypeRef::named("int"),
+                    params: vec![Param { ty: TypeRef::named("int"), name: "a".into() }],
+                    variadic: false,
+                }));
+            }
+            self.pairs.push((acq.to_string(), rel.to_string()));
+        }
+        if self.rng.gen_bool(0.3) {
+            let h = self.helpers[self.rng.gen_range(0..self.helpers.len())].clone();
+            self.expensive.push(h);
         }
 
         if self.rng.gen_bool(0.3) {
@@ -229,7 +265,24 @@ impl Gen<'_> {
         self.vars = params.iter().map(|(_, v)| v.clone()).collect();
         self.uses_goto = self.rng.gen_bool(0.35);
         self.next_local = 0;
-        let mut stmts = self.gen_stmts(self.cfg.max_depth);
+        // When a resource pair exists, pick one of four edge
+        // arrangements: none, acquire-only (leak shape), release-only
+        // (stray shape), or balanced. Random mid-body calls from
+        // `gen_call` layer on top of this.
+        let arrangement = if self.pairs.is_empty() { 0 } else { self.rng.gen_range(0..4u32) };
+        let mut stmts = Vec::new();
+        if arrangement == 1 || arrangement == 3 {
+            let acq = self.pairs[0].0.clone();
+            let s = self.call_stmt(&acq);
+            stmts.push(s);
+        }
+        let mut mid = self.gen_stmts(self.cfg.max_depth);
+        stmts.append(&mut mid);
+        if arrangement == 2 || arrangement == 3 {
+            let rel = self.pairs[0].1.clone();
+            let s = self.call_stmt(&rel);
+            stmts.push(s);
+        }
         if self.uses_goto {
             stmts.push(self.ast.alloc_stmt(StmtKind::Label("out".into()), sp()));
         }
@@ -354,6 +407,12 @@ impl Gen<'_> {
         }
         if names.len() >= 2 && self.rng.gen_bool(0.3) {
             spec = spec.with_cache(names[1], names[0]);
+        }
+        for (acq, rel) in &self.pairs {
+            spec = spec.with_pair(acq.clone(), rel.clone());
+        }
+        for e in &self.expensive {
+            spec = spec.with_expensive(e.clone());
         }
         spec
     }
@@ -586,6 +645,14 @@ impl Gen<'_> {
         self.gen_member_or_var()
     }
 
+    /// A statement calling `name` with one generated argument.
+    fn call_stmt(&mut self, name: &str) -> StmtId {
+        let callee = self.ast.alloc_expr(ExprKind::Ident(name.to_string()), sp());
+        let arg = self.gen_expr(1);
+        let call = self.ast.alloc_expr(ExprKind::Call { callee, args: vec![arg] }, sp());
+        self.ast.alloc_stmt(StmtKind::Expr(call), sp())
+    }
+
     fn gen_call(&mut self) -> ExprId {
         let h = self.helpers[self.rng.gen_range(0..self.helpers.len())].clone();
         let callee = self.ast.alloc_expr(ExprKind::Ident(h), sp());
@@ -752,6 +819,25 @@ mod tests {
         let g = generate_with(3, &small);
         // Depth 1 means no nested blocks: source stays tiny.
         assert!(g.source.lines().count() < 40, "{}", g.source);
+    }
+
+    #[test]
+    fn extension_rule_shapes_occur() {
+        // The seed stream must exercise the resource-pairing and
+        // work-amplification rules, not just the Table 1 families.
+        let mut pairs = 0;
+        let mut expensive = 0;
+        for seed in 0..60u64 {
+            let g = generate(seed);
+            if !g.spec.pairs.is_empty() {
+                pairs += 1;
+            }
+            if !g.spec.expensive.is_empty() {
+                expensive += 1;
+            }
+        }
+        assert!(pairs > 0, "no seed in 0..60 generated a resource pair");
+        assert!(expensive > 0, "no seed in 0..60 generated an expensive helper");
     }
 
     #[test]

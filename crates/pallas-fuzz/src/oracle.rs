@@ -11,9 +11,10 @@
 //! | `daemon`          | daemon `check` NDJSON byte-identical         |
 //! | `meta-rename`     | NDJSON byte-identical after suffix strip     |
 //! | `meta-churn`      | NDJSON byte-identical                        |
-//! | `meta-swap`       | (rule, function, message) multiset invariant |
-//! | `meta-dead`       | (rule, function, message) multiset invariant |
-//! | `prune-subset`    | pruned findings ⊆ unpruned findings          |
+//! | `meta-swap`       | unpruned (rule, fn, message) multiset equal  |
+//! | `meta-dead`       | unpruned (rule, fn, message) multiset equal  |
+//! | `prune-subset`    | pruned ∃-rule findings ⊆ unpruned ones       |
+//! | `rule-selection`  | disabling a rule removes exactly its findings|
 //!
 //! The rename and churn rewrites preserve line structure, so they
 //! must reproduce the NDJSON byte-for-byte; branch swapping and dead
@@ -25,6 +26,7 @@
 //! any checker bug.
 
 use crate::rewrite;
+use pallas_checkers::{Quantifier, Rule, RuleSet};
 use pallas_core::{render_ndjson, AnalyzedUnit, Engine, Pallas, SourceUnit};
 use pallas_lang::pretty::unit_to_source;
 use pallas_sym::ExtractConfig;
@@ -51,6 +53,8 @@ pub enum Oracle {
     /// Disabling feasibility pruning failed, or the pruned findings
     /// were not a subset of the unpruned ones.
     PruneSubset,
+    /// Disabling one rule changed more than that rule's findings.
+    RuleSelection,
 }
 
 impl Oracle {
@@ -66,6 +70,7 @@ impl Oracle {
             Oracle::MetaDead => "meta-dead",
             Oracle::MetaChurn => "meta-churn",
             Oracle::PruneSubset => "prune-subset",
+            Oracle::RuleSelection => "rule-selection",
         }
     }
 }
@@ -117,7 +122,6 @@ pub fn run_oracles(
         .check_unit(unit)
         .map_err(|e| fail(Oracle::Pipeline, format!("{e}")))?;
     let base_ndjson = render_ndjson(&base);
-    let base_proj = projection(&base);
 
     // 2. Pretty-printer fixpoint on the parsed AST.
     let printed = unit_to_source(&base.ast);
@@ -197,73 +201,130 @@ pub fn run_oracles(
     }
 
     // The CFG-reshaping rewrites (branch swap, dead statements) are
-    // only sound to compare when path enumeration completed: under a
-    // `PathConfig` cap the enumerated subset depends on DFS order, so
-    // reshaping the CFG legitimately swaps which paths make the cut
-    // and the finding multiset can shift without any checker bug
-    // (found by a depth-5 fuzz sweep: a unit at exactly `max_paths`
-    // dropped one Rule 1.2 site after a branch swap). Each side still
-    // has to *analyze* cleanly; only the projection compare is gated.
-    let base_truncated = base.db.any_truncated();
+    // compared on *unpruned* runs: the rewrites preserve the semantic
+    // path set exactly, but feasibility pruning is syntactic and not
+    // symmetric under condition negation, so a pruned run can keep a
+    // path before the swap and drop it after (found by the
+    // extension-rule sweep: a swapped seed's record gained a third
+    // `noio_flags` call once the pruner stopped cutting one arm,
+    // shifting Rule 7.1's quoted call count). With pruning off the
+    // full (rule, function, message) projection must be invariant;
+    // pruned-vs-unpruned behavior is the prune-subset oracle's job.
+    // The compare is further gated on truncation: under a `PathConfig`
+    // cap the enumerated subset depends on DFS order, so reshaping the
+    // CFG legitimately swaps which paths make the cut (found by a
+    // depth-5 fuzz sweep: a unit at exactly `max_paths` dropped one
+    // Rule 1.2 site after a branch swap). Each side still has to
+    // *analyze* cleanly; only the projection compare is gated.
+    let no_prune = ExtractConfig { prune_infeasible: false, ..ExtractConfig::default() };
+    let unpruned_base = Pallas::new()
+        .with_config(no_prune)
+        .check_unit(unit)
+        .map_err(|e| fail(Oracle::PruneSubset, format!("unpruned run fails: {e}")))?;
+    let unpruned_proj = projection(&unpruned_base);
+    let unpruned_truncated = unpruned_base.db.any_truncated();
 
-    // 7. Metamorphic: branch swap (projection-invariant).
+    // 7. Metamorphic: branch swap (projection-invariant, unpruned).
     {
         let swapped = rewrite::swap_branches(&base.ast);
         let src = unit_to_source(&swapped);
         let sw_unit = remade(unit, &src, &spec_text);
         let analyzed = Pallas::new()
+            .with_config(no_prune)
             .check_unit(&sw_unit)
             .map_err(|e| fail(Oracle::MetaSwap, format!("swapped unit fails: {e}")))?;
         let proj = projection(&analyzed);
-        if !base_truncated && !analyzed.db.any_truncated() && proj != base_proj {
-            return Err(fail(Oracle::MetaSwap, format!("{proj:?} vs {base_proj:?}")));
+        if !unpruned_truncated && !analyzed.db.any_truncated() && proj != unpruned_proj {
+            return Err(fail(Oracle::MetaSwap, format!("{proj:?} vs {unpruned_proj:?}")));
         }
     }
 
-    // 8. Metamorphic: dead statements (projection-invariant).
+    // 8. Metamorphic: dead statements (projection-invariant, unpruned).
     {
         let dead = rewrite::insert_dead_stmts(&base.ast);
         let src = unit_to_source(&dead);
         let dd_unit = remade(unit, &src, &spec_text);
         let analyzed = Pallas::new()
+            .with_config(no_prune)
             .check_unit(&dd_unit)
             .map_err(|e| fail(Oracle::MetaDead, format!("dead-stmt unit fails: {e}")))?;
         let proj = projection(&analyzed);
-        if !base_truncated && !analyzed.db.any_truncated() && proj != base_proj {
-            return Err(fail(Oracle::MetaDead, format!("{proj:?} vs {base_proj:?}")));
+        if !unpruned_truncated && !analyzed.db.any_truncated() && proj != unpruned_proj {
+            return Err(fail(Oracle::MetaDead, format!("{proj:?} vs {unpruned_proj:?}")));
         }
     }
 
     // 9. Feasibility pruning: the unit must also analyze cleanly with
-    //    pruning disabled, and the default (pruned) warning *sites* —
-    //    the (rule, function) multiset — must be contained in the
-    //    unpruned ones: pruning may only remove warnings, never add
-    //    them. Message text is deliberately excluded from the compare:
-    //    pruning a contradictory slow-path arm shrinks derived sets
-    //    quoted in messages (a seed-2 slow path returned -2 only under
-    //    `flags == 0 && flags < 0`, so Rule 3.2's quoted return set
-    //    tightened from [-2, 0, 1] to [0, 1]). The compare is skipped
-    //    when either side truncated: pruning frees path budget, so a
-    //    capped run can legitimately reach paths (and findings) the
-    //    unpruned run never enumerated.
+    //    pruning disabled, and for *existential* rules the default
+    //    (pruned) warning sites — the (rule, function) multiset — must
+    //    be contained in the unpruned ones: their warnings are
+    //    witnessed by single paths, so removing paths can only remove
+    //    them. Universal rules (registry `Quantifier::Forall`: 2.1,
+    //    2.2, 3.2, 4.1, 5.1, 7.1) are excluded — they warn on the
+    //    *absence* of evidence across all paths, so pruning the only
+    //    path carrying a trigger check or a field use legitimately
+    //    adds a warning (found by the extension-rule fuzz sweep: a
+    //    dead branch held the lone `c0` check, so 2.1 fired pruned
+    //    but not unpruned). Message text is deliberately excluded
+    //    too: pruning a contradictory slow-path arm shrinks derived
+    //    sets quoted in messages (a seed-2 slow path returned -2 only
+    //    under `flags == 0 && flags < 0`, so Rule 3.2's quoted return
+    //    set tightened from [-2, 0, 1] to [0, 1]). The compare is
+    //    skipped when either side truncated: pruning frees path
+    //    budget, so a capped run can legitimately reach paths (and
+    //    findings) the unpruned run never enumerated.
     {
-        let unpruned = Pallas::new()
-            .with_config(ExtractConfig { prune_infeasible: false, ..ExtractConfig::default() })
-            .check_unit(unit)
-            .map_err(|e| fail(Oracle::PruneSubset, format!("unpruned run fails: {e}")))?;
-        let sites = |proj: &[(String, String, String)]| -> Vec<(String, String)> {
-            proj.iter().map(|(r, f, _)| (r.clone(), f.clone())).collect()
+        let sites = |analyzed: &AnalyzedUnit| -> Vec<(String, String)> {
+            let mut v: Vec<(String, String)> = analyzed
+                .warnings
+                .iter()
+                .filter(|w| w.rule.quantifier() == Quantifier::Exists)
+                .map(|w| (w.rule.number().to_string(), w.function.clone()))
+                .collect();
+            v.sort();
+            v
         };
-        let pruned_sites = sites(&base_proj);
-        let full_sites = sites(&projection(&unpruned));
-        if !base_truncated
-            && !unpruned.db.any_truncated()
+        let pruned_sites = sites(&base);
+        let full_sites = sites(&unpruned_base);
+        if !base.db.any_truncated()
+            && !unpruned_truncated
             && !is_sub_multiset(&pruned_sites, &full_sites)
         {
             return Err(fail(
                 Oracle::PruneSubset,
                 format!("pruned {pruned_sites:?} not within unpruned {full_sites:?}"),
             ));
+        }
+    }
+
+    // 10. Rule selection: for every rule present in the baseline
+    //     findings, a run with exactly that rule disabled must produce
+    //     the baseline warning list minus that rule's entries —
+    //     field-identical on every remaining finding. Checkers are
+    //     independent, so selection can never perturb another rule's
+    //     output; any difference is a registry-dispatch bug. Sound
+    //     even under truncation: the enumerated path set does not
+    //     depend on which rules consume it.
+    {
+        let mut fired: Vec<Rule> = base.warnings.iter().map(|w| w.rule).collect();
+        fired.sort();
+        fired.dedup();
+        for rule in fired {
+            let engine = Engine::with_rules(RuleSet::all().without(rule));
+            let analyzed = engine.check_unit(unit).map_err(|e| {
+                fail(Oracle::RuleSelection, format!("run without {rule} fails: {e}"))
+            })?;
+            let expected: Vec<_> =
+                base.warnings.iter().filter(|w| w.rule != rule).cloned().collect();
+            if analyzed.warnings != expected {
+                return Err(fail(
+                    Oracle::RuleSelection,
+                    format!(
+                        "without {rule}: got {:?}, want baseline minus {rule}: {expected:?}",
+                        analyzed.warnings
+                    ),
+                ));
+            }
         }
     }
 
@@ -381,6 +442,37 @@ int alloc_fast(int gfp_mask, int order) {
         let unit = SourceUnit::new("fuzz/dead-branch")
             .with_file("gen.c", &src)
             .with_spec("fastpath alloc_fast; immutable gfp_mask;");
+        run_oracles(&unit, None).unwrap();
+    }
+
+    #[test]
+    fn rule_selection_oracle_covers_multi_family_findings() {
+        // Three families fire at once (1.2 immutable overwrite, 6.1
+        // unreleased acquire, 7.1 unconditional expensive call), so
+        // the rule-selection step runs three scoped engines and each
+        // must reproduce the baseline minus exactly one rule.
+        let src = "\
+int pin_page(int addr);
+int unpin_page(int page);
+int wb_flush(void);
+int rx_fast(int gfp_mask) {
+  int page = pin_page(gfp_mask);
+  wb_flush();
+  gfp_mask = 0;
+  return page;
+}
+";
+        let src = unit_to_source(&pallas_lang::parse(src).unwrap());
+        let unit = SourceUnit::new("fuzz/multi-family")
+            .with_file("gen.c", &src)
+            .with_spec(
+                "fastpath rx_fast; immutable gfp_mask; \
+                 pair pin_page -> unpin_page; expensive wb_flush;",
+            );
+        let base = Pallas::new().check_unit(&unit).unwrap();
+        let fired: std::collections::BTreeSet<_> =
+            base.warnings.iter().map(|w| w.rule).collect();
+        assert!(fired.len() >= 3, "test premise: multiple families must fire, got {fired:?}");
         run_oracles(&unit, None).unwrap();
     }
 

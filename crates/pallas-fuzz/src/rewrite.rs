@@ -98,6 +98,13 @@ pub fn rename_spec_text(spec: &str, map: &HashMap<String, String>) -> String {
         map_path(&mut c.cache);
         map_path(&mut c.state);
     }
+    for (acq, rel) in parsed.pairs.iter_mut() {
+        map_path(acq);
+        map_path(rel);
+    }
+    for e in parsed.expensive.iter_mut() {
+        map_path(e);
+    }
     let text = parsed.to_string();
     // A spec without a `unit` clause renders as `unit ;`, which does
     // not re-parse — drop the line rather than invent a name.

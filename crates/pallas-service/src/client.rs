@@ -6,7 +6,7 @@
 //! the end-to-end tests drive the daemon through it.
 
 use crate::json::{self, Value};
-use crate::protocol::Request;
+use crate::protocol::{Request, RuleSelection};
 use pallas_core::SourceUnit;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -55,7 +55,21 @@ impl Client {
 
     /// Checks one unit.
     pub fn check(&mut self, unit: &SourceUnit) -> std::io::Result<Value> {
-        self.request(&Request::Check { unit: unit.clone(), delay: None })
+        self.request(&Request::Check {
+            unit: unit.clone(),
+            delay: None,
+            rules: RuleSelection::default(),
+        })
+    }
+
+    /// Checks one unit with a per-request rule selection — the daemon
+    /// equivalent of `pallas check --only-rule/--disable-rule`.
+    pub fn check_with_rules(
+        &mut self,
+        unit: &SourceUnit,
+        rules: RuleSelection,
+    ) -> std::io::Result<Value> {
+        self.request(&Request::Check { unit: unit.clone(), delay: None, rules })
     }
 
     /// Checks one unit with an artificial pre-analysis stall
@@ -65,12 +79,20 @@ impl Client {
         unit: &SourceUnit,
         delay: Duration,
     ) -> std::io::Result<Value> {
-        self.request(&Request::Check { unit: unit.clone(), delay: Some(delay) })
+        self.request(&Request::Check {
+            unit: unit.clone(),
+            delay: Some(delay),
+            rules: RuleSelection::default(),
+        })
     }
 
     /// Checks a batch of units through the daemon's worker pool.
     pub fn batch(&mut self, units: &[SourceUnit]) -> std::io::Result<Value> {
-        self.request(&Request::Batch { units: units.to_vec(), delay: None })
+        self.request(&Request::Batch {
+            units: units.to_vec(),
+            delay: None,
+            rules: RuleSelection::default(),
+        })
     }
 
     /// Samples the daemon's metrics registry.

@@ -48,5 +48,5 @@ pub use admission::{Admission, AdmissionError};
 pub use client::Client;
 pub use json::Value;
 pub use metrics::{Histogram, ServiceMetrics};
-pub use protocol::Request;
+pub use protocol::{Request, RuleSelection};
 pub use server::{Server, ServerHandle, ServiceConfig};

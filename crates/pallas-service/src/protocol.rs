@@ -16,7 +16,12 @@
 //! `{"name":s,"files":[{"name":s,"contents":s},...],"spec":s}`.
 //! A check/batch request may carry `"delay_ms":n`, an artificial
 //! pre-analysis stall used by the timeout/overload tests and benches
-//! to make a unit deliberately slow.
+//! to make a unit deliberately slow. It may also carry a rule
+//! selection — `"only_rules":[s,...]` and/or `"disable_rules":[s,...]`
+//! with paper numbers or titles — which scopes the Check stage for
+//! that request exactly like `pallas check --only-rule/--disable-rule`
+//! does locally; the selection participates in the engine's cache key,
+//! so scoped and default requests share one daemon cache safely.
 //!
 //! Responses always carry `"ok"`. A successful check response is
 //!
@@ -34,6 +39,33 @@ use crate::json::{self, n, obj, s, Value};
 use pallas_core::{render_ndjson, render_unit_report, AnalyzedUnit, PallasError, SourceUnit};
 use std::time::Duration;
 
+/// Per-request rule scoping carried by check/batch requests. Rule
+/// names are paper numbers (`"4.1"`) or registry titles; an empty
+/// selection means "the daemon's configured rule set".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuleSelection {
+    /// Run only these rules (empty = every configured rule).
+    pub only: Vec<String>,
+    /// Drop these rules from the set.
+    pub disable: Vec<String>,
+}
+
+impl RuleSelection {
+    /// True when the request does not scope rules at all.
+    pub fn is_default(&self) -> bool {
+        self.only.is_empty() && self.disable.is_empty()
+    }
+
+    /// Resolves the selection against the full registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown rule name if one does not resolve.
+    pub fn resolve(&self) -> Result<pallas_checkers::RuleSet, String> {
+        pallas_checkers::RuleSet::from_selection(&self.only, &self.disable)
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -43,6 +75,8 @@ pub enum Request {
         unit: SourceUnit,
         /// Artificial pre-analysis stall (test/bench aid).
         delay: Option<Duration>,
+        /// Rule scoping for this request.
+        rules: RuleSelection,
     },
     /// Check a batch of units through the work-stealing pool.
     Batch {
@@ -50,6 +84,8 @@ pub enum Request {
         units: Vec<SourceUnit>,
         /// Artificial pre-analysis stall applied once for the batch.
         delay: Option<Duration>,
+        /// Rule scoping applied to every unit in the batch.
+        rules: RuleSelection,
     },
     /// Sample the metrics registry.
     Stats,
@@ -76,10 +112,14 @@ impl Request {
             .map(|d| d.as_u64().ok_or("`delay_ms` must be a non-negative integer"))
             .transpose()?
             .map(Duration::from_millis);
+        let rules = RuleSelection {
+            only: decode_rule_names(&value, "only_rules")?,
+            disable: decode_rule_names(&value, "disable_rules")?,
+        };
         match op {
             "check" => {
                 let unit = decode_unit(value.get("unit").ok_or("check needs a `unit` field")?)?;
-                Ok(Request::Check { unit, delay })
+                Ok(Request::Check { unit, delay, rules })
             }
             "batch" => {
                 let items = value
@@ -87,7 +127,7 @@ impl Request {
                     .and_then(Value::as_arr)
                     .ok_or("batch needs a `units` array")?;
                 let units = items.iter().map(decode_unit).collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::Batch { units, delay })
+                Ok(Request::Batch { units, delay, rules })
             }
             "stats" => Ok(Request::Stats),
             "trace" => Ok(Request::Trace),
@@ -99,26 +139,54 @@ impl Request {
     /// Renders the request as one protocol line (no trailing newline).
     pub fn to_line(&self) -> String {
         let mut fields: Vec<(&str, Value)> = Vec::new();
+        let push_scoping = |delay: &Option<Duration>,
+                                rules: &RuleSelection,
+                                fields: &mut Vec<(&'static str, Value)>| {
+            if let Some(d) = delay {
+                fields.push(("delay_ms", n(d.as_millis() as u64)));
+            }
+            if !rules.only.is_empty() {
+                fields.push(("only_rules", Value::Arr(rules.only.iter().map(s).collect())));
+            }
+            if !rules.disable.is_empty() {
+                fields
+                    .push(("disable_rules", Value::Arr(rules.disable.iter().map(s).collect())));
+            }
+        };
         match self {
-            Request::Check { unit, delay } => {
+            Request::Check { unit, delay, rules } => {
                 fields.push(("op", s("check")));
                 fields.push(("unit", encode_unit(unit)));
-                if let Some(d) = delay {
-                    fields.push(("delay_ms", n(d.as_millis() as u64)));
-                }
+                push_scoping(delay, rules, &mut fields);
             }
-            Request::Batch { units, delay } => {
+            Request::Batch { units, delay, rules } => {
                 fields.push(("op", s("batch")));
                 fields.push(("units", Value::Arr(units.iter().map(encode_unit).collect())));
-                if let Some(d) = delay {
-                    fields.push(("delay_ms", n(d.as_millis() as u64)));
-                }
+                push_scoping(delay, rules, &mut fields);
             }
             Request::Stats => fields.push(("op", s("stats"))),
             Request::Trace => fields.push(("op", s("trace"))),
             Request::Shutdown => fields.push(("op", s("shutdown"))),
         }
         obj(fields).to_string()
+    }
+}
+
+/// Decodes an optional array-of-strings rule-name field.
+fn decode_rule_names(value: &Value, field: &str) -> Result<Vec<String>, String> {
+    match value.get(field) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_arr()
+            .ok_or(format!("`{field}` must be an array of rule names"))?
+            .iter()
+            .map(|entry| {
+                entry
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or(format!("`{field}` entries must be strings"))
+            })
+            .collect(),
     }
 }
 
@@ -234,16 +302,60 @@ mod tests {
 
     #[test]
     fn check_request_roundtrips() {
-        let request =
-            Request::Check { unit: unit(), delay: Some(Duration::from_millis(250)) };
+        let request = Request::Check {
+            unit: unit(),
+            delay: Some(Duration::from_millis(250)),
+            rules: RuleSelection::default(),
+        };
         let line = request.to_line();
         assert_eq!(Request::parse(&line).unwrap(), request);
     }
 
     #[test]
     fn batch_request_roundtrips() {
-        let request = Request::Batch { units: vec![unit(), unit()], delay: None };
+        let request = Request::Batch {
+            units: vec![unit(), unit()],
+            delay: None,
+            rules: RuleSelection::default(),
+        };
         assert_eq!(Request::parse(&request.to_line()).unwrap(), request);
+    }
+
+    #[test]
+    fn rule_scoped_request_roundtrips() {
+        let request = Request::Check {
+            unit: unit(),
+            delay: None,
+            rules: RuleSelection {
+                only: vec!["1.2".into(), "4.1".into()],
+                disable: vec!["4.1".into()],
+            },
+        };
+        let line = request.to_line();
+        assert!(line.contains("only_rules"));
+        assert!(line.contains("disable_rules"));
+        assert_eq!(Request::parse(&line).unwrap(), request);
+    }
+
+    #[test]
+    fn default_rule_selection_stays_off_the_wire() {
+        let request =
+            Request::Check { unit: unit(), delay: None, rules: RuleSelection::default() };
+        let line = request.to_line();
+        assert!(!line.contains("only_rules"));
+        assert!(!line.contains("disable_rules"));
+    }
+
+    #[test]
+    fn rule_selection_resolves_against_the_registry() {
+        let scoped = RuleSelection { only: vec!["1.2".into()], disable: vec![] };
+        let set = scoped.resolve().unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.is_enabled(pallas_checkers::Rule::ImmutableOverwrite));
+        let bogus = RuleSelection { only: vec!["9.9".into()], disable: vec![] };
+        assert!(bogus.resolve().is_err());
+        assert!(RuleSelection::default().is_default());
+        assert_eq!(RuleSelection::default().resolve().unwrap().len(), 15);
     }
 
     #[test]
@@ -264,6 +376,8 @@ mod tests {
             r#"{"op":"check","unit":{"files":[]}}"#,
             r#"{"op":"batch"}"#,
             r#"{"op":"check","unit":{"name":"u"},"delay_ms":"soon"}"#,
+            r#"{"op":"check","unit":{"name":"u"},"only_rules":"1.2"}"#,
+            r#"{"op":"check","unit":{"name":"u"},"disable_rules":[42]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
         }

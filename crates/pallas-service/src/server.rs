@@ -28,6 +28,7 @@ use crate::protocol::{
     analysis_error_response, batch_response, check_response, error_response,
     kinded_error_response, Request,
 };
+use pallas_checkers::RuleSet;
 use pallas_core::engine::default_jobs;
 use pallas_core::{Engine, EngineConfig, SourceUnit};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -87,8 +88,8 @@ struct Job {
 }
 
 enum JobKind {
-    Check { unit: SourceUnit, delay: Option<Duration> },
-    Batch { units: Vec<SourceUnit>, delay: Option<Duration> },
+    Check { unit: SourceUnit, delay: Option<Duration>, rules: Option<RuleSet> },
+    Batch { units: Vec<SourceUnit>, delay: Option<Duration>, rules: Option<RuleSet> },
 }
 
 impl JobKind {
@@ -135,7 +136,7 @@ impl Server {
         }
         let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
-            engine: Engine::with_engine_config(config.engine),
+            engine: Engine::with_engine_config(config.engine.clone()),
             metrics: ServiceMetrics::with_bounds(&config.bucket_bounds_us),
             admission: Admission::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
@@ -331,13 +332,29 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> (String, bool) {
             ]);
             (response.to_string(), false)
         }
-        Request::Check { unit, delay } => {
-            (submit_and_wait(shared, JobKind::Check { unit, delay }), false)
-        }
-        Request::Batch { units, delay } => {
-            (submit_and_wait(shared, JobKind::Batch { units, delay }), false)
-        }
+        Request::Check { unit, delay, rules } => match resolve_rules(&rules) {
+            Ok(rules) => (submit_and_wait(shared, JobKind::Check { unit, delay, rules }), false),
+            Err(line) => (line, false),
+        },
+        Request::Batch { units, delay, rules } => match resolve_rules(&rules) {
+            Ok(rules) => {
+                (submit_and_wait(shared, JobKind::Batch { units, delay, rules }), false)
+            }
+            Err(line) => (line, false),
+        },
     }
+}
+
+/// Resolves a request's rule selection before admission, so an unknown
+/// rule name fails fast as a protocol error instead of occupying a
+/// worker. `None` means "use the engine's configured rule set".
+fn resolve_rules(
+    selection: &crate::protocol::RuleSelection,
+) -> Result<Option<RuleSet>, String> {
+    if selection.is_default() {
+        return Ok(None);
+    }
+    selection.resolve().map(Some).map_err(|e| error_response(&e))
 }
 
 /// Admits one job and waits for its response under the configured
@@ -403,11 +420,15 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn run_job(shared: &Arc<Shared>, kind: &JobKind) -> String {
     match kind {
-        JobKind::Check { unit, delay } => {
+        JobKind::Check { unit, delay, rules } => {
             if let Some(d) = delay {
                 std::thread::sleep(*d);
             }
-            match shared.engine.check_unit(unit) {
+            let result = match rules {
+                Some(set) => shared.engine.check_unit_with_rules(unit, set),
+                None => shared.engine.check_unit(unit),
+            };
+            match result {
                 Ok(analyzed) => {
                     ServiceMetrics::bump(&shared.metrics.completed);
                     shared.metrics.record_stages(&analyzed.stage_timings);
@@ -419,11 +440,17 @@ fn run_job(shared: &Arc<Shared>, kind: &JobKind) -> String {
                 }
             }
         }
-        JobKind::Batch { units, delay } => {
+        JobKind::Batch { units, delay, rules } => {
             if let Some(d) = delay {
                 std::thread::sleep(*d);
             }
-            let results = shared.engine.check_many_jobs(units, shared.config.workers.max(1));
+            let jobs = shared.config.workers.max(1);
+            let results = match rules {
+                Some(set) => shared
+                    .engine
+                    .check_many_with(units, jobs, |e, u| e.check_unit_with_rules(u, set)),
+                None => shared.engine.check_many_jobs(units, jobs),
+            };
             for result in &results {
                 match result {
                     Ok(analyzed) => {

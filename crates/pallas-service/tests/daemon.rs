@@ -266,6 +266,56 @@ fn malformed_and_failing_requests_answer_without_killing_the_connection() {
 }
 
 #[test]
+fn rule_scoped_requests_share_the_daemon_without_leaking_across_scopes() {
+    let path = socket_path("rules");
+    let handle = Server::start(&path, ServiceConfig::default()).unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    let unit = demo_unit(0);
+
+    // Full run: the demo unit violates Rule 1.2 (immutable overwrite).
+    let full = client.check(&unit).unwrap();
+    assert!(ok(&full));
+    let full_report = full.get("report").and_then(Value::as_str).unwrap().to_string();
+    assert!(full_report.contains("Rule 1.2"), "{full_report}");
+
+    // Disabling 1.2 for one request removes its warning...
+    let scoped = client
+        .check_with_rules(
+            &unit,
+            pallas_service::RuleSelection { only: vec![], disable: vec!["1.2".into()] },
+        )
+        .unwrap();
+    assert!(ok(&scoped));
+    let scoped_report = scoped.get("report").and_then(Value::as_str).unwrap();
+    assert!(!scoped_report.contains("Rule 1.2"), "{scoped_report}");
+    // ...and the scoped request built its own frontend entry (the
+    // selection is part of the cache key), so it was not served the
+    // full-run artifacts.
+    assert_eq!(scoped.get("cached").and_then(Value::as_bool), Some(false));
+
+    // The default scope is untouched: a repeat full check still warns
+    // and hits the warm cache.
+    let again = client.check(&unit).unwrap();
+    assert!(ok(&again));
+    assert_eq!(again.get("report").and_then(Value::as_str), Some(full_report.as_str()));
+    assert_eq!(again.get("cached").and_then(Value::as_bool), Some(true));
+
+    // An unknown rule name is a protocol-level error, not a crash.
+    let bad = client
+        .check_with_rules(
+            &unit,
+            pallas_service::RuleSelection { only: vec!["9.9".into()], disable: vec![] },
+        )
+        .unwrap();
+    assert!(!ok(&bad));
+    assert!(
+        bad.get("error").and_then(Value::as_str).unwrap().contains("unknown rule"),
+        "{bad}"
+    );
+    handle.stop();
+}
+
+#[test]
 fn shutdown_request_drains_and_wait_returns_summary() {
     let path = socket_path("drain");
     let handle = Server::start(

@@ -119,6 +119,22 @@ impl FastPathSpec {
             }
         }
 
+        for (acq, rel) in &self.pairs {
+            if acq == rel {
+                warn(
+                    &mut issues,
+                    format!("pair `{acq} -> {rel}` acquires and releases via the same function"),
+                );
+            }
+        }
+
+        let mut expensive_seen = HashSet::new();
+        for e in &self.expensive {
+            if !expensive_seen.insert(e) {
+                note(&mut issues, format!("expensive helper `{e}` declared more than once"));
+            }
+        }
+
         issues
     }
 }
@@ -196,6 +212,23 @@ mod tests {
     fn self_cache_flagged() {
         let spec = FastPathSpec::new("u").with_fastpath("f").with_cache("x", "x");
         assert!(spec.lint().iter().any(|i| i.message.contains("caches itself")));
+    }
+
+    #[test]
+    fn self_pair_flagged() {
+        let spec = FastPathSpec::new("u").with_fastpath("f").with_pair("get_buf", "get_buf");
+        assert!(spec.lint().iter().any(|i| i.message.contains("same function")));
+    }
+
+    #[test]
+    fn duplicate_expensive_is_note() {
+        let spec = FastPathSpec::new("u")
+            .with_fastpath("f")
+            .with_expensive("sync_flush")
+            .with_expensive("sync_flush");
+        let issues = spec.lint();
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, LintSeverity::Note);
     }
 
     #[test]

@@ -6,10 +6,18 @@
 //! handling, and assistant data structures. [`FastPathModel`] names the
 //! elements present in a concrete fast path and renders the Figure 2
 //! diagram for it.
+//!
+//! Two further classes extend the taxonomy beyond the paper, mined
+//! from the consequence categories the study dataset tags but none of
+//! the twelve paper rules address: resource-release pairing (the
+//! MemoryLeak class) and fast-path work amplification (the
+//! PerformanceDegradation class). [`ElementClass::PAPER`] keeps the
+//! original five for the paper-pinned tables.
 
 use std::fmt;
 
-/// The five element classes of a fast path (paper §3, Table 1 rows).
+/// The element classes of a fast path (paper §3, Table 1 rows, plus
+/// the two study-mined extension classes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ElementClass {
     /// Input/intermediate/final states (`Sin`, `Sf`, `So`).
@@ -22,11 +30,31 @@ pub enum ElementClass {
     FaultHandling,
     /// Caches and other helper structures.
     AssistantDataStructure,
+    /// Acquire/release pairing of resources held across the path
+    /// (study MemoryLeak consequence class).
+    ResourceRelease,
+    /// Work the fast path performs that belongs on the slow path
+    /// (study PerformanceDegradation consequence class).
+    WorkAmplification,
 }
 
 impl ElementClass {
-    /// All classes in Table 1 order.
-    pub const ALL: [ElementClass; 5] = [
+    /// All classes in Table 1 order, extension classes last.
+    pub const ALL: [ElementClass; 7] = [
+        ElementClass::PathState,
+        ElementClass::TriggerCondition,
+        ElementClass::PathOutput,
+        ElementClass::FaultHandling,
+        ElementClass::AssistantDataStructure,
+        ElementClass::ResourceRelease,
+        ElementClass::WorkAmplification,
+    ];
+
+    /// The five classes of the paper's Table 1, in table order — the
+    /// rows of every paper-pinned table (Tables 2–5). The extension
+    /// classes deliberately stay out so the reproduced numbers cannot
+    /// drift.
+    pub const PAPER: [ElementClass; 5] = [
         ElementClass::PathState,
         ElementClass::TriggerCondition,
         ElementClass::PathOutput,
@@ -42,6 +70,8 @@ impl ElementClass {
             ElementClass::PathOutput => "Path Output",
             ElementClass::FaultHandling => "Fault Handling",
             ElementClass::AssistantDataStructure => "Assistant Data Structures",
+            ElementClass::ResourceRelease => "Resource Release",
+            ElementClass::WorkAmplification => "Work Amplification",
         }
     }
 }
@@ -138,9 +168,17 @@ mod tests {
 
     #[test]
     fn all_classes_enumerated_in_table_order() {
-        assert_eq!(ElementClass::ALL.len(), 5);
+        assert_eq!(ElementClass::ALL.len(), 7);
         assert_eq!(ElementClass::ALL[0].as_str(), "Path State");
         assert_eq!(ElementClass::ALL[4].as_str(), "Assistant Data Structures");
+        assert_eq!(ElementClass::ALL[5].as_str(), "Resource Release");
+        assert_eq!(ElementClass::ALL[6].as_str(), "Work Amplification");
+    }
+
+    #[test]
+    fn paper_classes_are_a_prefix_of_all() {
+        assert_eq!(ElementClass::PAPER.len(), 5);
+        assert_eq!(&ElementClass::ALL[..5], &ElementClass::PAPER[..]);
     }
 
     #[test]

@@ -176,6 +176,19 @@ fn parse_stmt(stmt: &str, line: u32, spec: &mut FastPathSpec) -> Result<(), Spec
                 state: state.trim().to_string(),
             });
         }
+        "pair" => {
+            let (acq, rel) = rest
+                .split_once("->")
+                .ok_or_else(|| err(line, "pair requires `ACQUIRE -> RELEASE`"))?;
+            spec.pairs.push((acq.trim().to_string(), rel.trim().to_string()));
+        }
+        "expensive" => {
+            let helpers = split_list(rest);
+            if helpers.is_empty() {
+                return Err(err(line, "expensive requires at least one helper name"));
+            }
+            spec.expensive.extend(helpers);
+        }
         other => return Err(err(line, format!("unknown spec keyword `{other}`"))),
     }
     Ok(())
@@ -264,6 +277,15 @@ mod tests {
         assert!(parse_spec("cache x;").is_err());
         assert!(parse_spec("immutable ;").is_err());
         assert!(parse_spec("returns ;").is_err());
+        assert!(parse_spec("pair a b;").is_err());
+        assert!(parse_spec("expensive ;").is_err());
+    }
+
+    #[test]
+    fn pair_and_expensive_clauses_parse() {
+        let spec = parse_spec("pair acquire_buf -> release_buf;\nexpensive sync_flush, slow_log;").unwrap();
+        assert_eq!(spec.pairs, vec![("acquire_buf".into(), "release_buf".into())]);
+        assert_eq!(spec.expensive, vec!["sync_flush", "slow_log"]);
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct FastPathSpec {
     pub assist_structs: Vec<String>,
     /// Rule 5.2: cache/state pairs.
     pub caches: Vec<CacheSpec>,
+    /// Rules 6.1/6.2: resource acquire/release function pairs
+    /// `ACQUIRE -> RELEASE` that must balance on every path.
+    pub pairs: Vec<(String, String)>,
+    /// Rule 7.1: expensive (slow-path) helpers the fast path must not
+    /// call unconditionally or repeatedly.
+    pub expensive: Vec<String>,
 }
 
 impl FastPathSpec {
@@ -164,6 +170,18 @@ impl FastPathSpec {
         self
     }
 
+    /// Declares an acquire/release pair for Rules 6.1/6.2.
+    pub fn with_pair(mut self, acquire: impl Into<String>, release: impl Into<String>) -> Self {
+        self.pairs.push((acquire.into(), release.into()));
+        self
+    }
+
+    /// Declares an expensive helper for Rule 7.1.
+    pub fn with_expensive(mut self, f: impl Into<String>) -> Self {
+        self.expensive.push(f.into());
+        self
+    }
+
     /// Looks up a cond group by name.
     pub fn cond(&self, name: &str) -> Option<&CondSpec> {
         self.conds.iter().find(|c| c.name == name)
@@ -182,6 +200,8 @@ impl FastPathSpec {
             + self.faults.len()
             + self.assist_structs.len()
             + self.caches.len()
+            + self.pairs.len()
+            + self.expensive.len()
     }
 
     /// Merges another spec's facts into this one (used when a unit has
@@ -202,6 +222,8 @@ impl FastPathSpec {
         self.faults.extend(other.faults);
         self.assist_structs.extend(other.assist_structs);
         self.caches.extend(other.caches);
+        self.pairs.extend(other.pairs);
+        self.expensive.extend(other.expensive);
     }
 }
 
@@ -244,6 +266,12 @@ impl fmt::Display for FastPathSpec {
         }
         for c in &self.caches {
             writeln!(f, "cache {} for {};", c.cache, c.state)?;
+        }
+        for (acq, rel) in &self.pairs {
+            writeln!(f, "pair {acq} -> {rel};")?;
+        }
+        if !self.expensive.is_empty() {
+            writeln!(f, "expensive {};", self.expensive.join(", "))?;
         }
         Ok(())
     }
@@ -293,6 +321,18 @@ mod tests {
         assert_eq!(parsed.fastpath, spec.fastpath);
         assert_eq!(parsed.conds, spec.conds);
         assert_eq!(parsed.returns, spec.returns);
+    }
+
+    #[test]
+    fn pair_and_expensive_facts_roundtrip() {
+        let spec = FastPathSpec::new("t")
+            .with_fastpath("f")
+            .with_pair("acquire_buf", "release_buf")
+            .with_expensive("sync_flush");
+        assert_eq!(spec.fact_count(), 2);
+        let parsed = crate::parse_spec(&spec.to_string()).unwrap();
+        assert_eq!(parsed.pairs, spec.pairs);
+        assert_eq!(parsed.expensive, spec.expensive);
     }
 
     #[test]

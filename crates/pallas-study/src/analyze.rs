@@ -64,9 +64,9 @@ pub struct Table3Cell {
 }
 
 /// Computes Table 3 (bug-category distribution per subsystem); rows in
-/// [`ElementClass::ALL`] order, columns in [`Subsystem::ALL`] order.
+/// [`ElementClass::PAPER`] order, columns in [`Subsystem::ALL`] order.
 pub fn table3(ds: &StudyDataset) -> Vec<Vec<Table3Cell>> {
-    ElementClass::ALL
+    ElementClass::PAPER
         .iter()
         .map(|&class| {
             Subsystem::ALL
@@ -99,12 +99,12 @@ pub struct Table4Cell {
 }
 
 /// Computes Table 4 (consequences per category); rows in
-/// [`Consequence::ALL`] order, columns in [`ElementClass::ALL`] order.
+/// [`Consequence::ALL`] order, columns in [`ElementClass::PAPER`] order.
 pub fn table4(ds: &StudyDataset) -> Vec<Vec<Table4Cell>> {
     Consequence::ALL
         .iter()
         .map(|&cons| {
-            ElementClass::ALL
+            ElementClass::PAPER
                 .iter()
                 .map(|&class| {
                     let total = ds.fixes.iter().filter(|f| f.category == class).count().max(1);
@@ -161,7 +161,7 @@ pub fn render_table3(ds: &StudyDataset) -> String {
         let _ = write!(out, "{:>12}", sub.as_str());
     }
     let _ = writeln!(out);
-    for (row, class) in cells.iter().zip(ElementClass::ALL) {
+    for (row, class) in cells.iter().zip(ElementClass::PAPER) {
         let _ = write!(out, "{:<28}", class.as_str());
         for cell in row {
             let _ = write!(out, "{:>7} ({:>2}%)", cell.count, cell.percent);
@@ -183,13 +183,15 @@ pub fn render_table4(ds: &StudyDataset) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 4: Consequences of fast-path bugs per category.");
     let _ = write!(out, "{:<26}", "Consequence");
-    for class in ElementClass::ALL {
+    for class in ElementClass::PAPER {
         let short = match class {
             ElementClass::PathState => "PathState",
             ElementClass::TriggerCondition => "TrigCond",
             ElementClass::PathOutput => "PathOut",
             ElementClass::FaultHandling => "Fault",
             ElementClass::AssistantDataStructure => "DataStruct",
+            ElementClass::ResourceRelease => "Resource",
+            ElementClass::WorkAmplification => "WorkAmp",
         };
         let _ = write!(out, "{short:>12}");
     }

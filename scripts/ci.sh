@@ -98,7 +98,47 @@ fi
 cargo test --release -q -p bench --lib pruning_is_sound_and_cuts_paths
 echo "feasibility pruning: ok"
 
-echo "== per-rule regression tests =="
+echo "== rule catalogue (--list-rules) =="
+# The registry must publish at least the twelve paper rules plus the
+# mined extension families (6.1/6.2/7.1).
+RULE_LIST="$("$PALLAS_BIN" check --list-rules)"
+RULE_COUNT="$(echo "$RULE_LIST" | grep -c '^')"
+[ "$RULE_COUNT" -ge 15 ] || { echo "ci: --list-rules shows $RULE_COUNT rules, want >= 15" >&2; exit 1; }
+for rule in 1.2 4.1 6.1 6.2 7.1; do
+  echo "$RULE_LIST" | grep -q "^$rule " \
+    || { echo "ci: --list-rules is missing rule $rule" >&2; exit 1; }
+done
+echo "rule catalogue: ok ($RULE_COUNT rules)"
+
+echo "== rule selection A/B (--only-rule / --disable-rule) =="
+# A unit that fires two families: 1.2 (immutable overwrite) and 7.1
+# (unconditional expensive call). Disabling a rule must remove exactly
+# its findings — the survivors stay byte-identical — and --only-rule
+# must reproduce exactly the full run's findings for that rule.
+cat > "$SMOKE_DIR/rules.c" <<'EOF'
+typedef unsigned int gfp_t;
+int noio(gfp_t m);
+int wb_flush(int v);
+int alloc_fast(gfp_t gfp_mask) {
+  gfp_mask = noio(gfp_mask);
+  wb_flush(0);
+  return 0;
+}
+EOF
+echo "fastpath alloc_fast; immutable gfp_mask; expensive wb_flush;" > "$SMOKE_DIR/rules.pallas"
+findings() { grep '"type":"finding"' || true; }
+FULL="$("$PALLAS_BIN" check "$SMOKE_DIR/rules.c" --json | findings)"
+echo "$FULL" | grep -q '"rule":"1.2"' || { echo "ci: rule-selection unit lost its 1.2 finding" >&2; exit 1; }
+echo "$FULL" | grep -q '"rule":"7.1"' || { echo "ci: rule-selection unit lost its 7.1 finding" >&2; exit 1; }
+WITHOUT="$("$PALLAS_BIN" check "$SMOKE_DIR/rules.c" --json --disable-rule 1.2 | findings)"
+[ "$WITHOUT" = "$(echo "$FULL" | grep -v '"rule":"1.2"')" ] \
+  || { echo "ci: --disable-rule 1.2 did not subtract exactly the 1.2 findings" >&2; exit 1; }
+ONLY="$("$PALLAS_BIN" check "$SMOKE_DIR/rules.c" --json --only-rule 7.1 | findings)"
+[ "$ONLY" = "$(echo "$FULL" | grep '"rule":"7.1"')" ] \
+  || { echo "ci: --only-rule 7.1 does not match the full run's 7.1 findings" >&2; exit 1; }
+echo "rule selection: ok"
+
+echo "== per-rule regression tests (all families, incl. 6.x/7.1) =="
 cargo test --release -q -p pallas-checkers --test rule_regressions
 
 echo "== golden corpus snapshots =="

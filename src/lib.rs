@@ -8,7 +8,8 @@
 //! * `cfg` — control-flow graphs and bounded path enumeration.
 //! * [`sym`] — symbolic path extraction (the path database).
 //! * [`spec`] — the semantic annotation protocol.
-//! * [`checkers`] — the five checker families / twelve rules.
+//! * [`checkers`] — the declarative rule registry: seven checker
+//!   families / fifteen rules (see `docs/CHECKERS.md`).
 //! * [`core`] — the pipeline driver, reports, and scoring.
 //! * [`diff`] — fast-path vs slow-path comparison.
 //! * [`corpus`] — the miniature evaluation corpus with ground truth.

@@ -1,0 +1,47 @@
+//! Keeps `docs/CHECKERS.md` in sync with the rule registry.
+//!
+//! The catalogue table between the BEGIN/END markers is generated from
+//! `pallas_checkers::catalogue_markdown()`; any registry change (new
+//! rule, retitled rule, severity bump) shows up here as a diff.
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test docs_sync`.
+
+use std::path::PathBuf;
+
+const BEGIN: &str = "<!-- BEGIN RULE CATALOGUE (generated from pallas_checkers::REGISTRY) -->";
+const END: &str = "<!-- END RULE CATALOGUE -->";
+
+fn doc_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("docs/CHECKERS.md")
+}
+
+#[test]
+fn checkers_doc_matches_registry() {
+    let path = doc_path();
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let begin = doc.find(BEGIN).expect("docs/CHECKERS.md lost its BEGIN marker");
+    let end = doc.find(END).expect("docs/CHECKERS.md lost its END marker");
+    assert!(begin < end, "catalogue markers out of order");
+
+    let expected = format!("{BEGIN}\n\n{}\n", pallas::checkers::catalogue_markdown());
+    let actual = &doc[begin..end];
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let updated = format!("{}{}{}", &doc[..begin], expected, &doc[end..]);
+        std::fs::write(&path, updated).expect("rewrite docs/CHECKERS.md");
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "docs/CHECKERS.md catalogue diverged from the registry; \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test docs_sync`"
+    );
+}
+
+#[test]
+fn catalogue_covers_all_fifteen_rules() {
+    let md = pallas::checkers::catalogue_markdown();
+    // Header + separator + one row per registry entry.
+    assert_eq!(md.lines().count(), 2 + pallas::checkers::REGISTRY.len());
+    assert!(md.contains("| 6.1 |"), "{md}");
+    assert!(md.contains("| 7.1 |"), "{md}");
+}

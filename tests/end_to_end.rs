@@ -138,9 +138,39 @@ fn rule_5_2_stale_cache() {
 }
 
 #[test]
-fn all_twelve_rules_fire_together() {
-    // Compose a single unit exercising every rule via the corpus
-    // builder, then confirm all twelve fire through the facade.
+fn rule_6_1_leaked_acquire() {
+    assert_single(
+        "int grab(void);\nint drop(int b);\n\
+         int fast(int len) {\n  int b = grab();\n  if (len == 0)\n    return -1;\n  drop(b);\n  return 0;\n}",
+        "fastpath fast; pair grab -> drop;",
+        Rule::AcquireNoRelease,
+    );
+}
+
+#[test]
+fn rule_6_2_unbalanced_release() {
+    assert_single(
+        "int grab(void);\nint drop(int b);\n\
+         int fast(int b) {\n  drop(b);\n  return 0;\n}",
+        "fastpath fast; pair grab -> drop;",
+        Rule::ReleaseNoAcquire,
+    );
+}
+
+#[test]
+fn rule_7_1_unconditional_expensive_helper() {
+    assert_single(
+        "int sync_flush(void);\n\
+         int fast(int dirty) {\n  sync_flush();\n  if (dirty)\n    return 1;\n  return 0;\n}",
+        "fastpath fast; expensive sync_flush;",
+        Rule::FastPathExpensive,
+    );
+}
+
+#[test]
+fn all_fifteen_rules_fire_together() {
+    // Compose a single unit exercising every registered rule via the
+    // corpus builder, then confirm all fifteen fire through the facade.
     let plan: Vec<(Rule, bool)> = Rule::ALL.iter().map(|&r| (r, false)).collect();
     let cu = pallas::corpus::compose_unit(
         pallas::corpus::Component::Mm,
@@ -152,7 +182,7 @@ fn all_twelve_rules_fire_together() {
     let mut rules: Vec<Rule> = analyzed.warnings.iter().map(|w| w.rule).collect();
     rules.sort();
     rules.dedup();
-    assert_eq!(rules.len(), 12, "{:#?}", analyzed.warnings);
+    assert_eq!(rules.len(), Rule::ALL.len(), "{:#?}", analyzed.warnings);
 }
 
 #[test]

@@ -110,6 +110,11 @@ fn examples_matches_golden() {
 }
 
 #[test]
+fn mined_rules_matches_golden() {
+    assert_matches_golden("mined", &pallas::corpus::mined_rules());
+}
+
+#[test]
 fn infeasible_matches_golden() {
     assert_matches_golden("infeasible", &pallas::corpus::infeasible());
 }

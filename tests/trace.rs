@@ -110,7 +110,7 @@ fn rule_layer_reports_every_rule_of_each_family() {
         .filter(|r| r.layer == Layer::Rule)
         .map(|r| r.name.as_str())
         .collect();
-    assert_eq!(rules.len(), 12, "twelve rules, one outcome event each: {rules:?}");
+    assert_eq!(rules.len(), 15, "fifteen rules, one outcome event each: {rules:?}");
 }
 
 /// The tentpole's performance contract: with tracing disabled, every
