@@ -8,6 +8,7 @@
 //! repro --findings         the §3 Findings 1-5 subtype report
 //! repro --timing           per-path checking time
 //! repro --scaling          rule-count scaling over registry prefixes
+//! repro --store-bench      cold / memory-warm / persistent-warm latency
 //! repro --all              everything, in paper order
 //! repro ... --stage-stats  append the engine's per-stage cost summary
 //! ```
@@ -33,7 +34,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     if args.is_empty() {
-        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --scaling | --all [--stage-stats]".into());
+        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --scaling | --store-bench | --all [--stage-stats]".into());
     }
     // Every occurrence of `--table N` / `--figure N`, in order.
     let values = |flag: &str| -> Result<Vec<u32>, String> {
@@ -93,6 +94,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         if args.iter().any(|a| a == "--scaling") {
             println!("{}", bench::rule_scaling_text());
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--store-bench") {
+            println!("{}", bench::store_bench_text());
             handled = true;
         }
     }

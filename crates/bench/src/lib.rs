@@ -14,11 +14,13 @@ pub mod ablation;
 pub mod eval;
 pub mod render;
 pub mod scaling;
+pub mod store_bench;
 
 pub use ablation::{
     ablation_text, depth_ablation, prune_ablation, DepthAblationRow, PruneAblationRow,
 };
 pub use scaling::{rule_scaling, rule_scaling_text, ScalingRow};
+pub use store_bench::store_bench_text;
 pub use eval::{evaluate, evaluate_in, evaluate_with, CorpusEval};
 pub use render::{
     accuracy_text, accuracy_text_in, figure_text, findings_text, prune_ablation_text,

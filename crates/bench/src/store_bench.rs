@@ -1,0 +1,149 @@
+//! Persistent-store benchmark: cold vs memory-warm vs persistent-warm
+//! latency over the Table 1 corpus, plus the on-disk footprint and the
+//! effect of compaction after content churn.
+//!
+//! Three phases run over the same corpus:
+//!
+//! 1. **cold** — a fresh engine with an empty store file: every unit
+//!    runs the full Merge→Parse→Spec→Extract→Check pipeline and is
+//!    persisted as it completes.
+//! 2. **memory-warm** — the same engine again: every unit is a
+//!    `BoundedCache` hit (Check re-runs; Extract does not).
+//! 3. **persistent-warm** — a brand-new engine on the populated store:
+//!    the memory cache starts empty, so every unit is answered from
+//!    disk with zero Extract/Check stage work.
+//!
+//! Afterwards the corpus is re-checked with one appended function per
+//! unit and then once more in original form, which supersedes the
+//! name-index records twice — realistic churn — and the report shows
+//! how much of the file compaction reclaims.
+
+use pallas_core::{Engine, EngineConfig};
+use pallas_corpus::CorpusUnit;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+fn check_all(engine: &Engine, corpus: &[CorpusUnit]) -> Duration {
+    let started = Instant::now();
+    for cu in corpus {
+        engine
+            .check_unit(&cu.unit)
+            .unwrap_or_else(|e| panic!("corpus unit {} failed: {e}", cu.name()));
+    }
+    started.elapsed()
+}
+
+fn store_engine(store: &Path) -> Engine {
+    Engine::with_engine_config(EngineConfig {
+        store_path: Some(store.to_path_buf()),
+        ..EngineConfig::default()
+    })
+}
+
+fn micros_per_unit(total: Duration, units: usize) -> u128 {
+    total.as_micros() / units.max(1) as u128
+}
+
+/// Runs the three-phase latency comparison and the churn/compaction
+/// measurement, and renders the result as a small text table.
+pub fn store_bench_text() -> String {
+    let dir = std::env::temp_dir().join(format!("pallas-store-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("bench.store");
+    let _ = std::fs::remove_file(&store);
+    let corpus = pallas_corpus::new_paths();
+    let units = corpus.len();
+
+    let engine = store_engine(&store);
+    let cold = check_all(&engine, &corpus);
+    let memory_warm = check_all(&engine, &corpus);
+    engine.flush_store().expect("flush");
+    let populated_bytes = engine.stats().store_file_bytes;
+    drop(engine);
+
+    let engine = store_engine(&store);
+    let persistent_warm = check_all(&engine, &corpus);
+    let warm_stats = engine.stats();
+
+    // Churn: one appended function per unit, then the originals again.
+    // Both passes rewrite the per-unit name-index records, leaving
+    // superseded (dead) bytes behind for compaction to reclaim.
+    let mutated: Vec<CorpusUnit> = corpus
+        .iter()
+        .map(|cu| {
+            let mut cu = cu.clone();
+            if let Some((_, contents)) = cu.unit.files.last_mut() {
+                contents.push_str("\nint __bench_probe(int x) {\n  return x + 1;\n}\n");
+            }
+            cu
+        })
+        .collect();
+    check_all(&engine, &mutated);
+    check_all(&engine, &corpus);
+    engine.flush_store().expect("flush");
+    drop(engine);
+
+    let (mut raw, _) = pallas_store::Store::open(&store).expect("reopen for compaction");
+    let dead_before = raw.dead_records();
+    let compacted = raw.compact().expect("compact");
+    drop(raw);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Store bench: {units} unit(s) over the Table 1 corpus.");
+    let _ = writeln!(out, "{:<16} {:>12} {:>14} {:>10}", "phase", "total (µs)", "per-unit (µs)", "disk hits");
+    let mut row = |phase: &str, total: Duration, hits: u64| {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>14} {:>10}",
+            phase,
+            total.as_micros(),
+            micros_per_unit(total, units),
+            hits
+        );
+    };
+    row("cold", cold, 0);
+    row("memory-warm", memory_warm, 0);
+    row("persistent-warm", persistent_warm, warm_stats.store_unit_hits);
+    let _ = writeln!(
+        out,
+        "store file: {populated_bytes} byte(s) after the cold run \
+         ({} unit(s) + {} function(s) resident)",
+        warm_stats.store_units_resident, warm_stats.store_functions_resident
+    );
+    let _ = writeln!(
+        out,
+        "churn left {dead_before} dead record(s); compaction {} -> {} byte(s) \
+         (dropped {})",
+        compacted.bytes_before, compacted.bytes_after, compacted.records_dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_bench_reports_all_three_phases_and_compaction() {
+        let text = store_bench_text();
+        assert!(text.contains("cold"), "{text}");
+        assert!(text.contains("memory-warm"), "{text}");
+        assert!(text.contains("persistent-warm"), "{text}");
+        assert!(text.contains("compaction"), "{text}");
+        // The persistent-warm phase must have answered every unit from
+        // disk: its row carries one disk hit per corpus unit.
+        let units = pallas_corpus::new_paths().len();
+        let warm_row = text
+            .lines()
+            .find(|l| l.starts_with("persistent-warm"))
+            .expect("persistent-warm row");
+        assert!(
+            warm_row.trim_end().ends_with(&units.to_string()),
+            "expected {units} disk hits in `{warm_row}`"
+        );
+        // Churn produces dead records, and compaction shrinks the file.
+        assert!(!text.contains("churn left 0 dead record(s)"), "{text}");
+    }
+}

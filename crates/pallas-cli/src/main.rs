@@ -4,8 +4,8 @@
 //! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
 //!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]
 //!              [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules]
-//!              [--no-prune] [--trace] [--trace-out <trace.json>]  run the checkers
-//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--no-prune] [--trace]  analysis daemon
+//!              [--store <file.store>] [--no-prune] [--trace] [--trace-out <trace.json>]  run the checkers
+//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--trace]  analysis daemon
 //! pallas client <socket> check <file.c>... [--spec S] [--only-rule R] [--disable-rule R] [--json]  check via a daemon
 //! pallas client <socket> stats|trace|shutdown|request <req.json>  daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
@@ -15,6 +15,7 @@
 //! pallas corpus [--set new-paths|known-bugs|examples|studied|new-bug-examples|infeasible|mined-rules] score the corpus
 //! pallas study [--table 2|3|4]                        study tables
 //! pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir D]  differential fuzzing
+//! pallas store <file.store> info|verify|gc|clear      inspect/maintain an analysis store
 //! ```
 //!
 //! `check` accepts several `.c` files at once — each becomes one unit
@@ -32,6 +33,13 @@
 //! prints byte-identical output to a local `check` while sharing the
 //! daemon's warm frontend cache, and `client trace` drains a
 //! `serve --trace` daemon's collector.
+//!
+//! `--store FILE` (on `check` and `serve`) layers the persistent
+//! content-addressed analysis store from `pallas-store` under the
+//! in-memory cache: results survive process restarts, and edited
+//! sources re-analyze only the functions whose content changed. The
+//! `pallas store` subcommand inspects (`info`), CRC-checks
+//! (`verify`), compacts (`gc`), or empties (`clear`) a store file.
 
 use pallas_core::{render_unit_report, score, Engine, EngineConfig, Pallas, Score, SourceUnit};
 use pallas_service::{Client, Server, ServiceConfig, Value};
@@ -67,6 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "corpus" => cmd_corpus(rest),
         "study" => cmd_study(rest),
         "fuzz" => cmd_fuzz(rest),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -80,8 +89,8 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
-         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--no-prune] [--trace]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules] [--store <file.store>] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
+         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--trace]\n\
          \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--only-rule R] [--disable-rule R] [--json]\n\
          \x20 pallas client <socket> stats | trace | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
@@ -90,7 +99,8 @@ fn print_usage() {
          \x20 pallas infer <file.c> --fast <f> --slow <g>\n\
          \x20 pallas corpus [--set new-paths|known-bugs|examples|studied|new-bug-examples|infeasible|mined-rules]\n\
          \x20 pallas study [--table 2|3|4]\n\
-         \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>]"
+         \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>]\n\
+         \x20 pallas store <file.store> info | verify | gc | clear"
     );
 }
 
@@ -131,8 +141,8 @@ fn load_unit(args: &[String]) -> Result<SourceUnit, String> {
 }
 
 /// Flags of `check` that consume the following argument.
-const CHECK_VALUE_FLAGS: [&str; 5] =
-    ["--spec", "--jobs", "--trace-out", "--only-rule", "--disable-rule"];
+const CHECK_VALUE_FLAGS: [&str; 6] =
+    ["--spec", "--jobs", "--trace-out", "--only-rule", "--disable-rule", "--store"];
 
 /// Boolean flags of `check`.
 const CHECK_BOOL_FLAGS: [&str; 7] =
@@ -294,6 +304,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             ..ExtractConfig::default()
         },
         rules: rule_selection(args)?,
+        store_path: flag_value(args, "--store").map(std::path::PathBuf::from),
         ..EngineConfig::default()
     });
     let mut failures = Vec::new();
@@ -331,6 +342,11 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--stage-stats") && !has_flag(args, "--tsv") && !has_flag(args, "--json") {
         print!("{}", pallas_core::render_engine_stats(&engine.stats()));
     }
+    // Make the run's results durable before exiting: a follow-up
+    // `check --store` (or `serve --store`) starts warm.
+    engine
+        .flush_store()
+        .map_err(|e| format!("cannot flush analysis store: {e}"))?;
     if tracing {
         let records = pallas_trace::stop();
         if let Some(path) = trace_out {
@@ -420,7 +436,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     validate_flags(
         "serve",
         args,
-        &["--workers", "--queue-depth", "--timeout-ms", "--only-rule", "--disable-rule"],
+        &["--workers", "--queue-depth", "--timeout-ms", "--only-rule", "--disable-rule", "--store"],
         &["--trace", "--no-prune"],
     )?;
     let socket = args
@@ -441,6 +457,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 ..ExtractConfig::default()
             },
             rules: rule_selection(args)?,
+            store_path: flag_value(args, "--store").map(std::path::PathBuf::from),
             ..defaults.engine.clone()
         },
         ..defaults
@@ -664,4 +681,72 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown study table `{other}`")),
     }
     Ok(())
+}
+
+/// Human-readable names for the store's record kinds (the numeric
+/// tags live in the engine's store layer).
+fn store_kind_name(kind: u8) -> &'static str {
+    match kind {
+        1 => "unit record(s)",
+        2 => "function record(s)",
+        3 => "unit name-index record(s)",
+        4 => "function name-index record(s)",
+        _ => "unknown-kind record(s)",
+    }
+}
+
+/// `pallas store <file.store> info|verify|gc|clear` — offline
+/// inspection and maintenance of a persistent analysis store.
+/// `info` and `verify` never modify the file; `gc` compacts dead
+/// (superseded) records away; `clear` empties the store.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing store file argument")?;
+    let action = args.get(1).map(String::as_str).unwrap_or("info");
+    match action {
+        "info" | "verify" => {
+            let report = pallas_store::Store::inspect(path)
+                .map_err(|e| format!("cannot read store `{path}`: {e}"))?;
+            println!(
+                "store `{path}`: {} byte(s), {} live record(s), {} dead record(s)",
+                report.file_bytes, report.live_records, report.dead_records
+            );
+            for (kind, count) in &report.live_by_kind {
+                println!("  {:>8} {}", count, store_kind_name(*kind));
+            }
+            match (&report.corruption, action) {
+                (Some(reason), "verify") => {
+                    Err(format!("store `{path}` failed verification: {reason}"))
+                }
+                (Some(reason), _) => {
+                    println!("  warning: {reason} (a future open will salvage the valid prefix)");
+                    Ok(())
+                }
+                (None, "verify") => {
+                    println!("store `{path}`: all record checksums verified");
+                    Ok(())
+                }
+                (None, _) => Ok(()),
+            }
+        }
+        "gc" => {
+            let (mut store, _) = pallas_store::Store::open(path)
+                .map_err(|e| format!("cannot open store `{path}`: {e}"))?;
+            let report =
+                store.compact().map_err(|e| format!("cannot compact store `{path}`: {e}"))?;
+            println!(
+                "store `{path}`: compacted {} -> {} byte(s), dropped {} dead record(s)",
+                report.bytes_before, report.bytes_after, report.records_dropped
+            );
+            Ok(())
+        }
+        "clear" => {
+            let (mut store, _) = pallas_store::Store::open(path)
+                .map_err(|e| format!("cannot open store `{path}`: {e}"))?;
+            let records = store.len();
+            store.clear().map_err(|e| format!("cannot clear store `{path}`: {e}"))?;
+            println!("store `{path}`: cleared {records} live record(s)");
+            Ok(())
+        }
+        other => Err(format!("unknown store action `{other}` (try info|verify|gc|clear)")),
+    }
 }

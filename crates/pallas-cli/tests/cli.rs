@@ -428,3 +428,94 @@ fn fuzz_dump_prints_unit_and_requires_unit_seed() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--unit-seed"));
 }
+
+#[test]
+fn check_store_restart_is_byte_identical_and_inspectable() {
+    let src = write_temp("store.c", BUGGY);
+    let spec = write_temp("store.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let store = std::env::temp_dir().join("pallas-cli-tests").join("cli.store");
+    let _ = std::fs::remove_file(&store);
+    let run = || {
+        pallas(&[
+            "check",
+            src.to_str().unwrap(),
+            "--spec",
+            spec.to_str().unwrap(),
+            "--json",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{}", String::from_utf8_lossy(&cold.stderr));
+    let warm = run();
+    assert!(warm.status.success());
+    assert_eq!(cold.stdout, warm.stdout, "persistent-warm run must be byte-identical");
+
+    let info = pallas(&["store", store.to_str().unwrap(), "info"]);
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("live record(s)"), "{text}");
+    assert!(text.contains("unit record(s)"), "{text}");
+    assert!(text.contains("function record(s)"), "{text}");
+
+    let verify = pallas(&["store", store.to_str().unwrap(), "verify"]);
+    assert!(verify.status.success(), "{}", String::from_utf8_lossy(&verify.stderr));
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("all record checksums verified"));
+
+    let gc = pallas(&["store", store.to_str().unwrap(), "gc"]);
+    assert!(gc.status.success());
+    assert!(String::from_utf8_lossy(&gc.stdout).contains("compacted"));
+
+    let clear = pallas(&["store", store.to_str().unwrap(), "clear"]);
+    assert!(clear.status.success());
+    let info = pallas(&["store", store.to_str().unwrap(), "info"]);
+    assert!(String::from_utf8_lossy(&info.stdout).contains("0 live record(s)"));
+}
+
+#[test]
+fn store_verify_fails_on_a_corrupt_file_and_rejects_unknown_actions() {
+    let path = write_temp("corrupt.store", "");
+    // A valid header followed by garbage payload bytes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"PLSTORE1");
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    std::fs::write(&path, &bytes).unwrap();
+    let out = pallas(&["store", path.to_str().unwrap(), "verify"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("failed verification"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // `info` reports the same corruption without failing.
+    let out = pallas(&["store", path.to_str().unwrap(), "info"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning:"));
+
+    let out = pallas(&["store", path.to_str().unwrap(), "shred"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown store action"));
+}
+
+#[test]
+fn check_stage_stats_reports_store_residency() {
+    let src = write_temp("storestats.c", BUGGY);
+    let spec = write_temp("storestats.pallas", "fastpath alloc_fast; immutable gfp_mask;");
+    let store = std::env::temp_dir().join("pallas-cli-tests").join("stats.store");
+    let _ = std::fs::remove_file(&store);
+    let out = pallas(&[
+        "check",
+        src.to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--stage-stats",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("disk"), "{text}");
+    assert!(!text.contains("(no store configured)"), "{text}");
+}

@@ -39,20 +39,26 @@
 //! ```
 
 pub mod cache;
+mod codec;
 pub mod fingerprint;
 pub mod schedule;
+mod store_layer;
+
+pub use store_layer::STORE_FORMAT_VERSION;
 
 use crate::pipeline::{AnalyzedUnit, PallasError, PallasErrorKind};
 use crate::unit::{MergeMap, SourceUnit};
 use cache::BoundedCache;
-use pallas_checkers::{run_rules_timed, CheckContext, RuleSet};
+use pallas_checkers::{run_rules_timed, CheckContext, RuleSet, Warning};
 use pallas_lang::{parse, Ast};
 use pallas_spec::{parse_pragma, parse_spec, FastPathSpec};
-use pallas_sym::{extract, ExtractConfig, PathDb};
+use pallas_sym::{extract, ExtractConfig, FunctionExtractor, PathDb};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use store_layer::StoreLayer;
 
 /// The five pipeline stages, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -123,6 +129,16 @@ pub struct EngineConfig {
     /// holders (the `pallas-service` daemon) must keep this bounded
     /// or distinct units grow the process without limit.
     pub cache_capacity: usize,
+    /// Path of the persistent analysis store, layered *under* the
+    /// in-memory cache: memory hit → disk hit → compute-and-persist.
+    /// `None` (the default) disables persistence. The store is keyed
+    /// by the same content fingerprints as the memory cache (extended
+    /// with [`STORE_FORMAT_VERSION`] and per-function content hashes),
+    /// so persisted results are exactly the ones a fresh computation
+    /// would produce; a store that fails to open or turns out corrupt
+    /// degrades to recomputation with a warning on stderr, never an
+    /// error or a wrong answer.
+    pub store_path: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +147,7 @@ impl Default for EngineConfig {
             extract: ExtractConfig::default(),
             rules: RuleSet::all(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            store_path: None,
         }
     }
 }
@@ -177,6 +194,34 @@ pub struct EngineStats {
     /// Cumulative warnings emitted per registry rule, in
     /// [`pallas_checkers::Rule::ALL`] order (post-dedup counts).
     pub rule_warnings: [u64; pallas_checkers::Rule::ALL.len()],
+    /// Whether a persistent store is configured
+    /// ([`EngineConfig::store_path`]). All `store_*` counters stay 0
+    /// when it is not.
+    pub store_enabled: bool,
+    /// Unit outcomes served from the persistent store (memory-cache
+    /// misses answered from disk with zero Extract/Check work).
+    pub store_unit_hits: u64,
+    /// Memory-cache misses the store had never seen (unknown unit
+    /// name).
+    pub store_unit_misses: u64,
+    /// Memory-cache misses where the store knew the unit name but its
+    /// content fingerprint had changed — the incremental-recheck case.
+    pub store_unit_stale: u64,
+    /// Functions reused from per-function store records during Extract
+    /// (only changed functions re-extract on a stale unit).
+    pub store_func_hits: u64,
+    /// Functions extracted because the store had never seen them.
+    pub store_func_misses: u64,
+    /// Functions re-extracted because their content hash changed.
+    pub store_func_stale: u64,
+    /// Unit records currently live in the store.
+    pub store_units_resident: u64,
+    /// Function records currently live in the store.
+    pub store_functions_resident: u64,
+    /// Store log size in bytes.
+    pub store_file_bytes: u64,
+    /// Store compactions performed by this process.
+    pub store_compactions: u64,
 }
 
 impl EngineStats {
@@ -234,6 +279,12 @@ struct Counters {
     checks: AtomicU64,
     paths_enumerated: AtomicU64,
     paths_pruned: AtomicU64,
+    store_unit_hits: AtomicU64,
+    store_unit_misses: AtomicU64,
+    store_unit_stale: AtomicU64,
+    store_func_hits: AtomicU64,
+    store_func_misses: AtomicU64,
+    store_func_stale: AtomicU64,
     stage_nanos: [AtomicU64; 5],
     rule_warnings: [AtomicU64; pallas_checkers::Rule::ALL.len()],
 }
@@ -242,6 +293,7 @@ struct Counters {
 struct EngineInner {
     config: EngineConfig,
     cache: Mutex<BoundedCache<u64, Arc<Frontend>>>,
+    store: Option<Mutex<StoreLayer>>,
     counters: Counters,
 }
 
@@ -273,11 +325,40 @@ impl Engine {
     }
 
     /// An engine with full engine-level configuration, including the
-    /// frontend cache bound.
+    /// frontend cache bound and the optional persistent store. A store
+    /// that cannot be opened (or had to be salvaged) is reported on
+    /// stderr and the engine degrades to recomputation — construction
+    /// never fails over persistence.
     pub fn with_engine_config(config: EngineConfig) -> Self {
+        let store = config.store_path.as_ref().and_then(|path| {
+            match StoreLayer::open(path) {
+                Ok((layer, report)) => {
+                    if let Some(recovery) = &report.recovery {
+                        eprintln!(
+                            "pallas: warning: analysis store {}: {} — dropped {} byte(s){}; \
+                             affected results will be recomputed",
+                            path.display(),
+                            recovery.reason,
+                            recovery.dropped_bytes,
+                            if recovery.reset { " (store reset)" } else { "" },
+                        );
+                    }
+                    Some(Mutex::new(layer))
+                }
+                Err(err) => {
+                    eprintln!(
+                        "pallas: warning: cannot open analysis store {}: {err}; \
+                         continuing without persistence",
+                        path.display(),
+                    );
+                    None
+                }
+            }
+        });
         Engine {
             inner: Arc::new(EngineInner {
                 cache: Mutex::new(BoundedCache::new(config.cache_capacity)),
+                store,
                 config,
                 counters: Counters::default(),
             }),
@@ -313,6 +394,16 @@ impl Engine {
             let cache = self.inner.cache.lock().expect("engine cache");
             (cache.evictions(), cache.len() as u64)
         };
+        let (store_units, store_functions, store_bytes, store_compactions) =
+            match self.inner.store.as_ref().and_then(|s| s.lock().ok()) {
+                Some(store) => (
+                    store.units_resident(),
+                    store.functions_resident(),
+                    store.file_bytes(),
+                    store.compactions(),
+                ),
+                None => (0, 0, 0, 0),
+            };
         EngineStats {
             units_checked: load(&c.units_checked),
             cache_hits: load(&c.cache_hits),
@@ -335,7 +426,34 @@ impl Engine {
                 load(&c.stage_nanos[4]),
             ],
             rule_warnings: std::array::from_fn(|i| load(&c.rule_warnings[i])),
+            store_enabled: self.inner.store.is_some(),
+            store_unit_hits: load(&c.store_unit_hits),
+            store_unit_misses: load(&c.store_unit_misses),
+            store_unit_stale: load(&c.store_unit_stale),
+            store_func_hits: load(&c.store_func_hits),
+            store_func_misses: load(&c.store_func_misses),
+            store_func_stale: load(&c.store_func_stale),
+            store_units_resident: store_units,
+            store_functions_resident: store_functions,
+            store_file_bytes: store_bytes,
+            store_compactions,
         }
+    }
+
+    /// Fsyncs the persistent store, if one is configured. Called on
+    /// graceful shutdown (daemon drain, end of a CLI run); appends are
+    /// already written through, this makes them crash-durable.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        if let Some(store) = &self.inner.store {
+            let guard = store
+                .lock()
+                .map_err(|_| std::io::Error::other("store poisoned"))?;
+            if pallas_trace::enabled() {
+                pallas_trace::instant(pallas_trace::Layer::Store, "store-flush", vec![]);
+            }
+            guard.flush()?;
+        }
+        Ok(())
     }
 
     /// Number of frontends currently cached.
@@ -387,6 +505,14 @@ impl Engine {
                 vec![("fingerprint", pallas_trace::AttrValue::U64(key))],
             );
         }
+        // The store layer sits under the memory cache: a memory miss
+        // first consults the disk record (zero Extract/Check work on a
+        // hit); a disk miss computes and persists. `disk_warnings`
+        // carries a disk hit's finished warnings past the Check stage;
+        // `persist_keys` carries a computed unit's function keys to the
+        // persist step after Check.
+        let mut disk_warnings: Option<Vec<Warning>> = None;
+        let mut persist_keys: Option<Vec<u64>> = None;
         let frontend = match cached {
             Some(frontend) => {
                 counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -397,36 +523,80 @@ impl Engine {
             }
             None => {
                 counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                let frontend = Arc::new(self.build_frontend(unit, &mut timings)?);
-                let mut cache = self.inner.cache.lock().expect("engine cache");
-                let evictions_before = cache.evictions();
-                cache.insert(key, Arc::clone(&frontend));
-                let evicted = cache.evictions() - evictions_before;
-                drop(cache);
-                if evicted > 0 && pallas_trace::enabled() {
-                    pallas_trace::instant(
-                        pallas_trace::Layer::Cache,
-                        "cache-evict",
-                        vec![("evicted", pallas_trace::AttrValue::U64(evicted))],
-                    );
+                match self.store_unit_lookup(unit, key) {
+                    Some((functions, warnings)) => {
+                        // Disk hit: re-run only the cheap base stages
+                        // (the AST feeds reports), splice the stored
+                        // path database and warnings in, and mark
+                        // Extract/Check as served-from-cache.
+                        let (merged_src, merge_map, ast, spec) =
+                            self.build_base(unit, &mut timings)?;
+                        let mut db = PathDb::new(unit.name.clone());
+                        for fp in functions {
+                            db.insert(fp);
+                        }
+                        timings.push(StageTiming {
+                            stage: Stage::Extract,
+                            elapsed: Duration::ZERO,
+                            cached: true,
+                        });
+                        disk_warnings = Some(warnings);
+                        let frontend =
+                            Arc::new(Frontend { merged_src, merge_map, ast, spec, db });
+                        self.cache_frontend(key, &frontend);
+                        frontend
+                    }
+                    None => {
+                        let (frontend, func_keys) = self.build_frontend(unit, &mut timings)?;
+                        persist_keys = func_keys;
+                        let frontend = Arc::new(frontend);
+                        self.cache_frontend(key, &frontend);
+                        frontend
+                    }
                 }
-                frontend
             }
         };
-        let check_span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Check.name());
-        let check_started = Instant::now();
-        let (warnings, checker_timings) = run_rules_timed(
-            &CheckContext { db: &frontend.db, spec: &frontend.spec, ast: &frontend.ast },
-            rules,
-        );
-        let lint = frontend.spec.lint();
-        drop(check_span);
-        counters.checks.fetch_add(1, Ordering::Relaxed);
-        timings.push(StageTiming {
-            stage: Stage::Check,
-            elapsed: check_started.elapsed(),
-            cached: false,
-        });
+        let (warnings, checker_timings, lint) = match disk_warnings {
+            Some(warnings) => {
+                // The stored warnings are the Check stage's exact
+                // output for this fingerprint (rule set included), so
+                // Check is served from the store like Extract.
+                timings.push(StageTiming {
+                    stage: Stage::Check,
+                    elapsed: Duration::ZERO,
+                    cached: true,
+                });
+                let lint = frontend.spec.lint();
+                (warnings, Vec::new(), lint)
+            }
+            None => {
+                let check_span =
+                    pallas_trace::span(pallas_trace::Layer::Stage, Stage::Check.name());
+                let check_started = Instant::now();
+                let (warnings, checker_timings) = run_rules_timed(
+                    &CheckContext {
+                        db: &frontend.db,
+                        spec: &frontend.spec,
+                        ast: &frontend.ast,
+                    },
+                    rules,
+                );
+                let lint = frontend.spec.lint();
+                drop(check_span);
+                counters.checks.fetch_add(1, Ordering::Relaxed);
+                timings.push(StageTiming {
+                    stage: Stage::Check,
+                    elapsed: check_started.elapsed(),
+                    cached: false,
+                });
+                (warnings, checker_timings, lint)
+            }
+        };
+        if let (Some(func_keys), Some(store)) = (&persist_keys, &self.inner.store) {
+            if let Ok(mut guard) = store.lock() {
+                guard.put_unit(store_layer::unit_key(key), &unit.name, key, func_keys, &warnings);
+            }
+        }
         for w in &warnings {
             if let Some(idx) =
                 pallas_checkers::Rule::ALL.iter().position(|&r| r == w.rule)
@@ -534,12 +704,179 @@ impl Engine {
             .collect()
     }
 
+    /// Inserts a built (or disk-restored) frontend into the memory
+    /// cache, reporting evictions to the tracer.
+    fn cache_frontend(&self, key: u64, frontend: &Arc<Frontend>) {
+        let mut cache = self.inner.cache.lock().expect("engine cache");
+        let evictions_before = cache.evictions();
+        cache.insert(key, Arc::clone(frontend));
+        let evicted = cache.evictions() - evictions_before;
+        drop(cache);
+        if evicted > 0 && pallas_trace::enabled() {
+            pallas_trace::instant(
+                pallas_trace::Layer::Cache,
+                "cache-evict",
+                vec![("evicted", pallas_trace::AttrValue::U64(evicted))],
+            );
+        }
+    }
+
+    /// Consults the persistent store for a complete unit outcome,
+    /// classifying the miss (never seen vs stale content) for the
+    /// counters. Returns the unit's function path sets (source order)
+    /// plus its warnings on a hit.
+    fn store_unit_lookup(
+        &self,
+        unit: &SourceUnit,
+        fingerprint: u64,
+    ) -> Option<(Vec<pallas_sym::FunctionPaths>, Vec<Warning>)> {
+        let store = self.inner.store.as_ref()?;
+        let counters = &self.inner.counters;
+        let guard = store.lock().ok()?;
+        let outcome = guard.get_unit(store_layer::unit_key(fingerprint)).and_then(
+            |(func_keys, warnings)| {
+                let mut functions = Vec::with_capacity(func_keys.len());
+                for k in func_keys {
+                    functions.push(guard.get_function_record(k)?);
+                }
+                Some((functions, warnings))
+            },
+        );
+        let event = match &outcome {
+            Some(_) => {
+                counters.store_unit_hits.fetch_add(1, Ordering::Relaxed);
+                "store-hit"
+            }
+            None => match guard.last_unit_fingerprint(&unit.name) {
+                Some(last) if last != fingerprint => {
+                    counters.store_unit_stale.fetch_add(1, Ordering::Relaxed);
+                    "store-stale"
+                }
+                _ => {
+                    counters.store_unit_misses.fetch_add(1, Ordering::Relaxed);
+                    "store-miss"
+                }
+            },
+        };
+        drop(guard);
+        if pallas_trace::enabled() {
+            pallas_trace::instant(
+                pallas_trace::Layer::Store,
+                event,
+                vec![("fingerprint", pallas_trace::AttrValue::U64(fingerprint))],
+            );
+        }
+        outcome
+    }
+
     /// Runs the four frontend stages, recording a timing per stage.
+    /// With a store configured, Extract reuses per-function records
+    /// whose content hash is unchanged, re-extracting (and persisting)
+    /// only the rest; the returned keys (one per function, source
+    /// order) feed the unit record persisted after Check.
     fn build_frontend(
         &self,
         unit: &SourceUnit,
         timings: &mut Vec<StageTiming>,
-    ) -> Result<Frontend, PallasError> {
+    ) -> Result<(Frontend, Option<Vec<u64>>), PallasError> {
+        let counters = &self.inner.counters;
+        let (merged_src, merge_map, ast, spec) = self.build_base(unit, timings)?;
+
+        let mut span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Extract.name());
+        let t = Instant::now();
+        counters.extracts.fetch_add(1, Ordering::Relaxed);
+        let (db, func_keys) = match &self.inner.store {
+            Some(store) => {
+                let keys = store_layer::function_content_keys(
+                    &ast,
+                    &merged_src,
+                    &self.inner.config.extract,
+                );
+                let mut fx =
+                    FunctionExtractor::new(&ast, &merged_src, &self.inner.config.extract);
+                let mut db = PathDb::new(unit.name.clone());
+                for (name, fkey) in &keys {
+                    let reused =
+                        store.lock().ok().and_then(|g| g.get_function(*fkey, name));
+                    match reused {
+                        Some(fp) => {
+                            counters.store_func_hits.fetch_add(1, Ordering::Relaxed);
+                            if pallas_trace::enabled() {
+                                pallas_trace::instant(
+                                    pallas_trace::Layer::Store,
+                                    "store-func-hit",
+                                    vec![(
+                                        "function",
+                                        pallas_trace::AttrValue::Str(name.clone()),
+                                    )],
+                                );
+                            }
+                            db.insert(fp);
+                        }
+                        None => {
+                            let stale = store
+                                .lock()
+                                .ok()
+                                .and_then(|g| g.last_function_key(&unit.name, name))
+                                .is_some_and(|last| last != *fkey);
+                            let counter = if stale {
+                                &counters.store_func_stale
+                            } else {
+                                &counters.store_func_misses
+                            };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            if pallas_trace::enabled() {
+                                pallas_trace::instant(
+                                    pallas_trace::Layer::Store,
+                                    if stale { "store-func-stale" } else { "store-func-miss" },
+                                    vec![(
+                                        "function",
+                                        pallas_trace::AttrValue::Str(name.clone()),
+                                    )],
+                                );
+                            }
+                            let fp = fx.extract_function(name);
+                            counters
+                                .paths_enumerated
+                                .fetch_add(fp.records.len() as u64, Ordering::Relaxed);
+                            counters
+                                .paths_pruned
+                                .fetch_add(fp.pruned as u64, Ordering::Relaxed);
+                            if let Ok(mut guard) = store.lock() {
+                                guard.put_function(*fkey, &fp, &unit.name);
+                            }
+                            db.insert(fp);
+                        }
+                    }
+                }
+                (db, Some(keys.into_iter().map(|(_, k)| k).collect()))
+            }
+            None => {
+                let db = extract(&unit.name, &ast, &merged_src, &self.inner.config.extract);
+                counters
+                    .paths_enumerated
+                    .fetch_add(db.path_count() as u64, Ordering::Relaxed);
+                counters.paths_pruned.fetch_add(db.pruned_paths() as u64, Ordering::Relaxed);
+                (db, None)
+            }
+        };
+        timings.push(StageTiming { stage: Stage::Extract, elapsed: t.elapsed(), cached: false });
+        span.attr_u64("functions", db.functions.len() as u64);
+        span.attr_u64("paths", db.path_count() as u64);
+        span.attr_u64("pruned", db.pruned_paths() as u64);
+        drop(span);
+
+        Ok((Frontend { merged_src, merge_map, ast, spec, db }, func_keys))
+    }
+
+    /// Runs the Merge, Parse, and Spec stages — the cheap part of the
+    /// frontend that re-runs even on a persistent-store hit (reports
+    /// need the AST and spec; only Extract and Check are persisted).
+    fn build_base(
+        &self,
+        unit: &SourceUnit,
+        timings: &mut Vec<StageTiming>,
+    ) -> Result<(String, MergeMap, Ast, FastPathSpec), PallasError> {
         let counters = &self.inner.counters;
         let stage = |s: Stage, timings: &mut Vec<StageTiming>, elapsed: Duration| {
             timings.push(StageTiming { stage: s, elapsed, cached: false });
@@ -583,19 +920,7 @@ impl Engine {
         stage(Stage::Spec, timings, t.elapsed());
         drop(span);
 
-        let mut span = pallas_trace::span(pallas_trace::Layer::Stage, Stage::Extract.name());
-        let t = Instant::now();
-        counters.extracts.fetch_add(1, Ordering::Relaxed);
-        let db = extract(&unit.name, &ast, &merged_src, &self.inner.config.extract);
-        counters.paths_enumerated.fetch_add(db.path_count() as u64, Ordering::Relaxed);
-        counters.paths_pruned.fetch_add(db.pruned_paths() as u64, Ordering::Relaxed);
-        stage(Stage::Extract, timings, t.elapsed());
-        span.attr_u64("functions", db.functions.len() as u64);
-        span.attr_u64("paths", db.path_count() as u64);
-        span.attr_u64("pruned", db.pruned_paths() as u64);
-        drop(span);
-
-        Ok(Frontend { merged_src, merge_map, ast, spec, db })
+        Ok((merged_src, merge_map, ast, spec))
     }
 }
 
@@ -784,5 +1109,184 @@ mod tests {
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.cache_misses, 2);
         assert_eq!(stats.cached_frontends, 0);
+    }
+
+    /// A scratch store path under the system temp dir; the returned
+    /// guard removes the directory on drop.
+    fn store_path(tag: &str) -> (PathBuf, impl Drop) {
+        struct Cleanup(PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+        let dir = std::env::temp_dir()
+            .join(format!("pallas-engine-store-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        (dir.join("analysis.store"), Cleanup(dir))
+    }
+
+    fn store_engine(path: &PathBuf) -> Engine {
+        Engine::with_engine_config(EngineConfig {
+            store_path: Some(path.clone()),
+            ..EngineConfig::default()
+        })
+    }
+
+    fn buggy_unit() -> SourceUnit {
+        SourceUnit::new("persist")
+            .with_file(
+                "p.c",
+                "int helper(int x) { return x + 1; }\n\
+                 int lone(int m) { return m * 2; }\n\
+                 int fast(int m) { m = helper(m); return 0; }\n",
+            )
+            .with_spec("fastpath fast; immutable m; fault dead;")
+    }
+
+    #[test]
+    fn persistent_store_serves_a_fresh_engine_from_disk() {
+        let (path, _cleanup) = store_path("warm");
+        let unit = buggy_unit();
+        let cold = {
+            let engine = store_engine(&path);
+            let analyzed = engine.check_unit(&unit).unwrap();
+            let stats = engine.stats();
+            assert_eq!(stats.store_unit_hits, 0);
+            assert_eq!(stats.store_unit_misses, 1);
+            assert_eq!(stats.store_func_misses, 3);
+            assert!(stats.store_units_resident == 1 && stats.store_functions_resident == 3);
+            engine.flush_store().unwrap();
+            analyzed
+        };
+        // A brand-new engine (fresh process state) on the same store:
+        // the whole unit comes back from disk with zero Extract/Check
+        // stage work.
+        let engine = store_engine(&path);
+        let warm = engine.check_unit(&unit).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.store_unit_hits, 1, "{stats:?}");
+        assert_eq!(stats.extracts, 0, "extract must not run on a store hit");
+        assert_eq!(stats.checks, 0, "check must not run on a store hit");
+        assert_eq!(stats.paths_enumerated, 0);
+        assert_eq!(stats.merges, 1, "base stages still run");
+        let by_stage = |a: &AnalyzedUnit, s: Stage| {
+            a.stage_timings.iter().find(|t| t.stage == s).copied().unwrap()
+        };
+        assert!(by_stage(&warm, Stage::Extract).cached);
+        assert!(by_stage(&warm, Stage::Check).cached);
+        assert!(!by_stage(&warm, Stage::Parse).cached);
+        // Persisted results are the computed results, exactly.
+        assert_eq!(warm.warnings, cold.warnings);
+        assert_eq!(warm.db, cold.db);
+        assert_eq!(crate::report::render_ndjson(&warm), crate::report::render_ndjson(&cold));
+        assert_eq!(
+            crate::report::render_unit_report(&warm),
+            crate::report::render_unit_report(&cold)
+        );
+        // And the warm engine's memory cache was seeded from disk.
+        engine.check_unit(&unit).unwrap();
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.stats().store_unit_hits, 1, "memory hit skips the store");
+    }
+
+    #[test]
+    fn mutating_one_function_recomputes_only_that_function() {
+        let (path, _cleanup) = store_path("mutate");
+        store_engine(&path).check_unit(&buggy_unit()).unwrap();
+
+        // Edit `lone`, which no other function references: the unit is
+        // stale (fingerprint changed) but only `lone` re-extracts.
+        let mut edited = buggy_unit();
+        edited.files[0].1 = edited.files[0].1.replace("m * 2", "m * 3");
+        let engine = store_engine(&path);
+        let analyzed = engine.check_unit(&edited).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.store_unit_hits, 0);
+        assert_eq!(stats.store_unit_stale, 1, "known unit, changed content: {stats:?}");
+        assert_eq!(stats.store_func_hits, 2, "helper and fast are unchanged");
+        assert_eq!(stats.store_func_stale, 1, "only lone re-extracts");
+        assert_eq!(stats.store_func_misses, 0);
+        assert_eq!(stats.checks, 1, "warnings re-run over the reassembled db");
+
+        // The incremental result is exactly what a from-scratch engine
+        // computes.
+        let scratch = Engine::new().check_unit(&edited).unwrap();
+        assert_eq!(analyzed.warnings, scratch.warnings);
+        assert_eq!(analyzed.db, scratch.db);
+        assert_eq!(
+            crate::report::render_ndjson(&analyzed),
+            crate::report::render_ndjson(&scratch)
+        );
+    }
+
+    #[test]
+    fn spec_only_change_reuses_every_function() {
+        let (path, _cleanup) = store_path("spec");
+        store_engine(&path).check_unit(&buggy_unit()).unwrap();
+        let mut respecced = buggy_unit();
+        respecced.spec_text = "fastpath fast; immutable m;".into();
+        let engine = store_engine(&path);
+        engine.check_unit(&respecced).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.store_unit_stale, 1);
+        assert_eq!(stats.store_func_hits, 3, "extraction is spec-independent: {stats:?}");
+        assert_eq!(stats.paths_enumerated, 0);
+    }
+
+    #[test]
+    fn corrupted_store_degrades_to_recompute_with_identical_results() {
+        let (path, _cleanup) = store_path("corrupt");
+        let unit = buggy_unit();
+        store_engine(&path).check_unit(&unit).unwrap();
+        // Flip a byte in the middle of the log: the salvage scan drops
+        // the corrupt suffix and the engine recomputes it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let engine = store_engine(&path);
+        let recovered = engine.check_unit(&unit).unwrap();
+        let scratch = Engine::new().check_unit(&unit).unwrap();
+        assert_eq!(recovered.warnings, scratch.warnings);
+        assert_eq!(
+            crate::report::render_ndjson(&recovered),
+            crate::report::render_ndjson(&scratch)
+        );
+        assert_eq!(engine.stats().store_unit_hits, 0, "corrupt records never serve hits");
+        // The recompute re-persisted everything: a third engine is warm.
+        let warm = store_engine(&path);
+        warm.check_unit(&unit).unwrap();
+        assert_eq!(warm.stats().store_unit_hits, 1);
+    }
+
+    #[test]
+    fn unopenable_store_path_disables_persistence_without_failing() {
+        let engine = Engine::with_engine_config(EngineConfig {
+            store_path: Some(PathBuf::from("/nonexistent-dir/analysis.store")),
+            ..EngineConfig::default()
+        });
+        let analyzed = engine.check_unit(&buggy_unit()).unwrap();
+        assert!(!analyzed.warnings.is_empty());
+        assert!(!engine.stats().store_enabled);
+    }
+
+    #[test]
+    fn rule_selection_keys_store_records_apart() {
+        use pallas_checkers::Rule;
+        let (path, _cleanup) = store_path("rules");
+        let unit = buggy_unit();
+        store_engine(&path).check_unit(&unit).unwrap();
+        // A scoped engine must not reuse the full-rule unit record.
+        let scoped = Engine::with_engine_config(EngineConfig {
+            store_path: Some(path.clone()),
+            rules: RuleSet::only([Rule::ImmutableOverwrite]),
+            ..EngineConfig::default()
+        });
+        let analyzed = scoped.check_unit(&unit).unwrap();
+        assert_eq!(scoped.stats().store_unit_hits, 0);
+        assert!(analyzed.warnings.iter().all(|w| w.rule == Rule::ImmutableOverwrite));
+        // But per-function records are selection-independent.
+        assert_eq!(scoped.stats().store_func_hits, 3);
     }
 }

@@ -28,7 +28,7 @@ pub mod report;
 pub mod truth;
 pub mod unit;
 
-pub use engine::{Engine, EngineConfig, EngineStats, Stage, StageTiming};
+pub use engine::{Engine, EngineConfig, EngineStats, Stage, StageTiming, STORE_FORMAT_VERSION};
 pub use pipeline::{AnalyzedUnit, Pallas, PallasError, PallasErrorKind};
 pub use report::{
     finding_json, json_escape, render_engine_stats, render_ndjson, render_stage_stats,

@@ -191,7 +191,8 @@ pub fn render_ndjson(unit: &AnalyzedUnit) -> String {
 }
 
 /// Renders an engine's cumulative counters: units checked, cache
-/// behaviour, and per-stage invocation counts with total time.
+/// behaviour (memory and disk layers in one labelled table), and
+/// per-stage invocation counts with total time.
 pub fn render_engine_stats(stats: &EngineStats) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -201,9 +202,47 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
     );
     let _ = writeln!(
         out,
-        "  cache: {}/{} frontend(s) resident",
-        stats.cached_frontends, stats.cache_capacity
+        "  {:<7} {:>8} {:>8} {:>8}  residency",
+        "cache:", "hit(s)", "miss(es)", "stale"
     );
+    let _ = writeln!(
+        out,
+        "  {:<7} {:>8} {:>8} {:>8}  {}/{} frontend(s) resident",
+        "memory",
+        stats.cache_hits,
+        stats.cache_misses,
+        "-",
+        stats.cached_frontends,
+        stats.cache_capacity
+    );
+    if stats.store_enabled {
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>8} {:>8} {:>8}  {} unit(s) + {} function(s), {} byte(s)",
+            "disk",
+            stats.store_unit_hits,
+            stats.store_unit_misses,
+            stats.store_unit_stale,
+            stats.store_units_resident,
+            stats.store_functions_resident,
+            stats.store_file_bytes
+        );
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>8} {:>8} {:>8}  {} compaction(s)",
+            "  func",
+            stats.store_func_hits,
+            stats.store_func_misses,
+            stats.store_func_stale,
+            stats.store_compactions
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>8} {:>8} {:>8}  (no store configured)",
+            "disk", "-", "-", "-"
+        );
+    }
     let _ = writeln!(
         out,
         "  paths: {} enumerated, {} arm(s) pruned as infeasible",
@@ -317,6 +356,33 @@ mod tests {
         let text = render_engine_stats(&engine.stats());
         assert!(text.contains("2 unit-check(s), 1 cache hit(s), 1 miss(es)"), "{text}");
         assert!(text.contains("extract"), "{text}");
+        assert!(text.contains("(no store configured)"), "{text}");
+    }
+
+    #[test]
+    fn engine_stats_report_renders_the_disk_cache_rows() {
+        let stats = crate::engine::EngineStats {
+            units_checked: 3,
+            cache_misses: 3,
+            store_enabled: true,
+            store_unit_hits: 1,
+            store_unit_misses: 1,
+            store_unit_stale: 1,
+            store_func_hits: 4,
+            store_func_misses: 2,
+            store_func_stale: 1,
+            store_units_resident: 3,
+            store_functions_resident: 7,
+            store_file_bytes: 4096,
+            store_compactions: 1,
+            ..Default::default()
+        };
+        let text = render_engine_stats(&stats);
+        assert!(text.contains("memory"), "{text}");
+        assert!(text.contains("disk"), "{text}");
+        assert!(text.contains("3 unit(s) + 7 function(s), 4096 byte(s)"), "{text}");
+        assert!(text.contains("1 compaction(s)"), "{text}");
+        assert!(!text.contains("(no store configured)"), "{text}");
     }
 
     #[test]

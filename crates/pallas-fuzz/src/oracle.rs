@@ -8,6 +8,8 @@
 //! | `pipeline`        | the unit analyzes without a `PallasError`    |
 //! | `pretty-fixpoint` | `print(parse(print(ast)))` is a fixpoint     |
 //! | `engine-cold-warm`| cold, warm, and facade NDJSON byte-identical |
+//! | `store-cold-warm` | persistent-warm NDJSON byte-identical across a process-state drop |
+//! | `store-incremental`| appending one function recomputes only that function |
 //! | `daemon`          | daemon `check` NDJSON byte-identical         |
 //! | `meta-rename`     | NDJSON byte-identical after suffix strip     |
 //! | `meta-churn`      | NDJSON byte-identical                        |
@@ -40,6 +42,12 @@ pub enum Oracle {
     PrettyFixpoint,
     /// Cold, warm, and facade runs disagreed.
     EngineColdWarm,
+    /// A fresh engine on the populated store disagreed with the cold
+    /// run, or served the unit with nonzero Extract/Check work.
+    StoreColdWarm,
+    /// Appending one new function re-analyzed more than that function,
+    /// or the incremental result differed from a from-scratch run.
+    StoreIncremental,
     /// The daemon's NDJSON differed from the local run.
     DaemonIdentity,
     /// Identifier renaming changed the findings.
@@ -64,6 +72,8 @@ impl Oracle {
             Oracle::Pipeline => "pipeline",
             Oracle::PrettyFixpoint => "pretty-fixpoint",
             Oracle::EngineColdWarm => "engine-cold-warm",
+            Oracle::StoreColdWarm => "store-cold-warm",
+            Oracle::StoreIncremental => "store-incremental",
             Oracle::DaemonIdentity => "daemon",
             Oracle::MetaRename => "meta-rename",
             Oracle::MetaSwap => "meta-swap",
@@ -153,6 +163,9 @@ pub fn run_oracles(
     if warm_nd != base_ndjson {
         return Err(fail(Oracle::EngineColdWarm, format!("warm vs facade: {}", first_diff(&warm_nd, &base_ndjson))));
     }
+
+    // 3b. Persistence identity and incrementality (see store_oracles).
+    store_oracles(unit, &base_ndjson)?;
 
     // 4. Daemon identity.
     if let Some(client) = daemon {
@@ -329,6 +342,125 @@ pub fn run_oracles(
     }
 
     Ok(base_ndjson)
+}
+
+/// The persistent-store cross-checks, run against a scratch store
+/// file that is deleted afterwards (pass or fail).
+///
+/// First the cold/persistent-warm identity: one engine analyzes the
+/// unit and flushes, then is dropped — taking every piece of process
+/// state (memory cache included) with it — and a second engine on the
+/// same store file must reproduce the NDJSON byte-for-byte *without
+/// running Extract or Check at all*. Then single-function
+/// incrementality: appending one fresh function to the unit must
+/// recompute exactly that function (asserted via the store's
+/// per-function hit/miss counters) and still match what a storeless
+/// engine computes from scratch on the mutated unit.
+fn store_oracles(unit: &SourceUnit, base_ndjson: &str) -> Result<(), OracleFailure> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pallas-fuzz-store-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| fail(Oracle::StoreColdWarm, format!("cannot create scratch dir: {e}")))?;
+    let _cleanup = Cleanup(dir.clone());
+    let store = dir.join("fuzz.store");
+    let store_engine = || {
+        Engine::with_engine_config(pallas_core::EngineConfig {
+            store_path: Some(store.clone()),
+            ..pallas_core::EngineConfig::default()
+        })
+    };
+
+    // Cold run: populate the store, flush, drop all process state.
+    let func_count = {
+        let engine = store_engine();
+        let analyzed = engine
+            .check_unit(unit)
+            .map_err(|e| fail(Oracle::StoreColdWarm, format!("cold store run fails: {e}")))?;
+        if render_ndjson(&analyzed) != base_ndjson {
+            return Err(fail(Oracle::StoreColdWarm, "cold store run diverges from baseline"));
+        }
+        engine
+            .flush_store()
+            .map_err(|e| fail(Oracle::StoreColdWarm, format!("flush fails: {e}")))?;
+        engine.stats().store_func_misses
+    };
+
+    // Persistent-warm run: a brand-new engine, disk only.
+    {
+        let engine = store_engine();
+        let analyzed = engine
+            .check_unit(unit)
+            .map_err(|e| fail(Oracle::StoreColdWarm, format!("warm store run fails: {e}")))?;
+        let nd = render_ndjson(&analyzed);
+        if nd != base_ndjson {
+            return Err(fail(Oracle::StoreColdWarm, first_diff(&nd, base_ndjson)));
+        }
+        let stats = engine.stats();
+        if stats.store_unit_hits != 1 || stats.extracts != 0 || stats.checks != 0 {
+            return Err(fail(
+                Oracle::StoreColdWarm,
+                format!(
+                    "expected a pure disk hit (unit_hits 1, extracts 0, checks 0), got \
+                     unit_hits {} extracts {} checks {}",
+                    stats.store_unit_hits, stats.extracts, stats.checks
+                ),
+            ));
+        }
+    }
+
+    // Incrementality: one appended function, everything else reused.
+    {
+        let mut mutated = unit.clone();
+        let Some((_, contents)) = mutated.files.last_mut() else {
+            return Ok(());
+        };
+        if !contents.ends_with('\n') {
+            contents.push('\n');
+        }
+        contents.push_str("int __store_probe(int x) {\n  return x + 1;\n}\n");
+        let engine = store_engine();
+        let analyzed = engine
+            .check_unit(&mutated)
+            .map_err(|e| fail(Oracle::StoreIncremental, format!("mutated run fails: {e}")))?;
+        let stats = engine.stats();
+        let recomputed = stats.store_func_misses + stats.store_func_stale;
+        if recomputed != 1 || stats.store_func_hits != func_count {
+            return Err(fail(
+                Oracle::StoreIncremental,
+                format!(
+                    "appending one function must recompute exactly it: \
+                     {recomputed} recomputed, {} reused of {func_count}",
+                    stats.store_func_hits
+                ),
+            ));
+        }
+        if stats.store_unit_stale != 1 {
+            return Err(fail(
+                Oracle::StoreIncremental,
+                format!("mutated unit should be stale, got stats {stats:?}"),
+            ));
+        }
+        let scratch = Engine::new()
+            .check_unit(&mutated)
+            .map_err(|e| fail(Oracle::StoreIncremental, format!("scratch run fails: {e}")))?;
+        let incremental_nd = render_ndjson(&analyzed);
+        let scratch_nd = render_ndjson(&scratch);
+        if incremental_nd != scratch_nd {
+            return Err(fail(Oracle::StoreIncremental, first_diff(&incremental_nd, &scratch_nd)));
+        }
+    }
+    Ok(())
 }
 
 /// Whether sorted multiset `a` is contained in sorted multiset `b`.

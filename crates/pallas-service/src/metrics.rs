@@ -197,6 +197,22 @@ impl ServiceMetrics {
                             })
                             .collect()),
                     ),
+                    (
+                        "store",
+                        obj(vec![
+                            ("enabled", Value::Bool(engine.store_enabled)),
+                            ("unit_hits", n(engine.store_unit_hits)),
+                            ("unit_misses", n(engine.store_unit_misses)),
+                            ("unit_stale", n(engine.store_unit_stale)),
+                            ("func_hits", n(engine.store_func_hits)),
+                            ("func_misses", n(engine.store_func_misses)),
+                            ("func_stale", n(engine.store_func_stale)),
+                            ("units_resident", n(engine.store_units_resident)),
+                            ("functions_resident", n(engine.store_functions_resident)),
+                            ("file_bytes", n(engine.store_file_bytes)),
+                            ("compactions", n(engine.store_compactions)),
+                        ]),
+                    ),
                 ]),
             ),
             ("request_latency", self.request_latency.to_json()),
@@ -209,10 +225,24 @@ impl ServiceMetrics {
     /// A short human-readable summary, logged on shutdown.
     pub fn render_summary(&self, engine: &EngineStats) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let store = if engine.store_enabled {
+            format!(
+                "; store: {} hit(s) / {} miss(es) / {} stale, \
+                 {} unit(s) + {} function(s) resident ({} byte(s))",
+                engine.store_unit_hits,
+                engine.store_unit_misses,
+                engine.store_unit_stale,
+                engine.store_units_resident,
+                engine.store_functions_resident,
+                engine.store_file_bytes,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "served {} request(s): {} completed, {} failed, {} overloaded, {} timed out \
              (mean latency {}µs); engine: {} hit(s) / {} miss(es) / {} eviction(s), \
-             {}/{} frontend(s) resident\n",
+             {}/{} frontend(s) resident{store}\n",
             load(&self.received),
             load(&self.completed),
             load(&self.failed),

@@ -217,6 +217,11 @@ impl ServerHandle {
             let _ = worker.join();
         }
         let _ = std::fs::remove_file(&self.path);
+        // Graceful shutdown makes every analyzed unit durable: a
+        // restarted `serve --store` daemon answers them from disk.
+        if let Err(e) = self.shared.engine.flush_store() {
+            eprintln!("pallas: warning: cannot flush analysis store on shutdown: {e}");
+        }
         self.shared.metrics.render_summary(&self.shared.engine.stats())
     }
 }

@@ -332,3 +332,73 @@ fn shutdown_request_drains_and_wait_returns_summary() {
     // New connections are refused after shutdown.
     assert!(Client::connect(&path).is_err());
 }
+
+#[test]
+fn restarted_daemon_answers_from_the_persistent_store() {
+    let store_dir =
+        std::env::temp_dir().join(format!("pallas-daemon-store-{}", std::process::id()));
+    std::fs::create_dir_all(&store_dir).unwrap();
+    let store = store_dir.join("daemon.store");
+    let _ = std::fs::remove_file(&store);
+    let config = || ServiceConfig {
+        engine: EngineConfig {
+            store_path: Some(store.clone()),
+            ..EngineConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let unit = demo_unit(7);
+
+    // First daemon lifetime: analyze cold, shut down gracefully (the
+    // shutdown path flushes the store).
+    let path = socket_path("store1");
+    let handle = Server::start(&path, config()).unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    let cold = client.check(&unit).unwrap();
+    assert!(ok(&cold), "{cold}");
+    assert_eq!(cold.get("cached").and_then(Value::as_bool), Some(false));
+    assert!(ok(&client.shutdown().unwrap()));
+    let summary = handle.wait();
+    assert!(summary.contains("store:"), "store residency in summary: {summary}");
+
+    // Second daemon, fresh process-level state, same store file: the
+    // unit comes back from disk with zero Extract/Check stage work.
+    let path = socket_path("store2");
+    let handle = Server::start(&path, config()).unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    let warm = client.check(&unit).unwrap();
+    assert!(ok(&warm), "{warm}");
+    assert_eq!(
+        warm.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "disk hits count as cached results: {warm}"
+    );
+    assert_eq!(warm.get("report"), cold.get("report"), "warm report must be byte-identical");
+    assert_eq!(warm.get("ndjson"), cold.get("ndjson"));
+    let stats = client.stats().unwrap();
+    let store_stat = |f: &str| {
+        stats
+            .get("stats")
+            .and_then(|s| s.get("engine"))
+            .and_then(|s| s.get("store"))
+            .and_then(|s| s.get(f))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("missing stats.engine.store.{f} in {stats}"))
+    };
+    assert_eq!(store_stat("unit_hits"), 1, "{stats}");
+    assert_eq!(stat(&stats, "engine", "cache_hits"), 0, "memory cache starts cold");
+    // Proof of zero Extract/Check work: those stage counters never moved.
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("engine"))
+            .and_then(|s| s.get("stage_runs"))
+            .and_then(|s| s.get("extract"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "{stats}"
+    );
+    assert!(ok(&client.shutdown().unwrap()));
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -1,0 +1,673 @@
+//! # pallas-store
+//!
+//! A zero-dependency, single-file, persistent record store: an
+//! append-only log of CRC-checked, length-prefixed records plus a
+//! rebuildable in-memory index. The container has no sqlite (and no
+//! registry access to fetch one), so the format is hand-rolled and
+//! deliberately boring:
+//!
+//! ```text
+//! file    := header record*
+//! header  := magic(8 bytes, "PLSTORE1") version(u32 LE)
+//! record  := payload_len(u32 LE) crc32(u32 LE) payload
+//! payload := kind(u8) key(u64 LE) value(payload_len - 9 bytes)
+//! ```
+//!
+//! The store is a map `(kind, key) → value` with upsert semantics:
+//! a later record for the same `(kind, key)` supersedes the earlier
+//! one (the superseded record stays in the file as a *dead* record
+//! until [`Store::compact`] rewrites the log). `kind` namespaces the
+//! key space so one file can hold several record families; the store
+//! itself treats values as opaque bytes — all schema lives in the
+//! caller.
+//!
+//! **Durability and recovery.** Appends go straight to the file
+//! (no write-behind buffer); [`Store::flush`] additionally fsyncs.
+//! [`Store::open`] scans the log and rebuilds the index, salvaging the
+//! longest valid prefix: a truncated tail record or a CRC mismatch
+//! drops everything from the first bad record onward (the common
+//! crash-mid-append case loses only the record being written), while a
+//! bad magic or a container-version mismatch resets the store to
+//! empty. Either way open *never fails on corrupt content* — the
+//! caller gets an empty-or-prefix store plus an [`OpenReport`]
+//! describing what was dropped, and simply recomputes the missing
+//! entries.
+//!
+//! **Compaction** rewrites the live records (in original append order)
+//! to a temporary file in the same directory, fsyncs it, and
+//! atomically renames it over the log, so a crash during compaction
+//! leaves either the old file or the new file, never a torn one.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a pallas-store log.
+pub const MAGIC: [u8; 8] = *b"PLSTORE1";
+
+/// Container format version. Bumped only when the *framing* above
+/// changes; record-payload schema changes are the caller's business
+/// (callers fold their own schema version into keys).
+pub const CONTAINER_VERSION: u32 = 1;
+
+const HEADER_LEN: u64 = 12;
+const PREFIX_LEN: u64 = 8; // payload_len + crc32
+const PAYLOAD_HEADER_LEN: usize = 9; // kind + key
+/// Sanity bound on one record's payload; anything larger is treated
+/// as corruption during the open scan.
+const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) — the classic zlib
+/// checksum, table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    !bytes.iter().fold(!0u32, |c, &b| TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8))
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Byte offset of the record's *payload* (past len + crc).
+    offset: u64,
+    /// Payload length (kind + key + value).
+    len: u32,
+}
+
+/// How [`Store::open`] recovered from a damaged log, when it had to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Human-readable cause (first problem found in the scan).
+    pub reason: String,
+    /// Bytes dropped from the file (tail truncation or full reset).
+    pub dropped_bytes: u64,
+    /// `true` when the whole store was reset (bad magic / version);
+    /// `false` when only a corrupt tail was truncated.
+    pub reset: bool,
+}
+
+/// What [`Store::open`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenReport {
+    /// The file did not exist (or was empty) and was initialized.
+    pub created: bool,
+    /// Live records after the scan.
+    pub live_records: usize,
+    /// Superseded records still occupying file bytes.
+    pub dead_records: u64,
+    /// Set when the scan had to drop bytes; `None` on a clean open.
+    pub recovery: Option<Recovery>,
+}
+
+/// What [`Store::compact`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// File size before, in bytes.
+    pub bytes_before: u64,
+    /// File size after, in bytes.
+    pub bytes_after: u64,
+    /// Dead records dropped.
+    pub records_dropped: u64,
+}
+
+/// Read-only scan results for `info` / `verify` style tooling — see
+/// [`Store::inspect`]. Never modifies the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectReport {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Live (current) records.
+    pub live_records: u64,
+    /// Superseded records.
+    pub dead_records: u64,
+    /// Live record count per `kind`.
+    pub live_by_kind: BTreeMap<u8, u64>,
+    /// First problem found, if any (`None` = file verifies clean).
+    pub corruption: Option<String>,
+}
+
+/// A single-file persistent `(kind, key) → bytes` store.
+#[derive(Debug)]
+pub struct Store {
+    file: File,
+    path: PathBuf,
+    /// Logical end of the log (where the next record goes).
+    end: u64,
+    index: HashMap<(u8, u64), Entry>,
+    dead: u64,
+    compactions: u64,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `path`, scanning the
+    /// log to rebuild the index. Corrupt content never fails the open
+    /// — see the module docs for the salvage rules. Errors are real
+    /// I/O problems only (permissions, missing parent directory, ...).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Store, OpenReport)> {
+        let path = path.as_ref().to_path_buf();
+        // Existing contents are salvaged, never clobbered on open.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut report = OpenReport {
+            created: false,
+            live_records: 0,
+            dead_records: 0,
+            recovery: None,
+        };
+
+        let header_ok = bytes.len() >= HEADER_LEN as usize
+            && bytes[0..8] == MAGIC
+            && u32::from_le_bytes(bytes[8..12].try_into().unwrap()) == CONTAINER_VERSION;
+        if !header_ok {
+            if bytes.is_empty() {
+                report.created = true;
+            } else {
+                let reason = if bytes.len() < HEADER_LEN as usize {
+                    "short header".to_string()
+                } else if bytes[0..8] != MAGIC {
+                    "bad magic".to_string()
+                } else {
+                    format!(
+                        "container version {} (expected {})",
+                        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+                        CONTAINER_VERSION
+                    )
+                };
+                report.recovery = Some(Recovery {
+                    reason,
+                    dropped_bytes: bytes.len() as u64,
+                    reset: true,
+                });
+            }
+            file.set_len(0)?;
+            file.write_all_at(&MAGIC, 0)?;
+            file.write_all_at(&CONTAINER_VERSION.to_le_bytes(), 8)?;
+            return Ok((
+                Store {
+                    file,
+                    path,
+                    end: HEADER_LEN,
+                    index: HashMap::new(),
+                    dead: 0,
+                    compactions: 0,
+                },
+                report,
+            ));
+        }
+
+        let (index, dead, end, problem) = scan(&bytes);
+        if let Some(reason) = problem {
+            // Truncate the corrupt tail so future appends extend a
+            // valid log instead of burying garbage mid-file.
+            file.set_len(end)?;
+            report.recovery = Some(Recovery {
+                reason,
+                dropped_bytes: bytes.len() as u64 - end,
+                reset: false,
+            });
+        }
+        report.live_records = index.len();
+        report.dead_records = dead;
+        Ok((Store { file, path, end, index, dead, compactions: 0 }, report))
+    }
+
+    /// Scans the file at `path` without opening it for repair: returns
+    /// counts and the first corruption found (if any). The file is
+    /// never modified — this is the read-only backend of the CLI's
+    /// `store info` / `store verify`.
+    pub fn inspect(path: impl AsRef<Path>) -> io::Result<InspectReport> {
+        let bytes = std::fs::read(path)?;
+        let mut report = InspectReport {
+            file_bytes: bytes.len() as u64,
+            live_records: 0,
+            dead_records: 0,
+            live_by_kind: BTreeMap::new(),
+            corruption: None,
+        };
+        if bytes.len() < HEADER_LEN as usize {
+            report.corruption = Some("short header".into());
+            return Ok(report);
+        }
+        if bytes[0..8] != MAGIC {
+            report.corruption = Some("bad magic".into());
+            return Ok(report);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != CONTAINER_VERSION {
+            report.corruption =
+                Some(format!("container version {version} (expected {CONTAINER_VERSION})"));
+            return Ok(report);
+        }
+        let (index, dead, _, problem) = scan(&bytes);
+        report.live_records = index.len() as u64;
+        report.dead_records = dead;
+        for (kind, _) in index.keys() {
+            *report.live_by_kind.entry(*kind).or_insert(0) += 1;
+        }
+        report.corruption = problem;
+        Ok(report)
+    }
+
+    /// Looks up the current value for `(kind, key)`.
+    pub fn get(&self, kind: u8, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let Some(entry) = self.index.get(&(kind, key)) else { return Ok(None) };
+        let mut payload = vec![0u8; entry.len as usize];
+        self.file.read_exact_at(&mut payload, entry.offset)?;
+        Ok(Some(payload[PAYLOAD_HEADER_LEN..].to_vec()))
+    }
+
+    /// Whether `(kind, key)` has a current value.
+    pub fn contains(&self, kind: u8, key: u64) -> bool {
+        self.index.contains_key(&(kind, key))
+    }
+
+    /// Inserts or replaces the value for `(kind, key)` by appending a
+    /// record (replacement leaves a dead record behind until
+    /// [`Store::compact`]).
+    pub fn put(&mut self, kind: u8, key: u64, value: &[u8]) -> io::Result<()> {
+        let payload_len = PAYLOAD_HEADER_LEN + value.len();
+        let mut record = Vec::with_capacity(PREFIX_LEN as usize + payload_len);
+        record.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        record.extend_from_slice(&[0; 4]); // crc placeholder
+        record.push(kind);
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(value);
+        let crc = crc32(&record[PREFIX_LEN as usize..]);
+        record[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all_at(&record, self.end)?;
+        let entry = Entry { offset: self.end + PREFIX_LEN, len: payload_len as u32 };
+        self.end += record.len() as u64;
+        if self.index.insert((kind, key), entry).is_some() {
+            self.dead += 1;
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the log. Appends are already written through on
+    /// [`Store::put`]; this additionally makes them crash-durable.
+    pub fn flush(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Rewrites the log with only live records (original append
+    /// order), fsyncs the replacement, and atomically renames it over
+    /// the old file.
+    pub fn compact(&mut self) -> io::Result<CompactReport> {
+        let bytes_before = self.end;
+        let dropped = self.dead;
+        let mut entries: Vec<((u8, u64), Entry)> =
+            self.index.iter().map(|(&k, &e)| (k, e)).collect();
+        entries.sort_by_key(|(_, e)| e.offset);
+
+        let tmp_path = self.path.with_extension("compact-tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&MAGIC)?;
+        tmp.write_all(&CONTAINER_VERSION.to_le_bytes())?;
+        let mut new_index = HashMap::with_capacity(entries.len());
+        let mut offset = HEADER_LEN;
+        for ((kind, key), entry) in entries {
+            let mut payload = vec![0u8; entry.len as usize];
+            self.file.read_exact_at(&mut payload, entry.offset)?;
+            tmp.write_all(&(entry.len).to_le_bytes())?;
+            tmp.write_all(&crc32(&payload).to_le_bytes())?;
+            tmp.write_all(&payload)?;
+            new_index
+                .insert((kind, key), Entry { offset: offset + PREFIX_LEN, len: entry.len });
+            offset += PREFIX_LEN + entry.len as u64;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.end = offset;
+        self.index = new_index;
+        self.dead = 0;
+        self.compactions += 1;
+        Ok(CompactReport { bytes_before, bytes_after: offset, records_dropped: dropped })
+    }
+
+    /// Drops every record, leaving a fresh empty log.
+    pub fn clear(&mut self) -> io::Result<()> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.write_all_at(&MAGIC, 0)?;
+        self.file.write_all_at(&CONTAINER_VERSION.to_le_bytes(), 8)?;
+        self.end = HEADER_LEN;
+        self.index.clear();
+        self.dead = 0;
+        Ok(())
+    }
+
+    /// Live record count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the store holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Superseded records still occupying file bytes.
+    pub fn dead_records(&self) -> u64 {
+        self.dead
+    }
+
+    /// Current log size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Live record count per `kind`.
+    pub fn live_by_kind(&self) -> BTreeMap<u8, u64> {
+        let mut out = BTreeMap::new();
+        for (kind, _) in self.index.keys() {
+            *out.entry(*kind).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Compactions performed by this handle (process lifetime, not
+    /// persisted).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Walks the record log in `bytes` (which must start with a valid
+/// header), returning `(index, dead_records, valid_end, problem)`.
+/// The scan stops at the first framing or checksum violation; `valid_end`
+/// is the offset up to which the log is intact.
+#[allow(clippy::type_complexity)]
+fn scan(bytes: &[u8]) -> (HashMap<(u8, u64), Entry>, u64, u64, Option<String>) {
+    let mut index: HashMap<(u8, u64), Entry> = HashMap::new();
+    let mut dead = 0u64;
+    let mut offset = HEADER_LEN;
+    let total = bytes.len() as u64;
+    let problem = loop {
+        if offset == total {
+            break None;
+        }
+        if total - offset < PREFIX_LEN {
+            break Some(format!("truncated record prefix at offset {offset}"));
+        }
+        let at = offset as usize;
+        let payload_len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if payload_len < PAYLOAD_HEADER_LEN as u32 || payload_len > MAX_PAYLOAD {
+            break Some(format!("implausible record length {payload_len} at offset {offset}"));
+        }
+        if total - offset - PREFIX_LEN < payload_len as u64 {
+            break Some(format!("truncated record payload at offset {offset}"));
+        }
+        let payload_at = at + PREFIX_LEN as usize;
+        let payload = &bytes[payload_at..payload_at + payload_len as usize];
+        if crc32(payload) != crc {
+            break Some(format!("checksum mismatch at offset {offset}"));
+        }
+        let kind = payload[0];
+        let key = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+        let entry = Entry { offset: offset + PREFIX_LEN, len: payload_len };
+        if index.insert((kind, key), entry).is_some() {
+            dead += 1;
+        }
+        offset += PREFIX_LEN + payload_len as u64;
+    };
+    (index, dead, offset, problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pallas-store-test-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log.store")
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from the zlib crc32() function.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut store, report) = Store::open(&path).unwrap();
+            assert!(report.created);
+            store.put(1, 42, b"alpha").unwrap();
+            store.put(2, 42, b"beta").unwrap();
+            store.put(1, 7, b"").unwrap();
+            assert_eq!(store.get(1, 42).unwrap().as_deref(), Some(&b"alpha"[..]));
+            assert_eq!(store.get(2, 42).unwrap().as_deref(), Some(&b"beta"[..]));
+            assert_eq!(store.get(1, 7).unwrap().as_deref(), Some(&b""[..]));
+            assert_eq!(store.get(1, 99).unwrap(), None);
+            store.flush().unwrap();
+        }
+        let (store, report) = Store::open(&path).unwrap();
+        assert!(!report.created);
+        assert_eq!(report.recovery, None);
+        assert_eq!(report.live_records, 3);
+        assert_eq!(store.get(1, 42).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(store.get(2, 42).unwrap().as_deref(), Some(&b"beta"[..]));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn later_record_wins_and_counts_dead() {
+        let path = temp_path("upsert");
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(1, 5, b"old").unwrap();
+        store.put(1, 5, b"new").unwrap();
+        assert_eq!(store.get(1, 5).unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.dead_records(), 1);
+        drop(store);
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(store.get(1, 5).unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(report.dead_records, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncated_tail_record_salvages_valid_prefix() {
+        let path = temp_path("truncated");
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(1, 1, b"keep-me").unwrap();
+        store.put(1, 2, b"torn-by-crash").unwrap();
+        drop(store);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap(); // tear the last record
+        drop(file);
+        let (mut store, report) = Store::open(&path).unwrap();
+        let recovery = report.recovery.expect("tail truncation must be reported");
+        assert!(!recovery.reset);
+        assert!(recovery.reason.contains("truncated"), "{}", recovery.reason);
+        assert_eq!(store.get(1, 1).unwrap().as_deref(), Some(&b"keep-me"[..]));
+        assert_eq!(store.get(1, 2).unwrap(), None, "torn record is gone");
+        // The log stays appendable and clean afterwards.
+        store.put(1, 2, b"rewritten").unwrap();
+        drop(store);
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.recovery, None);
+        assert_eq!(store.get(1, 2).unwrap().as_deref(), Some(&b"rewritten"[..]));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn flipped_byte_fails_crc_and_salvages_prefix() {
+        let path = temp_path("crcflip");
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(1, 1, b"first").unwrap();
+        let second_at = store.file_bytes();
+        store.put(1, 2, b"second").unwrap();
+        store.put(1, 3, b"third").unwrap();
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = second_at as usize + PREFIX_LEN as usize + PAYLOAD_HEADER_LEN;
+        bytes[victim] ^= 0x40; // flip one value byte of record 2
+        std::fs::write(&path, &bytes).unwrap();
+        let (store, report) = Store::open(&path).unwrap();
+        let recovery = report.recovery.expect("crc mismatch must be reported");
+        assert!(!recovery.reset);
+        assert!(recovery.reason.contains("checksum"), "{}", recovery.reason);
+        assert_eq!(store.get(1, 1).unwrap().as_deref(), Some(&b"first"[..]));
+        assert_eq!(store.get(1, 2).unwrap(), None);
+        assert_eq!(store.get(1, 3).unwrap(), None, "records after the bad one are dropped");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wrong_container_version_resets_to_empty() {
+        let path = temp_path("version");
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(1, 1, b"stale-format").unwrap();
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xEE; // clobber the version field
+        std::fs::write(&path, &bytes).unwrap();
+        let (store, report) = Store::open(&path).unwrap();
+        let recovery = report.recovery.expect("version mismatch must be reported");
+        assert!(recovery.reset);
+        assert!(recovery.reason.contains("version"), "{}", recovery.reason);
+        assert!(store.is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn bad_magic_resets_to_empty() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"definitely not a pallas store file").unwrap();
+        let (store, report) = Store::open(&path).unwrap();
+        let recovery = report.recovery.expect("bad magic must be reported");
+        assert!(recovery.reset);
+        assert!(store.is_empty());
+        drop(store);
+        let (_, report) = Store::open(&path).unwrap();
+        assert_eq!(report.recovery, None, "reset store reopens clean");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compact_drops_dead_records_and_preserves_live_ones() {
+        let path = temp_path("compact");
+        let (mut store, _) = Store::open(&path).unwrap();
+        for round in 0..4u64 {
+            for key in 0..8u64 {
+                store.put(1, key, format!("r{round}-k{key}").as_bytes()).unwrap();
+            }
+        }
+        assert_eq!(store.dead_records(), 24);
+        let before = store.file_bytes();
+        let report = store.compact().unwrap();
+        assert_eq!(report.bytes_before, before);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(report.records_dropped, 24);
+        assert_eq!(store.dead_records(), 0);
+        assert_eq!(store.compactions(), 1);
+        for key in 0..8u64 {
+            assert_eq!(
+                store.get(1, key).unwrap().as_deref(),
+                Some(format!("r3-k{key}").as_bytes())
+            );
+        }
+        drop(store);
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.recovery, None, "compacted log reopens clean");
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.dead_records(), 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let path = temp_path("clear");
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(3, 9, b"gone soon").unwrap();
+        store.clear().unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.file_bytes(), HEADER_LEN);
+        drop(store);
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.recovery, None);
+        assert!(store.is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn inspect_reports_without_modifying() {
+        let path = temp_path("inspect");
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(1, 1, b"a").unwrap();
+        store.put(1, 1, b"b").unwrap();
+        store.put(2, 2, b"c").unwrap();
+        drop(store);
+        let clean = Store::inspect(&path).unwrap();
+        assert_eq!(clean.live_records, 2);
+        assert_eq!(clean.dead_records, 1);
+        assert_eq!(clean.live_by_kind.get(&1), Some(&1));
+        assert_eq!(clean.live_by_kind.get(&2), Some(&1));
+        assert_eq!(clean.corruption, None);
+
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 1).unwrap();
+        drop(file);
+        let before = std::fs::read(&path).unwrap();
+        let dirty = Store::inspect(&path).unwrap();
+        assert!(dirty.corruption.is_some());
+        assert_eq!(std::fs::read(&path).unwrap(), before, "inspect never repairs");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn large_values_survive_the_roundtrip() {
+        let path = temp_path("large");
+        let value: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        let (mut store, _) = Store::open(&path).unwrap();
+        store.put(1, 123, &value).unwrap();
+        drop(store);
+        let (store, _) = Store::open(&path).unwrap();
+        assert_eq!(store.get(1, 123).unwrap().as_deref(), Some(&value[..]));
+        cleanup(&path);
+    }
+}

@@ -66,18 +66,53 @@ impl ExtractConfig {
 /// `src` must be the exact text the unit was parsed from (line numbers
 /// are derived from it).
 pub fn extract(unit: &str, ast: &Ast, src: &str, config: &ExtractConfig) -> PathDb {
-    let lm = LineMap::new(src);
+    let mut fx = FunctionExtractor::new(ast, src, config);
     let mut db = PathDb::new(unit);
-    let mut summaries: SummaryCache = HashMap::new();
     for func in ast.functions() {
-        let mut span = pallas_trace::span(pallas_trace::Layer::Paths, &func.sig.name);
-        let fp = extract_function(ast, &lm, &func.sig.name, config, &mut summaries);
+        db.insert(fx.extract_function(&func.sig.name));
+    }
+    db
+}
+
+/// Per-function extraction over one parsed unit, sharing the callee
+/// summary memo across calls. This is the incremental re-analysis
+/// entry point: a caller that can prove some functions' content
+/// unchanged (the persistent store's per-function hashes) reuses their
+/// stored [`FunctionPaths`] and extracts only the rest. Extracting
+/// every function in [`Ast::functions`] order is exactly [`extract`].
+pub struct FunctionExtractor<'a> {
+    ast: &'a Ast,
+    lm: LineMap,
+    config: ExtractConfig,
+    summaries: SummaryCache,
+}
+
+impl<'a> FunctionExtractor<'a> {
+    /// Prepares extraction for `ast`, which must have been parsed from
+    /// exactly `src` (line numbers are derived from it).
+    pub fn new(ast: &'a Ast, src: &str, config: &ExtractConfig) -> Self {
+        FunctionExtractor {
+            ast,
+            lm: LineMap::new(src),
+            config: *config,
+            summaries: HashMap::new(),
+        }
+    }
+
+    /// Extracts the paths of one function defined in the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a function defined in the AST.
+    pub fn extract_function(&mut self, name: &str) -> FunctionPaths {
+        let mut span = pallas_trace::span(pallas_trace::Layer::Paths, name);
+        let fp =
+            extract_function(self.ast, &self.lm, name, &self.config, &mut self.summaries);
         span.attr_u64("paths", fp.records.len() as u64);
         span.attr_bool("truncated", fp.truncated);
         span.attr_u64("pruned", fp.pruned as u64);
-        db.insert(fp);
+        fp
     }
-    db
 }
 
 /// Memoized callee summaries, keyed by `(function, remaining depth)`.

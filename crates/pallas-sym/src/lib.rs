@@ -31,7 +31,7 @@ pub mod table5;
 
 pub use callgraph::CallGraph;
 pub use event::{Event, FunctionPaths, OutputRecord, PathDb, PathRecord};
-pub use extract::{extract, ExtractConfig};
+pub use extract::{extract, ExtractConfig, FunctionExtractor};
 pub use feasible::{path_feasibility, ConstraintSet, Feasibility, FeasibilityOracle};
 pub use stats::DbStats;
 pub use sym::Sym;

@@ -68,11 +68,14 @@ pub enum Layer {
     Sched,
     /// One daemon request (queue wait + execution).
     Request,
+    /// Persistent analysis-store events (disk hit/miss/stale,
+    /// per-function reuse, flush, compaction).
+    Store,
 }
 
 impl Layer {
     /// All layers, hierarchy order.
-    pub const ALL: [Layer; 8] = [
+    pub const ALL: [Layer; 9] = [
         Layer::Unit,
         Layer::Stage,
         Layer::Paths,
@@ -81,6 +84,7 @@ impl Layer {
         Layer::Cache,
         Layer::Sched,
         Layer::Request,
+        Layer::Store,
     ];
 
     /// The layer's `cat` name in exports.
@@ -94,6 +98,7 @@ impl Layer {
             Layer::Cache => "cache",
             Layer::Sched => "sched",
             Layer::Request => "request",
+            Layer::Store => "store",
         }
     }
 }

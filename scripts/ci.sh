@@ -149,4 +149,26 @@ cargo test -q --test golden_corpus
 echo "== daemon soak (CI-length knob) =="
 PALLAS_SOAK_SECS=5 cargo test -q -p pallas-service --test soak
 
+echo "== persistent store (warm restart byte-identity) =="
+# Two `check --store` runs into a fresh store file: the second answers
+# from disk (nonzero disk hits in --stage-stats) and its NDJSON must be
+# byte-identical to the cold run's. `store verify` then CRC-checks
+# every record the runs wrote.
+STORE_DIR="$(mktemp -d /tmp/pallas-ci-store-XXXXXX)"
+trap 'rm -rf "$SMOKE_DIR" "$SOCK" "$STORE_DIR"' EXIT
+STORE="$STORE_DIR/ci.store"
+"$PALLAS_BIN" check "$SMOKE_DIR/smoke.c" --json --store "$STORE" > "$STORE_DIR/cold.ndjson"
+"$PALLAS_BIN" check "$SMOKE_DIR/smoke.c" --json --store "$STORE" > "$STORE_DIR/warm.ndjson"
+cmp "$STORE_DIR/cold.ndjson" "$STORE_DIR/warm.ndjson" \
+  || { echo "ci: persistent-warm NDJSON differs from the cold run" >&2; exit 1; }
+WARM_STATS="$("$PALLAS_BIN" check "$SMOKE_DIR/smoke.c" --stage-stats --store "$STORE")"
+echo "$WARM_STATS" | grep -q "disk" \
+  || { echo "ci: --stage-stats lost the disk cache row" >&2; exit 1; }
+if echo "$WARM_STATS" | grep "disk" | grep -qE "^\s*disk\s+0\s"; then
+  echo "ci: warm run reported zero store hits" >&2; exit 1
+fi
+"$PALLAS_BIN" store "$STORE" verify | grep -q "all record checksums verified" \
+  || { echo "ci: store verify failed" >&2; exit 1; }
+echo "persistent store: ok"
+
 echo "ci: all green"

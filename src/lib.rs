@@ -15,6 +15,7 @@
 //! * [`corpus`] — the miniature evaluation corpus with ground truth.
 //! * [`study`] — the fast-path patch characterization study.
 //! * [`service`] — the persistent analysis daemon and its client.
+//! * [`store`] — the persistent content-addressed analysis store.
 //! * [`trace`] — zero-dependency structured span tracing.
 
 pub use pallas_cfg as cfg;
@@ -25,6 +26,7 @@ pub use pallas_diff as diff;
 pub use pallas_lang as lang;
 pub use pallas_service as service;
 pub use pallas_spec as spec;
+pub use pallas_store as store;
 pub use pallas_study as study;
 pub use pallas_sym as sym;
 pub use pallas_trace as trace;

@@ -1,0 +1,111 @@
+//! Acceptance test for the persistent analysis store: over the full
+//! golden corpus, a cold engine and a persistent-warm engine (a fresh
+//! process-state engine answering from the store file the cold run
+//! wrote) must produce byte-identical NDJSON, and the warm run must do
+//! zero Extract/Check stage work.
+
+use pallas::core::{render_ndjson, EngineConfig};
+use pallas::corpus::CorpusUnit;
+use std::path::PathBuf;
+
+fn scratch_store(tag: &str) -> (PathBuf, impl Drop) {
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir =
+        std::env::temp_dir().join(format!("pallas-roundtrip-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    (dir.join("corpus.store"), Cleanup(dir))
+}
+
+fn engine_on(store: &PathBuf) -> pallas::core::Engine {
+    pallas::core::Engine::with_engine_config(EngineConfig {
+        store_path: Some(store.clone()),
+        ..EngineConfig::default()
+    })
+}
+
+fn full_corpus() -> Vec<CorpusUnit> {
+    let mut all = pallas::corpus::new_paths();
+    all.extend(pallas::corpus::known_bugs());
+    all.extend(pallas::corpus::examples());
+    all.extend(pallas::corpus::studied());
+    all.extend(pallas::corpus::new_bug_examples());
+    all.extend(pallas::corpus::infeasible());
+    all.extend(pallas::corpus::mined_rules());
+    all
+}
+
+fn render_all(engine: &pallas::core::Engine, corpus: &[CorpusUnit]) -> String {
+    let mut out = String::new();
+    for cu in corpus {
+        let analyzed = engine
+            .check_unit(&cu.unit)
+            .unwrap_or_else(|e| panic!("corpus unit `{}` failed to check: {e}", cu.name()));
+        out.push_str(&render_ndjson(&analyzed));
+    }
+    out
+}
+
+#[test]
+fn cold_and_persistent_warm_ndjson_are_byte_identical_over_the_corpus() {
+    let (store, _cleanup) = scratch_store("corpus");
+    let corpus = full_corpus();
+
+    let cold_ndjson = {
+        let engine = engine_on(&store);
+        let out = render_all(&engine, &corpus);
+        let stats = engine.stats();
+        assert!(stats.store_unit_misses > 0, "first run must compute units: {stats:?}");
+        engine.flush_store().expect("flush");
+        out
+    };
+
+    // Fresh engine, fresh memory cache: disk only.
+    let engine = engine_on(&store);
+    let warm_ndjson = render_all(&engine, &corpus);
+    assert_eq!(
+        warm_ndjson, cold_ndjson,
+        "persistent-warm NDJSON must be byte-identical to the cold run"
+    );
+    let stats = engine.stats();
+    // Every unit that missed the memory cache came off disk (corpus
+    // sets overlap, so repeats are memory hits)...
+    assert!(stats.store_unit_hits > 0, "{stats:?}");
+    assert_eq!(stats.store_unit_misses, 0, "{stats:?}");
+    assert_eq!(stats.store_unit_stale, 0, "{stats:?}");
+    // ...with zero Extract work anywhere, zero paths enumerated, and
+    // Check runs only for the memory hits (which always re-check).
+    assert_eq!(stats.extracts, 0, "{stats:?}");
+    assert_eq!(stats.paths_enumerated, 0, "{stats:?}");
+    assert_eq!(stats.checks, stats.cache_hits, "{stats:?}");
+}
+
+#[test]
+fn store_survives_a_verify_and_compact_cycle_between_runs() {
+    let (store, _cleanup) = scratch_store("compact");
+    let corpus = pallas::corpus::examples();
+
+    let engine = engine_on(&store);
+    let cold = render_all(&engine, &corpus);
+    engine.flush_store().expect("flush");
+    drop(engine);
+
+    // Offline maintenance between the two runs must not perturb the
+    // stored results.
+    let report = pallas::store::Store::inspect(&store).expect("inspect");
+    assert!(report.corruption.is_none(), "store fails verification: {report:?}");
+    assert!(report.live_records > 0);
+    let (mut raw, open) = pallas::store::Store::open(&store).expect("open");
+    assert!(open.recovery.is_none(), "clean file must open without salvage: {open:?}");
+    raw.compact().expect("compact");
+    drop(raw);
+
+    let engine = engine_on(&store);
+    let warm = render_all(&engine, &corpus);
+    assert_eq!(warm, cold, "compaction changed stored results");
+    assert_eq!(engine.stats().store_unit_misses, 0);
+}
