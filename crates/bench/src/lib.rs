@@ -12,6 +12,7 @@
 
 pub mod ablation;
 pub mod eval;
+pub mod loadgen;
 pub mod render;
 pub mod scaling;
 pub mod store_bench;
@@ -19,6 +20,7 @@ pub mod store_bench;
 pub use ablation::{
     ablation_text, depth_ablation, prune_ablation, DepthAblationRow, PruneAblationRow,
 };
+pub use loadgen::{loadgen_text, run_matrix, LoadgenConfig, LoadgenRun};
 pub use scaling::{rule_scaling, rule_scaling_text, ScalingRow};
 pub use store_bench::store_bench_text;
 pub use eval::{evaluate, evaluate_in, evaluate_with, CorpusEval};

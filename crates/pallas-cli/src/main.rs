@@ -5,9 +5,9 @@
 //!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]
 //!              [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules]
 //!              [--store <file.store>] [--no-prune] [--trace] [--trace-out <trace.json>]  run the checkers
-//! pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--trace]  analysis daemon
-//! pallas client <socket> check <file.c>... [--spec S] [--only-rule R] [--disable-rule R] [--json]  check via a daemon
-//! pallas client <socket> stats|trace|shutdown|request <req.json>  daemon control
+//! pallas serve [<socket>] [--tcp HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--no-coalesce] [--trace]  analysis daemon
+//! pallas client <socket>|--tcp HOST:PORT check <file.c>... [--spec S] [--only-rule R] [--disable-rule R] [--json]  check via a daemon
+//! pallas client <socket>|--tcp HOST:PORT stats|trace|shutdown|request <req.json>  daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
 //! pallas table5 <file.c> --function <f> [--spec S]   symbolic listing
 //! pallas diff <file.c> --fast <f> --slow <g>         fast/slow diff
@@ -42,7 +42,7 @@
 //! (`verify`), compacts (`gc`), or empties (`clear`) a store file.
 
 use pallas_core::{render_unit_report, score, Engine, EngineConfig, Pallas, Score, SourceUnit};
-use pallas_service::{Client, Server, ServiceConfig, Value};
+use pallas_service::{Bind, Client, Server, ServiceConfig, Value};
 use pallas_sym::ExtractConfig;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -90,9 +90,9 @@ fn print_usage() {
          \n\
          usage:\n\
          \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules] [--store <file.store>] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
-         \x20 pallas serve <socket> [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--trace]\n\
-         \x20 pallas client <socket> check <file.c>... [--spec <file.pallas>] [--only-rule R] [--disable-rule R] [--json]\n\
-         \x20 pallas client <socket> stats | trace | shutdown | request <request.json>\n\
+         \x20 pallas serve [<socket>] [--tcp HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--no-coalesce] [--trace]\n\
+         \x20 pallas client <socket>|--tcp HOST:PORT check <file.c>... [--spec <file.pallas>] [--only-rule R] [--disable-rule R] [--json]\n\
+         \x20 pallas client <socket>|--tcp HOST:PORT stats | trace | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
          \x20 pallas table5 <file.c> --function <name> [--spec <file.pallas>]\n\
          \x20 pallas diff <file.c> --fast <f> --slow <g>\n\
@@ -436,13 +436,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     validate_flags(
         "serve",
         args,
-        &["--workers", "--queue-depth", "--timeout-ms", "--only-rule", "--disable-rule", "--store"],
-        &["--trace", "--no-prune"],
+        &[
+            "--workers",
+            "--queue-depth",
+            "--timeout-ms",
+            "--tcp",
+            "--only-rule",
+            "--disable-rule",
+            "--store",
+        ],
+        &["--trace", "--no-prune", "--no-coalesce"],
     )?;
-    let socket = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("missing socket path argument")?;
+    // A Unix socket path, a TCP address, or both: at least one
+    // listener is required, and all of them serve byte-identical
+    // responses.
+    let socket = positional(args, &["--workers", "--queue-depth", "--timeout-ms", "--tcp", "--only-rule", "--disable-rule", "--store"]);
+    let tcp = flag_value(args, "--tcp");
+    let bind = Bind {
+        unix: socket.map(std::path::PathBuf::from),
+        tcp: tcp.map(str::to_string),
+    };
+    if bind.unix.is_none() && bind.tcp.is_none() {
+        return Err("missing listener: give a socket path and/or --tcp HOST:PORT".into());
+    }
     let defaults = ServiceConfig::default();
     let config = ServiceConfig {
         workers: numeric_flag(args, "--workers", defaults.workers)?.max(1),
@@ -451,6 +467,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             numeric_flag(args, "--timeout-ms", defaults.timeout.as_millis() as usize)? as u64,
         ),
         trace: has_flag(args, "--trace"),
+        coalesce: !has_flag(args, "--no-coalesce"),
         engine: EngineConfig {
             extract: ExtractConfig {
                 prune_infeasible: !has_flag(args, "--no-prune"),
@@ -464,11 +481,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let (workers, queue_depth, timeout_ms) =
         (config.workers, config.queue_depth, config.timeout.as_millis());
-    let handle = Server::start(socket, config)
-        .map_err(|e| format!("cannot serve on `{socket}`: {e}"))?;
+    let handle = Server::start_with(bind, config).map_err(|e| format!("cannot serve: {e}"))?;
+    let mut listeners = Vec::new();
+    if let Some(path) = handle.socket_path() {
+        listeners.push(format!("`{}`", path.display()));
+    }
+    if let Some(addr) = handle.tcp_addr() {
+        listeners.push(format!("tcp `{addr}`"));
+    }
     println!(
-        "serving on `{socket}` (workers {workers}, queue depth {queue_depth}, \
-         timeout {timeout_ms}ms); send {{\"op\":\"shutdown\"}} to stop"
+        "serving on {} (workers {workers}, queue depth {queue_depth}, \
+         timeout {timeout_ms}ms); send {{\"op\":\"shutdown\"}} to stop",
+        listeners.join(" and ")
     );
     // Blocks until a shutdown request arrives, then logs the metrics
     // summary the registry accumulated over the daemon's lifetime.
@@ -476,29 +500,76 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Connects to a daemon socket with a one-line diagnostic on failure.
-fn connect_client(socket: &str) -> Result<Client, String> {
-    Client::connect(socket).map_err(|e| format!("cannot connect to daemon at `{socket}`: {e}"))
+/// Finds the first positional argument, skipping flags and the value
+/// each flag in `value_flags` consumes (so `--tcp HOST:PORT` is not
+/// mistaken for the socket path).
+fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if value_flags.contains(&arg.as_str()) {
+            iter.next();
+        } else if !arg.starts_with("--") {
+            return Some(arg);
+        }
+    }
+    None
+}
+
+/// Where `pallas client` should connect: a Unix socket path or a
+/// `--tcp HOST:PORT` address.
+enum ClientTarget {
+    Unix(String),
+    Tcp(String),
+}
+
+impl ClientTarget {
+    /// Peels the connection target off the front of `client`'s
+    /// arguments, returning it plus the remaining arguments.
+    fn parse(args: &[String]) -> Result<(ClientTarget, &[String]), String> {
+        match args.first().map(String::as_str) {
+            Some("--tcp") => {
+                let addr = args
+                    .get(1)
+                    .ok_or("flag `--tcp` needs a HOST:PORT value")?
+                    .clone();
+                Ok((ClientTarget::Tcp(addr), &args[2..]))
+            }
+            Some(path) => Ok((ClientTarget::Unix(path.to_string()), &args[1..])),
+            None => Err("missing daemon target (a socket path or --tcp HOST:PORT)".into()),
+        }
+    }
+
+    /// Connects over the chosen transport with a one-line diagnostic
+    /// on failure.
+    fn connect(&self) -> Result<Client, String> {
+        match self {
+            ClientTarget::Unix(path) => Client::connect(path)
+                .map_err(|e| format!("cannot connect to daemon at `{path}`: {e}")),
+            ClientTarget::Tcp(addr) => Client::connect_tcp(addr.as_str())
+                .map_err(|e| format!("cannot connect to daemon at tcp `{addr}`: {e}")),
+        }
+    }
 }
 
 fn cmd_client(args: &[String]) -> Result<(), String> {
-    let socket = args.first().ok_or("missing socket path argument")?.clone();
-    let rest = &args[1..];
+    let (target, rest) = ClientTarget::parse(args)?;
     let sub = rest
         .first()
         .ok_or("missing client subcommand (check|stats|trace|shutdown|request)")?;
     let sub_args = &rest[1..];
     match sub.as_str() {
-        "check" => cmd_client_check(&socket, sub_args),
+        "check" => cmd_client_check(&target, sub_args),
         "stats" => {
-            let response = connect_client(&socket)?
+            let response = target
+                .connect()?
                 .stats()
                 .map_err(|e| format!("stats request failed: {e}"))?;
             println!("{response}");
             Ok(())
         }
         "trace" => {
-            let response = connect_client(&socket)?
+            let response = target
+                .connect()?
                 .trace()
                 .map_err(|e| format!("trace request failed: {e}"))?;
             // The summary is human-oriented; print it as text and
@@ -510,7 +581,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "shutdown" => {
-            let response = connect_client(&socket)?
+            let response = target
+                .connect()?
                 .shutdown()
                 .map_err(|e| format!("shutdown request failed: {e}"))?;
             println!("{response}");
@@ -520,7 +592,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             let path = sub_args
                 .first()
                 .ok_or("missing request file argument (a one-line JSON request)")?;
-            let mut client = connect_client(&socket)?;
+            let mut client = target.connect()?;
             for line in read_file(path)?.lines().filter(|l| !l.trim().is_empty()) {
                 let response = client
                     .request_line(line)
@@ -537,7 +609,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
 /// `check`, but analysis happens in the daemon. Output is
 /// byte-identical to the local command because the daemon embeds the
 /// very serializer output `check` prints.
-fn cmd_client_check(socket: &str, args: &[String]) -> Result<(), String> {
+fn cmd_client_check(target: &ClientTarget, args: &[String]) -> Result<(), String> {
     validate_flags(
         "client check",
         args,
@@ -552,7 +624,7 @@ fn cmd_client_check(socket: &str, args: &[String]) -> Result<(), String> {
         disable: flag_values(args, "--disable-rule"),
     };
     selection.resolve()?;
-    let mut client = connect_client(socket)?;
+    let mut client = target.connect()?;
     let mut failures = Vec::new();
     for unit in &units {
         let response = client

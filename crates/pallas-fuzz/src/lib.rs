@@ -6,9 +6,12 @@
 //!   workflow units *plus matching spec annotations*, with size and
 //!   depth knobs ([`gen::GenConfig`]).
 //! * [`oracle`] — metamorphic and differential cross-checks: the
-//!   facade, a cold and a warm engine, and (optionally) the daemon
-//!   must produce byte-identical NDJSON, and semantics-preserving
-//!   rewrites ([`rewrite`]) must leave the finding set invariant.
+//!   facade, a cold and a warm engine, and (optionally) the daemon —
+//!   over its Unix and TCP transports and through its request
+//!   coalescing path — must produce byte-identical NDJSON,
+//!   malformed daemon frames must get clean errors, and
+//!   semantics-preserving rewrites ([`rewrite`]) must leave the
+//!   finding set invariant.
 //! * [`reduce`] — a delta-debugging reducer that shrinks any
 //!   crashing or diverging unit to a minimal repro while its failure
 //!   signature is preserved.
@@ -25,11 +28,11 @@ pub mod reduce;
 pub mod rewrite;
 
 pub use gen::{generate, generate_with, GenConfig, GenUnit};
-pub use oracle::{run_oracles, Oracle, OracleFailure};
+pub use oracle::{run_oracles, DaemonClients, Oracle, OracleFailure};
 pub use reduce::{reduce_unit, signature};
 
 use pallas_core::SourceUnit;
-use pallas_service::{Client, Server, ServiceConfig};
+use pallas_service::{Bind, Client, Server, ServiceConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -128,7 +131,7 @@ pub fn run_fuzz(cfg: &FuzzConfig, progress: &mut dyn FnMut(&str)) -> FuzzReport 
     std::panic::set_hook(Box::new(|_| {}));
 
     let daemon = if cfg.daemon { DaemonGuard::start() } else { None };
-    let mut client = daemon.as_ref().and_then(|d| Client::connect(&d.socket).ok());
+    let mut clients = daemon.as_ref().and_then(DaemonGuard::clients);
 
     let mut digest = FNV_OFFSET;
     let mut failures = Vec::new();
@@ -138,7 +141,7 @@ pub fn run_fuzz(cfg: &FuzzConfig, progress: &mut dyn FnMut(&str)) -> FuzzReport 
         let unit_seed = cfg.unit_seed.unwrap_or_else(|| iteration_seed(cfg.seed, i));
         let g = generate_with(unit_seed, &cfg.gen);
         let unit = g.unit.clone();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_oracles(&unit, client.as_mut())));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_oracles(&unit, clients.as_mut())));
         let (sig, detail) = match outcome {
             Ok(Ok(ndjson)) => {
                 digest = fnv1a(digest, ndjson.as_bytes());
@@ -168,8 +171,8 @@ pub fn run_fuzz(cfg: &FuzzConfig, progress: &mut dyn FnMut(&str)) -> FuzzReport 
         });
     }
 
-    if let Some(mut c) = client.take() {
-        let _ = c.shutdown();
+    if let Some(mut c) = clients.take() {
+        let _ = c.unix.shutdown();
     }
     if let Some(d) = daemon {
         d.finish();
@@ -218,7 +221,8 @@ fn write_found(
     written
 }
 
-/// An in-process daemon on a private temp socket.
+/// An in-process daemon on a private temp socket plus a loopback TCP
+/// listener, so the daemon oracle can compare both transports.
 struct DaemonGuard {
     socket: PathBuf,
     handle: pallas_service::ServerHandle,
@@ -235,10 +239,21 @@ impl DaemonGuard {
                 .unwrap_or(0)
         ));
         let _ = std::fs::remove_file(&socket);
-        match Server::start(&socket, ServiceConfig::default()) {
+        let bind = Bind::unix(&socket).with_tcp("127.0.0.1:0");
+        match Server::start_with(bind, ServiceConfig::default()) {
             Ok(handle) => Some(DaemonGuard { socket, handle }),
             Err(_) => None,
         }
+    }
+
+    /// Connects one client per bound transport. TCP is best-effort
+    /// (the oracle degrades to Unix-only if loopback is unavailable),
+    /// but without the Unix connection the daemon battery is skipped
+    /// entirely.
+    fn clients(&self) -> Option<DaemonClients> {
+        let unix = Client::connect(&self.socket).ok()?;
+        let tcp = self.handle.tcp_addr().and_then(|addr| Client::connect_tcp(addr).ok());
+        Some(DaemonClients { unix, tcp })
     }
 
     fn finish(self) {
@@ -264,6 +279,18 @@ mod tests {
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.failures.len(), 0, "{:?}", a.failures);
         assert_eq!(b.iters, 6);
+    }
+
+    #[test]
+    fn daemon_battery_covers_transports_coalescing_and_malformed_frames() {
+        // With the daemon on (the default), every iteration checks
+        // NDJSON identity over Unix and TCP, rides the coalescing
+        // path, and fires malformed frames derived from its own
+        // request line at the framing layer.
+        let cfg = FuzzConfig { seed: 9, iters: 3, ..FuzzConfig::default() };
+        let r = run_fuzz(&cfg, &mut |_| {});
+        assert_eq!(r.iters, 3);
+        assert_eq!(r.failures.len(), 0, "{:?}", r.failures);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! | `engine-cold-warm`| cold, warm, and facade NDJSON byte-identical |
 //! | `store-cold-warm` | persistent-warm NDJSON byte-identical across a process-state drop |
 //! | `store-incremental`| appending one function recomputes only that function |
-//! | `daemon`          | daemon `check` NDJSON byte-identical         |
+//! | `daemon`          | daemon `check` NDJSON byte-identical over Unix, TCP, and the coalescing path |
+//! | `daemon-protocol` | malformed frames get kinded errors; the connection keeps serving |
 //! | `meta-rename`     | NDJSON byte-identical after suffix strip     |
 //! | `meta-churn`      | NDJSON byte-identical                        |
 //! | `meta-swap`       | unpruned (rule, fn, message) multiset equal  |
@@ -48,8 +49,12 @@ pub enum Oracle {
     /// Appending one new function re-analyzed more than that function,
     /// or the incremental result differed from a from-scratch run.
     StoreIncremental,
-    /// The daemon's NDJSON differed from the local run.
+    /// The daemon's NDJSON differed from the local run — on the Unix
+    /// transport, the TCP transport, or the coalesced delivery path.
     DaemonIdentity,
+    /// A malformed frame crashed the connection instead of producing a
+    /// kinded error, or the connection stopped serving afterwards.
+    DaemonProtocol,
     /// Identifier renaming changed the findings.
     MetaRename,
     /// Branch swapping changed the findings.
@@ -75,6 +80,7 @@ impl Oracle {
             Oracle::StoreColdWarm => "store-cold-warm",
             Oracle::StoreIncremental => "store-incremental",
             Oracle::DaemonIdentity => "daemon",
+            Oracle::DaemonProtocol => "daemon-protocol",
             Oracle::MetaRename => "meta-rename",
             Oracle::MetaSwap => "meta-swap",
             Oracle::MetaDead => "meta-dead",
@@ -92,6 +98,16 @@ pub struct OracleFailure {
     pub oracle: Oracle,
     /// What diverged (first differing line, error text, ...).
     pub detail: String,
+}
+
+/// Connections into the in-process daemon, one per bound transport.
+/// The daemon oracle runs its identity check over every transport
+/// present — responses must be byte-identical across all of them.
+pub struct DaemonClients {
+    /// The Unix-socket connection (always present when the daemon is).
+    pub unix: pallas_service::Client,
+    /// The TCP connection, when the daemon also bound a TCP listener.
+    pub tcp: Option<pallas_service::Client>,
 }
 
 /// The line-free projection of a finding set: sorted multiset of
@@ -125,7 +141,7 @@ fn fail(oracle: Oracle, detail: impl Into<String>) -> OracleFailure {
 /// the reducer can re-run the battery hermetically.
 pub fn run_oracles(
     unit: &SourceUnit,
-    daemon: Option<&mut pallas_service::Client>,
+    daemon: Option<&mut DaemonClients>,
 ) -> Result<String, OracleFailure> {
     // 1. Baseline via the facade.
     let base = Pallas::new()
@@ -167,20 +183,10 @@ pub fn run_oracles(
     // 3b. Persistence identity and incrementality (see store_oracles).
     store_oracles(unit, &base_ndjson)?;
 
-    // 4. Daemon identity.
-    if let Some(client) = daemon {
-        let resp = client
-            .check(unit)
-            .map_err(|e| fail(Oracle::DaemonIdentity, format!("request failed: {e}")))?;
-        match resp.get("ndjson").and_then(pallas_service::Value::as_str) {
-            Some(nd) if nd == base_ndjson => {}
-            Some(nd) => {
-                return Err(fail(Oracle::DaemonIdentity, first_diff(nd, &base_ndjson)));
-            }
-            None => {
-                return Err(fail(Oracle::DaemonIdentity, format!("no ndjson in response: {resp}")));
-            }
-        }
+    // 4. Daemon identity over the transport matrix, the coalescing
+    //    path, and protocol robustness on malformed frames.
+    if let Some(clients) = daemon {
+        daemon_oracles(unit, &base_ndjson, clients)?;
     }
 
     let spec_text = unit.spec_text.clone();
@@ -342,6 +348,155 @@ pub fn run_oracles(
     }
 
     Ok(base_ndjson)
+}
+
+/// The daemon cross-checks: NDJSON identity over every bound
+/// transport, identity through the coalescing path, and protocol
+/// robustness on malformed frames.
+///
+/// The coalescing probe pipelines two identical delayed `check` lines
+/// on one connection: both dispatch in a single event-loop pass while
+/// the leader is still in its artificial delay, so the second attaches
+/// as a follower and is answered by the leader's fan-out. Both
+/// responses must match the local baseline byte-for-byte and the
+/// daemon's `coalesced_hits` counter must move. The malformed frames
+/// are derived from the unit's own request line (truncation, leading
+/// garbage, unknown op), so the fuzzer's generative variety reaches
+/// the framing layer too; each must get a clean `ok:false` response
+/// and leave the connection serving.
+fn daemon_oracles(
+    unit: &SourceUnit,
+    base_ndjson: &str,
+    clients: &mut DaemonClients,
+) -> Result<(), OracleFailure> {
+    daemon_identity(&mut clients.unix, "unix", unit, base_ndjson)?;
+    if let Some(tcp) = clients.tcp.as_mut() {
+        daemon_identity(tcp, "tcp", unit, base_ndjson)?;
+    }
+
+    // Coalesced delivery path.
+    {
+        let line = pallas_service::Request::Check {
+            unit: unit.clone(),
+            delay: Some(std::time::Duration::from_millis(20)),
+            rules: pallas_service::RuleSelection::default(),
+        }
+        .to_line();
+        let before = coalesced_hits(&mut clients.unix)?;
+        let responses = clients
+            .unix
+            .pipeline(&[line.clone(), line])
+            .map_err(|e| fail(Oracle::DaemonIdentity, format!("coalesced pipeline failed: {e}")))?;
+        if responses[0] != responses[1] {
+            return Err(fail(
+                Oracle::DaemonIdentity,
+                format!("coalesced twins diverge: {}", first_diff(&responses[0], &responses[1])),
+            ));
+        }
+        let nd = response_ndjson(&responses[0])
+            .ok_or_else(|| fail(Oracle::DaemonIdentity, format!("no ndjson in coalesced response: {}", responses[0])))?;
+        if nd != base_ndjson {
+            return Err(fail(
+                Oracle::DaemonIdentity,
+                format!("coalesced: {}", first_diff(&nd, base_ndjson)),
+            ));
+        }
+        let after = coalesced_hits(&mut clients.unix)?;
+        if after <= before {
+            return Err(fail(
+                Oracle::DaemonIdentity,
+                format!("coalesced_hits did not move ({before} -> {after})"),
+            ));
+        }
+    }
+
+    // Malformed frames: clean kinded errors, connection survives.
+    {
+        let line = pallas_service::Request::Check {
+            unit: unit.clone(),
+            delay: None,
+            rules: pallas_service::RuleSelection::default(),
+        }
+        .to_line();
+        let boundary = |mut i: usize| {
+            while !line.is_char_boundary(i) {
+                i -= 1;
+            }
+            i
+        };
+        let cut = boundary(line.len() / 2);
+        let head = boundary(cut.min(24));
+        let malformed = [
+            line[..cut].to_string(),               // truncated JSON
+            format!("!!{}", &line[..head]),        // leading garbage
+            "{\"op\":\"frobnicate\"}".to_string(), // unknown op
+        ];
+        for bad in &malformed {
+            let resp = clients.unix.request_line(bad).map_err(|e| {
+                fail(Oracle::DaemonProtocol, format!("connection died on malformed frame: {e}"))
+            })?;
+            let parsed = pallas_service::json::parse(&resp).map_err(|e| {
+                fail(Oracle::DaemonProtocol, format!("unparseable error response `{resp}`: {e}"))
+            })?;
+            let clean_error = parsed.get("ok").and_then(pallas_service::Value::as_bool)
+                == Some(false)
+                && parsed.get("error").and_then(pallas_service::Value::as_str).is_some();
+            if !clean_error {
+                return Err(fail(
+                    Oracle::DaemonProtocol,
+                    format!("malformed frame answered `{resp}`, want ok:false with an error"),
+                ));
+            }
+        }
+        daemon_identity(&mut clients.unix, "unix-after-malformed", unit, base_ndjson)
+            .map_err(|f| fail(Oracle::DaemonProtocol, f.detail))?;
+    }
+    Ok(())
+}
+
+/// One transport's identity check: the daemon's `check` NDJSON must
+/// equal the local baseline byte-for-byte.
+fn daemon_identity(
+    client: &mut pallas_service::Client,
+    transport: &str,
+    unit: &SourceUnit,
+    base_ndjson: &str,
+) -> Result<(), OracleFailure> {
+    let resp = client
+        .check(unit)
+        .map_err(|e| fail(Oracle::DaemonIdentity, format!("{transport} request failed: {e}")))?;
+    match resp.get("ndjson").and_then(pallas_service::Value::as_str) {
+        Some(nd) if nd == base_ndjson => Ok(()),
+        Some(nd) => {
+            Err(fail(Oracle::DaemonIdentity, format!("{transport}: {}", first_diff(nd, base_ndjson))))
+        }
+        None => Err(fail(
+            Oracle::DaemonIdentity,
+            format!("{transport}: no ndjson in response: {resp}"),
+        )),
+    }
+}
+
+/// Extracts the `ndjson` payload from a raw response line.
+fn response_ndjson(line: &str) -> Option<String> {
+    pallas_service::json::parse(line)
+        .ok()?
+        .get("ndjson")
+        .and_then(pallas_service::Value::as_str)
+        .map(str::to_string)
+}
+
+/// Samples the daemon's `coalesced_hits` counter.
+fn coalesced_hits(client: &mut pallas_service::Client) -> Result<u64, OracleFailure> {
+    let resp = client
+        .stats()
+        .map_err(|e| fail(Oracle::DaemonIdentity, format!("stats request failed: {e}")))?;
+    Ok(resp
+        .get("stats")
+        .and_then(|s| s.get("service"))
+        .and_then(|s| s.get("coalesced_hits"))
+        .and_then(pallas_service::Value::as_u64)
+        .unwrap_or(0))
 }
 
 /// The persistent-store cross-checks, run against a scratch store

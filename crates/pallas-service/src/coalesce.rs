@@ -1,0 +1,163 @@
+//! Request coalescing: concurrent identical `check` requests share
+//! one engine computation.
+//!
+//! The coalescing key is the engine fingerprint of the request —
+//! [`pallas_core::engine::fingerprint::fingerprint_unit_with_rules`]
+//! over the unit, extraction config, and effective rule set, mixed
+//! with the request's `delay_ms` so artificial-latency test requests
+//! only merge with identical twins. The first request for a key (the
+//! *leader*) is submitted to the worker pool; every later request
+//! that arrives while the leader is still in flight (a *follower*)
+//! just registers a waiter. When the worker finishes it takes the
+//! whole waiter list and the event loop delivers the one response
+//! line to each connection, so every client still receives its own
+//! byte-identical response.
+//!
+//! All attaches happen on the single event-loop thread, so
+//! leader-vs-follower classification is race-free; workers only ever
+//! [`complete`](Coalescer::complete) or observe the shared cancel
+//! flag.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+
+/// One response destination: connection id + per-connection sequence
+/// number (the slot the response line must fill to keep ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Event-loop connection id.
+    pub conn: u64,
+    /// Per-connection response sequence number.
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    waiters: Vec<Waiter>,
+    /// Shared with the in-flight job; set when every waiter has
+    /// abandoned the request (timeout/disconnect) so the worker can
+    /// skip the computation.
+    cancelled: Arc<AtomicBool>,
+}
+
+/// Result of registering a request under a coalescing key.
+#[derive(Debug)]
+pub enum Attach {
+    /// First in: caller must submit the job, wired to this cancel flag.
+    Leader(Arc<AtomicBool>),
+    /// A computation for this key is already in flight; the waiter is
+    /// registered and will be served by the leader's completion.
+    Follower,
+}
+
+/// In-flight table of fingerprint-keyed computations.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    inflight: Mutex<HashMap<u64, Entry>>,
+}
+
+impl Coalescer {
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    /// Registers `waiter` under `key`, creating the entry (leader) or
+    /// joining an in-flight one (follower).
+    pub fn attach(&self, key: u64, waiter: Waiter) -> Attach {
+        let mut inflight = self.inflight.lock().unwrap();
+        if let Some(entry) = inflight.get_mut(&key) {
+            entry.waiters.push(waiter);
+            return Attach::Follower;
+        }
+        let cancelled = Arc::new(AtomicBool::new(false));
+        inflight.insert(
+            key,
+            Entry { waiters: vec![waiter], cancelled: Arc::clone(&cancelled) },
+        );
+        Attach::Leader(cancelled)
+    }
+
+    /// Removes a just-created leader entry whose job submission
+    /// failed (overload/shutdown), returning its waiters so each can
+    /// be answered with the rejection.
+    pub fn abort(&self, key: u64) -> Vec<Waiter> {
+        match self.inflight.lock().unwrap().remove(&key) {
+            Some(entry) => entry.waiters,
+            None => Vec::new(),
+        }
+    }
+
+    /// Takes the finished computation's waiters. Called by the worker
+    /// that ran the job; the caller fans the response line out to
+    /// every returned waiter.
+    pub fn complete(&self, key: u64) -> Vec<Waiter> {
+        self.abort(key)
+    }
+
+    /// Drops one waiter (its request timed out or its connection
+    /// died). When the last waiter leaves, the entry is removed and
+    /// the in-flight job's cancel flag is set so the worker can skip
+    /// it; a racing `complete` then simply finds no waiters.
+    pub fn cancel_waiter(&self, key: u64, waiter: Waiter) {
+        let mut inflight = self.inflight.lock().unwrap();
+        if let Some(entry) = inflight.get_mut(&key) {
+            entry.waiters.retain(|w| *w != waiter);
+            if entry.waiters.is_empty() {
+                entry.cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
+                inflight.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn w(conn: u64, seq: u64) -> Waiter {
+        Waiter { conn, seq }
+    }
+
+    #[test]
+    fn first_attach_leads_rest_follow_complete_returns_all() {
+        let c = Coalescer::new();
+        assert!(matches!(c.attach(7, w(1, 0)), Attach::Leader(_)));
+        assert!(matches!(c.attach(7, w(2, 0)), Attach::Follower));
+        assert!(matches!(c.attach(7, w(2, 1)), Attach::Follower));
+        // A different key gets its own leader.
+        assert!(matches!(c.attach(8, w(3, 0)), Attach::Leader(_)));
+        let waiters = c.complete(7);
+        assert_eq!(waiters, vec![w(1, 0), w(2, 0), w(2, 1)]);
+        // The key is free again: next attach leads.
+        assert!(matches!(c.attach(7, w(4, 0)), Attach::Leader(_)));
+    }
+
+    #[test]
+    fn cancelling_the_last_waiter_sets_the_job_cancel_flag() {
+        let c = Coalescer::new();
+        let flag = match c.attach(9, w(1, 0)) {
+            Attach::Leader(flag) => flag,
+            Attach::Follower => panic!("first attach must lead"),
+        };
+        assert!(matches!(c.attach(9, w(2, 0)), Attach::Follower));
+        c.cancel_waiter(9, w(1, 0));
+        assert!(!flag.load(Ordering::Relaxed), "waiters remain; job must run");
+        c.cancel_waiter(9, w(2, 0));
+        assert!(flag.load(Ordering::Relaxed), "no waiters left; job is cancelled");
+        // The racing complete finds nothing to deliver.
+        assert!(c.complete(9).is_empty());
+        // And the key leads again afterwards.
+        assert!(matches!(c.attach(9, w(3, 0)), Attach::Leader(_)));
+    }
+
+    #[test]
+    fn abort_returns_waiters_for_rejection_fanout() {
+        let c = Coalescer::new();
+        assert!(matches!(c.attach(3, w(1, 0)), Attach::Leader(_)));
+        assert!(matches!(c.attach(3, w(1, 1)), Attach::Follower));
+        assert_eq!(c.abort(3), vec![w(1, 0), w(1, 1)]);
+        assert!(c.abort(3).is_empty());
+    }
+}

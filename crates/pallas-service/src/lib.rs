@@ -4,34 +4,45 @@
 //! invocations rebuild the whole frontend every time and throw the
 //! staged engine's fingerprint cache away on exit; this crate keeps a
 //! single shared [`Engine`](pallas_core::Engine) alive behind a
-//! Unix-domain socket so repeated requests for the same `(source,
-//! spec, config)` are served from the bounded frontend cache.
+//! Unix-domain socket and/or a TCP listener ([`Bind`]) so repeated
+//! requests for the same `(source, spec, config)` are served from the
+//! bounded frontend cache. Both transports speak exactly the same
+//! protocol and produce byte-identical responses.
 //!
 //! The daemon speaks a newline-delimited JSON protocol
 //! ([`protocol`]): `check`, `batch`, `stats`, and `shutdown`
-//! requests, one response line per request. Requests flow through an
-//! admission controller ([`admission`]) — a bounded pending queue
-//! with explicit overload rejection — into a configurable worker
-//! pool; a per-request wall-clock timeout is enforced around the
-//! engine call, and graceful shutdown drains admitted work. A
+//! requests, one response line per request, in request order. A
+//! single nonblocking event loop (readiness via `poll(2)`)
+//! multiplexes every connection: per-connection buffers
+//! and a line-framing state machine assemble requests, which flow
+//! through an admission controller ([`admission`]) — a bounded
+//! pending queue with explicit overload rejection — into a
+//! configurable worker pool. Concurrent identical `check` requests
+//! are **coalesced** into one computation keyed by the engine
+//! fingerprint, each client still getting its own response. A
+//! per-request wall-clock timeout is enforced by the event loop, and
+//! graceful shutdown is a rolling drain: listeners close, in-flight
+//! work finishes, every response and the persistent store flush. A
 //! metrics registry ([`metrics`]) of atomic counters and fixed-bucket
 //! latency histograms is sampled by `stats` and summarized on
 //! shutdown.
 //!
 //! ```no_run
 //! use pallas_core::SourceUnit;
-//! use pallas_service::{Client, Server, ServiceConfig};
+//! use pallas_service::{Bind, Client, Server, ServiceConfig};
 //!
 //! # fn main() -> std::io::Result<()> {
-//! let handle = Server::start("/tmp/pallas.sock", ServiceConfig::default())?;
-//! let mut client = Client::connect("/tmp/pallas.sock")?;
+//! let bind = Bind::unix("/tmp/pallas.sock").with_tcp("127.0.0.1:0");
+//! let handle = Server::start_with(bind, ServiceConfig::default())?;
+//! let mut unix = Client::connect("/tmp/pallas.sock")?;
+//! let mut tcp = Client::connect_tcp(handle.tcp_addr().unwrap())?;
 //! let unit = SourceUnit::new("demo")
 //!     .with_file("demo.c", "int f(void) { return 0; }")
 //!     .with_spec("fastpath f;");
-//! let first = client.check(&unit)?; // cold: builds the frontend
-//! let again = client.check(&unit)?; // warm: frontend cache hit
-//! assert_eq!(first.get("report"), again.get("report"));
-//! client.shutdown()?;
+//! let a = unix.check(&unit)?; // cold: builds the frontend
+//! let b = tcp.check(&unit)?; // warm, other transport: same bytes
+//! assert_eq!(a.get("report"), b.get("report"));
+//! unix.shutdown()?;
 //! println!("{}", handle.wait()); // metrics summary
 //! # Ok(())
 //! # }
@@ -39,14 +50,17 @@
 
 pub mod admission;
 pub mod client;
+mod coalesce;
 pub mod json;
 pub mod metrics;
+mod mux;
+mod poll;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{Admission, AdmissionError};
-pub use client::Client;
+pub use client::{Client, ClientStream};
 pub use json::Value;
 pub use metrics::{Histogram, ServiceMetrics};
 pub use protocol::{Request, RuleSelection};
-pub use server::{Server, ServerHandle, ServiceConfig};
+pub use server::{Bind, Server, ServerHandle, ServiceConfig};

@@ -109,6 +109,17 @@ pub struct ServiceMetrics {
     pub completed: AtomicU64,
     /// Malformed request lines.
     pub protocol_errors: AtomicU64,
+    /// Check requests served by riding an identical in-flight
+    /// computation instead of running their own (request coalescing).
+    pub coalesced_hits: AtomicU64,
+    /// Connections accepted on the Unix-domain listener.
+    pub unix_connections: AtomicU64,
+    /// Connections accepted on the TCP listener.
+    pub tcp_connections: AtomicU64,
+    /// Finished responses with nobody left to read them (the request
+    /// timed out or its connection closed before the worker was
+    /// done). Stays zero under healthy load.
+    pub dropped_completions: AtomicU64,
     /// End-to-end request latency (admission + analysis).
     pub request_latency: Histogram,
     /// Time jobs sat in the admission queue before a worker picked
@@ -166,6 +177,10 @@ impl ServiceMetrics {
                     ("rejected_overload", load(&self.rejected_overload)),
                     ("timed_out", load(&self.timed_out)),
                     ("protocol_errors", load(&self.protocol_errors)),
+                    ("coalesced_hits", load(&self.coalesced_hits)),
+                    ("unix_connections", load(&self.unix_connections)),
+                    ("tcp_connections", load(&self.tcp_connections)),
+                    ("dropped_completions", load(&self.dropped_completions)),
                     ("queue_depth", n(queue_depth as u64)),
                     ("workers", n(workers as u64)),
                 ]),
@@ -240,11 +255,12 @@ impl ServiceMetrics {
             String::new()
         };
         format!(
-            "served {} request(s): {} completed, {} failed, {} overloaded, {} timed out \
-             (mean latency {}µs); engine: {} hit(s) / {} miss(es) / {} eviction(s), \
+            "served {} request(s): {} completed, {} coalesced, {} failed, {} overloaded, \
+             {} timed out (mean latency {}µs); engine: {} hit(s) / {} miss(es) / {} eviction(s), \
              {}/{} frontend(s) resident{store}\n",
             load(&self.received),
             load(&self.completed),
+            load(&self.coalesced_hits),
             load(&self.failed),
             load(&self.rejected_overload),
             load(&self.timed_out),

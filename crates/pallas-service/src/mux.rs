@@ -1,0 +1,815 @@
+//! The multiplexed event loop: one thread drives every connection.
+//!
+//! A single loop polls (via [`crate::poll`]) the listening sockets,
+//! every live connection, and a self-pipe waker. Each connection owns
+//! a read buffer with a line-framing state machine, a write buffer,
+//! and a per-request sequence number; complete NDJSON request lines
+//! are dispatched inline (`stats`/`trace`/`shutdown`) or submitted to
+//! the worker pool (`check`/`batch`), and worker completions flow
+//! back through a shared completion queue. Responses are staged into
+//! a per-connection reorder buffer and flushed strictly in request
+//! order, so pipelined clients always read answers in the order they
+//! asked — even when a later request finishes (or coalesces) first.
+//!
+//! The framing state machine per connection:
+//!
+//! ```text
+//!             +-- newline: dispatch line, stay --+
+//!             v                                  |
+//!   [accumulating] --- bytes > max_line_bytes ---+--> [discarding]
+//!             ^                                           |
+//!             +----------- newline: error sent, reset ----+
+//! ```
+//!
+//! A line that outgrows `max_line_bytes` without a newline gets a
+//! clean `protocol` error response and the connection survives: the
+//! oversized tail is discarded up to the next newline and framing
+//! resumes. Slow readers never block the loop — output beyond the
+//! socket buffer waits in the connection's write buffer for
+//! `POLLOUT`, and a connection with an excessive write backlog stops
+//! being read until it drains (backpressure instead of unbounded
+//! buffering).
+//!
+//! Shutdown is a rolling drain: close the listeners (new connects are
+//! refused), stop reading, let in-flight jobs finish and their
+//! responses flush, then exit. The drain is bounded by the request
+//! timeout so a wedged client cannot hold the daemon open forever.
+
+use crate::admission::AdmissionError;
+use crate::coalesce::{Attach, Waiter};
+use crate::json::{n, obj, s, Value};
+use crate::metrics::ServiceMetrics;
+use crate::poll::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::protocol::{error_response, kinded_error_response, Request, RuleSelection};
+use crate::server::{Completion, Job, JobKind, Route, Shared};
+use pallas_checkers::RuleSet;
+use pallas_core::engine::fingerprint::{fingerprint_unit_with_rules, Fnv1a};
+use pallas_core::SourceUnit;
+use pallas_trace::AttrValue;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll tick upper bound: how stale the shutdown flag can get.
+const TICK: Duration = Duration::from_millis(50);
+/// Per-read-pass byte cap so one firehose client cannot starve the
+/// rest of the loop (level-triggered poll re-reports leftover data).
+const READ_PASS_CHUNKS: usize = 16;
+/// Write backlog (bytes) beyond which a connection stops being read.
+const WRITE_BACKPRESSURE: usize = 1 << 20;
+
+/// A bound listening socket, either transport.
+pub(crate) enum ListenerSocket {
+    /// Unix-domain listener plus the path to unlink when it closes.
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl ListenerSocket {
+    fn fd(&self) -> RawFd {
+        match self {
+            ListenerSocket::Unix(l, _) => l.as_raw_fd(),
+            ListenerSocket::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    /// Accepts one pending connection; `None` when the backlog is
+    /// empty (`WouldBlock`).
+    fn accept(&self) -> std::io::Result<Option<StreamSocket>> {
+        match self {
+            ListenerSocket::Unix(l, _) => match l.accept() {
+                Ok((stream, _)) => Ok(Some(StreamSocket::Unix(stream))),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            ListenerSocket::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    // Request/response lines are tiny; never trade
+                    // latency for Nagle batching.
+                    let _ = stream.set_nodelay(true);
+                    Ok(Some(StreamSocket::Tcp(stream)))
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    fn close(self) {
+        if let ListenerSocket::Unix(_, path) = &self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One accepted connection stream, either transport.
+pub(crate) enum StreamSocket {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl StreamSocket {
+    fn fd(&self) -> RawFd {
+        match self {
+            StreamSocket::Unix(s) => s.as_raw_fd(),
+            StreamSocket::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            StreamSocket::Unix(s) => s.set_nonblocking(true),
+            StreamSocket::Tcp(s) => s.set_nonblocking(true),
+        }
+    }
+
+    fn transport(&self) -> &'static str {
+        match self {
+            StreamSocket::Unix(_) => "unix",
+            StreamSocket::Tcp(_) => "tcp",
+        }
+    }
+}
+
+impl Read for StreamSocket {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            StreamSocket::Unix(s) => s.read(buf),
+            StreamSocket::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamSocket {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            StreamSocket::Unix(s) => s.write(buf),
+            StreamSocket::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            StreamSocket::Unix(s) => s.flush(),
+            StreamSocket::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// How to cancel an in-flight request when its waiter goes away.
+enum Cancel {
+    /// Sole owner of the job: flip its flag and a worker skips it.
+    Direct(Arc<AtomicBool>),
+    /// One of possibly many waiters on a coalesced computation.
+    Coalesced { key: u64 },
+}
+
+/// A submitted request awaiting its worker completion.
+struct PendingReq {
+    started: Instant,
+    deadline: Instant,
+    cancel: Cancel,
+}
+
+/// Per-connection state: framing, reordering, and write buffering.
+struct Conn {
+    id: u64,
+    stream: StreamSocket,
+    /// Bytes read but not yet framed into lines.
+    read_buf: Vec<u8>,
+    /// Newline scan resumes here (everything before it was scanned).
+    scan_from: usize,
+    /// Framing state: discarding an oversized line's tail.
+    discarding: bool,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Next request sequence number to assign.
+    next_seq: u64,
+    /// Next sequence number whose response may be written.
+    next_to_send: u64,
+    /// Finished responses waiting for their turn in request order.
+    ready: BTreeMap<u64, String>,
+    /// Requests handed to the worker pool, by sequence number.
+    pending: HashMap<u64, PendingReq>,
+    /// Peer sent EOF (or `shutdown`); flush what remains, then close.
+    closed_read: bool,
+    /// Unrecoverable socket error; drop without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(id: u64, stream: StreamSocket) -> Conn {
+        Conn {
+            id,
+            stream,
+            read_buf: Vec::new(),
+            scan_from: 0,
+            discarding: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            next_seq: 0,
+            next_to_send: 0,
+            ready: BTreeMap::new(),
+            pending: HashMap::new(),
+            closed_read: false,
+            dead: false,
+        }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    fn has_unwritten(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// All responses delivered and flushed: nothing left to do.
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.ready.is_empty() && !self.has_unwritten()
+    }
+}
+
+/// What a poll-set slot refers to.
+enum Slot {
+    Waker,
+    Listener(usize),
+    Conn(u64),
+}
+
+/// Runs the event loop until shutdown completes. Owns the listeners;
+/// they are closed (and Unix socket paths unlinked) the moment drain
+/// begins, so a restarting daemon can rebind immediately.
+pub(crate) fn mux_loop(listeners: Vec<ListenerSocket>, shared: &Arc<Shared>) {
+    let mut listeners = Some(listeners);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let draining = shared.shutdown.load(Ordering::Relaxed);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + shared.config.timeout);
+            if let Some(listeners) = listeners.take() {
+                for listener in listeners {
+                    listener.close();
+                }
+            }
+            pallas_trace::instant(
+                pallas_trace::Layer::Service,
+                "drain_start",
+                vec![("connections", AttrValue::U64(conns.len() as u64))],
+            );
+        }
+        if draining {
+            if conns.values().all(Conn::drained) {
+                break;
+            }
+            if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                // Bounded drain: a wedged client forfeits its
+                // in-flight responses rather than holding the daemon.
+                for conn in conns.values() {
+                    cancel_all_pending(shared, conn);
+                }
+                break;
+            }
+        }
+
+        // Assemble the poll set: waker, listeners (unless draining),
+        // then one slot per connection.
+        let mut fds = vec![PollFd::new(shared.waker.fd(), POLLIN)];
+        let mut slots = vec![Slot::Waker];
+        if let Some(listeners) = &listeners {
+            for (i, listener) in listeners.iter().enumerate() {
+                fds.push(PollFd::new(listener.fd(), POLLIN));
+                slots.push(Slot::Listener(i));
+            }
+        }
+        for conn in conns.values() {
+            let mut events = 0i16;
+            let backpressured = conn.write_buf.len() - conn.write_pos > WRITE_BACKPRESSURE;
+            if !conn.closed_read && !draining && !backpressured {
+                events |= POLLIN;
+            }
+            if conn.has_unwritten() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.fd(), events));
+            slots.push(Slot::Conn(conn.id));
+        }
+
+        let timeout = poll_timeout(&conns, drain_deadline);
+        if poll_fds(&mut fds, timeout).is_err() {
+            // EINTR is retried inside poll_fds; anything else here is
+            // a broken fd we will discover per-connection below.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut accepted: Vec<StreamSocket> = Vec::new();
+        for (fd, slot) in fds.iter().zip(&slots) {
+            match slot {
+                Slot::Waker => {
+                    if fd.has(POLLIN) {
+                        shared.waker.drain();
+                    }
+                }
+                Slot::Listener(i) => {
+                    if fd.has(POLLIN | POLLERR) {
+                        if let Some(listeners) = &listeners {
+                            while let Ok(Some(stream)) = listeners[*i].accept() {
+                                accepted.push(stream);
+                            }
+                        }
+                    }
+                }
+                Slot::Conn(id) => {
+                    let conn = conns.get_mut(id).expect("slot maps to a live connection");
+                    if fd.has(POLLNVAL) {
+                        conn.dead = true;
+                        continue;
+                    }
+                    if fd.has(POLLIN | POLLHUP | POLLERR) && !conn.closed_read && !draining {
+                        read_pass(shared, conn);
+                    } else if fd.has(POLLHUP | POLLERR) {
+                        // No reads wanted anymore; a hangup now means
+                        // the flush can never succeed either.
+                        conn.closed_read = true;
+                    }
+                }
+            }
+        }
+
+        for stream in accepted {
+            if stream.set_nonblocking().is_err() {
+                continue;
+            }
+            next_conn_id += 1;
+            match stream.transport() {
+                "tcp" => ServiceMetrics::bump(&shared.metrics.tcp_connections),
+                _ => ServiceMetrics::bump(&shared.metrics.unix_connections),
+            }
+            pallas_trace::instant(
+                pallas_trace::Layer::Service,
+                "conn_open",
+                vec![
+                    ("conn", AttrValue::U64(next_conn_id)),
+                    ("transport", AttrValue::Str(stream.transport().to_string())),
+                ],
+            );
+            conns.insert(next_conn_id, Conn::new(next_conn_id, stream));
+        }
+
+        // Worker completions → per-connection reorder buffers.
+        drain_completions(shared, &mut conns);
+
+        // Expired deadlines → timeout error responses + cancellation.
+        let now = Instant::now();
+        for conn in conns.values_mut() {
+            expire_timeouts(shared, conn, now);
+        }
+
+        // Stage in-order responses and push bytes.
+        for conn in conns.values_mut() {
+            stage_ready(conn);
+            if conn.has_unwritten() && !flush_writes(conn) {
+                conn.dead = true;
+            }
+        }
+
+        conns.retain(|_, conn| {
+            if conn.dead {
+                cancel_all_pending(shared, conn);
+            } else if !(conn.closed_read && conn.drained()) {
+                return true;
+            }
+            pallas_trace::instant(
+                pallas_trace::Layer::Service,
+                "conn_close",
+                vec![("conn", AttrValue::U64(conn.id))],
+            );
+            false
+        });
+    }
+}
+
+/// Shortest wait that still honours the nearest request deadline (or
+/// the drain deadline), capped at [`TICK`].
+fn poll_timeout(conns: &HashMap<u64, Conn>, drain_deadline: Option<Instant>) -> i32 {
+    let now = Instant::now();
+    let mut timeout = TICK;
+    let nearest = conns
+        .values()
+        .flat_map(|c| c.pending.values().map(|p| p.deadline))
+        .chain(drain_deadline)
+        .min();
+    if let Some(deadline) = nearest {
+        timeout = timeout.min(deadline.saturating_duration_since(now));
+    }
+    timeout.as_millis().min(i32::MAX as u128) as i32
+}
+
+/// Reads everything currently available on the connection (bounded
+/// per pass) and dispatches every complete line.
+fn read_pass(shared: &Arc<Shared>, conn: &mut Conn) {
+    let mut chunk = [0u8; 64 * 1024];
+    for _ in 0..READ_PASS_CHUNKS {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.closed_read = true;
+                break;
+            }
+            Ok(len) => {
+                conn.read_buf.extend_from_slice(&chunk[..len]);
+                frame_lines(shared, conn);
+                if conn.closed_read {
+                    break; // `shutdown` request: ignore the rest
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// The framing state machine: splits the read buffer into lines,
+/// enforcing the line-length bound, and dispatches each request.
+fn frame_lines(shared: &Arc<Shared>, conn: &mut Conn) {
+    loop {
+        if conn.discarding {
+            match conn.read_buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    conn.read_buf.drain(..=pos);
+                    conn.scan_from = 0;
+                    conn.discarding = false;
+                }
+                None => {
+                    conn.read_buf.clear();
+                    conn.scan_from = 0;
+                    return;
+                }
+            }
+            continue;
+        }
+        match conn.read_buf[conn.scan_from..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let end = conn.scan_from + rel;
+                let line: Vec<u8> = conn.read_buf.drain(..=end).collect();
+                conn.scan_from = 0;
+                dispatch_line(shared, conn, &line[..line.len() - 1]);
+                if conn.closed_read {
+                    // `shutdown` was requested on this connection;
+                    // anything else it pipelined is moot.
+                    conn.read_buf.clear();
+                    return;
+                }
+            }
+            None => {
+                conn.scan_from = conn.read_buf.len();
+                if conn.read_buf.len() > shared.config.max_line_bytes {
+                    ServiceMetrics::bump(&shared.metrics.protocol_errors);
+                    let seq = conn.alloc_seq();
+                    conn.ready.insert(
+                        seq,
+                        kinded_error_response(
+                            "protocol",
+                            &format!(
+                                "request line exceeds the {} byte limit",
+                                shared.config.max_line_bytes
+                            ),
+                        ),
+                    );
+                    // Release the hoarded bytes (memory stays flat no
+                    // matter how large the oversized line was) and
+                    // skip to the next newline.
+                    conn.read_buf = Vec::new();
+                    conn.scan_from = 0;
+                    conn.discarding = true;
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one complete request line: inline ops answer immediately
+/// into the reorder buffer; check/batch are submitted to the pool.
+fn dispatch_line(shared: &Arc<Shared>, conn: &mut Conn, raw: &[u8]) {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        ServiceMetrics::bump(&shared.metrics.received);
+        ServiceMetrics::bump(&shared.metrics.protocol_errors);
+        let seq = conn.alloc_seq();
+        conn.ready
+            .insert(seq, kinded_error_response("protocol", "request line is not valid UTF-8"));
+        return;
+    };
+    let line = text.trim();
+    if line.is_empty() {
+        return; // blank keep-alive line: no response owed
+    }
+    ServiceMetrics::bump(&shared.metrics.received);
+    let seq = conn.alloc_seq();
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            ServiceMetrics::bump(&shared.metrics.protocol_errors);
+            conn.ready.insert(seq, error_response(&message));
+            return;
+        }
+    };
+    match request {
+        Request::Stats => {
+            let snapshot = shared.metrics.to_json(
+                &shared.engine.stats(),
+                shared.admission.depth(),
+                shared.config.workers,
+            );
+            conn.ready.insert(
+                seq,
+                obj(vec![("ok", Value::Bool(true)), ("stats", snapshot)]).to_string(),
+            );
+        }
+        Request::Trace => {
+            let enabled = pallas_trace::enabled();
+            let records = pallas_trace::take();
+            let response = obj(vec![
+                ("ok", Value::Bool(true)),
+                ("enabled", Value::Bool(enabled)),
+                ("spans", n(records.len() as u64)),
+                ("dropped", n(pallas_trace::dropped())),
+                ("chrome", s(pallas_trace::chrome::export_chrome(&records))),
+                (
+                    "summary",
+                    s(pallas_trace::summary::render_trace_summary(&records, 10)),
+                ),
+            ]);
+            conn.ready.insert(seq, response.to_string());
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            conn.ready.insert(
+                seq,
+                obj(vec![("ok", Value::Bool(true)), ("shutdown", Value::Bool(true))]).to_string(),
+            );
+            conn.closed_read = true;
+        }
+        Request::Check { unit, delay, rules } => match resolve_rules(&rules) {
+            Ok(rules) => submit_check(shared, conn, seq, unit, delay.map(|d| d.as_millis() as u64), rules),
+            Err(line) => {
+                conn.ready.insert(seq, line);
+            }
+        },
+        Request::Batch { units, delay, rules } => match resolve_rules(&rules) {
+            Ok(rules) => {
+                submit_direct(shared, conn, seq, JobKind::Batch { units, delay, rules })
+            }
+            Err(line) => {
+                conn.ready.insert(seq, line);
+            }
+        },
+    }
+}
+
+/// Resolves a request's rule selection before admission, so an
+/// unknown rule name fails fast as a protocol error instead of
+/// occupying a worker. `None` means "the engine's configured set".
+fn resolve_rules(selection: &RuleSelection) -> Result<Option<RuleSet>, String> {
+    if selection.is_default() {
+        return Ok(None);
+    }
+    selection.resolve().map(Some).map_err(|e| error_response(&e))
+}
+
+/// The coalescing key: the engine's own cache fingerprint for the
+/// request (unit + extraction config + effective rule set) mixed with
+/// the artificial delay, so a deliberately-slowed test request only
+/// merges with an identical twin.
+fn coalesce_key(
+    shared: &Arc<Shared>,
+    unit: &SourceUnit,
+    delay_ms: Option<u64>,
+    rules: Option<&RuleSet>,
+) -> u64 {
+    let fingerprint = fingerprint_unit_with_rules(
+        unit,
+        shared.engine.config(),
+        rules.unwrap_or_else(|| shared.engine.rules()),
+    );
+    let mut h = Fnv1a::new();
+    h.write_u64(fingerprint);
+    // Distinct sentinel for "no delay" so it cannot collide with 0ms.
+    h.write_u64(delay_ms.map_or(u64::MAX, |ms| ms));
+    h.write_u64(u64::from(delay_ms.is_some()));
+    h.finish()
+}
+
+/// Submits a `check`, sharing an in-flight identical computation when
+/// coalescing is enabled.
+fn submit_check(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    seq: u64,
+    unit: SourceUnit,
+    delay_ms: Option<u64>,
+    rules: Option<RuleSet>,
+) {
+    let delay = delay_ms.map(Duration::from_millis);
+    if !shared.config.coalesce {
+        submit_direct(shared, conn, seq, JobKind::Check { unit, delay, rules });
+        return;
+    }
+    let key = coalesce_key(shared, &unit, delay_ms, rules.as_ref());
+    let waiter = Waiter { conn: conn.id, seq };
+    let started = Instant::now();
+    match shared.coalescer.attach(key, waiter) {
+        Attach::Follower => {
+            // An identical computation is already in flight; ride it.
+            ServiceMetrics::bump(&shared.metrics.coalesced_hits);
+            pallas_trace::instant(
+                pallas_trace::Layer::Service,
+                "coalesced",
+                vec![("conn", AttrValue::U64(conn.id)), ("key", AttrValue::U64(key))],
+            );
+            conn.pending.insert(
+                seq,
+                PendingReq {
+                    started,
+                    deadline: started + shared.config.timeout,
+                    cancel: Cancel::Coalesced { key },
+                },
+            );
+        }
+        Attach::Leader(cancelled) => {
+            let job = Job {
+                kind: JobKind::Check { unit, delay, rules },
+                route: Route::Coalesced { key },
+                cancelled,
+                submitted: started,
+            };
+            match shared.admission.submit(job) {
+                Ok(()) => {
+                    ServiceMetrics::bump(&shared.metrics.accepted);
+                    conn.pending.insert(
+                        seq,
+                        PendingReq {
+                            started,
+                            deadline: started + shared.config.timeout,
+                            cancel: Cancel::Coalesced { key },
+                        },
+                    );
+                }
+                Err(err) => {
+                    // Attach and submit happen on this one thread, so
+                    // the aborted entry's only waiter is this request.
+                    shared.coalescer.abort(key);
+                    conn.ready.insert(seq, rejection_line(shared, &err));
+                }
+            }
+        }
+    }
+}
+
+/// Submits a job that is the sole owner of its computation (batches,
+/// and checks when coalescing is off).
+fn submit_direct(shared: &Arc<Shared>, conn: &mut Conn, seq: u64, kind: JobKind) {
+    let started = Instant::now();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let job = Job {
+        kind,
+        route: Route::Direct(Waiter { conn: conn.id, seq }),
+        cancelled: Arc::clone(&cancelled),
+        submitted: started,
+    };
+    match shared.admission.submit(job) {
+        Ok(()) => {
+            ServiceMetrics::bump(&shared.metrics.accepted);
+            conn.pending.insert(
+                seq,
+                PendingReq {
+                    started,
+                    deadline: started + shared.config.timeout,
+                    cancel: Cancel::Direct(cancelled),
+                },
+            );
+        }
+        Err(err) => {
+            conn.ready.insert(seq, rejection_line(shared, &err));
+        }
+    }
+}
+
+fn rejection_line(shared: &Arc<Shared>, err: &AdmissionError) -> String {
+    match err {
+        AdmissionError::Overloaded { depth } => {
+            ServiceMetrics::bump(&shared.metrics.rejected_overload);
+            kinded_error_response(
+                "overload",
+                &format!("overloaded: pending queue is full ({depth} deep); retry later"),
+            )
+        }
+        AdmissionError::ShuttingDown => error_response("daemon is shutting down"),
+    }
+}
+
+/// Moves finished worker completions into their connections' reorder
+/// buffers. A completion whose connection or request is gone (client
+/// hung up, request already timed out) is counted, not delivered.
+fn drain_completions(shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>) {
+    let completions: Vec<Completion> =
+        std::mem::take(&mut *shared.completions.lock().expect("completion queue"));
+    for completion in completions {
+        let slot = conns
+            .get_mut(&completion.conn)
+            .and_then(|conn| conn.pending.remove(&completion.seq).map(|p| (conn, p)));
+        match slot {
+            Some((conn, pending)) => {
+                shared.metrics.request_latency.record(pending.started.elapsed());
+                conn.ready.insert(completion.seq, completion.line);
+            }
+            None => ServiceMetrics::bump(&shared.metrics.dropped_completions),
+        }
+    }
+}
+
+/// Answers every pending request whose deadline has passed with a
+/// `timeout` error and cancels its computation (for a coalesced
+/// request, only this waiter leaves; the computation dies when the
+/// last one does).
+fn expire_timeouts(shared: &Arc<Shared>, conn: &mut Conn, now: Instant) {
+    let expired: Vec<u64> = conn
+        .pending
+        .iter()
+        .filter(|(_, p)| p.deadline <= now)
+        .map(|(&seq, _)| seq)
+        .collect();
+    for seq in expired {
+        let pending = conn.pending.remove(&seq).expect("expired seq is pending");
+        ServiceMetrics::bump(&shared.metrics.timed_out);
+        match pending.cancel {
+            Cancel::Direct(flag) => flag.store(true, Ordering::Relaxed),
+            Cancel::Coalesced { key } => {
+                shared.coalescer.cancel_waiter(key, Waiter { conn: conn.id, seq });
+            }
+        }
+        conn.ready.insert(
+            seq,
+            kinded_error_response(
+                "timeout",
+                &format!("request exceeded {}ms budget", shared.config.timeout.as_millis()),
+            ),
+        );
+    }
+}
+
+/// Flips every in-flight request's cancel switch (connection died).
+fn cancel_all_pending(shared: &Arc<Shared>, conn: &Conn) {
+    for (&seq, pending) in &conn.pending {
+        match &pending.cancel {
+            Cancel::Direct(flag) => flag.store(true, Ordering::Relaxed),
+            Cancel::Coalesced { key } => {
+                shared.coalescer.cancel_waiter(*key, Waiter { conn: conn.id, seq });
+            }
+        }
+    }
+}
+
+/// Appends consecutive ready responses (in request order) to the
+/// write buffer. A response for sequence N+1 waits until N's is
+/// staged, which is the whole ordering guarantee.
+fn stage_ready(conn: &mut Conn) {
+    while let Some(line) = conn.ready.remove(&conn.next_to_send) {
+        conn.write_buf.extend_from_slice(line.as_bytes());
+        conn.write_buf.push(b'\n');
+        conn.next_to_send += 1;
+    }
+}
+
+/// Pushes buffered bytes until the socket would block. Returns false
+/// when the connection is unusable (peer gone).
+fn flush_writes(conn: &mut Conn) -> bool {
+    while conn.has_unwritten() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return false,
+            Ok(written) => conn.write_pos += written,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if !conn.has_unwritten() && !conn.write_buf.is_empty() {
+        conn.write_buf = Vec::new();
+        conn.write_pos = 0;
+    }
+    true
+}

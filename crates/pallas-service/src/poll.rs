@@ -1,0 +1,167 @@
+//! Minimal readiness primitives for the multiplexed event loop.
+//!
+//! The build environment has no registry, so there is no `mio` (or
+//! even `libc`) to lean on; this module declares the three syscalls
+//! the event loop needs — `poll(2)`, `pipe2(2)`, and the raw
+//! `read`/`write`/`close` for the self-pipe — directly against the C
+//! library that `std` already links. Everything unsafe in the crate
+//! lives here, behind two safe types:
+//!
+//! * [`poll_fds`] — a retrying wrapper over `poll(2)` (EINTR is
+//!   transparent to callers);
+//! * [`Waker`] — a self-pipe: worker threads [`wake`](Waker::wake)
+//!   the event loop out of its `poll` sleep when a completion is
+//!   ready, and the loop [`drain`](Waker::drain)s the pipe on wakeup.
+//!
+//! Linux-only by construction (`pipe2`, octal `O_NONBLOCK`), which
+//! matches the Unix-socket transport this crate already requires.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// One entry of the `poll(2)` fd set (`struct pollfd`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events (filled by the kernel).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// Whether any of `mask`'s bits came back in `revents`.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition on the descriptor (always reported).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (always reported).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is invalid (always reported).
+pub const POLLNVAL: i16 = 0x020;
+
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Polls `fds` for readiness, retrying on `EINTR`. `timeout_ms < 0`
+/// blocks indefinitely; `0` returns immediately. Returns the number
+/// of entries with nonzero `revents`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A self-pipe that lets any thread interrupt the event loop's
+/// `poll` sleep. Both ends are nonblocking: a full pipe means a wake
+/// is already pending, so [`wake`](Waker::wake) never blocks and
+/// never needs to succeed more than once per sleep.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// A fresh self-pipe.
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { read_fd: fds[0], write_fd: fds[1] })
+    }
+
+    /// The readable end, for the event loop's poll set.
+    pub fn fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Interrupts the event loop. Infallible by design: `EAGAIN`
+    /// means the pipe already holds an undrained wake.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        let _ = unsafe { write(self.write_fd, &byte, 1) };
+    }
+
+    /// Drains every pending wake byte (call when [`fd`](Waker::fd)
+    /// polls readable, before processing completions).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_round_trip_unblocks_poll() {
+        let waker = Waker::new().unwrap();
+        // Nothing pending: poll times out immediately.
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        // A wake makes the read end pollable, draining clears it.
+        waker.wake();
+        waker.wake(); // coalesces; second wake never blocks
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].has(POLLIN));
+        waker.drain();
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread_is_seen() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 5_000).unwrap();
+        t.join().unwrap();
+        assert_eq!(ready, 1, "poll must wake on a cross-thread wake()");
+    }
+}

@@ -1,42 +1,53 @@
 //! The analysis daemon.
 //!
-//! [`Server::start`] binds a Unix-domain socket and spins up three
-//! kinds of threads around one shared [`Engine`]:
+//! [`Server::start_with`] binds a Unix-domain socket and/or a TCP
+//! listener ([`Bind`]) and spins up two kinds of threads around one
+//! shared [`Engine`]:
 //!
-//! * an **accept loop** that hands each connection to its own thread;
-//! * **connection threads** that read newline-delimited JSON requests,
-//!   push check/batch work through the [`Admission`] queue, and
-//!   enforce the per-request wall-clock timeout around the engine
-//!   call (a request that blows the budget gets a `timeout` error and
-//!   its job is flagged cancelled so an unstarted copy is skipped);
+//! * a single **event-loop thread** ([`crate::mux`]) that multiplexes
+//!   every listener and connection through a nonblocking readiness
+//!   loop: it frames newline-delimited JSON requests, answers
+//!   `stats`/`trace`/`shutdown` inline, pushes check/batch work
+//!   through the [`Admission`] queue, enforces the per-request
+//!   wall-clock timeout, and drains worker completions back to
+//!   clients in strict per-connection request order;
 //! * a **worker pool** that executes admitted jobs. A `batch` job
 //!   fans its units out through the engine's work-stealing scheduler
 //!   (`check_many_jobs`), so one request can still use every worker.
+//!
+//! Identical concurrent `check` requests are **coalesced**
+//! ([`crate::coalesce`]): keyed by the engine fingerprint, the first
+//! becomes the one computation and the rest wait on it, each still
+//! receiving its own byte-identical response line. Both transports
+//! speak exactly the same protocol, so responses are byte-identical
+//! across Unix socket, TCP, and the coalesced path.
 //!
 //! Because every worker shares the engine, repeated requests for the
 //! same `(source, spec, config)` hit the bounded frontend cache —
 //! the daemon turns the engine cache from a per-invocation
 //! optimization into a cross-request one. Graceful shutdown (the
-//! `shutdown` request or [`ServerHandle::stop`]) refuses new work,
-//! drains everything already admitted, and returns a metrics summary
-//! for the operator log.
+//! `shutdown` request or [`ServerHandle::stop`]) closes the
+//! listeners, finishes in-flight work, flushes every response and the
+//! persistent store, and returns a metrics summary for the operator
+//! log.
 
-use crate::admission::{Admission, AdmissionError};
-use crate::json::{obj, Value};
+use crate::admission::Admission;
+use crate::coalesce::{Coalescer, Waiter};
 use crate::metrics::ServiceMetrics;
+use crate::mux::{mux_loop, ListenerSocket};
+use crate::poll::Waker;
 use crate::protocol::{
     analysis_error_response, batch_response, check_response, error_response,
-    kinded_error_response, Request,
 };
 use pallas_checkers::RuleSet;
 use pallas_core::engine::default_jobs;
 use pallas_core::{Engine, EngineConfig, SourceUnit};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,7 +60,8 @@ pub struct ServiceConfig {
     /// Bound on the pending queue; submissions beyond it are rejected
     /// with an `overload` error.
     pub queue_depth: usize,
-    /// Per-request wall-clock budget, enforced around the engine call.
+    /// Per-request wall-clock budget, enforced by the event loop (it
+    /// also bounds the graceful-drain window on shutdown).
     pub timeout: Duration,
     /// Engine configuration (extraction limits + frontend cache bound).
     pub engine: EngineConfig,
@@ -60,6 +72,14 @@ pub struct ServiceConfig {
     /// Start the process-wide trace collector when the daemon comes
     /// up; the `trace` protocol request drains it.
     pub trace: bool,
+    /// Longest accepted request line, in bytes. A line that outgrows
+    /// this without a newline gets a clean `protocol` error and is
+    /// discarded up to the next newline; the connection survives.
+    pub max_line_bytes: usize,
+    /// Share one computation among concurrent identical `check`
+    /// requests (each still gets its own response). Batches are never
+    /// coalesced.
+    pub coalesce: bool,
 }
 
 impl Default for ServiceConfig {
@@ -71,25 +91,74 @@ impl Default for ServiceConfig {
             engine: EngineConfig::default(),
             bucket_bounds_us: crate::metrics::BUCKET_BOUNDS_US.to_vec(),
             trace: false,
+            max_line_bytes: 16 * 1024 * 1024,
+            coalesce: true,
         }
     }
 }
 
-/// One admitted unit of work.
-struct Job {
-    kind: JobKind,
-    reply: mpsc::Sender<String>,
-    /// Set by the connection thread when its timeout fires; a worker
-    /// seeing the flag before starting skips the job entirely.
-    cancelled: Arc<AtomicBool>,
-    /// When the connection thread submitted the job; the gap to a
-    /// worker picking it up is the queue wait.
-    submitted: Instant,
+/// Where the daemon listens. Both transports may be bound at once;
+/// they serve the identical protocol with byte-identical responses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bind {
+    /// Unix-domain socket path (stale socket files are replaced).
+    pub unix: Option<PathBuf>,
+    /// TCP address, e.g. `127.0.0.1:7979` (`:0` picks a free port —
+    /// read it back with [`ServerHandle::tcp_addr`]).
+    pub tcp: Option<String>,
 }
 
-enum JobKind {
+impl Bind {
+    /// Unix socket only (the classic daemon shape).
+    pub fn unix(path: impl AsRef<Path>) -> Bind {
+        Bind { unix: Some(path.as_ref().to_path_buf()), tcp: None }
+    }
+
+    /// TCP only.
+    pub fn tcp(addr: impl Into<String>) -> Bind {
+        Bind { unix: None, tcp: Some(addr.into()) }
+    }
+
+    /// Adds a TCP listener to this bind.
+    pub fn with_tcp(mut self, addr: impl Into<String>) -> Bind {
+        self.tcp = Some(addr.into());
+        self
+    }
+}
+
+/// One admitted unit of work.
+pub(crate) struct Job {
+    pub(crate) kind: JobKind,
+    /// Where the finished response line goes.
+    pub(crate) route: Route,
+    /// Set by the event loop when every interested waiter is gone
+    /// (timeout/disconnect); a worker seeing the flag before starting
+    /// skips the job entirely.
+    pub(crate) cancelled: Arc<AtomicBool>,
+    /// When the event loop submitted the job; the gap to a worker
+    /// picking it up is the queue wait.
+    pub(crate) submitted: Instant,
+}
+
+pub(crate) enum JobKind {
     Check { unit: SourceUnit, delay: Option<Duration>, rules: Option<RuleSet> },
     Batch { units: Vec<SourceUnit>, delay: Option<Duration>, rules: Option<RuleSet> },
+}
+
+/// Response routing for a finished job.
+pub(crate) enum Route {
+    /// Sole owner: one waiter gets the line.
+    Direct(Waiter),
+    /// Coalesced computation: every waiter registered under the key
+    /// gets its own copy of the line.
+    Coalesced { key: u64 },
+}
+
+/// One finished response en route to a connection.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) line: String,
 }
 
 impl JobKind {
@@ -108,29 +177,57 @@ impl JobKind {
     }
 }
 
-/// Everything the connection and worker threads share.
-struct Shared {
-    engine: Engine,
-    metrics: ServiceMetrics,
-    admission: Admission<Job>,
-    shutdown: AtomicBool,
-    config: ServiceConfig,
+/// Everything the event loop and worker threads share.
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) metrics: ServiceMetrics,
+    pub(crate) admission: Admission<Job>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) config: ServiceConfig,
+    pub(crate) coalescer: Coalescer,
+    /// Finished responses from workers, drained by the event loop.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Kicks the event loop out of `poll` when completions arrive.
+    pub(crate) waker: Waker,
 }
 
 /// The daemon entry point.
 pub struct Server;
 
 impl Server {
-    /// Binds `path` (replacing any stale socket file) and starts the
-    /// accept loop and worker pool. Returns immediately; use the
-    /// handle to wait for or trigger shutdown.
+    /// Binds a Unix socket at `path` (replacing any stale socket
+    /// file) and starts the event loop and worker pool. Returns
+    /// immediately; use the handle to wait for or trigger shutdown.
     pub fn start(path: impl AsRef<Path>, config: ServiceConfig) -> std::io::Result<ServerHandle> {
-        let path = path.as_ref().to_path_buf();
-        if path.exists() {
-            std::fs::remove_file(&path)?;
+        Server::start_with(Bind::unix(path), config)
+    }
+
+    /// Binds every listener in `bind` (at least one is required) and
+    /// starts the daemon. Responses are byte-identical across
+    /// transports.
+    pub fn start_with(bind: Bind, config: ServiceConfig) -> std::io::Result<ServerHandle> {
+        let mut listeners = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(path) = &bind.unix {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            listeners.push(ListenerSocket::Unix(listener, path.clone()));
         }
-        let listener = UnixListener::bind(&path)?;
-        listener.set_nonblocking(true)?;
+        if let Some(addr) = &bind.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            listeners.push(ListenerSocket::Tcp(listener));
+        }
+        if listeners.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "daemon needs at least one listener (unix socket or tcp)",
+            ));
+        }
         if config.trace {
             pallas_trace::set_enabled(true);
         }
@@ -140,6 +237,9 @@ impl Server {
             metrics: ServiceMetrics::with_bounds(&config.bucket_bounds_us),
             admission: Admission::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
+            coalescer: Coalescer::new(),
+            completions: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
             config,
         });
         let workers = (0..worker_count)
@@ -151,16 +251,14 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
+        let mux = {
             let shared = Arc::clone(&shared);
-            let connections = Arc::clone(&connections);
             std::thread::Builder::new()
-                .name("pallas-accept".into())
-                .spawn(move || accept_loop(listener, &shared, &connections))
-                .expect("spawn accept loop")
+                .name("pallas-mux".into())
+                .spawn(move || mux_loop(listeners, &shared))
+                .expect("spawn event loop")
         };
-        Ok(ServerHandle { path, shared, accept: Some(accept), workers, connections })
+        Ok(ServerHandle { unix_path: bind.unix, tcp_addr, shared, mux: Some(mux), workers })
     }
 }
 
@@ -168,22 +266,34 @@ impl Server {
 /// waiting; call [`stop`](ServerHandle::stop) or
 /// [`wait`](ServerHandle::wait) to drain and join cleanly.
 pub struct ServerHandle {
-    path: PathBuf,
+    unix_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    mux: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
-    /// The socket path the daemon is serving on.
-    pub fn socket_path(&self) -> &Path {
-        &self.path
+    /// The Unix socket path the daemon is serving on, if bound.
+    pub fn socket_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The TCP address the daemon is serving on, if bound (resolved,
+    /// so a `:0` bind reports the actual port).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
     }
 
     /// The shared engine (tests and benches inspect its cache stats).
     pub fn engine(&self) -> &Engine {
         &self.shared.engine
+    }
+
+    /// A stats snapshot straight from the registry (tests and the
+    /// loadgen bench read counters without burning a request).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.shared.metrics
     }
 
     /// Blocks until a `shutdown` request arrives, then drains and
@@ -203,20 +313,20 @@ impl ServerHandle {
     }
 
     fn finish(&mut self) -> String {
-        // Order matters: stop accepting, let connection threads flush
-        // their final responses, then drain the worker queue.
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let connections = std::mem::take(&mut *self.connections.lock().expect("connection list"));
-        for conn in connections {
-            let _ = conn.join();
+        // Order matters: the event loop owns the rolling drain (close
+        // listeners, finish in-flight, flush responses); only after
+        // it exits is the worker queue torn down.
+        self.shared.waker.wake();
+        if let Some(mux) = self.mux.take() {
+            let _ = mux.join();
         }
         self.shared.admission.shutdown();
         for worker in std::mem::take(&mut self.workers) {
             let _ = worker.join();
         }
-        let _ = std::fs::remove_file(&self.path);
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
         // Graceful shutdown makes every analyzed unit durable: a
         // restarted `serve --store` daemon answers them from disk.
         if let Err(e) = self.shared.engine.flush_store() {
@@ -229,180 +339,18 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.waker.wake();
         self.shared.admission.shutdown();
-    }
-}
-
-fn accept_loop(
-    listener: UnixListener,
-    shared: &Arc<Shared>,
-    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    while !shared.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("pallas-conn".into())
-                    .spawn(move || connection_loop(stream, &shared))
-                    .expect("spawn connection thread");
-                connections.lock().expect("connection list").push(handle);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-fn connection_loop(stream: UnixStream, shared: &Arc<Shared>) {
-    // Blocking reads with a short timeout so the thread notices
-    // daemon shutdown even while a client keeps the connection open.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {
-                let trimmed = line.trim();
-                let (response, is_shutdown) = if trimmed.is_empty() {
-                    (None, false)
-                } else {
-                    let (r, s) = handle_request(shared, trimmed);
-                    (Some(r), s)
-                };
-                line.clear();
-                if let Some(response) = response {
-                    if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-                        break;
-                    }
-                }
-                if is_shutdown {
-                    break;
-                }
-            }
-            // Read timeout tick: `line` keeps any partial data; poll
-            // the shutdown flag and retry.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Processes one request line; returns the response line and whether
-/// this request asked the daemon to shut down.
-fn handle_request(shared: &Arc<Shared>, line: &str) -> (String, bool) {
-    ServiceMetrics::bump(&shared.metrics.received);
-    let request = match Request::parse(line) {
-        Ok(request) => request,
-        Err(message) => {
-            ServiceMetrics::bump(&shared.metrics.protocol_errors);
-            return (error_response(&message), false);
-        }
-    };
-    match request {
-        Request::Stats => {
-            let snapshot = shared.metrics.to_json(
-                &shared.engine.stats(),
-                shared.admission.depth(),
-                shared.config.workers,
-            );
-            (obj(vec![("ok", Value::Bool(true)), ("stats", snapshot)]).to_string(), false)
-        }
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::Relaxed);
-            (obj(vec![("ok", Value::Bool(true)), ("shutdown", Value::Bool(true))]).to_string(), true)
-        }
-        Request::Trace => {
-            let enabled = pallas_trace::enabled();
-            let records = pallas_trace::take();
-            let response = obj(vec![
-                ("ok", Value::Bool(true)),
-                ("enabled", Value::Bool(enabled)),
-                ("spans", crate::json::n(records.len() as u64)),
-                ("dropped", crate::json::n(pallas_trace::dropped())),
-                ("chrome", crate::json::s(pallas_trace::chrome::export_chrome(&records))),
-                ("summary", crate::json::s(pallas_trace::summary::render_trace_summary(&records, 10))),
-            ]);
-            (response.to_string(), false)
-        }
-        Request::Check { unit, delay, rules } => match resolve_rules(&rules) {
-            Ok(rules) => (submit_and_wait(shared, JobKind::Check { unit, delay, rules }), false),
-            Err(line) => (line, false),
-        },
-        Request::Batch { units, delay, rules } => match resolve_rules(&rules) {
-            Ok(rules) => {
-                (submit_and_wait(shared, JobKind::Batch { units, delay, rules }), false)
-            }
-            Err(line) => (line, false),
-        },
-    }
-}
-
-/// Resolves a request's rule selection before admission, so an unknown
-/// rule name fails fast as a protocol error instead of occupying a
-/// worker. `None` means "use the engine's configured rule set".
-fn resolve_rules(
-    selection: &crate::protocol::RuleSelection,
-) -> Result<Option<RuleSet>, String> {
-    if selection.is_default() {
-        return Ok(None);
-    }
-    selection.resolve().map(Some).map_err(|e| error_response(&e))
-}
-
-/// Admits one job and waits for its response under the configured
-/// wall-clock timeout.
-fn submit_and_wait(shared: &Arc<Shared>, kind: JobKind) -> String {
-    let started = Instant::now();
-    let (reply, response) = mpsc::channel();
-    let cancelled = Arc::new(AtomicBool::new(false));
-    let job = Job { kind, reply, cancelled: Arc::clone(&cancelled), submitted: started };
-    match shared.admission.submit(job) {
-        Err(AdmissionError::Overloaded { depth }) => {
-            ServiceMetrics::bump(&shared.metrics.rejected_overload);
-            kinded_error_response(
-                "overload",
-                &format!("overloaded: pending queue is full ({depth} deep); retry later"),
-            )
-        }
-        Err(AdmissionError::ShuttingDown) => error_response("daemon is shutting down"),
-        Ok(()) => match response.recv_timeout(shared.config.timeout) {
-            Ok(line) => {
-                shared.metrics.request_latency.record(started.elapsed());
-                line
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                cancelled.store(true, Ordering::Relaxed);
-                ServiceMetrics::bump(&shared.metrics.timed_out);
-                kinded_error_response(
-                    "timeout",
-                    &format!("request exceeded {}ms budget", shared.config.timeout.as_millis()),
-                )
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                error_response("internal: worker dropped the request")
-            }
-        },
     }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.admission.next() {
         if job.cancelled.load(Ordering::Relaxed) {
-            // The connection already answered with a timeout error;
-            // don't burn engine time on a response nobody reads.
+            // Every waiter already got a timeout error (or hung up);
+            // don't burn engine time on a response nobody reads. The
+            // coalescer entry, if any, was removed by the final
+            // cancel, so the key is free for a fresh leader.
             continue;
         }
         let queue_wait = job.submitted.elapsed();
@@ -418,9 +366,33 @@ fn worker_loop(shared: &Arc<Shared>) {
         drop(span);
         let line = outcome
             .unwrap_or_else(|_| error_response("internal: analysis worker panicked"));
-        // The receiver may be gone (timeout); that is fine.
-        let _ = job.reply.send(line);
+        deliver(shared, &job.route, line);
     }
+}
+
+/// Routes a finished response line: one completion per waiter (a
+/// coalesced job fans one line out to every registered waiter), then
+/// wakes the event loop to deliver them.
+fn deliver(shared: &Arc<Shared>, route: &Route, line: String) {
+    let mut finished = Vec::new();
+    match route {
+        Route::Direct(waiter) => {
+            finished.push(Completion { conn: waiter.conn, seq: waiter.seq, line });
+        }
+        Route::Coalesced { key } => {
+            for waiter in shared.coalescer.complete(*key) {
+                finished.push(Completion { conn: waiter.conn, seq: waiter.seq, line: line.clone() });
+            }
+        }
+    }
+    if finished.is_empty() {
+        // Raced with the last waiter's cancellation after the job had
+        // already started; the result has nowhere to go.
+        ServiceMetrics::bump(&shared.metrics.dropped_completions);
+        return;
+    }
+    shared.completions.lock().expect("completion queue").extend(finished);
+    shared.waker.wake();
 }
 
 fn run_job(shared: &Arc<Shared>, kind: &JobKind) -> String {

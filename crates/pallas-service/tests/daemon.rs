@@ -1,9 +1,16 @@
-//! End-to-end tests: a real daemon on a temp socket, driven through
-//! real Unix-stream clients.
+//! End-to-end tests: a real daemon on temp sockets (Unix and TCP),
+//! driven through real protocol clients — the transport matrix,
+//! request coalescing, pipelined ordering, and protocol-robustness
+//! batteries all live here.
 
 use pallas_core::{render_ndjson, render_unit_report, EngineConfig, Pallas, SourceUnit};
-use pallas_service::{Client, Server, ServiceConfig, Value};
+use pallas_service::{
+    Bind, Client, Request, RuleSelection, Server, ServiceConfig, Value,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 /// A unique socket path per test (parallel test threads must not
@@ -151,13 +158,15 @@ fn over_queue_depth_burst_gets_explicit_overload_rejections() {
         },
     )
     .unwrap();
+    // Distinct units per request: identical ones would coalesce into
+    // a single computation and never pressure the queue.
     let burst = 6;
     let threads: Vec<_> = (0..burst)
-        .map(|_| {
+        .map(|i| {
             let path = path.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect(&path).unwrap();
-                client.check_delayed(&demo_unit(0), Duration::from_millis(300)).unwrap()
+                client.check_delayed(&demo_unit(i), Duration::from_millis(300)).unwrap()
             })
         })
         .collect();
@@ -331,6 +340,254 @@ fn shutdown_request_drains_and_wait_returns_summary() {
     assert!(!path.exists(), "socket file removed on shutdown");
     // New connections are refused after shutdown.
     assert!(Client::connect(&path).is_err());
+}
+
+fn check_line(unit: &SourceUnit, delay: Option<Duration>) -> String {
+    Request::Check { unit: unit.clone(), delay, rules: RuleSelection::default() }.to_line()
+}
+
+#[test]
+fn tcp_and_unix_transports_return_byte_identical_responses() {
+    let path = socket_path("tcp");
+    let handle = Server::start_with(
+        Bind::unix(&path).with_tcp("127.0.0.1:0"),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.tcp_addr().expect("tcp listener bound");
+    let unit = demo_unit(0);
+    // Local one-shot analysis is the ground truth for both transports.
+    let one_shot = Pallas::new().check_unit(&unit).unwrap();
+    let expected_report = render_unit_report(&one_shot);
+    let expected_ndjson = render_ndjson(&one_shot);
+
+    let mut unix = Client::connect(&path).unwrap();
+    let mut tcp = Client::connect_tcp(addr).unwrap();
+    let via_unix = unix.check(&unit).unwrap();
+    let via_tcp = tcp.check(&unit).unwrap();
+    assert!(ok(&via_unix), "{via_unix}");
+    assert!(ok(&via_tcp), "{via_tcp}");
+    assert_eq!(
+        via_unix.get("report").and_then(Value::as_str),
+        Some(expected_report.as_str()),
+        "unix response matches local check"
+    );
+    assert_eq!(
+        via_unix.get("ndjson").and_then(Value::as_str),
+        Some(expected_ndjson.as_str())
+    );
+    assert_eq!(via_tcp.get("report"), via_unix.get("report"), "transports agree byte-for-byte");
+    assert_eq!(via_tcp.get("ndjson"), via_unix.get("ndjson"));
+
+    let stats = tcp.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "unix_connections"), 1, "{stats}");
+    assert_eq!(stat(&stats, "service", "tcp_connections"), 1, "{stats}");
+    handle.stop();
+}
+
+#[test]
+fn concurrent_identical_checks_coalesce_into_one_compute() {
+    let path = socket_path("coal");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { workers: 4, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    // Eight clients fire the same fingerprint at the same instant;
+    // the artificial delay keeps the leader's computation in flight
+    // long enough that every other request must ride it.
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let path = path.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).unwrap();
+                barrier.wait();
+                client
+                    .request_line(&check_line(&demo_unit(0), Some(Duration::from_millis(500))))
+                    .unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for response in &responses {
+        assert!(
+            response.contains("\"ok\":true"),
+            "every coalesced waiter succeeds: {response}"
+        );
+        assert_eq!(
+            response, &responses[0],
+            "all coalesced responses are byte-identical"
+        );
+    }
+    let engine = handle.engine().stats();
+    assert_eq!(engine.units_checked, 1, "exactly one engine compute for the burst");
+    assert_eq!(engine.cache_misses, 1);
+    let mut client = Client::connect(&path).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stat(&stats, "service", "coalesced_hits") as usize,
+        clients - 1,
+        "{stats}"
+    );
+    assert_eq!(stat(&stats, "service", "completed"), 1, "{stats}");
+    assert_eq!(
+        stat(&stats, "request_latency", "count") as usize,
+        clients,
+        "every waiter's latency is recorded: {stats}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn pipelined_mixed_burst_preserves_request_order() {
+    let path = socket_path("order");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { workers: 4, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    // A slow unique check, a fast unique one, a duplicate of the slow
+    // one (coalesces with request 0), an inline stats, and another
+    // fast unique. Requests 1/3/4 finish long before 0 and 2, but the
+    // responses must come back in request order.
+    let slow = demo_unit(50);
+    let delay = Some(Duration::from_millis(400));
+    let lines = vec![
+        check_line(&slow, delay),
+        check_line(&demo_unit(51), None),
+        check_line(&slow, delay),
+        Request::Stats.to_line(),
+        check_line(&demo_unit(52), None),
+    ];
+    let responses = client.pipeline(&lines).unwrap();
+    assert_eq!(responses.len(), lines.len());
+    let unit_of = |r: &str| {
+        pallas_service::json::parse(r)
+            .unwrap()
+            .get("unit")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(unit_of(&responses[0]).as_deref(), Some("mm/demo50"));
+    assert_eq!(unit_of(&responses[1]).as_deref(), Some("mm/demo51"));
+    assert_eq!(unit_of(&responses[2]).as_deref(), Some("mm/demo50"));
+    assert!(responses[3].contains("\"stats\""), "slot 3 is the stats response");
+    assert_eq!(unit_of(&responses[4]).as_deref(), Some("mm/demo52"));
+    assert_eq!(
+        responses[0], responses[2],
+        "the duplicate rides the same computation and gets the same bytes"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "coalesced_hits"), 1, "{stats}");
+    handle.stop();
+}
+
+#[test]
+fn slow_loris_partial_line_does_not_block_other_clients() {
+    let path = socket_path("loris");
+    let handle = Server::start(&path, ServiceConfig::default()).unwrap();
+    // The loris dribbles half a request and stalls mid-line.
+    let mut loris = UnixStream::connect(&path).unwrap();
+    let line = check_line(&demo_unit(0), None);
+    let (head, tail) = line.as_bytes().split_at(line.len() / 2);
+    loris.write_all(head).unwrap();
+    loris.flush().unwrap();
+
+    // Other connections are served normally while the loris stalls.
+    let mut client = Client::connect(&path).unwrap();
+    for i in 1..4 {
+        let response = client.check(&demo_unit(i)).unwrap();
+        assert!(ok(&response), "{response}");
+    }
+
+    // The loris eventually completes its line and still gets the
+    // right answer — a stalled frame is patience, not an error.
+    std::thread::sleep(Duration::from_millis(50));
+    loris.write_all(tail).unwrap();
+    loris.write_all(b"\n").unwrap();
+    loris.flush().unwrap();
+    let mut reader = BufReader::new(loris);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let parsed = pallas_service::json::parse(response.trim_end()).unwrap();
+    assert!(ok(&parsed), "{parsed}");
+    assert_eq!(parsed.get("unit").and_then(Value::as_str), Some("mm/demo0"));
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "protocol_errors"), 0, "{stats}");
+    handle.stop();
+}
+
+#[test]
+fn oversized_request_line_gets_clean_error_and_connection_survives() {
+    let path = socket_path("oversz");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { max_line_bytes: 4096, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(&path).unwrap();
+    let huge = format!(r#"{{"op":"check","pad":"{}"}}"#, "x".repeat(64 * 1024));
+    let response = client.request_line(&huge).unwrap();
+    let parsed = pallas_service::json::parse(&response).unwrap();
+    assert!(!ok(&parsed), "{parsed}");
+    assert_eq!(parsed.get("kind").and_then(Value::as_str), Some("protocol"), "{parsed}");
+    assert!(
+        parsed.get("error").and_then(Value::as_str).unwrap().contains("4096"),
+        "the error names the limit: {parsed}"
+    );
+    // Framing recovered: the same connection serves normal requests.
+    let fine = client.check(&demo_unit(0)).unwrap();
+    assert!(ok(&fine), "{fine}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stat(&stats, "service", "protocol_errors"), 1, "{stats}");
+    handle.stop();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_daemon_serving_others() {
+    let path = socket_path("discon");
+    let handle = Server::start(
+        &path,
+        ServiceConfig { workers: 2, ..ServiceConfig::default() },
+    )
+    .unwrap();
+    // A connection that dies mid-line: no newline ever arrives, so no
+    // request exists — the fragment is discarded silently.
+    {
+        let mut dropper = UnixStream::connect(&path).unwrap();
+        dropper.write_all(br#"{"op":"check","uni"#).unwrap();
+        dropper.flush().unwrap();
+    }
+    // A connection that submits a slow request, then vanishes before
+    // the answer: the computation's result has nowhere to go, and the
+    // daemon must shrug it off.
+    {
+        let mut dropper = UnixStream::connect(&path).unwrap();
+        let line = check_line(&demo_unit(90), Some(Duration::from_millis(200)));
+        dropper.write_all(line.as_bytes()).unwrap();
+        dropper.write_all(b"\n").unwrap();
+        dropper.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let it get admitted
+    }
+    // Every other connection keeps working through it all.
+    let mut client = Client::connect(&path).unwrap();
+    for i in 0..3 {
+        let response = client.check(&demo_unit(i)).unwrap();
+        assert!(ok(&response), "{response}");
+    }
+    std::thread::sleep(Duration::from_millis(300)); // orphan job finishes into the void
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stat(&stats, "service", "protocol_errors"),
+        0,
+        "a partial line at EOF is not a protocol error: {stats}"
+    );
+    assert!(ok(&client.check(&demo_unit(4)).unwrap()));
+    handle.stop();
 }
 
 #[test]

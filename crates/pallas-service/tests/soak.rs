@@ -1,25 +1,34 @@
-//! Daemon soak test: sustained mixed load against one server.
+//! Daemon soak test: sustained mixed load, run once per transport.
 //!
-//! Several client threads hammer the daemon with a mix of `check`
-//! (warm and cold units), `batch`, and `stats` requests for the soak
-//! duration, while a sampler thread polls `stats` and records the
-//! queue depth and counter values. The run must show:
+//! The same workload runs over the Unix socket and over TCP against
+//! the multiplexed server (the transport matrix). Several client
+//! threads hammer the daemon with a mix of `check` (warm and cold
+//! units), `batch`, and `stats` requests for the soak duration, while
+//! a sampler thread polls `stats` and records the queue depth and
+//! counter values. Each run must show:
 //!
 //! * **zero dropped responses** — every request line gets exactly one
 //!   well-formed response line back, none of them timeouts, overloads,
-//!   or internal errors;
+//!   or internal errors, and no finished response is orphaned
+//!   (`dropped_completions` stays zero);
 //! * **flat queue depth** — the pending queue stays within its bound
 //!   throughout and drains to zero once the load stops (no leak of
 //!   admitted-but-never-finished jobs);
-//! * **monotone counters** — `received`, `completed`, and the
-//!   latency-histogram counts never move backwards between samples.
+//! * **monotone counters** — `received`, `completed`,
+//!   `coalesced_hits`, and the latency-histogram counts never move
+//!   backwards between samples.
+//!
+//! Two check threads rotate over the same small unit window, so
+//! simultaneous identical requests coalesce: a request is accounted
+//! for either by its own computation (`completed`) or by riding
+//! another's (`coalesced_hits`).
 //!
 //! Duration is controlled by `PALLAS_SOAK_SECS` (default 5, the CI
 //! setting). For a real soak run it locally with
 //! `PALLAS_SOAK_SECS=60 cargo test -p pallas-service --test soak`.
 
 use pallas_core::SourceUnit;
-use pallas_service::{Client, Server, ServiceConfig, Value};
+use pallas_service::{Bind, Client, Server, ServiceConfig, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -49,10 +58,11 @@ fn unit(i: usize) -> SourceUnit {
 struct Counters {
     received: u64,
     completed: u64,
+    coalesced: u64,
     latency_count: u64,
 }
 
-fn sample(client: &mut Client) -> (Counters, u64) {
+fn sample(client: &mut Client) -> (Counters, u64, u64) {
     let response = client.stats().expect("stats request");
     assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
     let stats = response.get("stats").expect("stats payload");
@@ -61,18 +71,33 @@ fn sample(client: &mut Client) -> (Counters, u64) {
     let counters = Counters {
         received: get(service, "received"),
         completed: get(service, "completed"),
+        coalesced: get(service, "coalesced_hits"),
         latency_count: stats
             .get("request_latency")
             .map(|h| get(h, "count"))
             .unwrap_or(0),
     };
-    (counters, get(service, "queue_depth"))
+    (counters, get(service, "queue_depth"), get(service, "dropped_completions"))
 }
 
-#[test]
-fn daemon_survives_sustained_mixed_load() {
-    let socket =
-        std::env::temp_dir().join(format!("pallas-soak-{}.sock", std::process::id()));
+/// How the soak clients reach the daemon.
+#[derive(Clone, Copy)]
+enum Transport {
+    Unix,
+    Tcp,
+}
+
+/// Spins up a dual-bound daemon and runs the full mixed workload over
+/// the chosen transport.
+fn soak_over(transport: Transport) {
+    let socket = std::env::temp_dir().join(format!(
+        "pallas-soak-{}-{}.sock",
+        std::process::id(),
+        match transport {
+            Transport::Unix => "unix",
+            Transport::Tcp => "tcp",
+        }
+    ));
     let config = ServiceConfig {
         workers: 2,
         queue_depth: 32,
@@ -80,7 +105,15 @@ fn daemon_survives_sustained_mixed_load() {
         ..ServiceConfig::default()
     };
     let queue_bound = config.queue_depth as u64;
-    let handle = Server::start(&socket, config).expect("daemon starts");
+    let handle = Server::start_with(Bind::unix(&socket).with_tcp("127.0.0.1:0"), config)
+        .expect("daemon starts");
+    let tcp_addr = handle.tcp_addr().expect("tcp listener bound");
+    let connect = move || -> Client {
+        match transport {
+            Transport::Unix => Client::connect(&socket).expect("unix client connects"),
+            Transport::Tcp => Client::connect_tcp(tcp_addr).expect("tcp client connects"),
+        }
+    };
     let deadline = Instant::now() + soak_duration();
 
     let stop = AtomicBool::new(false);
@@ -90,11 +123,12 @@ fn daemon_survives_sustained_mixed_load() {
 
     std::thread::scope(|scope| {
         // Three load threads: two single-checks over a rotating unit
-        // window (warm hits + fresh misses), one batcher.
+        // window (warm hits + fresh misses + coalescing collisions),
+        // one batcher.
         for t in 0..2usize {
-            let (socket, sent, answered) = (&socket, &sent, &answered);
+            let (sent, answered, connect) = (&sent, &answered, &connect);
             scope.spawn(move || {
-                let mut client = Client::connect(socket).expect("load client connects");
+                let mut client = connect();
                 let mut i = t;
                 while Instant::now() < deadline {
                     let u = unit(i % 7); // 7 distinct units: mostly warm
@@ -111,7 +145,7 @@ fn daemon_survives_sustained_mixed_load() {
             });
         }
         scope.spawn(|| {
-            let mut client = Client::connect(&socket).expect("batch client connects");
+            let mut client = connect();
             let mut wave = 0usize;
             while Instant::now() < deadline {
                 let units: Vec<SourceUnit> =
@@ -127,10 +161,10 @@ fn daemon_survives_sustained_mixed_load() {
         });
         // Sampler: counters must be monotone, depth bounded.
         scope.spawn(|| {
-            let mut client = Client::connect(&socket).expect("sampler connects");
+            let mut client = connect();
             let mut last = Counters::default();
             while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
-                let (counters, depth) = sample(&mut client);
+                let (counters, depth, _) = sample(&mut client);
                 assert!(
                     counters >= last,
                     "counters moved backwards: {last:?} -> {counters:?}"
@@ -149,9 +183,10 @@ fn daemon_survives_sustained_mixed_load() {
 
     // Load is gone: the queue must drain fully, and the final counters
     // must account for every response the clients received.
-    let mut client = Client::connect(&socket).expect("final client connects");
-    let (final_counters, final_depth) = sample(&mut client);
+    let mut client = connect();
+    let (final_counters, final_depth, dropped) = sample(&mut client);
     assert_eq!(final_depth, 0, "queue did not drain after the load stopped");
+    assert_eq!(dropped, 0, "finished responses were orphaned");
     let sent = sent.load(Ordering::Relaxed);
     let answered = answered.load(Ordering::Relaxed);
     assert!(sent > 0, "soak sent no load");
@@ -161,9 +196,26 @@ fn daemon_survives_sustained_mixed_load() {
         "latency histogram saw {} of {sent} requests",
         final_counters.latency_count
     );
-    assert!(final_counters.completed >= sent, "completed units < requests");
+    // Every check either ran its own computation or rode an identical
+    // in-flight one; nothing fell through.
+    assert!(
+        final_counters.completed + final_counters.coalesced >= sent,
+        "completed {} + coalesced {} < {sent} requests",
+        final_counters.completed,
+        final_counters.coalesced
+    );
 
     client.shutdown().expect("shutdown");
     let summary = handle.wait();
     assert!(summary.contains("0 timed out"), "soak requests timed out: {summary}");
+}
+
+#[test]
+fn daemon_survives_sustained_mixed_load_over_unix_socket() {
+    soak_over(Transport::Unix);
+}
+
+#[test]
+fn daemon_survives_sustained_mixed_load_over_tcp() {
+    soak_over(Transport::Tcp);
 }

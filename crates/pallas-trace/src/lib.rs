@@ -71,11 +71,14 @@ pub enum Layer {
     /// Persistent analysis-store events (disk hit/miss/stale,
     /// per-function reuse, flush, compaction).
     Store,
+    /// Daemon service-level events above individual requests:
+    /// connection open/close, request coalescing, drain.
+    Service,
 }
 
 impl Layer {
     /// All layers, hierarchy order.
-    pub const ALL: [Layer; 9] = [
+    pub const ALL: [Layer; 10] = [
         Layer::Unit,
         Layer::Stage,
         Layer::Paths,
@@ -85,6 +88,7 @@ impl Layer {
         Layer::Sched,
         Layer::Request,
         Layer::Store,
+        Layer::Service,
     ];
 
     /// The layer's `cat` name in exports.
@@ -99,6 +103,7 @@ impl Layer {
             Layer::Sched => "sched",
             Layer::Request => "request",
             Layer::Store => "store",
+            Layer::Service => "service",
         }
     }
 }

@@ -45,6 +45,32 @@ done
 wait "$SERVE_PID"
 echo "daemon smoke test: ok"
 
+echo "== TCP transport byte-identity =="
+# Dual-bind the daemon (Unix socket + ephemeral loopback TCP port),
+# then the same unit checked locally, over the socket, and over TCP
+# must produce byte-identical NDJSON.
+SOCK2="$(mktemp -u /tmp/pallas-ci-tcp-XXXXXX.sock)"
+"$PALLAS_BIN" serve "$SOCK2" --tcp 127.0.0.1:0 --workers 2 > "$SMOKE_DIR/serve-tcp.log" &
+TCP_PID=$!
+TCP_ADDR=""
+for _ in $(seq 1 100); do
+  TCP_ADDR="$(sed -n 's/.*tcp `\([0-9.:]*\)`.*/\1/p' "$SMOKE_DIR/serve-tcp.log")"
+  [ -n "$TCP_ADDR" ] && break
+  sleep 0.05
+done
+[ -n "$TCP_ADDR" ] || { echo "ci: daemon never reported its TCP address" >&2; exit 1; }
+"$PALLAS_BIN" check "$SMOKE_DIR/smoke.c" --json > "$SMOKE_DIR/local.ndjson"
+"$PALLAS_BIN" client "$SOCK2" check "$SMOKE_DIR/smoke.c" --json > "$SMOKE_DIR/unix.ndjson"
+"$PALLAS_BIN" client --tcp "$TCP_ADDR" check "$SMOKE_DIR/smoke.c" --json > "$SMOKE_DIR/tcp.ndjson"
+cmp "$SMOKE_DIR/local.ndjson" "$SMOKE_DIR/unix.ndjson" \
+  || { echo "ci: unix-socket NDJSON differs from the local run" >&2; exit 1; }
+cmp "$SMOKE_DIR/local.ndjson" "$SMOKE_DIR/tcp.ndjson" \
+  || { echo "ci: TCP NDJSON differs from the local run" >&2; exit 1; }
+"$PALLAS_BIN" client --tcp "$TCP_ADDR" shutdown | grep -q '"shutdown":true'
+wait "$TCP_PID"
+rm -f "$SOCK2"
+echo "TCP transport byte-identity: ok ($TCP_ADDR)"
+
 echo "== trace smoke (chrome export round-trip) =="
 "$PALLAS_BIN" check "$SMOKE_DIR/smoke.c" --trace-out "$SMOKE_DIR/trace.json" >/dev/null
 python3 - "$SMOKE_DIR/trace.json" <<'EOF'
@@ -148,6 +174,21 @@ cargo test -q --test golden_corpus
 
 echo "== daemon soak (CI-length knob) =="
 PALLAS_SOAK_SECS=5 cargo test -q -p pallas-service --test soak
+
+echo "== loadgen smoke (transport matrix, coalescing, throughput floor) =="
+# The 2x2 matrix (unix, tcp) x (unique, duplicate): every cell must
+# hold the throughput floor with zero dropped responses, and the
+# duplicate-heavy cells must actually coalesce. Release builds sustain
+# >10k req/s on tiny units; 1000 req/s leaves a 10x margin for noise.
+cargo build --release -q -p bench
+LOADGEN="$(target/release/repro --loadgen)"
+echo "$LOADGEN"
+[ "$(echo "$LOADGEN" | grep -c '^cell=')" -eq 4 ] \
+  || { echo "ci: loadgen did not report all 4 matrix cells" >&2; exit 1; }
+echo "$LOADGEN" | awk -F'reqs_per_sec=' '/^cell=/ {split($2,a," "); if (a[1]+0 < 1000) {print "ci: throughput floor missed: " $0; exit 1}}'
+echo "$LOADGEN" | awk -F'dropped=' '/^cell=/ {split($2,a," "); if (a[1]+0 != 0) {print "ci: loadgen dropped responses: " $0; exit 1}}'
+echo "$LOADGEN" | awk -F'coalesced=' '/^cell=.*duplicate/ {split($2,a," "); if (a[1]+0 == 0) {print "ci: duplicate workload never coalesced: " $0; exit 1}}'
+echo "loadgen smoke: ok"
 
 echo "== persistent store (warm restart byte-identity) =="
 # Two `check --store` runs into a fresh store file: the second answers
