@@ -9,6 +9,7 @@
 //! repro --timing           per-path checking time
 //! repro --scaling          rule-count scaling over registry prefixes
 //! repro --store-bench      cold / memory-warm / persistent-warm latency
+//! repro --sym-bench        cold / warm latency + hash-cons arena footprint
 //! repro --loadgen          daemon transport-matrix load generator
 //! repro --all              everything, in paper order
 //! repro ... --stage-stats  append the engine's per-stage cost summary
@@ -35,7 +36,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     if args.is_empty() {
-        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --scaling | --store-bench | --loadgen | --all [--stage-stats]".into());
+        return Err("usage: repro --table N | --figure N | --accuracy | --ablation | --timing | --scaling | --store-bench | --sym-bench | --loadgen | --all [--stage-stats]".into());
     }
     // Every occurrence of `--table N` / `--figure N`, in order.
     let values = |flag: &str| -> Result<Vec<u32>, String> {
@@ -99,6 +100,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         if args.iter().any(|a| a == "--store-bench") {
             println!("{}", bench::store_bench_text());
+            handled = true;
+        }
+        if args.iter().any(|a| a == "--sym-bench") {
+            println!("{}", bench::sym_bench_text());
             handled = true;
         }
         if args.iter().any(|a| a == "--loadgen") {

@@ -16,6 +16,7 @@ pub mod loadgen;
 pub mod render;
 pub mod scaling;
 pub mod store_bench;
+pub mod sym_bench;
 
 pub use ablation::{
     ablation_text, depth_ablation, prune_ablation, DepthAblationRow, PruneAblationRow,
@@ -23,6 +24,7 @@ pub use ablation::{
 pub use loadgen::{loadgen_text, run_matrix, LoadgenConfig, LoadgenRun};
 pub use scaling::{rule_scaling, rule_scaling_text, ScalingRow};
 pub use store_bench::store_bench_text;
+pub use sym_bench::{sym_bench, sym_bench_text, SymBench};
 pub use eval::{evaluate, evaluate_in, evaluate_with, CorpusEval};
 pub use render::{
     accuracy_text, accuracy_text_in, figure_text, findings_text, prune_ablation_text,

@@ -1,0 +1,129 @@
+//! Symbolic-representation benchmark: cold vs warm per-unit checking
+//! latency over the Table 1 corpus, plus the hash-cons arena footprint.
+//!
+//! Two phases run over the same corpus through one engine:
+//!
+//! 1. **cold** — a fresh engine: every unit runs the full
+//!    Merge→Parse→Spec→Extract→Check pipeline, building every symbolic
+//!    value through the arena for the first time.
+//! 2. **warm** — the same engine again: every unit is a `BoundedCache`
+//!    hit (Check re-runs over the cached path database; Extract does
+//!    not), so the phase isolates the cost of *consuming* shared `Sym`
+//!    values rather than building them.
+//!
+//! The report also surfaces the arena's resident node count and the
+//! string-interner population after the runs. Both only grow, so the
+//! reading doubles as the peak: CI pins it against a checked-in
+//! baseline, because an accidental loss of sharing (a constructor that
+//! stops interning, a cache key that stops deduplicating) shows up as
+//! a node-count explosion long before it is visible in wall-clock
+//! noise. The trailing `symbench ...` key=value line is the
+//! machine-readable surface `scripts/ci.sh` parses.
+
+use pallas_core::Engine;
+use pallas_corpus::CorpusUnit;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn check_all(engine: &Engine, corpus: &[CorpusUnit]) -> Duration {
+    let started = Instant::now();
+    for cu in corpus {
+        engine
+            .check_unit(&cu.unit)
+            .unwrap_or_else(|e| panic!("corpus unit {} failed: {e}", cu.name()));
+    }
+    started.elapsed()
+}
+
+fn micros_per_unit(total: Duration, units: usize) -> u128 {
+    total.as_micros() / units.max(1) as u128
+}
+
+/// Raw measurements of one sym-bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct SymBench {
+    /// Corpus units checked per phase.
+    pub units: usize,
+    /// Total cold-phase time.
+    pub cold: Duration,
+    /// Total warm-phase time.
+    pub warm: Duration,
+    /// Arena nodes resident after both phases (the arena only grows,
+    /// so this is also the peak).
+    pub arena_nodes: usize,
+    /// Interned strings resident after both phases.
+    pub interned_strings: usize,
+}
+
+/// Checks the Table 1 corpus cold and warm through one engine and
+/// samples the arena counters.
+pub fn sym_bench() -> SymBench {
+    let corpus = pallas_corpus::new_paths();
+    let engine = Engine::new();
+    let cold = check_all(&engine, &corpus);
+    let warm = check_all(&engine, &corpus);
+    SymBench {
+        units: corpus.len(),
+        cold,
+        warm,
+        arena_nodes: pallas_sym::arena_node_count(),
+        interned_strings: pallas_sym::Istr::interned_count(),
+    }
+}
+
+/// Runs [`sym_bench`] and renders the text table plus the
+/// machine-readable `symbench` line.
+pub fn sym_bench_text() -> String {
+    let b = sym_bench();
+    let mut out = String::new();
+    let _ = writeln!(out, "Sym bench: {} unit(s) over the Table 1 corpus.", b.units);
+    let _ = writeln!(out, "{:<8} {:>12} {:>14}", "phase", "total (µs)", "per-unit (µs)");
+    let _ =
+        writeln!(out, "{:<8} {:>12} {:>14}", "cold", b.cold.as_micros(), micros_per_unit(b.cold, b.units));
+    let _ =
+        writeln!(out, "{:<8} {:>12} {:>14}", "warm", b.warm.as_micros(), micros_per_unit(b.warm, b.units));
+    let _ = writeln!(
+        out,
+        "arena: {} node(s) interned, {} string(s) (peak == resident; the arena only grows)",
+        b.arena_nodes, b.interned_strings
+    );
+    let _ = writeln!(
+        out,
+        "symbench units={} cold_us_per_unit={} warm_us_per_unit={} nodes={} strings={}",
+        b.units,
+        micros_per_unit(b.cold, b.units),
+        micros_per_unit(b.warm, b.units),
+        b.arena_nodes,
+        b.interned_strings
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_bench_reports_phases_arena_and_machine_line() {
+        let text = sym_bench_text();
+        assert!(text.contains("cold"), "{text}");
+        assert!(text.contains("warm"), "{text}");
+        assert!(text.contains("arena:"), "{text}");
+        let machine = text
+            .lines()
+            .find(|l| l.starts_with("symbench "))
+            .expect("machine-readable symbench line");
+        for key in ["units=", "cold_us_per_unit=", "warm_us_per_unit=", "nodes=", "strings="] {
+            assert!(machine.contains(key), "missing {key} in `{machine}`");
+        }
+        // The corpus interns real symbolic values; a zero here means
+        // the arena was bypassed entirely.
+        let nodes: usize = machine
+            .split("nodes=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("nodes value");
+        assert!(nodes > 0, "arena unused? `{machine}`");
+    }
+}

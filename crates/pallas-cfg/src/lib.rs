@@ -31,7 +31,7 @@ pub use dom::Dominators;
 pub use graph::{BasicBlock, BlockId, Cfg, Terminator};
 pub use loops::{find_loops, loop_stats, NaturalLoop};
 pub use paths::{
-    enumerate_paths, enumerate_paths_with, CfgPath, Decision, NoOracle, PathConfig, PathOracle,
-    PathSet,
+    enumerate_paths, enumerate_paths_reusing, enumerate_paths_with, CfgPath, Decision, NoOracle,
+    PathConfig, PathOracle, PathScratch, PathSet,
 };
 pub use render::{render_ascii, render_dot};

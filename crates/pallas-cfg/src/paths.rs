@@ -159,18 +159,28 @@ pub fn enumerate_paths_with(
     config: &PathConfig,
     oracle: &mut dyn PathOracle,
 ) -> PathSet {
+    enumerate_paths_reusing(cfg, config, oracle, &mut PathScratch::default())
+}
+
+/// Like [`enumerate_paths_with`], reusing the DFS working buffers in
+/// `scratch`. A caller enumerating many functions (the extractor walks
+/// every function of a unit, plus every inlined callee) holds one
+/// [`PathScratch`] and amortizes the per-call `visits`/`blocks`/
+/// `decisions` allocations across the whole unit. Results are
+/// identical to the non-reusing entry points.
+pub fn enumerate_paths_reusing(
+    cfg: &Cfg,
+    config: &PathConfig,
+    oracle: &mut dyn PathOracle,
+    scratch: &mut PathScratch,
+) -> PathSet {
     let mut span = pallas_trace::span(pallas_trace::Layer::Paths, "enumerate");
     let mut out = PathSet { paths: Vec::new(), truncated: false, pruned: 0 };
-    let mut state = Walk {
-        visits: vec![0usize; cfg.block_count()],
-        blocks: Vec::new(),
-        decisions: Vec::new(),
-        steps: 0,
-    };
-    walk(cfg, config, cfg.entry, &mut state, &mut out, oracle);
+    scratch.reset(cfg.block_count());
+    walk(cfg, config, cfg.entry, scratch, &mut out, oracle);
     span.attr_u64("blocks", cfg.block_count() as u64);
     span.attr_u64("paths", out.paths.len() as u64);
-    span.attr_u64("steps", state.steps as u64);
+    span.attr_u64("steps", scratch.steps as u64);
     span.attr_u64("step_budget", config.max_steps as u64);
     span.attr_bool("truncated", out.truncated);
     span.attr_u64("pruned", out.pruned as u64);
@@ -180,7 +190,7 @@ pub fn enumerate_paths_with(
 /// Marks the path set truncated, emitting one trace event the first
 /// time a limit fires (the same limit then fires on every doomed
 /// prefix, which would flood the ring).
-fn truncate(out: &mut PathSet, st: &Walk, cause: &'static str) {
+fn truncate(out: &mut PathSet, st: &PathScratch, cause: &'static str) {
     if !out.truncated && pallas_trace::enabled() {
         pallas_trace::instant(
             pallas_trace::Layer::Paths,
@@ -195,18 +205,33 @@ fn truncate(out: &mut PathSet, st: &Walk, cause: &'static str) {
     out.truncated = true;
 }
 
-/// Mutable DFS state threaded through [`walk`].
-struct Walk {
+/// Mutable DFS state threaded through [`walk`], reusable across
+/// enumerations via [`enumerate_paths_reusing`]. The walk restores the
+/// stacks as it backtracks, so after a completed enumeration the
+/// buffers are empty-but-warm; [`PathScratch::reset`] re-zeroes them
+/// defensively and sizes `visits` for the next CFG.
+#[derive(Default)]
+pub struct PathScratch {
     visits: Vec<usize>,
     blocks: Vec<BlockId>,
     decisions: Vec<Decision>,
     steps: usize,
 }
 
+impl PathScratch {
+    fn reset(&mut self, block_count: usize) {
+        self.visits.clear();
+        self.visits.resize(block_count, 0);
+        self.blocks.clear();
+        self.decisions.clear();
+        self.steps = 0;
+    }
+}
+
 /// Counts one pruned decision arm, emitting one trace event the first
 /// time (like [`truncate`], every subsequent prune would flood the
 /// ring).
-fn prune(out: &mut PathSet, st: &Walk) {
+fn prune(out: &mut PathSet, st: &PathScratch) {
     if out.pruned == 0 && pallas_trace::enabled() {
         pallas_trace::instant(
             pallas_trace::Layer::Paths,
@@ -224,7 +249,7 @@ fn walk(
     cfg: &Cfg,
     config: &PathConfig,
     bb: BlockId,
-    st: &mut Walk,
+    st: &mut PathScratch,
     out: &mut PathSet,
     oracle: &mut dyn PathOracle,
 ) {
@@ -493,6 +518,33 @@ mod tests {
         let with = enumerate_paths_with(&cfg, &PathConfig::default(), &mut NoOracle);
         assert_eq!(plain, with);
         assert_eq!(plain.pruned, 0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_enumeration() {
+        // One scratch across CFGs of different sizes (bigger, then
+        // smaller, then looping) must give exactly the results of a
+        // fresh walk each time — stale visit counts or leftover stack
+        // entries would change path sets.
+        let sources = [
+            "int f(int a, int b) { int r = 0; if (a) r += 1; if (b) r += 2; return r; }",
+            "int f(int x) { return x; }",
+            "int f(int x) { while (x) { x--; } return x; }",
+        ];
+        let mut scratch = PathScratch::default();
+        for src in sources {
+            let ast = parse(src).unwrap();
+            let f = ast.functions().next().unwrap();
+            let cfg = build_cfg(&ast, f);
+            let fresh = enumerate_paths(&cfg, &PathConfig::default());
+            let reused = enumerate_paths_reusing(
+                &cfg,
+                &PathConfig::default(),
+                &mut NoOracle,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "scratch reuse changed results for {src}");
+        }
     }
 
     #[test]

@@ -155,7 +155,7 @@ mod tests {
         let st = Event::State {
             line: 1,
             lvalue: "page->private".into(),
-            value: Sym::Int(0),
+            value: Sym::int(0),
             text: String::new(),
             reads: vec!["migratetype".into()],
             depth: 0,

@@ -8,7 +8,7 @@
 use crate::context::{CheckContext, Checker};
 use crate::rule::{Rule, Warning};
 use pallas_spec::RetValue;
-use pallas_sym::{Event, FunctionPaths, Sym};
+use pallas_sym::{Event, FunctionPaths, Sym, SymNode};
 use std::collections::BTreeSet;
 
 /// Checker for path-output rules — a thin view over the registry's
@@ -64,25 +64,27 @@ pub(crate) fn match_callers(cx: &CheckContext<'_>) -> Vec<Warning> {
 /// analysis stays sound for reported warnings, incomplete overall).
 fn check_defined(cx: &CheckContext<'_>, func: &FunctionPaths, out: &mut BTreeSet<Warning>) {
     for rec in &func.records {
-        let verdict = match &rec.output.value {
+        let verdict = match rec.output.value {
             None => Some("fast path returns no value".to_string()),
-            Some(Sym::Int(v)) => {
-                if in_set(cx, &Sym::Int(*v)) {
-                    None
-                } else {
-                    Some(format!("fast path returns `{v}`, not in the defined return set"))
+            Some(s) => match s.node() {
+                SymNode::Int(v) => {
+                    if in_set(cx, s) {
+                        None
+                    } else {
+                        Some(format!("fast path returns `{v}`, not in the defined return set"))
+                    }
                 }
-            }
-            Some(s @ Sym::Input(name)) => {
-                if in_set(cx, s) {
-                    None
-                } else {
-                    Some(format!(
-                        "fast path returns `{name}`, not in the defined return set"
-                    ))
+                SymNode::Input(name) => {
+                    if in_set(cx, s) {
+                        None
+                    } else {
+                        Some(format!(
+                            "fast path returns `{name}`, not in the defined return set"
+                        ))
+                    }
                 }
-            }
-            Some(_) => None, // not statically decidable
+                _ => None, // not statically decidable
+            },
         };
         if let Some(message) = verdict {
             out.insert(cx.warn(Rule::OutputDefined, &func.name, rec.output.line, message));
@@ -90,13 +92,13 @@ fn check_defined(cx: &CheckContext<'_>, func: &FunctionPaths, out: &mut BTreeSet
     }
 }
 
-fn in_set(cx: &CheckContext<'_>, value: &Sym) -> bool {
-    cx.spec.returns.iter().any(|r| match (r, value) {
-        (RetValue::Int(a), Sym::Int(b)) => a == b,
-        (RetValue::Name(a), Sym::Input(b)) => a == b,
+fn in_set(cx: &CheckContext<'_>, value: Sym) -> bool {
+    cx.spec.returns.iter().any(|r| match (r, value.node()) {
+        (RetValue::Int(a), SymNode::Int(b)) => a == b,
+        (RetValue::Name(a), SymNode::Input(b)) => b.as_str() == a.as_str(),
         // Named enum constants in the spec may resolve to integers in
         // the unit (e.g. `returns ENOMEM` with `enum { ENOMEM = -12 }`).
-        (RetValue::Name(a), Sym::Int(b)) => cx.ast.enum_value(a) == Some(*b),
+        (RetValue::Name(a), SymNode::Int(b)) => cx.ast.enum_value(a) == Some(*b),
         _ => false,
     })
 }
@@ -112,8 +114,8 @@ fn check_match_slow(cx: &CheckContext<'_>, func: &FunctionPaths, out: &mut BTree
             continue; // nothing comparable
         }
         for rec in &func.records {
-            match &rec.output.value {
-                Some(Sym::Int(v)) if !slow_lit.contains(v) => {
+            match rec.output.value.map(|s| s.node()) {
+                Some(SymNode::Int(v)) if !slow_lit.contains(v) => {
                     out.insert(cx.warn(
                         Rule::OutputMatchSlow,
                         &func.name,

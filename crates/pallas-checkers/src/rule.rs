@@ -201,7 +201,7 @@ mod tests {
             line,
             message: "m".into(),
         };
-        let mut ws = vec![
+        let mut ws = [
             w(Rule::ImmutableInit, "b_fn", 3),
             w(Rule::FaultMissing, "a_fn", 9),
             w(Rule::AssistStale, "a_fn", 2),

@@ -18,7 +18,7 @@
 
 use pallas_checkers::{parse_rule, Warning};
 use pallas_lang::ast::{BinOp, UnOp};
-use pallas_sym::{Event, FunctionPaths, OutputRecord, PathRecord, Sym};
+use pallas_sym::{Event, FunctionPaths, OutputRecord, PathRecord, Sym, SymNode};
 
 /// A malformed or foreign payload. Carries the reason for tests and
 /// trace messages; the store layer's only decision is "treat as miss".
@@ -215,53 +215,58 @@ fn unop_from(tag: u8) -> R<UnOp> {
 
 // ------------------------------------------------------------------ sym
 
-fn write_sym(w: &mut Writer, sym: &Sym) {
-    match sym {
-        Sym::Input(name) => {
+fn write_sym(w: &mut Writer, sym: Sym) {
+    match sym.node() {
+        SymNode::Input(name) => {
             w.u8(0);
             w.str(name);
         }
-        Sym::Int(v) => {
+        SymNode::Int(v) => {
             w.u8(1);
             w.i64(*v);
         }
-        Sym::Str(s) => {
+        SymNode::Str(s) => {
             w.u8(2);
             w.str(s);
         }
-        Sym::Temp(n) => {
+        SymNode::Temp(n) => {
             w.u8(3);
             w.u32(*n);
         }
-        Sym::Call { callee, args } => {
+        SymNode::Call { callee, args } => {
             w.u8(4);
             w.str(callee);
             w.u32(args.len() as u32);
-            for a in args {
+            for &a in args {
                 write_sym(w, a);
             }
         }
-        Sym::Unary(op, a) => {
+        SymNode::Unary(op, a) => {
             w.u8(5);
             w.u8(unop_tag(*op));
-            write_sym(w, a);
+            write_sym(w, *a);
         }
-        Sym::Binary(op, a, b) => {
+        SymNode::Binary(op, a, b) => {
             w.u8(6);
             w.u8(binop_tag(*op));
-            write_sym(w, a);
-            write_sym(w, b);
+            write_sym(w, *a);
+            write_sym(w, *b);
         }
-        Sym::Unknown => w.u8(7),
+        SymNode::Unknown => w.u8(7),
     }
 }
 
+// Decoding interns through the *raw* constructors: persisted trees were
+// already folded/widened when they were built, so re-applying the
+// budget here would change shapes (and hence rendered bytes) for
+// values that legitimately sit at the budget boundary. Raw interning
+// reproduces the encoded structure exactly, node for node.
 fn read_sym(r: &mut Reader<'_>) -> R<Sym> {
     Ok(match r.u8()? {
-        0 => Sym::Input(r.str()?),
-        1 => Sym::Int(r.i64()?),
-        2 => Sym::Str(r.str()?),
-        3 => Sym::Temp(r.u32()?),
+        0 => Sym::input(r.str()?),
+        1 => Sym::int(r.i64()?),
+        2 => Sym::str_lit(r.str()?),
+        3 => Sym::temp(r.u32()?),
         4 => {
             let callee = r.str()?;
             let n = r.u32()? as usize;
@@ -269,24 +274,24 @@ fn read_sym(r: &mut Reader<'_>) -> R<Sym> {
             for _ in 0..n {
                 args.push(read_sym(r)?);
             }
-            Sym::Call { callee, args }
+            Sym::call(callee, args)
         }
         5 => {
             let op = unop_from(r.u8()?)?;
-            Sym::Unary(op, Box::new(read_sym(r)?))
+            Sym::unary_raw(op, read_sym(r)?)
         }
         6 => {
             let op = binop_from(r.u8()?)?;
             let a = read_sym(r)?;
             let b = read_sym(r)?;
-            Sym::Binary(op, Box::new(a), Box::new(b))
+            Sym::binary_raw(op, a, b)
         }
-        7 => Sym::Unknown,
+        7 => Sym::unknown(),
         _ => return bad("unknown sym tag"),
     })
 }
 
-fn write_opt_sym(w: &mut Writer, sym: &Option<Sym>) {
+fn write_opt_sym(w: &mut Writer, sym: Option<Sym>) {
     match sym {
         None => w.u8(0),
         Some(s) => {
@@ -325,7 +330,7 @@ fn write_event(w: &mut Writer, event: &Event) {
             w.u8(1);
             w.u32(*line);
             w.str(lvalue);
-            write_sym(w, value);
+            write_sym(w, *value);
             w.str(text);
             w.strs(reads);
             w.u8(*depth);
@@ -416,7 +421,7 @@ fn write_function_paths(w: &mut Writer, fp: &FunctionPaths) {
         }
         w.u32(rec.output.line);
         w.str(&rec.output.text);
-        write_opt_sym(w, &rec.output.value);
+        write_opt_sym(w, rec.output.value);
         w.strs(&rec.output.vars);
     }
     w.boolean(fp.truncated);
@@ -559,10 +564,10 @@ mod tests {
                         Event::State {
                             line: 15,
                             lvalue: "page".into(),
-                            value: Sym::Binary(
+                            value: Sym::binary_raw(
                                 BinOp::Add,
-                                Box::new(Sym::Input("base".into())),
-                                Box::new(Sym::Unary(UnOp::Neg, Box::new(Sym::Int(-3)))),
+                                Sym::input("base"),
+                                Sym::unary_raw(UnOp::Neg, Sym::int(-3)),
                             ),
                             text: "page = base + -(-3)".into(),
                             reads: vec!["base".into()],
@@ -580,10 +585,10 @@ mod tests {
                     output: OutputRecord {
                         line: 17,
                         text: "page".into(),
-                        value: Some(Sym::Call {
-                            callee: "prep_page".into(),
-                            args: vec![Sym::Temp(4), Sym::Str("tag".into()), Sym::Unknown],
-                        }),
+                        value: Some(Sym::call(
+                            "prep_page",
+                            vec![Sym::temp(4), Sym::str_lit("tag"), Sym::unknown()],
+                        )),
                         vars: vec!["page".into()],
                     },
                 },
@@ -617,10 +622,9 @@ mod tests {
             Add, Sub, Mul, Div, Rem, Shl, Shr, Lt, Gt, Le, Ge, Eq, Ne, BitAnd, BitXor,
             BitOr, And, Or,
         ] {
-            let sym =
-                Sym::Binary(op, Box::new(Sym::Input("a".into())), Box::new(Sym::Temp(1)));
+            let sym = Sym::binary_raw(op, Sym::input("a"), Sym::temp(1));
             let mut w = Writer::default();
-            write_sym(&mut w, &sym);
+            write_sym(&mut w, sym);
             let bytes = w.into_bytes();
             assert_eq!(read_sym(&mut Reader::new(&bytes)).unwrap(), sym);
         }
@@ -635,9 +639,9 @@ mod tests {
             UnOp::PostInc,
             UnOp::PostDec,
         ] {
-            let sym = Sym::Unary(op, Box::new(Sym::Int(i64::MIN)));
+            let sym = Sym::unary_raw(op, Sym::int(i64::MIN));
             let mut w = Writer::default();
-            write_sym(&mut w, &sym);
+            write_sym(&mut w, sym);
             let bytes = w.into_bytes();
             assert_eq!(read_sym(&mut Reader::new(&bytes)).unwrap(), sym);
         }

@@ -262,9 +262,12 @@ impl EngineStats {
 struct Frontend {
     merged_src: String,
     merge_map: MergeMap,
-    ast: Ast,
+    // Arc so a warm check shares the parsed AST and extracted path
+    // database with every AnalyzedUnit it hands out instead of
+    // deep-cloning both per hit.
+    ast: Arc<Ast>,
     spec: FastPathSpec,
-    db: PathDb,
+    db: Arc<PathDb>,
 }
 
 #[derive(Debug, Default)]
@@ -541,8 +544,13 @@ impl Engine {
                             cached: true,
                         });
                         disk_warnings = Some(warnings);
-                        let frontend =
-                            Arc::new(Frontend { merged_src, merge_map, ast, spec, db });
+                        let frontend = Arc::new(Frontend {
+                            merged_src,
+                            merge_map,
+                            ast: Arc::new(ast),
+                            spec,
+                            db: Arc::new(db),
+                        });
                         self.cache_frontend(key, &frontend);
                         frontend
                     }
@@ -866,7 +874,7 @@ impl Engine {
         span.attr_u64("pruned", db.pruned_paths() as u64);
         drop(span);
 
-        Ok((Frontend { merged_src, merge_map, ast, spec, db }, func_keys))
+        Ok((Frontend { merged_src, merge_map, ast: Arc::new(ast), spec, db: Arc::new(db) }, func_keys))
     }
 
     /// Runs the Merge, Parse, and Spec stages — the cheap part of the
@@ -1126,9 +1134,9 @@ mod tests {
         (dir.join("analysis.store"), Cleanup(dir))
     }
 
-    fn store_engine(path: &PathBuf) -> Engine {
+    fn store_engine(path: &std::path::Path) -> Engine {
         Engine::with_engine_config(EngineConfig {
-            store_path: Some(path.clone()),
+            store_path: Some(path.to_path_buf()),
             ..EngineConfig::default()
         })
     }

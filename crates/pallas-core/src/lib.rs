@@ -31,8 +31,9 @@ pub mod unit;
 pub use engine::{Engine, EngineConfig, EngineStats, Stage, StageTiming, STORE_FORMAT_VERSION};
 pub use pipeline::{AnalyzedUnit, Pallas, PallasError, PallasErrorKind};
 pub use report::{
-    finding_json, json_escape, render_engine_stats, render_ndjson, render_stage_stats,
-    render_tsv, render_unit_report, warning_counts_by_rule,
+    finding_json, finding_json_into, json_escape, json_escape_into, render_engine_stats,
+    render_ndjson, render_ndjson_into, render_stage_stats, render_tsv, render_unit_report,
+    warning_counts_by_rule,
 };
 pub use truth::{score, KnownBug, Score};
 pub use unit::{MergeMap, SourceUnit};

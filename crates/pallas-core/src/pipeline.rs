@@ -59,10 +59,12 @@ pub struct AnalyzedUnit {
     pub merged_src: String,
     /// Merged-line → file mapping.
     pub merge_map: MergeMap,
-    /// Parsed AST of the merged unit.
-    pub ast: Ast,
-    /// Extracted path database.
-    pub db: PathDb,
+    /// Parsed AST of the merged unit, shared with the engine's frontend
+    /// cache — a warm check hands out another reference instead of
+    /// deep-cloning the tree.
+    pub ast: std::sync::Arc<Ast>,
+    /// Extracted path database, shared like [`ast`](Self::ast).
+    pub db: std::sync::Arc<PathDb>,
     /// Effective spec (document + inline pragmas).
     pub spec: FastPathSpec,
     /// Checker warnings, sorted and deduplicated.

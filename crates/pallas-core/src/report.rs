@@ -113,10 +113,11 @@ pub fn render_stage_stats(unit: &AnalyzedUnit) -> String {
 }
 
 /// Escapes `s` as the contents of a JSON string literal (quotes not
-/// included). Control characters, `"`, and `\` are escaped; everything
-/// else passes through as UTF-8.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// included), appending to `out`. Control characters, `"`, and `\` are
+/// escaped; everything else passes through as UTF-8. The appending form
+/// is the primitive: render paths that emit many findings reuse one
+/// buffer instead of allocating a `String` per field.
+pub fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -132,6 +133,12 @@ pub fn json_escape(s: &str) -> String {
             c => out.push(c),
         }
     }
+}
+
+/// Allocating convenience wrapper over [`json_escape_into`].
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    json_escape_into(&mut out, s);
     out
 }
 
@@ -143,21 +150,35 @@ pub fn json_escape(s: &str) -> String {
 /// Schema (field order is fixed):
 /// `{"type":"finding","unit":s,"rule":s,"class":s,"function":s,"file":s,"line":n,"message":s}`
 pub fn finding_json(unit: &AnalyzedUnit, w: &pallas_checkers::Warning) -> String {
-    let (file, line) = unit
-        .merge_map
-        .resolve(w.line)
-        .map(|(f, l)| (f.to_string(), l))
-        .unwrap_or_else(|| ("<merged>".to_string(), w.line));
-    format!(
-        "{{\"type\":\"finding\",\"unit\":\"{}\",\"rule\":\"{}\",\"class\":\"{}\",\"function\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
-        json_escape(&w.unit),
-        w.rule.number(),
-        json_escape(&w.rule.class().to_string()),
-        json_escape(&w.function),
-        json_escape(&file),
-        line,
-        json_escape(&w.message),
-    )
+    let mut out = String::new();
+    finding_json_into(&mut out, unit, w);
+    out
+}
+
+/// Appends one warning's finding object ([`finding_json`]) to `out`,
+/// escaping fields in place — no intermediate strings.
+pub fn finding_json_into(out: &mut String, unit: &AnalyzedUnit, w: &pallas_checkers::Warning) {
+    out.push_str("{\"type\":\"finding\",\"unit\":\"");
+    json_escape_into(out, &w.unit);
+    out.push_str("\",\"rule\":\"");
+    out.push_str(w.rule.number());
+    out.push_str("\",\"class\":\"");
+    json_escape_into(out, &w.rule.class().to_string());
+    out.push_str("\",\"function\":\"");
+    json_escape_into(out, &w.function);
+    out.push_str("\",\"file\":\"");
+    match unit.merge_map.resolve(w.line) {
+        Some((file, line)) => {
+            json_escape_into(out, file);
+            let _ = write!(out, "\",\"line\":{line}");
+        }
+        None => {
+            let _ = write!(out, "<merged>\",\"line\":{}", w.line);
+        }
+    }
+    out.push_str(",\"message\":\"");
+    json_escape_into(out, &w.message);
+    out.push_str("\"}");
 }
 
 /// Renders one analyzed unit as NDJSON: one `finding` object per
@@ -167,27 +188,36 @@ pub fn finding_json(unit: &AnalyzedUnit, w: &pallas_checkers::Warning) -> String
 /// pin with golden files.
 pub fn render_ndjson(unit: &AnalyzedUnit) -> String {
     let mut out = String::new();
+    render_ndjson_into(&mut out, unit);
+    out
+}
+
+/// Appends [`render_ndjson`]'s output to `out`. Callers that render
+/// many units (the daemon, benchmarks) clear and reuse one buffer
+/// across calls instead of allocating a fresh `String` per unit; the
+/// bytes appended are identical to `render_ndjson`'s.
+pub fn render_ndjson_into(out: &mut String, unit: &AnalyzedUnit) {
     for w in &unit.warnings {
-        let _ = writeln!(out, "{}", finding_json(unit, w));
+        finding_json_into(out, unit, w);
+        out.push('\n');
     }
     for issue in &unit.lint {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"lint\",\"unit\":\"{}\",\"message\":\"{}\"}}",
-            json_escape(&unit.name),
-            json_escape(&issue.to_string()),
-        );
+        out.push_str("{\"type\":\"lint\",\"unit\":\"");
+        json_escape_into(out, &unit.name);
+        out.push_str("\",\"message\":\"");
+        json_escape_into(out, &issue.to_string());
+        out.push_str("\"}\n");
     }
+    out.push_str("{\"type\":\"unit\",\"unit\":\"");
+    json_escape_into(out, &unit.name);
     let _ = writeln!(
         out,
-        "{{\"type\":\"unit\",\"unit\":\"{}\",\"functions\":{},\"paths\":{},\"warnings\":{},\"lint\":{}}}",
-        json_escape(&unit.name),
+        "\",\"functions\":{},\"paths\":{},\"warnings\":{},\"lint\":{}}}",
         unit.db.functions.len(),
         unit.db.path_count(),
         unit.warnings.len(),
         unit.lint.len(),
     );
-    out
 }
 
 /// Renders an engine's cumulative counters: units checked, cache
@@ -411,6 +441,22 @@ mod tests {
     #[test]
     fn ndjson_is_deterministic_across_runs() {
         assert_eq!(render_ndjson(&analyzed()), render_ndjson(&analyzed()));
+    }
+
+    #[test]
+    fn reused_buffer_rendering_is_byte_identical() {
+        // The daemon and benchmarks render through one reused buffer;
+        // the appended bytes must match the allocating path exactly.
+        let unit = analyzed();
+        let mut buf = String::from("stale contents from a previous unit");
+        buf.clear();
+        render_ndjson_into(&mut buf, &unit);
+        assert_eq!(buf, render_ndjson(&unit));
+        for w in &unit.warnings {
+            buf.clear();
+            finding_json_into(&mut buf, &unit, w);
+            assert_eq!(buf, finding_json(&unit, w));
+        }
     }
 
     #[test]

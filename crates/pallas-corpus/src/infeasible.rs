@@ -184,7 +184,8 @@ mod tests {
             prune_infeasible: prune,
             ..ExtractConfig::default()
         });
-        let report = engine.check_unit(&cu.unit).expect(cu.name());
+        let report =
+            engine.check_unit(&cu.unit).unwrap_or_else(|e| panic!("{}: {e}", cu.name()));
         (report.warnings.len(), report.db.path_count())
     }
 

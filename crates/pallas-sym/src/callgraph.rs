@@ -25,7 +25,9 @@ impl CallGraph {
             for rec in &func.records {
                 for e in rec.calls() {
                     if let Event::Call { callee, depth: 0, .. } = e {
-                        entry.insert(callee.clone());
+                        if !entry.contains(callee.as_str()) {
+                            entry.insert(callee.clone());
+                        }
                     }
                 }
             }

@@ -10,7 +10,10 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// One semantic event on a path's timeline.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Hash`/`Eq` are structural: the extractor's summary-union dedup
+/// keys on whole events (hashing a [`Sym`] is O(1) on its arena id).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Event {
     /// A flow-control condition was evaluated (branch, switch, or
     /// ternary).
@@ -194,7 +197,7 @@ impl FunctionPaths {
         let mut v: Vec<i64> = self
             .records
             .iter()
-            .filter_map(|r| r.output.value.as_ref().and_then(Sym::as_int))
+            .filter_map(|r| r.output.value.and_then(|s| s.as_int()))
             .collect();
         v.sort_unstable();
         v.dedup();
@@ -206,7 +209,7 @@ impl FunctionPaths {
         let mut v: Vec<String> = self
             .records
             .iter()
-            .filter_map(|r| r.output.value.as_ref().and_then(|s| s.as_input().map(str::to_string)))
+            .filter_map(|r| r.output.value.and_then(|s| s.as_input().map(str::to_string)))
             .collect();
         v.sort();
         v.dedup();
@@ -300,7 +303,7 @@ mod tests {
         Event::State {
             line,
             lvalue: lvalue.into(),
-            value: Sym::Int(0),
+            value: Sym::int(0),
             text: format!("{lvalue} = 0"),
             reads: vec![],
             depth: 0,
@@ -411,7 +414,7 @@ mod tests {
                     output: OutputRecord {
                         line: 2,
                         text: "0".into(),
-                        value: Some(Sym::Int(0)),
+                        value: Some(Sym::int(0)),
                         vars: vec![],
                     },
                 },
@@ -421,7 +424,7 @@ mod tests {
                     output: OutputRecord {
                         line: 3,
                         text: "err".into(),
-                        value: Some(Sym::Input("err".into())),
+                        value: Some(Sym::input("err")),
                         vars: vec!["err".into()],
                     },
                 },

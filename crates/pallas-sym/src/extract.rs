@@ -7,11 +7,21 @@
 //! up to a configurable depth — the union of the callee's own events is
 //! appended at `depth + 1` — mirroring the paper's "inlines a limited
 //! number of callee functions" design (§4).
+//!
+//! Allocation discipline: one [`Evaluator`] is reused across all paths
+//! of a function (its environment map keeps its capacity), expression
+//! renderings / atom sets / lvalue keys are memoized per [`ExprId`] in
+//! unit-scoped caches, and environment keys are interned [`Istr`]s —
+//! the per-path cost is event construction, not re-deriving the same
+//! strings path after path.
 
 use crate::event::{Event, FunctionPaths, OutputRecord, PathDb, PathRecord};
 use crate::feasible::FeasibilityOracle;
-use crate::sym::Sym;
-use pallas_cfg::{build_cfg, enumerate_paths, enumerate_paths_with, CfgPath, Decision, PathConfig};
+use crate::intern::Istr;
+use crate::sym::{Sym, SymNode};
+use pallas_cfg::{
+    build_cfg, enumerate_paths_reusing, CfgPath, Decision, NoOracle, PathConfig, PathScratch,
+};
 use pallas_lang::ast::{AssignOp, Ast, ExprId, ExprKind, StmtKind, UnOp};
 use pallas_lang::{expr_to_string, LineMap};
 use std::collections::{HashMap, HashSet};
@@ -84,7 +94,7 @@ pub struct FunctionExtractor<'a> {
     ast: &'a Ast,
     lm: LineMap,
     config: ExtractConfig,
-    summaries: SummaryCache,
+    caches: ExtractCaches,
 }
 
 impl<'a> FunctionExtractor<'a> {
@@ -95,7 +105,7 @@ impl<'a> FunctionExtractor<'a> {
             ast,
             lm: LineMap::new(src),
             config: *config,
-            summaries: HashMap::new(),
+            caches: ExtractCaches::default(),
         }
     }
 
@@ -106,36 +116,61 @@ impl<'a> FunctionExtractor<'a> {
     /// Panics if `name` is not a function defined in the AST.
     pub fn extract_function(&mut self, name: &str) -> FunctionPaths {
         let mut span = pallas_trace::span(pallas_trace::Layer::Paths, name);
-        let fp =
-            extract_function(self.ast, &self.lm, name, &self.config, &mut self.summaries);
+        let fp = extract_function(self.ast, &self.lm, name, &self.config, &mut self.caches);
         span.attr_u64("paths", fp.records.len() as u64);
         span.attr_bool("truncated", fp.truncated);
         span.attr_u64("pruned", fp.pruned as u64);
         fp
     }
+
+    /// `(hits, misses)` of the callee summary memo so far. A hit means
+    /// a call site reused an already-computed `(callee, depth)` summary
+    /// (including the empty placeholder that breaks recursion cycles)
+    /// instead of re-extracting the callee.
+    pub fn summary_cache_stats(&self) -> (u64, u64) {
+        (self.caches.summary_hits, self.caches.summary_misses)
+    }
 }
 
-/// Memoized callee summaries, keyed by `(function, remaining depth)`.
-type SummaryCache = HashMap<(String, u8), Vec<Event>>;
+/// Unit-scoped memo state shared by every function extracted from one
+/// AST: callee summaries plus per-[`ExprId`] derived-string caches
+/// (all pure functions of the AST, so they never need invalidation).
+#[derive(Default)]
+struct ExtractCaches {
+    /// Callee summaries keyed by `(function, remaining depth)`.
+    summaries: HashMap<(Istr, u8), Vec<Event>>,
+    summary_hits: u64,
+    summary_misses: u64,
+    /// Rendered expression text (event `text` fields, callee names).
+    texts: HashMap<ExprId, String>,
+    /// Canonical lvalue key, `None` for non-lvalues.
+    lvalues: HashMap<ExprId, Option<Istr>>,
+    /// Name atoms mentioned by an expression.
+    atoms: HashMap<ExprId, Vec<String>>,
+    /// Reused DFS buffers for path enumeration (one per unit, warm
+    /// across every function and inlined callee).
+    paths_scratch: PathScratch,
+}
 
 fn extract_function(
     ast: &Ast,
     lm: &LineMap,
     name: &str,
     config: &ExtractConfig,
-    summaries: &mut SummaryCache,
+    caches: &mut ExtractCaches,
 ) -> FunctionPaths {
     let func = ast.function(name).expect("function exists");
     let cfg = build_cfg(ast, func);
     let paths = if config.prune_infeasible {
         let mut oracle = FeasibilityOracle::new(ast);
-        enumerate_paths_with(&cfg, &config.paths, &mut oracle)
+        enumerate_paths_reusing(&cfg, &config.paths, &mut oracle, &mut caches.paths_scratch)
     } else {
-        enumerate_paths(&cfg, &config.paths)
+        enumerate_paths_reusing(&cfg, &config.paths, &mut NoOracle, &mut caches.paths_scratch)
     };
     let mut records = Vec::with_capacity(paths.paths.len());
+    let mut ev = Evaluator::new(ast, lm, config, caches);
     for (index, path) in paths.paths.iter().enumerate() {
-        records.push(extract_path(ast, lm, &cfg, path, index, config, summaries));
+        records.push(ev.run_path(&cfg, path, index));
     }
     FunctionPaths {
         name: func.sig.name.clone(),
@@ -148,116 +183,64 @@ fn extract_function(
     }
 }
 
-fn extract_path(
-    ast: &Ast,
-    lm: &LineMap,
-    cfg: &pallas_cfg::Cfg,
-    path: &CfgPath,
-    index: usize,
-    config: &ExtractConfig,
-    summaries: &mut SummaryCache,
-) -> PathRecord {
-    let mut ev = Evaluator::new(ast, lm, config, summaries);
-    // Parameters start as symbolic inputs of their own name.
-    // (The environment defaults to `Input(name)` on lookup, so nothing
-    // to seed.)
-    let mut decision_iter = path.decisions.iter().peekable();
-    for (i, &bb) in path.blocks.iter().enumerate() {
-        let block = cfg.block(bb);
-        for &stmt in &block.stmts {
-            ev.exec_stmt(stmt);
-        }
-        for &(b, step) in &cfg.step_exprs {
-            if b == bb {
-                ev.eval(step);
-            }
-        }
-        // If this block made a decision on the path, record it.
-        let is_last = i + 1 == path.blocks.len();
-        if !is_last {
-            if let Some(d) = decision_iter.peek() {
-                if d.block() == bb {
-                    let d = decision_iter.next().expect("peeked");
-                    ev.record_decision(d);
-                }
-            }
-        }
-    }
-    let output = match path.ret {
-        Some(e) => {
-            let value = ev.eval_in_return(e);
-            OutputRecord {
-                line: lm.line(ast.expr(e).span.start),
-                text: expr_to_string(ast, e),
-                value: Some(value),
-                vars: ev.atoms_of(e),
-            }
-        }
-        None => OutputRecord {
-            line: path
-                .blocks
-                .last()
-                .map(|&b| lm.line(cfg.block(b).span.start))
-                .unwrap_or(0),
-            text: String::new(),
-            value: None,
-            vars: Vec::new(),
-        },
-    };
-    PathRecord { index, events: ev.events, output }
-}
-
 /// Computes (and memoizes) the summary event set of a callee: the union
 /// of events over all of its extracted paths, deduplicated. `remaining`
 /// is the inlining budget left at the *call site*: the callee's own
 /// extraction gets `remaining - 1`, so a budget of 2 surfaces the
 /// callee's callees' conditions at cumulative depth 2, and so on.
-fn callee_summary(
+///
+/// Returns a borrow of the memoized entry: the caller clones events
+/// only as it splices them, and the union vector itself is inserted
+/// exactly once (no insert-empty-then-overwrite double write of the
+/// final value, no defensive clone of the whole union).
+fn callee_summary<'c>(
     ast: &Ast,
     lm: &LineMap,
-    name: &str,
+    name: Istr,
     remaining: u8,
     base: &ExtractConfig,
-    summaries: &mut SummaryCache,
-) -> Vec<Event> {
+    caches: &'c mut ExtractCaches,
+) -> &'c [Event] {
+    const EMPTY: &[Event] = &[];
     if remaining == 0 {
-        return Vec::new();
+        return EMPTY;
     }
-    let key = (name.to_string(), remaining);
-    if let Some(s) = summaries.get(&key) {
-        return s.clone();
+    let key = (name, remaining);
+    if caches.summaries.contains_key(&key) {
+        caches.summary_hits += 1;
+        return &caches.summaries[&key];
     }
+    caches.summary_misses += 1;
     // Insert a placeholder first to break recursion cycles.
-    summaries.insert(key.clone(), Vec::new());
+    caches.summaries.insert(key, Vec::new());
     let sub_config = ExtractConfig {
         paths: PathConfig { max_paths: 64, ..base.paths },
         inline_depth: remaining - 1,
         ..*base
     };
-    let fp = extract_function(ast, lm, name, &sub_config, summaries);
+    let fp = extract_function(ast, lm, name.as_str(), &sub_config, caches);
     let mut seen = HashSet::new();
     let mut union = Vec::new();
     for rec in &fp.records {
         for e in &rec.events {
-            let key = format!("{e:?}");
-            if seen.insert(key) {
+            if seen.insert(e) {
                 union.push(e.clone());
             }
         }
     }
-    summaries.insert(key, union.clone());
-    union
+    caches.summaries.insert(key, union);
+    &caches.summaries[&key]
 }
 
 struct Evaluator<'a> {
     ast: &'a Ast,
     lm: &'a LineMap,
     config: &'a ExtractConfig,
-    env: HashMap<String, Sym>,
+    env: HashMap<Istr, Sym>,
     temp_counter: u32,
     in_condition: u32,
     events: Vec<Event>,
-    summaries: &'a mut SummaryCache,
+    caches: &'a mut ExtractCaches,
 }
 
 impl<'a> Evaluator<'a> {
@@ -265,7 +248,7 @@ impl<'a> Evaluator<'a> {
         ast: &'a Ast,
         lm: &'a LineMap,
         config: &'a ExtractConfig,
-        summaries: &'a mut SummaryCache,
+        caches: &'a mut ExtractCaches,
     ) -> Self {
         Evaluator {
             ast,
@@ -275,17 +258,85 @@ impl<'a> Evaluator<'a> {
             temp_counter: 0,
             in_condition: 0,
             events: Vec::new(),
-            summaries,
+            caches,
         }
+    }
+
+    /// Interprets one enumerated path, resetting per-path state but
+    /// keeping the environment map's capacity and every unit-scoped
+    /// memo warm.
+    fn run_path(&mut self, cfg: &pallas_cfg::Cfg, path: &CfgPath, index: usize) -> PathRecord {
+        self.env.clear();
+        self.temp_counter = 0;
+        self.in_condition = 0;
+        self.events.clear();
+        // Parameters start as symbolic inputs of their own name.
+        // (The environment defaults to `Input(name)` on lookup, so
+        // nothing to seed.)
+        let mut decision_iter = path.decisions.iter().peekable();
+        for (i, &bb) in path.blocks.iter().enumerate() {
+            let block = cfg.block(bb);
+            for &stmt in &block.stmts {
+                self.exec_stmt(stmt);
+            }
+            for &(b, step) in &cfg.step_exprs {
+                if b == bb {
+                    self.eval(step);
+                }
+            }
+            // If this block made a decision on the path, record it.
+            let is_last = i + 1 == path.blocks.len();
+            if !is_last {
+                if let Some(d) = decision_iter.peek() {
+                    if d.block() == bb {
+                        let d = decision_iter.next().expect("peeked");
+                        self.record_decision(d);
+                    }
+                }
+            }
+        }
+        let output = match path.ret {
+            Some(e) => {
+                let value = self.eval_in_return(e);
+                OutputRecord {
+                    line: self.line_of(e),
+                    text: self.text_of(e),
+                    value: Some(value),
+                    vars: self.atoms_of(e),
+                }
+            }
+            None => OutputRecord {
+                line: path
+                    .blocks
+                    .last()
+                    .map(|&b| self.lm.line(cfg.block(b).span.start))
+                    .unwrap_or(0),
+                text: String::new(),
+                value: None,
+                vars: Vec::new(),
+            },
+        };
+        PathRecord { index, events: std::mem::take(&mut self.events), output }
     }
 
     fn line_of(&self, e: ExprId) -> u32 {
         self.lm.line(self.ast.expr(e).span.start)
     }
 
+    /// Memoized `expr_to_string`.
+    fn text_of(&mut self, e: ExprId) -> String {
+        if let Some(t) = self.caches.texts.get(&e) {
+            return t.clone();
+        }
+        let t = expr_to_string(self.ast, e);
+        self.caches.texts.insert(e, t.clone());
+        t
+    }
+
     fn exec_stmt(&mut self, id: pallas_lang::StmtId) {
-        let stmt = self.ast.stmt(id).clone();
-        match stmt.kind {
+        let ast = self.ast;
+        let stmt = ast.stmt(id);
+        match &stmt.kind {
             StmtKind::Decl { name, init, .. } => {
                 let line = self.lm.line(stmt.span.start);
                 self.events.push(Event::Decl {
@@ -296,27 +347,29 @@ impl<'a> Evaluator<'a> {
                 });
                 match init {
                     Some(e) => {
-                        let value = self.eval(e);
-                        let value = self.detemporalize_call(value, &name);
+                        let value = self.eval(*e);
+                        let value = self.detemporalize_call(value, name);
+                        let text = format!("{name} = {}", self.text_of(*e));
+                        let reads = self.atoms_of(*e);
                         self.events.push(Event::State {
                             line,
                             lvalue: name.clone(),
-                            value: value.clone(),
-                            text: format!("{name} = {}", expr_to_string(self.ast, e)),
-                            reads: self.atoms_of(e),
+                            value,
+                            text,
+                            reads,
                             depth: 0,
                         });
-                        self.env.insert(name, value);
+                        self.env.insert(Istr::new(name), value);
                     }
                     None => {
                         // Declared but uninitialized: poison so reads
                         // can be recognized by the init checker.
-                        self.env.insert(name, Sym::Unknown);
+                        self.env.insert(Istr::new(name), Sym::unknown());
                     }
                 }
             }
             StmtKind::Expr(e) => {
-                self.eval(e);
+                self.eval(*e);
             }
             _ => {}
         }
@@ -328,11 +381,13 @@ impl<'a> Evaluator<'a> {
                 self.in_condition += 1;
                 let sym = self.eval(*cond);
                 self.in_condition -= 1;
+                let text = self.text_of(*cond);
+                let vars = self.atoms_of(*cond);
                 self.events.push(Event::Cond {
                     line: self.line_of(*cond),
-                    text: expr_to_string(self.ast, *cond),
+                    text,
                     symbolic: sym.to_string(),
-                    vars: self.atoms_of(*cond),
+                    vars,
                     taken: Some(*taken),
                     depth: 0,
                 });
@@ -342,7 +397,7 @@ impl<'a> Evaluator<'a> {
                 let sym = self.eval(*scrutinee);
                 self.in_condition -= 1;
                 let case_text = case
-                    .map(|c| format!(" == case {}", expr_to_string(self.ast, c)))
+                    .map(|c| format!(" == case {}", self.text_of(c)))
                     .unwrap_or_else(|| " == default".to_string());
                 let mut vars = self.atoms_of(*scrutinee);
                 if let Some(c) = case {
@@ -352,9 +407,10 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
+                let text = format!("{}{case_text}", self.text_of(*scrutinee));
                 self.events.push(Event::Cond {
                     line: self.line_of(*scrutinee),
-                    text: format!("{}{case_text}", expr_to_string(self.ast, *scrutinee)),
+                    text,
                     symbolic: format!("{sym}{case_text}"),
                     vars,
                     taken: None,
@@ -372,7 +428,7 @@ impl<'a> Evaluator<'a> {
     /// Table 5 convention) and point the most recent Call event at the
     /// assigned lvalue.
     fn detemporalize_call(&mut self, value: Sym, lvalue: &str) -> Sym {
-        if let Sym::Call { .. } = value {
+        if let SymNode::Call { .. } = value.node() {
             for e in self.events.iter_mut().rev() {
                 // Only the function's own call events qualify — summary
                 // events spliced from callees sit at depth > 0 and must
@@ -385,28 +441,37 @@ impl<'a> Evaluator<'a> {
                 }
             }
             self.temp_counter += 1;
-            return Sym::Temp(self.temp_counter);
+            return Sym::temp(self.temp_counter);
         }
         value
     }
 
-    /// Canonical lvalue text for identifier / member / index / deref
-    /// chains; `None` for non-lvalue expressions.
-    fn lvalue_key(&self, e: ExprId) -> Option<String> {
-        match &self.ast.expr(e).kind {
+    /// Canonical (interned) lvalue key for identifier / member / index
+    /// / deref chains; `None` for non-lvalue expressions. Memoized per
+    /// expression.
+    fn lvalue_key(&mut self, e: ExprId) -> Option<Istr> {
+        if let Some(k) = self.caches.lvalues.get(&e) {
+            return *k;
+        }
+        let key = match &self.ast.expr(e).kind {
             ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index(..) => {
-                Some(expr_to_string(self.ast, e))
+                Some(Istr::new(&expr_to_string(self.ast, e)))
             }
             ExprKind::Unary(UnOp::Deref, inner) => {
-                self.lvalue_key(*inner).map(|k| format!("*{k}"))
+                self.lvalue_key(*inner).map(|k| Istr::new(&format!("*{k}")))
             }
             _ => None,
-        }
+        };
+        self.caches.lvalues.insert(e, key);
+        key
     }
 
     /// Name atoms mentioned by an expression: identifiers, full member
-    /// paths, and bare field names.
-    fn atoms_of(&self, e: ExprId) -> Vec<String> {
+    /// paths, and bare field names. Memoized per expression.
+    fn atoms_of(&mut self, e: ExprId) -> Vec<String> {
+        if let Some(v) = self.caches.atoms.get(&e) {
+            return v.clone();
+        }
         let mut set = Vec::new();
         let mut push = |s: String| {
             if !set.contains(&s) {
@@ -421,74 +486,89 @@ impl<'a> Evaluator<'a> {
             }
             _ => {}
         });
+        self.caches.atoms.insert(e, set.clone());
         set
     }
 
+    /// Environment lookup falling back to a symbolic input of the key's
+    /// own spelling.
+    fn env_value(&self, key: Istr) -> Sym {
+        self.env.get(&key).copied().unwrap_or_else(|| Sym::input(key))
+    }
+
     fn eval(&mut self, e: ExprId) -> Sym {
-        match self.ast.expr(e).kind.clone() {
-            ExprKind::Int(v) => Sym::Int(v),
-            ExprKind::Str(s) => Sym::Str(s),
-            ExprKind::Ident(n) => self.env.get(&n).cloned().unwrap_or(Sym::Input(n)),
+        let ast = self.ast;
+        match &ast.expr(e).kind {
+            ExprKind::Int(v) => Sym::int(*v),
+            ExprKind::Str(s) => Sym::str_lit(s.as_str()),
+            ExprKind::Ident(_) => {
+                let key = self.lvalue_key(e).expect("identifiers are lvalues");
+                self.env_value(key)
+            }
             ExprKind::Unary(op, inner) => {
+                let (op, inner) = (*op, *inner);
                 if op.mutates() {
                     let value = self.eval(inner);
                     if let Some(key) = self.lvalue_key(inner) {
                         let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) { 1 } else { -1 };
                         let new = Sym::binary(
                             pallas_lang::ast::BinOp::Add,
-                            value.clone(),
-                            Sym::Int(delta),
+                            value,
+                            Sym::int(delta),
                         );
+                        let text = self.text_of(e);
+                        let reads = self.atoms_of(inner);
                         self.events.push(Event::State {
                             line: self.line_of(e),
-                            lvalue: key.clone(),
-                            value: new.clone(),
-                            text: expr_to_string(self.ast, e),
-                            reads: self.atoms_of(inner),
+                            lvalue: key.to_string(),
+                            value: new,
+                            text,
+                            reads,
                             depth: 0,
                         });
-                        self.env.insert(key, new.clone());
+                        self.env.insert(key, new);
                         return match op {
                             UnOp::PostInc | UnOp::PostDec => value,
                             _ => new,
                         };
                     }
-                    return Sym::Unknown;
+                    return Sym::unknown();
                 }
                 if matches!(op, UnOp::Addr) {
                     // Taking an address counts as a read; value unknown.
                     self.eval(inner);
-                    return Sym::Unknown;
+                    return Sym::unknown();
                 }
                 let v = self.eval(inner);
                 if matches!(op, UnOp::Deref) {
                     return match self.lvalue_key(e) {
-                        Some(key) => self.env.get(&key).cloned().unwrap_or(Sym::Input(key)),
-                        None => Sym::Unknown,
+                        Some(key) => self.env_value(key),
+                        None => Sym::unknown(),
                     };
                 }
                 Sym::unary(op, v)
             }
             ExprKind::Binary(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
                 let va = self.eval(a);
                 let vb = self.eval(b);
                 Sym::binary(op, va, vb)
             }
             ExprKind::Assign(op, lhs, rhs) => {
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
                 let rhs_value = self.eval(rhs);
                 let key = match self.lvalue_key(lhs) {
                     Some(k) => k,
-                    None => return Sym::Unknown,
+                    None => return Sym::unknown(),
                 };
                 let mut value = match op {
                     AssignOp::Assign => rhs_value,
                     AssignOp::Compound(bin) => {
-                        let cur =
-                            self.env.get(&key).cloned().unwrap_or(Sym::Input(key.clone()));
+                        let cur = self.env_value(key);
                         Sym::binary(bin, cur, rhs_value)
                     }
                 };
-                value = self.detemporalize_call(value, &key);
+                value = self.detemporalize_call(value, key.as_str());
                 let mut reads = self.atoms_of(rhs);
                 if matches!(op, AssignOp::Compound(_)) {
                     for a in self.atoms_of(lhs) {
@@ -497,26 +577,30 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
+                let text = self.text_of(e);
                 self.events.push(Event::State {
                     line: self.line_of(e),
-                    lvalue: key.clone(),
-                    value: value.clone(),
-                    text: expr_to_string(self.ast, e),
+                    lvalue: key.to_string(),
+                    value,
+                    text,
                     reads,
                     depth: 0,
                 });
-                self.env.insert(key, value.clone());
+                self.env.insert(key, value);
                 value
             }
             ExprKind::Ternary(c, t, el) => {
+                let (c, t, el) = (*c, *t, *el);
                 self.in_condition += 1;
                 let sym = self.eval(c);
                 self.in_condition -= 1;
+                let text = self.text_of(c);
+                let vars = self.atoms_of(c);
                 self.events.push(Event::Cond {
                     line: self.line_of(c),
-                    text: expr_to_string(self.ast, c),
+                    text,
                     symbolic: sym.to_string(),
-                    vars: self.atoms_of(c),
+                    vars,
                     taken: None,
                     depth: 0,
                 });
@@ -525,14 +609,14 @@ impl<'a> Evaluator<'a> {
                 if tv == ev {
                     tv
                 } else {
-                    Sym::Unknown
+                    Sym::unknown()
                 }
             }
             ExprKind::Call { callee, args } => {
-                let callee_name = expr_to_string(self.ast, callee);
+                let callee_name = Istr::new(&self.text_of(*callee));
                 let mut arg_syms = Vec::with_capacity(args.len());
                 let mut arg_vars = Vec::new();
-                for &a in &args {
+                for &a in args {
                     arg_syms.push(self.eval(a));
                     for atom in self.atoms_of(a) {
                         if !arg_vars.contains(&atom) {
@@ -542,23 +626,24 @@ impl<'a> Evaluator<'a> {
                 }
                 self.events.push(Event::Call {
                     line: self.line_of(e),
-                    callee: callee_name.clone(),
+                    callee: callee_name.to_string(),
                     arg_vars,
                     assigned_to: None,
                     in_condition: self.in_condition > 0,
                     depth: 0,
                 });
                 // Summary-inline same-unit callees.
-                if self.config.inline_depth > 0 && self.ast.function(&callee_name).is_some() {
+                if self.config.inline_depth > 0 && ast.function(callee_name.as_str()).is_some() {
                     let summary = callee_summary(
-                        self.ast,
+                        ast,
                         self.lm,
-                        &callee_name,
+                        callee_name,
                         self.config.inline_depth,
                         self.config,
-                        self.summaries,
+                        self.caches,
                     );
-                    for mut ev in summary {
+                    for ev in summary {
+                        let mut ev = ev.clone();
                         match &mut ev {
                             Event::Cond { depth, .. }
                             | Event::State { depth, .. }
@@ -568,30 +653,33 @@ impl<'a> Evaluator<'a> {
                         self.events.push(ev);
                     }
                 }
-                Sym::Call { callee: callee_name, args: arg_syms }
+                Sym::call(callee_name, arg_syms)
             }
             ExprKind::Member { base, .. } => {
+                let base = *base;
                 self.eval(base);
                 match self.lvalue_key(e) {
-                    Some(key) => self.env.get(&key).cloned().unwrap_or(Sym::Input(key)),
-                    None => Sym::Unknown,
+                    Some(key) => self.env_value(key),
+                    None => Sym::unknown(),
                 }
             }
             ExprKind::Index(b, i) => {
+                let (b, i) = (*b, *i);
                 self.eval(b);
                 self.eval(i);
                 match self.lvalue_key(e) {
-                    Some(key) => self.env.get(&key).cloned().unwrap_or(Sym::Input(key)),
-                    None => Sym::Unknown,
+                    Some(key) => self.env_value(key),
+                    None => Sym::unknown(),
                 }
             }
-            ExprKind::Cast(_, inner) => self.eval(inner),
-            ExprKind::SizeofType(ty) => Sym::Input(format!("sizeof({ty})")),
+            ExprKind::Cast(_, inner) => self.eval(*inner),
+            ExprKind::SizeofType(ty) => Sym::input(format!("sizeof({ty})")),
             ExprKind::SizeofExpr(inner) => {
-                self.eval(inner);
-                Sym::Unknown
+                self.eval(*inner);
+                Sym::unknown()
             }
             ExprKind::Comma(a, b) => {
+                let (a, b) = (*a, *b);
                 self.eval(a);
                 self.eval(b)
             }
@@ -625,14 +713,14 @@ mod tests {
             _ => unreachable!(),
         }
         // y = (x+1)*2 stays symbolic in x.
-        assert!(rec.output.value.as_ref().unwrap().mentions("x"));
+        assert!(rec.output.value.unwrap().mentions("x"));
     }
 
     #[test]
     fn constant_propagation_to_return() {
         let db = db_of("int f(void) { int a = 2; int b = a + 3; return b * 2; }");
         let f = db.function("f").unwrap();
-        assert_eq!(f.records[0].output.value, Some(Sym::Int(10)));
+        assert_eq!(f.records[0].output.value, Some(Sym::int(10)));
         assert_eq!(f.literal_returns(), vec![10]);
     }
 
@@ -668,7 +756,7 @@ mod tests {
             })
             .collect();
         assert_eq!(lvalues, vec!["page->private", "page->private"]);
-        assert_eq!(rec.output.value, Some(Sym::Int(0)));
+        assert_eq!(rec.output.value, Some(Sym::int(0)));
     }
 
     #[test]
@@ -805,7 +893,7 @@ mod tests {
              int f(void) { return total_pages; }",
         );
         let f = db.function("f").unwrap();
-        assert_eq!(f.records[0].output.value, Some(Sym::Input("total_pages".into())));
+        assert_eq!(f.records[0].output.value, Some(Sym::input("total_pages")));
     }
 
     #[test]
@@ -818,5 +906,41 @@ mod tests {
             .iter()
             .any(|r| r.states().any(|e| matches!(e, Event::State { lvalue, .. } if lvalue == "i")));
         assert!(any_step);
+    }
+
+    #[test]
+    fn summary_cache_hit_counts_are_stable() {
+        // Three call sites of the same callee at the same depth: the
+        // first misses (and extracts `callee` once), the remaining two
+        // hit the memo. The counts pin the insert-once protocol — a
+        // regression that re-extracts per call site shows up as extra
+        // misses, one that drops the placeholder shows up as a hang on
+        // the recursive case below.
+        let src = "int callee(int x) { if (x) return 1; return 0; }\n\
+             int f(int a) {\n\
+               callee(a);\n\
+               callee(a);\n\
+               callee(a);\n\
+               return 0;\n\
+             }";
+        let ast = parse(src).unwrap();
+        let mut fx = FunctionExtractor::new(&ast, src, &ExtractConfig::default());
+        let _ = fx.extract_function("callee");
+        let _ = fx.extract_function("f");
+        assert_eq!(fx.summary_cache_stats(), (2, 1));
+
+        // A self-recursive function: extracting `r` computes its own
+        // summary once (the recursive call site inside sits at
+        // remaining depth 0, where inlining is gated off, so it never
+        // queries the cache), and `g`'s call site then reuses it.
+        let src = "int r(int x) { if (x) return r(x - 1); return 0; }\n\
+             int g(int a) { return r(a); }";
+        let ast = parse(src).unwrap();
+        let mut fx = FunctionExtractor::new(&ast, src, &ExtractConfig::default());
+        let _ = fx.extract_function("r");
+        let _ = fx.extract_function("g");
+        let (hits, misses) = fx.summary_cache_stats();
+        assert_eq!(misses, 1, "r's summary must be computed exactly once");
+        assert_eq!(hits, 1, "g's call site must reuse r's cached summary");
     }
 }

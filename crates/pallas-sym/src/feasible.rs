@@ -21,13 +21,17 @@
 //!   bitwise conditions, relations between two inputs) is simply
 //!   ignored.
 //!
-//! Facts are keyed by *stable values*: [`Sym::Input`] (the entry value
-//! of a variable, fixed for the whole path) and [`Sym::Temp`] (a call
+//! Facts are keyed by *stable values*: `Input` (the entry value
+//! of a variable, fixed for the whole path) and `Temp` (a call
 //! result bound once at its assignment point). Everything else is
 //! unkeyed and contributes no facts. Soundness is therefore relative
 //! to the extractor's memory model — distinct lvalue keys are assumed
 //! not to alias, exactly as [`extract`](crate::extract) itself
 //! assumes when it builds the symbolic environment the checkers see.
+//!
+//! With hash-consed values, key resolution is O(1): an `Input`'s
+//! interned name *is* the fact key, and temporaries hit a small memo
+//! of interned `V#n` spellings.
 //!
 //! [`FeasibilityOracle`] packages the domain as a
 //! [`pallas_cfg::PathOracle`]: it re-interprets block statements with
@@ -37,7 +41,8 @@
 //! pruning the whole doomed subtree before the `max_steps` /
 //! `max_paths` budgets are spent on it.
 
-use crate::sym::Sym;
+use crate::intern::Istr;
+use crate::sym::{Sym, SymNode};
 use pallas_cfg::{find_loops, BlockId, Cfg, Decision, PathOracle, Terminator};
 use pallas_lang::ast::{AssignOp, Ast, BinOp, ExprId, ExprKind, StmtKind, UnOp};
 use pallas_lang::expr_to_string;
@@ -142,8 +147,8 @@ impl Facts {
 /// when backtracking (or immediately, on a contradiction).
 #[derive(Debug, Default)]
 pub struct ConstraintSet {
-    facts: HashMap<String, Facts>,
-    undo: Vec<(String, Option<Facts>)>,
+    facts: HashMap<Istr, Facts>,
+    undo: Vec<(Istr, Option<Facts>)>,
 }
 
 impl ConstraintSet {
@@ -175,11 +180,11 @@ impl ConstraintSet {
 
     fn with_facts(
         &mut self,
-        key: &str,
+        key: Istr,
         f: impl FnOnce(&mut Facts) -> Feasibility,
     ) -> Feasibility {
-        self.undo.push((key.to_string(), self.facts.get(key).cloned()));
-        f(self.facts.entry(key.to_string()).or_default())
+        self.undo.push((key, self.facts.get(&key).cloned()));
+        f(self.facts.entry(key).or_default())
     }
 
     /// Asserts that `cond` evaluated to a value whose truth equals
@@ -189,10 +194,10 @@ impl ConstraintSet {
     /// On a contradiction the set may hold a partial update; callers
     /// are expected to [`rollback`](ConstraintSet::rollback) to a
     /// [`mark`](ConstraintSet::mark) taken before the call.
-    pub fn assume(&mut self, cond: &Sym, taken: bool) -> Feasibility {
-        match cond {
+    pub fn assume(&mut self, cond: Sym, taken: bool) -> Feasibility {
+        match cond.node() {
             // A constant condition is decided outright.
-            Sym::Int(v) => {
+            SymNode::Int(v) => {
                 if (*v != 0) == taken {
                     Feasibility::Feasible
                 } else {
@@ -200,36 +205,36 @@ impl ConstraintSet {
                 }
             }
             // String literals are non-null, hence truthy.
-            Sym::Str(_) => {
+            SymNode::Str(_) => {
                 if taken {
                     Feasibility::Feasible
                 } else {
                     Feasibility::Contradiction
                 }
             }
-            Sym::Unary(UnOp::Not, a) => self.assume(a, !taken),
-            Sym::Binary(op, a, b) => match (op, taken) {
+            SymNode::Unary(UnOp::Not, a) => self.assume(*a, !taken),
+            SymNode::Binary(op, a, b) => match (op, taken) {
                 // `a && b` taken means both hold; `a || b` not taken
                 // means neither holds. The disjunctive duals admit no
                 // single fact and are skipped.
                 (BinOp::And, true) => {
-                    if self.assume(a, true).is_contradiction() {
+                    if self.assume(*a, true).is_contradiction() {
                         return Feasibility::Contradiction;
                     }
-                    self.assume(b, true)
+                    self.assume(*b, true)
                 }
                 (BinOp::Or, false) => {
-                    if self.assume(a, false).is_contradiction() {
+                    if self.assume(*a, false).is_contradiction() {
                         return Feasibility::Contradiction;
                     }
-                    self.assume(b, false)
+                    self.assume(*b, false)
                 }
                 (BinOp::And, false) | (BinOp::Or, true) => Feasibility::Feasible,
-                _ => self.assume_cmp(*op, a, b, taken),
+                _ => self.assume_cmp(*op, *a, *b, taken),
             },
             // A bare stable value used as a truth value.
             _ => match key_of(cond) {
-                Some(key) => self.with_facts(&key, |f| {
+                Some(key) => self.with_facts(key, |f| {
                     if taken {
                         f.assert_ne(0)
                     } else {
@@ -243,7 +248,7 @@ impl ConstraintSet {
 
     /// Handles a (possibly negated) comparison between a stable value
     /// and an integer constant; everything else contributes no facts.
-    fn assume_cmp(&mut self, op: BinOp, a: &Sym, b: &Sym, taken: bool) -> Feasibility {
+    fn assume_cmp(&mut self, op: BinOp, a: Sym, b: Sym, taken: bool) -> Feasibility {
         // Orient as `key OP constant`.
         let (key, op, k) = match (key_of(a), a.as_int(), key_of(b), b.as_int()) {
             (Some(key), _, _, Some(k)) => (key, op, k),
@@ -262,7 +267,7 @@ impl ConstraintSet {
                 None => return Feasibility::Feasible,
             }
         };
-        self.with_facts(&key, |f| match op {
+        self.with_facts(key, |f| match op {
             BinOp::Eq => f.assert_eq(k),
             BinOp::Ne => f.assert_ne(k),
             BinOp::Lt => f.assert_lt(k),
@@ -274,13 +279,25 @@ impl ConstraintSet {
     }
 }
 
+/// Interned `V#n` spellings for small temporaries, so key resolution
+/// allocates nothing on the hot path.
+fn temp_key(n: u32) -> Istr {
+    use std::sync::OnceLock;
+    static SMALL: OnceLock<Vec<Istr>> = OnceLock::new();
+    let table = SMALL.get_or_init(|| (0..64).map(|i| Istr::new(&format!("V#{i}"))).collect());
+    match table.get(n as usize) {
+        Some(&k) => k,
+        None => Istr::new(&format!("V#{n}")),
+    }
+}
+
 /// The constraint key of a stable symbolic value, if it has one.
 /// `Input` names cannot contain `#`, so the `V#` temporary namespace
 /// never collides with them.
-fn key_of(sym: &Sym) -> Option<String> {
-    match sym {
-        Sym::Input(name) => Some(name.clone()),
-        Sym::Temp(n) => Some(format!("V#{n}")),
+fn key_of(sym: Sym) -> Option<Istr> {
+    match sym.node() {
+        SymNode::Input(name) => Some(*name),
+        SymNode::Temp(n) => Some(temp_key(*n)),
         _ => None,
     }
 }
@@ -315,8 +332,8 @@ fn negate(op: BinOp) -> Option<BinOp> {
 /// (each entry a condition value plus the arm that was taken).
 pub fn path_feasibility(conds: &[(Sym, bool)]) -> Feasibility {
     let mut set = ConstraintSet::new();
-    for (cond, taken) in conds {
-        if set.assume(cond, *taken).is_contradiction() {
+    for &(cond, taken) in conds {
+        if set.assume(cond, taken).is_contradiction() {
             return Feasibility::Contradiction;
         }
     }
@@ -328,7 +345,7 @@ pub fn path_feasibility(conds: &[(Sym, bool)]) -> Feasibility {
 /// both exactly.
 #[derive(Debug)]
 struct Frame {
-    env_undo: Vec<(String, Option<Sym>)>,
+    env_undo: Vec<(Istr, Option<Sym>)>,
     cons_mark: usize,
 }
 
@@ -351,7 +368,7 @@ struct Frame {
 /// prefix, covering irreducible cycles natural-loop detection misses.
 pub struct FeasibilityOracle<'a> {
     ast: &'a Ast,
-    env: HashMap<String, Sym>,
+    env: HashMap<Istr, Sym>,
     frames: Vec<Frame>,
     cons: ConstraintSet,
     temp: u32,
@@ -359,6 +376,11 @@ pub struct FeasibilityOracle<'a> {
     loop_blocks: Option<BTreeSet<BlockId>>,
     /// Occurrences of each block on the current prefix.
     visits: HashMap<u32, usize>,
+    /// Memoized lvalue keys (pure over the AST). A DFS re-enters the
+    /// same blocks once per path prefix, so these hit constantly.
+    lvalues: HashMap<ExprId, Option<Istr>>,
+    /// Memoized callee-name renderings.
+    callees: HashMap<ExprId, Istr>,
 }
 
 impl<'a> FeasibilityOracle<'a> {
@@ -372,6 +394,8 @@ impl<'a> FeasibilityOracle<'a> {
             temp: 0,
             loop_blocks: None,
             visits: HashMap::new(),
+            lvalues: HashMap::new(),
+            callees: HashMap::new(),
         }
     }
 
@@ -402,55 +426,62 @@ impl<'a> FeasibilityOracle<'a> {
         self.cons.rollback(frame.cons_mark);
     }
 
-    fn bind(&mut self, key: String, value: Sym) {
-        let prev = self.env.insert(key.clone(), value);
+    fn bind(&mut self, key: Istr, value: Sym) {
+        let prev = self.env.insert(key, value);
         if let Some(frame) = self.frames.last_mut() {
             frame.env_undo.push((key, prev));
         }
     }
 
-    fn lookup(&self, key: &str) -> Sym {
-        self.env.get(key).cloned().unwrap_or_else(|| Sym::Input(key.to_string()))
+    fn lookup(&self, key: Istr) -> Sym {
+        self.env.get(&key).copied().unwrap_or_else(|| Sym::input(key))
     }
 
-    /// Canonical lvalue text — must match the extractor's keying.
-    fn lvalue_key(&self, e: ExprId) -> Option<String> {
-        match &self.ast.expr(e).kind {
+    /// Canonical (interned) lvalue key — must match the extractor's
+    /// keying. Memoized per expression.
+    fn lvalue_key(&mut self, e: ExprId) -> Option<Istr> {
+        if let Some(k) = self.lvalues.get(&e) {
+            return *k;
+        }
+        let key = match &self.ast.expr(e).kind {
             ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index(..) => {
-                Some(expr_to_string(self.ast, e))
+                Some(Istr::new(&expr_to_string(self.ast, e)))
             }
             ExprKind::Unary(UnOp::Deref, inner) => {
-                self.lvalue_key(*inner).map(|k| format!("*{k}"))
+                self.lvalue_key(*inner).map(|k| Istr::new(&format!("*{k}")))
             }
             _ => None,
-        }
+        };
+        self.lvalues.insert(e, key);
+        key
     }
 
     /// Call results are opaque: bound values become fresh temporaries,
     /// the extractor's `V#` convention.
     fn detemporalize_call(&mut self, value: Sym) -> Sym {
-        if let Sym::Call { .. } = value {
+        if let SymNode::Call { .. } = value.node() {
             self.temp += 1;
-            return Sym::Temp(self.temp);
+            return Sym::temp(self.temp);
         }
         value
     }
 
     fn exec_stmt(&mut self, id: pallas_lang::StmtId) {
-        let stmt = self.ast.stmt(id).clone();
-        match stmt.kind {
+        let ast = self.ast;
+        let stmt = ast.stmt(id);
+        match &stmt.kind {
             StmtKind::Decl { name, init, .. } => match init {
                 Some(e) => {
-                    let value = self.eval(e);
+                    let value = self.eval(*e);
                     let value = self.detemporalize_call(value);
-                    self.bind(name, value);
+                    self.bind(Istr::new(name), value);
                 }
                 None => {
-                    self.bind(name, Sym::Unknown);
+                    self.bind(Istr::new(name), Sym::unknown());
                 }
             },
             StmtKind::Expr(e) => {
-                self.eval(e);
+                self.eval(*e);
             }
             _ => {}
         }
@@ -461,99 +492,117 @@ impl<'a> FeasibilityOracle<'a> {
     /// a different condition value than the extractor later records,
     /// so every arm mirrors `Evaluator::eval` exactly.
     fn eval(&mut self, e: ExprId) -> Sym {
-        match self.ast.expr(e).kind.clone() {
-            ExprKind::Int(v) => Sym::Int(v),
-            ExprKind::Str(s) => Sym::Str(s),
-            ExprKind::Ident(n) => self.lookup(&n),
+        let ast = self.ast;
+        match &ast.expr(e).kind {
+            ExprKind::Int(v) => Sym::int(*v),
+            ExprKind::Str(s) => Sym::str_lit(s.as_str()),
+            ExprKind::Ident(_) => {
+                let key = self.lvalue_key(e).expect("identifiers are lvalues");
+                self.lookup(key)
+            }
             ExprKind::Unary(op, inner) => {
+                let (op, inner) = (*op, *inner);
                 if op.mutates() {
                     let value = self.eval(inner);
                     if let Some(key) = self.lvalue_key(inner) {
                         let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) { 1 } else { -1 };
-                        let new = Sym::binary(BinOp::Add, value.clone(), Sym::Int(delta));
-                        self.bind(key, new.clone());
+                        let new = Sym::binary(BinOp::Add, value, Sym::int(delta));
+                        self.bind(key, new);
                         return match op {
                             UnOp::PostInc | UnOp::PostDec => value,
                             _ => new,
                         };
                     }
-                    return Sym::Unknown;
+                    return Sym::unknown();
                 }
                 if matches!(op, UnOp::Addr) {
                     self.eval(inner);
-                    return Sym::Unknown;
+                    return Sym::unknown();
                 }
                 let v = self.eval(inner);
                 if matches!(op, UnOp::Deref) {
                     return match self.lvalue_key(e) {
-                        Some(key) => self.lookup(&key),
-                        None => Sym::Unknown,
+                        Some(key) => self.lookup(key),
+                        None => Sym::unknown(),
                     };
                 }
                 Sym::unary(op, v)
             }
             ExprKind::Binary(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
                 let va = self.eval(a);
                 let vb = self.eval(b);
                 Sym::binary(op, va, vb)
             }
             ExprKind::Assign(op, lhs, rhs) => {
+                let (op, lhs, rhs) = (*op, *lhs, *rhs);
                 let rhs_value = self.eval(rhs);
                 let key = match self.lvalue_key(lhs) {
                     Some(k) => k,
-                    None => return Sym::Unknown,
+                    None => return Sym::unknown(),
                 };
                 let value = match op {
                     AssignOp::Assign => rhs_value,
                     AssignOp::Compound(bin) => {
-                        let cur = self.lookup(&key);
+                        let cur = self.lookup(key);
                         Sym::binary(bin, cur, rhs_value)
                     }
                 };
                 let value = self.detemporalize_call(value);
-                self.bind(key, value.clone());
+                self.bind(key, value);
                 value
             }
             ExprKind::Ternary(c, t, el) => {
+                let (c, t, el) = (*c, *t, *el);
                 self.eval(c);
                 let tv = self.eval(t);
                 let ev = self.eval(el);
                 if tv == ev {
                     tv
                 } else {
-                    Sym::Unknown
+                    Sym::unknown()
                 }
             }
             ExprKind::Call { callee, args } => {
-                let callee_name = expr_to_string(self.ast, callee);
+                let callee_name = match self.callees.get(callee) {
+                    Some(&n) => n,
+                    None => {
+                        let n = Istr::new(&expr_to_string(ast, *callee));
+                        self.callees.insert(*callee, n);
+                        n
+                    }
+                };
                 let mut arg_syms = Vec::with_capacity(args.len());
-                for &a in &args {
+                for &a in args {
                     arg_syms.push(self.eval(a));
                 }
-                Sym::Call { callee: callee_name, args: arg_syms }
+                Sym::call(callee_name, arg_syms)
             }
             ExprKind::Member { base, .. } => {
+                let base = *base;
                 self.eval(base);
                 match self.lvalue_key(e) {
-                    Some(key) => self.lookup(&key),
-                    None => Sym::Unknown,
+                    Some(key) => self.lookup(key),
+                    None => Sym::unknown(),
                 }
             }
             ExprKind::Index(b, i) => {
+                let (b, i) = (*b, *i);
                 self.eval(b);
                 self.eval(i);
                 match self.lvalue_key(e) {
-                    Some(key) => self.lookup(&key),
-                    None => Sym::Unknown,
+                    Some(key) => self.lookup(key),
+                    None => Sym::unknown(),
                 }
             }
-            ExprKind::Cast(_, inner) => self.eval(inner),
-            ExprKind::SizeofType(ty) => Sym::Input(format!("sizeof({ty})")),
+            ExprKind::Cast(_, inner) => self.eval(*inner),
+            ExprKind::SizeofType(ty) => Sym::input(format!("sizeof({ty})")),
             ExprKind::SizeofExpr(inner) => {
-                self.eval(inner);
-                Sym::Unknown
+                self.eval(*inner);
+                Sym::unknown()
             }
             ExprKind::Comma(a, b) => {
+                let (a, b) = (*a, *b);
                 self.eval(a);
                 self.eval(b)
             }
@@ -572,7 +621,7 @@ impl<'a> FeasibilityOracle<'a> {
                 if transparent {
                     return true;
                 }
-                !self.cons.assume(&sym, *taken).is_contradiction()
+                !self.cons.assume(sym, *taken).is_contradiction()
             }
             Decision::Switch { scrutinee, case, block } => {
                 let s = self.eval(*scrutinee);
@@ -584,16 +633,15 @@ impl<'a> FeasibilityOracle<'a> {
                     Some(c) => {
                         let k = self.eval(*c);
                         let eq = Sym::binary(BinOp::Eq, s, k);
-                        !self.cons.assume(&eq, true).is_contradiction()
+                        !self.cons.assume(eq, true).is_contradiction()
                     }
                     // The default arm excludes every constant case value.
                     None => {
                         if let Terminator::Switch { cases, .. } = &cfg.block(*block).term {
-                            let cases = cases.clone();
-                            for (value, _) in cases {
+                            for &(value, _) in cases {
                                 let k = self.eval(value);
-                                let ne = Sym::binary(BinOp::Eq, s.clone(), k);
-                                if self.cons.assume(&ne, false).is_contradiction() {
+                                let ne = Sym::binary(BinOp::Eq, s, k);
+                                if self.cons.assume(ne, false).is_contradiction() {
                                     return false;
                                 }
                             }
@@ -657,11 +705,11 @@ mod tests {
     use super::*;
 
     fn input(n: &str) -> Sym {
-        Sym::Input(n.into())
+        Sym::input(n)
     }
 
     fn cmp(op: BinOp, a: Sym, k: i64) -> Sym {
-        Sym::Binary(op, Box::new(a), Box::new(Sym::Int(k)))
+        Sym::binary_raw(op, a, Sym::int(k))
     }
 
     #[test]
@@ -671,10 +719,10 @@ mod tests {
 
     #[test]
     fn constant_condition_contradicts_wrong_arm() {
-        assert_eq!(path_feasibility(&[(Sym::Int(0), true)]), Feasibility::Contradiction);
-        assert_eq!(path_feasibility(&[(Sym::Int(1), false)]), Feasibility::Contradiction);
-        assert_eq!(path_feasibility(&[(Sym::Int(7), true)]), Feasibility::Feasible);
-        assert_eq!(path_feasibility(&[(Sym::Int(0), false)]), Feasibility::Feasible);
+        assert_eq!(path_feasibility(&[(Sym::int(0), true)]), Feasibility::Contradiction);
+        assert_eq!(path_feasibility(&[(Sym::int(1), false)]), Feasibility::Contradiction);
+        assert_eq!(path_feasibility(&[(Sym::int(7), true)]), Feasibility::Feasible);
+        assert_eq!(path_feasibility(&[(Sym::int(0), false)]), Feasibility::Feasible);
     }
 
     #[test]
@@ -718,7 +766,7 @@ mod tests {
     fn constant_on_the_left_is_oriented() {
         // `0 < x` then `x <= 0`.
         let conds = [
-            (Sym::Binary(BinOp::Lt, Box::new(Sym::Int(0)), Box::new(input("x"))), true),
+            (Sym::binary_raw(BinOp::Lt, Sym::int(0), input("x")), true),
             (cmp(BinOp::Le, input("x"), 0), true),
         ];
         assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
@@ -738,21 +786,21 @@ mod tests {
     fn negation_and_conjunction_decompose() {
         // `!(x)` taken == `x == 0`; then `x != 0` contradicts.
         let conds = [
-            (Sym::Unary(UnOp::Not, Box::new(input("x"))), true),
+            (Sym::unary_raw(UnOp::Not, input("x")), true),
             (cmp(BinOp::Ne, input("x"), 0), true),
         ];
         assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
         // `a > 0 && a < 0` taken is contradictory on its own.
-        let and = Sym::Binary(
+        let and = Sym::binary_raw(
             BinOp::And,
-            Box::new(cmp(BinOp::Gt, input("a"), 0)),
-            Box::new(cmp(BinOp::Lt, input("a"), 0)),
+            cmp(BinOp::Gt, input("a"), 0),
+            cmp(BinOp::Lt, input("a"), 0),
         );
-        assert_eq!(path_feasibility(&[(and.clone(), true)]), Feasibility::Contradiction);
+        assert_eq!(path_feasibility(&[(and, true)]), Feasibility::Contradiction);
         // ...but not-taken tells us nothing certain.
         assert_eq!(path_feasibility(&[(and, false)]), Feasibility::Feasible);
         // `a || b` not taken pins both to zero.
-        let or = Sym::Binary(BinOp::Or, Box::new(input("a")), Box::new(input("b")));
+        let or = Sym::binary_raw(BinOp::Or, input("a"), input("b"));
         let conds = [(or, false), (cmp(BinOp::Ne, input("a"), 0), true)];
         assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
     }
@@ -762,18 +810,18 @@ mod tests {
         // `r = g(); if (r < 0) ... if (r >= 0)` — both conditions see
         // the same V#1.
         let conds =
-            [(cmp(BinOp::Lt, Sym::Temp(1), 0), true), (cmp(BinOp::Ge, Sym::Temp(1), 0), true)];
+            [(cmp(BinOp::Lt, Sym::temp(1), 0), true), (cmp(BinOp::Ge, Sym::temp(1), 0), true)];
         assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
     }
 
     #[test]
     fn opaque_conditions_contribute_nothing() {
-        let call = Sym::Call { callee: "f".into(), args: vec![input("x")] };
+        let call = Sym::call("f", vec![input("x")]);
         let conds = [
-            (cmp(BinOp::Lt, call.clone(), 0), true),
+            (cmp(BinOp::Lt, call, 0), true),
             (cmp(BinOp::Ge, call, 0), true),
-            (Sym::Unknown, true),
-            (Sym::Unknown, false),
+            (Sym::unknown(), true),
+            (Sym::unknown(), false),
             (cmp(BinOp::BitAnd, input("m"), 16), true),
         ];
         assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
@@ -799,14 +847,14 @@ mod tests {
     #[test]
     fn rollback_restores_prior_facts() {
         let mut set = ConstraintSet::new();
-        assert!(!set.assume(&cmp(BinOp::Eq, input("x"), 1), true).is_contradiction());
+        assert!(!set.assume(cmp(BinOp::Eq, input("x"), 1), true).is_contradiction());
         let mark = set.mark();
-        assert!(set.assume(&cmp(BinOp::Eq, input("x"), 2), true).is_contradiction());
+        assert!(set.assume(cmp(BinOp::Eq, input("x"), 2), true).is_contradiction());
         set.rollback(mark);
         // `x == 1` is still in force; `x != 1` must now contradict.
-        assert!(set.assume(&cmp(BinOp::Ne, input("x"), 1), true).is_contradiction());
+        assert!(set.assume(cmp(BinOp::Ne, input("x"), 1), true).is_contradiction());
         set.rollback(mark);
-        assert!(!set.assume(&cmp(BinOp::Eq, input("x"), 1), true).is_contradiction());
+        assert!(!set.assume(cmp(BinOp::Eq, input("x"), 1), true).is_contradiction());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod callgraph;
 pub mod event;
 pub mod extract;
 pub mod feasible;
+pub mod intern;
 pub mod stats;
 pub mod sym;
 pub mod table5;
@@ -33,6 +34,7 @@ pub use callgraph::CallGraph;
 pub use event::{Event, FunctionPaths, OutputRecord, PathDb, PathRecord};
 pub use extract::{extract, ExtractConfig, FunctionExtractor};
 pub use feasible::{path_feasibility, ConstraintSet, Feasibility, FeasibilityOracle};
+pub use intern::Istr;
 pub use stats::DbStats;
-pub use sym::Sym;
+pub use sym::{arena_node_count, Sym, SymNode, MAX_SYM_NODES};
 pub use table5::render_table5;

@@ -1,0 +1,257 @@
+//! Property tests for the hash-consing arena's core contracts:
+//!
+//! 1. *Canonicality* — structurally equal values intern to the same
+//!    node (pointer equality coincides with structural equality).
+//! 2. *No collisions* — structurally distinct values never share a
+//!    node, whatever interning order the process happened to use.
+//! 3. *Budget fidelity* — the memoized per-node size equals an
+//!    independent counting walk, and the checked constructors widen at
+//!    exactly the threshold the old O(n) `count_into` walk enforced.
+//! 4. *Order independence* — Display, Debug, folding, and the final
+//!    handle are invariant under the order in which subtrees were
+//!    interned (including interleaving with unrelated constructions).
+
+use pallas_lang::ast::{BinOp, UnOp};
+use pallas_sym::{Sym, SymNode, MAX_SYM_NODES};
+use proptest::prelude::*;
+
+/// A plain-data description of a symbolic value. Indices select from
+/// fixed pools so shrinking stays effective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Desc {
+    Input(u8),
+    Int(i64),
+    Str(u8),
+    Temp(u8),
+    Call(u8, Vec<Desc>),
+    Unary(u8, Box<Desc>),
+    Binary(u8, Box<Desc>, Box<Desc>),
+    Unknown,
+}
+
+const NAMES: [&str; 5] = ["gfp_mask", "order", "flags", "page", "zone"];
+const CALLEES: [&str; 3] = ["noio", "prep_page", "kmalloc"];
+const BIN_OPS: [BinOp; 18] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Lt,
+    BinOp::Gt,
+    BinOp::Le,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::BitAnd,
+    BinOp::BitXor,
+    BinOp::BitOr,
+    BinOp::And,
+    BinOp::Or,
+];
+const UN_OPS: [UnOp; 3] = [UnOp::Neg, UnOp::Not, UnOp::BitNot];
+
+fn desc_strategy() -> impl Strategy<Value = Desc> {
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(Desc::Input),
+        any::<i64>().prop_map(Desc::Int),
+        (-4i64..300).prop_map(Desc::Int), // weight the fold/small-int range
+        (0u8..5).prop_map(Desc::Str),
+        (0u8..8).prop_map(Desc::Temp),
+        Just(Desc::Unknown),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (0u8..18, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Desc::Binary(op, Box::new(a), Box::new(b))),
+            (0u8..3, inner.clone()).prop_map(|(op, a)| Desc::Unary(op, Box::new(a))),
+            (0u8..3, proptest::collection::vec(inner, 0..3))
+                .prop_map(|(c, args)| Desc::Call(c, args)),
+        ]
+    })
+}
+
+/// Interns a description verbatim (raw constructors preserve the
+/// description's structure exactly — the 1:1 mapping the collision
+/// property relies on).
+fn build_raw(d: &Desc) -> Sym {
+    match d {
+        Desc::Input(i) => Sym::input(NAMES[*i as usize]),
+        Desc::Int(v) => Sym::int(*v),
+        Desc::Str(i) => Sym::str_lit(NAMES[*i as usize]),
+        Desc::Temp(n) => Sym::temp(u32::from(*n)),
+        Desc::Call(c, args) => {
+            Sym::call(CALLEES[*c as usize], args.iter().map(build_raw).collect())
+        }
+        Desc::Unary(op, a) => Sym::unary_raw(UN_OPS[*op as usize], build_raw(a)),
+        Desc::Binary(op, a, b) => {
+            Sym::binary_raw(BIN_OPS[*op as usize], build_raw(a), build_raw(b))
+        }
+        Desc::Unknown => Sym::unknown(),
+    }
+}
+
+/// Like [`build_raw`] but interns children right-to-left, so the
+/// arena assigns ids in a different order for fresh structures.
+fn build_raw_reversed(d: &Desc) -> Sym {
+    match d {
+        Desc::Call(c, args) => {
+            let built: Vec<Sym> = args.iter().rev().map(build_raw_reversed).collect();
+            Sym::call(CALLEES[*c as usize], built.into_iter().rev().collect())
+        }
+        Desc::Binary(op, a, b) => {
+            let sb = build_raw_reversed(b);
+            let sa = build_raw_reversed(a);
+            Sym::binary_raw(BIN_OPS[*op as usize], sa, sb)
+        }
+        Desc::Unary(op, a) => Sym::unary_raw(UN_OPS[*op as usize], build_raw_reversed(a)),
+        _ => build_raw(d),
+    }
+}
+
+/// Independent O(n) node count — the walk the pre-arena `count_into`
+/// budget check performed on every constructor call.
+fn walk_count(s: Sym) -> usize {
+    match s.node() {
+        SymNode::Call { args, .. } => 1 + args.iter().map(|a| walk_count(*a)).sum::<usize>(),
+        SymNode::Unary(_, a) => 1 + walk_count(*a),
+        SymNode::Binary(_, a, b) => 1 + walk_count(*a) + walk_count(*b),
+        _ => 1,
+    }
+}
+
+/// A left-leaning non-foldable chain of `n` distinct-ish leaves, built
+/// through the *raw* constructor so its size can exceed the budget
+/// (raw interning is exempt; only checked construction widens).
+fn chain(n: usize, salt: u32) -> Sym {
+    let mut s = Sym::temp(salt);
+    for i in 0..n {
+        s = Sym::binary_raw(BinOp::Add, s, Sym::temp(salt.wrapping_add(1 + i as u32)));
+    }
+    s
+}
+
+proptest! {
+    /// Canonicality: building the same description twice — in the same
+    /// or reversed child order — lands on one node with one id.
+    #[test]
+    fn equal_structures_intern_to_the_same_node(d in desc_strategy()) {
+        let a = build_raw(&d);
+        let b = build_raw(&d);
+        prop_assert!(std::ptr::eq(a.node(), b.node()), "{d:?} interned twice");
+        prop_assert_eq!(a.id(), b.id());
+        let c = build_raw_reversed(&d);
+        prop_assert!(std::ptr::eq(a.node(), c.node()), "{d:?} order-dependent");
+    }
+
+    /// No behavioral collisions: distinct structures never merge, and
+    /// equal structures never split, across independently drawn pairs.
+    #[test]
+    fn handle_equality_is_structural_equality(a in desc_strategy(), b in desc_strategy()) {
+        let sa = build_raw(&a);
+        let sb = build_raw(&b);
+        prop_assert_eq!(
+            a == b,
+            sa == sb,
+            "descriptions {:?} vs {:?} built `{}` vs `{}`", a, b, sa, sb
+        );
+        // Hash must agree with equality (Sym hashes by arena id).
+        if sa == sb {
+            prop_assert_eq!(sa.id(), sb.id());
+        } else {
+            prop_assert!(sa.id() != sb.id(), "distinct nodes share id {}", sa.id());
+        }
+    }
+
+    /// The memoized size is exactly the old counting walk's answer.
+    #[test]
+    fn memoized_size_equals_the_counting_walk(d in desc_strategy()) {
+        let s = build_raw(&d);
+        prop_assert_eq!(s.size() as usize, walk_count(s), "size diverged for `{}`", s);
+    }
+
+    /// Checked binary construction folds, widens, or stays structural
+    /// under exactly the conditions the pre-arena constructor used:
+    /// fold when both operands are foldable ints, widen when the
+    /// operands' *counted* sizes sum past `MAX_SYM_NODES`, intern
+    /// otherwise.
+    #[test]
+    fn binary_widens_at_exactly_the_counted_budget(
+        op_i in 0usize..18,
+        la in 1usize..220,
+        lb in 1usize..220,
+    ) {
+        let op = BIN_OPS[op_i];
+        let a = chain(la, 1000);
+        let b = chain(lb, 5000);
+        let (ca, cb) = (walk_count(a), walk_count(b));
+        let out = Sym::binary(op, a, b);
+        if ca + cb > MAX_SYM_NODES {
+            prop_assert_eq!(out, Sym::unknown(), "count {}+{} must widen", ca, cb);
+        } else {
+            prop_assert!(
+                matches!(out.node(), SymNode::Binary(o, x, y)
+                    if *o == op && *x == a && *y == b),
+                "count {}+{} must stay structural, got `{}`", ca, cb, out
+            );
+            prop_assert_eq!(out.size() as usize, 1 + ca + cb);
+        }
+    }
+
+    /// Same threshold contract for checked unary construction.
+    #[test]
+    fn unary_widens_at_exactly_the_counted_budget(
+        op_i in 0usize..3,
+        len in 1usize..300,
+    ) {
+        let op = UN_OPS[op_i];
+        let a = chain(len, 9000);
+        let ca = walk_count(a);
+        let out = Sym::unary(op, a);
+        if ca > MAX_SYM_NODES {
+            prop_assert_eq!(out, Sym::unknown(), "count {} must widen", ca);
+        } else {
+            prop_assert!(
+                matches!(out.node(), SymNode::Unary(o, x) if *o == op && *x == a),
+                "count {} must stay structural, got `{}`", ca, out
+            );
+            prop_assert_eq!(out.size() as usize, 1 + ca);
+        }
+    }
+
+    /// Constant folding through the checked constructor is a pure
+    /// function of the operand values — interning order and arena
+    /// population never change a fold result.
+    #[test]
+    fn folding_is_order_independent(x in -1000i64..1000, y in -1000i64..1000, op_i in 0usize..18) {
+        let op = BIN_OPS[op_i];
+        let first = Sym::binary(op, Sym::int(x), Sym::int(y));
+        // Interleave unrelated constructions to perturb arena state.
+        let _noise = Sym::call("noio", vec![Sym::int(x ^ y), Sym::temp(7)]);
+        let second = Sym::binary(op, Sym::int(x), Sym::int(y));
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(first.to_string(), second.to_string());
+    }
+
+    /// Display and Debug are functions of structure alone: the same
+    /// description renders identically whichever build order interned
+    /// it, and renders differently from any distinct description
+    /// (Display is injective over the shapes extraction produces — the
+    /// NDJSON digest depends on this).
+    #[test]
+    fn rendering_is_structural_and_order_independent(a in desc_strategy(), b in desc_strategy()) {
+        let sa = build_raw(&a);
+        let sa_rev = build_raw_reversed(&a);
+        prop_assert_eq!(sa.to_string(), sa_rev.to_string());
+        prop_assert_eq!(format!("{sa:?}"), format!("{sa_rev:?}"));
+        let sb = build_raw(&b);
+        if sa != sb {
+            prop_assert!(
+                format!("{sa:?}") != format!("{sb:?}"),
+                "distinct nodes `{}` vs `{}` share a Debug rendering", sa, sb
+            );
+        }
+    }
+}

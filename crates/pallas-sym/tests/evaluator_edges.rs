@@ -10,11 +10,11 @@ fn db_of(src: &str) -> PathDb {
     extract("edge", &ast, src, &ExtractConfig::default())
 }
 
-fn states_of<'a>(db: &'a PathDb, f: &str, path: usize) -> Vec<(&'a str, &'a Sym)> {
+fn states_of<'a>(db: &'a PathDb, f: &str, path: usize) -> Vec<(&'a str, Sym)> {
     db.function(f).unwrap().records[path]
         .states()
         .map(|e| match e {
-            Event::State { lvalue, value, .. } => (lvalue.as_str(), value),
+            Event::State { lvalue, value, .. } => (lvalue.as_str(), *value),
             _ => unreachable!(),
         })
         .collect()
@@ -26,10 +26,10 @@ fn deref_write_tracked_as_star_lvalue() {
     let states = states_of(&db, "f", 0);
     assert_eq!(states.len(), 1);
     assert_eq!(states[0].0, "*p");
-    assert_eq!(*states[0].1, Sym::Int(7));
+    assert_eq!(states[0].1, Sym::int(7));
     // The read back through the same lvalue sees the written value.
     let f = db.function("f").unwrap();
-    assert_eq!(f.records[0].output.value, Some(Sym::Int(7)));
+    assert_eq!(f.records[0].output.value, Some(Sym::int(7)));
 }
 
 #[test]
@@ -74,7 +74,7 @@ fn casts_are_transparent_to_values() {
         "typedef unsigned int u32_t;\n\
          int f(void) { int x = (int)(u32_t)5; return x + 1; }",
     );
-    assert_eq!(db.function("f").unwrap().records[0].output.value, Some(Sym::Int(6)));
+    assert_eq!(db.function("f").unwrap().records[0].output.value, Some(Sym::int(6)));
 }
 
 #[test]
@@ -82,7 +82,7 @@ fn comma_expression_evaluates_both_sides() {
     let db = db_of("int g(int v);\nint f(int a) { int x = (g(a), 3); return x; }");
     let f = db.function("f").unwrap();
     assert_eq!(f.records[0].calls().count(), 1, "left side effect kept");
-    assert_eq!(f.records[0].output.value, Some(Sym::Int(3)));
+    assert_eq!(f.records[0].output.value, Some(Sym::int(3)));
 }
 
 #[test]
@@ -112,7 +112,7 @@ int f(int c) {
     let mut returns: Vec<i64> = f
         .records
         .iter()
-        .filter_map(|r| r.output.value.as_ref().and_then(Sym::as_int))
+        .filter_map(|r| r.output.value.and_then(|s| s.as_int()))
         .collect();
     returns.sort_unstable();
     assert_eq!(returns, vec![1, 2], "each path sees its own final x");
@@ -125,7 +125,7 @@ fn member_chain_values_keyed_by_full_path() {
          int f(struct a *p) { p->inner->c = 4; return p->inner->c; }",
     );
     let f = db.function("f").unwrap();
-    assert_eq!(f.records[0].output.value, Some(Sym::Int(4)));
+    assert_eq!(f.records[0].output.value, Some(Sym::int(4)));
     let states = states_of(&db, "f", 0);
     assert_eq!(states[0].0, "p->inner->c");
 }
@@ -135,7 +135,7 @@ fn array_element_values_keyed_by_index_text() {
     let db = db_of("int f(int *a, int i) { a[0] = 9; return a[0] + a[1]; }");
     let f = db.function("f").unwrap();
     // a[0] is known, a[1] symbolic → sum stays symbolic but mentions a[1].
-    let out = f.records[0].output.value.as_ref().unwrap();
+    let out = f.records[0].output.value.unwrap();
     assert!(out.mentions("a[1]"), "{out}");
     assert!(!out.mentions("a[0]"), "a[0] folded to 9: {out}");
 }
@@ -145,7 +145,7 @@ fn shadowing_decl_resets_value() {
     // The evaluator keys by name; a redeclaration (C scoping) simply
     // rebinds, which is the correct timeline view for the checkers.
     let db = db_of("int f(void) { int x = 1; { int x2 = x + 1; x = x2; } return x; }");
-    assert_eq!(db.function("f").unwrap().records[0].output.value, Some(Sym::Int(2)));
+    assert_eq!(db.function("f").unwrap().records[0].output.value, Some(Sym::int(2)));
 }
 
 #[test]
@@ -153,7 +153,7 @@ fn negative_hex_and_char_constants_fold() {
     let db = db_of("int f(void) { return -0x10 + 'A'; }");
     assert_eq!(
         db.function("f").unwrap().records[0].output.value,
-        Some(Sym::Int(-16 + 65))
+        Some(Sym::int(-16 + 65))
     );
 }
 
@@ -169,7 +169,7 @@ fn unknown_function_pointerish_callee_rendered() {
     assert_eq!(f.records[0].calls().count(), 0);
     assert_eq!(
         f.records[0].output.value,
-        Some(Sym::Input("o->run".into()))
+        Some(Sym::input("o->run"))
     );
 }
 

@@ -38,14 +38,14 @@ enum Cond {
 }
 
 fn var(i: usize) -> Sym {
-    Sym::Input(format!("p{i}"))
+    Sym::input(format!("p{i}"))
 }
 
 fn cmp_sym(c: Cmp) -> Sym {
     if c.flipped {
-        Sym::binary(c.op, Sym::Int(c.k), var(c.var))
+        Sym::binary(c.op, Sym::int(c.k), var(c.var))
     } else {
-        Sym::binary(c.op, var(c.var), Sym::Int(c.k))
+        Sym::binary(c.op, var(c.var), Sym::int(c.k))
     }
 }
 
@@ -70,7 +70,7 @@ fn cond_sym(c: &Cond) -> Sym {
         Cond::AndOp(a, b) => Sym::binary(BinOp::And, cmp_sym(a), cmp_sym(b)),
         Cond::OrOp(a, b) => Sym::binary(BinOp::Or, cmp_sym(a), cmp_sym(b)),
         Cond::Bare(v) => var(v),
-        Cond::Arith(v, k) => Sym::binary(BinOp::Add, var(v), Sym::Int(k)),
+        Cond::Arith(v, k) => Sym::binary(BinOp::Add, var(v), Sym::int(k)),
     }
 }
 
@@ -145,8 +145,8 @@ proptest! {
 /// contradictions, so `Feasible` above is not vacuous.
 #[test]
 fn engine_is_not_vacuously_feasible() {
-    let eq = Sym::binary(BinOp::Eq, var(0), Sym::Int(3));
-    let ne = Sym::binary(BinOp::Ne, var(0), Sym::Int(3));
+    let eq = Sym::binary(BinOp::Eq, var(0), Sym::int(3));
+    let ne = Sym::binary(BinOp::Ne, var(0), Sym::int(3));
     assert_eq!(
         path_feasibility(&[(eq, true), (ne, true)]),
         Feasibility::Contradiction

@@ -212,4 +212,36 @@ fi
   || { echo "ci: store verify failed" >&2; exit 1; }
 echo "persistent store: ok"
 
+echo "== sym-bench regression gate (warm latency + arena footprint) =="
+# `repro --sym-bench` checks the Table 1 corpus cold and warm through
+# one engine and reports the hash-cons arena population. The gate pins
+# three things against scripts/sym_bench_baseline.env:
+#   1. warm per-unit latency within a noise multiple of the baseline
+#      (a deep copy sneaking back onto the warm path trips this);
+#   2. arena node / interned string counts within a tight allowance
+#      (deterministic, so a lost dedup shows up exactly);
+#   3. warm at least 1.5x faster per unit than cold (the headline
+#      claim of the hash-consing change, kept as a standing invariant).
+. scripts/sym_bench_baseline.env
+SYM="$(target/release/repro --sym-bench)"
+echo "$SYM"
+SYM_LINE="$(echo "$SYM" | grep '^symbench ')" \
+  || { echo "ci: --sym-bench lost its machine-readable line" >&2; exit 1; }
+sym_field() { echo "$SYM_LINE" | tr ' ' '\n' | sed -n "s/^$1=//p"; }
+SYM_COLD="$(sym_field cold_us_per_unit)"
+SYM_WARM="$(sym_field warm_us_per_unit)"
+SYM_NODES="$(sym_field nodes)"
+SYM_STRINGS="$(sym_field strings)"
+[ -n "$SYM_COLD" ] && [ -n "$SYM_WARM" ] && [ -n "$SYM_NODES" ] && [ -n "$SYM_STRINGS" ] \
+  || { echo "ci: could not parse '$SYM_LINE'" >&2; exit 1; }
+[ "$SYM_WARM" -le "$((BASELINE_WARM_US_PER_UNIT * MAX_WARM_MULT))" ] \
+  || { echo "ci: warm per-unit time regressed: ${SYM_WARM}us > ${BASELINE_WARM_US_PER_UNIT}us * ${MAX_WARM_MULT}" >&2; exit 1; }
+[ "$SYM_NODES" -le "$((BASELINE_NODES * MAX_COUNT_PCT / 100))" ] \
+  || { echo "ci: arena node count regressed: ${SYM_NODES} > ${BASELINE_NODES} * ${MAX_COUNT_PCT}%" >&2; exit 1; }
+[ "$SYM_STRINGS" -le "$((BASELINE_STRINGS * MAX_COUNT_PCT / 100))" ] \
+  || { echo "ci: interned string count regressed: ${SYM_STRINGS} > ${BASELINE_STRINGS} * ${MAX_COUNT_PCT}%" >&2; exit 1; }
+[ "$((SYM_COLD * 10))" -ge "$((SYM_WARM * MIN_SPEEDUP_X10))" ] \
+  || { echo "ci: warm/cold speedup below $(($MIN_SPEEDUP_X10))x/10: cold=${SYM_COLD}us warm=${SYM_WARM}us" >&2; exit 1; }
+echo "sym-bench gate: ok (cold=${SYM_COLD}us warm=${SYM_WARM}us nodes=${SYM_NODES} strings=${SYM_STRINGS})"
+
 echo "ci: all green"
