@@ -115,7 +115,72 @@ pub fn prune_ablation() -> Vec<PruneAblationRow> {
     rows
 }
 
-/// Renders all four ablations as text.
+/// One row of the loop-effect-summary ablation: a corpus set
+/// evaluated with loop summaries off or on (pruning stays on — this
+/// isolates the summary layer's contribution over Ablation 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopAblationRow {
+    /// Corpus set name.
+    pub corpus: &'static str,
+    /// Whether loop effect summaries were enabled.
+    pub summaries: bool,
+    /// Total warnings emitted.
+    pub warnings: usize,
+    /// Validated bugs (soundness: must not change with summaries).
+    pub bugs: usize,
+    /// False positives.
+    pub false_positives: usize,
+    /// Paths extracted across the corpus.
+    pub paths: u64,
+    /// Decision arms pruned as contradictory.
+    pub pruned_arms: u64,
+    /// Natural loops summarized.
+    pub loops: u64,
+    /// Bindings havocked at loop exits.
+    pub havocs: u64,
+    /// Rendered validated-bug findings (`rule file:line message` per
+    /// line, corpus order) — the byte-identity check of Ablation 5.
+    pub bug_findings: String,
+    /// Wall-clock time for the full run.
+    pub elapsed: Duration,
+}
+
+/// Evaluates every corpus set with loop summaries off and on, pruning
+/// enabled in both runs. Each run uses a fresh engine so the counters
+/// cover exactly that run.
+pub fn loop_summary_ablation() -> Vec<LoopAblationRow> {
+    let mut rows = Vec::new();
+    for (corpus, units) in prune_corpora() {
+        for summaries in [false, true] {
+            let engine = Engine::with_config(ExtractConfig {
+                loop_summaries: summaries,
+                ..ExtractConfig::default()
+            });
+            let eval = evaluate_in(&engine, &units);
+            let stats = engine.stats();
+            let mut bug_findings = String::new();
+            for w in &eval.total.true_positives {
+                let _ = writeln!(bug_findings, "{} {}:{} {}", w.rule, w.unit, w.line, w.message);
+            }
+            rows.push(LoopAblationRow {
+                corpus,
+                summaries,
+                warnings: eval.total.warning_count(),
+                bugs: eval.total.bug_count(),
+                false_positives: eval.total.false_positives.len(),
+                paths: stats.paths_enumerated,
+                pruned_arms: stats.paths_pruned,
+                loops: stats.loops_summarized,
+                havocs: stats.vars_havocked,
+                bug_findings,
+                elapsed: eval.elapsed,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders all five ablations as text.
 pub fn ablation_text() -> String {
     let mut out = String::new();
 
@@ -179,6 +244,8 @@ pub fn ablation_text() -> String {
 
     out.push('\n');
     out.push_str(&crate::render::prune_ablation_text());
+    out.push('\n');
+    out.push_str(&crate::render::loop_ablation_text());
     out
 }
 
@@ -210,7 +277,51 @@ mod tests {
         assert!(text.contains("Ablation 2"));
         assert!(text.contains("Ablation 3"));
         assert!(text.contains("Ablation 4"));
+        assert!(text.contains("Ablation 5"));
         assert!(text.contains("Fault Handling"));
+    }
+
+    #[test]
+    fn loop_summaries_are_sound_and_prune_loop_contradictions() {
+        let rows = loop_summary_ablation();
+        assert_eq!(rows.len() % 2, 0);
+        for pair in rows.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert_eq!(off.corpus, on.corpus);
+            assert!(!off.summaries && on.summaries);
+            // Soundness: validated bugs are byte-identical findings,
+            // warnings shrink or hold, path counts shrink or hold.
+            assert_eq!(
+                on.bug_findings, off.bug_findings,
+                "{}: summaries changed a validated-bug finding",
+                off.corpus
+            );
+            assert!(
+                on.warnings <= off.warnings,
+                "{}: summaries grew warnings {} -> {}",
+                off.corpus,
+                off.warnings,
+                on.warnings
+            );
+            assert!(on.paths <= off.paths, "{}: summaries grew the path count", off.corpus);
+            // With summaries off nothing is summarized or havocked.
+            assert_eq!(off.loops, 0, "{}: loops summarized with summaries off", off.corpus);
+            assert_eq!(off.havocs, 0, "{}: havocs with summaries off", off.corpus);
+            // The win: the infeasible set's in-loop contradiction is
+            // only prunable with summaries on.
+            if off.corpus == "infeasible" {
+                assert!(
+                    on.pruned_arms > off.pruned_arms,
+                    "infeasible: pruned arms must strictly increase ({} -> {})",
+                    off.pruned_arms,
+                    on.pruned_arms
+                );
+                assert!(
+                    on.warnings < off.warnings,
+                    "infeasible: the loop unit's false positive must disappear"
+                );
+            }
+        }
     }
 
     #[test]

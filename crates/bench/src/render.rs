@@ -379,6 +379,38 @@ pub fn prune_ablation_text() -> String {
     out
 }
 
+/// Ablation 5: loop effect summaries per corpus set (pruning on in
+/// both runs). Soundness shows up as shrink-or-equal warnings and
+/// unchanged validated bugs; the win shows up as strictly more pruned
+/// arms wherever a contradiction hides inside a loop body (the
+/// `infeasible` set's loop unit).
+pub fn loop_ablation_text() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation 5: loop effect summaries (per corpus set).");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>12}",
+        "corpus", "summaries", "warnings", "bugs", "FPs", "paths", "pruned", "loops", "havocs", "wall"
+    );
+    for row in crate::ablation::loop_summary_ablation() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>12}",
+            row.corpus,
+            if row.summaries { "on" } else { "off" },
+            row.warnings,
+            row.bugs,
+            row.false_positives,
+            row.paths,
+            row.pruned_arms,
+            row.loops,
+            row.havocs,
+            format!("{:?}", row.elapsed),
+        );
+    }
+    out
+}
+
 /// The engine's per-stage cost breakdown for one `repro` invocation
 /// (`--stage-stats`): cache behaviour plus run counts and cumulative
 /// time per pipeline stage.

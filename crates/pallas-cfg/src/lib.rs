@@ -25,11 +25,13 @@ pub mod graph;
 pub mod loops;
 pub mod paths;
 pub mod render;
+pub mod summary;
 
 pub use build::{build_all, build_cfg};
 pub use dom::Dominators;
 pub use graph::{BasicBlock, BlockId, Cfg, Terminator};
 pub use loops::{find_loops, loop_stats, NaturalLoop};
+pub use summary::{summarize_loops, CounterDir, LoopSummary};
 pub use paths::{
     enumerate_paths, enumerate_paths_reusing, enumerate_paths_with, CfgPath, Decision, NoOracle,
     PathConfig, PathOracle, PathScratch, PathSet,

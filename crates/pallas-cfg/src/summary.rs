@@ -1,0 +1,383 @@
+//! Per-loop effect summaries: which lvalues a natural-loop body may
+//! write, and which of those are monotone counters.
+//!
+//! Bounded unrolling walks a loop body at most `max_visits` times, so
+//! any consumer that reasons about state *after* a loop must know
+//! which bindings the missing iterations could have changed. This pass
+//! computes, for every loop [`find_loops`] reports, the over-
+//! approximate **may-write set** of the body — every lvalue key an
+//! `=`/compound assignment, `++`/`--`, or local declaration anywhere
+//! in the body's statements, `for`-step expressions, or terminator
+//! expressions could bind. Keys not in the set are *invariant*: under
+//! the extractor's memory model (distinct lvalue keys do not alias,
+//! calls do not write caller locals) their value is the same on every
+//! iteration.
+//!
+//! Keys use the extractor's canonical lvalue spelling
+//! (`expr_to_string` for identifier / member / index chains, `*`
+//! prefixes for derefs) so `pallas-sym` can compare them directly
+//! against its own environment keys.
+//!
+//! A may-written key with exactly one write site of the shape
+//! `x = x + c` / `x += c` / `x++` (constant `c`, one fixed sign) is
+//! additionally classified as a **monotone counter**: however many
+//! iterations actually run, the exit value can only lie further in
+//! the update's direction than the value any walked prefix reached.
+
+use crate::graph::{BlockId, Cfg, Terminator};
+use crate::loops::{find_loops, NaturalLoop};
+use pallas_lang::ast::{AssignOp, Ast, BinOp, ExprId, ExprKind, StmtKind, UnOp};
+use pallas_lang::expr_to_string;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Direction of a monotone counter's single update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterDir {
+    /// The only update adds a positive constant.
+    Increasing,
+    /// The only update adds a negative constant.
+    Decreasing,
+}
+
+/// What one natural loop's body may do to the environment.
+#[derive(Debug, Clone)]
+pub struct LoopSummary {
+    /// The loop's header block.
+    pub header: BlockId,
+    /// The latch (source of the back edge).
+    pub latch: BlockId,
+    /// Body blocks, header and latch included.
+    pub body: BTreeSet<BlockId>,
+    /// Lvalue keys the body may write (over-approximation: a superset
+    /// of everything any iteration can bind).
+    pub may_write: BTreeSet<String>,
+    /// Subset of [`may_write`](LoopSummary::may_write): keys with
+    /// exactly one write site, of constant-step monotone shape.
+    pub counters: BTreeMap<String, CounterDir>,
+}
+
+impl LoopSummary {
+    /// Whether `bb` belongs to the loop body.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.body.contains(&bb)
+    }
+
+    /// Whether `key` is provably invariant across iterations (never
+    /// written by the body under the extractor's memory model).
+    pub fn is_invariant(&self, key: &str) -> bool {
+        !self.may_write.contains(key)
+    }
+}
+
+/// Per-key write-site accumulator: how many sites were seen, and the
+/// single monotone direction if every site so far kept one.
+#[derive(Debug, Clone, Copy)]
+struct WriteInfo {
+    sites: usize,
+    dir: Option<CounterDir>,
+}
+
+/// Summarizes every natural loop of `cfg`, in [`find_loops`] order.
+pub fn summarize_loops(ast: &Ast, cfg: &Cfg) -> Vec<LoopSummary> {
+    find_loops(cfg).into_iter().map(|l| summarize_one(ast, cfg, l)).collect()
+}
+
+fn summarize_one(ast: &Ast, cfg: &Cfg, l: NaturalLoop) -> LoopSummary {
+    let mut writes: BTreeMap<String, WriteInfo> = BTreeMap::new();
+    for &bb in l.body.iter() {
+        let block = cfg.block(bb);
+        for &stmt in &block.stmts {
+            match &ast.stmt(stmt).kind {
+                StmtKind::Decl { name, init, .. } => {
+                    // A declaration (re)binds its name every iteration
+                    // its block runs; never a counter.
+                    record_write(&mut writes, name.clone(), None);
+                    if let Some(e) = init {
+                        collect_expr_writes(ast, *e, &mut writes);
+                    }
+                }
+                StmtKind::Expr(e) => collect_expr_writes(ast, *e, &mut writes),
+                _ => {}
+            }
+        }
+        for &(b, step) in &cfg.step_exprs {
+            if b == bb {
+                collect_expr_writes(ast, step, &mut writes);
+            }
+        }
+        // Terminator expressions run too: `while (x--)` mutates in
+        // the branch condition, switch scrutinees can nest assigns.
+        match &block.term {
+            Terminator::Branch { cond, .. } => collect_expr_writes(ast, *cond, &mut writes),
+            Terminator::Switch { scrutinee, cases, .. } => {
+                collect_expr_writes(ast, *scrutinee, &mut writes);
+                for &(value, _) in cases {
+                    collect_expr_writes(ast, value, &mut writes);
+                }
+            }
+            Terminator::Return(Some(e)) => collect_expr_writes(ast, *e, &mut writes),
+            _ => {}
+        }
+    }
+    let counters = writes
+        .iter()
+        .filter_map(|(k, info)| {
+            (info.sites == 1).then_some(info.dir).flatten().map(|dir| (k.clone(), dir))
+        })
+        .collect();
+    LoopSummary {
+        header: l.header,
+        latch: l.latch,
+        body: l.body,
+        may_write: writes.into_keys().collect(),
+        counters,
+    }
+}
+
+/// Records one write site for `key`; `dir` is the monotone direction
+/// of this site, if it has one.
+fn record_write(writes: &mut BTreeMap<String, WriteInfo>, key: String, dir: Option<CounterDir>) {
+    let info = writes.entry(key).or_insert(WriteInfo { sites: 0, dir: None });
+    info.sites += 1;
+    info.dir = if info.sites == 1 { dir } else { None };
+}
+
+/// Collects every write site in `e` — assignments (including nested
+/// ones in subexpressions) and mutating unaries — classifying each
+/// site's monotone shape as it goes.
+fn collect_expr_writes(ast: &Ast, e: ExprId, writes: &mut BTreeMap<String, WriteInfo>) {
+    ast.walk_expr(e, &mut |id| match &ast.expr(id).kind {
+        ExprKind::Assign(op, lhs, rhs) => {
+            if let Some(key) = lvalue_key(ast, *lhs) {
+                let dir = assign_step_dir(ast, *op, &key, *rhs);
+                record_write(writes, key, dir);
+            }
+        }
+        ExprKind::Unary(op, inner) if op.mutates() => {
+            if let Some(key) = lvalue_key(ast, *inner) {
+                let dir = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
+                    Some(CounterDir::Increasing)
+                } else {
+                    Some(CounterDir::Decreasing)
+                };
+                record_write(writes, key, dir);
+            }
+        }
+        _ => {}
+    });
+}
+
+/// The monotone direction of one assignment site, if it is a constant
+/// step on its own lvalue: `x += c`, `x -= c`, `x = x + c`,
+/// `x = c + x`, or `x = x - c` with `c != 0`.
+fn assign_step_dir(ast: &Ast, op: AssignOp, key: &str, rhs: ExprId) -> Option<CounterDir> {
+    let delta = match op {
+        AssignOp::Compound(BinOp::Add) => const_of(ast, rhs)?,
+        AssignOp::Compound(BinOp::Sub) => const_of(ast, rhs)?.checked_neg()?,
+        AssignOp::Compound(_) => return None,
+        AssignOp::Assign => match &ast.expr(rhs).kind {
+            ExprKind::Binary(BinOp::Add, a, b) => {
+                if is_key(ast, *a, key) {
+                    const_of(ast, *b)?
+                } else if is_key(ast, *b, key) {
+                    const_of(ast, *a)?
+                } else {
+                    return None;
+                }
+            }
+            ExprKind::Binary(BinOp::Sub, a, b) if is_key(ast, *a, key) => {
+                const_of(ast, *b)?.checked_neg()?
+            }
+            _ => return None,
+        },
+    };
+    match delta.signum() {
+        1 => Some(CounterDir::Increasing),
+        -1 => Some(CounterDir::Decreasing),
+        _ => None,
+    }
+}
+
+fn is_key(ast: &Ast, e: ExprId, key: &str) -> bool {
+    lvalue_key(ast, e).is_some_and(|k| k == key)
+}
+
+/// Integer constant value of `e`, seeing through a unary minus.
+fn const_of(ast: &Ast, e: ExprId) -> Option<i64> {
+    match &ast.expr(e).kind {
+        ExprKind::Int(v) => Some(*v),
+        ExprKind::Unary(UnOp::Neg, inner) => const_of(ast, *inner)?.checked_neg(),
+        _ => None,
+    }
+}
+
+/// Canonical lvalue key — the same spelling the extractor's
+/// environment uses. `None` for non-lvalue expressions, whose
+/// assignment the extractor also ignores.
+fn lvalue_key(ast: &Ast, e: ExprId) -> Option<String> {
+    match &ast.expr(e).kind {
+        ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index(..) => {
+            Some(expr_to_string(ast, e))
+        }
+        ExprKind::Unary(UnOp::Deref, inner) => {
+            lvalue_key(ast, *inner).map(|k| format!("*{k}"))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_cfg;
+    use pallas_lang::parse;
+
+    fn summaries_of(src: &str, func: &str) -> Vec<LoopSummary> {
+        let ast = parse(src).expect("parses");
+        let f = ast.function(func).expect("function exists");
+        let cfg = build_cfg(&ast, f);
+        summarize_loops(&ast, &cfg)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let s = summaries_of("int f(int x) { x = x + 1; return x; }", "f");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn while_body_writes_are_collected_and_counter_classified() {
+        let src = "\
+int f(int n, int mode) {
+  int i = 0;
+  int acc = 0;
+  while (i < n) {
+    acc = acc + mode;
+    i = i + 1;
+  }
+  return acc;
+}
+";
+        let s = summaries_of(src, "f");
+        assert_eq!(s.len(), 1);
+        let l = &s[0];
+        assert_eq!(
+            l.may_write.iter().cloned().collect::<Vec<_>>(),
+            vec!["acc".to_string(), "i".to_string()]
+        );
+        // `i = i + 1` is a single constant-step site; `acc += mode`
+        // steps by a non-constant and is not a counter.
+        assert_eq!(l.counters.get("i"), Some(&CounterDir::Increasing));
+        assert!(!l.counters.contains_key("acc"));
+        // Untouched names are invariant.
+        assert!(l.is_invariant("n"));
+        assert!(l.is_invariant("mode"));
+    }
+
+    #[test]
+    fn for_step_and_condition_mutations_count() {
+        let src = "\
+int f(int n) {
+  int j;
+  int k = 9;
+  for (j = n; j > 0; j = j - 2) {
+    k = 7;
+  }
+  while (n--) {
+    k = 8;
+  }
+  return k;
+}
+";
+        let s = summaries_of(src, "f");
+        assert_eq!(s.len(), 2);
+        let for_loop = s.iter().find(|l| l.may_write.contains("j")).expect("for loop");
+        assert_eq!(for_loop.counters.get("j"), Some(&CounterDir::Decreasing));
+        // `while (n--)`: the decrement lives in the branch condition.
+        let while_loop = s.iter().find(|l| l.may_write.contains("n")).expect("while loop");
+        assert_eq!(while_loop.counters.get("n"), Some(&CounterDir::Decreasing));
+    }
+
+    #[test]
+    fn two_write_sites_disqualify_a_counter() {
+        let src = "\
+int f(int n) {
+  int i = 0;
+  while (i < n) {
+    i = i + 1;
+    if (n > 4) {
+      i = i + 1;
+    }
+  }
+  return i;
+}
+";
+        let s = summaries_of(src, "f");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].may_write.contains("i"));
+        assert!(s[0].counters.is_empty());
+    }
+
+    #[test]
+    fn member_deref_and_decl_writes_use_extractor_keys() {
+        let src = "\
+struct q { int count; };
+int f(struct q *p, int *slot, int n) {
+  int i = 0;
+  while (i < n) {
+    int tmp = n;
+    p->count = tmp;
+    *slot = 1;
+    i++;
+  }
+  return i;
+}
+";
+        let s = summaries_of(src, "f");
+        assert_eq!(s.len(), 1);
+        let w = &s[0].may_write;
+        assert!(w.contains("i"), "{w:?}");
+        assert!(w.contains("tmp"), "{w:?}");
+        assert!(w.contains("p->count"), "{w:?}");
+        assert!(w.contains("*slot"), "{w:?}");
+        assert_eq!(s[0].counters.get("i"), Some(&CounterDir::Increasing));
+        assert!(s[0].is_invariant("n"));
+        assert!(s[0].is_invariant("p"));
+        assert!(s[0].is_invariant("slot"));
+    }
+
+    #[test]
+    fn nested_loops_summarize_independently() {
+        let src = "\
+int f(int n, int m) {
+  int i = 0;
+  int total = 0;
+  while (i < n) {
+    int j = 0;
+    while (j < m) {
+      total = total + 1;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return total;
+}
+";
+        let s = summaries_of(src, "f");
+        assert_eq!(s.len(), 2);
+        let outer = s.iter().max_by_key(|l| l.body.len()).expect("outer");
+        let inner = s.iter().min_by_key(|l| l.body.len()).expect("inner");
+        // The inner loop's writes are part of the outer body too.
+        for key in ["i", "j", "total"] {
+            assert!(outer.may_write.contains(key), "outer missing {key}");
+        }
+        assert!(!inner.may_write.contains("i"));
+        assert!(inner.may_write.contains("j"));
+        assert_eq!(inner.counters.get("j"), Some(&CounterDir::Increasing));
+        // `i` steps once per outer iteration only.
+        assert_eq!(outer.counters.get("i"), Some(&CounterDir::Increasing));
+        // `total` has one site stepping by +1 — a counter of the inner
+        // loop, and (same single site) of the outer as well.
+        assert_eq!(inner.counters.get("total"), Some(&CounterDir::Increasing));
+    }
+}

@@ -4,8 +4,8 @@
 //! pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>]
 //!              [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest]
 //!              [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules]
-//!              [--store <file.store>] [--no-prune] [--trace] [--trace-out <trace.json>]  run the checkers
-//! pallas serve [<socket>] [--tcp HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--no-coalesce] [--trace]  analysis daemon
+//!              [--store <file.store>] [--no-prune] [--no-loop-summaries] [--trace] [--trace-out <trace.json>]  run the checkers
+//! pallas serve [<socket>] [--tcp HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--no-loop-summaries] [--no-coalesce] [--trace]  analysis daemon
 //! pallas client <socket>|--tcp HOST:PORT check <file.c>... [--spec S] [--only-rule R] [--disable-rule R] [--json]  check via a daemon
 //! pallas client <socket>|--tcp HOST:PORT stats|trace|shutdown|request <req.json>  daemon control
 //! pallas paths <file.c> [--function <f>] [--dot]     render CFGs
@@ -14,7 +14,7 @@
 //! pallas infer <file.c> --fast <f> --slow <g>        propose a spec
 //! pallas corpus [--set new-paths|known-bugs|examples|studied|new-bug-examples|infeasible|mined-rules] score the corpus
 //! pallas study [--table 2|3|4]                        study tables
-//! pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir D]  differential fuzzing
+//! pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir D] [--loop-density N]  differential fuzzing
 //! pallas store <file.store> info|verify|gc|clear      inspect/maintain an analysis store
 //! ```
 //!
@@ -89,8 +89,8 @@ fn print_usage() {
         "pallas — semantic-aware checking for deep bugs in fast paths\n\
          \n\
          usage:\n\
-         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules] [--store <file.store>] [--no-prune] [--trace] [--trace-out <trace.json>]\n\
-         \x20 pallas serve [<socket>] [--tcp HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--no-coalesce] [--trace]\n\
+         \x20 pallas check <file.c>... [<shared.h>...] [--spec <file.pallas>] [--jobs N] [--stage-stats] [--tsv] [--json] [--suggest] [--only-rule R[,R...]] [--disable-rule R[,R...]] [--list-rules] [--store <file.store>] [--no-prune] [--no-loop-summaries] [--trace] [--trace-out <trace.json>]\n\
+         \x20 pallas serve [<socket>] [--tcp HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--only-rule R] [--disable-rule R] [--store <file.store>] [--no-prune] [--no-loop-summaries] [--no-coalesce] [--trace]\n\
          \x20 pallas client <socket>|--tcp HOST:PORT check <file.c>... [--spec <file.pallas>] [--only-rule R] [--disable-rule R] [--json]\n\
          \x20 pallas client <socket>|--tcp HOST:PORT stats | trace | shutdown | request <request.json>\n\
          \x20 pallas paths <file.c> [--function <name>] [--dot]\n\
@@ -99,7 +99,7 @@ fn print_usage() {
          \x20 pallas infer <file.c> --fast <f> --slow <g>\n\
          \x20 pallas corpus [--set new-paths|known-bugs|examples|studied|new-bug-examples|infeasible|mined-rules]\n\
          \x20 pallas study [--table 2|3|4]\n\
-         \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>]\n\
+         \x20 pallas fuzz [--seed N] [--iters N] [--unit-seed N] [--reduce] [--no-daemon] [--found-dir <dir>] [--loop-density N]\n\
          \x20 pallas store <file.store> info | verify | gc | clear"
     );
 }
@@ -145,8 +145,16 @@ const CHECK_VALUE_FLAGS: [&str; 6] =
     ["--spec", "--jobs", "--trace-out", "--only-rule", "--disable-rule", "--store"];
 
 /// Boolean flags of `check`.
-const CHECK_BOOL_FLAGS: [&str; 7] =
-    ["--stage-stats", "--tsv", "--json", "--suggest", "--trace", "--no-prune", "--list-rules"];
+const CHECK_BOOL_FLAGS: [&str; 8] = [
+    "--stage-stats",
+    "--tsv",
+    "--json",
+    "--suggest",
+    "--trace",
+    "--no-prune",
+    "--no-loop-summaries",
+    "--list-rules",
+];
 
 /// Collects every value of a repeatable flag, splitting each on
 /// commas: `--only-rule 1.2 --only-rule 4.1,5.2` yields three rules.
@@ -295,12 +303,15 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         guard
     });
     // `--no-prune` disables the path-feasibility engine, re-enumerating
-    // contradictory arms — useful for comparing against the default.
+    // contradictory arms; `--no-loop-summaries` disables the per-loop
+    // effect summaries (loop-exit havoc + in-loop asserting) — both
+    // useful for comparing against the default (Ablations 4 and 5).
     // The rule selection joins the extraction config in the engine
     // configuration, so it participates in every cache key.
     let engine = Engine::with_engine_config(EngineConfig {
         extract: ExtractConfig {
             prune_infeasible: !has_flag(args, "--no-prune"),
+            loop_summaries: !has_flag(args, "--no-loop-summaries"),
             ..ExtractConfig::default()
         },
         rules: rule_selection(args)?,
@@ -373,8 +384,15 @@ fn numeric_flag(args: &[String], flag: &str, default: usize) -> Result<usize, St
 }
 
 /// Flags of `fuzz` that consume the following argument.
-const FUZZ_VALUE_FLAGS: [&str; 6] =
-    ["--seed", "--iters", "--unit-seed", "--found-dir", "--max-depth", "--max-block"];
+const FUZZ_VALUE_FLAGS: [&str; 7] = [
+    "--seed",
+    "--iters",
+    "--unit-seed",
+    "--found-dir",
+    "--max-depth",
+    "--max-block",
+    "--loop-density",
+];
 
 /// Boolean flags of `fuzz`.
 const FUZZ_BOOL_FLAGS: [&str; 3] = ["--reduce", "--no-daemon", "--dump"];
@@ -392,6 +410,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let gen = pallas_fuzz::GenConfig {
         max_depth: numeric_flag(args, "--max-depth", defaults.max_depth)?.max(1),
         max_block_len: numeric_flag(args, "--max-block", defaults.max_block_len)?.max(1),
+        loop_density: numeric_flag(args, "--loop-density", defaults.loop_density)?,
         ..defaults
     };
     let cfg = pallas_fuzz::FuzzConfig {
@@ -445,7 +464,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--disable-rule",
             "--store",
         ],
-        &["--trace", "--no-prune", "--no-coalesce"],
+        &["--trace", "--no-prune", "--no-loop-summaries", "--no-coalesce"],
     )?;
     // A Unix socket path, a TCP address, or both: at least one
     // listener is required, and all of them serve byte-identical
@@ -471,6 +490,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine: EngineConfig {
             extract: ExtractConfig {
                 prune_infeasible: !has_flag(args, "--no-prune"),
+                loop_summaries: !has_flag(args, "--no-loop-summaries"),
                 ..ExtractConfig::default()
             },
             rules: rule_selection(args)?,

@@ -52,7 +52,7 @@ use cache::BoundedCache;
 use pallas_checkers::{run_rules_timed, CheckContext, RuleSet, Warning};
 use pallas_lang::{parse, Ast};
 use pallas_spec::{parse_pragma, parse_spec, FastPathSpec};
-use pallas_sym::{extract, ExtractConfig, FunctionExtractor, PathDb};
+use pallas_sym::{ExtractConfig, FunctionExtractor, PathDb};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -189,6 +189,12 @@ pub struct EngineStats {
     /// Decision arms the feasibility oracle pruned as contradictory
     /// across all Extract stage invocations.
     pub paths_pruned: u64,
+    /// Natural loops given effect summaries across all Extract stage
+    /// invocations (0 with `loop_summaries` disabled).
+    pub loops_summarized: u64,
+    /// Environment bindings havocked at loop exits across all
+    /// extracted paths (0 with `loop_summaries` disabled).
+    pub vars_havocked: u64,
     /// Cumulative nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 5],
     /// Cumulative warnings emitted per registry rule, in
@@ -282,6 +288,8 @@ struct Counters {
     checks: AtomicU64,
     paths_enumerated: AtomicU64,
     paths_pruned: AtomicU64,
+    loops_summarized: AtomicU64,
+    vars_havocked: AtomicU64,
     store_unit_hits: AtomicU64,
     store_unit_misses: AtomicU64,
     store_unit_stale: AtomicU64,
@@ -421,6 +429,8 @@ impl Engine {
             checks: load(&c.checks),
             paths_enumerated: load(&c.paths_enumerated),
             paths_pruned: load(&c.paths_pruned),
+            loops_summarized: load(&c.loops_summarized),
+            vars_havocked: load(&c.vars_havocked),
             stage_nanos: [
                 load(&c.stage_nanos[0]),
                 load(&c.stage_nanos[1]),
@@ -857,14 +867,28 @@ impl Engine {
                         }
                     }
                 }
+                let (loops, havocs) = fx.loop_summary_stats();
+                counters.loops_summarized.fetch_add(loops, Ordering::Relaxed);
+                counters.vars_havocked.fetch_add(havocs, Ordering::Relaxed);
                 (db, Some(keys.into_iter().map(|(_, k)| k).collect()))
             }
             None => {
-                let db = extract(&unit.name, &ast, &merged_src, &self.inner.config.extract);
+                // Same extraction as `pallas_sym::extract`, but through
+                // the incremental entry point so the loop-summary
+                // counters are observable.
+                let mut fx =
+                    FunctionExtractor::new(&ast, &merged_src, &self.inner.config.extract);
+                let mut db = PathDb::new(unit.name.clone());
+                for func in ast.functions() {
+                    db.insert(fx.extract_function(&func.sig.name));
+                }
                 counters
                     .paths_enumerated
                     .fetch_add(db.path_count() as u64, Ordering::Relaxed);
                 counters.paths_pruned.fetch_add(db.pruned_paths() as u64, Ordering::Relaxed);
+                let (loops, havocs) = fx.loop_summary_stats();
+                counters.loops_summarized.fetch_add(loops, Ordering::Relaxed);
+                counters.vars_havocked.fetch_add(havocs, Ordering::Relaxed);
                 (db, None)
             }
         };

@@ -278,6 +278,11 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
         "  paths: {} enumerated, {} arm(s) pruned as infeasible",
         stats.paths_enumerated, stats.paths_pruned
     );
+    let _ = writeln!(
+        out,
+        "  loops: {} summarized, {} binding(s) havocked at loop exits",
+        stats.loops_summarized, stats.vars_havocked
+    );
     for stage in Stage::ALL {
         let _ = writeln!(
             out,

@@ -123,6 +123,44 @@ immutable state;
     )
 }
 
+/// A contradiction *inside a loop body* on a loop-invariant variable:
+/// `state` is never written in the loop, so `state == 1` re-tested as
+/// `state == 2` is just as dead on iteration k as it is outside the
+/// loop. Only the loop-summary-aware oracle can prune it — blanket
+/// loop transparency (PR 5, and `--no-loop-summaries`) asserts nothing
+/// inside loop bodies and enumerates the dead arm, so this unit is
+/// what separates Ablation 5 from Ablation 4.
+pub fn loop_invariant_contradiction() -> CorpusUnit {
+    let src = "\
+int rx_queue(int skb);
+int rx_drain(int state, int budget, int n) {
+  int i = 0;
+  while (i < n) {
+    if (state == 1) {
+      if (state == 2) {
+        budget = 0;
+      }
+    }
+    i = i + 1;
+  }
+  return rx_queue(budget);
+}
+";
+    let spec = "\
+unit net/infeasible_loop;
+fastpath rx_drain;
+immutable budget;
+";
+    unit(
+        Component::Net,
+        "net/infeasible_loop",
+        src,
+        spec,
+        vec![],
+        "dead budget rewrite behind `state == 1` re-tested as `== 2` inside a loop body",
+    )
+}
+
 /// A genuine returns-set violation on a feasible path next to an
 /// immutable-overwrite false positive on a contradictory one: pruning
 /// must drop the false positive yet keep validating the bug.
@@ -168,6 +206,7 @@ pub fn infeasible() -> Vec<CorpusUnit> {
         recheck_contradiction(),
         interval_contradiction(),
         equality_contradiction(),
+        loop_invariant_contradiction(),
         guarded_real_bug(),
     ]
 }
@@ -214,6 +253,32 @@ mod tests {
                 paths_on
             );
         }
+    }
+
+    #[test]
+    fn loop_unit_needs_summaries_not_just_pruning() {
+        // With pruning on but loop summaries off (the PR 5 behavior),
+        // the in-loop contradiction is invisible: the false positive
+        // and the dead arm both survive. Summaries restore them.
+        let cu = loop_invariant_contradiction();
+        let summaries_off = Pallas::new().with_config(ExtractConfig {
+            loop_summaries: false,
+            ..ExtractConfig::default()
+        });
+        let off = summaries_off.check_unit(&cu.unit).expect("checks");
+        let on = Pallas::new().check_unit(&cu.unit).expect("checks");
+        assert!(
+            on.warnings.len() < off.warnings.len(),
+            "warnings {} -> {}",
+            off.warnings.len(),
+            on.warnings.len()
+        );
+        assert!(
+            on.db.path_count() < off.db.path_count(),
+            "paths {} -> {}",
+            off.db.path_count(),
+            on.db.path_count()
+        );
     }
 
     #[test]

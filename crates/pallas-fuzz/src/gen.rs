@@ -36,11 +36,17 @@ pub struct GenConfig {
     pub max_block_len: usize,
     /// Maximum statement nesting depth.
     pub max_depth: usize,
+    /// Percentage points of the statement roll dedicated to loops
+    /// (clamped to 40). The default 10 reproduces the historical
+    /// distribution byte-for-byte; higher values trade `switch` /
+    /// `return` / block mass for loop-heavy shapes, which is what the
+    /// havoc-soundness and prune-subset oracles want to stress.
+    pub loop_density: usize,
 }
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_helpers: 3, max_structs: 2, max_block_len: 4, max_depth: 3 }
+        GenConfig { max_helpers: 3, max_structs: 2, max_block_len: 4, max_depth: 3, loop_density: 10 }
     }
 }
 
@@ -437,11 +443,16 @@ impl Gen<'_> {
         if depth <= 1 || roll < 40 {
             return self.gen_flat_stmt();
         }
+        // Loops take `loop_density` points of the roll starting at 60;
+        // switch/return keep their historical widths shifted after it
+        // (clamped at 100). The default density of 10 reproduces the
+        // original 60..=69 / 70..=81 / 82..=89 bands exactly.
+        let density = self.cfg.loop_density.min(40) as u32;
         match roll {
             40..=59 => self.gen_if(depth),
-            60..=69 => self.gen_loop(depth),
-            70..=81 => self.gen_switch(depth),
-            82..=89 => {
+            r if r < 60 + density => self.gen_loop(depth),
+            r if r < (72 + density).min(100) => self.gen_switch(depth),
+            r if r < (80 + density).min(100) => {
                 let v = self.rng.gen_range(-1..=1i64);
                 let e = self.gen_return_expr(v);
                 self.ast.alloc_stmt(StmtKind::Return(Some(e)), sp())
@@ -815,7 +826,13 @@ mod tests {
 
     #[test]
     fn knobs_bound_size() {
-        let small = GenConfig { max_helpers: 1, max_structs: 0, max_block_len: 1, max_depth: 1 };
+        let small = GenConfig {
+            max_helpers: 1,
+            max_structs: 0,
+            max_block_len: 1,
+            max_depth: 1,
+            loop_density: 10,
+        };
         let g = generate_with(3, &small);
         // Depth 1 means no nested blocks: source stays tiny.
         assert!(g.source.lines().count() < 40, "{}", g.source);

@@ -20,7 +20,8 @@ use crate::feasible::FeasibilityOracle;
 use crate::intern::Istr;
 use crate::sym::{Sym, SymNode};
 use pallas_cfg::{
-    build_cfg, enumerate_paths_reusing, CfgPath, Decision, NoOracle, PathConfig, PathScratch,
+    build_cfg, enumerate_paths_reusing, summarize_loops, CfgPath, Decision, LoopSummary, NoOracle,
+    PathConfig, PathScratch,
 };
 use pallas_lang::ast::{AssignOp, Ast, ExprId, ExprKind, StmtKind, UnOp};
 use pallas_lang::{expr_to_string, LineMap};
@@ -41,6 +42,14 @@ pub struct ExtractConfig {
     /// takes; under truncation it additionally frees budget for
     /// feasible paths the limits would otherwise have cut.
     pub prune_infeasible: bool,
+    /// Whether to compute per-loop effect summaries
+    /// ([`pallas_cfg::summarize_loops`]) and use them in two places:
+    /// the extractor havocs exactly the may-written variable set when
+    /// a path leaves a loop body (instead of trusting the bounded
+    /// unroll's final bindings), and the feasibility oracle asserts
+    /// loop-invariant conditions inside loop bodies instead of
+    /// treating every in-loop decision as transparent.
+    pub loop_summaries: bool,
 }
 
 impl Default for ExtractConfig {
@@ -49,6 +58,7 @@ impl Default for ExtractConfig {
             paths: PathConfig::default(),
             inline_depth: 1,
             prune_infeasible: true,
+            loop_summaries: true,
         }
     }
 }
@@ -59,14 +69,15 @@ impl ExtractConfig {
     /// engine's frontend cache) must include these bytes in their
     /// keys: two configurations with different encodings can produce
     /// different path databases for the same source.
-    pub fn cache_key_bytes(&self) -> [u8; 34] {
-        let mut out = [0u8; 34];
+    pub fn cache_key_bytes(&self) -> [u8; 35] {
+        let mut out = [0u8; 35];
         out[0..8].copy_from_slice(&(self.paths.max_paths as u64).to_le_bytes());
         out[8..16].copy_from_slice(&(self.paths.max_visits as u64).to_le_bytes());
         out[16..24].copy_from_slice(&(self.paths.max_len as u64).to_le_bytes());
         out[24..32].copy_from_slice(&(self.paths.max_steps as u64).to_le_bytes());
         out[32] = self.inline_depth;
         out[33] = self.prune_infeasible as u8;
+        out[34] = self.loop_summaries as u8;
         out
     }
 }
@@ -130,6 +141,14 @@ impl<'a> FunctionExtractor<'a> {
     pub fn summary_cache_stats(&self) -> (u64, u64) {
         (self.caches.summary_hits, self.caches.summary_misses)
     }
+
+    /// `(loops summarized, variables havocked)` so far: how many
+    /// natural loops got effect summaries and how many environment
+    /// bindings were havocked at loop exits across all extracted
+    /// paths. Both stay zero with `loop_summaries` off.
+    pub fn loop_summary_stats(&self) -> (u64, u64) {
+        (self.caches.loops_summarized, self.caches.vars_havocked)
+    }
 }
 
 /// Unit-scoped memo state shared by every function extracted from one
@@ -150,6 +169,11 @@ struct ExtractCaches {
     /// Reused DFS buffers for path enumeration (one per unit, warm
     /// across every function and inlined callee).
     paths_scratch: PathScratch,
+    /// Natural loops summarized across every extraction in the unit
+    /// (including inlined callees).
+    loops_summarized: u64,
+    /// Variable bindings havocked at loop exits across every path.
+    vars_havocked: u64,
 }
 
 fn extract_function(
@@ -163,14 +187,19 @@ fn extract_function(
     let cfg = build_cfg(ast, func);
     let paths = if config.prune_infeasible {
         let mut oracle = FeasibilityOracle::new(ast);
+        if !config.loop_summaries {
+            oracle = oracle.without_loop_summaries();
+        }
         enumerate_paths_reusing(&cfg, &config.paths, &mut oracle, &mut caches.paths_scratch)
     } else {
         enumerate_paths_reusing(&cfg, &config.paths, &mut NoOracle, &mut caches.paths_scratch)
     };
+    let summaries = if config.loop_summaries { summarize_loops(ast, &cfg) } else { Vec::new() };
+    caches.loops_summarized += summaries.len() as u64;
     let mut records = Vec::with_capacity(paths.paths.len());
     let mut ev = Evaluator::new(ast, lm, config, caches);
     for (index, path) in paths.paths.iter().enumerate() {
-        records.push(ev.run_path(&cfg, path, index));
+        records.push(ev.run_path(&cfg, path, index, &summaries));
     }
     FunctionPaths {
         name: func.sig.name.clone(),
@@ -265,7 +294,13 @@ impl<'a> Evaluator<'a> {
     /// Interprets one enumerated path, resetting per-path state but
     /// keeping the environment map's capacity and every unit-scoped
     /// memo warm.
-    fn run_path(&mut self, cfg: &pallas_cfg::Cfg, path: &CfgPath, index: usize) -> PathRecord {
+    fn run_path(
+        &mut self,
+        cfg: &pallas_cfg::Cfg,
+        path: &CfgPath,
+        index: usize,
+        loops: &[LoopSummary],
+    ) -> PathRecord {
         self.env.clear();
         self.temp_counter = 0;
         self.in_condition = 0;
@@ -275,6 +310,23 @@ impl<'a> Evaluator<'a> {
         // nothing to seed.)
         let mut decision_iter = path.decisions.iter().peekable();
         for (i, &bb) in path.blocks.iter().enumerate() {
+            // A loop-exit stand-in path ran the body a bounded number
+            // of times; the real execution may have run it arbitrarily
+            // often. Havoc exactly the may-written set so post-loop
+            // events never see the k-th iteration's bindings. (Loops
+            // are in deterministic `find_loops` order and `may_write`
+            // is a BTreeSet, so havoc order is stable.)
+            if i > 0 {
+                let prev = path.blocks[i - 1];
+                for l in loops {
+                    if l.body.contains(&prev) && !l.body.contains(&bb) {
+                        for key in &l.may_write {
+                            self.env.insert(Istr::new(key), Sym::unknown());
+                            self.caches.vars_havocked += 1;
+                        }
+                    }
+                }
+            }
             let block = cfg.block(bb);
             for &stmt in &block.stmts {
                 self.exec_stmt(stmt);

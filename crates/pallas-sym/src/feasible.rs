@@ -43,7 +43,7 @@
 
 use crate::intern::Istr;
 use crate::sym::{Sym, SymNode};
-use pallas_cfg::{find_loops, BlockId, Cfg, Decision, PathOracle, Terminator};
+use pallas_cfg::{summarize_loops, BlockId, Cfg, CounterDir, Decision, PathOracle, Terminator};
 use pallas_lang::ast::{AssignOp, Ast, BinOp, ExprId, ExprKind, StmtKind, UnOp};
 use pallas_lang::expr_to_string;
 use std::collections::{BTreeSet, HashMap};
@@ -89,13 +89,15 @@ impl Facts {
     }
 
     fn assert_ne(&mut self, k: i64) -> Feasibility {
-        if self.eq == Some(k) || (self.lo == Some(k) && self.hi == Some(k)) {
+        if self.eq == Some(k) {
             return Feasibility::Contradiction;
         }
         if !self.ne.contains(&k) {
             self.ne.push(k);
         }
-        Feasibility::Feasible
+        // A new disequality can exhaust a narrow interval (`lo == hi`
+        // is just the width-one case), so re-check the bounds.
+        self.bounds_consistent()
     }
 
     /// `value >= k`.
@@ -134,7 +136,15 @@ impl Facts {
 
     fn bounds_consistent(&self) -> Feasibility {
         if let (Some(lo), Some(hi)) = (self.lo, self.hi) {
-            if lo > hi || (lo == hi && self.ne.contains(&lo)) {
+            if lo > hi {
+                return Feasibility::Contradiction;
+            }
+            // The disequality set can exhaust the whole interval even
+            // when `lo < hi` (e.g. bounds [5, 6] with 5 and 6 both
+            // excluded). Only a window no wider than the set could be
+            // exhausted, so the scan is bounded by `ne.len()`.
+            let width = (hi as i128) - (lo as i128) + 1;
+            if width <= self.ne.len() as i128 && (lo..=hi).all(|v| self.ne.contains(&v)) {
                 return Feasibility::Contradiction;
             }
         }
@@ -142,13 +152,60 @@ impl Facts {
     }
 }
 
+/// Bitmask of the orderings a key pair `(a, b)` may still stand in:
+/// `a < b`, `a == b`, `a > b`. Relational facts intersect masks; an
+/// empty intersection is a contradiction.
+mod ord_mask {
+    pub const LT: u8 = 1;
+    pub const EQ: u8 = 2;
+    pub const GT: u8 = 4;
+    pub const ANY: u8 = LT | EQ | GT;
+
+    /// The mask for `a OP b`.
+    pub fn of(op: pallas_lang::ast::BinOp) -> Option<u8> {
+        use pallas_lang::ast::BinOp;
+        Some(match op {
+            BinOp::Lt => LT,
+            BinOp::Le => LT | EQ,
+            BinOp::Gt => GT,
+            BinOp::Ge => GT | EQ,
+            BinOp::Eq => EQ,
+            BinOp::Ne => LT | GT,
+            _ => return None,
+        })
+    }
+
+    /// The mask of `(b, a)` given the mask of `(a, b)`.
+    pub fn mirror(mask: u8) -> u8 {
+        (mask & EQ) | if mask & LT != 0 { GT } else { 0 } | if mask & GT != 0 { LT } else { 0 }
+    }
+}
+
+/// One undo-stack entry: the previous state of whichever fact a
+/// speculative assert touched.
+#[derive(Debug)]
+enum Undo {
+    Fact(Istr, Option<Facts>),
+    Rel((Istr, Istr), Option<u8>),
+}
+
 /// A set of accumulated path constraints with undo support, so a DFS
 /// can speculatively add a decision's constraints and roll them back
 /// when backtracking (or immediately, on a contradiction).
+///
+/// Facts come in two shapes: per-key [`Facts`] (interval, equality,
+/// disequalities against constants) and pairwise *relational* facts —
+/// an ordering mask between two stable keys, harvested from observed
+/// `x OP y` comparisons. The relational layer is deliberately
+/// non-transitive and does not exchange information with the interval
+/// layer; it exists to catch direct reversals (`x < y` then `y < x`)
+/// and to let loop-exit direction facts constrain havocked counters.
 #[derive(Debug, Default)]
 pub struct ConstraintSet {
     facts: HashMap<Istr, Facts>,
-    undo: Vec<(Istr, Option<Facts>)>,
+    /// Ordering masks per canonical (smaller, larger) key pair.
+    rel: HashMap<(Istr, Istr), u8>,
+    undo: Vec<Undo>,
 }
 
 impl ConstraintSet {
@@ -166,13 +223,18 @@ impl ConstraintSet {
     /// Restores the set to the state it had at `mark`.
     pub fn rollback(&mut self, mark: usize) {
         while self.undo.len() > mark {
-            let (key, prev) = self.undo.pop().expect("undo entry above mark");
-            match prev {
-                Some(facts) => {
+            match self.undo.pop().expect("undo entry above mark") {
+                Undo::Fact(key, Some(facts)) => {
                     self.facts.insert(key, facts);
                 }
-                None => {
+                Undo::Fact(key, None) => {
                     self.facts.remove(&key);
+                }
+                Undo::Rel(pair, Some(mask)) => {
+                    self.rel.insert(pair, mask);
+                }
+                Undo::Rel(pair, None) => {
+                    self.rel.remove(&pair);
                 }
             }
         }
@@ -183,8 +245,34 @@ impl ConstraintSet {
         key: Istr,
         f: impl FnOnce(&mut Facts) -> Feasibility,
     ) -> Feasibility {
-        self.undo.push((key, self.facts.get(&key).cloned()));
+        self.undo.push(Undo::Fact(key, self.facts.get(&key).cloned()));
         f(self.facts.entry(key).or_default())
+    }
+
+    /// Intersects the ordering mask of `(ka, kb)` with `mask`.
+    fn assume_rel(&mut self, ka: Istr, kb: Istr, mask: u8) -> Feasibility {
+        if ka == kb {
+            // A value always orders EQ against itself.
+            return if mask & ord_mask::EQ != 0 {
+                Feasibility::Feasible
+            } else {
+                Feasibility::Contradiction
+            };
+        }
+        let (pair, mask) = if ka < kb {
+            ((ka, kb), mask)
+        } else {
+            ((kb, ka), ord_mask::mirror(mask))
+        };
+        let prev = self.rel.get(&pair).copied();
+        self.undo.push(Undo::Rel(pair, prev));
+        let narrowed = prev.unwrap_or(ord_mask::ANY) & mask;
+        self.rel.insert(pair, narrowed);
+        if narrowed == 0 {
+            Feasibility::Contradiction
+        } else {
+            Feasibility::Feasible
+        }
     }
 
     /// Asserts that `cond` evaluated to a value whose truth equals
@@ -247,9 +335,26 @@ impl ConstraintSet {
     }
 
     /// Handles a (possibly negated) comparison between a stable value
-    /// and an integer constant; everything else contributes no facts.
+    /// and an integer constant, or between two stable values;
+    /// everything else contributes no facts.
     fn assume_cmp(&mut self, op: BinOp, a: Sym, b: Sym, taken: bool) -> Feasibility {
-        // Orient as `key OP constant`.
+        // Two stable keys: a relational fact.
+        if let (Some(ka), Some(kb)) = (key_of(a), key_of(b)) {
+            // Fold the taken-arm negation into the operator.
+            let op = if taken {
+                op
+            } else {
+                match negate(op) {
+                    Some(n) => n,
+                    None => return Feasibility::Feasible,
+                }
+            };
+            return match ord_mask::of(op) {
+                Some(mask) => self.assume_rel(ka, kb, mask),
+                None => Feasibility::Feasible,
+            };
+        }
+        // Otherwise orient as `key OP constant`.
         let (key, op, k) = match (key_of(a), a.as_int(), key_of(b), b.as_int()) {
             (Some(key), _, _, Some(k)) => (key, op, k),
             (_, Some(k), Some(key), _) => match flip(op) {
@@ -349,6 +454,15 @@ struct Frame {
     cons_mark: usize,
 }
 
+/// A natural loop as the oracle consumes it: the body for membership
+/// tests, effect keys interned for environment comparison.
+#[derive(Debug)]
+struct OracleLoop {
+    body: BTreeSet<BlockId>,
+    may_write: BTreeSet<Istr>,
+    counters: Vec<(Istr, CounterDir)>,
+}
+
 /// A [`PathOracle`] that vetoes provably infeasible decision arms.
 ///
 /// The oracle mirrors the extraction evaluator's environment handling
@@ -358,33 +472,53 @@ struct Frame {
 /// path. State is fully speculative: every block entry and accepted
 /// decision opens a [`Frame`] that is unwound when the DFS backtracks.
 ///
-/// Decisions inside natural loops are *transparent* — evaluated for
-/// their environment effects but never constrained or vetoed. Bounded
-/// unrolling deliberately emits concretely infeasible loop-exit paths
-/// (`for (i = 0; i < 2; i++)` exits at the visit cap with `i < 2`
-/// still folding true) as stand-ins for the deeper iterations the cap
-/// cuts off; pruning those would leave a loop with no paths at all.
-/// The same transparency applies to any block revisited on the current
-/// prefix, covering irreducible cycles natural-loop detection misses.
+/// Decisions inside natural loops use the loop's effect summary
+/// ([`summarize_loops`]): a condition that syntactically reads any
+/// lvalue the surrounding loop may write is *transparent* — evaluated
+/// for its environment effects but never constrained or vetoed.
+/// Bounded unrolling deliberately emits concretely infeasible
+/// loop-exit paths (`for (i = 0; i < 2; i++)` exits at the visit cap
+/// with `i < 2` still folding true) as stand-ins for the deeper
+/// iterations the cap cuts off; pruning those would leave a loop with
+/// no paths at all. A condition reading only loop-*invariant* keys,
+/// by contrast, has the same value on every iteration, so it asserts
+/// and vetoes normally even inside the body. When a walked prefix
+/// leaves a loop, every may-written key is havocked to a fresh
+/// temporary (the missing iterations could have rebound it), with
+/// monotone counters seeding a direction fact relating the havocked
+/// value to the value the walked prefix reached.
+///
+/// Blanket transparency still applies to any block revisited on the
+/// current prefix, covering irreducible cycles natural-loop detection
+/// misses — and to every in-loop decision when summaries are disabled
+/// ([`without_loop_summaries`](FeasibilityOracle::without_loop_summaries)).
 pub struct FeasibilityOracle<'a> {
     ast: &'a Ast,
     env: HashMap<Istr, Sym>,
     frames: Vec<Frame>,
     cons: ConstraintSet,
     temp: u32,
-    /// Union of all natural-loop bodies, computed on first block entry.
-    loop_blocks: Option<BTreeSet<BlockId>>,
+    /// Natural-loop effect summaries, computed on first block entry.
+    loops: Option<Vec<OracleLoop>>,
+    /// Summary-aware asserting and loop-exit havoc; `false` restores
+    /// the pre-summary blanket transparency.
+    use_summaries: bool,
     /// Occurrences of each block on the current prefix.
     visits: HashMap<u32, usize>,
+    /// The block prefix itself, for loop-exit detection.
+    stack: Vec<BlockId>,
     /// Memoized lvalue keys (pure over the AST). A DFS re-enters the
     /// same blocks once per path prefix, so these hit constantly.
     lvalues: HashMap<ExprId, Option<Istr>>,
+    /// Memoized per-expression syntactic read-key sets.
+    reads: HashMap<ExprId, Vec<Istr>>,
     /// Memoized callee-name renderings.
     callees: HashMap<ExprId, Istr>,
 }
 
 impl<'a> FeasibilityOracle<'a> {
-    /// An oracle for paths of functions in `ast`.
+    /// An oracle for paths of functions in `ast`, with loop-summary
+    /// reasoning enabled.
     pub fn new(ast: &'a Ast) -> Self {
         FeasibilityOracle {
             ast,
@@ -392,19 +526,69 @@ impl<'a> FeasibilityOracle<'a> {
             frames: Vec::new(),
             cons: ConstraintSet::new(),
             temp: 0,
-            loop_blocks: None,
+            loops: None,
+            use_summaries: true,
             visits: HashMap::new(),
+            stack: Vec::new(),
             lvalues: HashMap::new(),
+            reads: HashMap::new(),
             callees: HashMap::new(),
         }
     }
 
-    /// Whether decisions made in `bb` must not constrain or veto:
-    /// the block sits in a loop (its conditions govern the unrolling
-    /// approximation) or is revisited on the current prefix.
-    fn transparent(&self, bb: BlockId) -> bool {
-        self.loop_blocks.as_ref().is_some_and(|s| s.contains(&bb))
-            || self.visits.get(&bb.0).copied().unwrap_or(0) > 1
+    /// Disables loop-summary reasoning: every decision inside any
+    /// natural-loop body is transparent and loop exits do not havoc.
+    pub fn without_loop_summaries(mut self) -> Self {
+        self.use_summaries = false;
+        self
+    }
+
+    /// Whether a decision in `bb` over condition expression `cond`
+    /// must not constrain or veto. Revisited blocks are always
+    /// transparent (the irreducible-cycle fallback). In-loop
+    /// decisions are transparent when summaries are off, or when the
+    /// condition reads a key some surrounding loop may write — those
+    /// conditions govern the unrolling approximation. In-loop
+    /// conditions over invariant keys only, and all out-of-loop
+    /// decisions, assert normally.
+    fn transparent(&mut self, bb: BlockId, cond: ExprId) -> bool {
+        if self.visits.get(&bb.0).copied().unwrap_or(0) > 1 {
+            return true;
+        }
+        let in_loop =
+            self.loops.as_ref().is_some_and(|ls| ls.iter().any(|l| l.body.contains(&bb)));
+        if !in_loop {
+            return false;
+        }
+        if !self.use_summaries {
+            return true;
+        }
+        let keys = self.read_keys(cond);
+        let loops = self.loops.as_ref().expect("in_loop checked above");
+        loops
+            .iter()
+            .filter(|l| l.body.contains(&bb))
+            .any(|l| keys.iter().any(|k| l.may_write.contains(k)))
+    }
+
+    /// The lvalue keys `e` syntactically reads, memoized.
+    fn read_keys(&mut self, e: ExprId) -> Vec<Istr> {
+        if let Some(k) = self.reads.get(&e) {
+            return k.clone();
+        }
+        let ast = self.ast;
+        let mut nodes = Vec::new();
+        ast.walk_expr(e, &mut |id| nodes.push(id));
+        let mut keys: Vec<Istr> = Vec::new();
+        for id in nodes {
+            if let Some(k) = self.lvalue_key(id) {
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+        }
+        self.reads.insert(e, keys.clone());
+        keys
     }
 
     fn push_frame(&mut self) {
@@ -609,14 +793,85 @@ impl<'a> FeasibilityOracle<'a> {
         }
     }
 
+    /// Havocs every key the loops left between `prev` and `bb` may
+    /// have written: the walked prefix ran the body a bounded number
+    /// of times, so post-loop state must not depend on those exact
+    /// bindings. Each key gets a fresh temporary; monotone counters
+    /// additionally seed a direction fact.
+    fn havoc_loop_exits(&mut self, prev: BlockId, bb: BlockId) {
+        let Some(loops) = &self.loops else { return };
+        let mut writes: BTreeSet<Istr> = BTreeSet::new();
+        let mut counters: Vec<(Istr, CounterDir)> = Vec::new();
+        for l in loops {
+            if l.body.contains(&prev) && !l.body.contains(&bb) {
+                writes.extend(l.may_write.iter().copied());
+                for &(k, d) in &l.counters {
+                    if !counters.iter().any(|&(ck, _)| ck == k) {
+                        counters.push((k, d));
+                    }
+                }
+            }
+        }
+        for key in writes {
+            let pre = self.lookup(key);
+            self.temp += 1;
+            let post = Sym::temp(self.temp);
+            self.bind(key, post);
+            if let Some(&(_, dir)) = counters.iter().find(|&&(k, _)| k == key) {
+                self.seed_direction_fact(pre, post, dir);
+            }
+        }
+    }
+
+    /// Relates a havocked monotone counter to the value the walked
+    /// prefix reached: the iterations the havoc stands in for can
+    /// only move the counter further in its single update's
+    /// direction, so `post >= pre` (increasing) or `post <= pre`
+    /// (decreasing). Constant-step terms of the counter's own
+    /// direction peel off `pre` (a weaker bound is still a bound);
+    /// anything else contributes no fact.
+    fn seed_direction_fact(&mut self, pre: Sym, post: Sym, dir: CounterDir) {
+        let up = matches!(dir, CounterDir::Increasing);
+        let mut base = pre;
+        loop {
+            match base.node() {
+                SymNode::Int(_) | SymNode::Input(_) | SymNode::Temp(_) => break,
+                SymNode::Binary(BinOp::Add, a, b) => {
+                    if let Some(c) = b.as_int() {
+                        if (c >= 0) == up {
+                            base = *a;
+                            continue;
+                        }
+                    }
+                    if let Some(c) = a.as_int() {
+                        if (c >= 0) == up {
+                            base = *b;
+                            continue;
+                        }
+                    }
+                    return;
+                }
+                _ => return,
+            }
+        }
+        let cmp = if up {
+            Sym::binary_raw(BinOp::Ge, post, base)
+        } else {
+            Sym::binary_raw(BinOp::Le, post, base)
+        };
+        // `post` is a fresh temporary with no prior facts, so this
+        // can only narrow, never contradict.
+        let _ = self.cons.assume(cmp, true);
+    }
+
     /// Asserts one decision's constraint; `false` means contradiction.
     fn decide(&mut self, cfg: &Cfg, d: &Decision) -> bool {
         // Transparent decisions still evaluate their condition (the
         // extractor does, and side effects like `if (x++)` must carry
         // into the subtree) but assert nothing and never veto.
-        let transparent = self.transparent(d.block());
         match d {
             Decision::Branch { cond, taken, .. } => {
+                let transparent = self.transparent(d.block(), *cond);
                 let sym = self.eval(*cond);
                 if transparent {
                     return true;
@@ -624,6 +879,7 @@ impl<'a> FeasibilityOracle<'a> {
                 !self.cons.assume(sym, *taken).is_contradiction()
             }
             Decision::Switch { scrutinee, case, block } => {
+                let transparent = self.transparent(d.block(), *scrutinee);
                 let s = self.eval(*scrutinee);
                 if transparent {
                     return true;
@@ -656,15 +912,27 @@ impl<'a> FeasibilityOracle<'a> {
 
 impl PathOracle for FeasibilityOracle<'_> {
     fn enter_block(&mut self, cfg: &Cfg, bb: BlockId) {
-        if self.loop_blocks.is_none() {
-            let mut blocks = BTreeSet::new();
-            for l in find_loops(cfg) {
-                blocks.extend(l.body.iter().copied());
-            }
-            self.loop_blocks = Some(blocks);
+        if self.loops.is_none() {
+            let loops = summarize_loops(self.ast, cfg)
+                .into_iter()
+                .map(|l| OracleLoop {
+                    body: l.body,
+                    may_write: l.may_write.iter().map(|s| Istr::new(s)).collect(),
+                    counters: l.counters.iter().map(|(k, d)| (Istr::new(k), *d)).collect(),
+                })
+                .collect();
+            self.loops = Some(loops);
         }
         *self.visits.entry(bb.0).or_insert(0) += 1;
         self.push_frame();
+        // Havoc inside the new block's frame so backtracking out of
+        // `bb` restores the pre-havoc environment and facts.
+        if self.use_summaries {
+            if let Some(&prev) = self.stack.last() {
+                self.havoc_loop_exits(prev, bb);
+            }
+        }
+        self.stack.push(bb);
         let block = cfg.block(bb);
         for &stmt in &block.stmts {
             self.exec_stmt(stmt);
@@ -696,6 +964,7 @@ impl PathOracle for FeasibilityOracle<'_> {
         if let Some(count) = self.visits.get_mut(&bb.0) {
             *count -= 1;
         }
+        self.stack.pop();
         self.pop_frame();
     }
 }
@@ -864,6 +1133,109 @@ mod tests {
             (cmp(BinOp::Le, input("n"), 10), true),
             (cmp(BinOp::Gt, input("n"), 4), true),
             (cmp(BinOp::Lt, input("n"), 5), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    fn rel(op: BinOp, a: Sym, b: Sym) -> Sym {
+        Sym::binary_raw(op, a, b)
+    }
+
+    #[test]
+    fn relational_cycle_contradicts() {
+        // `x < y` and `y < x` cannot both hold.
+        let conds =
+            [(rel(BinOp::Lt, input("x"), input("y")), true), (rel(BinOp::Lt, input("y"), input("x")), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // `x < y` with `x > y` via the mirrored orientation.
+        let conds =
+            [(rel(BinOp::Lt, input("x"), input("y")), true), (rel(BinOp::Gt, input("x"), input("y")), true)];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn antisymmetry_pins_equality() {
+        // `x <= y`, `y <= x` forces `x == y`; `x != y` then contradicts.
+        let conds = [
+            (rel(BinOp::Le, input("x"), input("y")), true),
+            (rel(BinOp::Le, input("y"), input("x")), true),
+            (rel(BinOp::Ne, input("x"), input("y")), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // Without the `!=`, the pair is satisfiable.
+        let conds = [
+            (rel(BinOp::Le, input("x"), input("y")), true),
+            (rel(BinOp::Le, input("y"), input("x")), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn reflexive_strict_comparison_contradicts() {
+        assert_eq!(
+            path_feasibility(&[(rel(BinOp::Lt, input("x"), input("x")), true)]),
+            Feasibility::Contradiction
+        );
+        assert_eq!(
+            path_feasibility(&[(rel(BinOp::Ne, input("x"), input("x")), true)]),
+            Feasibility::Contradiction
+        );
+        assert_eq!(
+            path_feasibility(&[(rel(BinOp::Le, input("x"), input("x")), true)]),
+            Feasibility::Feasible
+        );
+    }
+
+    #[test]
+    fn relational_eq_vs_ne_contradicts() {
+        let conds = [
+            (rel(BinOp::Eq, input("x"), input("y")), true),
+            (rel(BinOp::Ne, input("x"), input("y")), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // Arm polarity spells the same thing.
+        let conds = [
+            (rel(BinOp::Eq, input("x"), input("y")), true),
+            (rel(BinOp::Eq, input("x"), input("y")), false),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+    }
+
+    #[test]
+    fn relational_facts_roll_back() {
+        let mut set = ConstraintSet::new();
+        let mark = set.mark();
+        assert!(!set.assume(rel(BinOp::Lt, input("x"), input("y")), true).is_contradiction());
+        assert!(set.assume(rel(BinOp::Gt, input("x"), input("y")), true).is_contradiction());
+        set.rollback(mark);
+        // After rollback `x > y` must be freely assumable again.
+        assert!(!set.assume(rel(BinOp::Gt, input("x"), input("y")), true).is_contradiction());
+    }
+
+    #[test]
+    fn ne_exhaustion_closes_narrow_intervals() {
+        // `5 <= x <= 6` with both residents excluded is unsatisfiable —
+        // the pre-fix check only caught the width-one (`lo == hi`) case.
+        let conds = [
+            (cmp(BinOp::Ge, input("x"), 5), true),
+            (cmp(BinOp::Le, input("x"), 6), true),
+            (cmp(BinOp::Ne, input("x"), 5), true),
+            (cmp(BinOp::Ne, input("x"), 6), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
+        // Excluding only one resident leaves the other.
+        let conds = [
+            (cmp(BinOp::Ge, input("x"), 5), true),
+            (cmp(BinOp::Le, input("x"), 6), true),
+            (cmp(BinOp::Ne, input("x"), 5), true),
+        ];
+        assert_eq!(path_feasibility(&conds), Feasibility::Feasible);
+        // Order independence: exclusions first, bounds second.
+        let conds = [
+            (cmp(BinOp::Ne, input("x"), 5), true),
+            (cmp(BinOp::Ne, input("x"), 6), true),
+            (cmp(BinOp::Ge, input("x"), 5), true),
+            (cmp(BinOp::Le, input("x"), 6), true),
         ];
         assert_eq!(path_feasibility(&conds), Feasibility::Contradiction);
     }

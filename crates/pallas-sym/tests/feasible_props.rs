@@ -126,6 +126,52 @@ proptest! {
         );
     }
 
+    /// Exactness on single-variable comparison sequences. Restricted
+    /// to one variable and plain (possibly negated, possibly flipped)
+    /// comparisons against small constants, the interval + disequality
+    /// domain is complete, not just sound: the verdict must agree both
+    /// ways with a brute-force witness search. The small domain is
+    /// sufficient — every bound is derived from a constant in [-8, 8),
+    /// so a nonempty satisfying set always contains a point in
+    /// [-10, 10]. This is the regression net for the eq-vs-interval
+    /// bug where `x >= 1 && x <= 2 && x != 1 && x != 2` (and any other
+    /// fully ne-exhausted interval wider than a single point) was
+    /// judged feasible.
+    #[test]
+    fn single_variable_verdicts_match_brute_force(
+        legs in proptest::collection::vec(
+            (arb_cmp(), any::<bool>(), any::<bool>()), 1..12),
+    ) {
+        let path: Vec<(Sym, bool)> = legs
+            .iter()
+            .map(|&(mut c, negated, taken)| {
+                c.var = 0;
+                let s = if negated {
+                    Sym::unary(UnOp::Not, cmp_sym(c))
+                } else {
+                    cmp_sym(c)
+                };
+                (s, taken)
+            })
+            .collect();
+        let witness = (-10i64..=10).any(|v| {
+            let env = [v, 0, 0, 0];
+            legs.iter().all(|&(mut c, negated, taken)| {
+                c.var = 0;
+                (cmp_truth(c, &env) != negated) == taken
+            })
+        });
+        let expected =
+            if witness { Feasibility::Feasible } else { Feasibility::Contradiction };
+        prop_assert_eq!(
+            path_feasibility(&path),
+            expected,
+            "witness-in-[-10,10] = {} disagrees with the engine on: {:?}",
+            witness,
+            legs
+        );
+    }
+
     /// The verdict is a pure function of the condition sequence.
     #[test]
     fn verdict_is_deterministic(

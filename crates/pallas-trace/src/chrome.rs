@@ -101,6 +101,7 @@ mod tests {
             tid: 7,
             start_ns: start,
             dur_ns: dur,
+            incomplete: false,
             attrs: vec![("count", AttrValue::U64(3)), ("label", AttrValue::Str("a\"b".into()))],
         }
     }

@@ -154,8 +154,14 @@ pub struct Record {
     pub tid: u64,
     /// Start time, nanoseconds since the collector epoch.
     pub start_ns: u64,
-    /// Duration in nanoseconds; `None` marks an instant event.
+    /// Duration in nanoseconds; `None` marks an instant event or a
+    /// still-open span (see [`Record::incomplete`]).
     pub dur_ns: Option<u64>,
+    /// True for a snapshot of a span whose guard was still alive when
+    /// [`take`] drained the collector. Its duration is unknown — the
+    /// guard will record the real span when it drops — so consumers
+    /// must not treat it as zero-length work.
+    pub incomplete: bool,
     /// Typed attributes (`args` in the Chrome export).
     pub attrs: Vec<(&'static str, AttrValue)>,
 }
@@ -176,6 +182,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One thread's bounded ring of finished records. Only the owning
 /// thread pushes; the exporter drains. The mutex is therefore almost
@@ -184,6 +191,18 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 struct ThreadBuf {
     tid: u64,
     ring: Mutex<std::collections::VecDeque<Record>>,
+    /// Spans opened on this thread whose guards have not dropped yet,
+    /// in start order. [`take`] snapshots these as incomplete records
+    /// so a drain mid-work (daemon stats, a hung stage) accounts for
+    /// in-flight spans instead of silently omitting them.
+    live: Mutex<Vec<LiveSpan>>,
+}
+
+struct LiveSpan {
+    id: u64,
+    layer: Layer,
+    name: String,
+    start_ns: u64,
 }
 
 fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
@@ -205,6 +224,7 @@ thread_local! {
         let buf = Arc::new(ThreadBuf {
             tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
             ring: Mutex::new(std::collections::VecDeque::new()),
+            live: Mutex::new(Vec::new()),
         });
         lock(registry()).push(Arc::clone(&buf));
         buf
@@ -261,6 +281,19 @@ pub fn take() -> Vec<Record> {
     let mut out = Vec::new();
     for buf in lock(registry()).iter() {
         out.extend(lock(&buf.ring).drain(..));
+        // Snapshot, don't drain: the guard is still running and will
+        // record the finished span itself when it drops.
+        for live in lock(&buf.live).iter() {
+            out.push(Record {
+                layer: live.layer,
+                name: live.name.clone(),
+                tid: buf.tid,
+                start_ns: live.start_ns,
+                dur_ns: None,
+                incomplete: true,
+                attrs: Vec::new(),
+            });
+        }
     }
     out.sort_by(|a, b| {
         a.start_ns.cmp(&b.start_ns).then(b.end_ns().cmp(&a.end_ns()))
@@ -307,6 +340,8 @@ struct SpanInner {
     layer: Layer,
     name: String,
     start_ns: u64,
+    /// Key into the owning thread's live-span list.
+    id: u64,
     attrs: Vec<(&'static str, AttrValue)>,
 }
 
@@ -343,12 +378,19 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             let dur = now_ns().saturating_sub(inner.start_ns);
+            LOCAL.with(|buf| {
+                let mut live = lock(&buf.live);
+                if let Some(pos) = live.iter().rposition(|l| l.id == inner.id) {
+                    live.remove(pos);
+                }
+            });
             push_record(Record {
                 layer: inner.layer,
                 name: inner.name,
                 tid: 0, // assigned by push_record from the thread-local buffer
                 start_ns: inner.start_ns,
                 dur_ns: Some(dur),
+                incomplete: false,
                 attrs: inner.attrs,
             });
         }
@@ -363,11 +405,17 @@ pub fn span(layer: Layer, name: &str) -> Span {
     if !enabled() {
         return Span { inner: None };
     }
+    let start_ns = now_ns();
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|buf| {
+        lock(&buf.live).push(LiveSpan { id, layer, name: name.to_string(), start_ns });
+    });
     Span {
         inner: Some(SpanInner {
             layer,
             name: name.to_string(),
-            start_ns: now_ns(),
+            start_ns,
+            id,
             attrs: Vec::new(),
         }),
     }
@@ -387,6 +435,7 @@ pub fn instant(layer: Layer, name: &str, attrs: Vec<(&'static str, AttrValue)>) 
         tid: 0,
         start_ns: now_ns(),
         dur_ns: None,
+        incomplete: false,
         attrs,
     });
 }
@@ -394,6 +443,28 @@ pub fn instant(layer: Layer, name: &str, attrs: Vec<(&'static str, AttrValue)>) 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn draining_mid_span_surfaces_an_incomplete_snapshot() {
+        let _x = exclusive();
+        start();
+        let alive = span(Layer::Unit, "in-flight");
+        instant(Layer::Cache, "blip", Vec::new());
+        let mid = take();
+        let open: Vec<&Record> = mid.iter().filter(|r| r.incomplete).collect();
+        assert_eq!(open.len(), 1, "{mid:?}");
+        assert_eq!(open[0].name, "in-flight");
+        assert_eq!(open[0].dur_ns, None);
+        // The snapshot did not consume the span: the guard still
+        // records the finished record, and no stale snapshot remains.
+        drop(alive);
+        let done = stop();
+        assert!(done.iter().all(|r| !r.incomplete), "{done:?}");
+        assert!(
+            done.iter().any(|r| r.name == "in-flight" && r.dur_ns.is_some()),
+            "{done:?}"
+        );
+    }
 
     #[test]
     fn disabled_spans_record_nothing() {

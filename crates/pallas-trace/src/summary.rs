@@ -34,8 +34,11 @@ fn fmt_ns(ns: u64) -> String {
 /// Computes per-span self time (duration minus direct children) by a
 /// stack sweep over each thread's spans in start order.
 fn self_times(records: &[Record]) -> Vec<u64> {
+    // Incomplete snapshots (guard still alive at drain time) have no
+    // duration; folding them in as zero-length spans would both hide
+    // their own cost and understate their parents' child time.
     let mut order: Vec<usize> = (0..records.len())
-        .filter(|&i| records[i].dur_ns.is_some())
+        .filter(|&i| records[i].dur_ns.is_some() && !records[i].incomplete)
         .collect();
     order.sort_by(|&a, &b| {
         let (ra, rb) = (&records[a], &records[b]);
@@ -78,10 +81,15 @@ pub fn render_trace_summary(records: &[Record], top_n: usize) -> String {
     let mut groups: HashMap<(Layer, &str), Agg> = HashMap::new();
     let mut spans = 0u64;
     let mut instants = 0u64;
+    let mut incomplete = 0u64;
     let (mut min_start, mut max_end) = (u64::MAX, 0u64);
     for (i, r) in records.iter().enumerate() {
         min_start = min_start.min(r.start_ns);
         max_end = max_end.max(r.end_ns());
+        if r.incomplete {
+            incomplete += 1;
+            continue;
+        }
         match r.dur_ns {
             Some(dur) => {
                 spans += 1;
@@ -97,7 +105,7 @@ pub fn render_trace_summary(records: &[Record], top_n: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "=== trace summary: {spans} span(s), {instants} event(s), {} wall, {} dropped ===",
+        "=== trace summary: {spans} span(s), {instants} event(s), {incomplete} incomplete, {} wall, {} dropped ===",
         fmt_ns(wall),
         crate::dropped(),
     );
@@ -144,6 +152,19 @@ mod tests {
             tid,
             start_ns: start,
             dur_ns: Some(dur),
+            incomplete: false,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn open_span(layer: Layer, name: &str, tid: u64, start: u64) -> Record {
+        Record {
+            layer,
+            name: name.to_string(),
+            tid,
+            start_ns: start,
+            dur_ns: None,
+            incomplete: true,
             attrs: Vec::new(),
         }
     }
@@ -190,6 +211,23 @@ mod tests {
         let unit_pos = text.find(" u ").unwrap();
         assert!(extract_pos < unit_pos, "{text}");
         assert!(text.contains("2 span(s)"), "{text}");
+    }
+
+    #[test]
+    fn incomplete_spans_are_counted_but_never_ranked() {
+        // A finished child inside a still-open parent: the parent must
+        // not appear in the table as a zero-duration span, and the
+        // child's self time must be its full duration.
+        let records = vec![
+            open_span(Layer::Unit, "u", 1, 0),
+            span(Layer::Stage, "extract", 1, 10, 50),
+        ];
+        let selfs = self_times(&records);
+        assert_eq!(selfs[1], 50, "incomplete parent must not eat child time");
+        let text = render_trace_summary(&records, 10);
+        assert!(text.contains("1 span(s)"), "{text}");
+        assert!(text.contains("1 incomplete"), "{text}");
+        assert!(!text.contains(" u "), "open span must not be ranked: {text}");
     }
 
     #[test]

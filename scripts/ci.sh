@@ -124,6 +124,40 @@ fi
 cargo test --release -q -p bench --lib pruning_is_sound_and_cuts_paths
 echo "feasibility pruning: ok"
 
+echo "== loop-summary ablation (Ablation 5) =="
+# Same contradiction as dead.c, but *inside* a loop body on a
+# loop-invariant variable. Blanket loop transparency
+# (--no-loop-summaries, the pre-summary behavior) asserts nothing in
+# loop bodies, so only the summary-aware oracle can prune the dead arm.
+# The bench test then sweeps every corpus set off/on asserting the
+# validated-bug findings stay byte-identical, warnings shrink-or-hold,
+# and the infeasible set prunes strictly more arms with summaries on.
+cat > "$SMOKE_DIR/loopdead.c" <<'EOF'
+int rx_queue(int skb);
+int rx_drain(int state, int budget, int n) {
+  int i = 0;
+  while (i < n) {
+    if (state == 1) {
+      if (state == 2) {
+        budget = 0;
+      }
+    }
+    i = i + 1;
+  }
+  return rx_queue(budget);
+}
+EOF
+echo "fastpath rx_drain; immutable budget;" > "$SMOKE_DIR/loopdead.pallas"
+"$PALLAS_BIN" check "$SMOKE_DIR/loopdead.c" --no-loop-summaries | grep -q "Rule 1.2" \
+  || { echo "ci: summaries-off run lost the in-loop dead-branch warning" >&2; exit 1; }
+if "$PALLAS_BIN" check "$SMOKE_DIR/loopdead.c" | grep -q "Rule 1.2"; then
+  echo "ci: loop summaries failed to suppress the in-loop dead branch" >&2; exit 1
+fi
+"$PALLAS_BIN" check "$SMOKE_DIR/loopdead.c" --stage-stats | grep -q "loops: 1 summarized" \
+  || { echo "ci: --stage-stats lost the loop-summary counters" >&2; exit 1; }
+cargo test --release -q -p bench --lib loop_summaries_are_sound_and_prune_loop_contradictions
+echo "loop-summary ablation: ok"
+
 echo "== rule catalogue (--list-rules) =="
 # The registry must publish at least the twelve paper rules plus the
 # mined extension families (6.1/6.2/7.1).
